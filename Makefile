@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples artifacts clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done
+
+# The final deliverable logs.
+artifacts:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt benchmarks/results/*.json
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,69 @@
+"""Extension bench: specialized audio pre-filter (Section 7 future work).
+
+Compares plain gzip against delta-filtered gzip on PCM-like audio for
+both directions: factor, download energy, and upload energy.  A deeper
+factor at near-zero extra CPU moves the upload decision for audio — the
+case the paper flags as needing specialized schemes.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.compression import get_codec
+from repro.core.upload import UploadModel
+from repro.workload import generators
+from benchmarks.common import write_artifact
+
+
+def compute(model, analytic):
+    rng = random.Random(17)
+    wav = generators.wav_like(rng, 1_000_000, 0.32)
+    upload = UploadModel(model)
+
+    rows = []
+    for name in ("zlib", "audio", "audio16"):
+        codec = get_codec(name)
+        result = codec.compress(wav)
+        assert codec.decompress_bytes(result.payload) == wav
+        down = analytic.precompressed(
+            len(wav), result.compressed_size, codec="gzip", interleave=True
+        )
+        up_e = upload.interleaved_energy_j(
+            len(wav), result.compressed_size, codec="gzip-fast"
+        )
+        rows.append(
+            (
+                name,
+                f"{result.factor:.2f}",
+                round(down.energy_j, 3),
+                round(up_e, 3),
+            )
+        )
+    raw_down = analytic.raw(len(wav))
+    raw_up = upload.upload_energy_j(len(wav))
+    rows.append(("(raw)", "1.00", round(raw_down.energy_j, 3), round(raw_up, 3)))
+    return rows
+
+
+def test_audio_filter_extension(benchmark, model, analytic):
+    rows = benchmark.pedantic(
+        compute, args=(model, analytic), rounds=1, iterations=1
+    )
+    text = ascii_table(
+        ["codec", "factor", "download J", "upload J (gzip-fast cost)"],
+        rows,
+        title="Specialized audio filter on 1 MB PCM-like capture",
+    )
+    write_artifact("audio_filter", text)
+
+    by_name = {r[0]: r for r in rows}
+    plain_f = float(by_name["zlib"][1])
+    delta_f = float(by_name["audio"][1])
+    # The filter deepens the factor substantially on PCM.
+    assert delta_f > plain_f * 1.15
+    # And the deeper factor converts to energy in both directions.
+    assert by_name["audio"][2] < by_name["zlib"][2]
+    assert by_name["audio"][3] < by_name["zlib"][3]
+    assert by_name["audio"][2] < by_name["(raw)"][2]

@@ -1,0 +1,82 @@
+"""Extension bench: battery life under the paper's techniques.
+
+Turns joules-per-file into the number a user feels: hours of browsing
+and objects fetched per charge, across a configuration ladder from
+naive (raw transfers, radio always on) to the full stack (selective
+interleaved compression + power saving).  Two traffic shapes: an active
+browsing burst (short gaps) and casual use (long think times).
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.device.powersave import (
+    AlwaysOnPolicy,
+    StaticPowerSavePolicy,
+    TimeoutSleepPolicy,
+)
+from repro.simulator.lifetime import LifetimeSimulation
+from repro.workload.traces import ZipfTraceGenerator
+from benchmarks.common import write_artifact
+
+
+def compute(model):
+    rows = []
+    results = {}
+    for traffic, mean_gap in (("active", 3.0), ("casual", 45.0)):
+        trace = ZipfTraceGenerator(
+            zipf_alpha=0.9, mean_gap_s=mean_gap, seed=31
+        ).generate(40)
+        sim = LifetimeSimulation(model)
+        ladder = [
+            ("raw + always-on", "raw", AlwaysOnPolicy()),
+            ("advised + always-on", "advised", AlwaysOnPolicy()),
+            ("advised + timeout sleep", "advised", TimeoutSleepPolicy(1.0)),
+            ("advised + power-save", "advised", StaticPowerSavePolicy()),
+        ]
+        for label, strategy, policy in ladder:
+            report = sim.run(trace, strategy=strategy, idle_policy=policy)
+            results[(traffic, label)] = report
+            rows.append(
+                (
+                    traffic,
+                    label,
+                    round(report.hours, 2),
+                    report.requests_served,
+                )
+            )
+    return rows, results
+
+
+def test_battery_lifetime_ladder(benchmark, model):
+    rows, results = benchmark.pedantic(compute, args=(model,), rounds=1, iterations=1)
+    text = ascii_table(
+        ["traffic", "configuration", "hours / charge", "objects fetched"],
+        rows,
+        title="Battery life per charge (950 mAh iPAQ pack)",
+    )
+    write_artifact(
+        "battery_lifetime",
+        text,
+        data={
+            f"{t}|{l}": {"hours": r.hours, "served": r.requests_served}
+            for (t, l), r in results.items()
+        },
+    )
+
+    # Active traffic: compression is the lever (transfers dominate).
+    active_raw = results[("active", "raw + always-on")]
+    active_adv = results[("active", "advised + always-on")]
+    assert active_adv.requests_served > active_raw.requests_served * 1.5
+
+    # Casual traffic: power management is the lever (gaps dominate).
+    casual_on = results[("casual", "advised + always-on")]
+    casual_ps = results[("casual", "advised + power-save")]
+    assert casual_ps.hours > casual_on.hours * 2.0
+
+    # The full stack beats the naive configuration everywhere.
+    for traffic in ("active", "casual"):
+        naive = results[(traffic, "raw + always-on")]
+        full = results[(traffic, "advised + power-save")]
+        assert full.hours > naive.hours
+        assert full.requests_served > naive.requests_served

@@ -1,0 +1,58 @@
+"""Extension bench: energy vs distance with 802.11b rate adaptation.
+
+"With the advent of faster speed wireless LAN devices ... a wider range
+of experimental environments will become available" (Section 7).  The
+channel model sweeps the device away from the AP; as the rate ladder
+steps down, raw downloads get expensive fast and the compression
+break-even factor collapses toward 1.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.core.energy_model import EnergyModel
+from repro.network import channel
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def compute():
+    rows = []
+    for distance in (5, 25, 45, 80, 110):
+        condition = channel.ChannelCondition(distance_m=distance)
+        rate = channel.select_rate(condition)
+        model = EnergyModel(link=channel.link_for_condition(condition))
+        raw_j = model.download_energy_j(mb(1))
+        threshold = thresholds.factor_threshold(mb(4), model)
+        comp_j = model.interleaved_energy_j(mb(4), mb(1))
+        rows.append(
+            (
+                distance,
+                f"{rate:g}",
+                round(raw_j, 2),
+                round(threshold, 3),
+                round(comp_j, 2),
+            )
+        )
+    return rows
+
+
+def test_distance_sweep(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = ascii_table(
+        ["distance m", "rate Mb/s", "raw J/MB", "break-even F", "4MB F=4 J"],
+        rows,
+        title="Energy vs distance under 802.11b rate adaptation",
+    )
+    write_artifact("distance_sweep", text)
+
+    raw_costs = [r[2] for r in rows]
+    break_evens = [r[3] for r in rows]
+    # Farther = more energy per raw MB, monotonically.
+    assert raw_costs == sorted(raw_costs)
+    assert raw_costs[-1] > raw_costs[0] * 3
+    # And compression becomes worthwhile at ever-lower factors.
+    assert break_evens == sorted(break_evens, reverse=True)
+    assert break_evens[0] == pytest.approx(1.13, rel=0.02)
+    assert break_evens[-1] < 1.05

@@ -1,0 +1,61 @@
+"""Ablation: from-scratch codecs vs CPython engines on corpus bytes.
+
+The corpus is calibrated against native zlib; this bench checks that the
+package's pure-Python codecs land close enough that every conclusion
+would survive swapping engines — the justification for using the native
+engines in corpus-scale benches (DESIGN.md §5 item 4).
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.compression import get_codec
+from benchmarks.common import write_artifact
+
+#: A slice of the corpus spanning the factor range, kept small because
+#: the pure codecs run at pure-Python speed.
+FILES = ["mail2", "yahooindex.html", "umcdig.eps", "intro.pdf", "tail"]
+
+PAIRS = [("gzip", "zlib"), ("bzip2", "bz2")]
+
+
+def compute(corpus):
+    rows = []
+    worst = 0.0
+    for name in FILES:
+        gf = corpus.generate(name)
+        for pure_name, native_name in PAIRS:
+            pure_codec = get_codec(pure_name)
+            pure = pure_codec.compress(gf.data)
+            native = get_codec(native_name).compress(gf.data)
+            assert pure_codec.decompress_bytes(pure.payload) == gf.data
+            rel = pure.factor / native.factor - 1.0
+            worst = max(worst, abs(rel))
+            rows.append(
+                (
+                    name,
+                    pure_name,
+                    round(pure.factor, 2),
+                    round(native.factor, 2),
+                    f"{rel * 100:+.1f}%",
+                )
+            )
+    return rows, worst
+
+
+def test_engine_agreement(benchmark, corpus):
+    rows, worst = benchmark.pedantic(compute, args=(corpus,), rounds=1, iterations=1)
+    text = ascii_table(
+        ["file", "scheme", "pure factor", "native factor", "difference"],
+        rows,
+        title="Pure-Python codecs vs CPython engines (real corpus bytes)",
+    )
+    text += f"\n\nworst relative factor difference: {worst * 100:.1f}%"
+    write_artifact("engine_agreement", text, data={"rows": rows, "worst": worst})
+
+    # Factor differences stay well inside the corpus calibration band, so
+    # engine choice cannot flip any figure's conclusion.
+    assert worst < 0.30
+    for _, scheme, pure_f, native_f, _ in rows:
+        if native_f > 1.3:
+            assert pure_f > 1.2  # compressible stays compressible

@@ -1,0 +1,66 @@
+"""Equation 6 / Section 4.3: the selective-compression thresholds.
+
+Checks the three headline constants — the 3900-byte size threshold, the
+large-file factor threshold 1.13, and the small-file numerator 1.30 —
+re-derived from the model rather than transcribed.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def compute(model):
+    size_paper = thresholds.size_threshold_bytes()
+    size_model = thresholds.size_threshold_bytes(model)
+    rows = []
+    for s_mb in (0.01, 0.05, 0.128, 0.5, 1, 4, 8):
+        rows.append(
+            (
+                f"{s_mb} MB",
+                round(thresholds.factor_threshold(mb(s_mb)), 3),
+                round(thresholds.factor_threshold(mb(s_mb), model), 3),
+            )
+        )
+    return size_paper, size_model, rows
+
+
+def test_eq6_thresholds(benchmark, model):
+    size_paper, size_model, rows = benchmark.pedantic(
+        compute, args=(model,), rounds=1, iterations=1
+    )
+    text = ascii_table(
+        ["file size", "factor threshold (Eq.6 literal)", "factor threshold (model)"],
+        rows,
+        title="Equation 6 - compression-worthiness thresholds",
+    )
+    text += (
+        f"\n\nsize threshold: paper 3900 B, literal Eq.6 {size_paper} B, "
+        f"model-derived {size_model} B"
+    )
+    write_artifact(
+        "eq6_thresholds",
+        text,
+        data={
+            "size_threshold_paper": size_paper,
+            "size_threshold_model": size_model,
+            "factor_thresholds": rows,
+        },
+    )
+
+    assert size_paper == 3900
+    assert size_model == pytest.approx(3900, rel=0.05)
+    # Large-file asymptote: 1.13.
+    literal_large = thresholds.factor_threshold(mb(8))
+    model_large = thresholds.factor_threshold(mb(8), model)
+    assert literal_large == pytest.approx(1.13, rel=0.01)
+    assert model_large == pytest.approx(1.13, rel=0.02)
+    # Small-file asymptote: 1.30 (as s >> 0.00372 but <= 0.128).
+    literal_small = thresholds.factor_threshold(mb(0.1))
+    assert literal_small == pytest.approx(1.30 / (1 - 0.00372 / 0.1), rel=0.01)
+    # Thresholds rise as files shrink.
+    factors = [r[2] for r in rows]
+    assert factors == sorted(factors, reverse=True)

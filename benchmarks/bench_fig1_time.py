@@ -1,0 +1,72 @@
+"""Figure 1: download+decompress time of the three schemes vs raw.
+
+Three grouped bar charts (two large-file panels in the paper are one
+here, plus the small-file panel), bar heights relative to uncompressed
+download time.  Shape claims checked: time ratios fall as the factor
+rises; bzip2's decompression makes it the slowest scheme; for
+incompressible media every scheme is at or above 1.0.
+"""
+
+import pytest
+
+from repro.analysis.report import bar_chart
+from benchmarks.common import (
+    SCHEMES,
+    figure_ratios,
+    large_specs,
+    small_specs,
+    write_artifact,
+)
+
+
+def compute(analytic):
+    large = figure_ratios(analytic, large_specs(), "time")
+    small = figure_ratios(analytic, small_specs(), "time")
+    return large, small
+
+
+def test_fig1_time_comparison(benchmark, analytic):
+    large, small = benchmark.pedantic(compute, args=(analytic,), rounds=1, iterations=1)
+    l_specs, s_specs = large_specs(), small_specs()
+    text = bar_chart(
+        [f"{s.name} (F={s.gzip_factor})" for s in l_specs],
+        large,
+        max_value=2.0,
+        title="Figure 1 - relative time, large files (1.0 = raw download)",
+    )
+    text += "\n\n" + bar_chart(
+        [f"{s.name} ({s.size_bytes}B)" for s in s_specs],
+        small,
+        max_value=2.0,
+        title="Figure 1 - relative time, small files",
+    )
+    write_artifact(
+        "fig1_time",
+        text,
+        data={
+            "large": {"files": [s.name for s in l_specs], "series": large},
+            "small": {"files": [s.name for s in s_specs], "series": small},
+        },
+    )
+
+    gzip_large = large["gzip"]
+    factors = [s.gzip_factor for s in l_specs]
+
+    # Trend: higher factor => lower relative time (Section 3.2).
+    high = [r for r, f in zip(gzip_large, factors) if f > 5]
+    low = [r for r, f in zip(gzip_large, factors) if 1.3 < f < 3]
+    assert max(high) < min(low)
+
+    # High-factor files finish in a small fraction of the raw time.
+    assert min(gzip_large) < 0.30
+
+    # bzip2 is slowest on compressible files (reverse transform cost).
+    for i, spec in enumerate(l_specs):
+        if spec.gzip_factor > 2:
+            assert large["bzip2"][i] > large["gzip"][i]
+
+    # Media files gain nothing.
+    for i, spec in enumerate(l_specs):
+        if spec.gzip_factor <= 1.02:
+            for scheme in SCHEMES:
+                assert large[scheme][i] >= 0.95

@@ -1,0 +1,78 @@
+"""Figure 2: energy of the three schemes vs raw download.
+
+Shape claims (Section 3.2): with a large file and high factor every
+scheme saves; small files lose to the start-up cost; low factors lose;
+gzip balances communication vs decompression best, and bzip2's deeper
+factors do not win it the energy contest.
+"""
+
+import pytest
+
+from repro.analysis.report import bar_chart
+from benchmarks.common import (
+    figure_ratios,
+    large_specs,
+    small_specs,
+    scheme_session,
+    write_artifact,
+)
+
+
+def compute(analytic):
+    large = figure_ratios(analytic, large_specs(), "energy")
+    small = figure_ratios(analytic, small_specs(), "energy")
+    return large, small
+
+
+def test_fig2_energy_comparison(benchmark, analytic):
+    large, small = benchmark.pedantic(compute, args=(analytic,), rounds=1, iterations=1)
+    l_specs, s_specs = large_specs(), small_specs()
+    text = bar_chart(
+        [f"{s.name} (F={s.gzip_factor})" for s in l_specs],
+        large,
+        max_value=2.0,
+        title="Figure 2 - relative energy, large files (1.0 = raw download)",
+    )
+    text += "\n\n" + bar_chart(
+        [f"{s.name} ({s.size_bytes}B)" for s in s_specs],
+        small,
+        max_value=2.0,
+        title="Figure 2 - relative energy, small files",
+    )
+    write_artifact(
+        "fig2_energy",
+        text,
+        data={
+            "large": {"files": [s.name for s in l_specs], "series": large},
+            "small": {"files": [s.name for s in s_specs], "series": small},
+        },
+    )
+
+    factors = [s.gzip_factor for s in l_specs]
+
+    # Large + high factor: all schemes save energy.
+    for i, f in enumerate(factors):
+        if f > 5:
+            for scheme in ("gzip", "compress", "bzip2"):
+                assert large[scheme][i] < 1.0, (l_specs[i].name, scheme)
+
+    # Low factor: not beneficial.
+    for i, f in enumerate(factors):
+        if f <= 1.11:
+            assert large["gzip"][i] >= 0.98
+
+    # gzip wins the energy contest on most compressible large files.
+    wins = sum(
+        1
+        for i, f in enumerate(factors)
+        if f > 1.2
+        and large["gzip"][i] <= large["compress"][i] + 1e-9
+        and large["gzip"][i] <= large["bzip2"][i] + 1e-9
+    )
+    contests = sum(1 for f in factors if f > 1.2)
+    assert wins >= contests * 0.8
+
+    # Small files: compression fares worse; most small-file gzip ratios
+    # exceed their large-file counterparts at similar factors.
+    tiny = [r for r, s in zip(small["gzip"], s_specs) if s.size_bytes < 3900]
+    assert all(r > 0.95 for r in tiny)

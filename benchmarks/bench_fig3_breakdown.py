@@ -1,0 +1,49 @@
+"""Figure 3: energy breakdown of download-then-decompress.
+
+The paper's schematic shows receive energy, inter-packet idle energy and
+decompression energy as the three components; Section 4.1 quantifies the
+idle share of a plain download at ~30%.  The bench regenerates the
+breakdown for a representative compressed download.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def compute(analytic):
+    raw = analytic.raw(mb(4))
+    seq = analytic.precompressed(mb(4), mb(1), interleave=False)
+    return raw, seq
+
+
+def test_fig3_energy_breakdown(benchmark, analytic):
+    raw, seq = benchmark.pedantic(compute, args=(analytic,), rounds=1, iterations=1)
+    rows = []
+    for label, result in (("raw 4MB", raw), ("gzip 4MB F=4 sequential", seq)):
+        breakdown = result.energy_breakdown()
+        for tag, joules in sorted(breakdown.items()):
+            rows.append(
+                (label, tag, round(joules, 3), f"{joules / result.energy_j:.1%}")
+            )
+    text = ascii_table(
+        ["session", "component", "J", "share"],
+        rows,
+        title="Figure 3 - energy breakdown (download then decompress)",
+    )
+    write_artifact("fig3_breakdown", text)
+
+    # 'about 30% of the total downloading energy is consumed when idling'.
+    idle_share = raw.energy_breakdown()["idle"] / raw.energy_j
+    assert idle_share == pytest.approx(0.30, abs=0.03)
+
+    # The idle time is 40% of the receive time.
+    times = raw.time_breakdown()
+    assert times["idle"] / (times["idle"] + times["recv"]) == pytest.approx(
+        0.40, abs=0.01
+    )
+
+    # The sequential compressed session has all three components.
+    assert set(seq.energy_breakdown()) >= {"recv", "idle", "decompress"}

@@ -1,0 +1,82 @@
+"""Figure 4: interleaving timelines in the two regimes.
+
+(a) decompression faster than downloading: CPU-idle periods remain, the
+    session ends with the last packet (plus the final block's tail);
+(b) decompression slower: the CPU saturates and work spills past the
+    link going quiet.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core.interleave import plan_interleave
+from repro.device.cpu import DeviceCpuModel, LinearCost
+from repro.network.link import plan_receive
+from repro.network.wlan import LINK_11MBPS
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def fast_cpu():
+    return DeviceCpuModel(
+        decompress={"gzip": LinearCost(0.02, 0.02, 0.0)},
+        compress={"gzip": LinearCost(0.0, 1.0, 0.0)},
+    )
+
+
+def slow_cpu():
+    return DeviceCpuModel(
+        decompress={"gzip": LinearCost(0.5, 2.0, 0.0)},
+        compress={"gzip": LinearCost(0.0, 1.0, 0.0)},
+    )
+
+
+def compute():
+    receive = plan_receive(mb(1), mb(2), LINK_11MBPS)
+    fast = plan_interleave(receive, cpu=fast_cpu())
+    slow = plan_interleave(receive, cpu=slow_cpu())
+    return receive, fast, slow
+
+
+def test_fig4_interleaving_regimes(benchmark):
+    receive, fast, slow = benchmark(compute)
+    rows = []
+    for label, plan in (("(a) fast decompression", fast), ("(b) slow decompression", slow)):
+        rows.append(
+            (
+                label,
+                round(plan.receive_end_s, 3),
+                round(plan.finish_s, 3),
+                round(plan.residual_idle_s, 3),
+                round(plan.overflow_s, 3),
+                plan.saturated,
+            )
+        )
+    text = ascii_table(
+        ["regime", "recv end (s)", "finish (s)", "idle left (s)", "overflow (s)", "saturated"],
+        rows,
+        title="Figure 4 - interleaving timelines",
+    )
+    # Also render the first few block schedules of each regime.
+    for label, plan in (("fast", fast), ("slow", slow)):
+        lines = [
+            f"  block {b.index}: arrive {b.arrive_s:.3f} "
+            f"decompress {b.decompress_start_s:.3f}..{b.decompress_end_s:.3f}"
+            for b in plan.blocks[:4]
+        ]
+        text += f"\n\n{label} regime, first blocks:\n" + "\n".join(lines)
+    write_artifact("fig4_interleave_timeline", text)
+
+    # Regime (a): idle periods remain, finish ~ receive end.
+    assert not fast.saturated
+    assert fast.residual_idle_s > 0
+    assert fast.finish_s == pytest.approx(fast.receive_end_s, rel=0.02)
+
+    # Regime (b): the CPU is the bottleneck.
+    assert slow.saturated
+    assert slow.finish_s > slow.receive_end_s * 1.5
+    # While saturated the decompressor is never idle between blocks.
+    for prev, cur in zip(slow.blocks, slow.blocks[1:]):
+        assert cur.decompress_start_s == pytest.approx(
+            max(prev.decompress_end_s, cur.arrive_s), rel=1e-6
+        )

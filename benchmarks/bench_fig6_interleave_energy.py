@@ -1,0 +1,54 @@
+"""Figure 6: effect of interleaving on energy.
+
+'Interleaving brings down the decompression overhead (both time-wise
+and energy-wise) rather substantially' (Section 4.1): the reclaimed idle
+energy is (ti' - td residue) * pi per Equation 3.
+"""
+
+import pytest
+
+from repro.analysis.report import bar_chart
+from benchmarks.common import large_specs, small_specs, write_artifact
+
+
+def compute(analytic):
+    series = {"gzip": [], "zlib": [], "zlib+interleave": []}
+    specs = [s for s in large_specs() + small_specs()]
+    for spec in specs:
+        raw = analytic.raw(spec.size_bytes)
+        sc = int(spec.size_bytes / spec.gzip_factor)
+        seq = analytic.precompressed(spec.size_bytes, sc, interleave=False)
+        inter = analytic.precompressed(spec.size_bytes, sc, interleave=True)
+        series["gzip"].append(seq.energy_ratio(raw))
+        series["zlib"].append(seq.energy_ratio(raw))
+        series["zlib+interleave"].append(inter.energy_ratio(raw))
+    return specs, series
+
+
+def test_fig6_interleaving_energy(benchmark, analytic, model):
+    specs, series = benchmark.pedantic(
+        compute, args=(analytic,), rounds=1, iterations=1
+    )
+    text = bar_chart(
+        [f"{s.name} (F={s.gzip_factor})" for s in specs],
+        series,
+        max_value=1.5,
+        title="Figure 6 - relative energy: gzip / zlib / zlib interleaved",
+    )
+    write_artifact("fig6_interleave_energy", text)
+
+    for i in range(len(specs)):
+        assert series["zlib+interleave"][i] <= series["zlib"][i] + 1e-9
+
+    # Net loss for low-factor files shrinks to the paper's 2-14% band.
+    for i, spec in enumerate(specs):
+        if not spec.is_small and 1.0 < spec.gzip_factor <= 1.12:
+            loss = series["zlib+interleave"][i] - 1.0
+            assert 0.0 < loss < 0.20, spec.name
+
+    # Interleaving recovers a meaningful share of the sequential penalty
+    # for mid-factor large files.
+    for i, spec in enumerate(specs):
+        if not spec.is_small and 1.5 < spec.gzip_factor < 3.0:
+            saved = series["zlib"][i] - series["zlib+interleave"][i]
+            assert saved > 0.03, spec.name

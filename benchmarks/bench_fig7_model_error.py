@@ -1,0 +1,71 @@
+"""Figure 7: error of the interleaving energy model (Equation 3).
+
+'Measured' values come from the packet-level DES replay (the literal
+mechanism); 'calculated' values from Equation 3.  The paper reports an
+average error of 2.5% for large files (max 6.5%) and 9.1% for small
+files (4.5% excluding the five smallest).
+"""
+
+import pytest
+
+from repro.analysis.fitting import relative_errors
+from repro.analysis.report import ascii_table
+from benchmarks.common import large_specs, small_specs, write_artifact
+
+
+def compute(analytic_unused, des, model):
+    rows = []
+    for spec in large_specs() + small_specs():
+        s = spec.size_bytes
+        sc = int(s / spec.gzip_factor)
+        measured = des.precompressed(s, sc, interleave=True).energy_j
+        calculated = model.interleaved_energy_j(s, sc)
+        rows.append((spec, measured, calculated))
+    return rows
+
+
+def test_fig7_interleave_model_error(benchmark, analytic, des, model):
+    rows = benchmark.pedantic(
+        compute, args=(analytic, des, model), rounds=1, iterations=1
+    )
+    large_rows = [r for r in rows if not r[0].is_small]
+    small_rows = [r for r in rows if r[0].is_small]
+
+    def error_table(subset):
+        errs = relative_errors(
+            [m for _, m, _ in subset], [c for _, _, c in subset]
+        )
+        return errs
+
+    large_errs = error_table(large_rows)
+    small_errs = error_table(small_rows)
+    table = [
+        (spec.name, round(m, 4), round(c, 4), f"{e * 100:+.1f}%")
+        for (spec, m, c), e in zip(rows, large_errs + small_errs)
+    ]
+    avg_large = sum(abs(e) for e in large_errs) / len(large_errs)
+    avg_small = sum(abs(e) for e in small_errs) / len(small_errs)
+    text = ascii_table(
+        ["file", "measured J (DES)", "Eq.3 J", "error"],
+        table,
+        title="Figure 7 - interleaving energy model error",
+    )
+    text += (
+        f"\n\nlarge files: avg |error| {avg_large * 100:.1f}% "
+        f"(paper: 2.5%), max {max(abs(e) for e in large_errs) * 100:.1f}% (paper: 6.5%)"
+        f"\nsmall files: avg |error| {avg_small * 100:.1f}% (paper: 9.1%)"
+    )
+    write_artifact(
+        "fig7_model_error",
+        text,
+        data={
+            "avg_abs_error_large": avg_large,
+            "avg_abs_error_small": avg_small,
+            "paper_large": 0.025,
+            "paper_small": 0.091,
+        },
+    )
+
+    assert avg_large < 0.065
+    assert max(abs(e) for e in large_errs) < 0.10
+    assert avg_small < 0.10

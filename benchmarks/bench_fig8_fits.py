@@ -1,0 +1,57 @@
+"""Figure 8: (a) decompression-time fit, (b) download-energy fit.
+
+Generates measurement points with the DES engine across the Table 2 size
+range, runs the paper's fitting procedure (Section 4.2) and compares the
+recovered coefficients with the paper's: td = 0.161 s + 0.161 sc + 0.004
+(R^2 = 96.7%) and E = 3.519 s + 0.012 (avg error 7.2%), from which
+m = 2.486 and cs = 0.012 are derived.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core.calibration import fit_decompression_time, fit_download_energy
+from benchmarks.common import large_specs, small_specs, write_artifact
+
+
+def compute(des, model):
+    energy_samples = []
+    td_samples = []
+    for spec in large_specs() + small_specs():
+        s = spec.size_bytes
+        sc = int(s / spec.gzip_factor)
+        energy_samples.append((s, des.raw(s).energy_j))
+        td_samples.append(
+            (s, sc, model.cpu.decompress_time_s("gzip", s, sc))
+        )
+    return fit_download_energy(energy_samples), fit_decompression_time(td_samples)
+
+
+def test_fig8_linear_fits(benchmark, des, model):
+    e_fit, t_fit = benchmark.pedantic(
+        compute, args=(des, model), rounds=1, iterations=1
+    )
+    rows = [
+        ("E slope (J/MB)", 3.519, round(e_fit.slope_j_per_mb, 4)),
+        ("E intercept (J)", 0.012, round(e_fit.intercept_j, 4)),
+        ("m (J/MB)", 2.486, round(e_fit.m_j_per_mb, 4)),
+        ("cs (J)", 0.012, round(e_fit.cs_j, 4)),
+        ("E fit R^2", ">0.9", round(e_fit.r_squared, 4)),
+        ("td per raw MB (s)", 0.161, round(t_fit.per_raw_mb_s, 4)),
+        ("td per comp MB (s)", 0.161, round(t_fit.per_compressed_mb_s, 4)),
+        ("td constant (s)", 0.004, round(t_fit.constant_s, 4)),
+        ("td fit R^2", 0.967, round(t_fit.r_squared, 4)),
+    ]
+    text = ascii_table(
+        ["quantity", "paper", "refit"],
+        rows,
+        title="Figure 8 - linear fits refit from simulated measurements",
+    )
+    write_artifact("fig8_fits", text)
+
+    assert e_fit.slope_j_per_mb == pytest.approx(3.519, rel=0.02)
+    assert e_fit.m_j_per_mb == pytest.approx(2.486, rel=0.02)
+    assert e_fit.cs_j == pytest.approx(0.012, abs=0.01)
+    assert t_fit.per_raw_mb_s == pytest.approx(0.161, rel=0.02)
+    assert t_fit.per_compressed_mb_s == pytest.approx(0.161, rel=0.05)
+    assert t_fit.r_squared > 0.95

@@ -1,0 +1,85 @@
+"""Figure 9: error rate of the Equation 5 closed form, 11 and 2 Mb/s.
+
+At 11 Mb/s the paper reports 2.4% average error for large files (5.3%
+for small files excluding the three smallest).  At 2 Mb/s we compare the
+generic link-parameterized model against DES measurements and also print
+the paper's literal 2 Mb/s coefficients; the scanned TR's constants do
+not decompose under Table 1's powers (see EXPERIMENTS.md), so the
+assertion is on our self-consistent model, and the crossover constant
+(factor 27 to fill the idle time) is checked against the paper's.
+"""
+
+import pytest
+
+from repro import units
+from repro.analysis.fitting import relative_errors
+from repro.analysis.report import ascii_table
+from repro.simulator.des import DesSession
+from benchmarks.common import large_specs, small_specs, write_artifact
+
+
+def paper_2mbps_formula(s_bytes: float, sc_bytes: float) -> float:
+    """The TR's literal 2 Mb/s equation (Section 4.2)."""
+    s = units.bytes_to_mb(s_bytes)
+    sc = units.bytes_to_mb(sc_bytes)
+    return 2.0125 * s + 12.4291 * sc + 0.0275
+
+
+def compute(model, model_2mbps):
+    des11 = DesSession(model)
+    des2 = DesSession(model_2mbps)
+    rows = []
+    for spec in large_specs() + small_specs():
+        s = spec.size_bytes
+        sc = int(s / spec.gzip_factor)
+        m11 = des11.precompressed(s, sc, interleave=True).energy_j
+        c11 = model.closed_form_energy_j(s, spec.gzip_factor)
+        m2 = des2.precompressed(s, sc, interleave=True).energy_j
+        c2 = model_2mbps.closed_form_energy_j(s, spec.gzip_factor)
+        rows.append((spec, m11, c11, m2, c2, paper_2mbps_formula(s, sc)))
+    return rows
+
+
+def test_fig9_closed_form_error(benchmark, model, model_2mbps):
+    rows = benchmark.pedantic(
+        compute, args=(model, model_2mbps), rounds=1, iterations=1
+    )
+    large = [r for r in rows if not r[0].is_small]
+    err11 = relative_errors([r[1] for r in large], [r[2] for r in large])
+    err2 = relative_errors([r[3] for r in large], [r[4] for r in large])
+    small = [r for r in rows if r[0].is_small]
+    err11_small = relative_errors([r[1] for r in small], [r[2] for r in small])
+
+    table = [
+        (
+            spec.name,
+            f"{e11 * 100:+.1f}%",
+            f"{e2 * 100:+.1f}%",
+            round(m2, 2),
+            round(paper2, 2),
+        )
+        for (spec, m11, c11, m2, c2, paper2), e11, e2 in zip(
+            large, err11, err2
+        )
+    ]
+    avg11 = sum(abs(e) for e in err11) / len(err11)
+    avg2 = sum(abs(e) for e in err2) / len(err2)
+    avg11_small = sum(abs(e) for e in err11_small) / len(err11_small)
+    text = ascii_table(
+        ["file", "11Mb/s err", "2Mb/s err", "2Mb/s DES J", "TR literal J"],
+        table,
+        title="Figure 9 - closed-form (Eq.5) error vs DES measurements",
+    )
+    text += (
+        f"\n\n11 Mb/s large files: avg |error| {avg11 * 100:.1f}% (paper: 2.4%)"
+        f"\n11 Mb/s small files: avg |error| {avg11_small * 100:.1f}% (paper: 5.3%)"
+        f"\n2 Mb/s large files: avg |error| {avg2 * 100:.1f}% "
+        "(vs our link-parameterized model; TR-literal column shown for reference)"
+    )
+    write_artifact("fig9_model_error_rates", text)
+
+    assert avg11 < 0.05
+    assert avg11_small < 0.08
+    assert avg2 < 0.08
+    # The fill-idle crossover at 2 Mb/s reproduces the paper's 27.
+    assert model_2mbps.fill_idle_factor() == pytest.approx(27.0, rel=0.05)

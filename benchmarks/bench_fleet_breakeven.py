@@ -1,0 +1,50 @@
+"""Extension bench: the fleet-level break-even factor.
+
+Equation 6's 1.13 assumes an idle medium.  With contenders queueing
+behind each transfer, every removed byte also saves their idle-power
+waiting, so the break-even factor falls with load.  The contention-aware
+rule (FleetAdvisor) is validated against the DES fleet simulation.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core.fleet_advisor import FleetAdvisor
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def compute(model):
+    rows = []
+    for n in (0, 1, 2, 4, 8, 16):
+        advisor = FleetAdvisor(model, contenders=n)
+        rows.append(
+            (
+                n,
+                round(advisor.factor_threshold(mb(4)), 4),
+                advisor.size_threshold_bytes(),
+            )
+        )
+    return rows
+
+
+def test_fleet_breakeven(benchmark, model):
+    rows = benchmark.pedantic(compute, args=(model,), rounds=1, iterations=1)
+    text = ascii_table(
+        ["contenders", "break-even factor (4MB)", "size threshold (bytes)"],
+        rows,
+        title="Contention-adjusted Equation 6 thresholds",
+    )
+    write_artifact(
+        "fleet_breakeven",
+        text,
+        data={"rows": rows},
+    )
+
+    factors = [r[1] for r in rows]
+    sizes = [r[2] for r in rows]
+    assert factors[0] == pytest.approx(1.13, rel=0.02)
+    assert factors == sorted(factors, reverse=True)
+    assert factors[-1] < 1.03
+    assert sizes[0] == pytest.approx(3900, rel=0.05)
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,88 @@
+"""Extension bench: radio idle policies between requests (Section 2).
+
+The paper uses the hardware power-saving mechanism and notes that
+predictive sleep heuristics "highly depend on event predictability".
+This bench quantifies that: four policies over three traffic patterns
+(steady short gaps, long think times, bursty), energy per pattern.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.device.powersave import (
+    AdaptiveTimeoutPolicy,
+    AlwaysOnPolicy,
+    compare_policies,
+    SessionTrace,
+    StaticPowerSavePolicy,
+    TimeoutSleepPolicy,
+)
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def make_traces():
+    rng = random.Random(5)
+    # Back-to-back fetches: gaps far shorter than transfers, so the 25%
+    # resume penalty outweighs the 1 W gap saving.
+    steady = SessionTrace(
+        requests=[(mb(2.0), 4.0, rng.uniform(0.05, 0.15)) for _ in range(12)]
+    )
+    think = SessionTrace(
+        requests=[(mb(0.5), 4.0, rng.uniform(20, 60)) for _ in range(12)]
+    )
+    bursty_reqs = []
+    for _ in range(3):
+        for _ in range(4):
+            bursty_reqs.append((mb(0.5), 4.0, rng.uniform(0.1, 0.4)))
+        bursty_reqs.append((mb(0.5), 4.0, rng.uniform(30, 60)))
+    bursty = SessionTrace(requests=bursty_reqs)
+    return {"steady": steady, "think-time": think, "bursty": bursty}
+
+
+def fresh_policies():
+    return [
+        AlwaysOnPolicy(),
+        StaticPowerSavePolicy(),
+        TimeoutSleepPolicy(timeout_s=1.0),
+        AdaptiveTimeoutPolicy(),
+    ]
+
+
+def compute(model):
+    table = {}
+    for label, trace in make_traces().items():
+        results = compare_policies(trace, policies=fresh_policies(), model=model)
+        table[label] = {r.policy: r.energy_j for r in results}
+    return table
+
+
+def test_powersave_policies(benchmark, model):
+    table = benchmark.pedantic(compute, args=(model,), rounds=1, iterations=1)
+    policies = ["always-on", "power-save", "timeout", "adaptive-timeout"]
+    rows = [
+        (label, *(round(table[label][p], 2) for p in policies))
+        for label in ("steady", "think-time", "bursty")
+    ]
+    text = ascii_table(
+        ["traffic"] + policies,
+        rows,
+        title="Idle-policy energy (J) per traffic pattern",
+    )
+    write_artifact("powersave_policies", text)
+
+    # Steady traffic: staying awake wins (the resume penalty dominates).
+    steady = table["steady"]
+    assert steady["always-on"] <= min(steady["power-save"], steady["timeout"]) * 1.001
+    # Long think times: any sleeping policy crushes always-on.
+    think = table["think-time"]
+    assert think["power-save"] < think["always-on"] * 0.6
+    assert think["timeout"] < think["always-on"] * 0.7
+    # Bursty traffic: the adaptive heuristic beats always-on and is
+    # competitive with the best static choice (within 10%).
+    bursty = table["bursty"]
+    assert bursty["adaptive-timeout"] < bursty["always-on"]
+    best_static = min(bursty["power-save"], bursty["timeout"])
+    assert bursty["adaptive-timeout"] <= best_static * 1.10

@@ -1,0 +1,85 @@
+"""Extension bench: the serving policy across device profiles.
+
+One decision matrix — device profiles (desk / far / low-battery /
+lossless-only) x object classes (web page, binary, JPEG) — showing the
+policy composing rate adaptation, Equation 6, contention pricing and
+quality-floored transcoding into sensible per-client behaviour.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.network.wlan import LINK_2MBPS
+from repro.proxy.policy import DeviceProfile, ServingPolicy
+from repro.workload.manifest import FileType
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+OBJECTS = [
+    ("page.html", mb(1), 4.0, FileType.HTML),
+    ("tool.exe", mb(2), 1.10, FileType.BINARY),
+    ("photo.jpg", mb(1.8), 1.04, FileType.JPEG),
+]
+
+PROFILES = [
+    DeviceProfile(name="desk"),
+    DeviceProfile(name="far", link=LINK_2MBPS),
+    DeviceProfile(name="low-battery", battery_fraction=0.1),
+    DeviceProfile(name="lossless-only", accepts_lossy=False),
+]
+
+
+def compute():
+    policy = ServingPolicy()
+    rows = []
+    matrix = {}
+    for profile in PROFILES:
+        for name, size, factor, ftype in OBJECTS:
+            decision = policy.decide(profile, size, factor, ftype)
+            matrix[(profile.name, name)] = decision
+            rows.append(
+                (
+                    profile.name,
+                    name,
+                    decision.mechanism,
+                    f"q={decision.quality:.2f}" if decision.quality else "-",
+                    f"{decision.saving_fraction:+.1%}",
+                )
+            )
+    return rows, matrix
+
+
+def test_serving_policy_matrix(benchmark):
+    rows, matrix = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = ascii_table(
+        ["profile", "object", "mechanism", "quality", "saving"],
+        rows,
+        title="Serving-policy decision matrix",
+    )
+    write_artifact(
+        "serving_policy",
+        text,
+        data={
+            f"{p}|{o}": {
+                "mechanism": d.mechanism,
+                "saving": d.saving_fraction,
+                "quality": d.quality,
+            }
+            for (p, o), d in matrix.items()
+        },
+    )
+
+    # Web pages compress everywhere.
+    for profile in PROFILES:
+        assert matrix[(profile.name, "page.html")].mechanism == "compress"
+    # The marginal binary ships raw at the desk, compressed on the far link.
+    assert matrix[("desk", "tool.exe")].mechanism == "raw"
+    assert matrix[("far", "tool.exe")].mechanism == "compress"
+    # Photos transcode unless lossy is refused.
+    assert matrix[("desk", "photo.jpg")].mechanism == "transcode"
+    assert matrix[("lossless-only", "photo.jpg")].mechanism == "raw"
+    # The dying battery takes a deeper transcode than the desk profile.
+    assert (
+        matrix[("low-battery", "photo.jpg")].quality
+        <= matrix[("desk", "photo.jpg")].quality
+    )

@@ -1,0 +1,44 @@
+"""Section 4.2 ablation: sleep-during-decompression vs interleaving.
+
+The paper derives that putting the WaveLAN card in power-saving mode
+during (non-interleaved) decompression only beats interleaving when the
+compression factor exceeds 4.6 — 'this explains why the sleep mode does
+not have much impact on energy saving for gzip'.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+
+def compute(model):
+    rows = []
+    s = mb(4)
+    for f in (1.5, 2, 3, 4, 4.6, 5, 6, 10, 20):
+        sc = int(s / f)
+        sleep = model.sequential_energy_j(s, sc, radio_power_save=True)
+        inter = model.interleaved_energy_j(s, sc)
+        rows.append((f, round(sleep, 3), round(inter, 3), "sleep" if sleep < inter else "interleave"))
+    crossover = model.sleep_vs_interleave_crossover_factor(s)
+    return rows, crossover
+
+
+def test_sleep_vs_interleave_crossover(benchmark, model):
+    rows, crossover = benchmark.pedantic(compute, args=(model,), rounds=1, iterations=1)
+    text = ascii_table(
+        ["factor", "sleep-mode J", "interleave J", "winner"],
+        rows,
+        title="Sleep-mode vs interleaving (4 MB file)",
+    )
+    text += f"\n\ncrossover factor: {crossover:.2f} (paper: 4.6)"
+    write_artifact("sleep_crossover", text)
+
+    assert crossover == pytest.approx(4.6, rel=0.12)
+    # Below the crossover interleaving wins, above it sleep wins.
+    for f, sleep, inter, winner in rows:
+        if f < crossover * 0.95:
+            assert winner == "interleave"
+        if f > crossover * 1.05:
+            assert winner == "sleep"

@@ -1,0 +1,53 @@
+"""Table 1: power parameters (mA) per device/radio/power-save state.
+
+Regenerates the table by driving the simulated device into each state
+and reading the current with the simulated multimeter, the way the paper
+measured the real iPAQ with the HP 3458a.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.device.meter import Multimeter
+from repro.device.power import CpuState, IPAQ_POWER_TABLE, RadioState
+from repro.device.timeline import PowerTimeline
+from benchmarks.common import write_artifact
+
+#: (label, cpu, radio, power_save, paper mA or midpoint of paper range)
+ROWS = [
+    ("idle / sleep", CpuState.IDLE, RadioState.SLEEP, None, 90),
+    ("busy / sleep (decomp)", CpuState.BUSY, RadioState.SLEEP, None, 310),
+    ("idle / idle / off", CpuState.IDLE, RadioState.IDLE, False, 310),
+    ("idle / idle / on", CpuState.IDLE, RadioState.IDLE, True, 110),
+    ("busy / idle / off (decomp)", CpuState.BUSY, RadioState.IDLE, False, 570),
+    ("busy / idle / on (decomp)", CpuState.BUSY, RadioState.IDLE, True, 340),
+    ("- / recv / off", CpuState.NETWORK, RadioState.RECV, False, 430),
+    ("- / recv / on", CpuState.NETWORK, RadioState.RECV, True, 400),
+    ("busy / recv / off", CpuState.BUSY, RadioState.RECV, False, 620),
+    ("busy / recv / on", CpuState.BUSY, RadioState.RECV, True, 580),
+]
+
+
+def measure_all():
+    meter = Multimeter(sample_rate_hz=400, trigger_overhead_fraction=0.0)
+    rows = []
+    for label, cpu, radio, ps, paper_ma in ROWS:
+        activity = "decomp" in label and "decompress" or None
+        power = IPAQ_POWER_TABLE.power_w(cpu, radio, ps, activity=activity)
+        timeline = PowerTimeline()
+        timeline.add(1.0, power, label)
+        reading = meter.measure(timeline)
+        rows.append((label, paper_ma, round(reading.avg_ma, 1)))
+    return rows
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(measure_all)
+    text = ascii_table(
+        ["state", "paper mA", "measured mA"],
+        rows,
+        title="Table 1 - power parameters (screen off, 5 V external supply)",
+    )
+    write_artifact("table1_power", text)
+    for label, paper_ma, measured_ma in rows:
+        assert measured_ma == pytest.approx(paper_ma, rel=0.01), label

@@ -1,0 +1,99 @@
+"""Extension bench: the upload-direction trade-off (Section 7 future work).
+
+The paper defers the upload study; this bench quantifies it with the
+mirrored model: per scheme, the break-even compression factor for
+uploads and the energy of uploading representative captures (voice
+recordings, photos) raw vs compressed-on-device.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core.upload import UploadModel
+from repro.workload.manifest import get_spec
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+#: Upload workload: things a handheld captures.
+CAPTURES = [
+    ("startup.wav", "compress"),
+    ("startup.wav", "gzip-fast"),
+    ("startup.wav", "gzip"),
+    ("image01.jpg", "compress"),
+    ("mail2", "compress"),
+]
+
+
+def compute(model):
+    upload = UploadModel(model)
+    threshold_rows = []
+    for codec in ("compress", "gzip-fast", "gzip", "bzip2"):
+        threshold_rows.append(
+            (
+                codec,
+                round(upload.factor_threshold(mb(4), codec=codec), 3),
+                round(
+                    upload.factor_threshold(mb(4), codec=codec, interleaved=False), 3
+                ),
+            )
+        )
+    capture_rows = []
+    for name, codec in CAPTURES:
+        spec = get_spec(name)
+        s = spec.size_bytes
+        sc = int(s / spec.factor("compress" if codec == "compress" else "gzip"))
+        raw_e = upload.upload_energy_j(s)
+        comp_e = upload.interleaved_energy_j(s, sc, codec)
+        capture_rows.append(
+            (
+                name,
+                codec,
+                round(raw_e, 3),
+                round(comp_e, 3),
+                f"{(1 - comp_e / raw_e) * 100:+.1f}%",
+            )
+        )
+    return upload, threshold_rows, capture_rows
+
+
+def test_upload_tradeoff(benchmark, model):
+    upload, thresholds, captures = benchmark.pedantic(
+        compute, args=(model,), rounds=1, iterations=1
+    )
+    text = ascii_table(
+        ["codec", "break-even F (interleaved)", "break-even F (sequential)"],
+        thresholds,
+        title="Upload break-even factors, 4 MB capture",
+    )
+    text += "\n\n" + ascii_table(
+        ["capture", "codec", "raw upload J", "compressed J", "saving"],
+        captures,
+        title="Representative uploads (compress on device, interleaved)",
+    )
+    write_artifact("upload_tradeoff", text)
+
+    by_codec = {row[0]: row for row in thresholds}
+    # Device-side compression costs more than decompression, so every
+    # upload threshold exceeds the download one (1.13).
+    for codec, inter_t, seq_t in thresholds:
+        assert inter_t > 1.13
+        assert seq_t >= inter_t - 1e-9
+    # Fast codecs make upload compression viable; gzip -9 and bzip2 do not.
+    assert by_codec["compress"][1] < 2.6
+    assert by_codec["gzip-fast"][1] < 2.6
+    assert by_codec["gzip"][1] > 4.0
+    assert by_codec["bzip2"][1] > 6.0
+
+    # WAV uploads clearly save with gzip -1 and clearly lose with gzip -9;
+    # LZW sits right at its break-even on this file (factor 2.26 vs
+    # threshold ~2.2), so it is only asserted to be near zero.
+    savings = {
+        (name, codec): float(row[4].rstrip("%"))
+        for (name, codec), row in zip(CAPTURES, captures)
+    }
+    assert savings[("startup.wav", "gzip-fast")] > 15
+    assert savings[("startup.wav", "gzip")] < -30
+    assert abs(savings[("startup.wav", "compress")]) < 8
+    # Media and tiny captures should go raw (negative savings).
+    assert savings[("image01.jpg", "compress")] < 0
+    assert savings[("mail2", "compress")] < 0

@@ -1,0 +1,89 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+writes a text artifact to ``benchmarks/results/`` with the series the
+paper reports, so the whole evaluation can be reviewed offline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.energy_model import EnergyModel
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.workload.manifest import FileSpec, large_files, small_files
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scheme display order in every figure: left gzip, middle compress,
+#: right bzip2 (the paper's bar layout).
+SCHEMES = ("gzip", "compress", "bzip2")
+
+
+def write_artifact(
+    name: str, text: str, data: Optional[dict] = None
+) -> pathlib.Path:
+    """Write the human-readable artifact (and a JSON twin when given).
+
+    The JSON twin carries whatever structured payload the bench passes,
+    so downstream tooling does not have to parse the ASCII tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+        )
+    print(f"\n{text}\n[artifact: {path}]")
+    return path
+
+
+def model_11() -> EnergyModel:
+    return EnergyModel()
+
+
+def sessions(model: EnergyModel):
+    return AnalyticSession(model), DesSession(model)
+
+
+def scheme_session(session, spec: FileSpec, scheme: str, interleave=False):
+    """Precompressed download of a Table 2 entry under one scheme.
+
+    bzip2 runs with radio power-saving during decompression, matching the
+    paper: 'we show the energy results with power-saving enabled for
+    bzip2 but not for the other two schemes' (Section 3.2).
+    """
+    s = spec.size_bytes
+    sc = int(s / spec.factor(scheme))
+    power_save = scheme == "bzip2" and not interleave
+    return session.precompressed(
+        s, sc, codec=scheme, interleave=interleave, radio_power_save=power_save
+    )
+
+
+def figure_ratios(
+    session, specs: Sequence[FileSpec], metric: str, interleave=False
+) -> Dict[str, List[float]]:
+    """Per-scheme time or energy ratios relative to raw download."""
+    out: Dict[str, List[float]] = {scheme: [] for scheme in SCHEMES}
+    for spec in specs:
+        raw = session.raw(spec.size_bytes)
+        for scheme in SCHEMES:
+            result = scheme_session(session, spec, scheme, interleave)
+            ratio = (
+                result.time_ratio(raw) if metric == "time" else result.energy_ratio(raw)
+            )
+            out[scheme].append(ratio)
+    return out
+
+
+def large_specs() -> List[FileSpec]:
+    return large_files()
+
+
+def small_specs() -> List[FileSpec]:
+    return small_files()

@@ -1,0 +1,35 @@
+"""Benchmark fixtures: shared corpus, model and sessions."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.network.wlan import LINK_2MBPS
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.workload.corpus import Corpus
+
+
+@pytest.fixture(scope="session")
+def model():
+    return EnergyModel()
+
+
+@pytest.fixture(scope="session")
+def model_2mbps():
+    return EnergyModel(link=LINK_2MBPS)
+
+
+@pytest.fixture(scope="session")
+def analytic(model):
+    return AnalyticSession(model)
+
+
+@pytest.fixture(scope="session")
+def des(model):
+    return DesSession(model)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """Corpus for codec-running benches; large files at 1/20 scale."""
+    return Corpus(scale=0.05)

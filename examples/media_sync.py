@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: syncing a mixed media folder to the handheld.
+
+Container files (a PDF with embedded images, a tar of HTML) defeat
+whole-file decisions: some blocks compress 6x, others not at all.  This
+example runs the paper's block-by-block adaptive scheme (Figure 10) on a
+regenerated mixed container and shows the per-block decision trail and
+the resulting energy against whole-file zlib and raw.
+
+Run:  python examples/media_sync.py
+"""
+
+from repro import EnergyModel
+from repro.analysis.report import ascii_table
+from repro.compression import get_codec
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.simulator.analytic import AnalyticSession
+from repro.workload import generators
+from repro.workload.manifest import FileType
+
+
+def main() -> None:
+    # A ~2 MB PDF-like container: text regions mixed with encoded images.
+    size = 2 * 1024 * 1024
+    data = generators.mixed_container(
+        FileType.PDF, size, seed=11, target_factor=2.0
+    )
+    model = EnergyModel()
+    session = AnalyticSession(model)
+    adaptive_codec = AdaptiveBlockCodec(model=model)
+
+    result = adaptive_codec.compress(data)
+    assert adaptive_codec.decompress_bytes(result.payload) == data
+
+    rows = [
+        (
+            d.index,
+            d.raw_bytes,
+            f"{d.factor:.2f}",
+            "compressed" if d.sent_compressed else "raw",
+            d.transfer_bytes,
+        )
+        for d in result.decisions
+    ]
+    print(
+        ascii_table(
+            ["block", "raw bytes", "factor", "decision", "sent bytes"],
+            rows,
+            title=f"block-by-block decisions ({result.blocks_compressed} of "
+            f"{len(result.decisions)} blocks compressed)",
+        )
+    )
+
+    raw = session.raw(len(data))
+    whole = get_codec("zlib").compress(data)
+    plain = session.precompressed(len(data), whole.compressed_size, interleave=True)
+    adaptive = session.adaptive(result, codec="zlib")
+
+    print(
+        ascii_table(
+            ["strategy", "transfer bytes", "time (s)", "energy (J)", "vs raw"],
+            [
+                ("raw", len(data), f"{raw.time_s:.2f}", f"{raw.energy_j:.2f}", "1.00"),
+                (
+                    "whole-file zlib",
+                    whole.compressed_size,
+                    f"{plain.time_s:.2f}",
+                    f"{plain.energy_j:.2f}",
+                    f"{plain.energy_ratio(raw):.2f}",
+                ),
+                (
+                    "adaptive blocks",
+                    result.compressed_size,
+                    f"{adaptive.time_s:.2f}",
+                    f"{adaptive.energy_j:.2f}",
+                    f"{adaptive.energy_ratio(raw):.2f}",
+                ),
+            ],
+            title="media-folder sync, interleaved download",
+        )
+    )
+    print(
+        "\nAdaptive skips decompression for the incompressible blocks, so\n"
+        "it beats whole-file compression on mixed containers and never\n"
+        "loses to raw (Figure 11's claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

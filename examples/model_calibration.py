@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Scenario: calibrating the energy model for a new deployment.
+
+A downstream user with different hardware repeats the paper's Section 4.2
+procedure: measure plain downloads of various sizes, measure
+decompression times, fit the linear models, and derive m and cs.  Here
+the "measurements" come from the packet-level DES (standing in for the
+multimeter rig), including the 2 Mb/s operating point, and the script
+verifies the derived thresholds against the paper's.
+
+Run:  python examples/model_calibration.py
+"""
+
+from repro import EnergyModel, units
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.core.calibration import fit_decompression_time, fit_download_energy
+from repro.network.wlan import LINK_2MBPS
+from repro.simulator.des import DesSession
+
+
+def calibrate(model: EnergyModel, label: str) -> None:
+    des = DesSession(model)
+    sizes_mb = [0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8]
+    energy_samples = [
+        (units.mb_to_bytes(s), des.raw(units.mb_to_bytes(s)).energy_j)
+        for s in sizes_mb
+    ]
+    td_samples = []
+    for s in sizes_mb:
+        for f in (1.5, 3, 8):
+            raw = units.mb_to_bytes(s)
+            comp = int(raw / f)
+            td_samples.append(
+                (raw, comp, model.cpu.decompress_time_s("gzip", raw, comp))
+            )
+
+    e_fit = fit_download_energy(
+        energy_samples,
+        idle_fraction=model.params.idle_fraction,
+        rate_mb_per_s=model.params.rate_mb_per_s,
+        idle_power_w=model.params.gap_power_w,
+    )
+    t_fit = fit_decompression_time(td_samples)
+
+    print(
+        ascii_table(
+            ["quantity", "fit"],
+            [
+                ("E slope (J/MB)", f"{e_fit.slope_j_per_mb:.4f}"),
+                ("m (J/MB)", f"{e_fit.m_j_per_mb:.4f}"),
+                ("cs (J)", f"{e_fit.cs_j:.4f}"),
+                ("td per raw MB (s)", f"{t_fit.per_raw_mb_s:.4f}"),
+                ("td per comp MB (s)", f"{t_fit.per_compressed_mb_s:.4f}"),
+                ("td constant (s)", f"{t_fit.constant_s:.4f}"),
+            ],
+            title=f"calibration at {label}",
+        )
+    )
+
+
+def main() -> None:
+    model11 = EnergyModel()
+    calibrate(model11, "11 Mb/s (paper: E = 3.519s + 0.012, m = 2.486)")
+    print()
+    model2 = EnergyModel(link=LINK_2MBPS)
+    calibrate(model2, "2 Mb/s")
+
+    print()
+    print(
+        ascii_table(
+            ["quantity", "paper", "derived"],
+            [
+                ("size threshold (bytes)", 3900, thresholds.size_threshold_bytes(model11)),
+                (
+                    "factor threshold, 8 MB file",
+                    1.13,
+                    round(thresholds.factor_threshold(8 * 2**20, model11), 3),
+                ),
+                (
+                    "sleep-vs-interleave crossover",
+                    4.6,
+                    round(model11.sleep_vs_interleave_crossover_factor(), 2),
+                ),
+                (
+                    "fill-idle factor @ 2 Mb/s",
+                    27,
+                    round(model2.fill_idle_factor(), 1),
+                ),
+            ],
+            title="derived decision thresholds",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Scenario: a proxy serving a handheld browsing session.
+
+The paper's motivating workload (Section 1): a handheld fetches web
+pages, documents, binaries and media through a proxy server.  The proxy
+uses :class:`CompressionAdvisor` to pick raw / whole-file / adaptive
+shipping per object, and the simulator totals the battery cost of the
+session against always-raw and always-compress baselines.
+
+Run:  python examples/proxy_browsing.py
+"""
+
+from repro import CompressionAdvisor, EnergyModel, ProxyServer
+from repro.analysis.report import ascii_table
+from repro.compression import get_codec
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.simulator.analytic import AnalyticSession
+from repro.workload.corpus import Corpus
+
+#: A browsing session: a mix of Table 2 objects.
+SESSION_OBJECTS = [
+    "yahooindex.html",
+    "mail0",
+    "mail2",
+    "M31Csmall.xml",
+    "intro.pdf",
+    "image01.jpg",
+    "JavaCCParser.class",
+    "umcdig.eps",
+]
+
+
+def main() -> None:
+    corpus = Corpus(scale=0.2)
+    model = EnergyModel()
+    advisor = CompressionAdvisor(model=model)
+    session = AnalyticSession(model)
+    proxy = ProxyServer()
+
+    rows = []
+    totals = {"raw": 0.0, "always": 0.0, "advised": 0.0}
+    for name in SESSION_OBJECTS:
+        gf = corpus.generate(name)
+        proxy.put(name, gf.data)
+
+        raw = session.raw(gf.size)
+        whole = get_codec("zlib").compress(gf.data)
+        always = session.precompressed(
+            gf.size, whole.compressed_size, interleave=True
+        )
+
+        rec = advisor.advise(gf.data)
+        if rec.strategy == "raw":
+            advised = raw
+        elif rec.strategy == "compress":
+            advised = session.precompressed(
+                gf.size, rec.transfer_bytes, interleave=True
+            )
+        else:
+            result = AdaptiveBlockCodec(model=model).compress(gf.data)
+            advised = session.adaptive(result, codec="zlib")
+
+        totals["raw"] += raw.energy_j
+        totals["always"] += always.energy_j
+        totals["advised"] += advised.energy_j
+        rows.append(
+            (
+                name,
+                gf.size,
+                f"{whole.factor:.2f}",
+                rec.strategy,
+                f"{raw.energy_j:.3f}",
+                f"{always.energy_j:.3f}",
+                f"{advised.energy_j:.3f}",
+            )
+        )
+
+    print(
+        ascii_table(
+            ["object", "bytes", "factor", "advised", "raw J", "always-zlib J", "advised J"],
+            rows,
+            title="browsing session through the proxy",
+        )
+    )
+    saved_always = 1 - totals["always"] / totals["raw"]
+    saved_advised = 1 - totals["advised"] / totals["raw"]
+    print(
+        f"\nsession energy: raw {totals['raw']:.2f} J | "
+        f"always-compress {totals['always']:.2f} J ({saved_always:+.1%}) | "
+        f"advised {totals['advised']:.2f} J ({saved_advised:+.1%})"
+    )
+    print(
+        "\nThe advisor matches always-compress on compressible objects and\n"
+        "refuses to pay decompression for media/tiny files, so the advised\n"
+        "column never loses to raw (the paper's selective-scheme claim)."
+    )
+    assert totals["advised"] <= totals["raw"] * 1.0001
+    assert totals["advised"] <= totals["always"] * 1.0001
+
+
+if __name__ == "__main__":
+    main()

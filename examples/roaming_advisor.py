@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: the advisor adapts as the user walks away from the AP.
+
+802.11b steps its rate down with distance and obstacles (Section 2's
+knobs).  Raw transfer energy rises steeply at the low rungs, so the
+break-even compression factor collapses — a file not worth compressing
+at the desk becomes clearly worth it two walls away.  The script walks a
+handheld away from the AP and shows the advisor's decision flipping.
+
+Run:  python examples/roaming_advisor.py
+"""
+
+from repro import EnergyModel
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.core.advisor import CompressionAdvisor
+from repro.network import channel
+
+#: A modestly compressible file: a 1.1 MB executable at gzip factor 1.11
+#: (Table 2's ppp.exe) — right on the 11 Mb/s break-even edge.
+FILE_BYTES = 920_316
+FILE_FACTOR = 1.11
+
+
+def main() -> None:
+    rows = []
+    for distance, obstacles in [(5, 0), (25, 0), (25, 2), (60, 0), (100, 0)]:
+        condition = channel.ChannelCondition(distance_m=distance, obstacles=obstacles)
+        rate = channel.select_rate(condition)
+        model = EnergyModel(link=channel.link_for_condition(condition))
+        advisor = CompressionAdvisor(model=model)
+        rec = advisor.advise_metadata(FILE_BYTES, FILE_FACTOR)
+        rows.append(
+            (
+                f"{distance} m, {obstacles} walls",
+                f"{rate:g} Mb/s",
+                round(thresholds.factor_threshold(FILE_BYTES, model), 3),
+                rec.strategy,
+                f"{rec.estimated_saving_fraction:+.1%}",
+            )
+        )
+    print(
+        ascii_table(
+            ["position", "rate", "break-even F", "advice", "saving"],
+            rows,
+            title=(
+                f"advising a {FILE_BYTES:,}-byte binary (factor {FILE_FACTOR}) "
+                "as the device roams"
+            ),
+        )
+    )
+    print(
+        "\nAt the desk the factor 1.11 misses the 1.13 break-even and the\n"
+        "file ships raw; past the first rate step-down the same file is\n"
+        "worth compressing, and at 1-2 Mb/s the saving approaches the\n"
+        "full factor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for legacy editable installs.
+
+The reproduction environment has no network access and no ``wheel``
+package, so PEP 517 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` goes through this file instead.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — reproduction of Xu, Li, Wang & Ni (ICDCS 2003).
+
+"Impact of Data Compression on Energy Consumption of Wireless-Networked
+Handheld Devices": universal lossless codecs, a handheld-device and
+wireless-LAN energy simulator, the paper's energy model, interleaved
+download+decompression, and selective/block-adaptive compression.
+
+Quickstart::
+
+    from repro import EnergyModel, get_codec
+    from repro.simulator import DownloadSession
+
+    model = EnergyModel()                  # iPAQ 3650 + 11 Mb/s WaveLAN
+    session = DownloadSession(model)
+    data = open("page.html", "rb").read()
+    result = get_codec("gzip").compress(data)
+    raw = session.raw(len(data))
+    fast = session.precompressed(len(data), result.compressed_size)
+    print(fast.energy_j / raw.energy_j)    # fraction of baseline energy
+"""
+
+from repro import units
+from repro.errors import (
+    ReproError,
+    CodecError,
+    CorruptStreamError,
+    UnknownCodecError,
+    ModelError,
+    CalibrationError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.compression import (
+    Codec,
+    CodecResult,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.core import (
+    EnergyModel,
+    CompressionAdvisor,
+    AdaptiveBlockCodec,
+    decide_file,
+)
+from repro.device import HandheldDevice
+from repro.network import LinkConfig, LINK_11MBPS, LINK_2MBPS
+from repro.proxy import ProxyServer
+from repro.workload import Corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "ReproError",
+    "CodecError",
+    "CorruptStreamError",
+    "UnknownCodecError",
+    "ModelError",
+    "CalibrationError",
+    "SimulationError",
+    "WorkloadError",
+    "Codec",
+    "CodecResult",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "EnergyModel",
+    "CompressionAdvisor",
+    "AdaptiveBlockCodec",
+    "decide_file",
+    "HandheldDevice",
+    "LinkConfig",
+    "LINK_11MBPS",
+    "LINK_2MBPS",
+    "ProxyServer",
+    "Corpus",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Fitting and reporting utilities for the experiment harnesses."""
+
+from repro.analysis.fitting import (
+    LinearFit,
+    linear_fit,
+    multilinear_fit,
+    relative_errors,
+    average_error,
+    r_squared,
+)
+from repro.analysis.report import ascii_table, bar_chart, format_ratio
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "multilinear_fit",
+    "relative_errors",
+    "average_error",
+    "r_squared",
+    "ascii_table",
+    "bar_chart",
+    "format_ratio",
+]

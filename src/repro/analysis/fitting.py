@@ -1,0 +1,104 @@
+"""Least-squares fits and error metrics (Section 4.2's toolkit).
+
+The error-rate definition follows the paper: for each point,
+``(calculated - measured) / measured``; the "average error rate" is the
+mean of absolute error rates over the data points (Figure 7's caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope*x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares for a single predictor."""
+    if len(xs) != len(ys):
+        raise CalibrationError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise CalibrationError("need at least two points")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    a = np.vstack([x, np.ones_like(x)]).T
+    coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    predicted = slope * x + intercept
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared(y, predicted))
+
+
+def multilinear_fit(
+    rows: Sequence[Sequence[float]], ys: Sequence[float]
+) -> Tuple[List[float], float, float]:
+    """Least squares with multiple predictors plus an intercept.
+
+    Returns ``(coefficients, intercept, r_squared)``.
+    """
+    if len(rows) != len(ys):
+        raise CalibrationError("rows and ys must have equal length")
+    if not rows:
+        raise CalibrationError("need at least one row")
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise CalibrationError("ragged design matrix")
+    if len(rows) < width + 1:
+        raise CalibrationError("need more points than predictors")
+    x = np.asarray(rows, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    a = np.hstack([x, np.ones((len(rows), 1))])
+    coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
+    predicted = a @ coeffs
+    return (
+        [float(c) for c in coeffs[:-1]],
+        float(coeffs[-1]),
+        r_squared(y, predicted),
+    )
+
+
+def r_squared(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination."""
+    y = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    ss_res = float(np.sum((y - p) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def relative_errors(
+    measured: Sequence[float], calculated: Sequence[float]
+) -> List[float]:
+    """Per-point (calculated - measured) / measured, the paper's error rate."""
+    if len(measured) != len(calculated):
+        raise CalibrationError("length mismatch")
+    errors = []
+    for m, c in zip(measured, calculated):
+        if m == 0:
+            raise CalibrationError("measured value of zero has no error rate")
+        errors.append((c - m) / m)
+    return errors
+
+
+def average_error(
+    measured: Sequence[float], calculated: Sequence[float]
+) -> float:
+    """Mean of |error rate| over the data points (paper Figure 7 caption)."""
+    errs = relative_errors(measured, calculated)
+    return sum(abs(e) for e in errs) / len(errs)

@@ -1,0 +1,85 @@
+"""ASCII tables and bar charts for the benchmark harnesses.
+
+The figures in the paper are grouped bar charts of time/energy relative
+to uncompressed download; :func:`bar_chart` renders the same series as
+text so every bench prints a directly comparable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bar chart, one group per label.
+
+    Mirrors the paper's grouped bars (e.g. left gzip / middle compress /
+    right bzip2) as rows of '#' characters scaled to ``max_value``.
+    """
+    values = [v for vs in series.values() for v in vs]
+    if not values:
+        return title or ""
+    scale_max = max_value if max_value is not None else max(values)
+    if scale_max <= 0:
+        scale_max = 1.0
+    name_w = max(len(n) for n in series)
+    out = []
+    if title:
+        out.append(title)
+    for i, label in enumerate(labels):
+        out.append(label)
+        for name, vs in series.items():
+            v = vs[i]
+            n = int(round(min(v, scale_max) / scale_max * width))
+            bar = "#" * n
+            overflow = "+" if v > scale_max else ""
+            out.append(f"  {name.ljust(name_w)} |{bar}{overflow} {v:.3f}{unit}")
+    return "\n".join(out)
+
+
+def format_ratio(value: float) -> str:
+    """Format a relative time/energy ratio the way the figures read."""
+    return f"{value:.2f}x"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def error_rate_summary(errors: Dict[str, float]) -> str:
+    """One-line summary of named error rates."""
+    return ", ".join(f"{name}: {100 * v:.1f}%" for name, v in errors.items())

@@ -1,0 +1,175 @@
+"""The reproduction report card: paper constants vs this build, live.
+
+Recomputes every headline number from the running code (no cached
+artifacts) and renders a pass/fail table.  ``repro report`` prints it;
+CI can assert `all_pass`.  This is the five-minute answer to "does this
+checkout still reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.core.energy_model import EnergyModel
+from repro.network.wlan import LINK_2MBPS
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One paper-vs-build comparison."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    tolerance_rel: float
+    source: str
+
+    @property
+    def passed(self) -> bool:
+        """True when the measured value is within tolerance of the paper's."""
+        if self.paper_value == 0:
+            return abs(self.measured_value) <= self.tolerance_rel
+        return (
+            abs(self.measured_value - self.paper_value)
+            <= abs(self.paper_value) * self.tolerance_rel
+        )
+
+    @property
+    def error_rel(self) -> float:
+        """Signed relative error versus the paper value."""
+        if self.paper_value == 0:
+            return 0.0
+        return (self.measured_value - self.paper_value) / self.paper_value
+
+
+def run_checks(model: Optional[EnergyModel] = None) -> List[CheckResult]:
+    """Recompute the headline constants from the live model."""
+    model = model or EnergyModel()
+    model2 = EnergyModel(link=LINK_2MBPS)
+    mb = units.BYTES_PER_MB
+
+    def eq5_err(s_mb: float, factor: float) -> float:
+        s = s_mb * mb
+        ours = model.closed_form_energy_j(s, factor)
+        paper = model.paper_eq5_energy_j(s, factor)
+        return abs(ours - paper) / paper
+
+    checks = [
+        CheckResult(
+            "download energy slope (J/MB)",
+            3.519,
+            model.download_energy_j(2 * mb) - model.download_energy_j(mb),
+            0.01,
+            "Section 4.2 fit",
+        ),
+        CheckResult(
+            "receive energy m (J/MB)",
+            2.486,
+            model.params.m_j_per_mb,
+            0.01,
+            "Section 4.2",
+        ),
+        CheckResult(
+            "startup cost cs (J)", 0.012, model.params.cs_j, 0.01, "Section 4.2"
+        ),
+        CheckResult(
+            "idle power p_i (W)", 1.55, model.params.idle_power_w, 0.01, "Table 1"
+        ),
+        CheckResult(
+            "decompress power p_d (W)",
+            2.85,
+            model.params.decompress_power_w,
+            0.01,
+            "Table 1",
+        ),
+        CheckResult(
+            "power-save decompress p_d (W)",
+            1.70,
+            model.params.decompress_sleep_power_w,
+            0.01,
+            "Section 4.2",
+        ),
+        CheckResult(
+            "Eq.5 agreement, 4MB F=10",
+            0.0,
+            eq5_err(4, 10),
+            0.01,  # within 1% absolute
+            "Equation 5",
+        ),
+        CheckResult(
+            "Eq.5 agreement, 4MB F=2",
+            0.0,
+            eq5_err(4, 2),
+            0.01,
+            "Equation 5",
+        ),
+        CheckResult(
+            "factor threshold, 8MB file",
+            1.13,
+            thresholds.factor_threshold(8 * mb, model),
+            0.02,
+            "Equation 6",
+        ),
+        CheckResult(
+            "size threshold (bytes)",
+            3900,
+            thresholds.size_threshold_bytes(model),
+            0.05,
+            "Section 4.3",
+        ),
+        CheckResult(
+            "sleep-vs-interleave crossover factor",
+            4.6,
+            model.sleep_vs_interleave_crossover_factor(),
+            0.10,
+            "Section 4.2",
+        ),
+        CheckResult(
+            "fill-idle factor at 2 Mb/s",
+            27.0,
+            model2.fill_idle_factor(),
+            0.05,
+            "Section 4.2",
+        ),
+        CheckResult(
+            "Eq.5 branch point (fill-idle at 11 Mb/s)",
+            3.14,
+            model.fill_idle_factor(),
+            0.05,
+            "Equation 5 condition",
+        ),
+    ]
+    return checks
+
+
+def render_report(checks: Optional[List[CheckResult]] = None) -> str:
+    """The report card as text."""
+    checks = checks if checks is not None else run_checks()
+    rows = [
+        (
+            c.name,
+            c.paper_value,
+            round(c.measured_value, 4),
+            f"{c.error_rel * 100:+.1f}%",
+            "PASS" if c.passed else "FAIL",
+            c.source,
+        )
+        for c in checks
+    ]
+    passed = sum(1 for c in checks if c.passed)
+    table = ascii_table(
+        ["quantity", "paper", "this build", "error", "status", "source"],
+        rows,
+        title="Reproduction report card - Xu, Li, Wang & Ni (ICDCS 2003)",
+    )
+    return f"{table}\n\n{passed}/{len(checks)} checks pass"
+
+
+def all_pass(checks: Optional[List[CheckResult]] = None) -> bool:
+    """True when every check in the card passes."""
+    checks = checks if checks is not None else run_checks()
+    return all(c.passed for c in checks)

@@ -1,0 +1,468 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``compress`` / ``decompress`` — run any registered codec on a file.
+- ``advise`` — should this file be compressed before download?
+- ``simulate`` — evaluate a download/upload session and print the
+  time/energy breakdown.
+- ``thresholds`` — print the Equation 6 decision thresholds.
+- ``corpus`` — regenerate the Table 2 synthetic corpus to a directory.
+- ``table2`` — print the Table 2 manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.report import ascii_table
+from repro.compression import available_codecs, get_codec
+from repro.core import thresholds as thresholds_mod
+from repro.core.advisor import CompressionAdvisor
+from repro.core.energy_model import EnergyModel
+from repro.network.wlan import LINK_11MBPS, LINK_2MBPS
+from repro.simulator.analytic import AnalyticSession
+
+
+def _model_for(link: str) -> EnergyModel:
+    if link == "11":
+        return EnergyModel(link=LINK_11MBPS)
+    if link == "2":
+        return EnergyModel(link=LINK_2MBPS)
+    raise SystemExit(f"unknown link {link!r} (use 11 or 2)")
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    """``repro compress``: compress a file with a chosen codec."""
+    data = pathlib.Path(args.file).read_bytes()
+    codec = get_codec(args.codec)
+    result = codec.compress(data)
+    out = pathlib.Path(args.output or args.file + ".rz")
+    out.write_bytes(result.payload)
+    print(
+        f"{args.file}: {result.raw_size} -> {result.compressed_size} bytes "
+        f"(factor {result.factor:.2f}) with {args.codec} -> {out}"
+    )
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    """``repro decompress``: invert :func:`cmd_compress`."""
+    payload = pathlib.Path(args.file).read_bytes()
+    codec = get_codec(args.codec)
+    data = codec.decompress_bytes(payload)
+    out = pathlib.Path(args.output or args.file + ".out")
+    out.write_bytes(data)
+    print(f"{args.file}: {len(payload)} -> {len(data)} bytes -> {out}")
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """``repro advise``: should this file be compressed before download?"""
+    data = pathlib.Path(args.file).read_bytes()
+    model = _model_for(args.link)
+    advisor = CompressionAdvisor(model=model, codec=get_codec(args.codec))
+    rec = advisor.advise(data)
+    print(
+        ascii_table(
+            ["field", "value"],
+            [
+                ("file", args.file),
+                ("size (bytes)", len(data)),
+                ("strategy", rec.strategy),
+                ("codec", rec.codec_name or "-"),
+                ("transfer (bytes)", rec.transfer_bytes),
+                ("plain download (J)", f"{rec.plain_energy_j:.4f}"),
+                ("estimated (J)", f"{rec.estimated_energy_j:.4f}"),
+                ("saving", f"{rec.estimated_saving_fraction:.1%}"),
+                ("detail", rec.details),
+            ],
+            title="compression advice",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: evaluate one download/upload scenario."""
+    model = _model_for(args.link)
+    session = AnalyticSession(model)
+    raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
+    compressed = int(raw_bytes / args.factor)
+
+    scenarios = {
+        "raw": lambda: session.raw(raw_bytes),
+        "sequential": lambda: session.precompressed(
+            raw_bytes, compressed, codec=args.codec, interleave=False
+        ),
+        "interleaved": lambda: session.precompressed(
+            raw_bytes, compressed, codec=args.codec, interleave=True
+        ),
+        "sleep": lambda: session.precompressed(
+            raw_bytes, compressed, codec=args.codec, interleave=False,
+            radio_power_save=True,
+        ),
+        "ondemand": lambda: session.ondemand(
+            raw_bytes, compressed, codec=args.codec, overlap=True
+        ),
+        "upload-raw": lambda: session.upload_raw(raw_bytes),
+        "upload": lambda: session.upload_compressed(
+            raw_bytes, compressed, codec=args.codec, interleave=True
+        ),
+    }
+    if args.scenario not in scenarios:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r} (choose from {sorted(scenarios)})"
+        )
+    result = scenarios[args.scenario]()
+    baseline = (
+        session.upload_raw(raw_bytes)
+        if args.scenario.startswith("upload")
+        else session.raw(raw_bytes)
+    )
+    rows = [
+        ("scenario", result.scenario.value),
+        ("raw size", f"{args.size_mb} MB"),
+        ("factor", args.factor),
+        ("codec", args.codec),
+        ("time (s)", f"{result.time_s:.3f}"),
+        ("energy (J)", f"{result.energy_j:.3f}"),
+        ("vs raw time", f"{result.time_ratio(baseline):.3f}"),
+        ("vs raw energy", f"{result.energy_ratio(baseline):.3f}"),
+    ]
+    for tag, joules in sorted(result.energy_breakdown().items()):
+        rows.append((f"  energy[{tag}]", f"{joules:.3f}"))
+    print(ascii_table(["field", "value"], rows, title="simulated session"))
+    return 0
+
+
+def cmd_thresholds(args: argparse.Namespace) -> int:
+    """``repro thresholds``: print the Equation 6 break-even factors."""
+    model = _model_for(args.link)
+    rows = []
+    for s_mb in (0.01, 0.05, 0.128, 0.5, 1, 4, 8):
+        raw_bytes = int(s_mb * units.BYTES_PER_MB)
+        rows.append(
+            (
+                f"{s_mb} MB",
+                round(thresholds_mod.factor_threshold(raw_bytes, model), 3),
+            )
+        )
+    print(
+        ascii_table(
+            ["file size", "break-even compression factor"],
+            rows,
+            title=f"Equation 6 thresholds at {args.link} Mb/s "
+            f"(size floor: {thresholds_mod.size_threshold_bytes(model)} bytes)",
+        )
+    )
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """``repro corpus``: regenerate the Table 2 corpus to a directory."""
+    from repro.workload.corpus import Corpus
+
+    corpus = Corpus(scale=args.scale)
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for gf in corpus.files():
+        path = out_dir / gf.name
+        path.write_bytes(gf.data)
+        rows.append(
+            (gf.name, gf.size, gf.target_factor, round(gf.measured_factor(), 2))
+        )
+    print(
+        ascii_table(
+            ["file", "bytes", "target factor", "achieved"],
+            rows,
+            title=f"Table 2 corpus at scale {args.scale} -> {out_dir}",
+        )
+    )
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: clients sharing one AP, per-strategy totals."""
+    from repro.simulator.multiclient import MultiClientSimulation, Request
+
+    model = _model_for(args.link)
+    simulation = MultiClientSimulation(model)
+    requests = [
+        Request(
+            client=f"c{i}",
+            name=f"f{i}",
+            raw_bytes=int(args.size_mb * units.BYTES_PER_MB),
+            factor=args.factor,
+            arrival_s=0.0,
+        )
+        for i in range(args.clients)
+    ]
+    reports = simulation.compare_strategies(requests)
+    rows = []
+    for strategy in ("raw", "compressed", "advised"):
+        r = reports[strategy]
+        rows.append(
+            (
+                strategy,
+                f"{r.total_energy_j:.2f}",
+                f"{r.mean_wait_s:.2f}",
+                f"{r.mean_latency_s:.2f}",
+                f"{r.makespan_s:.2f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["strategy", "fleet J", "mean wait s", "mean latency s", "makespan s"],
+            rows,
+            title=f"{args.clients} clients x {args.size_mb} MB (factor {args.factor})",
+        )
+    )
+    return 0
+
+
+def cmd_battery(args: argparse.Namespace) -> int:
+    """``repro battery``: downloads per charge for one transfer shape."""
+    from repro.device.batterylife import Battery
+
+    model = _model_for(args.link)
+    session = AnalyticSession(model)
+    raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
+    compressed = int(raw_bytes / args.factor)
+    battery = Battery(capacity_mah=args.capacity_mah)
+    raw = session.raw(raw_bytes)
+    comp = session.precompressed(raw_bytes, compressed, interleave=True)
+    rows = [
+        ("battery", f"{args.capacity_mah:.0f} mAh ({battery.usable_joules:.0f} J usable)"),
+        ("raw download", f"{raw.energy_j:.2f} J -> "
+         f"{battery.sessions_per_charge(raw.energy_j):.0f} per charge"),
+        ("compressed (interleaved)", f"{comp.energy_j:.2f} J -> "
+         f"{battery.sessions_per_charge(comp.energy_j):.0f} per charge"),
+        ("idle lifetime", f"{battery.lifetime_hours_at(model.device.idle_power_w):.1f} h"),
+        (
+            "power-save idle lifetime",
+            f"{battery.lifetime_hours_at(model.device.idle_power_save_w):.1f} h",
+        ),
+    ]
+    print(ascii_table(["quantity", "value"], rows, title="battery runtime"))
+    return 0
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    """``repro lifetime``: hours of browsing per charge, by configuration."""
+    from repro.device.batterylife import Battery
+    from repro.device.powersave import (
+        AlwaysOnPolicy,
+        StaticPowerSavePolicy,
+        TimeoutSleepPolicy,
+    )
+    from repro.simulator.lifetime import LifetimeSimulation
+    from repro.workload.traces import ZipfTraceGenerator
+
+    model = _model_for(args.link)
+    trace = ZipfTraceGenerator(
+        zipf_alpha=0.9, mean_gap_s=args.mean_gap_s, seed=args.seed
+    ).generate(40)
+    sim = LifetimeSimulation(model, battery=Battery(capacity_mah=args.capacity_mah))
+    rows = []
+    for label, strategy, policy in (
+        ("raw + always-on", "raw", AlwaysOnPolicy()),
+        ("advised + always-on", "advised", AlwaysOnPolicy()),
+        ("advised + timeout sleep", "advised", TimeoutSleepPolicy(1.0)),
+        ("advised + power-save", "advised", StaticPowerSavePolicy()),
+    ):
+        report = sim.run(trace, strategy=strategy, idle_policy=policy)
+        rows.append((label, f"{report.hours:.2f}", report.requests_served))
+    print(
+        ascii_table(
+            ["configuration", "hours / charge", "objects fetched"],
+            rows,
+            title=(
+                f"battery life, {args.capacity_mah:.0f} mAh, "
+                f"mean gap {args.mean_gap_s:g}s"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """``repro experiments``: list every table/figure bench."""
+    from repro.experiments import all_experiments, bench_command
+
+    rows = [
+        (
+            e.id,
+            e.paper_ref,
+            e.title,
+            bench_command(e.id) if args.commands else e.bench,
+        )
+        for e in all_experiments(include_extensions=not args.paper_only)
+    ]
+    print(
+        ascii_table(
+            ["id", "source", "experiment", "command" if args.commands else "bench"],
+            rows,
+            title="Experiment index (artifacts land in benchmarks/results/)",
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: the live reproduction report card (exit 1 on FAIL)."""
+    from repro.analysis.report_card import all_pass, render_report, run_checks
+
+    checks = run_checks(_model_for(args.link))
+    print(render_report(checks))
+    return 0 if all_pass(checks) else 1
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """``repro table2``: print the Table 2 manifest."""
+    from repro.workload.manifest import TABLE2_FILES
+
+    rows = [
+        (
+            spec.name,
+            spec.size_bytes,
+            spec.file_type.value,
+            spec.gzip_factor,
+            spec.compress_factor,
+            spec.bzip2_factor,
+            "~" if spec.approx else "",
+        )
+        for spec in TABLE2_FILES
+    ]
+    print(
+        ascii_table(
+            ["file", "bytes", "type", "gzip", "compress", "bzip2", "ocr?"],
+            rows,
+            title="Table 2 manifest ('~' = reconstructed around OCR damage)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compression-vs-energy toolkit (Xu et al., ICDCS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_link(p):
+        p.add_argument("--link", default="11", help="link rate: 11 or 2 (Mb/s)")
+
+    def add_codec(p, default="zlib"):
+        p.add_argument(
+            "-c", "--codec", default=default,
+            help=f"codec name; one of {', '.join(available_codecs())}",
+        )
+
+    p = sub.add_parser("compress", help="compress a file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    add_codec(p)
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    add_codec(p)
+    p.set_defaults(func=cmd_decompress)
+
+    p = sub.add_parser("advise", help="should this file be compressed?")
+    p.add_argument("file")
+    add_codec(p)
+    add_link(p)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("simulate", help="evaluate a download/upload session")
+    p.add_argument("--size-mb", type=float, required=True)
+    p.add_argument("--factor", type=float, default=3.0)
+    p.add_argument(
+        "--scenario",
+        default="interleaved",
+        help="raw | sequential | interleaved | sleep | ondemand | "
+        "upload-raw | upload",
+    )
+    add_codec(p, default="gzip")
+    add_link(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("thresholds", help="print Equation 6 thresholds")
+    add_link(p)
+    p.set_defaults(func=cmd_thresholds)
+
+    p = sub.add_parser("corpus", help="regenerate the Table 2 corpus")
+    p.add_argument("-o", "--output", default="corpus-out")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("table2", help="print the Table 2 manifest")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fleet", help="simulate clients sharing one AP")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--size-mb", type=float, default=2.0)
+    p.add_argument("--factor", type=float, default=3.8)
+    add_link(p)
+    p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("battery", help="downloads per charge")
+    p.add_argument("--size-mb", type=float, default=2.0)
+    p.add_argument("--factor", type=float, default=3.8)
+    p.add_argument("--capacity-mah", type=float, default=950.0)
+    add_link(p)
+    p.set_defaults(func=cmd_battery)
+
+    p = sub.add_parser("experiments", help="list every table/figure bench")
+    p.add_argument("--paper-only", action="store_true")
+    p.add_argument("--commands", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "report", help="recompute the paper's headline constants, pass/fail"
+    )
+    add_link(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "lifetime", help="hours of browsing per charge, by configuration"
+    )
+    p.add_argument("--mean-gap-s", type=float, default=10.0)
+    p.add_argument("--capacity-mah", type=float, default=950.0)
+    p.add_argument("--seed", type=int, default=31)
+    add_link(p)
+    p.set_defaults(func=cmd_lifetime)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

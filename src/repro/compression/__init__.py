@@ -1,0 +1,51 @@
+"""Universal lossless compression codecs implemented from scratch.
+
+Three scheme families from the paper:
+
+- :mod:`repro.compression.deflate` — LZ77 + canonical Huffman ("gzip").
+- :mod:`repro.compression.lzw` — LZW with a growing 9..16-bit dictionary
+  and ratio-triggered reset ("compress").
+- :mod:`repro.compression.bwt_codec` — Burrows-Wheeler transform + MTF +
+  RLE + Huffman ("bzip2").
+
+Plus CPython-builtin-backed engines (:mod:`repro.compression.engines`) used
+for corpus-scale benchmark runs where pure-Python throughput would dominate
+wall-clock time without changing any modelled quantity.
+"""
+
+from repro.compression.base import (
+    Codec,
+    CodecResult,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.compression.deflate import DeflateCodec
+from repro.compression.lzw import LZWCodec
+from repro.compression.bwt_codec import BWTCodec
+from repro.compression.engines import ZlibEngine, Bz2Engine, NativeLZWEngine
+from repro.compression.filters import (
+    ByteDeltaFilter,
+    FilterCodec,
+    StrideDeltaFilter,
+)
+from repro.compression.streaming import StreamCompressor, StreamDecompressor
+
+__all__ = [
+    "Codec",
+    "CodecResult",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "DeflateCodec",
+    "LZWCodec",
+    "BWTCodec",
+    "ZlibEngine",
+    "Bz2Engine",
+    "NativeLZWEngine",
+    "ByteDeltaFilter",
+    "StrideDeltaFilter",
+    "FilterCodec",
+    "StreamCompressor",
+    "StreamDecompressor",
+]

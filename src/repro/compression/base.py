@@ -1,0 +1,106 @@
+"""Codec interface, result record and registry.
+
+Every compression scheme in the package implements :class:`Codec`.  A
+module-level registry maps the paper's scheme names ("gzip", "compress",
+"bzip2") and engine names ("zlib", "bz2", "lzw-native") to constructors so
+that experiment harnesses can select codecs by string.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro import units
+from repro.errors import UnknownCodecError
+
+
+@dataclass(frozen=True)
+class CodecResult:
+    """Outcome of one compression call.
+
+    Attributes:
+        payload: the compressed byte stream.
+        raw_size: input length in bytes.
+        compressed_size: output length in bytes.
+    """
+
+    payload: bytes
+    raw_size: int
+    compressed_size: int
+
+    @property
+    def factor(self) -> float:
+        """Compression factor (input size over output size, Section 3)."""
+        return units.compression_factor(self.raw_size, self.compressed_size)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (reciprocal of the factor)."""
+        return units.compression_ratio(self.raw_size, self.compressed_size)
+
+
+class Codec(ABC):
+    """Abstract lossless codec.
+
+    Subclasses must be *universal*: no prior assumption on input statistics,
+    and ``decompress(compress(x).payload) == x`` for every byte string.
+    """
+
+    #: Registry key and display name, e.g. ``"gzip"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress_bytes(self, data: bytes) -> bytes:
+        """Return the compressed representation of ``data``."""
+
+    @abstractmethod
+    def decompress_bytes(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress_bytes`."""
+
+    def compress(self, data: bytes) -> CodecResult:
+        """Compress ``data`` and return sizes alongside the payload."""
+        payload = self.compress_bytes(data)
+        return CodecResult(
+            payload=payload, raw_size=len(data), compressed_size=len(payload)
+        )
+
+    def decompress(self, result_or_payload) -> bytes:
+        """Decompress either a :class:`CodecResult` or a raw payload."""
+        if isinstance(result_or_payload, CodecResult):
+            return self.decompress_bytes(result_or_payload.payload)
+        return self.decompress_bytes(result_or_payload)
+
+    def factor(self, data: bytes) -> float:
+        """Convenience: compression factor achieved on ``data``."""
+        return self.compress(data).factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: Dict[str, Callable[[], Codec]] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    """Register a codec constructor under ``name`` (lowercase)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate the codec registered under ``name``.
+
+    Raises :class:`~repro.errors.UnknownCodecError` for unknown names.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownCodecError(f"unknown codec {name!r}; known: {known}") from None
+    return factory()
+
+
+def available_codecs() -> List[str]:
+    """Sorted list of registered codec names."""
+    return sorted(_REGISTRY)

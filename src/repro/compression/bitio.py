@@ -1,0 +1,196 @@
+"""Bit-level readers and writers.
+
+Two bit orders are provided because the three codec families disagree:
+
+- DEFLATE-style streams pack bits least-significant-bit first within each
+  byte (:class:`LSBBitWriter` / :class:`LSBBitReader`).
+- LZW (``compress``) and bzip2-style streams pack most-significant-bit
+  first (:class:`MSBBitWriter` / :class:`MSBBitReader`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+class LSBBitWriter:
+    """Accumulates bits LSB-first and renders them to bytes."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, LSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc |= value << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        self.write_bits(bit & 1, 1)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._nbits:
+            self._out.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far, including the unflushed tail."""
+        return len(self._out) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Render the stream to bytes (zero-padding the last byte)."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+
+class LSBBitReader:
+    """Reads bits LSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits; raises :class:`CorruptStreamError` at EOF."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        while self._nbits < nbits:
+            if self._pos >= len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << nbits) - 1)
+        self._acc >>= nbits
+        self._nbits -= nbits
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        drop = self._nbits % 8
+        if drop:
+            self._acc >>= drop
+            self._nbits -= drop
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits still readable from the stream."""
+        return (len(self._data) - self._pos) * 8 + self._nbits
+
+
+class MSBBitWriter:
+    """Accumulates bits MSB-first and renders them to bytes."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, MSB first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        self.write_bits(bit & 1, 1)
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        if self._nbits:
+            self._out.append((self._acc << (8 - self._nbits)) & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far, including the unflushed tail."""
+        return len(self._out) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Render the stream to bytes (zero-padding the last byte)."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+
+class MSBBitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits; raises CorruptStreamError at EOF."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        while self._nbits < nbits:
+            if self._pos >= len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._acc = (self._acc << 8) | self._data[self._pos]
+            self._pos += 1
+            self._nbits += 8
+        shift = self._nbits - nbits
+        value = (self._acc >> shift) & ((1 << nbits) - 1)
+        self._acc &= (1 << shift) - 1
+        self._nbits = shift
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read_bits(1)
+
+    def peek_bits(self, nbits: int) -> int:
+        """Look at the next ``nbits`` without consuming them.
+
+        Requires ``bits_remaining >= nbits`` (the fast Huffman decoder
+        checks before peeking).
+        """
+        while self._nbits < nbits:
+            if self._pos >= len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._acc = (self._acc << 8) | self._data[self._pos]
+            self._pos += 1
+            self._nbits += 8
+        return (self._acc >> (self._nbits - nbits)) & ((1 << nbits) - 1)
+
+    def skip_bits(self, nbits: int) -> None:
+        """Consume ``nbits`` previously peeked bits."""
+        if nbits > self._nbits:
+            raise CorruptStreamError("skip past buffered bits")
+        self._nbits -= nbits
+        self._acc &= (1 << self._nbits) - 1
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits still readable from the stream."""
+        return (len(self._data) - self._pos) * 8 + self._nbits

@@ -1,0 +1,117 @@
+"""Burrows-Wheeler transform.
+
+The forward transform appends a unique sentinel (symbol 256) so that
+sorting cyclic rotations coincides with sorting suffixes, builds a suffix
+array by prefix doubling (O(n log^2 n) with Python's sort), and outputs the
+last column over the 257-symbol alphabet.  The inverse walks the LF
+mapping.  As the paper notes (Section 3), the transform "groups characters
+together so that the probability of finding a character close to another
+instance of the same character is increased".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CorruptStreamError
+
+#: Sentinel symbol appended before the transform; smaller than every byte
+#: value by construction of the comparison (it is assigned rank -1).
+SENTINEL = 256
+
+
+def build_suffix_array(symbols: Sequence[int]) -> List[int]:
+    """Suffix array by prefix doubling.
+
+    ``symbols`` may contain any comparable non-negative integers.
+    """
+    n = len(symbols)
+    if n == 0:
+        return []
+    sa = list(range(n))
+    rank = list(symbols)
+    k = 1
+    while True:
+        def sort_key(i: int, k: int = k, rank: List[int] = rank) -> tuple:
+            second = rank[i + k] if i + k < n else -1
+            return (rank[i], second)
+
+        sa.sort(key=sort_key)
+        new_rank = [0] * n
+        prev_key = sort_key(sa[0])
+        for idx in range(1, n):
+            cur_key = sort_key(sa[idx])
+            new_rank[sa[idx]] = new_rank[sa[idx - 1]] + (cur_key != prev_key)
+            prev_key = cur_key
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            return sa
+        k <<= 1
+
+
+def forward(data: bytes) -> List[int]:
+    """BWT of ``data``; returns a list of symbols in 0..256.
+
+    The sentinel travels inside the output (it appears exactly once), so no
+    primary index needs to be stored.
+    """
+    symbols = list(data) + [-1]  # sentinel sorts below every byte
+    sa = build_suffix_array(symbols)
+    n = len(symbols)
+    out = []
+    for pos in sa:
+        sym = symbols[pos - 1]  # pos 0 wraps to the sentinel at n-1
+        out.append(SENTINEL if sym == -1 else sym)
+    return out
+
+
+def inverse(last_column: Sequence[int]) -> bytes:
+    """Invert :func:`forward`.
+
+    Raises :class:`~repro.errors.CorruptStreamError` if the column does not
+    contain exactly one sentinel or the LF walk does not close.
+    """
+    n = len(last_column)
+    if n == 0:
+        return b""
+    counts = [0] * (SENTINEL + 1)
+    for sym in last_column:
+        if not 0 <= sym <= SENTINEL:
+            raise CorruptStreamError(f"symbol {sym} outside BWT alphabet")
+        counts[sym] += 1
+    if counts[SENTINEL] != 1:
+        raise CorruptStreamError("BWT column must contain exactly one sentinel")
+
+    # The forward transform sorts the sentinel below every byte (rank -1),
+    # so the first column starts with the sentinel, then bytes 0..255.
+    starts = [0] * (SENTINEL + 1)
+    starts[SENTINEL] = 0
+    total = counts[SENTINEL]
+    for sym in range(SENTINEL):
+        starts[sym] = total
+        total += counts[sym]
+
+    lf = [0] * n
+    seen = [0] * (SENTINEL + 1)
+    primary = -1
+    for i, sym in enumerate(last_column):
+        lf[i] = starts[sym] + seen[sym]
+        seen[sym] += 1
+        if sym == SENTINEL:
+            primary = i
+
+    # Walk the LF mapping from the original rotation, collecting the text
+    # backwards (sentinel first).
+    out = bytearray(n - 1)
+    row = primary
+    sym = last_column[row]  # the sentinel
+    row = lf[row]
+    for k in range(n - 2, -1, -1):
+        sym = last_column[row]
+        if sym == SENTINEL:
+            raise CorruptStreamError("sentinel encountered twice during LF walk")
+        out[k] = sym
+        row = lf[row]
+    if row != primary:
+        raise CorruptStreamError("LF walk did not return to the primary row")
+    return bytes(out)

@@ -1,0 +1,257 @@
+"""DEFLATE-like container: LZ77 tokens entropy-coded with canonical Huffman.
+
+This is the package's "gzip" scheme.  It follows DEFLATE's structure —
+a merged literal/length alphabet with extra bits, a separate distance
+alphabet, blockwise dynamic Huffman tables, and stored-block fallback for
+incompressible data — without being bit-compatible with RFC 1951 (the
+container is byte-aligned per block and carries explicit table lengths,
+which keeps the decoder simple and auditable).
+
+Stream layout::
+
+    magic "RZ1"  |  varint raw_size  |  block*
+
+    block := varint block_raw_len | u8 type | body
+    type 0 (stored):  raw bytes (block_raw_len of them)
+    type 1 (coded):   varint body_len | flat tables + symbols
+    type 2 (coded):   varint body_len | run-length tables + symbols
+
+Within a coded body (MSB-first bits): the literal/length and distance
+code-length tables, then Huffman-coded symbols terminated by the
+end-of-block symbol 256.  Type 1 stores the 316 lengths flat at 4 bits
+each; type 2 run-length-codes them the way RFC 1951 does (symbol 16:
+repeat previous 3-6 times, 17: zero-run 3-10, 18: zero-run 11-138),
+which cuts the per-block table cost from ~158 bytes to ~25 on typical
+data — the difference between a usable and an unusable factor on
+small files.  The encoder emits whichever body is smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.compression import lz77
+from repro.compression.base import Codec, register_codec
+from repro.compression.bitio import MSBBitReader, MSBBitWriter
+from repro.compression import huffman as huffman_mod
+from repro.compression.huffman import HuffmanTable
+from repro.compression.varint import read_varint, write_varint
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"RZ1"
+_EOB = 256
+_NUM_LITLEN = 286
+_NUM_DIST = 30
+#: Tables are serialized as 4-bit lengths, so codes are capped at 14 bits.
+_TABLE_MAX_LEN = 14
+
+#: Default block size in raw bytes; mirrors the paper's 0.128 MB buffer.
+DEFAULT_BLOCK_SIZE = 128 * 1024
+
+
+def _build_length_table() -> Tuple[List[Tuple[int, int]], List[int]]:
+    """(base, extra_bits) per length code 257..285 and a length->code map."""
+    spec = []
+    base = 3
+    for group, extra in enumerate([0] * 8 + [1] * 4 + [2] * 4 + [3] * 4 + [4] * 4 + [5] * 4):
+        spec.append((base, extra))
+        base += 1 << extra
+    # Code 285 encodes length 258 exactly with 0 extra bits.
+    spec = spec[:28]
+    spec.append((258, 0))
+    length_to_code = [0] * (lz77.MAX_MATCH + 1)
+    for idx, (b, extra) in enumerate(spec):
+        hi = b + (1 << extra) - 1 if idx < 28 else 258
+        for ln in range(b, min(hi, 258) + 1):
+            length_to_code[ln] = 257 + idx
+    return spec, length_to_code
+
+
+def _build_distance_table() -> Tuple[List[Tuple[int, int]], List[int]]:
+    """(base, extra_bits) per distance code 0..29 and log-range lookup."""
+    spec = []
+    base = 1
+    extras = [0, 0, 0, 0] + [e for e in range(1, 14) for _ in (0, 1)]
+    for extra in extras[:_NUM_DIST]:
+        spec.append((base, extra))
+        base += 1 << extra
+    return spec, []
+
+
+_LEN_SPEC, _LENGTH_TO_CODE = _build_length_table()
+_DIST_SPEC, _ = _build_distance_table()
+
+
+def _distance_code(distance: int) -> int:
+    """Map a distance 1..32768 to its distance code."""
+    lo, hi = 0, _NUM_DIST - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if _DIST_SPEC[mid][0] <= distance:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+# The table run-length coder is shared with the bzip2-style container.
+_encode_lengths_rle = huffman_mod.encode_lengths_rle
+_decode_lengths_rle = huffman_mod.decode_lengths_rle
+
+
+class DeflateCodec(Codec):
+    """LZ77 + canonical-Huffman codec (the paper's "gzip" scheme)."""
+
+    name = "gzip"
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        config: lz77.MatcherConfig = lz77.LEVEL_9,
+        table_encoding: str = "rle",
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if table_encoding not in ("rle", "flat"):
+            raise ValueError("table_encoding must be 'rle' or 'flat'")
+        self.block_size = block_size
+        self.config = config
+        self.table_encoding = table_encoding
+
+    # -- encoding ---------------------------------------------------------
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        out = bytearray(_MAGIC)
+        out += write_varint(len(data))
+        for start in range(0, len(data), self.block_size):
+            block = data[start : start + self.block_size]
+            out += self._encode_block(block)
+        return bytes(out)
+
+    def _encode_block(self, block: bytes) -> bytes:
+        tokens = lz77.tokenize(block, self.config)
+        coded = self._encode_tokens(tokens)
+        header = write_varint(len(block))
+        if coded is None or len(coded) >= len(block):
+            return bytes(header) + b"\x00" + block
+        btype = b"\x02" if self.table_encoding == "rle" else b"\x01"
+        return bytes(header) + btype + write_varint(len(coded)) + coded
+
+    def _encode_tokens(self, tokens: Iterable[lz77.Token]) -> bytes:
+        litlen_freq = [0] * _NUM_LITLEN
+        dist_freq = [0] * _NUM_DIST
+        litlen_freq[_EOB] = 1
+        toks = list(tokens)
+        for tok in toks:
+            if isinstance(tok, lz77.Literal):
+                litlen_freq[tok.byte] += 1
+            else:
+                litlen_freq[_LENGTH_TO_CODE[tok.length]] += 1
+                dist_freq[_distance_code(tok.distance)] += 1
+
+        litlen = HuffmanTable.from_frequencies(litlen_freq, _TABLE_MAX_LEN)
+        dist = HuffmanTable.from_frequencies(dist_freq, _TABLE_MAX_LEN)
+
+        w = MSBBitWriter()
+        if self.table_encoding == "rle":
+            _encode_lengths_rle(w, litlen.lengths)
+            _encode_lengths_rle(w, dist.lengths)
+        else:
+            for l in litlen.lengths:
+                w.write_bits(l, 4)
+            for l in dist.lengths:
+                w.write_bits(l, 4)
+        for tok in toks:
+            if isinstance(tok, lz77.Literal):
+                litlen.encode_symbol(w, tok.byte)
+            else:
+                code = _LENGTH_TO_CODE[tok.length]
+                litlen.encode_symbol(w, code)
+                base, extra = _LEN_SPEC[code - 257]
+                if extra:
+                    w.write_bits(tok.length - base, extra)
+                dcode = _distance_code(tok.distance)
+                dist.encode_symbol(w, dcode)
+                dbase, dextra = _DIST_SPEC[dcode]
+                if dextra:
+                    w.write_bits(tok.distance - dbase, dextra)
+        litlen.encode_symbol(w, _EOB)
+        return w.getvalue()
+
+    # -- decoding ---------------------------------------------------------
+
+    def decompress_bytes(self, payload: bytes) -> bytes:
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("bad magic; not a gzip-scheme stream")
+        pos = len(_MAGIC)
+        raw_size, pos = read_varint(payload, pos)
+        out = bytearray()
+        while len(out) < raw_size:
+            block_len, pos = read_varint(payload, pos)
+            if pos >= len(payload):
+                raise CorruptStreamError("truncated block header")
+            btype = payload[pos]
+            pos += 1
+            if btype == 0:
+                block = payload[pos : pos + block_len]
+                if len(block) != block_len:
+                    raise CorruptStreamError("truncated stored block")
+                out += block
+                pos += block_len
+            elif btype in (1, 2):
+                body_len, pos = read_varint(payload, pos)
+                body = payload[pos : pos + body_len]
+                if len(body) != body_len:
+                    raise CorruptStreamError("truncated coded block")
+                out += self._decode_tokens(body, block_len, rle_tables=(btype == 2))
+                pos += body_len
+            else:
+                raise CorruptStreamError(f"unknown block type {btype}")
+        if len(out) != raw_size:
+            raise CorruptStreamError("decoded size mismatch")
+        return bytes(out)
+
+    def _decode_tokens(
+        self, body: bytes, expect_len: int, rle_tables: bool = False
+    ) -> bytes:
+        r = MSBBitReader(body)
+        if rle_tables:
+            litlen = HuffmanTable.from_lengths(_decode_lengths_rle(r, _NUM_LITLEN))
+            dist = HuffmanTable.from_lengths(_decode_lengths_rle(r, _NUM_DIST))
+        else:
+            litlen = HuffmanTable.from_lengths(
+                [r.read_bits(4) for _ in range(_NUM_LITLEN)]
+            )
+            dist = HuffmanTable.from_lengths(
+                [r.read_bits(4) for _ in range(_NUM_DIST)]
+            )
+        out = bytearray()
+        while True:
+            sym = litlen.decode_symbol(r)
+            if sym == _EOB:
+                break
+            if sym < 256:
+                out.append(sym)
+                continue
+            base, extra = _LEN_SPEC[sym - 257]
+            length = base + (r.read_bits(extra) if extra else 0)
+            dcode = dist.decode_symbol(r)
+            dbase, dextra = _DIST_SPEC[dcode]
+            distance = dbase + (r.read_bits(dextra) if dextra else 0)
+            if distance > len(out):
+                raise CorruptStreamError("back-reference before stream start")
+            start = len(out) - distance
+            for k in range(length):
+                out.append(out[start + k])
+        if len(out) != expect_len:
+            raise CorruptStreamError(
+                f"block decoded to {len(out)} bytes, expected {expect_len}"
+            )
+        return bytes(out)
+
+
+register_codec("gzip", DeflateCodec)
+register_codec("deflate", DeflateCodec)
+#: Fast configuration (gzip -1): short hash chains, minimal lazy search.
+#: Pairs with the device cost family "gzip-fast" used on the upload path.
+register_codec("gzip-1", lambda: DeflateCodec(config=lz77.LEVEL_1))

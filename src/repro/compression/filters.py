@@ -1,0 +1,145 @@
+"""Type-specialized pre-filters (the paper's Section 7 future work).
+
+"Further studies are required for specialized compression schemes for
+video, music data" — the classic first step is a reversible predictive
+filter in front of a universal coder.  PCM audio is a near-random walk:
+byte values are high-entropy but *differences* between consecutive
+samples are small, so a delta filter concentrates the distribution and
+lets gzip's Huffman stage bite.
+
+Filters are exactly invertible byte->byte transforms, composed with any
+registered codec by :class:`FilterCodec`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.compression.base import Codec, get_codec, register_codec
+from repro.errors import CorruptStreamError
+
+
+class Filter(ABC):
+    """A reversible transform applied before compression."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def forward(self, data: bytes) -> bytes:
+        """Transform raw data into its filtered representation."""
+
+    @abstractmethod
+    def inverse(self, data: bytes) -> bytes:
+        """Invert :meth:`forward`."""
+
+
+class ByteDeltaFilter(Filter):
+    """Order-1 delta over bytes (8-bit PCM, grayscale rasters)."""
+
+    name = "delta8"
+
+    def forward(self, data: bytes) -> bytes:
+        if not data:
+            return b""
+        out = bytearray(len(data))
+        out[0] = data[0]
+        prev = data[0]
+        for i in range(1, len(data)):
+            cur = data[i]
+            out[i] = (cur - prev) & 0xFF
+            prev = cur
+        return bytes(out)
+
+    def inverse(self, data: bytes) -> bytes:
+        if not data:
+            return b""
+        out = bytearray(len(data))
+        out[0] = data[0]
+        prev = data[0]
+        for i in range(1, len(data)):
+            prev = (prev + data[i]) & 0xFF
+            out[i] = prev
+        return bytes(out)
+
+
+class StrideDeltaFilter(Filter):
+    """Delta with a fixed stride (16-bit stereo PCM: stride 4, etc.).
+
+    Each byte is predicted by the byte one full frame earlier, so
+    channels and high/low bytes are differenced against their own kind.
+    """
+
+    name = "delta-stride"
+
+    def __init__(self, stride: int = 2) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self.name = f"delta-stride{stride}"
+
+    def forward(self, data: bytes) -> bytes:
+        n = self.stride
+        out = bytearray(len(data))
+        out[:n] = data[:n]
+        for i in range(n, len(data)):
+            out[i] = (data[i] - data[i - n]) & 0xFF
+        return bytes(out)
+
+    def inverse(self, data: bytes) -> bytes:
+        n = self.stride
+        out = bytearray(len(data))
+        out[:n] = data[:n]
+        for i in range(n, len(data)):
+            out[i] = (data[i] + out[i - n]) & 0xFF
+        return bytes(out)
+
+
+class FilterCodec(Codec):
+    """Composes a reversible filter with any registered codec.
+
+    The stream carries a one-byte filter id so the decoder does not need
+    out-of-band configuration.
+    """
+
+    _FILTER_IDS = {"delta8": 1}
+    _STRIDE_BASE = 16  # ids 16+stride for stride filters
+
+    name = "filtered"
+
+    def __init__(
+        self, filter_: Optional[Filter] = None, inner: Optional[Codec] = None
+    ) -> None:
+        self.filter = filter_ or ByteDeltaFilter()
+        self.inner = inner or get_codec("zlib")
+        self.name = f"{self.filter.name}+{self.inner.name}"
+
+    def _filter_id(self) -> int:
+        if isinstance(self.filter, StrideDeltaFilter):
+            return self._STRIDE_BASE + self.filter.stride
+        return self._FILTER_IDS[self.filter.name]
+
+    @classmethod
+    def _filter_from_id(cls, fid: int) -> Filter:
+        if fid == 1:
+            return ByteDeltaFilter()
+        if fid > cls._STRIDE_BASE:
+            return StrideDeltaFilter(fid - cls._STRIDE_BASE)
+        raise CorruptStreamError(f"unknown filter id {fid}")
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        filtered = self.filter.forward(data)
+        return bytes([self._filter_id()]) + self.inner.compress_bytes(filtered)
+
+    def decompress_bytes(self, payload: bytes) -> bytes:
+        if not payload:
+            raise CorruptStreamError("empty filtered stream")
+        filter_ = self._filter_from_id(payload[0])
+        filtered = self.inner.decompress_bytes(payload[1:])
+        return filter_.inverse(filtered)
+
+
+register_codec("audio", lambda: FilterCodec(ByteDeltaFilter(), get_codec("zlib")))
+register_codec(
+    "audio16", lambda: FilterCodec(StrideDeltaFilter(2), get_codec("zlib"))
+)

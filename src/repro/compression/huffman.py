@@ -1,0 +1,318 @@
+"""Canonical Huffman coding.
+
+The encoder derives optimal length-limited code lengths with the
+package-merge algorithm, then assigns canonical codes (shorter codes first,
+ties broken by symbol index).  Canonical codes let a stream carry only the
+code-length table; both DEFLATE-style and bzip2-style containers reuse this
+module.
+
+Bit order: codes are written most-significant-bit first through whichever
+writer is supplied (the DEFLATE container handles its LSB-order quirk by
+reversing code bits itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CorruptStreamError
+
+#: Default maximum code length; matches DEFLATE's 15-bit limit.
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths(frequencies: Sequence[int], max_length: int = MAX_CODE_LENGTH) -> List[int]:
+    """Optimal length-limited Huffman code lengths via package-merge.
+
+    Args:
+        frequencies: one non-negative weight per symbol; zero means the
+            symbol does not occur and receives length 0.
+        max_length: the longest code permitted.
+
+    Returns:
+        A list of code lengths, same indexing as ``frequencies``.
+
+    Raises:
+        ValueError: if the active symbols cannot fit in ``max_length`` bits.
+    """
+    active = [(f, i) for i, f in enumerate(frequencies) if f > 0]
+    lengths = [0] * len(frequencies)
+    if not active:
+        return lengths
+    if len(active) == 1:
+        # A single symbol still needs one bit so the decoder can count runs.
+        lengths[active[0][1]] = 1
+        return lengths
+    if len(active) > (1 << max_length):
+        raise ValueError(
+            f"{len(active)} symbols cannot be coded in {max_length} bits"
+        )
+
+    # Package-merge: maintain a list of "packages" per level; each package
+    # is (weight, set-of-leaf-symbol-indices counted with multiplicity).
+    # To keep it O(n log n)-ish we track per-package leaf counts lazily via
+    # nested tuples, flattening at the end.
+    leaves = sorted(active)
+
+    def merge_level(prev: List[Tuple[int, tuple]]) -> List[Tuple[int, tuple]]:
+        packaged = []
+        for k in range(0, len(prev) - 1, 2):
+            w = prev[k][0] + prev[k + 1][0]
+            packaged.append((w, (prev[k][1], prev[k + 1][1])))
+        base = [(f, ("leaf", i)) for f, i in leaves]
+        merged: List[Tuple[int, tuple]] = []
+        ai = bi = 0
+        while ai < len(base) and bi < len(packaged):
+            if base[ai][0] <= packaged[bi][0]:
+                merged.append(base[ai])
+                ai += 1
+            else:
+                merged.append(packaged[bi])
+                bi += 1
+        merged.extend(base[ai:])
+        merged.extend(packaged[bi:])
+        return merged
+
+    level: List[Tuple[int, tuple]] = [(f, ("leaf", i)) for f, i in leaves]
+    for _ in range(max_length - 1):
+        level = merge_level(level)
+
+    # Take the first 2n-2 packages; each time a leaf appears its code
+    # length increases by one.
+    take = 2 * len(leaves) - 2
+    chosen = level[:take]
+
+    def count(node: tuple) -> None:
+        if node[0] == "leaf":
+            lengths[node[1]] += 1
+        else:
+            count(node[0])
+            count(node[1])
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * max_length * len(leaves) + 100))
+    try:
+        for _, node in chosen:
+            count(node)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return lengths
+
+
+def canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Assign canonical codes (MSB-first integers) for the given lengths.
+
+    Symbols with length 0 receive code 0 and must never be emitted.
+    """
+    max_len = max(lengths, default=0)
+    bl_count = [0] * (max_len + 1)
+    for l in lengths:
+        if l:
+            bl_count[l] += 1
+    next_code = [0] * (max_len + 2)
+    code = 0
+    for bits in range(1, max_len + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+    codes = [0] * len(lengths)
+    for sym, l in enumerate(lengths):
+        if l:
+            codes[sym] = next_code[l]
+            next_code[l] += 1
+            if codes[sym] >> l:
+                raise ValueError("invalid code length table (over-subscribed)")
+    return codes
+
+
+def validate_lengths(lengths: Sequence[int]) -> None:
+    """Check the Kraft inequality holds with equality or slack.
+
+    Raises :class:`~repro.errors.CorruptStreamError` for over-subscribed
+    tables, which would make decoding ambiguous.
+    """
+    kraft = 0.0
+    for l in lengths:
+        if l < 0:
+            raise CorruptStreamError("negative code length")
+        if l:
+            kraft += 2.0 ** (-l)
+    if kraft > 1.0 + 1e-9:
+        raise CorruptStreamError("over-subscribed Huffman table")
+
+
+@dataclass
+class HuffmanTable:
+    """Canonical code table usable for both encoding and decoding."""
+
+    lengths: List[int]
+    codes: List[int]
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: Sequence[int], max_length: int = MAX_CODE_LENGTH
+    ) -> "HuffmanTable":
+        lens = code_lengths(frequencies, max_length)
+        return cls(lengths=lens, codes=canonical_codes(lens))
+
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "HuffmanTable":
+        validate_lengths(lengths)
+        lens = list(lengths)
+        return cls(lengths=lens, codes=canonical_codes(lens))
+
+    def __post_init__(self) -> None:
+        self._build_decoder()
+
+    #: Lookup-table width for the fast decoder; codes at most this long
+    #: decode with a single peek.
+    FAST_BITS = 9
+
+    def _build_decoder(self) -> None:
+        max_len = max(self.lengths, default=0)
+        # first_code[l] is the smallest canonical code of length l;
+        # symbols_by_length[l] lists symbols in canonical order.
+        self.first_code = [0] * (max_len + 1)
+        self.symbols_by_length: List[List[int]] = [[] for _ in range(max_len + 1)]
+        by_len: Dict[int, List[int]] = {}
+        for sym, l in enumerate(self.lengths):
+            if l:
+                by_len.setdefault(l, []).append(sym)
+        for l, syms in by_len.items():
+            syms.sort(key=lambda s: self.codes[s])
+            self.symbols_by_length[l] = syms
+            self.first_code[l] = self.codes[syms[0]]
+        self.max_len = max_len
+        self._fast_table: Optional[List[Tuple[int, int]]] = None
+
+    def _ensure_fast_table(self) -> None:
+        """Build the one-peek lookup table lazily (it costs 2^FAST_BITS)."""
+        if self._fast_table is not None:
+            return
+        width = min(self.FAST_BITS, max(self.max_len, 1))
+        table: List[Tuple[int, int]] = [(-1, 0)] * (1 << width)
+        for sym, l in enumerate(self.lengths):
+            if not l or l > width:
+                continue
+            base = self.codes[sym] << (width - l)
+            for fill in range(1 << (width - l)):
+                table[base | fill] = (sym, l)
+        self._fast_width = width
+        self._fast_table = table
+
+    def encode_symbol(self, writer, symbol: int) -> None:
+        """Write one symbol's code MSB-first through ``writer``."""
+        l = self.lengths[symbol]
+        if not l:
+            raise ValueError(f"symbol {symbol} has no code")
+        writer.write_bits(self.codes[symbol], l)
+
+    def decode_symbol(self, reader) -> int:
+        """Read one symbol, consuming bits MSB-first from ``reader``.
+
+        Fast path: peek FAST_BITS and resolve short codes from a lookup
+        table; long codes and end-of-stream tails fall back to the
+        bit-by-bit canonical walk.
+        """
+        self._ensure_fast_table()
+        if reader.bits_remaining >= self._fast_width:
+            peeked = reader.peek_bits(self._fast_width)
+            sym, l = self._fast_table[peeked]
+            if sym >= 0:
+                reader.skip_bits(l)
+                return sym
+        return self._decode_symbol_slow(reader)
+
+    def _decode_symbol_slow(self, reader) -> int:
+        code = 0
+        for l in range(1, self.max_len + 1):
+            code = (code << 1) | reader.read_bit()
+            syms = self.symbols_by_length[l]
+            if syms:
+                idx = code - self.first_code[l]
+                if 0 <= idx < len(syms):
+                    return syms[idx]
+        raise CorruptStreamError("invalid Huffman code in stream")
+
+    def expected_bits(self, frequencies: Sequence[int]) -> int:
+        """Total code bits to encode a message with the given histogram."""
+        return sum(f * l for f, l in zip(frequencies, self.lengths))
+
+    def symbol_bits(self, symbol: int) -> int:
+        """Code length for one symbol (0 = not encodable)."""
+        return self.lengths[symbol]
+
+
+def encode_lengths_rle(w, lengths: Sequence[int]) -> None:
+    """RFC-1951-style run-length coding of a code-length table.
+
+    Symbols are written as fixed 5-bit values: 0-15 literal lengths,
+    16 = repeat previous length 3-6 times (2 extra bits), 17 = run of
+    zeros 3-10 (3 extra bits), 18 = run of zeros 11-138 (7 extra bits).
+    Shared by the DEFLATE-like and bzip2-like containers.
+    """
+    i = 0
+    n = len(lengths)
+    while i < n:
+        cur = lengths[i]
+        run = 1
+        while i + run < n and lengths[i + run] == cur:
+            run += 1
+        if cur == 0:
+            while run >= 11:
+                chunk = min(run, 138)
+                w.write_bits(18, 5)
+                w.write_bits(chunk - 11, 7)
+                run -= chunk
+                i += chunk
+            if run >= 3:
+                w.write_bits(17, 5)
+                w.write_bits(run - 3, 3)
+                i += run
+                run = 0
+            while run > 0:
+                w.write_bits(0, 5)
+                i += 1
+                run -= 1
+            continue
+        w.write_bits(cur, 5)
+        i += 1
+        run -= 1
+        while run >= 3:
+            chunk = min(run, 6)
+            w.write_bits(16, 5)
+            w.write_bits(chunk - 3, 2)
+            run -= chunk
+            i += chunk
+        while run > 0:
+            w.write_bits(cur, 5)
+            i += 1
+            run -= 1
+
+
+def decode_lengths_rle(r, count: int) -> List[int]:
+    """Invert :func:`encode_lengths_rle`."""
+    lengths: List[int] = []
+    prev = 0
+    while len(lengths) < count:
+        sym = r.read_bits(5)
+        if sym <= 15:
+            lengths.append(sym)
+            prev = sym
+        elif sym == 16:
+            if not lengths:
+                raise CorruptStreamError("repeat code with no previous length")
+            lengths.extend([prev] * (3 + r.read_bits(2)))
+        elif sym == 17:
+            lengths.extend([0] * (3 + r.read_bits(3)))
+            prev = 0
+        elif sym == 18:
+            lengths.extend([0] * (11 + r.read_bits(7)))
+            prev = 0
+        else:
+            raise CorruptStreamError(f"invalid length code {sym}")
+    if len(lengths) != count:
+        raise CorruptStreamError("length table overran its alphabet")
+    return lengths

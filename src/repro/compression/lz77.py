@@ -1,0 +1,214 @@
+"""LZ77 tokenizer with a 32 KiB sliding window.
+
+This mirrors the structure of gzip's matcher as the paper describes it
+(Section 3): second occurrences of strings are replaced by
+``(distance, length)`` pairs, distances limited by the sliding window and
+lengths by the look-ahead buffer; strings with no match in the window are
+emitted as literal bytes.
+
+The matcher uses hash chains over 3-byte prefixes, with a bounded chain
+walk and lazy matching (defer a match by one byte if the next position
+matches longer), like gzip's levels do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Union
+
+from repro.errors import CorruptStreamError
+
+#: gzip's sliding-window size (Section 3: "size-sliding window (of 32K bytes)").
+WINDOW_SIZE = 32 * 1024
+#: Minimum match length worth encoding as a pair.
+MIN_MATCH = 3
+#: Maximum match length (DEFLATE's look-ahead limit).
+MAX_MATCH = 258
+
+_HASH_BITS = 15
+_HASH_SIZE = 1 << _HASH_BITS
+_HASH_MASK = _HASH_SIZE - 1
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A single uncompressed byte."""
+
+    byte: int
+
+
+@dataclass(frozen=True)
+class Match:
+    """A back-reference ``length`` bytes long, ``distance`` bytes back."""
+
+    distance: int
+    length: int
+
+
+Token = Union[Literal, Match]
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return ((data[i] << 10) ^ (data[i + 1] << 5) ^ data[i + 2]) & _HASH_MASK
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Tuning knobs analogous to gzip's per-level configuration.
+
+    Defaults approximate gzip level 9 ("max compression"), which the paper
+    uses throughout its experiments.
+    """
+
+    max_chain: int = 1024
+    lazy_threshold: int = 258
+    good_match: int = 32
+
+
+LEVEL_9 = MatcherConfig()
+LEVEL_1 = MatcherConfig(max_chain=8, lazy_threshold=4, good_match=4)
+
+
+def tokenize(data: bytes, config: MatcherConfig = LEVEL_9) -> List[Token]:
+    """Convert ``data`` to a list of LZ77 tokens."""
+    return list(iter_tokens(data, config))
+
+
+def iter_tokens(data: bytes, config: MatcherConfig = LEVEL_9) -> Iterator[Token]:
+    """Yield LZ77 tokens for ``data`` lazily."""
+    n = len(data)
+    if n < MIN_MATCH + 1:
+        for b in data:
+            yield Literal(b)
+        return
+
+    head = [-1] * _HASH_SIZE
+    prev = [-1] * n
+
+    def insert(pos: int) -> None:
+        h = _hash3(data, pos)
+        prev[pos] = head[h]
+        head[h] = pos
+
+    def longest_match(pos: int) -> Match:
+        """Best match at ``pos`` against the window, or a zero-length Match."""
+        best_len = MIN_MATCH - 1
+        best_dist = 0
+        limit = min(MAX_MATCH, n - pos)
+        if limit < MIN_MATCH:
+            return Match(0, 0)
+        window_floor = pos - WINDOW_SIZE
+        chain = config.max_chain
+        cand = head[_hash3(data, pos)]
+        first_check = best_len  # index of byte that must differ to improve
+        while cand >= 0 and cand >= window_floor and chain > 0:
+            chain -= 1
+            if (
+                cand + first_check < n
+                and data[cand + first_check] == data[pos + first_check]
+                and data[cand] == data[pos]
+            ):
+                length = 0
+                while length < limit and data[cand + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - cand
+                    first_check = best_len if best_len < limit else limit - 1
+                    if length >= limit:
+                        break
+            cand = prev[cand]
+        if best_dist == 0 or best_len < MIN_MATCH:
+            return Match(0, 0)
+        return Match(best_dist, best_len)
+
+    i = 0
+    pending_literal = -1
+    pending_match = Match(0, 0)
+    while i < n:
+        if i + MIN_MATCH <= n and i + 2 < n:
+            match = longest_match(i)
+        else:
+            match = Match(0, 0)
+
+        if pending_match.length:
+            # Lazy evaluation: emit the previous match unless this one is
+            # strictly longer.
+            if match.length > pending_match.length:
+                yield Literal(pending_literal)
+                pending_literal = data[i]
+                pending_match = match
+                insert(i) if i + 2 < n else None
+                i += 1
+                continue
+            yield pending_match
+            # Insert hash entries for the matched span (minus the byte
+            # already inserted when the match was deferred).
+            start = i
+            end = min(i - 1 + pending_match.length, n - 2)
+            for p in range(start, end):
+                insert(p)
+            i = i - 1 + pending_match.length
+            pending_match = Match(0, 0)
+            pending_literal = -1
+            continue
+
+        if match.length >= MIN_MATCH:
+            if (
+                match.length < config.lazy_threshold
+                and match.length < config.good_match
+                and i + 1 + MIN_MATCH <= n
+            ):
+                # Defer: remember match, tentatively treat data[i] as literal.
+                pending_match = match
+                pending_literal = data[i]
+                if i + 2 < n:
+                    insert(i)
+                i += 1
+                continue
+            yield match
+            end = min(i + match.length, n - 2)
+            for p in range(i, end):
+                insert(p)
+            i += match.length
+        else:
+            yield Literal(data[i])
+            if i + 2 < n:
+                insert(i)
+            i += 1
+
+    if pending_match.length:
+        yield pending_match
+
+
+def reconstruct(tokens: Sequence[Token]) -> bytes:
+    """Inverse of :func:`tokenize`: expand tokens back into bytes."""
+    out = bytearray()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            out.append(tok.byte)
+        else:
+            if tok.distance <= 0 or tok.distance > len(out):
+                raise CorruptStreamError(
+                    f"match distance {tok.distance} exceeds output ({len(out)} bytes)"
+                )
+            if tok.length <= 0:
+                raise CorruptStreamError("non-positive match length")
+            start = len(out) - tok.distance
+            # Overlapping copies are legal (run-length encoding idiom).
+            for k in range(tok.length):
+                out.append(out[start + k])
+    return bytes(out)
+
+
+def token_stats(tokens: Sequence[Token]) -> dict:
+    """Summary statistics used by tests and diagnostics."""
+    literals = sum(1 for t in tokens if isinstance(t, Literal))
+    matches = [t for t in tokens if isinstance(t, Match)]
+    covered = sum(t.length for t in matches)
+    return {
+        "literals": literals,
+        "matches": len(matches),
+        "match_bytes": covered,
+        "mean_match_length": (covered / len(matches)) if matches else 0.0,
+    }

@@ -1,0 +1,136 @@
+"""LZW codec modelled on the UNIX ``compress`` tool.
+
+As the paper describes (Section 3): a dictionary of previously seen
+strings starts at 512 entries (the first 256 preloaded with single bytes),
+pointers start at 9 bits, the pointer width grows each time the dictionary
+doubles until it reaches a configurable maximum (16 bits for ``-b 16``,
+which the paper uses), after which the dictionary is frozen; if the
+running compression factor then drops below a threshold, the dictionary is
+discarded and rebuilt ("CLEAR" code), exactly like ``ncompress``.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec, register_codec
+from repro.compression.bitio import MSBBitReader, MSBBitWriter
+from repro.compression.varint import read_varint, write_varint
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"RZ2"
+#: Dictionary reset code (compress reserves 256 for CLEAR).
+_CLEAR = 256
+_FIRST_CODE = 257
+_INITIAL_BITS = 9
+
+#: Interval (in input bytes) at which the encoder re-checks the running
+#: compression factor once the dictionary is full, mirroring compress's
+#: periodic ratio check.
+_RATIO_CHECK_INTERVAL = 10_000
+
+
+class LZWCodec(Codec):
+    """LZW with growing 9..``max_bits``-bit codes and ratio-driven reset."""
+
+    name = "compress"
+
+    def __init__(self, max_bits: int = 16) -> None:
+        if not 9 <= max_bits <= 16:
+            raise ValueError("max_bits must be between 9 and 16")
+        self.max_bits = max_bits
+
+    # -- encoding ---------------------------------------------------------
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        w = MSBBitWriter()
+        max_code = (1 << self.max_bits) - 1
+
+        table = {bytes([i]): i for i in range(256)}
+        next_code = _FIRST_CODE
+        nbits = _INITIAL_BITS
+
+        in_count = 0
+        checkpoint = 0
+        best_ratio = 0.0
+
+        current = b""
+        for byte in data:
+            in_count += 1
+            candidate = current + bytes([byte])
+            if candidate in table:
+                current = candidate
+                continue
+            w.write_bits(table[current], nbits)
+            if next_code <= max_code:
+                table[candidate] = next_code
+                next_code += 1
+                if next_code - 1 == (1 << nbits) and nbits < self.max_bits:
+                    nbits += 1
+            else:
+                # Dictionary frozen: watch the running factor and reset when
+                # it degrades, as compress does.
+                if in_count - checkpoint >= _RATIO_CHECK_INTERVAL:
+                    checkpoint = in_count
+                    out_bits = w.bit_length
+                    ratio = in_count * 8 / out_bits if out_bits else 0.0
+                    if ratio > best_ratio:
+                        best_ratio = ratio
+                    elif ratio < best_ratio * 0.98:
+                        w.write_bits(_CLEAR, nbits)
+                        table = {bytes([i]): i for i in range(256)}
+                        next_code = _FIRST_CODE
+                        nbits = _INITIAL_BITS
+                        best_ratio = 0.0
+            current = bytes([byte])
+        if current:
+            w.write_bits(table[current], nbits)
+        return _MAGIC + bytes([self.max_bits]) + write_varint(len(data)) + w.getvalue()
+
+    # -- decoding ---------------------------------------------------------
+
+    def decompress_bytes(self, payload: bytes) -> bytes:
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("bad magic; not a compress-scheme stream")
+        if len(payload) < len(_MAGIC) + 1:
+            raise CorruptStreamError("truncated header")
+        max_bits = payload[len(_MAGIC)]
+        if not 9 <= max_bits <= 16:
+            raise CorruptStreamError(f"invalid max_bits {max_bits}")
+        raw_size, pos = read_varint(payload, len(_MAGIC) + 1)
+        r = MSBBitReader(payload[pos:])
+        max_code = (1 << max_bits) - 1
+
+        out = bytearray()
+
+        def fresh_table() -> list:
+            return [bytes([i]) for i in range(256)] + [b""]  # index 256 = CLEAR
+
+        table = fresh_table()
+        nbits = _INITIAL_BITS
+        prev = b""
+        while len(out) < raw_size:
+            code = r.read_bits(nbits)
+            if code == _CLEAR:
+                table = fresh_table()
+                nbits = _INITIAL_BITS
+                prev = b""
+                continue
+            if code < len(table):
+                entry = table[code]
+            elif code == len(table) and prev:
+                # The classic KwKwK case.
+                entry = prev + prev[:1]
+            else:
+                raise CorruptStreamError(f"invalid LZW code {code}")
+            out += entry
+            if prev and len(table) <= max_code:
+                table.append(prev + entry[:1])
+                if len(table) - 1 == (1 << nbits) - 1 and nbits < max_bits:
+                    nbits += 1
+            prev = entry
+        if len(out) != raw_size:
+            raise CorruptStreamError("decoded size mismatch")
+        return bytes(out)
+
+
+register_codec("compress", LZWCodec)
+register_codec("lzw", LZWCodec)

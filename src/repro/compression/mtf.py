@@ -1,0 +1,105 @@
+"""Move-to-front and zero-run-length stages of the bzip2-style pipeline.
+
+After the BWT, long runs of identical symbols become long runs of zeros
+under move-to-front coding.  Those zero runs are re-encoded with the two
+run symbols RUNA/RUNB in bijective base 2, exactly as bzip2 does, which
+turns a run of n zeros into ~log2(n) symbols.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CorruptStreamError
+
+#: Alphabet size entering MTF (bytes + BWT sentinel).
+MTF_ALPHABET = 257
+#: Run symbols appended after the MTF alphabet.
+RUNA = MTF_ALPHABET
+RUNB = MTF_ALPHABET + 1
+#: Total alphabet entering the entropy coder.
+RLE_ALPHABET = MTF_ALPHABET + 2
+
+
+def mtf_encode(symbols: Sequence[int], alphabet_size: int = MTF_ALPHABET) -> List[int]:
+    """Move-to-front transform over ``alphabet_size`` symbols."""
+    table = list(range(alphabet_size))
+    out = []
+    for sym in symbols:
+        idx = table.index(sym)
+        out.append(idx)
+        if idx:
+            del table[idx]
+            table.insert(0, sym)
+    return out
+
+
+def mtf_decode(indices: Sequence[int], alphabet_size: int = MTF_ALPHABET) -> List[int]:
+    """Invert :func:`mtf_encode`."""
+    table = list(range(alphabet_size))
+    out = []
+    for idx in indices:
+        if not 0 <= idx < alphabet_size:
+            raise CorruptStreamError(f"MTF index {idx} out of range")
+        sym = table[idx]
+        out.append(sym)
+        if idx:
+            del table[idx]
+            table.insert(0, sym)
+    return out
+
+
+def _emit_run(run: int, out: List[int]) -> None:
+    """Encode a run of ``run`` zeros in bijective base 2 (RUNA=1, RUNB=2)."""
+    while run > 0:
+        if run & 1:
+            out.append(RUNA)
+            run = (run - 1) >> 1
+        else:
+            out.append(RUNB)
+            run = (run - 2) >> 1
+
+
+def rle_encode(indices: Sequence[int]) -> List[int]:
+    """Replace zero runs with RUNA/RUNB; shift non-zero symbols up by 0.
+
+    Non-zero MTF indices pass through unchanged; zeros never appear in the
+    output.
+    """
+    out: List[int] = []
+    run = 0
+    for idx in indices:
+        if idx == 0:
+            run += 1
+            continue
+        _emit_run(run, out)
+        run = 0
+        out.append(idx)
+    _emit_run(run, out)
+    return out
+
+
+def rle_decode(symbols: Sequence[int]) -> List[int]:
+    """Invert :func:`rle_encode`."""
+    out: List[int] = []
+    run = 0
+    weight = 1
+    for sym in symbols:
+        if sym == RUNA:
+            run += weight
+            weight <<= 1
+            continue
+        if sym == RUNB:
+            run += 2 * weight
+            weight <<= 1
+            continue
+        if run:
+            out.extend([0] * run)
+            run = 0
+        weight = 1
+        if not 0 < sym < MTF_ALPHABET:
+            raise CorruptStreamError(f"RLE symbol {sym} out of range")
+        out.append(sym)
+    if run:
+        out.extend([0] * run)
+    return out

@@ -1,0 +1,222 @@
+"""Incremental (streaming) compression and decompression.
+
+The paper's interleaving scheme decompresses "the downloaded data block
+by block" as packets arrive (Section 4.1); doing that for real requires
+an incremental API rather than one-shot ``compress_bytes``.  This module
+frames any registered codec into a streaming container:
+
+    frame := varint raw_len | u8 type | varint payload_len | payload
+    type 0: payload is raw bytes (adaptive mode ships incompressible
+            blocks untouched, Figure 10)
+    type 1: payload is an inner-codec stream for raw_len bytes
+    end   := varint 0 (a zero raw_len terminates the stream)
+
+The compressor emits complete frames as soon as a block fills; the
+decompressor accepts arbitrary byte slices (packet payloads) and yields
+whatever frames completed — exactly the producer/consumer pair the
+user-level interleaving process needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.compression.base import Codec, get_codec
+from repro.compression.varint import write_varint
+from repro.errors import CodecError, CorruptStreamError
+
+_RAW = 0
+_COMPRESSED = 1
+
+
+class StreamCompressor:
+    """Compresses a byte stream into self-delimiting frames."""
+
+    def __init__(
+        self,
+        codec: Optional[Codec] = None,
+        block_size: int = units.BLOCK_SIZE_BYTES,
+        adaptive: bool = False,
+        size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.codec = codec or get_codec("zlib")
+        self.block_size = block_size
+        self.adaptive = adaptive
+        self.size_threshold = size_threshold
+        self._buffer = bytearray()
+        self._finished = False
+        self.raw_bytes_in = 0
+        self.frames_out = 0
+        self.compressed_frames = 0
+
+    def write(self, data: bytes) -> bytes:
+        """Feed input; returns any complete frames ready to transmit."""
+        if self._finished:
+            raise CodecError("stream already flushed")
+        self._buffer += data
+        self.raw_bytes_in += len(data)
+        out = bytearray()
+        while len(self._buffer) >= self.block_size:
+            block = bytes(self._buffer[: self.block_size])
+            del self._buffer[: self.block_size]
+            out += self._encode_frame(block)
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit the final partial frame and the end marker."""
+        if self._finished:
+            raise CodecError("stream already flushed")
+        self._finished = True
+        out = bytearray()
+        if self._buffer:
+            out += self._encode_frame(bytes(self._buffer))
+            self._buffer.clear()
+        out += write_varint(0)
+        return bytes(out)
+
+    def _encode_frame(self, block: bytes) -> bytes:
+        # Imported lazily: repro.core pulls in the compression package, so
+        # a module-level import here would cycle through the package inits.
+        from repro.core import thresholds
+
+        self.frames_out += 1
+        if self.adaptive:
+            send_raw = len(block) < self.size_threshold
+            payload = None
+            if not send_raw:
+                payload = self.codec.compress_bytes(block)
+                factor = units.compression_factor(len(block), len(payload))
+                send_raw = not thresholds.paper_condition(len(block), factor) or (
+                    len(payload) >= len(block)
+                )
+            if send_raw:
+                return (
+                    write_varint(len(block))
+                    + bytes([_RAW])
+                    + write_varint(len(block))
+                    + block
+                )
+            self.compressed_frames += 1
+            return (
+                write_varint(len(block))
+                + bytes([_COMPRESSED])
+                + write_varint(len(payload))
+                + payload
+            )
+        payload = self.codec.compress_bytes(block)
+        self.compressed_frames += 1
+        return (
+            write_varint(len(block))
+            + bytes([_COMPRESSED])
+            + write_varint(len(payload))
+            + payload
+        )
+
+
+class StreamDecompressor:
+    """Consumes frame bytes in arbitrary slices; yields decoded blocks."""
+
+    def __init__(self, codec: Optional[Codec] = None) -> None:
+        self.codec = codec or get_codec("zlib")
+        self._buffer = bytearray()
+        self.finished = False
+        self.raw_bytes_out = 0
+        self.frames_in = 0
+
+    def feed(self, data: bytes) -> bytes:
+        """Feed received bytes; returns whatever blocks completed."""
+        if self.finished and data:
+            raise CorruptStreamError("data after end-of-stream marker")
+        self._buffer += data
+        out = bytearray()
+        while True:
+            frame = self._try_decode_frame()
+            if frame is None:
+                break
+            out += frame
+        return bytes(out)
+
+    def _try_varint(self, pos: int):
+        """Decode a varint at pos or return None if incomplete."""
+        result = 0
+        shift = 0
+        while True:
+            if pos >= len(self._buffer):
+                return None
+            byte = self._buffer[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos
+            shift += 7
+            if shift > 63:
+                raise CorruptStreamError("frame varint too wide")
+
+    def _try_decode_frame(self):
+        if self.finished:
+            return None
+        header = self._try_varint(0)
+        if header is None:
+            return None
+        raw_len, pos = header
+        if raw_len == 0:
+            self.finished = True
+            del self._buffer[:pos]
+            if self._buffer:
+                raise CorruptStreamError("trailing bytes after end marker")
+            return None
+        if pos >= len(self._buffer):
+            return None
+        ftype = self._buffer[pos]
+        pos += 1
+        length_field = self._try_varint(pos)
+        if length_field is None:
+            return None
+        payload_len, pos = length_field
+        if len(self._buffer) - pos < payload_len:
+            return None  # frame not complete yet
+        payload = bytes(self._buffer[pos : pos + payload_len])
+        del self._buffer[: pos + payload_len]
+        self.frames_in += 1
+        if ftype == _RAW:
+            if payload_len != raw_len:
+                raise CorruptStreamError("raw frame length mismatch")
+            block = payload
+        elif ftype == _COMPRESSED:
+            block = self.codec.decompress_bytes(payload)
+            if len(block) != raw_len:
+                raise CorruptStreamError("frame decoded to wrong length")
+        else:
+            raise CorruptStreamError(f"unknown frame type {ftype}")
+        self.raw_bytes_out += len(block)
+        return block
+
+
+def stream_roundtrip(
+    data: bytes,
+    codec: Optional[Codec] = None,
+    block_size: int = units.BLOCK_SIZE_BYTES,
+    chunk_size: int = 1460,
+    adaptive: bool = False,
+) -> bytes:
+    """Utility: push ``data`` through the streaming pair packet-by-packet.
+
+    Mirrors a download: the compressor's frames are sliced into
+    packet-sized chunks and fed to the decompressor as they "arrive".
+    Returns the reassembled bytes (callers assert equality).
+    """
+    comp = StreamCompressor(codec, block_size=block_size, adaptive=adaptive)
+    wire = bytearray()
+    for i in range(0, len(data), block_size):
+        wire += comp.write(data[i : i + block_size])
+    wire += comp.flush()
+    decomp = StreamDecompressor(codec)
+    out = bytearray()
+    for i in range(0, len(wire), chunk_size):
+        out += decomp.feed(bytes(wire[i : i + chunk_size]))
+    if not decomp.finished:
+        raise CorruptStreamError("stream ended without end marker")
+    return bytes(out)

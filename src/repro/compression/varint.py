@@ -1,0 +1,43 @@
+"""LEB128-style variable-length integers used by the stream containers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CorruptStreamError
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer, 7 bits per byte, little-endian."""
+    if value < 0:
+        raise ValueError("varint values must be non-negative")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, pos: int = 0) -> Tuple[int, int]:
+    """Decode a varint at ``pos``; returns ``(value, next_pos)``.
+
+    Raises :class:`~repro.errors.CorruptStreamError` on truncation or a
+    value wider than 64 bits (a corruption guard).
+    """
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptStreamError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptStreamError("varint too wide")

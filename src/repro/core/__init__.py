@@ -1,0 +1,44 @@
+"""The paper's contribution: energy model, interleaving, selective schemes."""
+
+from repro.core.energy_model import EnergyModel, ModelParams
+from repro.core.thresholds import (
+    paper_condition,
+    compression_worthwhile,
+    factor_threshold,
+    size_threshold_bytes,
+)
+from repro.core.interleave import InterleavePlan, plan_interleave
+from repro.core.selective import SelectiveDecision, decide_file
+from repro.core.adaptive import AdaptiveBlockCodec, AdaptiveResult
+from repro.core.advisor import CompressionAdvisor, Recommendation
+from repro.core.calibration import (
+    fit_download_energy,
+    fit_decompression_time,
+    DownloadEnergyFit,
+    DecompressionTimeFit,
+)
+from repro.core.upload import UploadModel
+from repro.core.fleet_advisor import FleetAdvisor
+
+__all__ = [
+    "EnergyModel",
+    "ModelParams",
+    "paper_condition",
+    "compression_worthwhile",
+    "factor_threshold",
+    "size_threshold_bytes",
+    "InterleavePlan",
+    "plan_interleave",
+    "SelectiveDecision",
+    "decide_file",
+    "AdaptiveBlockCodec",
+    "AdaptiveResult",
+    "CompressionAdvisor",
+    "Recommendation",
+    "fit_download_energy",
+    "fit_decompression_time",
+    "DownloadEnergyFit",
+    "DecompressionTimeFit",
+    "UploadModel",
+    "FleetAdvisor",
+]

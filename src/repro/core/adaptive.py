@@ -1,0 +1,190 @@
+"""Block-by-block adaptive compression (Section 4.3, Figure 10).
+
+The paper's pseudo-code, applied per compression-buffer block::
+
+    for each block:
+        if block size < threshold size: send the raw data
+        else:
+            compress the block
+            if Equation 6 test is negative: send the raw data
+            else: send the compressed data
+
+"Send" means writing to the precompressed file: the output is a container
+that mixes raw and compressed blocks, so mixed-content files (tar, PDF,
+presentations) only pay decompression where it helps.
+
+Container layout::
+
+    magic "RZA" | u8 inner-codec-name-len | codec name | varint raw_size |
+    block*
+    block := varint raw_len | u8 type | payload
+    type 0: raw_len raw bytes
+    type 1: varint payload_len | inner-codec stream
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import units
+from repro.compression.base import Codec, CodecResult, get_codec
+from repro.compression.varint import read_varint, write_varint
+from repro.core import thresholds
+from repro.core.energy_model import EnergyModel
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"RZA"
+
+
+@dataclass(frozen=True)
+class BlockDecision:
+    """What happened to one block."""
+
+    index: int
+    raw_bytes: int
+    compressed_bytes: int
+    sent_compressed: bool
+    factor: float
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Bytes this block contributes to the transfer."""
+        return self.compressed_bytes if self.sent_compressed else self.raw_bytes
+
+
+@dataclass(frozen=True)
+class AdaptiveResult(CodecResult):
+    """CodecResult plus the per-block decision trail."""
+
+    decisions: List[BlockDecision] = field(default_factory=list)
+
+    @property
+    def blocks_compressed(self) -> int:
+        """Number of blocks shipped compressed."""
+        return sum(1 for d in self.decisions if d.sent_compressed)
+
+    @property
+    def blocks_raw(self) -> int:
+        """Number of blocks shipped raw."""
+        return len(self.decisions) - self.blocks_compressed
+
+    @property
+    def compressed_payload_bytes(self) -> int:
+        """Bytes of payload that must be decompressed on the device."""
+        return sum(d.compressed_bytes for d in self.decisions if d.sent_compressed)
+
+    @property
+    def raw_covered_bytes(self) -> int:
+        """Raw bytes covered by compressed blocks (decompressor output)."""
+        return sum(d.raw_bytes for d in self.decisions if d.sent_compressed)
+
+
+class AdaptiveBlockCodec(Codec):
+    """Figure 10's block-by-block adaptive scheme around any inner codec."""
+
+    name = "zlib-adaptive"
+
+    def __init__(
+        self,
+        inner: Optional[Codec] = None,
+        model: Optional[EnergyModel] = None,
+        block_size: int = units.BLOCK_SIZE_BYTES,
+        size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.inner = inner or get_codec("zlib")
+        self.model = model  # None => the paper's literal Equation 6
+        self.block_size = block_size
+        self.size_threshold = size_threshold
+
+    # -- encoding ---------------------------------------------------------
+
+    def compress(self, data: bytes) -> AdaptiveResult:
+        out = bytearray(_MAGIC)
+        name = self.inner.name.encode("ascii")
+        out.append(len(name))
+        out += name
+        out += write_varint(len(data))
+        decisions: List[BlockDecision] = []
+        for index, start in enumerate(range(0, len(data), self.block_size)):
+            block = data[start : start + self.block_size]
+            decision, encoded = self._encode_block(index, block)
+            decisions.append(decision)
+            out += encoded
+        payload = bytes(out)
+        return AdaptiveResult(
+            payload=payload,
+            raw_size=len(data),
+            compressed_size=len(payload),
+            decisions=decisions,
+        )
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return self.compress(data).payload
+
+    def _encode_block(self, index: int, block: bytes):
+        header = write_varint(len(block))
+        if len(block) < self.size_threshold:
+            decision = BlockDecision(index, len(block), len(block), False, 1.0)
+            return decision, bytes(header) + b"\x00" + block
+
+        compressed = self.inner.compress_bytes(block)
+        factor = units.compression_factor(len(block), len(compressed))
+        worthwhile = thresholds.compression_worthwhile(
+            len(block), factor, self.model
+        ) and len(compressed) < len(block)
+        if not worthwhile:
+            decision = BlockDecision(index, len(block), len(compressed), False, factor)
+            return decision, bytes(header) + b"\x00" + block
+        decision = BlockDecision(index, len(block), len(compressed), True, factor)
+        return (
+            decision,
+            bytes(header) + b"\x01" + write_varint(len(compressed)) + compressed,
+        )
+
+    # -- decoding ---------------------------------------------------------
+
+    def decompress_bytes(self, payload: bytes) -> bytes:
+        if payload[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("bad magic; not an adaptive stream")
+        pos = len(_MAGIC)
+        if pos >= len(payload):
+            raise CorruptStreamError("truncated codec name")
+        name_len = payload[pos]
+        pos += 1
+        if pos + name_len > len(payload):
+            raise CorruptStreamError("truncated codec name")
+        name = payload[pos : pos + name_len].decode("ascii")
+        pos += name_len
+        inner = self.inner if name == self.inner.name else get_codec(name)
+        raw_size, pos = read_varint(payload, pos)
+        out = bytearray()
+        while len(out) < raw_size:
+            block_len, pos = read_varint(payload, pos)
+            if pos >= len(payload):
+                raise CorruptStreamError("truncated block header")
+            btype = payload[pos]
+            pos += 1
+            if btype == 0:
+                block = payload[pos : pos + block_len]
+                if len(block) != block_len:
+                    raise CorruptStreamError("truncated raw block")
+                out += block
+                pos += block_len
+            elif btype == 1:
+                body_len, pos = read_varint(payload, pos)
+                body = payload[pos : pos + body_len]
+                if len(body) != body_len:
+                    raise CorruptStreamError("truncated compressed block")
+                block = inner.decompress_bytes(bytes(body))
+                if len(block) != block_len:
+                    raise CorruptStreamError("block length mismatch")
+                out += block
+                pos += body_len
+            else:
+                raise CorruptStreamError(f"unknown block type {btype}")
+        if len(out) != raw_size:
+            raise CorruptStreamError("decoded size mismatch")
+        return bytes(out)

@@ -1,0 +1,180 @@
+"""CompressionAdvisor: the user-facing decision API.
+
+Combines the energy model, the threshold conditions and the adaptive
+container into one object a proxy implementation would actually call:
+"here is a file (or its metadata) — should I ship it raw, compressed, or
+block-adaptively, and what will each choice cost?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import units
+from repro.compression.base import Codec, get_codec
+from repro.core import thresholds
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.core.energy_model import EnergyModel
+from repro.core.selective import SelectiveDecision, decide_file
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advice for one file."""
+
+    strategy: str  # "raw" | "compress" | "adaptive"
+    codec_name: Optional[str]
+    transfer_bytes: int
+    estimated_energy_j: float
+    plain_energy_j: float
+    details: str
+
+    @property
+    def estimated_saving_j(self) -> float:
+        """Joules saved versus the plain download."""
+        return self.plain_energy_j - self.estimated_energy_j
+
+    @property
+    def estimated_saving_fraction(self) -> float:
+        """Saving as a fraction of the plain download energy."""
+        if self.plain_energy_j <= 0:
+            return 0.0
+        return self.estimated_saving_j / self.plain_energy_j
+
+
+class CompressionAdvisor:
+    """Decides how to ship files for minimum handheld energy."""
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        codec: Optional[Codec] = None,
+        use_paper_condition: bool = False,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.codec = codec or get_codec("zlib")
+        self.use_paper_condition = use_paper_condition
+
+    def _condition_model(self) -> Optional[EnergyModel]:
+        return None if self.use_paper_condition else self.model
+
+    # -- metadata-only ------------------------------------------------------
+
+    def advise_metadata(
+        self, raw_bytes: int, compression_factor: float
+    ) -> Recommendation:
+        """Advice from (size, factor) metadata alone."""
+        decision = decide_file(
+            raw_bytes=raw_bytes,
+            compression_factor=compression_factor,
+            model=self._condition_model(),
+        )
+        plain = self.model.download_energy_j(raw_bytes)
+        if decision.compress:
+            energy = self.model.interleaved_energy_j(
+                raw_bytes, decision.transfer_bytes, self.codec.name
+            )
+            return Recommendation(
+                strategy="compress",
+                codec_name=self.codec.name,
+                transfer_bytes=decision.transfer_bytes,
+                estimated_energy_j=energy,
+                plain_energy_j=plain,
+                details=decision.reason,
+            )
+        return Recommendation(
+            strategy="raw",
+            codec_name=None,
+            transfer_bytes=raw_bytes,
+            estimated_energy_j=plain,
+            plain_energy_j=plain,
+            details=decision.reason,
+        )
+
+    # -- content-aware ------------------------------------------------------
+
+    def advise(self, data: bytes) -> Recommendation:
+        """Full advice: measures the factor and considers all strategies.
+
+        The adaptive container wins on mixed-content files where some
+        blocks compress and others do not; whole-file compression wins
+        when every block compresses (no per-block header overhead); raw
+        wins below the thresholds.
+        """
+        raw_bytes = len(data)
+        plain = self.model.download_energy_j(raw_bytes)
+        options: Dict[str, Recommendation] = {
+            "raw": Recommendation(
+                strategy="raw",
+                codec_name=None,
+                transfer_bytes=raw_bytes,
+                estimated_energy_j=plain,
+                plain_energy_j=plain,
+                details="baseline",
+            )
+        }
+
+        if raw_bytes >= units.THRESHOLD_FILE_SIZE_BYTES:
+            whole = self.codec.compress(data)
+            if thresholds.compression_worthwhile(
+                raw_bytes, whole.factor, self._condition_model()
+            ):
+                energy = self.model.interleaved_energy_j(
+                    raw_bytes, whole.compressed_size, self.codec.name
+                )
+                options["compress"] = Recommendation(
+                    strategy="compress",
+                    codec_name=self.codec.name,
+                    transfer_bytes=whole.compressed_size,
+                    estimated_energy_j=energy,
+                    plain_energy_j=plain,
+                    details=f"whole-file factor {whole.factor:.2f}",
+                )
+
+            adaptive = AdaptiveBlockCodec(
+                inner=self.codec, model=self._condition_model()
+            )
+            result = adaptive.compress(data)
+            if result.blocks_compressed:
+                energy = self._adaptive_energy(result, raw_bytes)
+                options["adaptive"] = Recommendation(
+                    strategy="adaptive",
+                    codec_name=adaptive.name,
+                    transfer_bytes=result.compressed_size,
+                    estimated_energy_j=energy,
+                    plain_energy_j=plain,
+                    details=(
+                        f"{result.blocks_compressed}/{len(result.decisions)} "
+                        "blocks compressed"
+                    ),
+                )
+
+        return min(options.values(), key=lambda r: r.estimated_energy_j)
+
+    def decide(self, data: bytes) -> SelectiveDecision:
+        """The plain Section 4.3 file-level decision (no adaptive option)."""
+        return decide_file(
+            data=data, codec=self.codec, model=self._condition_model()
+        )
+
+    def _adaptive_energy(self, result, raw_bytes: int) -> float:
+        """Energy for an adaptive transfer: receive everything, decompress
+        only the compressed blocks' payload."""
+        model = self.model
+        p = model.params
+        transfer = result.compressed_size
+        sc_mb = units.bytes_to_mb(transfer)
+        ti_prime, ti_dprime = model.idle_times(raw_bytes, transfer)
+        if result.blocks_compressed:
+            td = model.cpu.decompress_time_s(
+                self.codec.name,
+                result.raw_covered_bytes,
+                result.compressed_payload_bytes,
+            )
+        else:
+            td = 0.0
+        base = p.m_j_per_mb * sc_mb + p.cs_j + td * p.decompress_power_w
+        if ti_prime > td:
+            return base + (ti_prime - td + ti_dprime) * p.gap_power_w
+        return base + ti_dprime * p.gap_power_w

@@ -1,0 +1,120 @@
+"""Re-deriving the paper's model constants from measurements (Section 4.2).
+
+The paper fits two linear models from measured data points:
+
+- download energy vs file size:  E = 3.519*s + 0.012  (avg error 7.2%)
+- zlib decompression time:       td = 0.161*s + 0.161*sc + 0.004
+  (avg error 3%, max 13%, R^2 = 96.7%)
+
+and then derives m and cs from the energy fit via Equations 1 and 4.
+This module performs the same fits over measurement samples (simulated or
+otherwise), so the Figure 8 bench can regenerate the fits and the error
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro import units
+from repro.analysis import fitting
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class DownloadEnergyFit:
+    """E = slope*s + intercept, with derived m and cs."""
+
+    slope_j_per_mb: float
+    intercept_j: float
+    #: Derived per-MB receive energy (gaps excluded).
+    m_j_per_mb: float
+    #: Derived start-up cost.
+    cs_j: float
+    average_error: float
+    r_squared: float
+
+    def energy_j(self, raw_bytes: float) -> float:
+        """Predicted download energy for ``raw_bytes``."""
+        return self.slope_j_per_mb * units.bytes_to_mb(raw_bytes) + self.intercept_j
+
+
+@dataclass(frozen=True)
+class DecompressionTimeFit:
+    """td = a*s + b*sc + c."""
+
+    per_raw_mb_s: float
+    per_compressed_mb_s: float
+    constant_s: float
+    average_error: float
+    max_error: float
+    r_squared: float
+
+    def time_s(self, raw_bytes: float, compressed_bytes: float) -> float:
+        """Predicted decompression time for the given sizes."""
+        return (
+            self.per_raw_mb_s * units.bytes_to_mb(raw_bytes)
+            + self.per_compressed_mb_s * units.bytes_to_mb(compressed_bytes)
+            + self.constant_s
+        )
+
+
+def fit_download_energy(
+    samples: Sequence[Tuple[float, float]],
+    idle_fraction: float = units.IDLE_FRACTION_11MBPS,
+    rate_mb_per_s: float = units.MODEL_RATE_11MBPS_MBPS,
+    idle_power_w: float = 1.55,
+) -> DownloadEnergyFit:
+    """Fit E = slope*s + intercept from (raw_bytes, joules) samples.
+
+    m and cs are recovered exactly as the paper does: the idle energy
+    ti*pi (with ti = idle_fraction*s/rate) is subtracted from the fitted
+    line, leaving m*s + cs.
+    """
+    if len(samples) < 2:
+        raise CalibrationError("need at least two samples to fit a line")
+    xs = [units.bytes_to_mb(s) for s, _ in samples]
+    ys = [e for _, e in samples]
+    fit = fitting.linear_fit(xs, ys)
+    idle_j_per_mb = idle_fraction / rate_mb_per_s * idle_power_w
+    m = fit.slope - idle_j_per_mb
+    if m <= 0:
+        raise CalibrationError(
+            "fitted slope below the idle energy; check idle parameters"
+        )
+    predicted = [fit.slope * x + fit.intercept for x in xs]
+    return DownloadEnergyFit(
+        slope_j_per_mb=fit.slope,
+        intercept_j=fit.intercept,
+        m_j_per_mb=m,
+        cs_j=fit.intercept,
+        average_error=fitting.average_error(ys, predicted),
+        r_squared=fit.r_squared,
+    )
+
+
+def fit_decompression_time(
+    samples: Sequence[Tuple[float, float, float]],
+) -> DecompressionTimeFit:
+    """Fit td = a*s + b*sc + c from (raw_bytes, compressed_bytes, seconds)."""
+    if len(samples) < 3:
+        raise CalibrationError("need at least three samples to fit a plane")
+    rows: List[List[float]] = []
+    ys: List[float] = []
+    for raw_b, comp_b, td in samples:
+        rows.append([units.bytes_to_mb(raw_b), units.bytes_to_mb(comp_b)])
+        ys.append(td)
+    coeffs, intercept, r2 = fitting.multilinear_fit(rows, ys)
+    predicted = [
+        coeffs[0] * row[0] + coeffs[1] * row[1] + intercept for row in rows
+    ]
+    errors = fitting.relative_errors(ys, predicted)
+    return DecompressionTimeFit(
+        per_raw_mb_s=coeffs[0],
+        per_compressed_mb_s=coeffs[1],
+        constant_s=intercept,
+        average_error=sum(abs(e) for e in errors) / len(errors),
+        max_error=max(abs(e) for e in errors),
+        r_squared=r2,
+    )

@@ -1,0 +1,157 @@
+"""Interleaving decompression with packet reception (Section 4.1, Figure 4).
+
+The receiving process runs in the kernel interrupt handler; a user-level
+process decompresses block i while block i+1 downloads.  This module
+builds the explicit schedule: when each block arrives, when its
+decompression starts and ends, and where CPU-idle windows remain.  Two
+regimes fall out, matching Figure 4:
+
+(a) decompression faster than downloading — idle periods remain;
+(b) decompression slower — the CPU saturates and decompression work
+    spills past the end of the download.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.device.cpu import DeviceCpuModel, IPAQ_CPU
+from repro.network.link import ReceivePlan
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Timing of one block through the interleaved pipeline."""
+
+    index: int
+    arrive_s: float
+    decompress_start_s: float
+    decompress_end_s: float
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time the block waited for the decompressor after arriving."""
+        return self.decompress_start_s - self.arrive_s
+
+
+@dataclass(frozen=True)
+class InterleavePlan:
+    """Full schedule of an interleaved download+decompress session."""
+
+    blocks: List[BlockSchedule]
+    receive_end_s: float
+    finish_s: float
+    #: CPU-idle time that remains unfilled (the paper's ti' - td residue
+    #: plus the first block's ti'').
+    residual_idle_s: float
+    #: Decompression work done after the link went quiet.
+    overflow_s: float
+    #: Figure 4(b) vs 4(a): True when total decompression work exceeds the
+    #: idle capacity available after the first block (the paper's
+    #: td > ti' branch condition).
+    saturated: bool = False
+
+
+def plan_interleave(
+    receive_plan: ReceivePlan,
+    codec: str = "gzip",
+    cpu: Optional[DeviceCpuModel] = None,
+) -> InterleavePlan:
+    """Schedule decompression of each block into the receive gaps.
+
+    Decompression of block i may start once block i is fully received and
+    the decompressor is free; while block i+1 is being received the CPU
+    alternates between servicing packets and decompressing, which the
+    schedule models at block granularity: within a receive interval, only
+    its idle (gap) share is available as decompression capacity.
+    """
+    cpu = cpu or IPAQ_CPU
+    blocks = receive_plan.blocks
+    schedules: List[BlockSchedule] = []
+    if not blocks:
+        return InterleavePlan(
+            blocks=[],
+            receive_end_s=0.0,
+            finish_s=0.0,
+            residual_idle_s=0.0,
+            overflow_s=0.0,
+        )
+
+    # Arrival times are cumulative receive times.
+    arrivals: List[float] = []
+    t = 0.0
+    for block in blocks:
+        t += block.total_s
+        arrivals.append(t)
+    receive_end = t
+
+    # Decompression capacity: between arrival of block i and arrival of
+    # block j > i, the CPU has the idle share of those receive intervals.
+    # After the link quiesces, capacity is wall-clock time.  We track the
+    # decompressor's progress in "work seconds" and convert to wall time.
+    idle_rate = receive_plan.link.idle_fraction
+
+    decompressor_free_s = 0.0
+    unfilled_idle_s = arrivals[0] * idle_rate  # ti'': first block's gaps
+    overflow_s = 0.0
+    block_cost = cpu.decompress_cost(codec)
+    for i, block in enumerate(blocks):
+        # The constant term is per-stream startup, charged once.
+        work = block_cost.marginal_seconds(block.raw_bytes, block.compressed_bytes)
+        if i == 0:
+            work += block_cost.constant_s
+        start = max(arrivals[i], decompressor_free_s)
+        # Idle wasted waiting for this block's arrival (decompressor
+        # starved) — only idle capacity between free and start counts.
+        if start > decompressor_free_s and i > 0:
+            window = start - max(decompressor_free_s, arrivals[0])
+            if window > 0:
+                unfilled_idle_s += window * idle_rate
+        # Convert work seconds to wall seconds: while the link is active
+        # only the idle fraction of wall time is available for the CPU.
+        end = _advance(start, work, receive_end, idle_rate)
+        schedules.append(
+            BlockSchedule(
+                index=i,
+                arrive_s=arrivals[i],
+                decompress_start_s=start,
+                decompress_end_s=end,
+            )
+        )
+        decompressor_free_s = end
+    finish = max(receive_end, decompressor_free_s)
+    overflow_s = max(0.0, decompressor_free_s - receive_end)
+    cost = cpu.decompress_cost(codec)
+    total_work = cost.constant_s + sum(
+        cost.marginal_seconds(b.raw_bytes, b.compressed_bytes) for b in blocks
+    )
+    tail_capacity = (receive_end - arrivals[0]) * idle_rate
+    return InterleavePlan(
+        blocks=schedules,
+        receive_end_s=receive_end,
+        finish_s=finish,
+        residual_idle_s=unfilled_idle_s,
+        overflow_s=overflow_s,
+        saturated=total_work > tail_capacity,
+    )
+
+
+def _advance(start: float, work_s: float, receive_end: float, idle_rate: float) -> float:
+    """Wall-clock end time for ``work_s`` of CPU work starting at ``start``.
+
+    While receiving, only the ``idle_rate`` share of wall time is available
+    (packet servicing interrupts the decompressor); afterwards the CPU is
+    fully available.
+    """
+    if work_s <= 0:
+        return start
+    if start >= receive_end or idle_rate <= 0:
+        if start >= receive_end:
+            return start + work_s
+        # No idle capacity while receiving: all work happens after.
+        return receive_end + work_s
+    capacity_during_receive = (receive_end - start) * idle_rate
+    if work_s <= capacity_during_receive:
+        return start + work_s / idle_rate
+    return receive_end + (work_s - capacity_during_receive)

@@ -1,0 +1,113 @@
+"""File-level selective compression (Section 4.3).
+
+"We do not compress the file if the original size is less than 3900
+bytes.  Note that if the original file is much larger than 3900 bytes,
+only the compression-factor threshold matters."  The decision procedure:
+check the size threshold, obtain (or estimate) the compression factor,
+and apply Equation 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.compression.base import Codec
+from repro.core import thresholds
+from repro.core.energy_model import EnergyModel
+
+
+@dataclass(frozen=True)
+class SelectiveDecision:
+    """Outcome of the selective-compression test for one file."""
+
+    compress: bool
+    reason: str
+    raw_bytes: int
+    compression_factor: Optional[float]
+    #: Bytes that will actually cross the link.
+    transfer_bytes: int
+    #: Estimated energies under the active model, when one was consulted.
+    plain_energy_j: Optional[float] = None
+    compressed_energy_j: Optional[float] = None
+
+    @property
+    def estimated_saving_j(self) -> Optional[float]:
+        """Estimated joules saved (None without a model)."""
+        if self.plain_energy_j is None or self.compressed_energy_j is None:
+            return None
+        return self.plain_energy_j - self.compressed_energy_j
+
+
+def decide_file(
+    data: Optional[bytes] = None,
+    raw_bytes: Optional[int] = None,
+    compression_factor: Optional[float] = None,
+    codec: Optional[Codec] = None,
+    model: Optional[EnergyModel] = None,
+    size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+) -> SelectiveDecision:
+    """Decide whether compressing a file before download saves energy.
+
+    Provide either ``data`` (the factor is measured by compressing with
+    ``codec``) or ``raw_bytes`` + ``compression_factor`` (metadata-only
+    decision).  ``model=None`` uses the paper's literal Equation 6.
+    """
+    if data is not None:
+        raw_bytes = len(data)
+    if raw_bytes is None:
+        raise ValueError("provide data or raw_bytes")
+
+    if raw_bytes < size_threshold:
+        return SelectiveDecision(
+            compress=False,
+            reason=f"file below the {size_threshold}-byte size threshold",
+            raw_bytes=raw_bytes,
+            compression_factor=compression_factor,
+            transfer_bytes=raw_bytes,
+        )
+
+    compressed_size: Optional[int] = None
+    if compression_factor is None:
+        if data is None or codec is None:
+            raise ValueError(
+                "provide compression_factor, or data plus a codec to measure it"
+            )
+        result = codec.compress(data)
+        compressed_size = result.compressed_size
+        compression_factor = result.factor
+
+    worthwhile = thresholds.compression_worthwhile(
+        raw_bytes, compression_factor, model
+    )
+    if compressed_size is None:
+        compressed_size = int(round(raw_bytes / compression_factor))
+
+    plain_e = comp_e = None
+    if model is not None:
+        plain_e = model.download_energy_j(raw_bytes)
+        comp_e = model.interleaved_energy_j(raw_bytes, compressed_size)
+
+    if not worthwhile:
+        return SelectiveDecision(
+            compress=False,
+            reason=(
+                f"factor {compression_factor:.2f} below the threshold for "
+                f"{raw_bytes} bytes (Equation 6)"
+            ),
+            raw_bytes=raw_bytes,
+            compression_factor=compression_factor,
+            transfer_bytes=raw_bytes,
+            plain_energy_j=plain_e,
+            compressed_energy_j=comp_e,
+        )
+    return SelectiveDecision(
+        compress=True,
+        reason=f"factor {compression_factor:.2f} passes Equation 6",
+        raw_bytes=raw_bytes,
+        compression_factor=compression_factor,
+        transfer_bytes=compressed_size,
+        plain_energy_j=plain_e,
+        compressed_energy_j=comp_e,
+    )

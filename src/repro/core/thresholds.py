@@ -1,0 +1,126 @@
+"""Threshold conditions for energy-worthy compression (Equation 6).
+
+The paper derives, by requiring the interleaved-compressed energy
+(Equation 5) to undercut the plain-download energy:
+
+    if s >  0.128 MB:  1.13/F < 1 - 0.00157/s
+    if s <= 0.128 MB:  1.30/F < 1 - 0.00372/s
+
+and, as F -> infinity, a file-size threshold of 0.00372 MB = 3900 bytes
+below which compression never pays off.  This module provides both the
+paper's literal conditions and the same thresholds re-derived from any
+:class:`~repro.core.energy_model.EnergyModel` parameterization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.core.energy_model import EnergyModel
+from repro.errors import ModelError
+
+#: Equation 6 literal constants.
+PAPER_LARGE_FACTOR_NUMERATOR = 1.13
+PAPER_LARGE_SIZE_TERM = 0.00157
+PAPER_SMALL_FACTOR_NUMERATOR = 1.30
+PAPER_SMALL_SIZE_TERM = 0.00372
+
+
+def paper_condition(raw_bytes: float, compression_factor: float) -> bool:
+    """The paper's literal Equation 6 test (True = compression saves)."""
+    if compression_factor <= 0:
+        raise ModelError("compression factor must be positive")
+    s = units.bytes_to_mb(raw_bytes)
+    if s <= 0:
+        return False
+    if s > units.BLOCK_SIZE_MB:
+        return PAPER_LARGE_FACTOR_NUMERATOR / compression_factor < (
+            1.0 - PAPER_LARGE_SIZE_TERM / s
+        )
+    return PAPER_SMALL_FACTOR_NUMERATOR / compression_factor < (
+        1.0 - PAPER_SMALL_SIZE_TERM / s
+    )
+
+
+def compression_worthwhile(
+    raw_bytes: float,
+    compression_factor: float,
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+) -> bool:
+    """Model-derived Equation 6: does interleaved compression save energy?
+
+    With the default model this agrees with :func:`paper_condition`; with
+    a different link or codec parameterization it adapts accordingly.
+    """
+    if model is None:
+        return paper_condition(raw_bytes, compression_factor)
+    if compression_factor <= 0:
+        raise ModelError("compression factor must be positive")
+    if raw_bytes <= 0:
+        return False
+    compressed = raw_bytes / compression_factor
+    return model.interleaved_energy_j(
+        raw_bytes, compressed, codec
+    ) < model.download_energy_j(raw_bytes)
+
+
+def factor_threshold(
+    raw_bytes: float,
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+) -> float:
+    """Minimum compression factor at which compression starts to pay.
+
+    Returns ``inf`` when no factor can make compression worthwhile (files
+    below the size threshold).
+    """
+    if raw_bytes <= 0:
+        return float("inf")
+
+    def worthwhile(f: float) -> bool:
+        return compression_worthwhile(raw_bytes, f, model, codec)
+
+    hi = 1e6
+    if not worthwhile(hi):
+        return float("inf")
+    lo = 1.0
+    if worthwhile(lo):
+        return lo
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if worthwhile(mid):
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2
+
+
+def size_threshold_bytes(
+    model: Optional[EnergyModel] = None, codec: str = "gzip"
+) -> int:
+    """File-size threshold below which no factor makes compression pay.
+
+    The paper's value is 3900 bytes; the model-derived value is the
+    smallest size for which an arbitrarily high factor still saves.
+    """
+    if model is None:
+        return units.THRESHOLD_FILE_SIZE_BYTES
+    huge_factor = 1e9
+
+    def ever_worthwhile(n_bytes: float) -> bool:
+        return compression_worthwhile(n_bytes, huge_factor, model, codec)
+
+    lo, hi = 1.0, float(units.BYTES_PER_MB)
+    if ever_worthwhile(lo):
+        return 1
+    if not ever_worthwhile(hi):
+        raise ModelError("compression never worthwhile under this model")
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if ever_worthwhile(mid):
+            hi = mid
+        else:
+            lo = mid
+    return int(round((lo + hi) / 2))

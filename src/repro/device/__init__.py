@@ -1,0 +1,34 @@
+"""Handheld-device substrate: power states, energy accounting, CPU costs.
+
+Models the paper's Compaq iPAQ 3650 (206 MHz StrongARM SA-1110, 32 MB RAM)
+with the measured Table 1 power parameters, an energy integrator standing
+in for the HP 3458a multimeter rig, and calibrated per-codec computation
+cost models.
+"""
+
+from repro.device.power import (
+    CpuState,
+    RadioState,
+    PowerTable,
+    IPAQ_POWER_TABLE,
+)
+from repro.device.timeline import PowerSegment, PowerTimeline
+from repro.device.battery import EnergyReport
+from repro.device.meter import Multimeter, MeterReading
+from repro.device.cpu import DeviceCpuModel, IPAQ_CPU
+from repro.device.handheld import HandheldDevice
+
+__all__ = [
+    "CpuState",
+    "RadioState",
+    "PowerTable",
+    "IPAQ_POWER_TABLE",
+    "PowerSegment",
+    "PowerTimeline",
+    "EnergyReport",
+    "Multimeter",
+    "MeterReading",
+    "DeviceCpuModel",
+    "IPAQ_CPU",
+    "HandheldDevice",
+]

@@ -1,0 +1,76 @@
+"""Energy accounting over power timelines.
+
+Stands in for the paper's measurement rig output: total Joules, equivalent
+battery charge, and a per-activity breakdown like Figure 3's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import units
+from repro.device.timeline import PowerTimeline
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Summary of one session's energy use."""
+
+    total_time_s: float
+    total_energy_j: float
+    energy_by_tag: Dict[str, float]
+    time_by_tag: Dict[str, float]
+
+    @classmethod
+    def from_timeline(cls, timeline: PowerTimeline) -> "EnergyReport":
+        return cls(
+            total_time_s=timeline.total_time_s,
+            total_energy_j=timeline.total_energy_j,
+            energy_by_tag=timeline.energy_by_tag(),
+            time_by_tag=timeline.time_by_tag(),
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the session."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.total_time_s
+
+    @property
+    def charge_mah(self) -> float:
+        """Battery charge equivalent at the supply voltage."""
+        joules = self.total_energy_j
+        # E = V * I * t  =>  I*t (mAh) = E / V / 3600 * 1000
+        return joules / units.SUPPLY_VOLTAGE_V / 3600.0 * 1000.0
+
+    def fraction_by_tag(self) -> Dict[str, float]:
+        """Energy share per activity (sums to 1 for non-empty sessions)."""
+        total = self.total_energy_j
+        if total <= 0:
+            return {tag: 0.0 for tag in self.energy_by_tag}
+        return {tag: e / total for tag, e in self.energy_by_tag.items()}
+
+    def relative_to(self, baseline: "EnergyReport") -> "RelativeReport":
+        """Time/energy ratios versus a baseline report."""
+        return RelativeReport(
+            time_ratio=_safe_ratio(self.total_time_s, baseline.total_time_s),
+            energy_ratio=_safe_ratio(self.total_energy_j, baseline.total_energy_j),
+        )
+
+
+@dataclass(frozen=True)
+class RelativeReport:
+    """Time/energy relative to a baseline session (the paper's bar heights,
+    which are 'relative to the time spent when downloading without
+    compression', Section 3.2)."""
+
+    time_ratio: float
+    energy_ratio: float
+
+
+def _safe_ratio(value: float, baseline: float) -> float:
+    if baseline <= 0:
+        return float("inf") if value > 0 else 1.0
+    return value / baseline

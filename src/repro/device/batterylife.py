@@ -1,0 +1,67 @@
+"""Battery-runtime estimates: turning Joules into hours and page counts.
+
+The paper measures energy with the battery disconnected; a user cares
+about the battery the measurements stand in for.  The iPAQ 3650 ships a
+950 mAh lithium-polymer pack at a nominal 3.7 V (~12.7 kJ); the optional
+extension pack doubles it.  This module converts session energies into
+charge draw and answers "how many of these downloads per charge?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: iPAQ 3650 internal battery: 950 mAh at 3.7 V nominal.
+IPAQ_BATTERY_MAH = 950.0
+IPAQ_BATTERY_VOLTAGE = 3.7
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An idealized battery: capacity at a nominal voltage.
+
+    Conversion losses between the pack and the 5 V rail are folded into
+    ``efficiency`` (DC-DC conversion, typically ~85-90%).
+    """
+
+    capacity_mah: float = IPAQ_BATTERY_MAH
+    voltage_v: float = IPAQ_BATTERY_VOLTAGE
+    efficiency: float = 0.87
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ModelError("battery capacity and voltage must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ModelError("efficiency must be in (0, 1]")
+
+    @property
+    def usable_joules(self) -> float:
+        """Deliverable energy at the load."""
+        return self.capacity_mah / 1000.0 * 3600.0 * self.voltage_v * self.efficiency
+
+    def sessions_per_charge(self, session_energy_j: float) -> float:
+        """How many identical sessions one charge supports."""
+        if session_energy_j <= 0:
+            raise ModelError("session energy must be positive")
+        return self.usable_joules / session_energy_j
+
+    def lifetime_hours_at(self, power_w: float) -> float:
+        """Runtime at a constant draw."""
+        if power_w <= 0:
+            raise ModelError("power must be positive")
+        return self.usable_joules / power_w / 3600.0
+
+    def drain_fraction(self, energy_j: float) -> float:
+        """Share of a full charge one session consumes."""
+        if energy_j < 0:
+            raise ModelError("energy must be non-negative")
+        return energy_j / self.usable_joules
+
+
+def downloads_per_charge(
+    session_energy_j: float, battery: Battery = Battery()
+) -> int:
+    """Whole sessions a fresh charge supports."""
+    return int(battery.sessions_per_charge(session_energy_j))

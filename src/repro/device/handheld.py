@@ -1,0 +1,105 @@
+"""HandheldDevice facade: power table + CPU cost model + timeline building.
+
+The facade owns the translation from "the device did X for T seconds" to
+tagged power segments, so session code never touches raw Table 1 lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro import units
+from repro.device import power as power_mod
+from repro.device.battery import EnergyReport
+from repro.device.cpu import DeviceCpuModel, IPAQ_CPU
+from repro.device.power import CpuState, PowerTable, RadioState, IPAQ_POWER_TABLE
+from repro.device.timeline import PowerTimeline
+
+
+@dataclass
+class HandheldDevice:
+    """An iPAQ-3650-like handheld with measured power characteristics.
+
+    Attributes:
+        power_table: Table 1 currents.
+        cpu: per-codec computation cost model.
+        recv_active_power_w: draw while actively receiving packets
+            (derived from the paper's m; see :mod:`repro.device.power`).
+    """
+
+    power_table: PowerTable = field(default_factory=lambda: IPAQ_POWER_TABLE)
+    cpu: DeviceCpuModel = field(default_factory=lambda: IPAQ_CPU)
+    recv_active_power_w: float = power_mod.RECV_ACTIVE_POWER_W
+
+    # -- power lookups ------------------------------------------------------
+
+    @property
+    def idle_power_w(self) -> float:
+        """p_i: CPU idle, radio idle, no power save (310 mA)."""
+        return self.power_table.power_w(CpuState.IDLE, RadioState.IDLE, False)
+
+    @property
+    def idle_power_save_w(self) -> float:
+        """CPU idle with the radio in power-saving mode (110 mA)."""
+        return self.power_table.power_w(CpuState.IDLE, RadioState.IDLE, True)
+
+    @property
+    def sleep_power_w(self) -> float:
+        """CPU idle, radio asleep (90 mA)."""
+        return self.power_table.power_w(CpuState.IDLE, RadioState.SLEEP)
+
+    def decompress_power_w(self, power_save: bool = False) -> float:
+        """p_d: 570 mA radio-idle, or 1.70 W (340 mA) in power-saving mode."""
+        return self.power_table.power_w(
+            CpuState.BUSY, RadioState.IDLE, power_save, activity="decompress"
+        )
+
+    def busy_power_w(self, power_save: bool = False) -> float:
+        """Generic computation draw, radio idle (mid-range of Table 1)."""
+        return self.power_table.power_w(CpuState.BUSY, RadioState.IDLE, power_save)
+
+    # -- timeline builders ---------------------------------------------------
+
+    def recv_segment(self, timeline: PowerTimeline, duration_s: float) -> None:
+        """Append an active-receive segment."""
+        timeline.add(duration_s, self.recv_active_power_w, "recv")
+
+    def idle_segment(
+        self, timeline: PowerTimeline, duration_s: float, power_save: bool = False
+    ) -> None:
+        """Append an idle segment (optionally power-saving)."""
+        power = self.idle_power_save_w if power_save else self.idle_power_w
+        timeline.add(duration_s, power, "idle")
+
+    def decompress_segment(
+        self, timeline: PowerTimeline, duration_s: float, power_save: bool = False
+    ) -> None:
+        """Append a decompression segment at p_d."""
+        timeline.add(duration_s, self.decompress_power_w(power_save), "decompress")
+
+    def compress_segment(
+        self, timeline: PowerTimeline, duration_s: float, power_save: bool = False
+    ) -> None:
+        """Append a computation segment at the busy draw."""
+        timeline.add(duration_s, self.busy_power_w(power_save), "compress")
+
+    def startup_segment(self, timeline: PowerTimeline) -> None:
+        """Network communication start-up cost cs (Equation 1)."""
+        timeline.add_energy(units.COMM_STARTUP_ENERGY_J, "startup")
+
+    # -- convenience ----------------------------------------------------------
+
+    def report(self, timeline: PowerTimeline) -> EnergyReport:
+        """Energy report for a finished timeline."""
+        return EnergyReport.from_timeline(timeline)
+
+    def decompress_time_s(
+        self, codec_name: str, raw_bytes: float, compressed_bytes: float
+    ) -> float:
+        """Device decompression time for a codec and sizes."""
+        return self.cpu.decompress_time_s(codec_name, raw_bytes, compressed_bytes)
+
+    def compress_time_s(
+        self, codec_name: str, raw_bytes: float, compressed_bytes: float
+    ) -> float:
+        """Device compression time for a codec and sizes."""
+        return self.cpu.compress_time_s(codec_name, raw_bytes, compressed_bytes)

@@ -1,0 +1,118 @@
+"""Simulated digital multimeter (the paper's HP 3458a stand-in).
+
+The paper measures with a low-impedance (0.1 ohm) meter that "takes
+several hundred samples per second and automatically records maximum,
+minimum and average electrical current", triggered by software
+(Section 2).  This module samples a :class:`PowerTimeline` the same way:
+point samples at a fixed rate between trigger start and stop, with a
+configurable trigger overhead (the paper bounds theirs below 0.5%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import units
+from repro.device.timeline import PowerTimeline
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """One triggered measurement window."""
+
+    samples: int
+    min_ma: float
+    max_ma: float
+    avg_ma: float
+    duration_s: float
+
+    @property
+    def avg_power_w(self) -> float:
+        """Average power implied by the mean current."""
+        return units.current_ma_to_power_w(self.avg_ma)
+
+    @property
+    def energy_j(self) -> float:
+        """Energy over the window at the mean power."""
+        return self.avg_power_w * self.duration_s
+
+
+class Multimeter:
+    """Samples current draw over a timeline between trigger marks."""
+
+    def __init__(
+        self,
+        sample_rate_hz: float = 400.0,
+        trigger_overhead_fraction: float = 0.002,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if not 0 <= trigger_overhead_fraction < 0.005:
+            # The paper validates its rig at < 0.5% overhead; reject
+            # configurations that would not be comparable.
+            raise ValueError("trigger overhead must be below 0.5%")
+        self.sample_rate_hz = sample_rate_hz
+        self.trigger_overhead_fraction = trigger_overhead_fraction
+
+    def measure(
+        self,
+        timeline: PowerTimeline,
+        start_s: float = 0.0,
+        stop_s: Optional[float] = None,
+    ) -> MeterReading:
+        """Sample the timeline's current between ``start_s`` and ``stop_s``.
+
+        Zero-duration (pure-energy) segments are invisible to point
+        sampling, exactly as a real meter misses sub-sample transients;
+        energy reports account for them instead.
+        """
+        total = timeline.total_time_s
+        if stop_s is None:
+            stop_s = total
+        if stop_s < start_s:
+            raise SimulationError("meter stop precedes start")
+
+        currents = self._sample_currents(timeline, start_s, stop_s)
+        if not currents:
+            raise SimulationError("measurement window contains no samples")
+        duration = stop_s - start_s
+        avg = sum(currents) / len(currents)
+        # Trigger interrupts add a small, bounded measurement overhead.
+        avg *= 1.0 + self.trigger_overhead_fraction
+        return MeterReading(
+            samples=len(currents),
+            min_ma=min(currents),
+            max_ma=max(currents),
+            avg_ma=avg,
+            duration_s=duration,
+        )
+
+    def _sample_currents(
+        self, timeline: PowerTimeline, start_s: float, stop_s: float
+    ) -> List[float]:
+        period = 1.0 / self.sample_rate_hz
+        # Build the segment boundary list once, then walk it with the
+        # sample clock.
+        bounds: List[tuple] = []
+        t = 0.0
+        for seg in timeline:
+            if seg.duration_s > 0:
+                bounds.append((t, t + seg.duration_s, seg.current_ma))
+                t += seg.duration_s
+        samples: List[float] = []
+        idx = 0
+        # Offset the first sample half a period in so a sample never lands
+        # exactly on a boundary.
+        sample_t = start_s + period / 2.0
+        while sample_t < stop_s:
+            while idx < len(bounds) and bounds[idx][1] <= sample_t:
+                idx += 1
+            if idx >= len(bounds):
+                break
+            lo, hi, ma = bounds[idx]
+            if lo <= sample_t < hi:
+                samples.append(ma)
+            sample_t += period
+        return samples

@@ -1,0 +1,162 @@
+"""Table 1 of the paper: measured iPAQ + WaveLAN current draw.
+
+Each row of the paper's Table 1 is reproduced verbatim, including the
+measured ranges for busy modes and the parenthesized averages observed
+during gzip decompression.  All numbers are electrical current in mA with
+the screen off and the device powered from an external 5 V supply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import units
+from repro.errors import ModelError
+
+
+class CpuState(enum.Enum):
+    """iPAQ processor mode (Table 1, first column)."""
+
+    #: The device does nothing.
+    IDLE = "idle"
+    #: The device performs computation.
+    BUSY = "busy"
+    #: The CPU services the network interface ('-' rows in Table 1:
+    #: "the CPU is not idle even if it is not performing any computational
+    #: tasks" while the card sends or receives).
+    NETWORK = "network"
+
+
+class RadioState(enum.Enum):
+    """WaveLAN card mode (Table 1, second column)."""
+
+    SLEEP = "sleep"
+    IDLE = "idle"
+    RECV = "recv"
+    SEND = "send"
+
+
+@dataclass(frozen=True)
+class PowerRow:
+    """One Table 1 row: a current range plus activity-specific averages."""
+
+    min_ma: float
+    max_ma: float
+    #: Average current while running gzip/zlib decompression in this state,
+    #: where the paper reports one (the parenthesized numbers).
+    decompress_ma: Optional[float] = None
+
+    @property
+    def mid_ma(self) -> float:
+        """Midpoint of the measured current range."""
+        return (self.min_ma + self.max_ma) / 2.0
+
+    def current_ma(self, activity: Optional[str] = None) -> float:
+        """Current for an activity (decompress average when available)."""
+        if activity == "decompress" and self.decompress_ma is not None:
+            return self.decompress_ma
+        return self.mid_ma
+
+
+_Key = Tuple[CpuState, RadioState, Optional[bool]]
+
+
+class PowerTable:
+    """Lookup from (cpu, radio, power_save) to current draw.
+
+    ``power_save=None`` matches rows where the paper leaves the column
+    blank (sleep-mode rows, where power saving is what produces sleep).
+    """
+
+    def __init__(self, rows: Dict[_Key, PowerRow], voltage_v: float = units.SUPPLY_VOLTAGE_V):
+        self._rows = dict(rows)
+        self.voltage_v = voltage_v
+
+    def row(
+        self,
+        cpu: CpuState,
+        radio: RadioState,
+        power_save: Optional[bool] = None,
+    ) -> PowerRow:
+        """The Table 1 row for a state combination."""
+        for key in ((cpu, radio, power_save), (cpu, radio, None)):
+            if key in self._rows:
+                return self._rows[key]
+        raise ModelError(
+            f"no Table 1 row for cpu={cpu.value} radio={radio.value} "
+            f"power_save={power_save}"
+        )
+
+    def current_ma(
+        self,
+        cpu: CpuState,
+        radio: RadioState,
+        power_save: Optional[bool] = None,
+        activity: Optional[str] = None,
+    ) -> float:
+        """Current in mA for a state combination."""
+        return self.row(cpu, radio, power_save).current_ma(activity)
+
+    def power_w(
+        self,
+        cpu: CpuState,
+        radio: RadioState,
+        power_save: Optional[bool] = None,
+        activity: Optional[str] = None,
+    ) -> float:
+        """Power in watts for a state combination."""
+        ma = self.current_ma(cpu, radio, power_save, activity)
+        return units.current_ma_to_power_w(ma, self.voltage_v)
+
+    def rows(self) -> Dict[_Key, PowerRow]:
+        """A copy of the underlying row mapping."""
+        return dict(self._rows)
+
+
+#: Table 1, transcribed.  SEND rows mirror RECV: the paper adjusts "the bit
+#: rate (for both send and receive)" together and reports no separate send
+#: current, and the WaveLAN card's transmit draw at this power level is
+#: within the same band.
+IPAQ_POWER_TABLE = PowerTable(
+    {
+        (CpuState.IDLE, RadioState.SLEEP, None): PowerRow(90, 90),
+        (CpuState.BUSY, RadioState.SLEEP, None): PowerRow(300, 440, decompress_ma=310),
+        (CpuState.IDLE, RadioState.IDLE, False): PowerRow(310, 310),
+        (CpuState.IDLE, RadioState.IDLE, True): PowerRow(110, 110),
+        (CpuState.BUSY, RadioState.IDLE, False): PowerRow(530, 670, decompress_ma=570),
+        (CpuState.BUSY, RadioState.IDLE, True): PowerRow(330, 470, decompress_ma=340),
+        (CpuState.NETWORK, RadioState.RECV, False): PowerRow(430, 430),
+        (CpuState.NETWORK, RadioState.RECV, True): PowerRow(400, 400),
+        (CpuState.BUSY, RadioState.RECV, False): PowerRow(550, 690),
+        (CpuState.BUSY, RadioState.RECV, True): PowerRow(470, 690),
+        (CpuState.NETWORK, RadioState.SEND, False): PowerRow(430, 430),
+        (CpuState.NETWORK, RadioState.SEND, True): PowerRow(400, 400),
+        (CpuState.BUSY, RadioState.SEND, False): PowerRow(550, 690),
+        (CpuState.BUSY, RadioState.SEND, True): PowerRow(470, 690),
+    }
+)
+
+#: Key model powers the paper's fitted equations imply (Section 4.2).
+#: p_i: system idle between packet arrivals = idle/idle/off = 310 mA.
+IDLE_POWER_W = IPAQ_POWER_TABLE.power_w(CpuState.IDLE, RadioState.IDLE, False)
+#: p_d: gzip decompression, radio idle, no power save = 570 mA.
+DECOMPRESS_POWER_W = IPAQ_POWER_TABLE.power_w(
+    CpuState.BUSY, RadioState.IDLE, False, activity="decompress"
+)
+#: p_d with the radio in power-saving mode ("letting pd equal to 1.70",
+#: Section 4.2) = 340 mA.
+DECOMPRESS_SLEEP_POWER_W = IPAQ_POWER_TABLE.power_w(
+    CpuState.BUSY, RadioState.IDLE, True, activity="decompress"
+)
+#: Effective power while actively receiving, derived from the paper's
+#: m = 2.486 J/MB at 0.6 MB/s with the 40% idle fraction excluded:
+#: active receive occupies (1 - 0.4) of 1/0.6 s per MB, so
+#: p_recv = m * rate / (1 - idle_fraction).  This exceeds the steady-state
+#: 430 mA Table 1 row because packet copy/assembly work rides on top.
+RECV_ACTIVE_POWER_W = (
+    units.RECEIVE_ENERGY_J_PER_MB
+    * units.MODEL_RATE_11MBPS_MBPS
+    / (1.0 - units.IDLE_FRACTION_11MBPS)
+)

@@ -1,0 +1,259 @@
+"""Radio power management between requests (Section 2's discussion).
+
+Between downloads the WaveLAN card can stay idle (310 mA system draw),
+enter the hardware power-saving mode (110 mA, with a 25% throughput
+penalty when traffic resumes), or sleep outright (90 mA, unreachable for
+incoming traffic).  "Heuristics have been proposed in literature to
+predict the optimal timing to wake-up from the sleep mode [Stemm & Katz].
+However the success rate of such methods highly depends on event
+predictability."  The paper sidesteps the issue by using the hardware
+mechanism; this module builds the policies so the trade-off can be
+simulated:
+
+- :class:`AlwaysOnPolicy` — radio idle the whole gap.
+- :class:`StaticPowerSavePolicy` — hardware power-saving during gaps;
+  resumed transfers pay the 25% throughput penalty.
+- :class:`TimeoutSleepPolicy` — classic inactivity timer: idle for T,
+  then power-save; pays a wake-up latency when a request arrives asleep.
+- :class:`AdaptiveTimeoutPolicy` — the [11]-style heuristic: the timeout
+  tracks a running estimate of the inter-request gap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.energy_model import EnergyModel
+from repro.device.timeline import PowerTimeline
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class GapOutcome:
+    """How one inter-request gap was spent."""
+
+    gap_s: float
+    idle_s: float
+    power_save_s: float
+    wake_latency_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Gap duration plus any wake-up latency."""
+        return self.gap_s + self.wake_latency_s
+
+
+class IdlePolicy(ABC):
+    """Decides how the radio spends an inter-request gap."""
+
+    name: str = "abstract"
+    #: Whether transfers right after a gap run in power-saving mode.
+    resumes_in_power_save: bool = False
+
+    @abstractmethod
+    def spend_gap(self, gap_s: float) -> GapOutcome:
+        """Split a gap into idle/power-save time plus wake-up latency."""
+
+    def observe(self, gap_s: float) -> None:
+        """Feed the actual gap back to adaptive policies (no-op default)."""
+
+
+class AlwaysOnPolicy(IdlePolicy):
+    """Radio idle for the whole gap; zero latency, maximum draw."""
+
+    name = "always-on"
+
+    def spend_gap(self, gap_s: float) -> GapOutcome:
+        return GapOutcome(gap_s=gap_s, idle_s=gap_s, power_save_s=0.0, wake_latency_s=0.0)
+
+
+class StaticPowerSavePolicy(IdlePolicy):
+    """Hardware power-saving for the whole gap.
+
+    The card stays receptive (periodic wakeups), so there is no wake
+    latency, but traffic after the gap runs 25% slower until the mode is
+    left — modelled by flagging the next transfer.
+    """
+
+    name = "power-save"
+    resumes_in_power_save = True
+
+    def spend_gap(self, gap_s: float) -> GapOutcome:
+        return GapOutcome(gap_s=gap_s, idle_s=0.0, power_save_s=gap_s, wake_latency_s=0.0)
+
+
+class TimeoutSleepPolicy(IdlePolicy):
+    """Idle for ``timeout_s``, then power-save; late arrivals pay a wake."""
+
+    name = "timeout"
+
+    def __init__(self, timeout_s: float = 1.0, wake_latency_s: float = 0.04) -> None:
+        if timeout_s < 0 or wake_latency_s < 0:
+            raise ModelError("timeout and wake latency must be non-negative")
+        self.timeout_s = timeout_s
+        self.wake_latency_s = wake_latency_s
+
+    def spend_gap(self, gap_s: float) -> GapOutcome:
+        if gap_s <= self.timeout_s:
+            return GapOutcome(gap_s, idle_s=gap_s, power_save_s=0.0, wake_latency_s=0.0)
+        return GapOutcome(
+            gap_s,
+            idle_s=self.timeout_s,
+            power_save_s=gap_s - self.timeout_s,
+            wake_latency_s=self.wake_latency_s,
+        )
+
+
+class AdaptiveTimeoutPolicy(TimeoutSleepPolicy):
+    """Timeout follows an EWMA of observed gaps (the [11]-style idea).
+
+    Short recent gaps pull the timeout up (stay awake: a request is
+    probably imminent); long gaps pull it down (sleep early).  The
+    timeout is a fixed fraction of the gap estimate.
+    """
+
+    name = "adaptive-timeout"
+
+    def __init__(
+        self,
+        initial_timeout_s: float = 1.0,
+        fraction: float = 0.25,
+        alpha: float = 0.3,
+        wake_latency_s: float = 0.04,
+        min_timeout_s: float = 0.05,
+        max_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(initial_timeout_s, wake_latency_s)
+        if not 0 < alpha <= 1:
+            raise ModelError("alpha must be in (0, 1]")
+        if not 0 < fraction <= 1:
+            raise ModelError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.alpha = alpha
+        self.min_timeout_s = min_timeout_s
+        self.max_timeout_s = max_timeout_s
+        self._gap_estimate_s = initial_timeout_s / fraction
+
+    def observe(self, gap_s: float) -> None:
+        self._gap_estimate_s = (
+            self.alpha * gap_s + (1 - self.alpha) * self._gap_estimate_s
+        )
+        self.timeout_s = min(
+            self.max_timeout_s,
+            max(self.min_timeout_s, self.fraction * self._gap_estimate_s),
+        )
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """A request trace: (raw_bytes, compression_factor, gap_after_s)."""
+
+    requests: Sequence[tuple]
+
+    @property
+    def total_gap_s(self) -> float:
+        """Sum of the trace's inter-request gaps."""
+        return sum(gap for _, _, gap in self.requests)
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Energy and latency of running a trace under one policy."""
+
+    policy: str
+    energy_j: float
+    transfer_energy_j: float
+    gap_energy_j: float
+    total_time_s: float
+    wake_latency_s: float
+    timeline: PowerTimeline
+
+
+def run_trace(
+    trace: SessionTrace,
+    policy: IdlePolicy,
+    model: Optional[EnergyModel] = None,
+) -> PolicyResult:
+    """Replay a request trace under an idle policy.
+
+    Transfers use the interleaved compressed session when the factor
+    clears Equation 6, raw otherwise (the paper's recommended operation);
+    after a gap spent in power-save mode the next transfer runs on the
+    power-save link (25% slower).
+    """
+    # Imported lazily: repro.simulator's package init reaches back into
+    # this module (lifetime simulation), so a module-level import cycles.
+    from repro.core import thresholds
+    from repro.simulator.analytic import AnalyticSession
+
+    model = model or EnergyModel()
+    ps_link = model.link.with_power_save(True)
+    ps_model = EnergyModel(link=ps_link, device=model.device, cpu=model.cpu)
+    session = AnalyticSession(model)
+    ps_session = AnalyticSession(ps_model)
+
+    device = model.device
+    timeline = PowerTimeline()
+    transfer_j = 0.0
+    gap_j = 0.0
+    wake_s = 0.0
+    in_power_save = False
+
+    for raw_bytes, factor, gap_after in trace.requests:
+        active = ps_session if (in_power_save and policy.resumes_in_power_save) else session
+        if factor > 1 and thresholds.compression_worthwhile(
+            raw_bytes, factor, model
+        ):
+            result = active.precompressed(
+                raw_bytes, int(raw_bytes / factor), interleave=True
+            )
+        else:
+            result = active.raw(raw_bytes)
+        timeline.extend(result.timeline)
+        transfer_j += result.energy_j
+
+        outcome = policy.spend_gap(gap_after)
+        policy.observe(gap_after)
+        if outcome.idle_s:
+            timeline.add(outcome.idle_s, device.idle_power_w, "gap-idle")
+        if outcome.power_save_s:
+            timeline.add(
+                outcome.power_save_s, device.idle_power_save_w, "gap-power-save"
+            )
+        if outcome.wake_latency_s:
+            timeline.add(outcome.wake_latency_s, device.idle_power_w, "wake")
+            wake_s += outcome.wake_latency_s
+        gap_j += (
+            outcome.idle_s * device.idle_power_w
+            + outcome.power_save_s * device.idle_power_save_w
+            + outcome.wake_latency_s * device.idle_power_w
+        )
+        in_power_save = outcome.power_save_s > 0
+
+    return PolicyResult(
+        policy=policy.name,
+        energy_j=timeline.total_energy_j,
+        transfer_energy_j=transfer_j,
+        gap_energy_j=gap_j,
+        total_time_s=timeline.total_time_s,
+        wake_latency_s=wake_s,
+        timeline=timeline,
+    )
+
+
+def compare_policies(
+    trace: SessionTrace,
+    policies: Optional[List[IdlePolicy]] = None,
+    model: Optional[EnergyModel] = None,
+) -> List[PolicyResult]:
+    """Run the trace under each policy (fresh instances recommended)."""
+    if policies is None:
+        policies = [
+            AlwaysOnPolicy(),
+            StaticPowerSavePolicy(),
+            TimeoutSleepPolicy(timeout_s=1.0),
+            AdaptiveTimeoutPolicy(),
+        ]
+    return [run_trace(trace, policy, model) for policy in policies]

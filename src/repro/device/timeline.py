@@ -1,0 +1,141 @@
+"""Power timelines: the common currency between simulator and meters.
+
+A session (download, decompress, ...) produces a sequence of
+:class:`PowerSegment` records — contiguous intervals of constant power
+draw tagged with what the device was doing.  Energy reports, multimeter
+readings and the figure harnesses are all computed from timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro import units
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A constant-power interval.
+
+    Attributes:
+        duration_s: interval length; may be 0 for pure-energy events
+            (e.g. the communication start-up cost cs).
+        power_w: draw during the interval.
+        tag: activity label ("recv", "idle", "decompress", ...).
+        energy_j: explicit energy override; defaults to power x duration.
+    """
+
+    duration_s: float
+    power_w: float
+    tag: str
+    energy_j: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise SimulationError(f"negative segment duration {self.duration_s}")
+        if self.power_w < 0:
+            raise SimulationError(f"negative segment power {self.power_w}")
+
+    @property
+    def energy(self) -> float:
+        """Energy of the segment (override or power x duration)."""
+        if self.energy_j is not None:
+            return self.energy_j
+        return self.power_w * self.duration_s
+
+    @property
+    def current_ma(self) -> float:
+        """The current a meter would read during this segment."""
+        return units.power_w_to_current_ma(self.power_w)
+
+
+@dataclass
+class PowerTimeline:
+    """An ordered list of power segments with aggregation helpers."""
+
+    segments: List[PowerSegment] = field(default_factory=list)
+
+    def add(
+        self,
+        duration_s: float,
+        power_w: float,
+        tag: str,
+        energy_j: Optional[float] = None,
+    ) -> None:
+        """Append a constant-power segment."""
+        if duration_s == 0 and not energy_j:
+            return
+        self.segments.append(PowerSegment(duration_s, power_w, tag, energy_j))
+
+    def add_energy(self, energy_j: float, tag: str) -> None:
+        """Record an instantaneous energy cost (zero wall time)."""
+        self.segments.append(PowerSegment(0.0, 0.0, tag, energy_j=energy_j))
+
+    def extend(self, other: "PowerTimeline") -> None:
+        """Append another timeline's segments."""
+        self.segments.extend(other.segments)
+
+    def __iter__(self) -> Iterator[PowerSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_time_s(self) -> float:
+        """Total wall time in seconds."""
+        return sum(seg.duration_s for seg in self.segments)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy in joules."""
+        return sum(seg.energy for seg in self.segments)
+
+    def time_by_tag(self) -> Dict[str, float]:
+        """Seconds per activity tag."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.tag] = out.get(seg.tag, 0.0) + seg.duration_s
+        return out
+
+    def energy_by_tag(self) -> Dict[str, float]:
+        """Joules per activity tag."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.tag] = out.get(seg.tag, 0.0) + seg.energy
+        return out
+
+    def average_power_w(self) -> float:
+        """Mean power over the timeline (0 for empty)."""
+        t = self.total_time_s
+        if t <= 0:
+            return 0.0
+        return self.total_energy_j / t
+
+    def merged(self) -> "PowerTimeline":
+        """Coalesce adjacent segments with equal power and tag."""
+        merged = PowerTimeline()
+        for seg in self.segments:
+            if (
+                merged.segments
+                and merged.segments[-1].tag == seg.tag
+                and merged.segments[-1].power_w == seg.power_w
+                and merged.segments[-1].energy_j is None
+                and seg.energy_j is None
+            ):
+                last = merged.segments.pop()
+                merged.segments.append(
+                    PowerSegment(last.duration_s + seg.duration_s, seg.power_w, seg.tag)
+                )
+            else:
+                merged.segments.append(seg)
+        return merged
+
+    @classmethod
+    def concat(cls, timelines: Iterable["PowerTimeline"]) -> "PowerTimeline":
+        out = cls()
+        for tl in timelines:
+            out.extend(tl)
+        return out

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CodecError(ReproError):
+    """Base class for compression/decompression failures."""
+
+
+class CorruptStreamError(CodecError):
+    """A compressed stream failed validation during decode."""
+
+
+class UnknownCodecError(CodecError):
+    """A codec name was not found in the registry."""
+
+
+class ModelError(ReproError):
+    """An energy-model computation received invalid parameters."""
+
+
+class CalibrationError(ReproError):
+    """A calibration fit could not be performed (e.g. too few points)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated as requested."""

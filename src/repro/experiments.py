@@ -1,0 +1,128 @@
+"""The experiment index: every table/figure and where it regenerates.
+
+A programmatic mirror of DESIGN.md's per-experiment table, so tooling
+(and ``repro experiments``) can enumerate the evaluation without parsing
+markdown.  Each entry names the pytest bench that regenerates the
+experiment and the artifact it writes under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table/figure (or extension study) and its regeneration target."""
+
+    id: str
+    title: str
+    bench: str
+    artifact: str
+    paper_ref: str
+    extension: bool = False
+
+
+_EXPERIMENTS: List[Experiment] = [
+    Experiment("table1", "Power parameters (mA per device state)",
+               "bench_table1_power.py", "table1_power", "Table 1"),
+    Experiment("table2", "Compression factors across the corpus",
+               "bench_table2_factors.py", "table2_factors", "Table 2"),
+    Experiment("fig1", "Download+decompress time, three schemes",
+               "bench_fig1_time.py", "fig1_time", "Figure 1"),
+    Experiment("fig2", "Energy, three schemes",
+               "bench_fig2_energy.py", "fig2_energy", "Figure 2"),
+    Experiment("fig3", "Energy breakdown of download-then-decompress",
+               "bench_fig3_breakdown.py", "fig3_breakdown", "Figure 3"),
+    Experiment("fig4", "Interleaving timelines, both regimes",
+               "bench_fig4_interleave_timeline.py", "fig4_interleave_timeline",
+               "Figure 4"),
+    Experiment("fig5", "Interleaving effect on time",
+               "bench_fig5_interleave_time.py", "fig5_interleave_time", "Figure 5"),
+    Experiment("fig6", "Interleaving effect on energy",
+               "bench_fig6_interleave_energy.py", "fig6_interleave_energy",
+               "Figure 6"),
+    Experiment("fig7", "Interleaving model error",
+               "bench_fig7_model_error.py", "fig7_model_error", "Figure 7"),
+    Experiment("fig8", "Linear fits (decompression time, download energy)",
+               "bench_fig8_fits.py", "fig8_fits", "Figure 8"),
+    Experiment("fig9", "Closed-form error at 11 and 2 Mb/s",
+               "bench_fig9_model_error_rates.py", "fig9_model_error_rates",
+               "Figure 9"),
+    Experiment("eq6", "Selective-compression thresholds",
+               "bench_eq6_thresholds.py", "eq6_thresholds", "Equation 6"),
+    Experiment("fig11", "Block-by-block adaptive scheme",
+               "bench_fig11_adaptive.py", "fig11_adaptive", "Figure 11"),
+    Experiment("fig12", "Compression on demand, time",
+               "bench_fig12_ondemand_time.py", "fig12_ondemand_time", "Figure 12"),
+    Experiment("fig13", "Compression on demand, energy",
+               "bench_fig13_ondemand_energy.py", "fig13_ondemand_energy",
+               "Figure 13"),
+    Experiment("sleep", "Sleep-mode vs interleaving crossover",
+               "bench_sleep_crossover.py", "sleep_crossover", "Section 4.2"),
+    Experiment("ablate-block", "Interleaving block-size sweep",
+               "bench_ablate_block_size.py", "ablate_block_size", "ablation",
+               extension=True),
+    Experiment("ablate-link", "Link rate vs break-even factor",
+               "bench_ablate_link_rate.py", "ablate_link_rate", "ablation",
+               extension=True),
+    Experiment("upload", "Upload-direction trade-off",
+               "bench_upload_tradeoff.py", "upload_tradeoff", "Section 7 (future work)",
+               extension=True),
+    Experiment("audio", "Specialized audio pre-filter",
+               "bench_audio_filter.py", "audio_filter", "Section 7 (future work)",
+               extension=True),
+    Experiment("fleet", "Fleet contention amplification",
+               "bench_fleet_contention.py", "fleet_contention", "extension",
+               extension=True),
+    Experiment("fleet-breakeven", "Contention-adjusted thresholds",
+               "bench_fleet_breakeven.py", "fleet_breakeven", "extension",
+               extension=True),
+    Experiment("powersave", "Radio idle policies per traffic pattern",
+               "bench_powersave_policies.py", "powersave_policies",
+               "Section 2 (ref [11])", extension=True),
+    Experiment("distance", "Energy vs distance under rate adaptation",
+               "bench_distance_sweep.py", "distance_sweep", "Section 2 knobs",
+               extension=True),
+    Experiment("transcode", "Lossy transcoding on media",
+               "bench_transcode_media.py", "transcode_media", "intro refs [2,4,8]",
+               extension=True),
+    Experiment("cache", "Precompression cache vs on-demand",
+               "bench_cache_study.py", "cache_study", "Section 1", extension=True),
+    Experiment("policy", "Serving-policy decision matrix",
+               "bench_serving_policy.py", "serving_policy", "extension",
+               extension=True),
+    Experiment("lifetime", "Battery life per charge",
+               "bench_battery_lifetime.py", "battery_lifetime", "extension",
+               extension=True),
+    Experiment("throughput", "Codec throughput (engineering)",
+               "bench_codec_throughput.py", "-", "engineering", extension=True),
+    Experiment("engines", "Pure-Python codecs vs CPython engines",
+               "bench_engine_agreement.py", "engine_agreement", "ablation",
+               extension=True),
+]
+
+_BY_ID: Dict[str, Experiment] = {e.id: e for e in _EXPERIMENTS}
+
+
+def all_experiments(include_extensions: bool = True) -> List[Experiment]:
+    """Every indexed experiment, optionally without the extensions."""
+    if include_extensions:
+        return list(_EXPERIMENTS)
+    return [e for e in _EXPERIMENTS if not e.extension]
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up one experiment by id; raises KeyError with the known ids."""
+    try:
+        return _BY_ID[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ID))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def bench_command(exp_id: str) -> str:
+    """The shell command that regenerates one experiment."""
+    exp = get_experiment(exp_id)
+    return f"pytest benchmarks/{exp.bench} --benchmark-only"

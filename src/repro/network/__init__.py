@@ -1,0 +1,15 @@
+"""Wireless-LAN substrate: 802.11b link model, packetization, timelines."""
+
+from repro.network.wlan import LinkConfig, LINK_11MBPS, LINK_2MBPS
+from repro.network.packets import Packetizer, PacketSchedule
+from repro.network.link import ReceivePlan, plan_receive
+
+__all__ = [
+    "LinkConfig",
+    "LINK_11MBPS",
+    "LINK_2MBPS",
+    "Packetizer",
+    "PacketSchedule",
+    "ReceivePlan",
+    "plan_receive",
+]

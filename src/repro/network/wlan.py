@@ -1,0 +1,115 @@
+"""802.11b WaveLAN link model.
+
+Captures what the paper measures about the Lucent Orinoco card
+(Section 2): an 11 Mb/s nominal peak with ~5 Mb/s effective air rate and
+602 KiB/s application-level receive rate, a 2 Mb/s setting with 180 KiB/s,
+a power-saving mode that periodically sleeps the card and costs about 25%
+of effective throughput, and a CPU-idle fraction between packet arrivals
+(40% at 11 Mb/s, 81.5% at 2 Mb/s).
+
+The bit rate "can be adjusted downward ... by changing the settings of
+the access point, by increasing the communication distance, or by
+increasing structure obstacles"; :func:`degraded` models those knobs as a
+rate multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro import units
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One wireless link operating point."""
+
+    name: str
+    nominal_rate_bps: float
+    #: Application-level receive rate with power saving off, bytes/second.
+    effective_rate_bps: float
+    #: Fraction of download wall time the CPU idles between packets.
+    idle_fraction: float
+    power_save: bool = False
+
+    def __post_init__(self) -> None:
+        if self.effective_rate_bps <= 0:
+            raise ModelError("effective rate must be positive")
+        if not 0 <= self.idle_fraction < 1:
+            raise ModelError("idle fraction must be in [0, 1)")
+        if self.effective_rate_bps * 8 > self.nominal_rate_bps:
+            raise ModelError("effective rate exceeds nominal bit rate")
+
+    @property
+    def delivered_rate_bps(self) -> float:
+        """Effective rate after the power-saving penalty, bytes/second."""
+        if self.power_save:
+            return self.effective_rate_bps * (1.0 - units.POWER_SAVE_RATE_PENALTY)
+        return self.effective_rate_bps
+
+    @property
+    def delivered_rate_mbps(self) -> float:
+        """Delivered rate in model MB (MiB) per second."""
+        return self.delivered_rate_bps / units.BYTES_PER_MB
+
+    def download_time_s(self, n_bytes: float) -> float:
+        """Wall time to download ``n_bytes``, idle gaps included."""
+        if n_bytes < 0:
+            raise ModelError("byte count must be non-negative")
+        return n_bytes / self.delivered_rate_bps
+
+    def active_time_s(self, n_bytes: float) -> float:
+        """Time the CPU/radio actively spend on ``n_bytes``."""
+        return self.download_time_s(n_bytes) * (1.0 - self.idle_fraction)
+
+    def idle_time_s(self, n_bytes: float) -> float:
+        """CPU idle time accumulated while downloading ``n_bytes``."""
+        return self.download_time_s(n_bytes) * self.idle_fraction
+
+    def with_power_save(self, enabled: bool) -> "LinkConfig":
+        """A copy with the power-saving flag set."""
+        return replace(self, power_save=enabled)
+
+    def degraded(
+        self, rate_multiplier: float, idle_fraction: Optional[float] = None
+    ) -> "LinkConfig":
+        """A weaker operating point (distance/obstacles/AP settings).
+
+        Lower delivered rates leave the CPU idle for a larger fraction of
+        the download; callers may supply the measured fraction, else it is
+        scaled on the assumption that per-byte active CPU time is constant.
+        """
+        if not 0 < rate_multiplier <= 1:
+            raise ModelError("rate multiplier must be in (0, 1]")
+        new_rate = self.effective_rate_bps * rate_multiplier
+        if idle_fraction is None:
+            # Active time per byte constant => idle fraction rises as the
+            # same active work spreads over a longer wall time.
+            active_per_byte = (1.0 - self.idle_fraction) / self.effective_rate_bps
+            idle_fraction = 1.0 - active_per_byte * new_rate
+        return replace(
+            self,
+            name=f"{self.name}-x{rate_multiplier:g}",
+            nominal_rate_bps=self.nominal_rate_bps * rate_multiplier,
+            effective_rate_bps=new_rate,
+            idle_fraction=idle_fraction,
+        )
+
+
+#: The paper's main operating point (Section 2 / 4.1).
+LINK_11MBPS = LinkConfig(
+    name="11mbps",
+    nominal_rate_bps=units.NOMINAL_RATE_11MBPS,
+    effective_rate_bps=units.EFFECTIVE_RATE_11MBPS_BPS,
+    idle_fraction=units.IDLE_FRACTION_11MBPS,
+)
+
+#: The validation operating point (Section 4.2).
+LINK_2MBPS = LinkConfig(
+    name="2mbps",
+    nominal_rate_bps=units.NOMINAL_RATE_2MBPS,
+    effective_rate_bps=units.EFFECTIVE_RATE_2MBPS_BPS,
+    idle_fraction=units.IDLE_FRACTION_2MBPS,
+)

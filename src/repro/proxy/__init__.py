@@ -1,0 +1,15 @@
+"""Proxy-server substrate: file store, precompression, on-demand pipeline."""
+
+from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
+from repro.proxy.server import ProxyServer, StoredFile, TransferPlan
+from repro.proxy.ondemand import OnDemandPipeline, PipelineTiming
+
+__all__ = [
+    "ProxyCpuModel",
+    "PROXY_PIII",
+    "ProxyServer",
+    "StoredFile",
+    "TransferPlan",
+    "OnDemandPipeline",
+    "PipelineTiming",
+]

@@ -1,0 +1,219 @@
+"""The proxy's serving policy: one decision point per (device, object).
+
+The proxy papers the introduction cites ("mobile aware server
+architecture", "active transcoding proxy", "adapting to network and
+client variation") all converge on the same control loop: know the
+client's link and preferences, then pick per object between shipping it
+raw, losslessly compressed, block-adaptively, or lossily transcoded.
+This module composes the pieces built elsewhere in the package into
+that loop:
+
+- the client's channel condition selects the
+  :class:`~repro.core.energy_model.EnergyModel` (rate adaptation);
+- :class:`~repro.core.fleet_advisor.FleetAdvisor` prices in current
+  load;
+- media objects may be transcoded subject to the profile's quality
+  floor, which tightens when the battery is comfortable and loosens
+  when it runs low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.energy_model import EnergyModel
+from repro.core.fleet_advisor import FleetAdvisor
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition, link_for_condition
+from repro.network.wlan import LINK_11MBPS, LinkConfig
+from repro.proxy.transcode import TranscodeProfile, TranscodingProxy
+from repro.workload.manifest import FileType
+
+#: Data types eligible for lossy treatment.
+LOSSY_TYPES = (
+    FileType.JPEG,
+    FileType.GIF,
+    FileType.TIFF,
+    FileType.MP3,
+    FileType.MPEG,
+)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """What the proxy knows about one client."""
+
+    name: str
+    link: LinkConfig = LINK_11MBPS
+    #: 0..1; low batteries accept lower media quality.
+    battery_fraction: float = 1.0
+    #: Quality floor when the battery is comfortable.
+    quality_floor: float = 0.7
+    #: Floor used below ``low_battery_threshold``.
+    low_battery_quality_floor: float = 0.45
+    low_battery_threshold: float = 0.25
+    accepts_lossy: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.battery_fraction <= 1:
+            raise ModelError("battery fraction must be in [0, 1]")
+        if not 0 < self.quality_floor <= 1:
+            raise ModelError("quality floor must be in (0, 1]")
+
+    @classmethod
+    def at(
+        cls,
+        name: str,
+        condition: ChannelCondition,
+        **kwargs,
+    ) -> "DeviceProfile":
+        """Profile for a device at a physical position (rate-adapted)."""
+        return cls(name=name, link=link_for_condition(condition), **kwargs)
+
+    @property
+    def effective_quality_floor(self) -> float:
+        """The floor in force given the battery level."""
+        if self.battery_fraction < self.low_battery_threshold:
+            return self.low_battery_quality_floor
+        return self.quality_floor
+
+
+@dataclass(frozen=True)
+class ServingDecision:
+    """The policy's answer for one object."""
+
+    mechanism: str  # "raw" | "compress" | "adaptive" | "transcode"
+    transfer_bytes: int
+    estimated_energy_j: float
+    plain_energy_j: float
+    detail: str = ""
+    quality: Optional[float] = None
+
+    @property
+    def saving_fraction(self) -> float:
+        """Saving as a fraction of the raw-transfer energy."""
+        if self.plain_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.estimated_energy_j / self.plain_energy_j
+
+
+class ServingPolicy:
+    """Per-(device, object) decisions over all available mechanisms."""
+
+    def __init__(
+        self,
+        transcode_profile: Optional[TranscodeProfile] = None,
+        contenders: int = 0,
+    ) -> None:
+        self.transcode_profile = transcode_profile or TranscodeProfile()
+        self.contenders = contenders
+
+    def model_for(self, profile: DeviceProfile) -> EnergyModel:
+        """The energy model for a profile's link."""
+        return EnergyModel(link=profile.link)
+
+    def decide(
+        self,
+        profile: DeviceProfile,
+        raw_bytes: int,
+        compression_factor: float,
+        file_type: FileType = FileType.HTML,
+        adaptive_result=None,
+    ) -> ServingDecision:
+        """Pick the minimum-energy mechanism for this device and object.
+
+        ``compression_factor`` is the object's whole-file lossless factor
+        (from the proxy's cache metadata); ``adaptive_result`` may carry a
+        prepared block-adaptive container for mixed-content objects.
+        """
+        if raw_bytes <= 0:
+            raise ModelError("object size must be positive")
+        model = self.model_for(profile)
+        fleet = FleetAdvisor(model, contenders=self.contenders)
+        plain = fleet.fleet_cost_j(raw_bytes, raw_bytes)
+
+        options = [
+            ServingDecision(
+                mechanism="raw",
+                transfer_bytes=raw_bytes,
+                estimated_energy_j=plain,
+                plain_energy_j=plain,
+                detail="baseline",
+            )
+        ]
+
+        if fleet.compression_worthwhile(raw_bytes, compression_factor):
+            sc = int(raw_bytes / compression_factor)
+            options.append(
+                ServingDecision(
+                    mechanism="compress",
+                    transfer_bytes=sc,
+                    estimated_energy_j=fleet.fleet_cost_j(raw_bytes, sc),
+                    plain_energy_j=plain,
+                    detail=f"lossless factor {compression_factor:.2f}",
+                )
+            )
+
+        if adaptive_result is not None and adaptive_result.blocks_compressed:
+            transfer = adaptive_result.compressed_size
+            options.append(
+                ServingDecision(
+                    mechanism="adaptive",
+                    transfer_bytes=transfer,
+                    estimated_energy_j=fleet.fleet_cost_j(raw_bytes, transfer),
+                    plain_energy_j=plain,
+                    detail=(
+                        f"{adaptive_result.blocks_compressed}/"
+                        f"{len(adaptive_result.decisions)} blocks compressed"
+                    ),
+                )
+            )
+
+        if profile.accepts_lossy and file_type in LOSSY_TYPES:
+            transcoder = TranscodingProxy(
+                model=model, profile=self.transcode_profile
+            )
+            decision = transcoder.decide(
+                raw_bytes, quality_floor=profile.effective_quality_floor
+            )
+            chosen = decision.chosen
+            if not chosen.is_original:
+                options.append(
+                    ServingDecision(
+                        mechanism="transcode",
+                        transfer_bytes=chosen.transfer_bytes,
+                        estimated_energy_j=fleet.fleet_cost_j(
+                            raw_bytes, chosen.transfer_bytes
+                        ),
+                        plain_energy_j=plain,
+                        detail=f"quality {chosen.quality:.2f}",
+                        quality=chosen.quality,
+                    )
+                )
+
+        return min(options, key=lambda o: o.estimated_energy_j)
+
+
+@dataclass
+class ServingLedger:
+    """Accumulates decisions for reporting/auditing."""
+
+    decisions: list = field(default_factory=list)
+
+    def record(self, profile: DeviceProfile, name: str, decision: ServingDecision):
+        """Append one decision to the ledger."""
+        self.decisions.append((profile.name, name, decision))
+
+    def total_saving_j(self) -> float:
+        """Joules saved across all recorded decisions."""
+        return sum(
+            d.plain_energy_j - d.estimated_energy_j for _, _, d in self.decisions
+        )
+
+    def mechanism_counts(self) -> dict:
+        """How many decisions used each mechanism."""
+        counts: dict = {}
+        for _, _, d in self.decisions:
+            counts[d.mechanism] = counts.get(d.mechanism, 0) + 1
+        return counts

@@ -1,0 +1,167 @@
+"""Proxy server: file store with precompression caching.
+
+"When proxies are employed in a wireless LAN environment ... compressing
+such information on the proxies, in advance or on demand, has the obvious
+potential advantage of reducing the battery consumed by the wireless
+network interface" (Section 1).  :class:`ProxyServer` stores original
+files, caches precompressed representations per codec, and produces
+:class:`TransferPlan` descriptors the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compression.base import CodecResult, get_codec
+from repro.core.adaptive import AdaptiveBlockCodec, AdaptiveResult
+from repro.errors import WorkloadError
+from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
+
+
+@dataclass
+class StoredFile:
+    """One file on the proxy, plus its compression cache."""
+
+    name: str
+    data: bytes
+    cache: Dict[str, CodecResult] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Size of the stored bytes."""
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """What will cross the wireless link for one request."""
+
+    name: str
+    raw_bytes: int
+    transfer_bytes: int
+    codec: Optional[str]
+    precompressed: bool
+    #: Proxy CPU seconds if compression happens on demand (0 otherwise).
+    proxy_compress_s: float
+    #: The adaptive decision trail when the adaptive container is used.
+    adaptive: Optional[AdaptiveResult] = None
+
+    @property
+    def compression_factor(self) -> float:
+        """Raw size over transfer size."""
+        if self.transfer_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.transfer_bytes
+
+
+class ProxyServer:
+    """Stores files; serves them raw, precompressed, or compressed on demand."""
+
+    def __init__(self, cpu: Optional[ProxyCpuModel] = None) -> None:
+        self.cpu = cpu or PROXY_PIII
+        self._files: Dict[str, StoredFile] = {}
+
+    # -- store management -----------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> StoredFile:
+        """Store (or replace) a file."""
+        stored = StoredFile(name=name, data=data)
+        self._files[name] = stored
+        return stored
+
+    def get(self, name: str) -> StoredFile:
+        """Fetch a stored file; raises WorkloadError when absent."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise WorkloadError(f"no file named {name!r} on the proxy") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def names(self):
+        """Sorted names of stored files."""
+        return sorted(self._files)
+
+    # -- compression ------------------------------------------------------------
+
+    def precompress(self, name: str, codec_name: str) -> CodecResult:
+        """Compress ``name`` with ``codec_name`` and cache the result."""
+        stored = self.get(name)
+        if codec_name not in stored.cache:
+            codec = get_codec(codec_name)
+            stored.cache[codec_name] = codec.compress(stored.data)
+        return stored.cache[codec_name]
+
+    def precompress_adaptive(
+        self, name: str, adaptive: Optional[AdaptiveBlockCodec] = None
+    ) -> AdaptiveResult:
+        """Build and cache the block-adaptive container for ``name``."""
+        stored = self.get(name)
+        adaptive = adaptive or AdaptiveBlockCodec()
+        key = f"adaptive:{adaptive.inner.name}"
+        if key not in stored.cache:
+            stored.cache[key] = adaptive.compress(stored.data)
+        result = stored.cache[key]
+        assert isinstance(result, AdaptiveResult)
+        return result
+
+    # -- serving -----------------------------------------------------------------
+
+    def plan_raw(self, name: str) -> TransferPlan:
+        """Transfer plan for shipping the original bytes."""
+        stored = self.get(name)
+        return TransferPlan(
+            name=name,
+            raw_bytes=stored.size,
+            transfer_bytes=stored.size,
+            codec=None,
+            precompressed=True,
+            proxy_compress_s=0.0,
+        )
+
+    def plan_precompressed(self, name: str, codec_name: str) -> TransferPlan:
+        """Transfer plan served from the precompression cache."""
+        stored = self.get(name)
+        result = self.precompress(name, codec_name)
+        return TransferPlan(
+            name=name,
+            raw_bytes=stored.size,
+            transfer_bytes=result.compressed_size,
+            codec=codec_name,
+            precompressed=True,
+            proxy_compress_s=0.0,
+        )
+
+    def plan_ondemand(self, name: str, codec_name: str) -> TransferPlan:
+        """Compression happens at request time; proxy CPU cost is charged."""
+        stored = self.get(name)
+        result = self.precompress(name, codec_name)  # content identical
+        t_comp = self.cpu.compress_time_s(
+            codec_name, stored.size, result.compressed_size
+        )
+        return TransferPlan(
+            name=name,
+            raw_bytes=stored.size,
+            transfer_bytes=result.compressed_size,
+            codec=codec_name,
+            precompressed=False,
+            proxy_compress_s=t_comp,
+        )
+
+    def plan_adaptive(
+        self, name: str, adaptive: Optional[AdaptiveBlockCodec] = None
+    ) -> TransferPlan:
+        """Transfer plan for the block-adaptive container."""
+        stored = self.get(name)
+        result = self.precompress_adaptive(name, adaptive)
+        return TransferPlan(
+            name=name,
+            raw_bytes=stored.size,
+            transfer_bytes=result.compressed_size,
+            codec=(adaptive or AdaptiveBlockCodec()).inner.name,
+            precompressed=True,
+            proxy_compress_s=0.0,
+            adaptive=result,
+        )

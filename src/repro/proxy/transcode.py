@@ -1,0 +1,148 @@
+"""Lossy transcoding at the proxy (the intro's [2, 4, 7, 8] line of work).
+
+Universal lossless compression gets nothing out of already-encoded media
+(Table 2: factors 1.00-1.09 for JPEG/GIF/MPEG), which is exactly where
+the transcoding-proxy literature the paper cites operates: re-encode the
+image/video at lower quality or resolution and trade fidelity for
+bandwidth.  This module provides a quality-parameterized transcoder
+model so the energy trade-off can be evaluated alongside the lossless
+schemes:
+
+- size scales as quality^alpha (alpha ~ 1.5 for JPEG quality scaling,
+  the Chandra & Ellis "JPEG compression metric" observation);
+- the proxy pays a per-MB transcode cost; the handheld's decode cost is
+  unchanged (it decodes the image either way, so only the transfer
+  changes on the device side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.energy_model import EnergyModel
+from repro.errors import ModelError
+
+#: Default size-vs-quality exponent for JPEG-class content.
+DEFAULT_QUALITY_EXPONENT = 1.5
+
+#: Proxy transcode throughput: decode + re-encode at ~4 MB/s on the P-III.
+TRANSCODE_S_PER_MB = 0.25
+
+
+@dataclass(frozen=True)
+class TranscodeProfile:
+    """A media type's quality-size behaviour."""
+
+    name: str = "jpeg"
+    quality_exponent: float = DEFAULT_QUALITY_EXPONENT
+    #: Below this quality the output is deemed unusable (hard floor).
+    min_quality: float = 0.2
+
+    def size_factor(self, quality: float) -> float:
+        """Original size over transcoded size at ``quality`` in (0, 1]."""
+        if not 0 < quality <= 1:
+            raise ModelError("quality must be in (0, 1]")
+        return (1.0 / quality) ** self.quality_exponent
+
+    def transcoded_bytes(self, raw_bytes: int, quality: float) -> int:
+        """Output size at a quality point."""
+        return max(1, int(round(raw_bytes / self.size_factor(quality))))
+
+
+@dataclass(frozen=True)
+class TranscodeOption:
+    """One evaluated operating point."""
+
+    quality: float
+    transfer_bytes: int
+    device_energy_j: float
+    proxy_time_s: float
+
+    @property
+    def is_original(self) -> bool:
+        """True for the ship-the-original option."""
+        return self.quality == 1.0
+
+
+@dataclass(frozen=True)
+class TranscodeDecision:
+    """The chosen option plus the full frontier for inspection."""
+
+    chosen: TranscodeOption
+    options: List[TranscodeOption]
+    raw_bytes: int
+
+    @property
+    def saving_fraction(self) -> float:
+        """Energy saved versus shipping the original."""
+        original = next(o for o in self.options if o.is_original)
+        if original.device_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.chosen.device_energy_j / original.device_energy_j
+
+
+class TranscodingProxy:
+    """Chooses a transcode quality to minimize handheld energy.
+
+    The decision is constrained optimization: minimum device energy
+    subject to ``quality >= quality_floor`` — the floor encodes the
+    user's tolerance, the knob the transcoding-proxy papers expose.
+    """
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        profile: Optional[TranscodeProfile] = None,
+        transcode_s_per_mb: float = TRANSCODE_S_PER_MB,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.profile = profile or TranscodeProfile()
+        self.transcode_s_per_mb = transcode_s_per_mb
+
+    def evaluate(
+        self,
+        raw_bytes: int,
+        qualities: Sequence[float] = (1.0, 0.85, 0.7, 0.5, 0.35, 0.2),
+    ) -> List[TranscodeOption]:
+        """Device energy per quality point (1.0 = ship the original)."""
+        if raw_bytes <= 0:
+            raise ModelError("raw size must be positive")
+        options = []
+        for q in qualities:
+            if q < self.profile.min_quality and q != 1.0:
+                continue
+            transfer = (
+                raw_bytes if q == 1.0 else self.profile.transcoded_bytes(raw_bytes, q)
+            )
+            energy = self.model.download_energy_j(transfer)
+            proxy_time = (
+                0.0
+                if q == 1.0
+                else self.transcode_s_per_mb * raw_bytes / float(2**20)
+            )
+            options.append(
+                TranscodeOption(
+                    quality=q,
+                    transfer_bytes=transfer,
+                    device_energy_j=energy,
+                    proxy_time_s=proxy_time,
+                )
+            )
+        return options
+
+    def decide(
+        self,
+        raw_bytes: int,
+        quality_floor: float = 0.5,
+        qualities: Sequence[float] = (1.0, 0.85, 0.7, 0.5, 0.35, 0.2),
+    ) -> TranscodeDecision:
+        """Min-energy option at or above the quality floor."""
+        if not 0 < quality_floor <= 1:
+            raise ModelError("quality floor must be in (0, 1]")
+        options = self.evaluate(raw_bytes, qualities)
+        feasible = [o for o in options if o.quality >= quality_floor]
+        if not feasible:
+            raise ModelError("no option satisfies the quality floor")
+        chosen = min(feasible, key=lambda o: o.device_energy_j)
+        return TranscodeDecision(chosen=chosen, options=options, raw_bytes=raw_bytes)

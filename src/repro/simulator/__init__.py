@@ -1,0 +1,32 @@
+"""Simulation of download sessions: analytic and discrete-event engines.
+
+Both engines produce tagged :class:`~repro.device.timeline.PowerTimeline`
+objects for the same scenarios; the analytic engine evaluates the paper's
+closed forms, the DES engine replays packet arrivals and the user-level
+decompressor and should agree with it (tests assert this).
+"""
+
+from repro.simulator.engine import Simulator, Process
+from repro.simulator.session import (
+    DownloadSession,
+    SessionResult,
+    Scenario,
+)
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from repro.simulator.lifetime import LifetimeSimulation, LifetimeReport
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "DownloadSession",
+    "SessionResult",
+    "Scenario",
+    "AnalyticSession",
+    "DesSession",
+    "MultiClientSimulation",
+    "Request",
+    "LifetimeSimulation",
+    "LifetimeReport",
+]

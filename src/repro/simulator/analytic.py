@@ -1,0 +1,304 @@
+"""Closed-form session evaluation (the paper's equations as timelines).
+
+Each scenario method builds a tagged power timeline whose totals equal the
+corresponding equation exactly:
+
+- :meth:`AnalyticSession.raw` — Equation 1.
+- :meth:`AnalyticSession.precompressed` — Equation 2 (sequential, with or
+  without radio power-saving) or Equation 3 (interleaved).
+- :meth:`AnalyticSession.adaptive` — Equation 3 with decompression charged
+  only for the compressed blocks of the adaptive container.
+- :meth:`AnalyticSession.ondemand` — Section 5: proxy-side compression
+  either serialized before transmission (tool-style) or overlapped with it
+  (revised zlib).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.core.adaptive import AdaptiveResult
+from repro.core.energy_model import EnergyModel
+from repro.device.timeline import PowerTimeline
+from repro.errors import ModelError
+from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
+from repro.simulator.session import Scenario, SessionResult
+
+
+class AnalyticSession:
+    """Evaluates download scenarios in closed form over an EnergyModel."""
+
+    def __init__(self, model: Optional[EnergyModel] = None) -> None:
+        self.model = model or EnergyModel()
+
+    # -- shared pieces -------------------------------------------------------
+
+    @property
+    def _recv_power_w(self) -> float:
+        """Power during active receive: m spread over the active time."""
+        p = self.model.params
+        active_s_per_mb = (1.0 - p.idle_fraction) / p.rate_mb_per_s
+        if active_s_per_mb <= 0:
+            raise ModelError("link has no active receive time")
+        return p.m_j_per_mb / active_s_per_mb
+
+    def _receive(
+        self, timeline: PowerTimeline, transfer_bytes: float, idle_tag: str = "idle"
+    ) -> None:
+        """Receive ``transfer_bytes``: active bursts plus idle gaps."""
+        p = self.model.params
+        mb = units.bytes_to_mb(transfer_bytes)
+        wall = mb / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        timeline.add(active, self._recv_power_w, "recv")
+        timeline.add(wall - active, p.gap_power_w, idle_tag)
+
+    # -- scenarios ------------------------------------------------------------
+
+    def raw(self, raw_bytes: int) -> SessionResult:
+        """Plain download (Equation 1)."""
+        tl = PowerTimeline()
+        tl.add_energy(self.model.params.cs_j, "startup")
+        self._receive(tl, raw_bytes)
+        return SessionResult.from_timeline(
+            Scenario.RAW, raw_bytes, raw_bytes, None, tl
+        )
+
+    def precompressed(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "gzip",
+        interleave: bool = True,
+        radio_power_save: bool = False,
+    ) -> SessionResult:
+        """Download a precompressed file and decompress it.
+
+        ``interleave=False`` + ``radio_power_save=True`` is the paper's
+        bzip2 configuration (power saving pays off because decompression
+        takes long, Section 3.2).  Interleaving with power saving is not a
+        modelled combination (the radio must stay receptive).
+        """
+        if interleave and radio_power_save:
+            raise ModelError("interleaving requires the radio to stay awake")
+        p = self.model.params
+        td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
+        ti_prime, ti_dprime = self.model.idle_times(raw_bytes, compressed_bytes)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        if not interleave:
+            self._receive(tl, compressed_bytes)
+            pd = (
+                p.decompress_sleep_power_w
+                if radio_power_save
+                else p.decompress_power_w
+            )
+            tl.add(td, pd, "decompress")
+            scenario = (
+                Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
+            )
+            return SessionResult.from_timeline(
+                scenario, raw_bytes, compressed_bytes, codec, tl
+            )
+
+        # Interleaved (Equation 3): the idle gaps after the first block
+        # host decompression work; whatever does not fit spills past the
+        # end of the receive phase.
+        mb = units.bytes_to_mb(compressed_bytes)
+        wall = mb / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        tl.add(active, self._recv_power_w, "recv")
+        tl.add(ti_dprime, p.gap_power_w, "idle")
+        overlapped = min(td, ti_prime)
+        tl.add(overlapped, p.decompress_power_w, "decompress")
+        if ti_prime > td:
+            tl.add(ti_prime - td, p.gap_power_w, "idle")
+        else:
+            tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+        return SessionResult.from_timeline(
+            Scenario.INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    def adaptive(
+        self, result: AdaptiveResult, codec: str = "gzip"
+    ) -> SessionResult:
+        """Interleaved download of a block-adaptive container (Figure 10).
+
+        Only the compressed blocks cost decompression time; raw blocks are
+        copied through (charged as receive work already).
+        """
+        p = self.model.params
+        raw_bytes = result.raw_size
+        transfer = result.compressed_size
+        if result.blocks_compressed:
+            td = self.model.cpu.decompress_time_s(
+                codec, result.raw_covered_bytes, result.compressed_payload_bytes
+            )
+        else:
+            td = 0.0  # every block shipped raw; nothing to decompress
+        ti_prime, ti_dprime = self.model.idle_times(raw_bytes, transfer)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        mb = units.bytes_to_mb(transfer)
+        wall = mb / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        tl.add(active, self._recv_power_w, "recv")
+        tl.add(ti_dprime, p.gap_power_w, "idle")
+        overlapped = min(td, ti_prime)
+        tl.add(overlapped, p.decompress_power_w, "decompress")
+        if ti_prime > td:
+            tl.add(ti_prime - td, p.gap_power_w, "idle")
+        else:
+            tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+        return SessionResult.from_timeline(
+            Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl
+        )
+
+    def ondemand(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "gzip",
+        proxy: Optional[ProxyCpuModel] = None,
+        overlap: bool = False,
+        interleave_decompression: Optional[bool] = None,
+    ) -> SessionResult:
+        """Compression on demand on the proxy (Section 5).
+
+        Tool-style (``overlap=False``): the proxy compresses the whole
+        file first while the device waits idle, then the session proceeds
+        like a sequential precompressed download — Figure 12's
+        three-component bars.
+
+        Revised-zlib style (``overlap=True``): the proxy compresses block
+        by block while transmitting, and the device interleaves
+        decompression; when the proxy can compress at least as fast as the
+        link drains blocks, compression is fully masked.
+        """
+        proxy = proxy or PROXY_PIII
+        if interleave_decompression is None:
+            interleave_decompression = overlap
+        p = self.model.params
+        t_comp = proxy.compress_time_s(codec, raw_bytes, compressed_bytes)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+
+        if not overlap:
+            # Device idles (radio up, card idle) while the proxy works.
+            tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
+            self._receive(tl, compressed_bytes)
+            td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
+            tl.add(td, p.decompress_power_w, "decompress")
+            return SessionResult.from_timeline(
+                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+            )
+
+        # Overlapped pipeline.  Per raw block b: proxy compress time c_b and
+        # transmit time x_b; steady-state arrival interval max(c_b, x_b)
+        # with the first block paying its compression latency up front.
+        block_raw = min(units.BLOCK_SIZE_BYTES, max(raw_bytes, 1))
+        n_blocks = max(1, (raw_bytes + units.BLOCK_SIZE_BYTES - 1) // units.BLOCK_SIZE_BYTES)
+        comp_per_block = compressed_bytes / n_blocks
+        c_b = proxy.compress_time_s(codec, block_raw, comp_per_block)
+        x_b = units.bytes_to_mb(comp_per_block) / p.rate_mb_per_s
+        interval = max(c_b, x_b)
+        # Pipeline makespan: first block's compression latency, then one
+        # interval per remaining block, then the last transmission.
+        receive_wall = c_b + (n_blocks - 1) * interval + x_b
+
+        active_total = (
+            units.bytes_to_mb(compressed_bytes) / p.rate_mb_per_s
+        ) * (1.0 - p.idle_fraction)
+        idle_total = receive_wall - active_total
+        # No decompression can happen before the first block is complete,
+        # which is at c_b + x_b; only that window's active share is not idle.
+        first_window_idle = c_b + x_b - x_b * (1.0 - p.idle_fraction)
+        usable_idle = max(0.0, idle_total - first_window_idle)
+
+        td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
+        if not interleave_decompression:
+            td_overlapped, td_after = 0.0, td
+            unused_idle = idle_total
+            first_window_idle = 0.0
+        else:
+            td_overlapped = min(td, usable_idle)
+            td_after = td - td_overlapped
+            unused_idle = usable_idle - td_overlapped
+
+        tl.add(active_total, self._recv_power_w, "recv")
+        tl.add(first_window_idle, p.gap_power_w, "idle")
+        tl.add(td_overlapped, p.decompress_power_w, "decompress")
+        tl.add(unused_idle, p.gap_power_w, "idle")
+        tl.add(td_after, p.decompress_power_w, "decompress")
+        return SessionResult.from_timeline(
+            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    # -- upload direction (Section 7 future work) -------------------------------
+
+    def upload_raw(self, raw_bytes: int) -> SessionResult:
+        """Send the original data from the device; mirrors Equation 1."""
+        tl = PowerTimeline()
+        tl.add_energy(self.model.params.cs_j, "startup")
+        self._send(tl, raw_bytes)
+        return SessionResult.from_timeline(
+            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl
+        )
+
+    def upload_compressed(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "compress",
+        interleave: bool = True,
+    ) -> SessionResult:
+        """Compress on the device, then (or while) sending.
+
+        Interleaved mode compresses block i+1 during block i's send gaps;
+        the first block's compression is the pipeline fill and cannot be
+        hidden.
+        """
+        from repro.core.upload import UploadModel
+
+        upload = UploadModel(self.model)
+        p = self.model.params
+        tc = upload.compression_time_s(raw_bytes, compressed_bytes, codec)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        if not interleave:
+            tl.add(tc, p.decompress_power_w, "compress")
+            self._send(tl, compressed_bytes)
+            return SessionResult.from_timeline(
+                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+            )
+
+        ts_prime, ts_dprime = upload.interleave_times(raw_bytes, compressed_bytes)
+        mb_c = units.bytes_to_mb(compressed_bytes)
+        wall = mb_c / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        s_mb = units.bytes_to_mb(raw_bytes)
+        n_blocks = max(1.0, s_mb / p.block_mb)
+        fill = tc / n_blocks
+        tl.add(fill, p.decompress_power_w, "compress")  # pipeline fill
+        tl.add(active, self._recv_power_w, "send")
+        overlap_work = tc - fill
+        overlapped = min(overlap_work, ts_prime)
+        tl.add(overlapped, p.decompress_power_w, "compress")
+        if ts_prime > overlap_work:
+            tl.add(ts_prime - overlap_work, p.gap_power_w, "idle")
+        else:
+            tl.add(overlap_work - ts_prime, p.decompress_power_w, "compress")
+        tl.add(ts_dprime, p.gap_power_w, "idle")
+        return SessionResult.from_timeline(
+            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    def _send(self, timeline: PowerTimeline, transfer_bytes: float) -> None:
+        """Send ``transfer_bytes``: symmetric to :meth:`_receive`."""
+        p = self.model.params
+        mb = units.bytes_to_mb(transfer_bytes)
+        wall = mb / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        timeline.add(active, self._recv_power_w, "send")
+        timeline.add(wall - active, p.gap_power_w, "idle")

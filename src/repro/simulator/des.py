@@ -1,0 +1,418 @@
+"""Packet-granularity discrete-event replay of the download scenarios.
+
+Where :mod:`repro.simulator.analytic` evaluates the paper's closed forms,
+this engine replays the mechanism they abstract: fixed-size packets
+arrive with idle gaps between them; a user-level decompressor gets the CPU
+only during those gaps ("the receiving of the i-th block will interrupt
+the decompression of previous blocks", Section 4.1); blocks become
+decompressible only once fully received.  Tests assert the two engines
+agree, which is the reproduction's internal-consistency check on
+Equations 1-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Tuple
+
+from repro import units
+from repro.core.adaptive import AdaptiveResult
+from repro.core.energy_model import EnergyModel
+from repro.device.timeline import PowerTimeline
+from repro.errors import ModelError
+from repro.network.packets import Packetizer
+from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
+from repro.proxy.ondemand import OnDemandPipeline
+from repro.simulator.engine import Simulator
+from repro.simulator.session import Scenario, SessionResult
+
+
+@dataclass
+class _WorkLedger:
+    """Decompression work (CPU-seconds) waiting for gap time."""
+
+    pending_s: float = 0.0
+    done_s: float = 0.0
+
+    def add(self, work_s: float) -> None:
+        if work_s < 0:
+            raise ModelError("negative decompression work")
+        self.pending_s += work_s
+
+    def take(self, budget_s: float) -> float:
+        used = min(self.pending_s, budget_s)
+        self.pending_s -= used
+        self.done_s += used
+        return used
+
+
+class DesSession:
+    """Discrete-event counterpart of :class:`AnalyticSession`."""
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        payload_bytes: int = 1460,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.packetizer = Packetizer(payload_bytes)
+        # The DES paces packets off the model's rate/idle parameters so the
+        # two engines share one ground truth.
+        self._link = dc_replace(
+            self.model.link,
+            effective_rate_bps=self.model.params.rate_mb_per_s * units.BYTES_PER_MB,
+            idle_fraction=self.model.params.idle_fraction,
+            power_save=False,
+        )
+
+    # -- power helpers ---------------------------------------------------------
+
+    @property
+    def _recv_power_w(self) -> float:
+        p = self.model.params
+        active_s_per_mb = (1.0 - p.idle_fraction) / p.rate_mb_per_s
+        return p.m_j_per_mb / active_s_per_mb
+
+    # -- scenarios ----------------------------------------------------------------
+
+    def raw(self, raw_bytes: int) -> SessionResult:
+        """Packet-level replay of a plain download (Equation 1)."""
+        tl = PowerTimeline()
+        tl.add_energy(self.model.params.cs_j, "startup")
+        self._simulate(
+            tl,
+            transfer_bytes=raw_bytes,
+            block_thresholds=[],
+            block_work=[],
+            interleave=False,
+            tail_work_s=0.0,
+            decompress_power_w=self.model.params.decompress_power_w,
+        )
+        return SessionResult.from_timeline(Scenario.RAW, raw_bytes, raw_bytes, None, tl)
+
+    def precompressed(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "gzip",
+        interleave: bool = True,
+        radio_power_save: bool = False,
+    ) -> SessionResult:
+        """Packet-level replay of a precompressed download."""
+        if interleave and radio_power_save:
+            raise ModelError("interleaving requires the radio to stay awake")
+        p = self.model.params
+        thresholds, works = self._block_plan(raw_bytes, compressed_bytes, codec)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        pd = p.decompress_sleep_power_w if radio_power_save else p.decompress_power_w
+        if interleave:
+            self._simulate(
+                tl,
+                transfer_bytes=compressed_bytes,
+                block_thresholds=thresholds,
+                block_work=works,
+                interleave=True,
+                tail_work_s=0.0,
+                decompress_power_w=pd,
+            )
+            scenario = Scenario.INTERLEAVED
+        else:
+            self._simulate(
+                tl,
+                transfer_bytes=compressed_bytes,
+                block_thresholds=[],
+                block_work=[],
+                interleave=False,
+                tail_work_s=sum(works),
+                decompress_power_w=pd,
+            )
+            scenario = (
+                Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
+            )
+        return SessionResult.from_timeline(
+            scenario, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    def adaptive(self, result: AdaptiveResult, codec: str = "gzip") -> SessionResult:
+        """Interleaved download of an adaptive container: per-block work is
+        zero for blocks shipped raw."""
+        p = self.model.params
+        cost = self.model.cpu.decompress_cost(codec)
+        thresholds: List[int] = []
+        works: List[float] = []
+        cum = 0
+        first_compressed = True
+        for d in result.decisions:
+            cum += d.transfer_bytes
+            thresholds.append(cum)
+            if d.sent_compressed:
+                work = cost.marginal_seconds(d.raw_bytes, d.compressed_bytes)
+                if first_compressed:
+                    work += cost.constant_s
+                    first_compressed = False
+                works.append(work)
+            else:
+                works.append(0.0)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        self._simulate(
+            tl,
+            transfer_bytes=result.compressed_size,
+            block_thresholds=thresholds,
+            block_work=works,
+            interleave=True,
+            tail_work_s=0.0,
+            decompress_power_w=p.decompress_power_w,
+        )
+        return SessionResult.from_timeline(
+            Scenario.ADAPTIVE, result.raw_size, result.compressed_size, codec, tl
+        )
+
+    def ondemand(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "gzip",
+        proxy: Optional[ProxyCpuModel] = None,
+        overlap: bool = False,
+    ) -> SessionResult:
+        """Packet-level replay of compression on demand (Section 5)."""
+        proxy = proxy or PROXY_PIII
+        p = self.model.params
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+        if not overlap:
+            t_comp = proxy.compress_time_s(codec, raw_bytes, compressed_bytes)
+            tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
+            self._simulate(
+                tl,
+                transfer_bytes=compressed_bytes,
+                block_thresholds=[],
+                block_work=[],
+                interleave=False,
+                tail_work_s=self.model.decompression_time_s(
+                    raw_bytes, compressed_bytes, codec
+                ),
+                decompress_power_w=p.decompress_power_w,
+            )
+            return SessionResult.from_timeline(
+                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+            )
+
+        pipeline = OnDemandPipeline(self._link, proxy)
+        timing = pipeline.schedule(raw_bytes, compressed_bytes, codec)
+        self._simulate_arrivals(tl, timing, codec)
+        return SessionResult.from_timeline(
+            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    # -- upload direction ---------------------------------------------------------
+
+    def upload_raw(self, raw_bytes: int) -> SessionResult:
+        """Packet-level replay of a plain upload."""
+        tl = PowerTimeline()
+        tl.add_energy(self.model.params.cs_j, "startup")
+        p = self.model.params
+        schedule = self.packetizer.schedule(raw_bytes, self._link)
+        for pkt in schedule:
+            tl.add(pkt.active_s, self._recv_power_w, "send")
+            tl.add(pkt.gap_s, p.gap_power_w, "idle")
+        return SessionResult.from_timeline(
+            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl
+        )
+
+    def upload_compressed(
+        self,
+        raw_bytes: int,
+        compressed_bytes: int,
+        codec: str = "compress",
+        interleave: bool = True,
+    ) -> SessionResult:
+        """Device-side compression, sequential or pipelined with sending.
+
+        The pipelined replay alternates: dedicate the CPU until the next
+        block is compressed whenever the link is starved, otherwise send
+        a ready block and spend its gaps compressing later blocks.
+        """
+        p = self.model.params
+        cost = self.model.cpu.compress_cost(codec)
+        tl = PowerTimeline()
+        tl.add_energy(p.cs_j, "startup")
+
+        # Per-block compression work and compressed sizes.
+        works: list = []
+        sizes: list = []
+        remaining = raw_bytes
+        while remaining > 0:
+            raw_chunk = min(units.BLOCK_SIZE_BYTES, remaining)
+            comp_share = compressed_bytes * raw_chunk / raw_bytes
+            work = cost.marginal_seconds(raw_chunk, comp_share)
+            if not works:
+                work += cost.constant_s
+            works.append(work)
+            sizes.append(comp_share)
+            remaining -= raw_chunk
+
+        if not interleave:
+            tl.add(sum(works), p.decompress_power_w, "compress")
+            schedule = self.packetizer.schedule(compressed_bytes, self._link)
+            for pkt in schedule:
+                tl.add(pkt.active_s, self._recv_power_w, "send")
+                tl.add(pkt.gap_s, p.gap_power_w, "idle")
+            return SessionResult.from_timeline(
+                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+            )
+
+        # Pipelined: send gaps host compression of later blocks; the link
+        # starves (CPU dedicated) whenever the next block is not ready.
+        compress_done = 0  # blocks fully compressed
+        work_left = list(works)
+
+        def starve_until_next_ready():
+            nonlocal compress_done
+            need = work_left[compress_done]
+            tl.add(need, p.decompress_power_w, "compress")
+            work_left[compress_done] = 0.0
+            compress_done += 1
+
+        for i, comp_share in enumerate(sizes):
+            while compress_done <= i:
+                starve_until_next_ready()
+            wall = self._link.download_time_s(comp_share)
+            active = wall * (1.0 - self._link.idle_fraction)
+            gaps = wall - active
+            tl.add(active, self._recv_power_w, "send")
+            # Spend the gaps compressing not-yet-ready blocks.
+            available = gaps
+            j = compress_done
+            while available > 1e-12 and j < len(work_left):
+                used = min(available, work_left[j])
+                if used > 0:
+                    tl.add(used, p.decompress_power_w, "compress")
+                    work_left[j] -= used
+                    available -= used
+                if work_left[j] <= 1e-12:
+                    work_left[j] = 0.0
+                    compress_done = j + 1
+                    j += 1
+                else:
+                    break
+            if available > 1e-12:
+                tl.add(available, p.gap_power_w, "idle")
+        return SessionResult.from_timeline(
+            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+        )
+
+    # -- the core replay loop ---------------------------------------------------
+
+    def _block_plan(
+        self, raw_bytes: int, compressed_bytes: int, codec: str
+    ) -> Tuple[List[int], List[float]]:
+        """Cumulative compressed-byte thresholds and per-block work."""
+        cost = self.model.cpu.decompress_cost(codec)
+        thresholds: List[int] = []
+        works: List[float] = []
+        remaining = raw_bytes
+        cum = 0.0
+        while remaining > 0:
+            raw_chunk = min(units.BLOCK_SIZE_BYTES, remaining)
+            comp_share = compressed_bytes * raw_chunk / raw_bytes
+            cum += comp_share
+            thresholds.append(int(round(cum)))
+            work = cost.marginal_seconds(raw_chunk, comp_share)
+            if not works:
+                work += cost.constant_s
+            works.append(work)
+            remaining -= raw_chunk
+        if thresholds:
+            thresholds[-1] = compressed_bytes
+        return thresholds, works
+
+    def _simulate(
+        self,
+        tl: PowerTimeline,
+        transfer_bytes: int,
+        block_thresholds: List[int],
+        block_work: List[float],
+        interleave: bool,
+        tail_work_s: float,
+        decompress_power_w: float,
+    ) -> None:
+        """Replay packet arrivals; fill gaps with ledger work if interleaving."""
+        p = self.model.params
+        sim = Simulator()
+        ledger = _WorkLedger()
+        schedule = self.packetizer.schedule(transfer_bytes, self._link)
+        recv_power = self._recv_power_w
+        next_block = 0
+        received = 0
+
+        def receiver():
+            nonlocal next_block, received
+            for pkt in schedule:
+                tl.add(pkt.active_s, recv_power, "recv")
+                yield pkt.active_s
+                received += pkt.payload_bytes
+                while (
+                    next_block < len(block_thresholds)
+                    and received >= block_thresholds[next_block]
+                ):
+                    ledger.add(block_work[next_block])
+                    next_block += 1
+                gap = pkt.gap_s
+                if interleave:
+                    used = ledger.take(gap)
+                    if used > 0:
+                        tl.add(used, decompress_power_w, "decompress")
+                    if gap - used > 0:
+                        tl.add(gap - used, p.gap_power_w, "idle")
+                else:
+                    tl.add(gap, p.gap_power_w, "idle")
+                yield gap
+            # Blocks that complete exactly at the end (rounding) still count.
+            while next_block < len(block_thresholds):
+                ledger.add(block_work[next_block])
+                next_block += 1
+
+        proc = sim.spawn(receiver(), name="receiver")
+        sim.run_until_complete(proc)
+
+        leftover = ledger.pending_s + tail_work_s
+        if leftover > 0:
+            tl.add(leftover, decompress_power_w, "decompress")
+
+    def _simulate_arrivals(self, tl: PowerTimeline, timing, codec: str) -> None:
+        """Replay an on-demand pipeline: stalls, transmissions, gap work."""
+        p = self.model.params
+        cost = self.model.cpu.decompress_cost(codec)
+        ledger = _WorkLedger()
+        recv_power = self._recv_power_w
+        now = 0.0
+        for i, arrival in enumerate(timing.arrival_s):
+            tx_start = timing.tx_start_s[i]
+            stall = tx_start - now
+            if stall > 0:
+                used = ledger.take(stall)
+                if used > 0:
+                    tl.add(used, p.decompress_power_w, "decompress")
+                if stall - used > 0:
+                    tl.add(stall - used, p.gap_power_w, "idle")
+            tx_wall = arrival - tx_start
+            active = tx_wall * (1.0 - p.idle_fraction)
+            gaps = tx_wall - active
+            tl.add(active, recv_power, "recv")
+            used = ledger.take(gaps)
+            if used > 0:
+                tl.add(used, p.decompress_power_w, "decompress")
+            if gaps - used > 0:
+                tl.add(gaps - used, p.gap_power_w, "idle")
+            work = cost.marginal_seconds(
+                timing.block_raw[i], timing.block_compressed[i]
+            )
+            if i == 0:
+                work += cost.constant_s
+            ledger.add(work)
+            now = arrival
+        if ledger.pending_s > 0:
+            tl.add(ledger.pending_s, p.decompress_power_w, "decompress")

@@ -1,0 +1,174 @@
+"""A small discrete-event simulation kernel.
+
+Processes are generators that yield either a float (sleep for that many
+simulated seconds) or an :class:`Event` (wait until it fires).  The kernel
+is deliberately minimal — deterministic, single-threaded, no real time —
+but sufficient to model packet arrival interrupts and a user-level
+decompressor contending for one CPU.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, None]
+
+
+class Event:
+    """A one-shot condition processes can wait on."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters (at most once)."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        for proc in self._waiters:
+            self._sim._resume(proc, value)
+        self._waiters.clear()
+
+    def _wait(self, proc: "Process") -> None:
+        if self.fired:
+            self._sim._resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.done_event = Event(sim, name=f"{name}.done")
+
+    def _step(self, value: Any = None) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration:
+            self.finished = True
+            self.done_event.fire()
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"process {self.name!r} slept negative time")
+            self._sim._schedule(self._sim.now + float(yielded), self, None)
+        elif isinstance(yielded, Event):
+            yielded._wait(self)
+        elif isinstance(yielded, Process):
+            yielded.done_event._wait(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+            )
+
+
+class Resource:
+    """A counted resource with FIFO waiters (link slots, proxy CPU).
+
+    Processes acquire with ``yield resource.acquire()`` (an Event that
+    fires when a slot is granted) and must call :meth:`release` when done.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: List[Event] = []
+
+    def acquire(self) -> Event:
+        """Request a slot; yields the returned Event to wait for it."""
+        event = Event(self._sim, name=f"{self.name}.grant")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.fire()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot, handing it to the next FIFO waiter."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.pop(0).fire()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        """Processes currently waiting for a slot."""
+        return len(self._waiters)
+
+
+class Simulator:
+    """Event loop: schedule processes and run until quiescent."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Process, Any]] = []
+        self._counter = itertools.count()
+        self._processes: List[Process] = []
+
+    def event(self, name: str = "") -> Event:
+        """Create a new unfired event."""
+        return Event(self, name)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        """Create a counted FIFO resource."""
+        return Resource(self, capacity, name)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        self._schedule(self.now, proc, None)
+        return proc
+
+    def _schedule(self, when: float, proc: Process, value: Any) -> None:
+        heapq.heappush(self._queue, (when, next(self._counter), proc, value))
+
+    def _resume(self, proc: Process, value: Any) -> None:
+        self._schedule(self.now, proc, value)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event queue; returns the final simulation time."""
+        events = 0
+        while self._queue:
+            when, _, proc, value = heapq.heappop(self._queue)
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            if when < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = max(self.now, when)
+            proc._step(value)
+            events += 1
+            if events > max_events:
+                raise SimulationError("event budget exhausted (runaway simulation?)")
+        return self.now
+
+    def run_until_complete(self, *procs: Process) -> float:
+        """Run until the given processes finish (and the queue allows)."""
+        self.run()
+        for proc in procs:
+            if not proc.finished:
+                raise SimulationError(f"process {proc.name!r} never finished")
+        return self.now

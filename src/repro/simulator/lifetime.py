@@ -1,0 +1,131 @@
+"""Battery-lifetime simulation: a day of browsing until the pack dies.
+
+The paper's numbers are per-download joules; what a user feels is hours.
+This module replays a request trace cyclically — transfers under a
+chosen serving strategy, inter-request gaps under a chosen radio idle
+policy — draining a :class:`~repro.device.batterylife.Battery` until it
+is exhausted, and reports how long the device lasted and how many
+objects it fetched.  Comparing configurations turns the paper's
+energy-per-file results into the battery-life extension they imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import thresholds
+from repro.core.energy_model import EnergyModel
+from repro.device.batterylife import Battery
+from repro.device.powersave import AlwaysOnPolicy, IdlePolicy
+from repro.errors import ModelError, SimulationError
+from repro.simulator.analytic import AnalyticSession
+from repro.workload.traces import RequestTrace
+
+
+@dataclass(frozen=True)
+class LifetimeReport:
+    """How one configuration fared on one battery charge."""
+
+    strategy: str
+    policy: str
+    hours: float
+    requests_served: int
+    transfer_energy_j: float
+    gap_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        """Transfer plus gap energy drained."""
+        return self.transfer_energy_j + self.gap_energy_j
+
+
+class LifetimeSimulation:
+    """Replays a trace until the battery gives out."""
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        battery: Optional[Battery] = None,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.battery = battery or Battery()
+        self.session = AnalyticSession(self.model)
+
+    def _transfer(self, entry, strategy: str):
+        s = entry.raw_bytes
+        if strategy == "raw":
+            return self.session.raw(s)
+        if strategy == "compressed":
+            return self.session.precompressed(
+                s, int(s / entry.gzip_factor), interleave=True
+            )
+        if strategy == "advised":
+            if entry.gzip_factor > 1 and thresholds.compression_worthwhile(
+                s, entry.gzip_factor, self.model
+            ):
+                return self.session.precompressed(
+                    s, int(s / entry.gzip_factor), interleave=True
+                )
+            return self.session.raw(s)
+        raise SimulationError(f"unknown strategy {strategy!r}")
+
+    def run(
+        self,
+        trace: RequestTrace,
+        strategy: str = "advised",
+        idle_policy: Optional[IdlePolicy] = None,
+        max_cycles: int = 10_000,
+    ) -> LifetimeReport:
+        """Drain one charge; the trace repeats if the battery outlasts it."""
+        if not len(trace):
+            raise ModelError("trace is empty")
+        idle_policy = idle_policy or AlwaysOnPolicy()
+        budget = self.battery.usable_joules
+        device = self.model.device
+
+        elapsed_s = 0.0
+        served = 0
+        transfer_j = 0.0
+        gap_j = 0.0
+        for _ in range(max_cycles):
+            for entry in trace:
+                result = self._transfer(entry, strategy)
+                if transfer_j + gap_j + result.energy_j > budget:
+                    hours = elapsed_s / 3600.0
+                    return LifetimeReport(
+                        strategy=strategy,
+                        policy=idle_policy.name,
+                        hours=hours,
+                        requests_served=served,
+                        transfer_energy_j=transfer_j,
+                        gap_energy_j=gap_j,
+                    )
+                transfer_j += result.energy_j
+                elapsed_s += result.time_s
+                served += 1
+
+                outcome = idle_policy.spend_gap(entry.inter_arrival_s)
+                idle_policy.observe(entry.inter_arrival_s)
+                gap_energy = (
+                    outcome.idle_s * device.idle_power_w
+                    + outcome.power_save_s * device.idle_power_save_w
+                    + outcome.wake_latency_s * device.idle_power_w
+                )
+                if transfer_j + gap_j + gap_energy > budget:
+                    # The battery dies mid-gap; pro-rate the time.
+                    remaining = budget - transfer_j - gap_j
+                    rate = gap_energy / max(outcome.total_s, 1e-9)
+                    elapsed_s += remaining / rate
+                    gap_j += remaining
+                    return LifetimeReport(
+                        strategy=strategy,
+                        policy=idle_policy.name,
+                        hours=elapsed_s / 3600.0,
+                        requests_served=served,
+                        transfer_energy_j=transfer_j,
+                        gap_energy_j=gap_j,
+                    )
+                gap_j += gap_energy
+                elapsed_s += outcome.total_s
+        raise SimulationError("battery outlived max_cycles trace repeats")

@@ -1,0 +1,214 @@
+"""Multi-client proxy simulation: handhelds contending for one AP.
+
+The paper measures a single device on an otherwise idle WLAN.  In a
+deployed proxy setup (its Section 1 motivation) several handhelds share
+the access point and the proxy CPU, so compression has a *fleet-level*
+effect the single-device model cannot show: smaller transfers free the
+medium sooner, shrinking everyone's queueing delay — and queueing time
+is paid at idle power by waiting devices.
+
+The simulation runs on the DES kernel: each request is a process that
+acquires the shared link (FIFO), optionally the proxy CPU for on-demand
+compression, holds them for the durations given by the single-device
+analytic sessions, and accounts waiting time at the device's idle power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.advisor import CompressionAdvisor
+from repro.core.energy_model import EnergyModel
+from repro.errors import SimulationError
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.engine import Simulator
+from repro.proxy.cpu import PROXY_PIII
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client's download request."""
+
+    client: str
+    name: str
+    raw_bytes: int
+    #: Whole-file compression factor the proxy would achieve.
+    factor: float
+    arrival_s: float
+    #: "raw" | "compressed" | "ondemand" | "advised" | "fleet-advised"
+    strategy: str = "advised"
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request."""
+
+    request: Request
+    strategy: str
+    start_s: float = 0.0
+    finish_s: float = 0.0
+    transfer_s: float = 0.0
+    proxy_compress_s: float = 0.0
+    device_energy_j: float = 0.0
+    wait_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-finish time, queueing included."""
+        return self.finish_s - self.request.arrival_s
+
+
+@dataclass
+class FleetReport:
+    """Aggregate results of one multi-client run."""
+
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Device energy summed over all requests."""
+        return sum(o.device_energy_j for o in self.outcomes)
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean link-queue wait per request."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.wait_s for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean arrival-to-finish latency."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.latency_s for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def makespan_s(self) -> float:
+        """When the last request finished."""
+        return max((o.finish_s for o in self.outcomes), default=0.0)
+
+    def by_client(self) -> Dict[str, List[RequestOutcome]]:
+        """Outcomes grouped by client name."""
+        grouped: Dict[str, List[RequestOutcome]] = {}
+        for o in self.outcomes:
+            grouped.setdefault(o.request.client, []).append(o)
+        return grouped
+
+
+class MultiClientSimulation:
+    """N handhelds sharing one 802.11b medium and one proxy CPU."""
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        link_slots: int = 1,
+        proxy_slots: int = 1,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.session = AnalyticSession(self.model)
+        self.advisor = CompressionAdvisor(model=self.model)
+        self.link_slots = link_slots
+        self.proxy_slots = proxy_slots
+
+    # -- strategy resolution -----------------------------------------------------
+
+    def _resolve(self, request: Request, queue_length: int = 0) -> str:
+        if request.strategy == "advised":
+            rec = self.advisor.advise_metadata(request.raw_bytes, request.factor)
+            return "compressed" if rec.strategy == "compress" else "raw"
+        if request.strategy == "fleet-advised":
+            from repro.core.fleet_advisor import FleetAdvisor
+
+            advisor = FleetAdvisor(self.model, contenders=queue_length)
+            worthwhile = advisor.compression_worthwhile(
+                request.raw_bytes, request.factor
+            )
+            return "compressed" if worthwhile else "raw"
+        return request.strategy
+
+    def _session_for(self, request: Request, strategy: str):
+        s = request.raw_bytes
+        sc = int(s / request.factor)
+        if strategy == "raw":
+            return self.session.raw(s), 0.0
+        if strategy == "compressed":
+            return self.session.precompressed(s, sc, interleave=True), 0.0
+        if strategy == "ondemand":
+            result = self.session.ondemand(s, sc, overlap=True)
+            t_comp = PROXY_PIII.compress_time_s("gzip", s, sc)
+            return result, t_comp
+        raise SimulationError(f"unknown strategy {strategy!r}")
+
+    # -- the simulation ------------------------------------------------------------
+
+    def run(self, requests: List[Request]) -> FleetReport:
+        """Simulate the request set; returns the fleet report."""
+        sim = Simulator()
+        link = sim.resource(self.link_slots, name="link")
+        proxy_cpu = sim.resource(self.proxy_slots, name="proxy-cpu")
+        report = FleetReport()
+        idle_power = self.model.device.idle_power_w
+
+        def client_process(request: Request):
+            outcome = RequestOutcome(request=request, strategy=request.strategy)
+            yield max(0.0, request.arrival_s - sim.now)
+
+            # The fleet-advised rule reads the queue at enqueue time: the
+            # devices already waiting are the ones whose idle time a
+            # smaller transfer would shorten.
+            queue_estimate = link.queue_length + max(0, link.in_use - 1)
+            strategy = self._resolve(request, queue_length=queue_estimate)
+            outcome.strategy = strategy
+            result, proxy_time = self._session_for(request, strategy)
+
+            # On-demand compression queues on the proxy CPU first; the
+            # pipeline overlap is inside `result`, but the proxy must be
+            # free to start serving at all.
+            if proxy_time > 0:
+                grant = proxy_cpu.acquire()
+                yield grant
+
+            queued_at = sim.now
+            grant = link.acquire()
+            yield grant
+            outcome.wait_s = sim.now - queued_at
+            outcome.start_s = sim.now
+            yield result.time_s
+            link.release()
+            if proxy_time > 0:
+                proxy_cpu.release()
+            outcome.finish_s = sim.now
+            outcome.transfer_s = result.time_s
+            outcome.proxy_compress_s = proxy_time
+            # Device energy: the session itself plus idling while queued.
+            outcome.device_energy_j = result.energy_j + outcome.wait_s * idle_power
+            report.outcomes.append(outcome)
+
+        for request in sorted(requests, key=lambda r: r.arrival_s):
+            sim.spawn(client_process(request), name=f"{request.client}:{request.name}")
+        sim.run()
+        if len(report.outcomes) != len(requests):
+            raise SimulationError("not all requests completed")
+        report.outcomes.sort(key=lambda o: o.request.arrival_s)
+        return report
+
+    def compare_strategies(self, requests: List[Request]) -> Dict[str, FleetReport]:
+        """Run the same request set under forced-raw / forced-compressed /
+        advised strategies for fleet-level comparison."""
+        out = {}
+        for strategy in ("raw", "compressed", "advised"):
+            forced = [
+                Request(
+                    client=r.client,
+                    name=r.name,
+                    raw_bytes=r.raw_bytes,
+                    factor=r.factor,
+                    arrival_s=r.arrival_s,
+                    strategy=strategy,
+                )
+                for r in requests
+            ]
+            out[strategy] = self.run(forced)
+        return out

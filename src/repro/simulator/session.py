@@ -1,0 +1,116 @@
+"""Session results and the scenario vocabulary shared by both engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.device.battery import EnergyReport
+from repro.device.timeline import PowerTimeline
+
+
+class Scenario(enum.Enum):
+    """The download strategies the paper evaluates."""
+
+    #: Download the original file, no compression (the figures' baseline).
+    RAW = "raw"
+    #: Precompressed on the proxy; download fully, then decompress.
+    SEQUENTIAL = "sequential"
+    #: Precompressed; decompress block i while block i+1 downloads.
+    INTERLEAVED = "interleaved"
+    #: Precompressed; radio power-saves during (non-interleaved) decompress.
+    SEQUENTIAL_SLEEP = "sequential-sleep"
+    #: Block-by-block adaptive container, interleaved (Figure 10/11).
+    ADAPTIVE = "adaptive"
+    #: Compression on demand, tool-style: compress fully, then send.
+    ONDEMAND_SEQUENTIAL = "ondemand-sequential"
+    #: Compression on demand overlapped with transmission (revised zlib).
+    ONDEMAND_OVERLAPPED = "ondemand-overlapped"
+    #: Upload the original data from the device (Section 7 future work).
+    UPLOAD_RAW = "upload-raw"
+    #: Compress on the device, then send.
+    UPLOAD_SEQUENTIAL = "upload-sequential"
+    #: Compress block i+1 on the device while sending block i.
+    UPLOAD_INTERLEAVED = "upload-interleaved"
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one simulated download session."""
+
+    scenario: Scenario
+    raw_bytes: int
+    transfer_bytes: int
+    codec: Optional[str]
+    timeline: PowerTimeline
+    #: Seconds the device is occupied (download start to last byte of
+    #: decompressed output).
+    time_s: float
+    energy_j: float
+
+    @classmethod
+    def from_timeline(
+        cls,
+        scenario: Scenario,
+        raw_bytes: int,
+        transfer_bytes: int,
+        codec: Optional[str],
+        timeline: PowerTimeline,
+    ) -> "SessionResult":
+        return cls(
+            scenario=scenario,
+            raw_bytes=raw_bytes,
+            transfer_bytes=transfer_bytes,
+            codec=codec,
+            timeline=timeline,
+            time_s=timeline.total_time_s,
+            energy_j=timeline.total_energy_j,
+        )
+
+    @property
+    def report(self) -> EnergyReport:
+        """Energy report view of the timeline."""
+        return EnergyReport.from_timeline(self.timeline)
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Joules per activity tag."""
+        return self.timeline.energy_by_tag()
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Seconds per activity tag."""
+        return self.timeline.time_by_tag()
+
+    def time_ratio(self, baseline: "SessionResult") -> float:
+        """Bar height of the paper's time figures: relative to RAW."""
+        if baseline.time_s <= 0:
+            return float("inf") if self.time_s > 0 else 1.0
+        return self.time_s / baseline.time_s
+
+    def energy_ratio(self, baseline: "SessionResult") -> float:
+        """Bar height of the paper's energy figures: relative to RAW."""
+        if baseline.energy_j <= 0:
+            return float("inf") if self.energy_j > 0 else 1.0
+        return self.energy_j / baseline.energy_j
+
+
+class DownloadSession:
+    """Facade selecting the engine (analytic by default, DES on request)."""
+
+    def __init__(self, model=None, engine: str = "analytic") -> None:
+        from repro.core.energy_model import EnergyModel
+
+        self.model = model or EnergyModel()
+        if engine == "analytic":
+            from repro.simulator.analytic import AnalyticSession
+
+            self._impl = AnalyticSession(self.model)
+        elif engine == "des":
+            from repro.simulator.des import DesSession
+
+            self._impl = DesSession(self.model)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+
+    def __getattr__(self, item):
+        return getattr(self._impl, item)

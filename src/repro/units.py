@@ -1,0 +1,140 @@
+"""Shared units, conversions and paper-measured constants.
+
+Every constant that originates in the paper carries a citation to the
+table, equation or section it was measured/fitted in.  All model equations
+in the paper express sizes in "MB"; the paper's 3900-byte threshold equals
+0.00372 MB only when MB means MiB (2**20 bytes), so MiB is the canonical
+"model megabyte" throughout this code base.
+"""
+
+from __future__ import annotations
+
+#: Bytes per model megabyte.  The paper's size threshold (3900 B = 0.00372 MB,
+#: Section 4.3) only holds for MiB, so "MB" in every equation means MiB.
+BYTES_PER_MB = float(2**20)
+
+#: Supply voltage in volts.  The paper disconnects the batteries and powers
+#: the iPAQ from an external 5 V DC supply (Section 2).
+SUPPLY_VOLTAGE_V = 5.0
+
+#: Nominal 802.11b peak bit rate used for the main experiments (Section 2).
+NOMINAL_RATE_11MBPS = 11_000_000.0
+
+#: Reduced nominal bit rate used to validate the energy model (Section 4.2).
+NOMINAL_RATE_2MBPS = 2_000_000.0
+
+#: Measured effective application-level receive rate at 11 Mb/s nominal:
+#: "even when we receive the packets at the full speed (602 KB/s)"
+#: (Section 4.1).
+MEASURED_RATE_11MBPS_BPS = 602.0 * 1024.0
+
+#: Effective rate the paper's equations actually use: ti = 0.4*s/0.6, i.e.
+#: 0.6 MB/s (Equation 4).  The model adopts the equation constant so that
+#: every fitted coefficient (3.519, 2.945, ...) reproduces exactly; the
+#: 602 KiB/s measurement differs from it by 2%.
+EFFECTIVE_RATE_11MBPS_BPS = 0.6 * float(2**20)
+
+#: Measured effective receive rate at 2 Mb/s nominal: "180K bytes per
+#: second" (Section 4.2).
+EFFECTIVE_RATE_2MBPS_BPS = 180.0 * 1024.0
+
+#: Fraction of receive time the CPU sits idle between packet arrivals at
+#: 11 Mb/s: "the idle time is about 40% of the total receiving time"
+#: (Section 4.1); the model uses ti = 0.4 * s / 0.6 with the download rate
+#: expressed as 0.6 MB/s (Equation 4).
+IDLE_FRACTION_11MBPS = 0.40
+
+#: CPU idle fraction at the 2 Mb/s setting: "the CPU idle time to be 81.5%
+#: of the total downloading time" (Section 4.2).
+IDLE_FRACTION_2MBPS = 0.815
+
+#: Download rate constant the paper uses inside Equation 4, in MB/s.
+MODEL_RATE_11MBPS_MBPS = 0.6
+
+#: Download rate at the 2 Mb/s setting in MB/s (180 KiB/s).
+MODEL_RATE_2MBPS_MBPS = 180.0 / 1024.0
+
+#: Throughput penalty of the 802.11b power-saving mode: "the effective data
+#: rate decreases by about 25% in the power-saving mode" (Section 2).
+POWER_SAVE_RATE_PENALTY = 0.25
+
+#: zlib/gzip streaming block size assumed by the model: "we assume that the
+#: size of the compression buffer is 0.128 MB" (Equation 4 discussion).
+BLOCK_SIZE_MB = 0.128
+BLOCK_SIZE_BYTES = int(BLOCK_SIZE_MB * BYTES_PER_MB)
+
+#: File-size threshold below which compression never pays off:
+#: "we do not compress the file if the original size is less than 3900
+#: bytes (0.00372 MB)" (Section 4.3).
+THRESHOLD_FILE_SIZE_BYTES = 3900
+THRESHOLD_FILE_SIZE_MB = THRESHOLD_FILE_SIZE_BYTES / BYTES_PER_MB
+
+#: Fitted download-energy line E = 3.519*s + 0.012 (J, s in MB), average
+#: error 7.2% (Section 4.2, Figure 8b).
+DOWNLOAD_ENERGY_SLOPE_J_PER_MB = 3.519
+DOWNLOAD_ENERGY_INTERCEPT_J = 0.012
+
+#: Per-MB receive energy m = 2.486 J/MB and communication start-up cost
+#: cs = 0.012 J derived from the fit (Section 4.2).
+RECEIVE_ENERGY_J_PER_MB = 2.486
+COMM_STARTUP_ENERGY_J = 0.012
+
+#: Fitted zlib decompression time td = 0.161*s + 0.161*sc + 0.004 (seconds,
+#: sizes in MB), average error 3%, R^2 = 96.7% (Section 4.2, Figure 8a).
+DECOMP_TIME_PER_RAW_MB_S = 0.161
+DECOMP_TIME_PER_COMP_MB_S = 0.161
+DECOMP_TIME_CONSTANT_S = 0.004
+
+#: Compression factor above which sleeping the radio during decompression
+#: beats interleaving: "the compression factor must exceed 4.6" (Section 4.2).
+SLEEP_VS_INTERLEAVE_FACTOR = 4.6
+
+#: Compression factor needed to fill all idle time at 2 Mb/s: "one needs a
+#: compression factor at least of 27" (Section 4.2).
+FILL_IDLE_FACTOR_2MBPS = 27.0
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count to model megabytes (MiB)."""
+    return n_bytes / BYTES_PER_MB
+
+
+def mb_to_bytes(mb: float) -> int:
+    """Convert model megabytes (MiB) to a byte count, rounding down."""
+    return int(mb * BYTES_PER_MB)
+
+
+def current_ma_to_power_w(current_ma: float, voltage_v: float = SUPPLY_VOLTAGE_V) -> float:
+    """Convert a measured current draw in mA to power in watts."""
+    return current_ma / 1000.0 * voltage_v
+
+
+def power_w_to_current_ma(power_w: float, voltage_v: float = SUPPLY_VOLTAGE_V) -> float:
+    """Convert power in watts back to the current in mA a meter would read."""
+    return power_w / voltage_v * 1000.0
+
+
+def joules(power_w: float, seconds: float) -> float:
+    """Energy in joules for drawing ``power_w`` watts for ``seconds``."""
+    return power_w * seconds
+
+
+def compression_factor(raw_size: float, compressed_size: float) -> float:
+    """Ratio of input size over output size (paper Section 3).
+
+    A factor above 1.0 means the data shrank.  Raises ``ValueError`` for a
+    non-positive compressed size with positive input, since the factor is
+    then undefined.
+    """
+    if raw_size < 0 or compressed_size < 0:
+        raise ValueError("sizes must be non-negative")
+    if raw_size == 0:
+        return 1.0
+    if compressed_size == 0:
+        raise ValueError("compressed size of 0 for non-empty input")
+    return raw_size / compressed_size
+
+
+def compression_ratio(raw_size: float, compressed_size: float) -> float:
+    """Reciprocal of the compression factor (paper Section 3)."""
+    return 1.0 / compression_factor(raw_size, compressed_size)

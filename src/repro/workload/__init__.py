@@ -1,0 +1,29 @@
+"""Synthetic workload: the paper's Table 2/3 corpus, regenerated.
+
+The authors' actual files (Purdue web pages, PostScript books, SPEC 2000
+inputs, media rips) are not available, so each is replaced by a synthetic
+file of the same size and data type, tuned so its gzip compression factor
+lands near the paper's Table 2 value.  The evaluation consumes only
+(size, per-scheme factor, type), which this preserves.
+"""
+
+from repro.workload.manifest import (
+    FileSpec,
+    FileType,
+    TABLE2_FILES,
+    large_files,
+    small_files,
+    get_spec,
+)
+from repro.workload.corpus import Corpus, GeneratedFile
+
+__all__ = [
+    "FileSpec",
+    "FileType",
+    "TABLE2_FILES",
+    "large_files",
+    "small_files",
+    "get_spec",
+    "Corpus",
+    "GeneratedFile",
+]

@@ -1,0 +1,144 @@
+"""Request traces: Zipf popularity over the Table 2 catalog.
+
+Proxy deployments see skewed object popularity; whether the proxy
+compresses "in advance or on demand" (Section 1) then matters through
+its cache: the first request for an object pays the on-demand pipeline,
+subsequent ones are served precompressed.  This module generates
+reproducible traces for that study.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.workload.manifest import FileSpec, TABLE2_FILES
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request in a trace."""
+
+    index: int
+    name: str
+    raw_bytes: int
+    gzip_factor: float
+    #: Seconds since the previous request.
+    inter_arrival_s: float
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A reproducible request sequence."""
+
+    entries: List[TraceEntry]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def unique_objects(self) -> int:
+        """Distinct objects the trace touches."""
+        return len({e.name for e in self.entries})
+
+    def hit_rate(self) -> float:
+        """Fraction of requests that re-touch an already-seen object."""
+        if not self.entries:
+            return 0.0
+        seen = set()
+        hits = 0
+        for e in self.entries:
+            if e.name in seen:
+                hits += 1
+            seen.add(e.name)
+        return hits / len(self.entries)
+
+    def popularity(self) -> Dict[str, int]:
+        """Request count per object name."""
+        counts: Dict[str, int] = {}
+        for e in self.entries:
+            counts[e.name] = counts.get(e.name, 0) + 1
+        return counts
+
+
+class ZipfTraceGenerator:
+    """Zipf-popularity requests with exponential think times."""
+
+    def __init__(
+        self,
+        catalog: Optional[Sequence[FileSpec]] = None,
+        zipf_alpha: float = 0.9,
+        mean_gap_s: float = 10.0,
+        seed: int = 1,
+    ) -> None:
+        if zipf_alpha <= 0:
+            raise WorkloadError("zipf alpha must be positive")
+        if mean_gap_s < 0:
+            raise WorkloadError("mean gap must be non-negative")
+        self.catalog = list(catalog if catalog is not None else TABLE2_FILES)
+        if not self.catalog:
+            raise WorkloadError("catalog is empty")
+        self.zipf_alpha = zipf_alpha
+        self.mean_gap_s = mean_gap_s
+        self.seed = seed
+        # Zipf CDF over catalog ranks (rank order = catalog order).
+        weights = [1.0 / (rank + 1) ** zipf_alpha for rank in range(len(self.catalog))]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def _pick(self, rng: random.Random) -> FileSpec:
+        r = rng.random()
+        for idx, c in enumerate(self._cdf):
+            if r <= c:
+                return self.catalog[idx]
+        return self.catalog[-1]
+
+    def generate(self, n_requests: int) -> RequestTrace:
+        """Produce a reproducible trace of ``n_requests`` entries."""
+        if n_requests < 0:
+            raise WorkloadError("request count must be non-negative")
+        rng = random.Random(self.seed)
+        entries = []
+        for i in range(n_requests):
+            spec = self._pick(rng)
+            gap = rng.expovariate(1.0 / self.mean_gap_s) if self.mean_gap_s else 0.0
+            entries.append(
+                TraceEntry(
+                    index=i,
+                    name=spec.name,
+                    raw_bytes=spec.size_bytes,
+                    gzip_factor=spec.gzip_factor,
+                    inter_arrival_s=gap,
+                )
+            )
+        return RequestTrace(entries=entries)
+
+    def expected_top1_share(self) -> float:
+        """Analytic share of requests hitting the most popular object."""
+        return self._cdf[0]
+
+
+def measured_zipf_alpha(trace: RequestTrace) -> float:
+    """Rough alpha estimate from a trace's rank-frequency line."""
+    counts = sorted(trace.popularity().values(), reverse=True)
+    if len(counts) < 3:
+        raise WorkloadError("trace touches too few objects to estimate alpha")
+    xs = [math.log(rank + 1) for rank in range(len(counts))]
+    ys = [math.log(c) for c in counts]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+        (x - mean_x) ** 2 for x in xs
+    )
+    return -slope

@@ -1,0 +1,101 @@
+"""Least-squares fitting and error metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import fitting
+from repro.errors import CalibrationError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 3.0, 5.0, 7.0]
+        fit = fitting.linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fitting.linear_fit([0, 1], [0, 2])
+        assert fit.predict(3.0) == pytest.approx(6.0)
+
+    def test_noisy_r_squared_below_one(self):
+        xs = list(range(10))
+        ys = [2 * x + (1 if x % 2 else -1) for x in xs]
+        fit = fitting.linear_fit(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fitting.linear_fit([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fitting.linear_fit([1], [1])
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(-10, 10),
+        # Integer abscissae keep the design matrix well conditioned
+        # (near-coincident floats make the slope unidentifiable).
+        st.lists(st.integers(-50, 50), min_size=3, max_size=20, unique=True),
+    )
+    def test_recovers_any_line_property(self, intercept, slope, xs):
+        xs = [float(x) for x in xs]
+        ys = [slope * x + intercept for x in xs]
+        fit = fitting.linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)
+
+
+class TestMultilinearFit:
+    def test_exact_plane(self):
+        rows = [[1, 0], [0, 1], [1, 1], [2, 3], [4, 1]]
+        ys = [2 * a + 3 * b + 5 for a, b in rows]
+        coeffs, intercept, r2 = fitting.multilinear_fit(rows, ys)
+        assert coeffs[0] == pytest.approx(2.0)
+        assert coeffs[1] == pytest.approx(3.0)
+        assert intercept == pytest.approx(5.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(CalibrationError):
+            fitting.multilinear_fit([[1, 2], [1]], [1, 2])
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(CalibrationError):
+            fitting.multilinear_fit([[1, 2], [2, 3]], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            fitting.multilinear_fit([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fitting.multilinear_fit([[1], [2]], [1])
+
+
+class TestErrorMetrics:
+    def test_relative_errors_signed(self):
+        errs = fitting.relative_errors([10.0, 20.0], [11.0, 18.0])
+        assert errs[0] == pytest.approx(0.1)
+        assert errs[1] == pytest.approx(-0.1)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(CalibrationError):
+            fitting.relative_errors([0.0], [1.0])
+
+    def test_average_error_is_mean_abs(self):
+        assert fitting.average_error([10, 20], [11, 18]) == pytest.approx(0.1)
+
+    def test_r_squared_perfect(self):
+        assert fitting.r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r_squared_constant_target(self):
+        assert fitting.r_squared([2, 2, 2], [2, 2, 2]) == 1.0
+        assert fitting.r_squared([2, 2, 2], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fitting.relative_errors([1], [1, 2])

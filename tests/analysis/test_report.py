@@ -1,0 +1,81 @@
+"""ASCII tables and bar charts."""
+
+from repro.analysis.report import (
+    ascii_table,
+    bar_chart,
+    error_rate_summary,
+    format_ratio,
+)
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        out = ascii_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="my table")
+        assert out.splitlines()[0] == "my table"
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_column_width_follows_content(self):
+        out = ascii_table(["h"], [["wide-content-cell"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) >= len("wide-content-cell")
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart(
+            ["item"], {"s": [1.0]}, width=10, max_value=2.0
+        )
+        assert "#####" in out
+        assert "######" not in out.replace("#####", "", 1)
+
+    def test_overflow_marker(self):
+        out = bar_chart(["x"], {"s": [5.0]}, width=10, max_value=1.0)
+        assert "+" in out
+
+    def test_groups_and_series(self):
+        out = bar_chart(
+            ["a", "b"], {"one": [0.5, 1.0], "two": [1.0, 0.5]}, max_value=1.0
+        )
+        assert out.count("one") == 2
+        assert out.count("two") == 2
+
+    def test_title_and_unit(self):
+        out = bar_chart(["a"], {"s": [1.0]}, title="chart", unit="J")
+        assert out.splitlines()[0] == "chart"
+        assert "1.000J" in out
+
+    def test_empty_series(self):
+        assert bar_chart([], {}, title="empty") == "empty"
+
+    def test_auto_max(self):
+        out = bar_chart(["a", "b"], {"s": [1.0, 2.0]}, width=10)
+        # The largest value fills the width.
+        assert "#" * 10 in out
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], {"s": [0.0]})
+        assert "0.000" in out
+
+
+class TestFormatting:
+    def test_format_ratio(self):
+        assert format_ratio(0.5) == "0.50x"
+
+    def test_error_rate_summary(self):
+        out = error_rate_summary({"large": 0.025, "small": 0.091})
+        assert "large: 2.5%" in out
+        assert "small: 9.1%" in out

@@ -1,0 +1,52 @@
+"""The live reproduction report card."""
+
+import pytest
+
+from repro.analysis.report_card import (
+    CheckResult,
+    all_pass,
+    render_report,
+    run_checks,
+)
+
+
+class TestCheckResult:
+    def test_pass_within_tolerance(self):
+        check = CheckResult("x", 10.0, 10.05, 0.01, "src")
+        assert check.passed
+        assert check.error_rel == pytest.approx(0.005)
+
+    def test_fail_outside_tolerance(self):
+        check = CheckResult("x", 10.0, 11.0, 0.01, "src")
+        assert not check.passed
+
+    def test_zero_paper_value_absolute(self):
+        assert CheckResult("x", 0.0, 0.005, 0.01, "src").passed
+        assert not CheckResult("x", 0.0, 0.05, 0.01, "src").passed
+
+
+class TestRunChecks:
+    def test_all_headline_checks_pass(self):
+        """The report card is the repository's own acceptance gate."""
+        checks = run_checks()
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, failing
+        assert all_pass(checks)
+
+    def test_covers_the_headline_constants(self):
+        names = " ".join(c.name for c in run_checks())
+        for needle in ("3.519", "m (J/MB)", "threshold", "crossover", "fill-idle"):
+            assert any(needle in c.name or needle in str(c.paper_value)
+                       for c in run_checks()) or needle in names
+
+    def test_render_contains_verdict(self):
+        text = render_report()
+        assert "13/13 checks pass" in text or "checks pass" in text
+        assert "PASS" in text
+
+    def test_cli_report_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "report card" in out

@@ -1,0 +1,144 @@
+"""Bit-level I/O: both bit orders, alignment, exhaustion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitio import (
+    LSBBitReader,
+    LSBBitWriter,
+    MSBBitReader,
+    MSBBitWriter,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestLSB:
+    def test_single_byte(self):
+        w = LSBBitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_lsb_packing_order(self):
+        w = LSBBitWriter()
+        w.write_bits(1, 1)  # bit 0 set
+        w.write_bits(0, 6)
+        w.write_bits(1, 1)  # bit 7 set
+        assert w.getvalue() == b"\x81"
+
+    def test_cross_byte_value(self):
+        w = LSBBitWriter()
+        w.write_bits(0x1FF, 9)
+        data = w.getvalue()
+        r = LSBBitReader(data)
+        assert r.read_bits(9) == 0x1FF
+
+    def test_align_pads_with_zeros(self):
+        w = LSBBitWriter()
+        w.write_bits(0b101, 3)
+        w.align_to_byte()
+        assert w.getvalue() == b"\x05"
+
+    def test_align_noop_on_boundary(self):
+        w = LSBBitWriter()
+        w.write_bits(0xFF, 8)
+        w.align_to_byte()
+        assert w.getvalue() == b"\xff"
+
+    def test_reader_exhaustion_raises(self):
+        r = LSBBitReader(b"\x01")
+        r.read_bits(8)
+        with pytest.raises(CorruptStreamError):
+            r.read_bit()
+
+    def test_value_too_wide_raises(self):
+        w = LSBBitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_nbits_raises(self):
+        w = LSBBitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(0, -1)
+
+    def test_bits_remaining(self):
+        r = LSBBitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+        r.read_bits(5)
+        assert r.bits_remaining == 11
+
+    def test_reader_align_drops_partial(self):
+        r = LSBBitReader(b"\xff\x0f")
+        r.read_bits(3)
+        r.align_to_byte()
+        assert r.read_bits(8) == 0x0F
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16))))
+    def test_roundtrip_property(self, fields):
+        w = LSBBitWriter()
+        clipped = [(v & ((1 << n) - 1), n) for v, n in fields]
+        for v, n in clipped:
+            w.write_bits(v, n)
+        r = LSBBitReader(w.getvalue())
+        for v, n in clipped:
+            assert r.read_bits(n) == v
+
+
+class TestMSB:
+    def test_single_byte(self):
+        w = MSBBitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_msb_packing_order(self):
+        w = MSBBitWriter()
+        w.write_bits(1, 1)  # bit 7 set
+        w.write_bits(0, 7)
+        assert w.getvalue() == b"\x80"
+
+    def test_align_pads_low_bits(self):
+        w = MSBBitWriter()
+        w.write_bits(0b101, 3)
+        w.align_to_byte()
+        assert w.getvalue() == b"\xa0"
+
+    def test_cross_byte_roundtrip(self):
+        w = MSBBitWriter()
+        w.write_bits(0x3FF, 10)
+        w.write_bits(0x2A, 6)
+        r = MSBBitReader(w.getvalue())
+        assert r.read_bits(10) == 0x3FF
+        assert r.read_bits(6) == 0x2A
+
+    def test_reader_exhaustion_raises(self):
+        r = MSBBitReader(b"")
+        with pytest.raises(CorruptStreamError):
+            r.read_bit()
+
+    def test_value_too_wide_raises(self):
+        w = MSBBitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(2, 1)
+
+    def test_bit_length_tracks(self):
+        w = MSBBitWriter()
+        w.write_bits(0, 3)
+        assert w.bit_length == 3
+        w.write_bits(0, 13)
+        assert w.bit_length == 16
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16))))
+    def test_roundtrip_property(self, fields):
+        w = MSBBitWriter()
+        clipped = [(v & ((1 << n) - 1), n) for v, n in fields]
+        for v, n in clipped:
+            w.write_bits(v, n)
+        r = MSBBitReader(w.getvalue())
+        for v, n in clipped:
+            assert r.read_bits(n) == v
+
+    @given(st.binary(max_size=64))
+    def test_byte_stream_identity(self, data):
+        w = MSBBitWriter()
+        for b in data:
+            w.write_bits(b, 8)
+        assert w.getvalue() == data

@@ -1,0 +1,104 @@
+"""Burrows-Wheeler transform and suffix array."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import bwt
+from repro.errors import CorruptStreamError
+
+
+class TestSuffixArray:
+    def test_empty(self):
+        assert bwt.build_suffix_array([]) == []
+
+    def test_single(self):
+        assert bwt.build_suffix_array([5]) == [0]
+
+    def test_banana(self):
+        # suffixes of 'banana': a(5) ana(3) anana(1) banana(0) na(4) nana(2)
+        sa = bwt.build_suffix_array(list(b"banana"))
+        assert sa == [5, 3, 1, 0, 4, 2]
+
+    def test_all_equal_symbols(self):
+        sa = bwt.build_suffix_array([7, 7, 7, 7])
+        assert sa == [3, 2, 1, 0]
+
+    def test_matches_naive_sort(self):
+        rng = random.Random(2)
+        data = [rng.randrange(4) for _ in range(200)]
+        expected = sorted(range(len(data)), key=lambda i: data[i:])
+        assert bwt.build_suffix_array(data) == expected
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_sort_property(self, data):
+        symbols = list(data)
+        expected = sorted(range(len(symbols)), key=lambda i: symbols[i:])
+        assert bwt.build_suffix_array(symbols) == expected
+
+
+class TestForwardInverse:
+    def test_empty(self):
+        col = bwt.forward(b"")
+        assert bwt.inverse(col) == b""
+
+    def test_known_banana_grouping(self):
+        col = bwt.forward(b"banana")
+        # The transform groups repeated characters together.
+        assert sorted(col) == sorted(list(b"banana") + [bwt.SENTINEL])
+        assert bwt.inverse(col) == b"banana"
+
+    def test_sentinel_appears_once(self, sample):
+        col = bwt.forward(sample[:2000])
+        assert col.count(bwt.SENTINEL) == 1
+
+    def test_groups_repeats(self):
+        data = b"abcabcabcabcabcabc" * 20
+        col = bwt.forward(data)
+        # Count adjacent equal pairs: BWT output should be far runnier
+        # than the input.
+        def runs(seq):
+            return sum(1 for a, b in zip(seq, seq[1:]) if a == b)
+
+        assert runs(col) > runs(list(data)) * 2
+
+    def test_roundtrip_every_sample(self, sample):
+        data = sample[:3000]
+        assert bwt.inverse(bwt.forward(data)) == data
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert bwt.inverse(bwt.forward(data)) == data
+
+
+class TestInverseValidation:
+    def test_missing_sentinel_raises(self):
+        with pytest.raises(CorruptStreamError):
+            bwt.inverse([65, 66, 67])
+
+    def test_two_sentinels_raise(self):
+        with pytest.raises(CorruptStreamError):
+            bwt.inverse([bwt.SENTINEL, 65, bwt.SENTINEL])
+
+    def test_out_of_range_symbol_raises(self):
+        with pytest.raises(CorruptStreamError):
+            bwt.inverse([300, bwt.SENTINEL])
+
+    def test_shuffled_column_detected(self):
+        col = bwt.forward(b"hello world hello world")
+        rng = random.Random(4)
+        for _ in range(5):
+            shuffled = list(col)
+            rng.shuffle(shuffled)
+            if shuffled == list(col):
+                continue
+            try:
+                out = bwt.inverse(shuffled)
+            except CorruptStreamError:
+                continue
+            # A shuffle may still invert to *something*; it must at least
+            # not be silently equal to the original for a changed column.
+            assert out != b"hello world hello world" or shuffled == list(col)

@@ -1,0 +1,161 @@
+"""bzip2-scheme codec: full pipeline container."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bwt_codec import BWTCodec
+from repro.errors import CorruptStreamError
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return BWTCodec(block_size=8 * 1024)
+
+
+class TestRoundtrip:
+    def test_every_sample(self, codec, sample):
+        data = sample[:20000]
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_multi_block(self):
+        codec = BWTCodec(block_size=512)
+        data = b"multi block bwt codec test data " * 200
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_block_boundary_exact(self):
+        codec = BWTCodec(block_size=1000)
+        data = b"q" * 2000
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = BWTCodec(block_size=700)
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+
+class TestCompressionQuality:
+    def test_beats_gzip_on_natural_text(self):
+        """The paper: bzip2 'generally considerably better' factors.
+
+        Holds for natural-statistics text (word mixtures); exact long-range
+        repeats are LZ77's best case, so they are not used here.
+        """
+        import random
+
+        from repro.compression.deflate import DeflateCodec
+
+        rng = random.Random(1)
+        words = [
+            "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "theta",
+            "compression", "transform", "character", "wireless", "energy",
+        ]
+        data = " ".join(rng.choice(words) for _ in range(6000)).encode()
+        bwt_f = BWTCodec(block_size=64 * 1024).compress(data).factor
+        gzip_f = DeflateCodec().compress(data).factor
+        assert bwt_f > gzip_f
+
+    def test_stored_fallback_on_random(self, codec):
+        rng = random.Random(12)
+        data = bytes(rng.getrandbits(8) for _ in range(30000))
+        res = codec.compress(data)
+        assert res.compressed_size <= len(data) + 64
+
+
+class TestMultiTableHuffman:
+    """bzip2's group-selector mechanism."""
+
+    @staticmethod
+    def _mixed_block(n=40000):
+        import random
+
+        rng = random.Random(4)
+        words = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        text = " ".join(rng.choice(words) for _ in range(n // 6)).encode()[: n // 2]
+        noise = rng.getrandbits(8 * (n // 2)).to_bytes(n // 2, "little")
+        return text + noise
+
+    def test_multi_table_beats_single_on_mixed_stats(self):
+        """Heterogeneous blocks are where group selectors pay."""
+        codec = BWTCodec(block_size=64 * 1024)
+        data = self._mixed_block()
+        single = codec._encode_symbols(self._symbols(codec, data), n_tables=1)
+        multi = codec._encode_body(data)
+        assert len(multi) <= len(single)
+
+    @staticmethod
+    def _symbols(codec, block):
+        from repro.compression import bwt, mtf
+
+        column = bwt.forward(block)
+        return mtf.rle_encode(mtf.mtf_encode(column))
+
+    def test_single_table_on_tiny_blocks(self):
+        """Below 4 groups the encoder never tries multiple tables."""
+        codec = BWTCodec(block_size=64 * 1024)
+        data = b"tiny homogeneous block"
+        body = codec._encode_body(data)
+        from repro.compression.bitio import MSBBitReader
+
+        assert MSBBitReader(body).read_bits(3) == 1
+
+    def test_multi_table_roundtrip(self):
+        codec = BWTCodec(block_size=64 * 1024)
+        data = self._mixed_block()
+        payload = codec.compress_bytes(data)
+        assert codec.decompress_bytes(payload) == data
+
+    def test_invalid_table_count_rejected(self):
+        from repro.compression.bitio import MSBBitWriter
+        from repro.compression.varint import write_varint
+
+        w = MSBBitWriter()
+        w.write_bits(7, 3)  # invalid table count
+        body = w.getvalue()
+        header = write_varint(10) + b"\x01" + write_varint(len(body)) + body
+        codec = BWTCodec()
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(b"RZ3" + write_varint(10) + header[len(write_varint(10)):])
+
+    def test_selector_out_of_range_rejected(self):
+        """A 2-table stream whose selector says table 5 must fail."""
+        import random
+
+        codec = BWTCodec(block_size=64 * 1024)
+        data = self._mixed_block()
+        payload = bytearray(codec.compress_bytes(data))
+        # Fuzz a few bytes in the selector/symbol region; decoding must
+        # either raise or produce different output, never crash.
+        rng = random.Random(1)
+        from repro.errors import CodecError
+
+        for _ in range(30):
+            mutated = bytearray(payload)
+            mutated[rng.randrange(20, len(mutated))] ^= 0xFF
+            try:
+                codec.decompress_bytes(bytes(mutated))
+            except CodecError:
+                pass
+
+
+class TestValidation:
+    def test_bad_magic(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(b"zzzz")
+
+    def test_truncated(self, codec):
+        payload = codec.compress_bytes(b"truncation test " * 100)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(payload[: len(payload) // 3])
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BWTCodec(block_size=-1)
+
+    def test_registry(self):
+        from repro.compression import get_codec
+
+        assert isinstance(get_codec("bzip2"), BWTCodec)
+        assert isinstance(get_codec("bwt"), BWTCodec)

@@ -1,0 +1,133 @@
+"""Builtin-backed engines and the codec registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import available_codecs, get_codec
+from repro.compression.engines import Bz2Engine, NativeLZWEngine, ZlibEngine
+from repro.errors import CorruptStreamError, UnknownCodecError
+
+
+class TestZlibEngine:
+    def test_roundtrip(self, sample):
+        eng = ZlibEngine()
+        assert eng.decompress_bytes(eng.compress_bytes(sample)) == sample
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibEngine(level=0)
+        with pytest.raises(ValueError):
+            ZlibEngine(level=10)
+
+    def test_corrupt_raises_codec_error(self):
+        with pytest.raises(CorruptStreamError):
+            ZlibEngine().decompress_bytes(b"not zlib data")
+
+    def test_level9_at_least_as_small_as_level1(self):
+        data = b"levels of compression " * 500
+        assert len(ZlibEngine(9).compress_bytes(data)) <= len(
+            ZlibEngine(1).compress_bytes(data)
+        )
+
+
+class TestBz2Engine:
+    def test_roundtrip(self, sample):
+        eng = Bz2Engine()
+        assert eng.decompress_bytes(eng.compress_bytes(sample)) == sample
+
+    def test_corrupt_raises(self):
+        with pytest.raises(CorruptStreamError):
+            Bz2Engine().decompress_bytes(b"garbage")
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            Bz2Engine(level=0)
+
+
+class TestFactorOrdering:
+    """Table 2's consistent ordering: bzip2 >= gzip >= compress on text."""
+
+    def test_ordering_on_text(self):
+        import random
+
+        rng = random.Random(42)
+        words = (
+            "truth universally acknowledged single man possession good "
+            "fortune want wife however little known feelings views such "
+            "entering neighbourhood"
+        ).split()
+        data = " ".join(rng.choice(words) for _ in range(20000)).encode()
+        f_gzip = ZlibEngine().compress(data).factor
+        f_bz2 = Bz2Engine().compress(data).factor
+        f_lzw = NativeLZWEngine().compress(data).factor
+        assert f_bz2 > f_gzip > f_lzw
+
+    def test_all_near_one_on_random(self):
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.getrandbits(8) for _ in range(60000))
+        assert ZlibEngine().compress(data).factor == pytest.approx(1.0, abs=0.01)
+        assert Bz2Engine().compress(data).factor == pytest.approx(1.0, abs=0.05)
+        assert NativeLZWEngine().compress(data).factor < 1.0  # expands
+
+
+class TestPureVsNativeAgreement:
+    """The from-scratch gzip scheme should land near CPython zlib factors."""
+
+    @staticmethod
+    def _word_text():
+        import random
+
+        rng = random.Random(7)
+        words = "energy wireless handheld proxy compression battery".split()
+        return " ".join(rng.choice(words) for _ in range(5000)).encode()
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            _word_text.__func__,
+            lambda: bytes((i * 7 + i // 5) % 256 for i in range(30000)),
+        ],
+    )
+    def test_factor_within_30_percent(self, maker):
+        """Agreement on moderate-factor data; extreme factors (>50x) are
+        dominated by per-block table overhead and excluded by design."""
+        from repro.compression.deflate import DeflateCodec
+
+        data = maker()
+        pure = DeflateCodec().compress(data).factor
+        native = ZlibEngine().compress(data).factor
+        assert pure == pytest.approx(native, rel=0.30)
+
+
+class TestRegistry:
+    def test_all_names_instantiate_and_roundtrip(self):
+        data = b"registry smoke test " * 20
+        for name in available_codecs():
+            codec = get_codec(name)
+            assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownCodecError):
+            get_codec("not-a-codec")
+
+    def test_names_case_insensitive(self):
+        assert type(get_codec("GZIP")) is type(get_codec("gzip"))
+
+    def test_expected_names_present(self):
+        names = available_codecs()
+        for expected in ("gzip", "compress", "bzip2", "zlib", "bz2"):
+            assert expected in names
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=25, deadline=None)
+    def test_native_engines_roundtrip_property(self, data):
+        for name in ("zlib", "bz2", "compress-native"):
+            codec = get_codec(name)
+            assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_decompress_accepts_codec_result(self):
+        codec = get_codec("zlib")
+        res = codec.compress(b"object-form decompress")
+        assert codec.decompress(res) == b"object-form decompress"

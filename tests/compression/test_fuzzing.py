@@ -1,0 +1,107 @@
+"""Corruption fuzzing: decoders must fail loudly, never crash oddly.
+
+Every codec's decoder is fed systematically mutated payloads.  The
+contract: either decoding raises a :class:`~repro.errors.CodecError`
+(or returns different bytes, which framing-level checks usually catch),
+but never an unrelated exception type (IndexError, MemoryError from a
+crazy allocation, infinite loop...).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.errors import CodecError
+
+#: Codecs under fuzz; pure-Python ones especially.
+FUZZED = ["gzip", "compress", "bzip2", "zlib", "bz2", "audio"]
+
+
+def _mutate(payload: bytes, rng: random.Random) -> bytes:
+    """One random structural mutation."""
+    if not payload:
+        return b"\x00"
+    kind = rng.randrange(4)
+    data = bytearray(payload)
+    if kind == 0:  # bit flip
+        pos = rng.randrange(len(data))
+        data[pos] ^= 1 << rng.randrange(8)
+    elif kind == 1:  # truncation
+        data = data[: rng.randrange(len(data))]
+    elif kind == 2:  # byte insertion
+        data.insert(rng.randrange(len(data) + 1), rng.randrange(256))
+    else:  # splice a chunk away
+        if len(data) > 4:
+            start = rng.randrange(len(data) - 2)
+            del data[start : start + rng.randrange(1, len(data) - start)]
+    return bytes(data)
+
+
+@pytest.mark.parametrize("name", FUZZED)
+def test_mutated_payloads_fail_cleanly(name):
+    codec = get_codec(name)
+    original = b"fuzzing corpus content: " + bytes(range(256)) * 8
+    payload = codec.compress_bytes(original)
+    rng = random.Random(0xF00D + len(name))
+    silent_corruptions = 0
+    for _ in range(150):
+        mutated = _mutate(payload, rng)
+        if mutated == payload:
+            continue
+        try:
+            out = codec.decompress_bytes(mutated)
+        except CodecError:
+            continue  # loud, typed failure: the contract
+        except RecursionError:  # pragma: no cover - would be a real bug
+            pytest.fail(f"{name}: recursion blow-up on mutated input")
+        if out != original:
+            # Wrong output without an exception: tolerated only for
+            # formats where the mutation landed in stored/raw regions.
+            silent_corruptions += 1
+    # Silent corruption should be rare (stored-block bodies are the only
+    # unchecked region).
+    assert silent_corruptions < 40
+
+
+@pytest.mark.parametrize("name", FUZZED)
+@given(junk=st.binary(min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_pure_junk_fails_cleanly(name, junk):
+    codec = get_codec(name)
+    try:
+        codec.decompress_bytes(junk)
+    except CodecError:
+        pass
+    # Anything else propagating is a genuine defect and fails the test.
+
+
+def test_adaptive_container_fuzz():
+    from repro.core.adaptive import AdaptiveBlockCodec
+
+    codec = AdaptiveBlockCodec(block_size=2048, size_threshold=100)
+    original = (b"adaptive fuzz " * 500) + bytes(range(256)) * 16
+    payload = codec.compress_bytes(original)
+    rng = random.Random(99)
+    for _ in range(100):
+        mutated = _mutate(payload, rng)
+        try:
+            codec.decompress_bytes(mutated)
+        except CodecError:
+            continue
+
+
+def test_streaming_fuzz():
+    from repro.compression.streaming import StreamCompressor, StreamDecompressor
+
+    comp = StreamCompressor(block_size=1024)
+    wire = comp.write(b"streaming fuzz target " * 300) + comp.flush()
+    rng = random.Random(7)
+    for _ in range(100):
+        mutated = _mutate(wire, rng)
+        decomp = StreamDecompressor()
+        try:
+            decomp.feed(mutated)
+        except CodecError:
+            continue

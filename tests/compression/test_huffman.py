@@ -1,0 +1,226 @@
+"""Canonical Huffman coding: lengths, codes, coding round trips."""
+
+import collections
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitio import MSBBitReader, MSBBitWriter
+from repro.compression.huffman import (
+    HuffmanTable,
+    canonical_codes,
+    code_lengths,
+    validate_lengths,
+)
+from repro.errors import CorruptStreamError
+
+
+def kraft_sum(lengths):
+    return sum(2.0 ** -l for l in lengths if l)
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert code_lengths([]) == []
+
+    def test_all_zero_frequencies(self):
+        assert code_lengths([0, 0, 0]) == [0, 0, 0]
+
+    def test_single_symbol_gets_one_bit(self):
+        assert code_lengths([0, 5, 0]) == [0, 1, 0]
+
+    def test_two_equal_symbols(self):
+        assert code_lengths([3, 3]) == [1, 1]
+
+    def test_skewed_distribution(self):
+        lengths = code_lengths([100, 1, 1])
+        assert lengths[0] == 1
+        assert lengths[1] == 2 and lengths[2] == 2
+
+    def test_kraft_equality_for_complete_code(self):
+        lengths = code_lengths([5, 9, 12, 13, 16, 45])
+        assert kraft_sum(lengths) == pytest.approx(1.0)
+
+    def test_classic_huffman_example(self):
+        # Frequencies 5,9,12,13,16,45 have a known optimal cost of 224.
+        freqs = [5, 9, 12, 13, 16, 45]
+        lengths = code_lengths(freqs)
+        cost = sum(f * l for f, l in zip(freqs, lengths))
+        assert cost == 224
+
+    def test_length_limit_respected(self):
+        # Fibonacci-like frequencies force deep trees when unlimited.
+        freqs = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144]
+        for limit in (4, 5, 8):
+            lengths = code_lengths(freqs, max_length=limit)
+            assert max(lengths) <= limit
+            assert kraft_sum(lengths) <= 1.0 + 1e-9
+
+    def test_limit_too_tight_raises(self):
+        with pytest.raises(ValueError):
+            code_lengths([1] * 10, max_length=3)
+
+    def test_limited_cost_is_optimal_for_limit(self):
+        # With limit 4 and 9 symbols the optimal limited code is known to
+        # cost more than the unlimited Huffman cost but stay minimal; we
+        # check package-merge is no worse than a balanced fallback.
+        freqs = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+        limited = code_lengths(freqs, max_length=4)
+        cost = sum(f * l for f, l in zip(freqs, limited))
+        balanced_cost = sum(f * 4 for f in freqs)
+        assert cost <= balanced_cost
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=64))
+    def test_kraft_inequality_property(self, freqs):
+        lengths = code_lengths(freqs, max_length=15)
+        assert kraft_sum(lengths) <= 1.0 + 1e-9
+        for f, l in zip(freqs, lengths):
+            assert (l > 0) == (f > 0)
+
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=40))
+    def test_entropy_bound_property(self, freqs):
+        """Huffman cost is within 1 bit/symbol of the entropy bound."""
+        lengths = code_lengths(freqs, max_length=15)
+        total = sum(freqs)
+        entropy = -sum(f / total * math.log2(f / total) for f in freqs)
+        cost_per_symbol = sum(f * l for f, l in zip(freqs, lengths)) / total
+        assert cost_per_symbol <= entropy + 1.0 + 1e-9
+        assert cost_per_symbol >= entropy - 1e-9
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self):
+        lengths = code_lengths([10, 7, 3, 3, 1, 1])
+        codes = canonical_codes(lengths)
+        entries = [
+            (format(c, f"0{l}b"))
+            for c, l in zip(codes, lengths)
+            if l
+        ]
+        for a in entries:
+            for b in entries:
+                if a is not b:
+                    assert not b.startswith(a)
+
+    def test_shorter_codes_numerically_first(self):
+        lengths = [2, 1, 3, 3]
+        codes = canonical_codes(lengths)
+        assert codes[1] == 0  # the 1-bit code
+        assert codes[0] == 0b10
+
+    def test_over_subscribed_raises(self):
+        with pytest.raises((ValueError, CorruptStreamError)):
+            canonical_codes([1, 1, 1])
+
+
+class TestValidateLengths:
+    def test_valid_table_passes(self):
+        validate_lengths([1, 2, 2])
+
+    def test_over_subscribed_raises(self):
+        with pytest.raises(CorruptStreamError):
+            validate_lengths([1, 1, 1])
+
+    def test_negative_raises(self):
+        with pytest.raises(CorruptStreamError):
+            validate_lengths([-1])
+
+    def test_under_subscribed_allowed(self):
+        validate_lengths([2, 2])  # slack is fine for canonical decoders
+
+
+class TestHuffmanTable:
+    def _roundtrip(self, message, alphabet):
+        freq = [0] * alphabet
+        for sym in message:
+            freq[sym] += 1
+        table = HuffmanTable.from_frequencies(freq)
+        w = MSBBitWriter()
+        for sym in message:
+            table.encode_symbol(w, sym)
+        decoder = HuffmanTable.from_lengths(table.lengths)
+        r = MSBBitReader(w.getvalue())
+        return [decoder.decode_symbol(r) for _ in message]
+
+    def test_roundtrip_text(self):
+        message = list(b"huffman coding round trip test message")
+        assert self._roundtrip(message, 256) == message
+
+    def test_roundtrip_single_symbol_runs(self):
+        message = [7] * 100
+        assert self._roundtrip(message, 16) == message
+
+    def test_encode_symbol_without_code_raises(self):
+        table = HuffmanTable.from_frequencies([1, 1, 0])
+        w = MSBBitWriter()
+        with pytest.raises(ValueError):
+            table.encode_symbol(w, 2)
+
+    def test_decode_garbage_raises(self):
+        table = HuffmanTable.from_frequencies([1, 1])
+        # Stream of bits that can never settle on a symbol is impossible
+        # for a complete code, so corrupt an undersubscribed table.
+        decoder = HuffmanTable.from_lengths([2, 2])
+        r = MSBBitReader(b"\xff")
+        with pytest.raises(CorruptStreamError):
+            decoder.decode_symbol(r)
+        del table
+
+    def test_expected_bits(self):
+        freq = [8, 4, 2, 2]
+        table = HuffmanTable.from_frequencies(freq)
+        assert table.expected_bits(freq) == sum(
+            f * l for f, l in zip(freq, table.lengths)
+        )
+
+    def test_fast_and_slow_decoders_agree(self):
+        """The lookup-table fast path must match the canonical walk."""
+        import random
+
+        rng = random.Random(9)
+        freq = [rng.randint(0, 50) for _ in range(80)]
+        freq[3] = 1000  # very short code
+        freq[77] = 1  # very long code
+        table = HuffmanTable.from_frequencies(freq)
+        message = [s for s, f in enumerate(freq) if f for _ in range(min(f, 5))]
+        w = MSBBitWriter()
+        for sym in message:
+            table.encode_symbol(w, sym)
+        data = w.getvalue()
+        fast = MSBBitReader(data)
+        slow = MSBBitReader(data)
+        table._ensure_fast_table()
+        for expected in message:
+            assert table.decode_symbol(fast) == expected
+            assert table._decode_symbol_slow(slow) == expected
+
+    def test_peek_skip_semantics(self):
+        from repro.compression.bitio import MSBBitReader
+
+        r = MSBBitReader(b"\xac\x55")
+        assert r.peek_bits(4) == 0xA
+        assert r.peek_bits(4) == 0xA  # peek does not consume
+        r.skip_bits(4)
+        assert r.read_bits(4) == 0xC
+        assert r.peek_bits(8) == 0x55
+
+    def test_skip_more_than_buffered_raises(self):
+        from repro.compression.bitio import MSBBitReader
+        from repro.errors import CorruptStreamError
+
+        r = MSBBitReader(b"\xff")
+        with pytest.raises(CorruptStreamError):
+            r.skip_bits(3)  # nothing peeked yet
+
+    @given(st.lists(st.integers(0, 25), min_size=1, max_size=400))
+    def test_roundtrip_property(self, message):
+        counts = collections.Counter(message)
+        freq = [counts.get(i, 0) for i in range(26)]
+        table = HuffmanTable.from_frequencies(freq)
+        w = MSBBitWriter()
+        for sym in message:
+            table.encode_symbol(w, sym)
+        r = MSBBitReader(w.getvalue())
+        decoded = [table.decode_symbol(r) for _ in message]
+        assert decoded == message

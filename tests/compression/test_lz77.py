@@ -1,0 +1,116 @@
+"""LZ77 tokenizer: round trips, window discipline, match quality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import lz77
+from repro.errors import CorruptStreamError
+
+
+class TestTokenizeReconstruct:
+    def test_empty(self):
+        assert lz77.reconstruct(lz77.tokenize(b"")) == b""
+
+    def test_short_inputs_all_literals(self):
+        for data in (b"a", b"ab", b"abc"):
+            tokens = lz77.tokenize(data)
+            assert all(isinstance(t, lz77.Literal) for t in tokens)
+            assert lz77.reconstruct(tokens) == data
+
+    def test_simple_repeat_produces_match(self):
+        data = b"abcdefabcdef"
+        tokens = lz77.tokenize(data)
+        assert any(isinstance(t, lz77.Match) for t in tokens)
+        assert lz77.reconstruct(tokens) == data
+
+    def test_run_uses_overlapping_match(self):
+        data = b"A" * 300
+        tokens = lz77.tokenize(data)
+        matches = [t for t in tokens if isinstance(t, lz77.Match)]
+        assert matches, "runs should be matched"
+        assert any(m.distance < m.length for m in matches), "overlap expected"
+        assert lz77.reconstruct(tokens) == data
+
+    def test_match_lengths_bounded(self):
+        data = b"x" * 5000
+        for t in lz77.tokenize(data):
+            if isinstance(t, lz77.Match):
+                assert lz77.MIN_MATCH <= t.length <= lz77.MAX_MATCH
+
+    def test_distances_within_window(self):
+        rng = random.Random(1)
+        chunk = bytes(rng.getrandbits(8) for _ in range(64))
+        data = chunk * 600  # spans beyond the 32 KiB window
+        for t in lz77.tokenize(data):
+            if isinstance(t, lz77.Match):
+                assert 1 <= t.distance <= lz77.WINDOW_SIZE
+
+    def test_text_roundtrip(self):
+        data = b"she sells sea shells by the sea shore " * 50
+        assert lz77.reconstruct(lz77.tokenize(data)) == data
+
+    def test_level1_also_roundtrips(self):
+        data = b"compression level one " * 100
+        tokens = lz77.tokenize(data, lz77.LEVEL_1)
+        assert lz77.reconstruct(tokens) == data
+
+    def test_level9_compresses_at_least_as_well_as_level1(self):
+        data = (b"abcdefgh" * 20 + b"12345678" * 20) * 30
+        def coded_size(tokens):
+            return sum(
+                1 if isinstance(t, lz77.Literal) else 3 for t in tokens
+            )
+        assert coded_size(lz77.tokenize(data, lz77.LEVEL_9)) <= coded_size(
+            lz77.tokenize(data, lz77.LEVEL_1)
+        )
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property_random(self, data):
+        assert lz77.reconstruct(lz77.tokenize(data)) == data
+
+    @given(st.text(alphabet="ab", max_size=3000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property_low_entropy(self, text):
+        data = text.encode()
+        assert lz77.reconstruct(lz77.tokenize(data)) == data
+
+
+class TestReconstructValidation:
+    def test_bad_distance_raises(self):
+        with pytest.raises(CorruptStreamError):
+            lz77.reconstruct([lz77.Match(distance=5, length=3)])
+
+    def test_zero_distance_raises(self):
+        with pytest.raises(CorruptStreamError):
+            lz77.reconstruct([lz77.Literal(65), lz77.Match(distance=0, length=3)])
+
+    def test_nonpositive_length_raises(self):
+        with pytest.raises(CorruptStreamError):
+            lz77.reconstruct([lz77.Literal(65), lz77.Match(distance=1, length=0)])
+
+
+class TestTokenStats:
+    def test_stats_literals_only(self):
+        stats = lz77.token_stats(lz77.tokenize(b"xyz"))
+        assert stats["literals"] == 3
+        assert stats["matches"] == 0
+        assert stats["mean_match_length"] == 0.0
+
+    def test_stats_account_all_bytes(self):
+        data = b"hello hello hello hello"
+        tokens = lz77.tokenize(data)
+        stats = lz77.token_stats(tokens)
+        assert stats["literals"] + stats["match_bytes"] == len(data)
+
+    def test_iter_tokens_matches_tokenize(self):
+        data = b"streaming interface check " * 20
+        assert list(lz77.iter_tokens(data)) == lz77.tokenize(data)
+
+
+class TestMatcherConfig:
+    def test_configs_have_expected_ordering(self):
+        assert lz77.LEVEL_9.max_chain > lz77.LEVEL_1.max_chain
+        assert lz77.LEVEL_9.lazy_threshold > lz77.LEVEL_1.lazy_threshold

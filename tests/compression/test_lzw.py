@@ -1,0 +1,114 @@
+"""LZW ("compress" scheme): growing dictionary, resets, KwKwK."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lzw import LZWCodec
+from repro.errors import CorruptStreamError
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return LZWCodec()
+
+
+class TestRoundtrip:
+    def test_every_sample(self, codec, sample):
+        assert codec.decompress_bytes(codec.compress_bytes(sample)) == sample
+
+    def test_kwkwk_case(self, codec):
+        # 'aaaa...' exercises the code == next_code decoder branch.
+        for n in (2, 3, 4, 5, 10, 100):
+            data = b"a" * n
+            assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_alternating_kwkwk(self, codec):
+        data = b"abababababababab" * 10
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_long_text(self, codec):
+        data = b"to be or not to be that is the question " * 500
+        res = codec.compress(data)
+        assert codec.decompress_bytes(res.payload) == data
+        assert res.factor > 3.0
+
+    @given(st.binary(max_size=6000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = LZWCodec()
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    @given(st.integers(9, 16), st.binary(min_size=1, max_size=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_max_bits(self, max_bits, data):
+        codec = LZWCodec(max_bits=max_bits)
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+
+class TestDictionaryBehaviour:
+    def test_code_width_growth_roundtrip(self):
+        # More than 256 distinct digrams forces 10-bit codes and beyond.
+        rng = random.Random(3)
+        data = bytes(rng.getrandbits(8) for _ in range(30000))
+        codec = LZWCodec()
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_small_dictionary_fills_and_resets(self):
+        # max_bits=9 freezes after 255 added entries; shifting content then
+        # degrades the ratio and triggers CLEAR.
+        codec = LZWCodec(max_bits=9)
+        part1 = b"abcdefgh" * 4000
+        part2 = bytes(random.Random(5).getrandbits(8) for _ in range(20000))
+        part3 = b"zyxwvuts" * 4000
+        data = part1 + part2 + part3
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_frozen_dictionary_keeps_working(self):
+        codec = LZWCodec(max_bits=9)
+        data = b"pattern" * 8000
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_expansion_on_random_data(self, codec):
+        # Like real compress, random data expands (paper shows factors
+        # 0.81-0.97 on media files).
+        rng = random.Random(11)
+        data = bytes(rng.getrandbits(8) for _ in range(20000))
+        res = codec.compress(data)
+        assert 0.6 < res.factor < 1.0
+
+    def test_compresses_worse_than_gzip_on_text(self):
+        from repro.compression.deflate import DeflateCodec
+
+        data = b"comparative compression check " * 400
+        lzw_f = LZWCodec().compress(data).factor
+        gzip_f = DeflateCodec().compress(data).factor
+        assert lzw_f < gzip_f  # Table 2's consistent ordering
+
+
+class TestValidation:
+    def test_invalid_max_bits(self):
+        with pytest.raises(ValueError):
+            LZWCodec(max_bits=8)
+        with pytest.raises(ValueError):
+            LZWCodec(max_bits=17)
+
+    def test_bad_magic(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(b"XXXX")
+
+    def test_truncated_header(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(b"RZ2")
+
+    def test_corrupt_max_bits(self, codec):
+        payload = bytearray(codec.compress_bytes(b"hello"))
+        payload[3] = 99
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(bytes(payload))
+
+    def test_truncated_body(self, codec):
+        payload = codec.compress_bytes(b"some reasonable content here " * 20)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(payload[:8])

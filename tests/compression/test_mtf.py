@@ -1,0 +1,115 @@
+"""Move-to-front and zero-RLE stages."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import mtf
+from repro.errors import CorruptStreamError
+
+
+class TestMTF:
+    def test_empty(self):
+        assert mtf.mtf_encode([]) == []
+        assert mtf.mtf_decode([]) == []
+
+    def test_first_symbol_is_its_own_index(self):
+        assert mtf.mtf_encode([5]) == [5]
+
+    def test_repeats_become_zeros(self):
+        assert mtf.mtf_encode([9, 9, 9, 9]) == [9, 0, 0, 0]
+
+    def test_known_sequence(self):
+        # alphabet [0,1,2,...]; encode 1,0,1: index 1; 0 moved to... table
+        # [1,0,2..]: 0 is at index 1; table [0,1,..]: 1 at index 1.
+        assert mtf.mtf_encode([1, 0, 1]) == [1, 1, 1]
+
+    def test_roundtrip_all_samples(self, sample):
+        symbols = list(sample[:2000])
+        assert mtf.mtf_decode(mtf.mtf_encode(symbols)) == symbols
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(CorruptStreamError):
+            mtf.mtf_decode([mtf.MTF_ALPHABET])
+
+    def test_custom_alphabet_size(self):
+        symbols = [0, 3, 3, 1]
+        enc = mtf.mtf_encode(symbols, alphabet_size=4)
+        assert mtf.mtf_decode(enc, alphabet_size=4) == symbols
+
+    @given(st.lists(st.integers(0, mtf.MTF_ALPHABET - 1), max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, symbols):
+        assert mtf.mtf_decode(mtf.mtf_encode(symbols)) == symbols
+
+    def test_locality_reduces_indices(self):
+        """MTF turns locally clustered symbols into small indices."""
+        clustered = [10] * 50 + [20] * 50 + [10] * 50
+        encoded = mtf.mtf_encode(clustered)
+        assert sum(encoded) < sum(clustered) / 5
+
+
+class TestRLE:
+    def test_empty(self):
+        assert mtf.rle_encode([]) == []
+        assert mtf.rle_decode([]) == []
+
+    def test_no_zeros_passthrough(self):
+        seq = [3, 1, 2, 255]
+        assert mtf.rle_encode(seq) == seq
+
+    @pytest.mark.parametrize(
+        "run_length,expected",
+        [
+            (1, [mtf.RUNA]),
+            (2, [mtf.RUNB]),
+            (3, [mtf.RUNA, mtf.RUNA]),
+            (4, [mtf.RUNB, mtf.RUNA]),
+            (5, [mtf.RUNA, mtf.RUNB]),
+            (6, [mtf.RUNB, mtf.RUNB]),
+            (7, [mtf.RUNA, mtf.RUNA, mtf.RUNA]),
+        ],
+    )
+    def test_bijective_base2(self, run_length, expected):
+        assert mtf.rle_encode([0] * run_length) == expected
+
+    def test_run_lengths_log_scale(self):
+        # A million zeros become ~20 run symbols.
+        encoded = mtf.rle_encode([0] * 1_000_000)
+        assert len(encoded) <= 21
+        assert mtf.rle_decode(encoded) == [0] * 1_000_000
+
+    def test_runs_between_symbols(self):
+        seq = [5, 0, 0, 0, 7, 0, 9]
+        assert mtf.rle_decode(mtf.rle_encode(seq)) == seq
+
+    def test_trailing_run(self):
+        seq = [1, 0, 0]
+        assert mtf.rle_decode(mtf.rle_encode(seq)) == seq
+
+    def test_decode_rejects_zero_symbol(self):
+        with pytest.raises(CorruptStreamError):
+            mtf.rle_decode([0])
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(CorruptStreamError):
+            mtf.rle_decode([mtf.RLE_ALPHABET])
+
+    @given(st.lists(st.integers(0, mtf.MTF_ALPHABET - 1), max_size=800))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, seq):
+        assert mtf.rle_decode(mtf.rle_encode(seq)) == seq
+
+    @given(st.integers(1, 10_000))
+    def test_pure_run_roundtrip_property(self, n):
+        assert mtf.rle_decode(mtf.rle_encode([0] * n)) == [0] * n
+
+
+class TestPipelineComposition:
+    def test_bwt_mtf_rle_roundtrip(self, sample):
+        from repro.compression import bwt
+
+        data = sample[:1500]
+        col = bwt.forward(data)
+        enc = mtf.rle_encode(mtf.mtf_encode(col))
+        back = bwt.inverse(mtf.mtf_decode(mtf.rle_decode(enc)))
+        assert back == data

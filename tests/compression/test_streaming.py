@@ -1,0 +1,162 @@
+"""Streaming (incremental) compression framing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.compression.streaming import (
+    StreamCompressor,
+    StreamDecompressor,
+    stream_roundtrip,
+)
+from repro.errors import CodecError, CorruptStreamError
+
+
+class TestRoundtrip:
+    def test_samples(self, sample):
+        assert stream_roundtrip(sample, block_size=1024) == sample
+
+    def test_one_byte_chunks(self):
+        data = b"streaming one byte at a time " * 50
+        comp = StreamCompressor(block_size=256)
+        wire = bytearray()
+        for i in range(len(data)):
+            wire += comp.write(data[i : i + 1])
+        wire += comp.flush()
+        decomp = StreamDecompressor()
+        out = bytearray()
+        for i in range(len(wire)):
+            out += decomp.feed(bytes(wire[i : i + 1]))
+        assert bytes(out) == data
+        assert decomp.finished
+
+    def test_exact_block_multiple(self):
+        data = b"x" * 4096
+        assert stream_roundtrip(data, block_size=1024) == data
+
+    def test_empty_stream(self):
+        comp = StreamCompressor(block_size=128)
+        wire = comp.flush()
+        decomp = StreamDecompressor()
+        assert decomp.feed(wire) == b""
+        assert decomp.finished
+
+    def test_pure_codec_inner(self):
+        data = b"pure python inner codec " * 200
+        codec = get_codec("gzip")
+        assert stream_roundtrip(data, codec=codec, block_size=2048) == data
+
+    @given(
+        st.binary(max_size=20_000),
+        st.integers(min_value=64, max_value=4096),
+        st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data, block_size, chunk_size):
+        assert (
+            stream_roundtrip(data, block_size=block_size, chunk_size=chunk_size)
+            == data
+        )
+
+
+class TestFrameEmission:
+    def test_frames_emitted_as_blocks_fill(self):
+        comp = StreamCompressor(block_size=1000)
+        assert comp.write(b"a" * 999) == b""  # nothing complete yet
+        first = comp.write(b"a" * 2)  # 1001 bytes -> one frame out
+        assert first
+        assert comp.frames_out == 1
+
+    def test_flush_emits_partial_and_end(self):
+        comp = StreamCompressor(block_size=1000)
+        comp.write(b"b" * 500)
+        tail = comp.flush()
+        assert tail
+        assert comp.frames_out == 1
+
+    def test_write_after_flush_raises(self):
+        comp = StreamCompressor()
+        comp.flush()
+        with pytest.raises(CodecError):
+            comp.write(b"late")
+        with pytest.raises(CodecError):
+            comp.flush()
+
+    def test_counters(self):
+        data = b"counter check " * 500
+        comp = StreamCompressor(block_size=1024)
+        wire = comp.write(data) + comp.flush()
+        assert comp.raw_bytes_in == len(data)
+        decomp = StreamDecompressor()
+        out = decomp.feed(wire)
+        assert decomp.raw_bytes_out == len(out) == len(data)
+        assert decomp.frames_in == comp.frames_out
+
+
+class TestAdaptiveFrames:
+    def test_mixed_content_frame_types(self):
+        rng = random.Random(0)
+        block = 8192
+        compressible = (b"text " * (block // 5 + 1))[:block]
+        incompressible = rng.getrandbits(8 * block).to_bytes(block, "little")
+        data = compressible + incompressible + compressible
+        comp = StreamCompressor(block_size=block, adaptive=True, size_threshold=100)
+        wire = comp.write(data) + comp.flush()
+        assert comp.frames_out == 3
+        assert comp.compressed_frames == 2  # the random block went raw
+        decomp = StreamDecompressor()
+        assert decomp.feed(wire) == data
+
+    def test_tiny_blocks_stay_raw(self):
+        comp = StreamCompressor(block_size=512, adaptive=True)
+        wire = comp.write(b"compressible " * 100) + comp.flush()
+        assert comp.compressed_frames == 0  # 512 < 3900-byte threshold
+        decomp = StreamDecompressor()
+        assert decomp.feed(wire) == b"compressible " * 100
+
+    def test_adaptive_never_expands_much(self):
+        rng = random.Random(1)
+        data = rng.getrandbits(8 * 100_000).to_bytes(100_000, "little")
+        comp = StreamCompressor(block_size=16 * 1024, adaptive=True)
+        wire = comp.write(data) + comp.flush()
+        assert len(wire) <= len(data) + 100
+
+
+class TestValidation:
+    def test_feed_after_end_raises(self):
+        comp = StreamCompressor()
+        wire = comp.write(b"hello") + comp.flush()
+        decomp = StreamDecompressor()
+        decomp.feed(wire)
+        with pytest.raises(CorruptStreamError):
+            decomp.feed(b"more")
+
+    def test_trailing_garbage_detected(self):
+        comp = StreamCompressor()
+        wire = comp.write(b"hello world") + comp.flush()
+        decomp = StreamDecompressor()
+        with pytest.raises(CorruptStreamError):
+            decomp.feed(wire + b"junk")
+
+    def test_unknown_frame_type(self):
+        from repro.compression.varint import write_varint
+
+        wire = write_varint(5) + bytes([9]) + write_varint(5) + b"abcde"
+        with pytest.raises(CorruptStreamError):
+            StreamDecompressor().feed(wire)
+
+    def test_corrupt_payload_detected(self):
+        comp = StreamCompressor(block_size=256)
+        wire = bytearray(comp.write(b"payload corruption " * 50) + comp.flush())
+        wire[10] ^= 0xFF
+        decomp = StreamDecompressor()
+        with pytest.raises(CorruptStreamError):
+            decomp.feed(bytes(wire))
+            if not decomp.finished:
+                raise CorruptStreamError("silent truncation")
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            StreamCompressor(block_size=0)

@@ -1,0 +1,75 @@
+"""Stateful property test: interleaved writes and feeds.
+
+Hypothesis drives an arbitrary interleaving of producer writes and
+consumer feeds (in arbitrary chunk sizes) and checks the invariant the
+interleaving mechanism rests on: the consumer reconstructs exactly the
+producer's input prefix, in order, no matter how the bytes were sliced.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.compression.streaming import StreamCompressor, StreamDecompressor
+
+
+class StreamingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.comp = StreamCompressor(block_size=512)
+        self.decomp = StreamDecompressor()
+        self.written = bytearray()
+        self.wire = bytearray()
+        self.restored = bytearray()
+        self.flushed = False
+
+    @rule(data=st.binary(max_size=700))
+    def write(self, data):
+        if self.flushed:
+            return
+        self.wire += self.comp.write(data)
+        self.written += data
+
+    @rule()
+    def flush(self):
+        if self.flushed:
+            return
+        self.wire += self.comp.flush()
+        self.flushed = True
+
+    @rule(n=st.integers(min_value=1, max_value=400))
+    def feed(self, n):
+        if not self.wire:
+            return
+        chunk = bytes(self.wire[:n])
+        del self.wire[:n]
+        self.restored += self.decomp.feed(chunk)
+
+    @invariant()
+    def restored_is_prefix(self):
+        assert bytes(self.restored) == bytes(self.written[: len(self.restored)])
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.decomp.raw_bytes_out == len(self.restored)
+        assert self.comp.raw_bytes_in == len(self.written)
+
+    def teardown(self):
+        # Drain everything: after flush + full feed, output == input.
+        if not self.flushed:
+            self.wire += self.comp.flush()
+        self.restored += self.decomp.feed(bytes(self.wire))
+        assert bytes(self.restored) == bytes(self.written)
+        assert self.decomp.finished
+
+
+TestStreamingStateful = StreamingMachine.TestCase
+TestStreamingStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,62 @@
+"""Varint encoding used by the stream containers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.varint import read_varint, write_varint
+from repro.errors import CorruptStreamError
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (16384, b"\x80\x80\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert write_varint(value) == encoded
+        assert read_varint(encoded) == (value, len(encoded))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            write_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"")
+
+    def test_too_wide_raises(self):
+        with pytest.raises(CorruptStreamError):
+            read_varint(b"\xff" * 11)
+
+    def test_read_at_offset(self):
+        data = b"junk" + write_varint(999)
+        value, pos = read_varint(data, 4)
+        assert value == 999
+        assert pos == len(data)
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_roundtrip_property(self, value):
+        encoded = write_varint(value)
+        assert read_varint(encoded) == (value, len(encoded))
+
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=20))
+    def test_concatenated_stream(self, values):
+        blob = b"".join(write_varint(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            v, pos = read_varint(blob, pos)
+            out.append(v)
+        assert out == values
+        assert pos == len(blob)

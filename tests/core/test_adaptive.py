@@ -1,0 +1,126 @@
+"""Block-by-block adaptive scheme (Figure 10)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.compression import get_codec
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.errors import CorruptStreamError
+
+
+def mixed_data(n_blocks=6, block=units.BLOCK_SIZE_BYTES, seed=0):
+    """Alternating compressible/incompressible whole blocks."""
+    rng = random.Random(seed)
+    out = bytearray()
+    for i in range(n_blocks):
+        if i % 2 == 0:
+            out += (b"compressible text block content " * ((block // 32) + 1))[:block]
+        else:
+            out += rng.getrandbits(8 * block).to_bytes(block, "little")
+    return bytes(out)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return AdaptiveBlockCodec()
+
+
+class TestRoundtrip:
+    def test_samples(self, codec, sample):
+        assert codec.decompress_bytes(codec.compress_bytes(sample)) == sample
+
+    def test_mixed_blocks(self, codec):
+        data = mixed_data()
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_small_blocks_custom_size(self):
+        codec = AdaptiveBlockCodec(block_size=1024, size_threshold=100)
+        data = mixed_data(4, 1024)
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = AdaptiveBlockCodec(block_size=1000, size_threshold=200)
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+    def test_pure_codec_inner(self):
+        codec = AdaptiveBlockCodec(inner=get_codec("gzip"), block_size=4096)
+        data = mixed_data(3, 4096)
+        assert codec.decompress_bytes(codec.compress_bytes(data)) == data
+
+
+class TestDecisions:
+    def test_mixed_file_splits_decisions(self, codec):
+        result = codec.compress(mixed_data(6))
+        assert result.blocks_compressed == 3
+        assert result.blocks_raw == 3
+        compressed = [d for d in result.decisions if d.sent_compressed]
+        raw = [d for d in result.decisions if not d.sent_compressed]
+        assert all(d.factor > 2 for d in compressed)
+        assert all(d.factor < 1.35 for d in raw)
+
+    def test_tiny_blocks_sent_raw(self):
+        codec = AdaptiveBlockCodec(block_size=2048)  # below 3900-byte threshold
+        data = b"very compressible " * 1000
+        result = codec.compress(data)
+        assert result.blocks_compressed == 0
+
+    def test_all_compressible(self, codec):
+        data = b"every block compresses well here " * 20000
+        result = codec.compress(data)
+        assert result.blocks_raw == 0
+        assert result.factor > 3
+
+    def test_all_random_never_worse_than_raw_plus_headers(self, codec):
+        rng = random.Random(1)
+        data = rng.getrandbits(8 * 400_000).to_bytes(400_000, "little")
+        result = codec.compress(data)
+        assert result.blocks_compressed == 0
+        # Container overhead stays tiny.
+        assert result.compressed_size <= len(data) + 64
+
+    def test_transfer_accounting(self, codec):
+        result = codec.compress(mixed_data(4))
+        covered = result.raw_covered_bytes
+        payload = result.compressed_payload_bytes
+        assert covered == 2 * units.BLOCK_SIZE_BYTES
+        assert 0 < payload < covered
+
+    def test_headline_claim_never_loses(self, codec, model):
+        """'the compression tool no longer incurs higher energy cost (than
+        no compression) for any file' (Section 4.3)."""
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(model)
+        for seed in range(3):
+            data = mixed_data(6, seed=seed)
+            result = codec.compress(data)
+            adaptive = session.adaptive(result, codec="zlib")
+            raw = session.raw(len(data))
+            assert adaptive.energy_j <= raw.energy_j * 1.02
+
+
+class TestContainerFormat:
+    def test_bad_magic(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(b"????")
+
+    def test_truncated(self, codec):
+        payload = codec.compress_bytes(b"some data " * 1000)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress_bytes(payload[:10])
+
+    def test_inner_codec_name_embedded(self):
+        encoder = AdaptiveBlockCodec(inner=get_codec("zlib"))
+        payload = encoder.compress_bytes(b"codec name travels " * 500)
+        # A decoder built with a different default still decodes by name.
+        decoder = AdaptiveBlockCodec(inner=get_codec("zlib"))
+        assert decoder.decompress_bytes(payload) == b"codec name travels " * 500
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            AdaptiveBlockCodec(block_size=0)

@@ -1,0 +1,91 @@
+"""CompressionAdvisor recommendations."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.core.advisor import CompressionAdvisor
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def advisor(model):
+    return CompressionAdvisor(model=model)
+
+
+def _mixed(n_blocks=6, seed=0):
+    rng = random.Random(seed)
+    block = units.BLOCK_SIZE_BYTES
+    out = bytearray()
+    for i in range(n_blocks):
+        if i % 2 == 0:
+            out += (b"text " * (block // 5 + 1))[:block]
+        else:
+            out += rng.getrandbits(8 * block).to_bytes(block, "little")
+    return bytes(out)
+
+
+class TestMetadataAdvice:
+    def test_high_factor_compress(self, advisor):
+        rec = advisor.advise_metadata(mb(4), 10.0)
+        assert rec.strategy == "compress"
+        assert rec.estimated_saving_j > 0
+        assert rec.transfer_bytes < mb(4)
+
+    def test_low_factor_raw(self, advisor):
+        rec = advisor.advise_metadata(mb(4), 1.05)
+        assert rec.strategy == "raw"
+        assert rec.estimated_saving_j == 0
+        assert rec.transfer_bytes == mb(4)
+
+    def test_tiny_file_raw(self, advisor):
+        rec = advisor.advise_metadata(1000, 100.0)
+        assert rec.strategy == "raw"
+
+    def test_saving_fraction(self, advisor):
+        rec = advisor.advise_metadata(mb(8), 14.64)
+        # Figure 2 territory: high-factor large files save the majority.
+        assert rec.estimated_saving_fraction > 0.5
+
+
+class TestContentAdvice:
+    def test_compressible_file(self, advisor):
+        data = b"advice on compressible content " * 20000
+        rec = advisor.advise(data)
+        assert rec.strategy in ("compress", "adaptive")
+        assert rec.estimated_energy_j < rec.plain_energy_j
+
+    def test_random_file_raw(self, advisor):
+        rng = random.Random(5)
+        data = rng.getrandbits(8 * 300_000).to_bytes(300_000, "little")
+        rec = advisor.advise(data)
+        assert rec.strategy == "raw"
+
+    def test_mixed_file_prefers_adaptive_over_raw(self, advisor):
+        data = _mixed()
+        rec = advisor.advise(data)
+        assert rec.strategy in ("adaptive", "compress")
+        assert rec.estimated_energy_j <= rec.plain_energy_j
+
+    def test_tiny_file_short_circuits(self, advisor):
+        rec = advisor.advise(b"abc" * 100)
+        assert rec.strategy == "raw"
+
+    def test_advice_is_min_energy_choice(self, advisor, model):
+        """The recommendation must be the argmin over modelled options."""
+        data = _mixed(4, seed=2)
+        rec = advisor.advise(data)
+        assert rec.estimated_energy_j <= model.download_energy_j(len(data)) + 1e-9
+
+
+class TestDecide:
+    def test_decide_returns_selective_decision(self, advisor):
+        decision = advisor.decide(b"plain selective decision " * 4000)
+        assert decision.compress
+        assert decision.compression_factor > 2
+
+    def test_paper_condition_mode(self):
+        advisor = CompressionAdvisor(use_paper_condition=True)
+        rec = advisor.advise_metadata(mb(1), 4.0)
+        assert rec.strategy == "compress"

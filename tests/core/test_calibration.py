@@ -1,0 +1,101 @@
+"""Calibration fits (Section 4.2 / Figure 8)."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.core.calibration import fit_decompression_time, fit_download_energy
+from repro.errors import CalibrationError
+from tests.conftest import mb
+
+
+class TestDownloadEnergyFit:
+    def _samples(self, noise=0.0, seed=0):
+        rng = random.Random(seed)
+        out = []
+        for s_mb in [0.05, 0.1, 0.25, 0.5, 1, 2, 3, 5, 8]:
+            e = 3.519 * s_mb + 0.012
+            e *= 1 + rng.uniform(-noise, noise)
+            out.append((mb(s_mb), e))
+        return out
+
+    def test_recovers_paper_constants_exactly(self):
+        fit = fit_download_energy(self._samples())
+        assert fit.slope_j_per_mb == pytest.approx(3.519, rel=1e-6)
+        assert fit.intercept_j == pytest.approx(0.012, abs=1e-6)
+        assert fit.m_j_per_mb == pytest.approx(2.486, rel=1e-3)
+        assert fit.cs_j == pytest.approx(0.012, abs=1e-6)
+        assert fit.r_squared > 0.9999
+
+    def test_with_noise_near_paper_error(self):
+        fit = fit_download_energy(self._samples(noise=0.05, seed=4))
+        assert fit.slope_j_per_mb == pytest.approx(3.519, rel=0.1)
+        # The paper reports 7.2% average error on its own noisy points.
+        assert fit.average_error < 0.12
+
+    def test_predict(self):
+        fit = fit_download_energy(self._samples())
+        assert fit.energy_j(mb(2)) == pytest.approx(3.519 * 2 + 0.012, rel=1e-6)
+
+    def test_too_few_samples(self):
+        with pytest.raises(CalibrationError):
+            fit_download_energy([(mb(1), 3.5)])
+
+    def test_bad_idle_power_rejected(self):
+        # An idle power that exceeds the slope leaves m <= 0.
+        with pytest.raises(CalibrationError):
+            fit_download_energy(self._samples(), idle_power_w=6.0)
+
+
+class TestDecompressionTimeFit:
+    def _samples(self, noise=0.0, seed=0):
+        rng = random.Random(seed)
+        out = []
+        for s_mb in [0.1, 0.3, 0.5, 1, 2, 4, 8]:
+            for f in [1.2, 2, 5, 12]:
+                sc_mb = s_mb / f
+                td = 0.161 * s_mb + 0.161 * sc_mb + 0.004
+                td *= 1 + rng.uniform(-noise, noise)
+                out.append((mb(s_mb), mb(sc_mb), td))
+        return out
+
+    def test_recovers_paper_fit(self):
+        fit = fit_decompression_time(self._samples())
+        assert fit.per_raw_mb_s == pytest.approx(0.161, rel=1e-3)
+        assert fit.per_compressed_mb_s == pytest.approx(0.161, rel=1e-2)
+        assert fit.constant_s == pytest.approx(0.004, abs=1e-4)
+        assert fit.r_squared > 0.999
+
+    def test_noisy_fit_matches_paper_quality(self):
+        """Paper: avg error 3%, max 13%, R^2 = 96.7%."""
+        fit = fit_decompression_time(self._samples(noise=0.05, seed=2))
+        assert fit.average_error < 0.06
+        assert fit.max_error < 0.15
+        assert fit.r_squared > 0.95
+
+    def test_time_prediction(self):
+        fit = fit_decompression_time(self._samples())
+        assert fit.time_s(mb(1), mb(0.5)) == pytest.approx(
+            0.161 * 1.5 + 0.004, rel=1e-3
+        )
+
+    def test_too_few_samples(self):
+        with pytest.raises(CalibrationError):
+            fit_decompression_time([(mb(1), mb(0.5), 0.2), (mb(2), mb(1), 0.4)])
+
+
+class TestEndToEndCalibration:
+    def test_simulated_measurements_recover_model(self, model):
+        """Fitting simulated session measurements returns the constants
+        the sessions were built from — the reproduction's loop closure."""
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(model)
+        samples = [
+            (mb(s), session.raw(mb(s)).energy_j)
+            for s in [0.1, 0.25, 0.5, 1, 2, 4, 8]
+        ]
+        fit = fit_download_energy(samples)
+        assert fit.slope_j_per_mb == pytest.approx(3.519, rel=0.01)
+        assert fit.m_j_per_mb == pytest.approx(2.486, rel=0.01)

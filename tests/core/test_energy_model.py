@@ -1,0 +1,260 @@
+"""The energy model (Equations 1-5) against the paper's own numbers."""
+
+import itertools
+
+import pytest
+
+from repro import units
+from repro.core.energy_model import (
+    EnergyModel,
+    ModelParams,
+    model_2mbps,
+    model_11mbps,
+)
+from repro.errors import ModelError
+from repro.network.wlan import LINK_2MBPS
+from tests.conftest import mb
+
+
+class TestModelParams:
+    def test_default_derivation(self, model):
+        p = model.params
+        assert p.m_j_per_mb == pytest.approx(2.486)
+        assert p.cs_j == pytest.approx(0.012)
+        assert p.idle_power_w == pytest.approx(1.55)
+        assert p.gap_power_w == pytest.approx(1.55)
+        assert p.decompress_power_w == pytest.approx(2.85)
+        assert p.decompress_sleep_power_w == pytest.approx(1.70)
+        assert p.rate_mb_per_s == pytest.approx(0.6)
+        assert p.idle_fraction == 0.40
+
+    def test_2mbps_derivation(self, model_2mbps):
+        p = model_2mbps.params
+        assert p.rate_mb_per_s == pytest.approx(180 / 1024)
+        assert p.idle_fraction == 0.815
+        # Gaps draw the 430 mA receive level at 2 Mb/s (card never idles).
+        assert p.gap_power_w == pytest.approx(2.15)
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            ModelParams(1, 0, 1, 1, 1, 1, rate_mb_per_s=0, idle_fraction=0.4)
+        with pytest.raises(ModelError):
+            ModelParams(1, 0, 1, 1, 1, 1, rate_mb_per_s=1, idle_fraction=1.0)
+
+
+class TestEquation1:
+    def test_matches_paper_fit(self, model):
+        """E = m*s + cs + ti*pi must equal E = 3.519*s + 0.012."""
+        for s_mb in (0.1, 0.5, 1, 2, 4, 8):
+            assert model.download_energy_j(mb(s_mb)) == pytest.approx(
+                model.fitted_download_energy_j(mb(s_mb)), rel=1e-3
+            )
+
+    def test_linear_in_size(self, model):
+        e1 = model.download_energy_j(mb(1))
+        e2 = model.download_energy_j(mb(2))
+        cs = model.params.cs_j
+        assert (e2 - cs) == pytest.approx(2 * (e1 - cs), rel=1e-9)
+
+    def test_download_time(self, model):
+        assert model.download_time_s(mb(3)) == pytest.approx(5.0)
+
+
+class TestEquation4:
+    def test_total_idle_time(self, model):
+        # ti = 0.4 * s / 0.6.
+        assert model.total_idle_time_s(mb(1.2)) == pytest.approx(0.4 * 1.2 / 0.6)
+
+    def test_split_large_file(self, model):
+        ti_prime, ti_dprime = model.idle_times(mb(1), mb(0.25))
+        assert ti_dprime == pytest.approx(0.4 * (0.128 * 0.25) / 0.6)
+        assert ti_prime + ti_dprime == pytest.approx(0.4 * 0.25 / 0.6)
+
+    def test_split_small_file(self, model):
+        ti_prime, ti_dprime = model.idle_times(mb(0.1), mb(0.05))
+        assert ti_prime == 0.0
+        assert ti_dprime == pytest.approx(0.4 * 0.05 / 0.6, rel=1e-4)
+
+    def test_zero_size(self, model):
+        assert model.idle_times(0, 0) == (0.0, 0.0)
+
+
+class TestEquation2:
+    def test_sequential_energy_structure(self, model):
+        s, sc = mb(2), mb(1)
+        td = model.decompression_time_s(s, sc)
+        ti = model.total_idle_time_s(sc)
+        expected = 2.486 * 1.0 + 0.012 + ti * 1.55 + td * 2.85
+        assert model.sequential_energy_j(s, sc) == pytest.approx(expected, rel=1e-6)
+
+    def test_power_save_uses_170w(self, model):
+        s, sc = mb(2), mb(1)
+        normal = model.sequential_energy_j(s, sc)
+        saved = model.sequential_energy_j(s, sc, radio_power_save=True)
+        td = model.decompression_time_s(s, sc)
+        assert normal - saved == pytest.approx(td * (2.85 - 1.70), rel=1e-6)
+
+    def test_bzip2_costs_more_decompression(self, model):
+        s, sc = mb(4), mb(1)
+        assert model.sequential_energy_j(s, sc, codec="bzip2") > (
+            model.sequential_energy_j(s, sc, codec="gzip")
+        )
+
+
+class TestEquation3:
+    def test_interleave_never_worse_than_sequential(self, model):
+        for s_mb, f in itertools.product([0.05, 0.2, 1, 4, 8], [1.1, 2, 5, 15]):
+            s = mb(s_mb)
+            sc = int(s / f)
+            assert model.interleaved_energy_j(s, sc) <= model.sequential_energy_j(
+                s, sc
+            ) + 1e-9
+
+    def test_branch_continuity(self, model):
+        """The two Equation 3 branches agree where ti' == td (~3.14)."""
+        s = mb(4)
+        last = None
+        for f in [x / 100 for x in range(250, 400)]:  # brackets 3.14
+            sc = s / f
+            e = model.interleaved_energy_j(s, sc)
+            if last is not None:
+                assert abs(e - last) < 0.05  # no jump across the branch
+            last = e
+
+    def test_saturated_branch_charges_no_tail_idle(self, model):
+        """When td >= ti', only ti'' idles (Equation 3, second case).
+
+        At 11 Mb/s saturation happens ABOVE the branch factor ~3.14:
+        higher factors shrink the receive gaps faster than they shrink
+        the decompression work (td still scales with the raw size s).
+        """
+        s, f = mb(8), 10.0  # high factor => td > ti'
+        sc = int(s / f)
+        ti_prime, ti_dprime = model.idle_times(s, sc)
+        td = model.decompression_time_s(s, sc)
+        assert td > ti_prime
+        expected = (
+            2.486 * sc / 2**20 + 0.012 + td * 2.85 + ti_dprime * 1.55
+        )
+        assert model.interleaved_energy_j(s, sc) == pytest.approx(expected, rel=1e-6)
+
+    def test_interleaved_time_hides_decompression(self, model):
+        s, sc = mb(8), mb(4)  # factor 2 < 3.14 => td < ti', fully hidden
+        ti_prime, _ = model.idle_times(s, sc)
+        assert model.decompression_time_s(s, sc) < ti_prime
+        t = model.interleaved_time_s(s, sc)
+        # Just the receive time of sc: decompression rides in the gaps.
+        assert t == pytest.approx(units.bytes_to_mb(sc) / 0.6)
+
+    def test_interleaved_time_overflow_when_saturated(self, model):
+        s, sc = mb(8), int(mb(8) / 10)  # factor 10 => td > ti'
+        ti_prime, _ = model.idle_times(s, sc)
+        td = model.decompression_time_s(s, sc)
+        assert td > ti_prime
+        expected = units.bytes_to_mb(sc) / 0.6 + (td - ti_prime)
+        assert model.interleaved_time_s(s, sc) == pytest.approx(expected)
+
+
+class TestEquation5:
+    """Our Equation 3 must reproduce the paper's Equation 5 coefficients."""
+
+    @pytest.mark.parametrize("s_mb", [0.5, 1, 2, 4, 8])
+    @pytest.mark.parametrize("factor", [1.2, 2, 3.5, 5, 10, 20])
+    def test_large_files_within_3_percent(self, model, s_mb, factor):
+        s = mb(s_mb)
+        ours = model.closed_form_energy_j(s, factor)
+        paper = model.paper_eq5_energy_j(s, factor)
+        assert ours == pytest.approx(paper, rel=0.03)
+
+    @pytest.mark.parametrize("factor", [1.5, 3, 8])
+    def test_small_files_match(self, model, factor):
+        s = mb(0.1)
+        assert model.closed_form_energy_j(s, factor) == pytest.approx(
+            model.paper_eq5_energy_j(s, factor), rel=0.02
+        )
+
+    def test_high_f_branch_coefficients(self, model):
+        """Direct coefficient check: E = 0.4589 s + 2.945 sc + 0.132/F + 0.0234."""
+        s, f = mb(4), 10.0
+        sc = s / f
+        expected = 0.4589 * 4 + 2.945 * (4 / f) + 0.132 / f + 0.0234
+        assert model.interleaved_energy_j(s, sc) == pytest.approx(expected, rel=5e-3)
+
+    def test_low_f_branch_coefficients(self, model):
+        """E = 0.2093 s + 3.729 sc + 0.0172 for F below the branch point."""
+        s, f = mb(4), 2.0
+        sc = s / f
+        expected = 0.2093 * 4 + 3.729 * 2 + 0.0172
+        assert model.interleaved_energy_j(s, sc) == pytest.approx(expected, rel=5e-3)
+
+    def test_invalid_factor(self, model):
+        with pytest.raises(ModelError):
+            model.closed_form_energy_j(mb(1), 0)
+        with pytest.raises(ModelError):
+            model.paper_eq5_energy_j(mb(1), -2)
+
+
+class TestCrossovers:
+    def test_sleep_vs_interleave_near_paper_value(self, model):
+        """Paper: 'the compression factor must exceed 4.6'."""
+        crossover = model.sleep_vs_interleave_crossover_factor()
+        assert 4.0 < crossover < 5.2
+
+    def test_sleep_loses_below_crossover(self, model):
+        s = mb(4)
+        crossover = model.sleep_vs_interleave_crossover_factor(s)
+        f = crossover * 0.8
+        sc = int(s / f)
+        assert model.sequential_energy_j(
+            s, sc, radio_power_save=True
+        ) > model.interleaved_energy_j(s, sc)
+
+    def test_sleep_wins_above_crossover(self, model):
+        s = mb(4)
+        crossover = model.sleep_vs_interleave_crossover_factor(s)
+        f = crossover * 1.2
+        sc = int(s / f)
+        assert model.sequential_energy_j(
+            s, sc, radio_power_save=True
+        ) < model.interleaved_energy_j(s, sc)
+
+    def test_fill_idle_factor_2mbps_near_27(self, model_2mbps):
+        """Paper: 'one needs a compression factor at least of 27'."""
+        assert model_2mbps.fill_idle_factor() == pytest.approx(27.0, rel=0.05)
+
+    def test_fill_idle_factor_11mbps_near_3(self, model):
+        """At 11 Mb/s the branch point is ~3.14 (Equation 5's condition)."""
+        assert model.fill_idle_factor() == pytest.approx(3.14, rel=0.05)
+
+
+class TestAt2Mbps:
+    def test_compression_more_attractive(self, model, model_2mbps):
+        """Slower links shift the trade-off toward compression."""
+        s = mb(2)
+        f = 1.5
+        sc = int(s / f)
+        saving_11 = model.net_saving_j(s, sc) / model.download_energy_j(s)
+        saving_2 = model_2mbps.net_saving_j(s, sc) / model_2mbps.download_energy_j(s)
+        assert saving_2 > saving_11
+
+    def test_raw_download_much_more_expensive(self, model, model_2mbps):
+        assert model_2mbps.download_energy_j(mb(1)) > 2.5 * model.download_energy_j(
+            mb(1)
+        )
+
+    def test_factories(self):
+        assert model_11mbps().params.rate_mb_per_s == pytest.approx(0.6)
+        assert model_2mbps().link is LINK_2MBPS
+
+
+class TestUtilities:
+    def test_net_saving_sign(self, model):
+        s = mb(4)
+        assert model.net_saving_j(s, int(s / 10)) > 0  # high factor saves
+        assert model.net_saving_j(s, int(s / 1.01)) < 0  # factor ~1 loses
+
+    def test_with_params_override(self, model):
+        altered = model.with_params(cs_j=1.0)
+        assert altered.params.cs_j == 1.0
+        assert model.params.cs_j == pytest.approx(0.012)
+        assert altered.download_energy_j(0) == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Contention-aware advisor."""
+
+import pytest
+
+from repro.core import thresholds
+from repro.core.fleet_advisor import FleetAdvisor
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+class TestConstruction:
+    def test_negative_contenders_rejected(self, model):
+        with pytest.raises(ModelError):
+            FleetAdvisor(model, contenders=-1)
+
+    def test_zero_contenders_matches_single_device(self, model):
+        advisor = FleetAdvisor(model, contenders=0)
+        single = thresholds.factor_threshold(mb(8), model)
+        assert advisor.factor_threshold(mb(8)) == pytest.approx(single, rel=0.01)
+
+
+class TestThresholdFalls:
+    def test_monotone_in_contenders(self, model):
+        ts = [
+            FleetAdvisor(model, contenders=n).factor_threshold(mb(4))
+            for n in (0, 1, 2, 4, 8)
+        ]
+        assert ts == sorted(ts, reverse=True)
+        assert ts[0] == pytest.approx(1.13, rel=0.02)
+        assert ts[-1] < 1.05
+
+    def test_factor_110_flips_at_moderate_contention(self, model):
+        """The fleet test's emergent case, now as a direct rule."""
+        alone = FleetAdvisor(model, contenders=0)
+        crowded = FleetAdvisor(model, contenders=3)
+        assert not alone.compression_worthwhile(mb(4), 1.10)
+        assert crowded.compression_worthwhile(mb(4), 1.10)
+
+    def test_size_threshold_falls_too(self, model):
+        alone = FleetAdvisor(model, contenders=0).size_threshold_bytes()
+        crowded = FleetAdvisor(model, contenders=8).size_threshold_bytes()
+        assert alone == pytest.approx(3900, rel=0.05)
+        assert crowded < alone
+
+
+class TestFleetCost:
+    def test_waiting_term_scales_with_contenders(self, model):
+        a0 = FleetAdvisor(model, contenders=0)
+        a4 = FleetAdvisor(model, contenders=4)
+        raw_cost0 = a0.fleet_cost_j(mb(4), mb(4))
+        raw_cost4 = a4.fleet_cost_j(mb(4), mb(4))
+        link_time = 4 / 0.6
+        assert raw_cost4 - raw_cost0 == pytest.approx(
+            4 * link_time * model.device.idle_power_w, rel=1e-6
+        )
+
+    def test_validation(self, model):
+        advisor = FleetAdvisor(model, contenders=2)
+        with pytest.raises(ModelError):
+            advisor.compression_worthwhile(mb(1), 0)
+        assert not advisor.compression_worthwhile(0, 5)
+        assert advisor.factor_threshold(0) == float("inf")
+
+
+class TestAgainstSimulation:
+    def test_rule_agrees_with_fleet_des(self, model):
+        """The analytic rule and the DES fleet must agree about the
+        direction of the factor-1.10 burst case."""
+        from repro.simulator.multiclient import MultiClientSimulation, Request
+
+        simulation = MultiClientSimulation(model)
+
+        def fleet_energy(strategy):
+            requests = [
+                Request(f"c{i}", f"f{i}", mb(4), 1.10, 0.0, strategy=strategy)
+                for i in range(4)
+            ]
+            return simulation.run(requests).total_energy_j
+
+        des_says_compress = fleet_energy("compressed") < fleet_energy("raw")
+        rule = FleetAdvisor(model, contenders=3)  # 3 others per transfer
+        assert des_says_compress
+        assert rule.compression_worthwhile(mb(4), 1.10) == des_says_compress

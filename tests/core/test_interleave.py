@@ -1,0 +1,101 @@
+"""Interleaving schedule (Figure 4)."""
+
+import pytest
+
+from repro.core.interleave import plan_interleave
+from repro.device.cpu import DeviceCpuModel, LinearCost
+from repro.network.link import plan_receive
+from repro.network.wlan import LINK_11MBPS
+from tests.conftest import mb
+
+
+def make_cpu(speed_per_mb: float) -> DeviceCpuModel:
+    """A CPU whose gzip decompression costs speed_per_mb s per raw MB."""
+    return DeviceCpuModel(
+        decompress={"gzip": LinearCost(0.0, speed_per_mb, 0.0)},
+        compress={"gzip": LinearCost(0.0, 1.0, 0.0)},
+    )
+
+
+class TestFastDecompression:
+    """Figure 4(a): decompression faster than downloading -> idle remains."""
+
+    def test_idle_periods_remain(self):
+        receive = plan_receive(mb(1), mb(4), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(0.05))
+        assert not plan.saturated
+        assert plan.residual_idle_s > 0
+        # Only the final block's work can spill past the link going quiet.
+        assert plan.finish_s == pytest.approx(plan.receive_end_s, abs=0.01)
+
+    def test_block_starts_after_arrival(self):
+        receive = plan_receive(mb(1), mb(4), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(0.05))
+        for block, arrival in zip(plan.blocks, receive.blocks):
+            assert block.decompress_start_s >= block.arrive_s - 1e-12
+
+    def test_first_block_idle_unfillable(self):
+        receive = plan_receive(mb(1), mb(4), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(0.0001))
+        # Residual idle at least covers the first block's gaps.
+        first_gap = receive.blocks[0].idle_s
+        assert plan.residual_idle_s >= first_gap * 0.99
+
+
+class TestSlowDecompression:
+    """Figure 4(b): decompression slower -> the pipeline saturates."""
+
+    def test_overflow_past_receive_end(self):
+        receive = plan_receive(mb(2), mb(2.2), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(3.0))
+        assert plan.saturated
+        assert plan.finish_s > plan.receive_end_s
+        assert plan.overflow_s == pytest.approx(
+            plan.finish_s - plan.receive_end_s
+        )
+
+    def test_blocks_processed_in_order(self):
+        receive = plan_receive(mb(2), mb(2.2), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(3.0))
+        ends = [b.decompress_end_s for b in plan.blocks]
+        assert ends == sorted(ends)
+        starts = [b.decompress_start_s for b in plan.blocks]
+        for s, e in zip(starts[1:], ends[:-1]):
+            assert s >= e - 1e-12  # one decompressor, no overlap
+
+
+class TestBoundaries:
+    def test_empty_plan(self):
+        receive = plan_receive(0, 0, LINK_11MBPS)
+        plan = plan_interleave(receive)
+        assert plan.blocks == []
+        assert plan.finish_s == 0.0
+
+    def test_single_block_file(self):
+        receive = plan_receive(3000, 6000, LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(0.2))
+        assert len(plan.blocks) == 1
+        # The single block decompresses entirely after receive.
+        assert plan.blocks[0].decompress_start_s >= plan.receive_end_s - 1e-12
+
+    def test_queue_delay_nonnegative(self):
+        receive = plan_receive(mb(1), mb(3), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=make_cpu(1.0))
+        for block in plan.blocks:
+            assert block.queue_delay_s >= -1e-12
+
+    def test_total_work_conserved(self):
+        """Sum of decompression busy time equals the CPU model's total."""
+        cpu = make_cpu(0.5)
+        receive = plan_receive(mb(1), mb(2), LINK_11MBPS)
+        plan = plan_interleave(receive, cpu=cpu)
+        # Work time in wall terms: for unsaturated pipelines wall time in
+        # decompression intervals >= work (idle-share stretching).
+        total_wall = sum(
+            b.decompress_end_s - b.decompress_start_s for b in plan.blocks
+        )
+        total_work = sum(
+            cpu.decompress_time_s("gzip", blk.raw_bytes, blk.compressed_bytes)
+            for blk in receive.blocks
+        )
+        assert total_wall >= total_work * 0.999

@@ -1,0 +1,99 @@
+"""File-level selective compression decisions (Section 4.3)."""
+
+import pytest
+
+from repro.compression import get_codec
+from repro.core.selective import decide_file
+from tests.conftest import mb
+
+
+class TestSizeThreshold:
+    def test_tiny_file_never_compressed(self, model):
+        decision = decide_file(raw_bytes=2000, compression_factor=50.0, model=model)
+        assert not decision.compress
+        assert "size threshold" in decision.reason
+        assert decision.transfer_bytes == 2000
+
+    def test_data_form_tiny_file(self):
+        decision = decide_file(data=b"x" * 1000, compression_factor=10.0)
+        assert not decision.compress
+
+    def test_custom_threshold(self):
+        decision = decide_file(
+            raw_bytes=5000, compression_factor=10.0, size_threshold=6000
+        )
+        assert not decision.compress
+
+
+class TestFactorCondition:
+    def test_low_factor_rejected(self, model):
+        decision = decide_file(raw_bytes=mb(1), compression_factor=1.05, model=model)
+        assert not decision.compress
+        assert "Equation 6" in decision.reason
+        assert decision.transfer_bytes == mb(1)
+
+    def test_high_factor_accepted(self, model):
+        decision = decide_file(raw_bytes=mb(1), compression_factor=4.0, model=model)
+        assert decision.compress
+        assert decision.transfer_bytes == mb(1) // 4
+
+    def test_paper_condition_when_no_model(self):
+        decision = decide_file(raw_bytes=mb(1), compression_factor=4.0)
+        assert decision.compress
+
+    def test_energy_estimates_attached(self, model):
+        decision = decide_file(raw_bytes=mb(2), compression_factor=3.0, model=model)
+        assert decision.plain_energy_j > 0
+        assert decision.compressed_energy_j > 0
+        assert decision.estimated_saving_j > 0
+
+    def test_no_estimates_without_model(self):
+        decision = decide_file(raw_bytes=mb(2), compression_factor=3.0)
+        assert decision.plain_energy_j is None
+        assert decision.estimated_saving_j is None
+
+
+class TestMeasuredFactor:
+    def test_measures_with_codec(self, model):
+        data = b"measured factor decision " * 2000  # ~50 KB, compressible
+        decision = decide_file(data=data, codec=get_codec("zlib"), model=model)
+        assert decision.compress
+        assert decision.compression_factor > 5
+        assert decision.transfer_bytes < len(data)
+
+    def test_random_data_rejected(self, model):
+        import random
+
+        rng = random.Random(3)
+        data = bytes(rng.getrandbits(8) for _ in range(100_000))
+        decision = decide_file(data=data, codec=get_codec("zlib"), model=model)
+        assert not decision.compress
+
+
+class TestValidation:
+    def test_missing_everything_raises(self):
+        with pytest.raises(ValueError):
+            decide_file()
+
+    def test_missing_factor_and_codec_raises(self):
+        with pytest.raises(ValueError):
+            decide_file(raw_bytes=mb(1))
+
+
+class TestNeverWorseGuarantee:
+    def test_selected_choice_never_costs_more(self, model):
+        """Whatever the decision, the chosen transfer's estimated energy
+        is at most the plain download's (the paper's headline claim for
+        the selective scheme)."""
+        for size_mb, factor in [(0.001, 9), (0.01, 1.2), (0.5, 1.05), (2, 1.5), (8, 20)]:
+            decision = decide_file(
+                raw_bytes=mb(size_mb), compression_factor=factor, model=model
+            )
+            plain = model.download_energy_j(mb(size_mb))
+            if decision.compress:
+                chosen = model.interleaved_energy_j(
+                    mb(size_mb), decision.transfer_bytes
+                )
+            else:
+                chosen = plain
+            assert chosen <= plain * 1.0001

@@ -1,0 +1,105 @@
+"""Equation 6 thresholds: literal and model-derived."""
+
+import pytest
+
+from repro import units
+from repro.core import thresholds
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+class TestPaperCondition:
+    def test_large_file_condition_form(self):
+        """1.13/F < 1 - 0.00157/s for s > 0.128 MB."""
+        s = mb(1)
+        # At F slightly above 1.13/(1-0.00157) the condition flips.
+        f_star = 1.13 / (1 - 0.00157 / 1.0)
+        assert not thresholds.paper_condition(s, f_star * 0.99)
+        assert thresholds.paper_condition(s, f_star * 1.01)
+
+    def test_small_file_condition_form(self):
+        """1.30/F < 1 - 0.00372/s for s <= 0.128 MB."""
+        s = mb(0.01)
+        f_star = 1.30 / (1 - 0.00372 / 0.01)
+        assert not thresholds.paper_condition(s, f_star * 0.99)
+        assert thresholds.paper_condition(s, f_star * 1.01)
+
+    def test_below_3900_bytes_never_worthwhile(self):
+        for size in (100, 1000, 3899):
+            assert not thresholds.paper_condition(size, 1e9)
+
+    def test_just_above_3900_needs_huge_factor(self):
+        assert thresholds.paper_condition(4200, 1e6)
+        assert not thresholds.paper_condition(4200, 2.0)
+
+    def test_zero_size(self):
+        assert not thresholds.paper_condition(0, 10)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ModelError):
+            thresholds.paper_condition(mb(1), 0)
+
+
+class TestModelCondition:
+    def test_agrees_with_paper_on_grid(self, model):
+        """The model-derived condition agrees with the paper's literal one
+        except within a narrow band around the threshold."""
+        disagreements = 0
+        points = 0
+        for s_mb in (0.01, 0.05, 0.2, 1, 4, 8):
+            for f in (1.05, 1.1, 1.2, 1.5, 2, 4, 10):
+                points += 1
+                a = thresholds.paper_condition(mb(s_mb), f)
+                b = thresholds.compression_worthwhile(mb(s_mb), f, model)
+                if a != b:
+                    disagreements += 1
+        assert disagreements <= points * 0.12
+
+    def test_none_model_uses_paper(self):
+        assert thresholds.compression_worthwhile(
+            mb(1), 5.0, None
+        ) == thresholds.paper_condition(mb(1), 5.0)
+
+    def test_zero_size_false(self, model):
+        assert not thresholds.compression_worthwhile(0, 10, model)
+
+
+class TestFactorThreshold:
+    def test_large_file_threshold_near_113(self, model):
+        """For s >> 0.128 MB the factor threshold approaches 1.13."""
+        assert thresholds.factor_threshold(mb(8)) == pytest.approx(1.13, rel=0.01)
+        assert thresholds.factor_threshold(mb(8), model) == pytest.approx(
+            1.13, rel=0.02
+        )
+
+    def test_small_file_threshold_higher(self, model):
+        t_small = thresholds.factor_threshold(mb(0.05), model)
+        t_large = thresholds.factor_threshold(mb(8), model)
+        assert t_small > t_large
+
+    def test_below_size_threshold_infinite(self, model):
+        assert thresholds.factor_threshold(2000) == float("inf")
+        assert thresholds.factor_threshold(2000, model) == float("inf")
+
+    def test_zero_size_infinite(self):
+        assert thresholds.factor_threshold(0) == float("inf")
+
+    def test_threshold_is_boundary(self, model):
+        s = mb(1)
+        t = thresholds.factor_threshold(s, model)
+        assert not thresholds.compression_worthwhile(s, t * 0.99, model)
+        assert thresholds.compression_worthwhile(s, t * 1.01, model)
+
+
+class TestSizeThreshold:
+    def test_paper_value(self):
+        assert thresholds.size_threshold_bytes() == 3900
+
+    def test_model_value_close_to_paper(self, model):
+        derived = thresholds.size_threshold_bytes(model)
+        assert derived == pytest.approx(3900, rel=0.05)
+
+    def test_below_threshold_never_compresses(self, model):
+        t = thresholds.size_threshold_bytes(model)
+        assert not thresholds.compression_worthwhile(t - 200, 1e9, model)
+        assert thresholds.compression_worthwhile(t + 500, 1e9, model)

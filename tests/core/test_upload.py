@@ -1,0 +1,161 @@
+"""Upload-path model (Section 7 future-work extension)."""
+
+import pytest
+
+from repro.core.upload import UploadModel
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def upload(model):
+    return UploadModel(model)
+
+
+class TestPlainUpload:
+    def test_symmetric_to_download(self, upload, model):
+        assert upload.upload_energy_j(mb(2)) == pytest.approx(
+            model.download_energy_j(mb(2))
+        )
+        assert upload.upload_time_s(mb(2)) == pytest.approx(
+            model.download_time_s(mb(2))
+        )
+
+
+class TestSequentialUpload:
+    def test_structure(self, upload, model):
+        s, sc = mb(2), mb(1)
+        tc = upload.compression_time_s(s, sc, "compress")
+        expected = (
+            2.486 * 1.0
+            + 0.012
+            + model.total_idle_time_s(sc) * 1.55
+            + tc * 2.85
+        )
+        assert upload.sequential_energy_j(s, sc, "compress") == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_gzip9_loses_on_device(self, upload):
+        """Level-9 gzip compression is too slow on the StrongARM: even a
+        factor-3 file costs more than uploading raw."""
+        s = mb(2)
+        assert upload.net_saving_j(s, s // 3, codec="gzip", interleaved=False) < 0
+
+    def test_time_includes_compression(self, upload):
+        s, sc = mb(2), mb(1)
+        assert upload.sequential_time_s(s, sc) == pytest.approx(
+            upload.compression_time_s(s, sc) + (1.0 / 0.6), rel=1e-6
+        )
+
+
+class TestInterleavedUpload:
+    def test_never_worse_than_sequential(self, upload):
+        for s_mb, f in [(0.05, 2), (1, 2), (4, 3), (8, 10)]:
+            s = mb(s_mb)
+            sc = int(s / f)
+            for codec in ("compress", "gzip-fast"):
+                assert upload.interleaved_energy_j(
+                    s, sc, codec
+                ) <= upload.sequential_energy_j(s, sc, codec) + 1e-9
+
+    def test_interleave_times_mirror_eq4(self, upload, model):
+        s, sc = mb(4), mb(1)
+        ts_prime, ts_dprime = upload.interleave_times(s, sc)
+        ti_prime, ti_dprime = model.idle_times(s, sc)
+        # Same split sizes, different end attached.
+        assert ts_prime == pytest.approx(ti_prime)
+        assert ts_dprime == pytest.approx(ti_dprime)
+
+    def test_fast_codec_saves_at_moderate_factor(self, upload):
+        """The extension's headline: with LZW or gzip -1 the upload
+        trade-off mirrors the download one."""
+        s = mb(4)
+        assert upload.net_saving_j(s, int(s / 2.26), codec="compress") > 0
+        assert upload.net_saving_j(s, int(s / 2.0), codec="gzip-fast") > 0
+
+    def test_interleaved_time_bounds(self, upload):
+        s, sc = mb(4), mb(2)
+        t = upload.interleaved_time_s(s, sc, "compress")
+        send_only = 2 / 0.6
+        full_serial = upload.sequential_time_s(s, sc, "compress")
+        assert send_only < t <= full_serial + 1e-9
+
+
+class TestThresholds:
+    def test_factor_threshold_above_download(self, upload, model):
+        """Device compression costs more than decompression, so the
+        upload break-even factor exceeds the download one."""
+        from repro.core import thresholds
+
+        s = mb(4)
+        up = upload.factor_threshold(s, codec="compress")
+        down = thresholds.factor_threshold(s, model)
+        assert up > down
+
+    def test_gzip9_threshold_much_higher(self, upload):
+        s = mb(4)
+        lzw = upload.factor_threshold(s, codec="compress")
+        gz9 = upload.factor_threshold(s, codec="gzip")
+        assert gz9 > lzw * 1.5
+
+    def test_tiny_upload_never_worthwhile(self, upload):
+        assert upload.factor_threshold(0) == float("inf")
+        assert not upload.worthwhile(0, 100)
+
+    def test_invalid_factor(self, upload):
+        with pytest.raises(ModelError):
+            upload.worthwhile(mb(1), 0)
+
+    def test_threshold_is_boundary(self, upload):
+        s = mb(4)
+        t = upload.factor_threshold(s, codec="compress")
+        assert not upload.worthwhile(s, t * 0.98, codec="compress")
+        assert upload.worthwhile(s, t * 1.02, codec="compress")
+
+
+class TestAnalyticUploadSessions:
+    def test_raw_matches_model(self, upload):
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(upload.model)
+        result = session.upload_raw(mb(2))
+        assert result.energy_j == pytest.approx(upload.upload_energy_j(mb(2)))
+        assert "send" in result.energy_breakdown()
+
+    def test_sequential_matches_model(self, upload):
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(upload.model)
+        s, sc = mb(2), mb(1)
+        result = session.upload_compressed(s, sc, "compress", interleave=False)
+        assert result.energy_j == pytest.approx(
+            upload.sequential_energy_j(s, sc, "compress"), rel=1e-6
+        )
+
+    def test_interleaved_matches_model(self, upload):
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(upload.model)
+        for s_mb, f in [(4, 2.26), (2, 5), (0.05, 2)]:
+            s = mb(s_mb)
+            sc = int(s / f)
+            result = session.upload_compressed(s, sc, "compress", interleave=True)
+            assert result.energy_j == pytest.approx(
+                upload.interleaved_energy_j(s, sc, "compress"), rel=1e-6
+            )
+
+    def test_scenarios_tagged(self, upload):
+        from repro.simulator.analytic import AnalyticSession
+        from repro.simulator.session import Scenario
+
+        session = AnalyticSession(upload.model)
+        assert session.upload_raw(mb(1)).scenario is Scenario.UPLOAD_RAW
+        assert (
+            session.upload_compressed(mb(1), mb(0.5), interleave=False).scenario
+            is Scenario.UPLOAD_SEQUENTIAL
+        )
+        assert (
+            session.upload_compressed(mb(1), mb(0.5), interleave=True).scenario
+            is Scenario.UPLOAD_INTERLEAVED
+        )

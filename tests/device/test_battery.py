@@ -1,0 +1,66 @@
+"""Energy reports and relative (figure-style) comparisons."""
+
+import pytest
+
+from repro.device.battery import EnergyReport
+from repro.device.timeline import PowerTimeline
+
+
+def _timeline(pairs):
+    tl = PowerTimeline()
+    for duration, power, tag in pairs:
+        tl.add(duration, power, tag)
+    return tl
+
+
+class TestEnergyReport:
+    def test_from_timeline(self):
+        tl = _timeline([(1.0, 2.0, "recv"), (1.0, 1.0, "idle")])
+        report = EnergyReport.from_timeline(tl)
+        assert report.total_energy_j == pytest.approx(3.0)
+        assert report.total_time_s == pytest.approx(2.0)
+        assert report.average_power_w == pytest.approx(1.5)
+
+    def test_empty_average_power(self):
+        report = EnergyReport.from_timeline(PowerTimeline())
+        assert report.average_power_w == 0.0
+
+    def test_charge_mah(self):
+        # 18 J at 5 V = 1 mAh (5 V * 3.6 C/mAh).
+        tl = _timeline([(9.0, 2.0, "x")])
+        report = EnergyReport.from_timeline(tl)
+        assert report.charge_mah == pytest.approx(1.0)
+
+    def test_fraction_by_tag(self):
+        tl = _timeline([(1.0, 3.0, "recv"), (1.0, 1.0, "idle")])
+        fractions = EnergyReport.from_timeline(tl).fraction_by_tag()
+        assert fractions["recv"] == pytest.approx(0.75)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fraction_empty(self):
+        assert EnergyReport.from_timeline(PowerTimeline()).fraction_by_tag() == {}
+
+    def test_relative_to(self):
+        a = EnergyReport.from_timeline(_timeline([(1.0, 1.0, "x")]))
+        b = EnergyReport.from_timeline(_timeline([(2.0, 2.0, "x")]))
+        rel = a.relative_to(b)
+        assert rel.time_ratio == pytest.approx(0.5)
+        assert rel.energy_ratio == pytest.approx(0.25)
+
+    def test_relative_to_zero_baseline(self):
+        a = EnergyReport.from_timeline(_timeline([(1.0, 1.0, "x")]))
+        z = EnergyReport.from_timeline(PowerTimeline())
+        rel = a.relative_to(z)
+        assert rel.time_ratio == float("inf")
+
+
+class TestIdleEnergyShare:
+    def test_paper_30_percent_idle_claim(self):
+        """'about 30% of the total downloading energy is consumed when
+        idling' (Section 4.1) — rebuild the claim from the model powers."""
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession()
+        result = session.raw(4 * 2**20)
+        fractions = result.report.fraction_by_tag()
+        assert fractions["idle"] == pytest.approx(0.30, abs=0.03)

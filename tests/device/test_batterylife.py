@@ -1,0 +1,72 @@
+"""Battery-runtime conversions."""
+
+import pytest
+
+from repro.device.batterylife import Battery, downloads_per_charge
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+class TestBattery:
+    def test_usable_joules(self):
+        batt = Battery(capacity_mah=1000, voltage_v=3.6, efficiency=1.0)
+        # 1 Ah * 3600 s * 3.6 V = 12960 J.
+        assert batt.usable_joules == pytest.approx(12960.0)
+
+    def test_efficiency_scales(self):
+        full = Battery(efficiency=1.0).usable_joules
+        lossy = Battery(efficiency=0.5).usable_joules
+        assert lossy == pytest.approx(full * 0.5)
+
+    def test_default_ipaq_pack(self):
+        batt = Battery()
+        assert batt.usable_joules == pytest.approx(
+            0.95 * 3600 * 3.7 * 0.87, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ModelError):
+            Battery(efficiency=0)
+        with pytest.raises(ModelError):
+            Battery(voltage_v=-1)
+
+    def test_sessions_per_charge(self):
+        batt = Battery(capacity_mah=1000, voltage_v=3.6, efficiency=1.0)
+        assert batt.sessions_per_charge(129.6) == pytest.approx(100.0)
+        with pytest.raises(ModelError):
+            batt.sessions_per_charge(0)
+
+    def test_lifetime_hours(self):
+        batt = Battery(capacity_mah=1000, voltage_v=3.6, efficiency=1.0)
+        assert batt.lifetime_hours_at(3.6) == pytest.approx(1.0)
+
+    def test_drain_fraction(self):
+        batt = Battery(capacity_mah=1000, voltage_v=3.6, efficiency=1.0)
+        assert batt.drain_fraction(1296.0) == pytest.approx(0.1)
+        with pytest.raises(ModelError):
+            batt.drain_fraction(-1)
+
+
+class TestDownloadsPerCharge:
+    def test_integration_with_sessions(self, model):
+        """The headline user-facing number: compression buys downloads."""
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(model)
+        raw = session.raw(mb(8)).energy_j
+        compressed = session.precompressed(mb(8), mb(8) // 4, interleave=True).energy_j
+        n_raw = downloads_per_charge(raw)
+        n_comp = downloads_per_charge(compressed)
+        assert n_comp > n_raw * 2
+        # Ballpark sanity: an 8 MB raw download costs ~28 J; the pack
+        # holds ~11 kJ, so hundreds of downloads per charge.
+        assert 200 < n_raw < 800
+
+    def test_idle_lifetime_matches_spec_ballpark(self):
+        """310 mA idle at 5 V drains the pack in a couple of hours —
+        consistent with iPAQ-era WLAN-sled battery life complaints."""
+        batt = Battery()
+        hours = batt.lifetime_hours_at(1.55)
+        assert 1.0 < hours < 3.0

@@ -1,0 +1,105 @@
+"""Device CPU cost models."""
+
+import pytest
+
+from repro.device.cpu import DeviceCpuModel, IPAQ_CPU, LinearCost
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+class TestLinearCost:
+    def test_seconds(self):
+        cost = LinearCost(0.2, 0.1, 0.05)
+        assert cost.seconds(mb(1), mb(2)) == pytest.approx(0.1 + 0.4 + 0.05)
+
+    def test_marginal_excludes_constant(self):
+        cost = LinearCost(0.2, 0.1, 0.05)
+        assert cost.marginal_seconds(mb(1), mb(2)) == pytest.approx(0.5)
+
+
+class TestPaperGzipFit:
+    def test_gzip_decompress_matches_paper_fit(self):
+        """td = 0.161*s + 0.161*sc + 0.004 (Section 4.2)."""
+        td = IPAQ_CPU.decompress_time_s("gzip", mb(1.0), mb(0.25))
+        assert td == pytest.approx(0.161 * 1.0 + 0.161 * 0.25 + 0.004)
+
+    def test_zero_sizes_give_constant(self):
+        assert IPAQ_CPU.decompress_time_s("gzip", 0, 0) == pytest.approx(0.004)
+
+    def test_zlib_aliases_gzip(self):
+        a = IPAQ_CPU.decompress_time_s("zlib", mb(2), mb(1))
+        b = IPAQ_CPU.decompress_time_s("gzip", mb(2), mb(1))
+        assert a == b
+
+
+class TestSchemeOrdering:
+    def test_bzip2_decompression_slowest(self):
+        """bzip2 'performs more computation than the other two schemes'
+        (Section 3.2); same sizes, strictly more time."""
+        s, sc = mb(4), mb(1)
+        t_gzip = IPAQ_CPU.decompress_time_s("gzip", s, sc)
+        t_lzw = IPAQ_CPU.decompress_time_s("compress", s, sc)
+        t_bzip = IPAQ_CPU.decompress_time_s("bzip2", s, sc)
+        assert t_bzip > 2 * t_gzip
+        assert t_bzip > 2 * t_lzw
+
+    def test_compression_slower_than_decompression(self):
+        """All three schemes 'decompress much faster than [they] compress'."""
+        s, sc = mb(2), mb(1)
+        for scheme in ("gzip", "compress", "bzip2"):
+            assert IPAQ_CPU.compress_time_s(scheme, s, sc) > IPAQ_CPU.decompress_time_s(
+                scheme, s, sc
+            )
+
+    def test_bzip2_compression_slowest(self):
+        s, sc = mb(2), mb(1)
+        assert IPAQ_CPU.compress_time_s("bzip2", s, sc) > IPAQ_CPU.compress_time_s(
+            "gzip", s, sc
+        ) > IPAQ_CPU.compress_time_s("compress", s, sc)
+
+
+class TestValidation:
+    def test_unknown_codec_raises(self):
+        with pytest.raises(ModelError):
+            IPAQ_CPU.decompress_time_s("zip", 100, 50)
+
+    def test_negative_sizes_raise(self):
+        with pytest.raises(ModelError):
+            IPAQ_CPU.decompress_time_s("gzip", -1, 5)
+        with pytest.raises(ModelError):
+            IPAQ_CPU.compress_time_s("gzip", 5, -1)
+
+    def test_engine_names_map_to_schemes(self):
+        for name in ("gzip-native", "compress-native", "bzip2-native", "bz2"):
+            IPAQ_CPU.decompress_time_s(name, 100, 50)  # must not raise
+
+    def test_custom_model(self):
+        model = DeviceCpuModel(
+            decompress={"gzip": LinearCost(1, 1, 0)},
+            compress={"gzip": LinearCost(2, 2, 0)},
+        )
+        assert model.decompress_time_s("gzip", mb(1), mb(1)) == pytest.approx(2.0)
+
+
+class TestProxyCpu:
+    def test_proxy_faster_than_device(self):
+        from repro.proxy.cpu import PROXY_PIII
+
+        s, sc = mb(4), mb(1)
+        for scheme in ("gzip", "compress", "bzip2"):
+            assert PROXY_PIII.decompress_time_s(
+                scheme, s, sc
+            ) < IPAQ_CPU.decompress_time_s(scheme, s, sc)
+            assert PROXY_PIII.compress_time_s(
+                scheme, s, sc
+            ) < IPAQ_CPU.compress_time_s(scheme, s, sc)
+
+    def test_proxy_gzip_slower_than_lzw_compression(self):
+        """Figure 12: gzip 'takes longer time to compress for several
+        files' than compress."""
+        from repro.proxy.cpu import PROXY_PIII
+
+        s, sc = mb(4), mb(1)
+        assert PROXY_PIII.compress_time_s("gzip", s, sc) > PROXY_PIII.compress_time_s(
+            "compress", s, sc
+        )

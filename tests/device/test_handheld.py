@@ -1,0 +1,80 @@
+"""HandheldDevice facade."""
+
+import pytest
+
+from repro.device.handheld import HandheldDevice
+from repro.device.timeline import PowerTimeline
+
+
+@pytest.fixture(scope="module")
+def device():
+    return HandheldDevice()
+
+
+class TestPowerProperties:
+    def test_idle_power(self, device):
+        assert device.idle_power_w == pytest.approx(1.55)
+
+    def test_idle_power_save(self, device):
+        assert device.idle_power_save_w == pytest.approx(0.55)
+
+    def test_sleep_power(self, device):
+        assert device.sleep_power_w == pytest.approx(0.45)
+
+    def test_decompress_powers(self, device):
+        assert device.decompress_power_w(False) == pytest.approx(2.85)
+        assert device.decompress_power_w(True) == pytest.approx(1.70)
+
+    def test_busy_midrange(self, device):
+        assert device.busy_power_w(False) == pytest.approx(3.0)  # 600 mA
+
+    def test_recv_active_power(self, device):
+        assert device.recv_active_power_w == pytest.approx(2.486)
+
+
+class TestSegmentBuilders:
+    def test_recv_segment(self, device):
+        tl = PowerTimeline()
+        device.recv_segment(tl, 2.0)
+        assert tl.total_energy_j == pytest.approx(2 * 2.486)
+        assert tl.segments[0].tag == "recv"
+
+    def test_idle_segment_power_save(self, device):
+        tl = PowerTimeline()
+        device.idle_segment(tl, 1.0, power_save=True)
+        assert tl.total_energy_j == pytest.approx(0.55)
+
+    def test_decompress_segment(self, device):
+        tl = PowerTimeline()
+        device.decompress_segment(tl, 1.0)
+        assert tl.total_energy_j == pytest.approx(2.85)
+        assert tl.segments[0].tag == "decompress"
+
+    def test_startup_segment(self, device):
+        tl = PowerTimeline()
+        device.startup_segment(tl)
+        assert tl.total_energy_j == pytest.approx(0.012)
+        assert tl.total_time_s == 0.0
+
+    def test_compress_segment(self, device):
+        tl = PowerTimeline()
+        device.compress_segment(tl, 2.0)
+        assert tl.segments[0].tag == "compress"
+
+    def test_report(self, device):
+        tl = PowerTimeline()
+        device.recv_segment(tl, 1.0)
+        device.idle_segment(tl, 1.0)
+        report = device.report(tl)
+        assert report.total_time_s == pytest.approx(2.0)
+        assert set(report.energy_by_tag) == {"recv", "idle"}
+
+
+class TestCostDelegation:
+    def test_decompress_time(self, device):
+        assert device.decompress_time_s("gzip", 2**20, 2**18) == pytest.approx(
+            0.161 * 1.0 + 0.161 * 0.25 + 0.004
+        )
+
+    def test_compress_time_positive(self, device):
+        assert device.compress_time_s("bzip2", 2**20, 2**18) > 0

@@ -1,0 +1,86 @@
+"""Simulated multimeter sampling."""
+
+import pytest
+
+from repro.device.meter import Multimeter
+from repro.device.timeline import PowerTimeline
+from repro.errors import SimulationError
+
+
+def _timeline(pairs):
+    tl = PowerTimeline()
+    for duration, power, tag in pairs:
+        tl.add(duration, power, tag)
+    return tl
+
+
+class TestMultimeter:
+    def test_constant_current(self):
+        tl = _timeline([(2.0, 1.55, "idle")])
+        reading = Multimeter(trigger_overhead_fraction=0.0).measure(tl)
+        assert reading.avg_ma == pytest.approx(310)
+        assert reading.min_ma == pytest.approx(310)
+        assert reading.max_ma == pytest.approx(310)
+
+    def test_two_level_average(self):
+        tl = _timeline([(1.0, 1.0, "a"), (1.0, 3.0, "b")])
+        reading = Multimeter(
+            sample_rate_hz=1000, trigger_overhead_fraction=0.0
+        ).measure(tl)
+        assert reading.avg_ma == pytest.approx(400, rel=0.01)
+        assert reading.min_ma == pytest.approx(200)
+        assert reading.max_ma == pytest.approx(600)
+
+    def test_sample_count_matches_rate(self):
+        tl = _timeline([(1.0, 1.0, "a")])
+        reading = Multimeter(sample_rate_hz=400).measure(tl)
+        assert reading.samples == pytest.approx(400, abs=2)
+
+    def test_window_selection(self):
+        tl = _timeline([(1.0, 1.0, "a"), (1.0, 3.0, "b")])
+        reading = Multimeter(trigger_overhead_fraction=0.0).measure(
+            tl, start_s=1.0, stop_s=2.0
+        )
+        assert reading.avg_ma == pytest.approx(600, rel=0.01)
+
+    def test_trigger_overhead_bounded(self):
+        with pytest.raises(ValueError):
+            Multimeter(trigger_overhead_fraction=0.02)
+
+    def test_trigger_overhead_applied(self):
+        tl = _timeline([(1.0, 1.0, "a")])
+        base = Multimeter(trigger_overhead_fraction=0.0).measure(tl).avg_ma
+        bumped = Multimeter(trigger_overhead_fraction=0.004).measure(tl).avg_ma
+        assert bumped == pytest.approx(base * 1.004)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Multimeter(sample_rate_hz=0)
+
+    def test_stop_before_start_raises(self):
+        tl = _timeline([(1.0, 1.0, "a")])
+        with pytest.raises(SimulationError):
+            Multimeter().measure(tl, start_s=0.5, stop_s=0.1)
+
+    def test_empty_window_raises(self):
+        tl = _timeline([(0.001, 1.0, "a")])
+        with pytest.raises(SimulationError):
+            Multimeter(sample_rate_hz=10).measure(tl, start_s=0.0, stop_s=0.0005)
+
+    def test_energy_consistent_with_reading(self):
+        tl = _timeline([(2.0, 2.0, "x")])
+        reading = Multimeter(trigger_overhead_fraction=0.0).measure(tl)
+        assert reading.energy_j == pytest.approx(4.0, rel=0.01)
+
+    def test_measures_session_average_close_to_true(self):
+        """Sampling a realistic session lands near the true average."""
+        from repro.simulator.analytic import AnalyticSession
+
+        result = AnalyticSession().precompressed(2 * 2**20, 2**20)
+        true_avg_w = result.energy_j / result.time_s
+        reading = Multimeter(
+            sample_rate_hz=2000, trigger_overhead_fraction=0.0
+        ).measure(result.timeline)
+        # The meter cannot see zero-duration energy events (cs), so allow
+        # a small bias.
+        assert reading.avg_power_w == pytest.approx(true_avg_w, rel=0.02)

@@ -1,0 +1,105 @@
+"""Table 1 power table."""
+
+import pytest
+
+from repro.device.power import (
+    CpuState,
+    IPAQ_POWER_TABLE,
+    PowerRow,
+    PowerTable,
+    RadioState,
+    DECOMPRESS_POWER_W,
+    DECOMPRESS_SLEEP_POWER_W,
+    IDLE_POWER_W,
+    RECV_ACTIVE_POWER_W,
+)
+from repro.errors import ModelError
+
+
+class TestTable1Values:
+    """Pin the transcribed Table 1 rows."""
+
+    @pytest.mark.parametrize(
+        "cpu,radio,ps,expected_ma",
+        [
+            (CpuState.IDLE, RadioState.SLEEP, None, 90),
+            (CpuState.IDLE, RadioState.IDLE, False, 310),
+            (CpuState.IDLE, RadioState.IDLE, True, 110),
+            (CpuState.NETWORK, RadioState.RECV, False, 430),
+            (CpuState.NETWORK, RadioState.RECV, True, 400),
+        ],
+    )
+    def test_point_rows(self, cpu, radio, ps, expected_ma):
+        assert IPAQ_POWER_TABLE.current_ma(cpu, radio, ps) == expected_ma
+
+    @pytest.mark.parametrize(
+        "cpu,radio,ps,lo,hi,decomp",
+        [
+            (CpuState.BUSY, RadioState.SLEEP, None, 300, 440, 310),
+            (CpuState.BUSY, RadioState.IDLE, False, 530, 670, 570),
+            (CpuState.BUSY, RadioState.IDLE, True, 330, 470, 340),
+        ],
+    )
+    def test_range_rows(self, cpu, radio, ps, lo, hi, decomp):
+        row = IPAQ_POWER_TABLE.row(cpu, radio, ps)
+        assert row.min_ma == lo and row.max_ma == hi
+        assert row.decompress_ma == decomp
+
+    def test_busy_recv_rows(self):
+        assert IPAQ_POWER_TABLE.row(CpuState.BUSY, RadioState.RECV, False).max_ma == 690
+        assert IPAQ_POWER_TABLE.row(CpuState.BUSY, RadioState.RECV, True).min_ma == 470
+
+    def test_send_mirrors_recv(self):
+        assert IPAQ_POWER_TABLE.current_ma(
+            CpuState.NETWORK, RadioState.SEND, False
+        ) == IPAQ_POWER_TABLE.current_ma(CpuState.NETWORK, RadioState.RECV, False)
+
+
+class TestLookupSemantics:
+    def test_activity_selects_decompress_average(self):
+        assert (
+            IPAQ_POWER_TABLE.current_ma(
+                CpuState.BUSY, RadioState.IDLE, False, activity="decompress"
+            )
+            == 570
+        )
+
+    def test_no_activity_uses_midrange(self):
+        assert IPAQ_POWER_TABLE.current_ma(CpuState.BUSY, RadioState.IDLE, False) == 600
+
+    def test_power_save_none_falls_back(self):
+        # Sleep rows ignore the power-save flag.
+        assert IPAQ_POWER_TABLE.current_ma(CpuState.IDLE, RadioState.SLEEP, True) == 90
+
+    def test_missing_row_raises(self):
+        table = PowerTable({(CpuState.IDLE, RadioState.IDLE, False): PowerRow(1, 1)})
+        with pytest.raises(ModelError):
+            table.row(CpuState.BUSY, RadioState.RECV, False)
+
+    def test_power_w_uses_5v(self):
+        assert IPAQ_POWER_TABLE.power_w(
+            CpuState.IDLE, RadioState.IDLE, False
+        ) == pytest.approx(1.55)
+
+    def test_rows_copy_is_isolated(self):
+        rows = IPAQ_POWER_TABLE.rows()
+        rows.clear()
+        assert IPAQ_POWER_TABLE.rows()
+
+
+class TestDerivedModelPowers:
+    """The powers the paper's fitted equations imply (Section 4.2)."""
+
+    def test_idle_power_is_155_w(self):
+        assert IDLE_POWER_W == pytest.approx(1.55)
+
+    def test_decompress_power_is_285_w(self):
+        assert DECOMPRESS_POWER_W == pytest.approx(2.85)
+
+    def test_sleep_decompress_power_is_170_w(self):
+        """'letting pd equal to 1.70' (Section 4.2)."""
+        assert DECOMPRESS_SLEEP_POWER_W == pytest.approx(1.70)
+
+    def test_recv_active_power_from_m(self):
+        # m = 2.486 J/MB over 1.0 s/MB of active receive.
+        assert RECV_ACTIVE_POWER_W == pytest.approx(2.486)

@@ -1,0 +1,145 @@
+"""Radio idle-period power management policies."""
+
+import random
+
+import pytest
+
+from repro.device.powersave import (
+    AdaptiveTimeoutPolicy,
+    AlwaysOnPolicy,
+    compare_policies,
+    run_trace,
+    SessionTrace,
+    StaticPowerSavePolicy,
+    TimeoutSleepPolicy,
+)
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+def make_trace(n=10, gap_s=5.0, raw_mb=0.5, factor=4.0, seed=None):
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(n):
+        gap = gap_s if seed is None else rng.uniform(0.2 * gap_s, 1.8 * gap_s)
+        requests.append((mb(raw_mb), factor, gap))
+    return SessionTrace(requests=requests)
+
+
+class TestPolicies:
+    def test_always_on_spends_gap_idle(self):
+        outcome = AlwaysOnPolicy().spend_gap(3.0)
+        assert outcome.idle_s == 3.0
+        assert outcome.power_save_s == 0.0
+        assert outcome.wake_latency_s == 0.0
+
+    def test_static_power_save(self):
+        outcome = StaticPowerSavePolicy().spend_gap(3.0)
+        assert outcome.power_save_s == 3.0
+        assert StaticPowerSavePolicy().resumes_in_power_save
+
+    def test_timeout_short_gap_stays_idle(self):
+        policy = TimeoutSleepPolicy(timeout_s=2.0)
+        outcome = policy.spend_gap(1.0)
+        assert outcome.idle_s == 1.0
+        assert outcome.power_save_s == 0.0
+
+    def test_timeout_long_gap_sleeps(self):
+        policy = TimeoutSleepPolicy(timeout_s=2.0, wake_latency_s=0.05)
+        outcome = policy.spend_gap(10.0)
+        assert outcome.idle_s == 2.0
+        assert outcome.power_save_s == 8.0
+        assert outcome.wake_latency_s == 0.05
+
+    def test_timeout_validation(self):
+        with pytest.raises(ModelError):
+            TimeoutSleepPolicy(timeout_s=-1)
+
+    def test_adaptive_tracks_gaps(self):
+        policy = AdaptiveTimeoutPolicy(initial_timeout_s=1.0, fraction=0.25, alpha=0.5)
+        for _ in range(20):
+            policy.observe(20.0)
+        long_timeout = policy.timeout_s
+        for _ in range(20):
+            policy.observe(0.4)
+        short_timeout = policy.timeout_s
+        assert long_timeout > short_timeout
+        assert long_timeout == pytest.approx(0.25 * 20.0, rel=0.1)
+
+    def test_adaptive_bounds(self):
+        policy = AdaptiveTimeoutPolicy(min_timeout_s=0.5, max_timeout_s=2.0)
+        for _ in range(50):
+            policy.observe(1000.0)
+        assert policy.timeout_s == 2.0
+        for _ in range(50):
+            policy.observe(0.001)
+        assert policy.timeout_s == 0.5
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ModelError):
+            AdaptiveTimeoutPolicy(alpha=0)
+        with pytest.raises(ModelError):
+            AdaptiveTimeoutPolicy(fraction=2.0)
+
+
+class TestRunTrace:
+    def test_energy_accounting_consistent(self, model):
+        trace = make_trace(n=5)
+        result = run_trace(trace, AlwaysOnPolicy(), model)
+        assert result.energy_j == pytest.approx(
+            result.timeline.total_energy_j
+        )
+        assert result.energy_j == pytest.approx(
+            result.transfer_energy_j + result.gap_energy_j, rel=1e-6
+        )
+
+    def test_power_save_cheaper_gaps_but_slower_transfers(self, model):
+        trace = make_trace(n=5, gap_s=10.0)
+        on = run_trace(trace, AlwaysOnPolicy(), model)
+        ps = run_trace(trace, StaticPowerSavePolicy(), model)
+        assert ps.gap_energy_j < on.gap_energy_j
+        assert ps.transfer_energy_j > on.transfer_energy_j  # 25% penalty
+
+    def test_long_gaps_favor_power_save_overall(self, model):
+        trace = make_trace(n=5, gap_s=30.0)
+        on = run_trace(trace, AlwaysOnPolicy(), model)
+        ps = run_trace(trace, StaticPowerSavePolicy(), model)
+        assert ps.energy_j < on.energy_j
+
+    def test_short_gaps_favor_always_on(self, model):
+        # Tiny gaps: power-save saves ~0.1 J/gap but every resumed
+        # transfer pays the 25% throughput penalty.
+        trace = make_trace(n=10, gap_s=0.1, raw_mb=1.0)
+        on = run_trace(trace, AlwaysOnPolicy(), model)
+        ps = run_trace(trace, StaticPowerSavePolicy(), model)
+        assert on.energy_j < ps.energy_j
+
+    def test_timeout_beats_always_on_with_long_gaps(self, model):
+        trace = make_trace(n=5, gap_s=20.0)
+        on = run_trace(trace, AlwaysOnPolicy(), model)
+        to = run_trace(trace, TimeoutSleepPolicy(timeout_s=1.0), model)
+        assert to.energy_j < on.energy_j
+        assert to.wake_latency_s > 0
+
+    def test_media_requests_go_raw(self, model):
+        trace = SessionTrace(requests=[(mb(1), 1.01, 1.0)])
+        result = run_trace(trace, AlwaysOnPolicy(), model)
+        assert "decompress" not in result.timeline.energy_by_tag()
+
+    def test_compare_policies_returns_all(self, model):
+        trace = make_trace(n=4, gap_s=8.0, seed=1)
+        results = compare_policies(trace, model=model)
+        names = [r.policy for r in results]
+        assert names == ["always-on", "power-save", "timeout", "adaptive-timeout"]
+
+    def test_adaptive_competitive_on_bursty_trace(self, model):
+        """Bursty gaps: adaptive should land between the static extremes."""
+        rng = random.Random(3)
+        requests = []
+        for burst in range(4):
+            for _ in range(4):
+                requests.append((mb(0.3), 4.0, rng.uniform(0.1, 0.4)))
+            requests.append((mb(0.3), 4.0, rng.uniform(30, 60)))
+        trace = SessionTrace(requests=requests)
+        results = {r.policy: r.energy_j for r in compare_policies(trace, model=model)}
+        assert results["adaptive-timeout"] < results["always-on"]

@@ -1,0 +1,93 @@
+"""Power timelines: segments, aggregation, merging."""
+
+import pytest
+
+from repro.device.timeline import PowerSegment, PowerTimeline
+from repro.errors import SimulationError
+
+
+class TestPowerSegment:
+    def test_energy_is_power_times_duration(self):
+        seg = PowerSegment(2.0, 1.5, "x")
+        assert seg.energy == pytest.approx(3.0)
+
+    def test_energy_override(self):
+        seg = PowerSegment(0.0, 0.0, "startup", energy_j=0.012)
+        assert seg.energy == 0.012
+
+    def test_current_ma(self):
+        assert PowerSegment(1.0, 1.55, "idle").current_ma == pytest.approx(310)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(SimulationError):
+            PowerSegment(-1.0, 1.0, "x")
+
+    def test_negative_power_raises(self):
+        with pytest.raises(SimulationError):
+            PowerSegment(1.0, -1.0, "x")
+
+
+class TestPowerTimeline:
+    def test_empty_totals(self):
+        tl = PowerTimeline()
+        assert tl.total_time_s == 0.0
+        assert tl.total_energy_j == 0.0
+        assert tl.average_power_w() == 0.0
+
+    def test_add_and_totals(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 2.0, "recv")
+        tl.add(0.5, 1.0, "idle")
+        assert tl.total_time_s == pytest.approx(1.5)
+        assert tl.total_energy_j == pytest.approx(2.5)
+        assert tl.average_power_w() == pytest.approx(2.5 / 1.5)
+
+    def test_zero_duration_without_energy_skipped(self):
+        tl = PowerTimeline()
+        tl.add(0.0, 5.0, "noop")
+        assert len(tl) == 0
+
+    def test_add_energy(self):
+        tl = PowerTimeline()
+        tl.add_energy(0.012, "startup")
+        assert tl.total_energy_j == pytest.approx(0.012)
+        assert tl.total_time_s == 0.0
+
+    def test_tag_breakdowns(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 2.0, "recv")
+        tl.add(2.0, 1.0, "idle")
+        tl.add(1.0, 2.0, "recv")
+        assert tl.time_by_tag() == {"recv": 2.0, "idle": 2.0}
+        assert tl.energy_by_tag()["recv"] == pytest.approx(4.0)
+
+    def test_merged_coalesces_adjacent(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 2.0, "recv")
+        tl.add(1.0, 2.0, "recv")
+        tl.add(1.0, 1.0, "idle")
+        merged = tl.merged()
+        assert len(merged) == 2
+        assert merged.segments[0].duration_s == pytest.approx(2.0)
+        assert merged.total_energy_j == pytest.approx(tl.total_energy_j)
+
+    def test_merged_keeps_energy_overrides_separate(self):
+        tl = PowerTimeline()
+        tl.add_energy(0.1, "startup")
+        tl.add_energy(0.1, "startup")
+        assert len(tl.merged()) == 2
+
+    def test_extend_and_concat(self):
+        a = PowerTimeline()
+        a.add(1.0, 1.0, "x")
+        b = PowerTimeline()
+        b.add(2.0, 1.0, "y")
+        c = PowerTimeline.concat([a, b])
+        assert c.total_time_s == pytest.approx(3.0)
+        a.extend(b)
+        assert a.total_time_s == pytest.approx(3.0)
+
+    def test_iteration(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 1.0, "x")
+        assert [seg.tag for seg in tl] == ["x"]

@@ -1,0 +1,129 @@
+"""Property-based invariants across the whole stack."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import units
+from repro.core.energy_model import EnergyModel
+from repro.simulator.analytic import AnalyticSession
+
+MODEL = EnergyModel()
+SESSION = AnalyticSession(MODEL)
+
+sizes = st.integers(min_value=1, max_value=16 * 2**20)
+factors = st.floats(min_value=1.0, max_value=40.0, allow_nan=False)
+
+
+class TestModelInvariants:
+    @given(sizes)
+    def test_download_energy_positive_and_monotone(self, s):
+        e = MODEL.download_energy_j(s)
+        assert e > 0
+        assert MODEL.download_energy_j(s + 1024) >= e
+
+    @given(sizes, factors)
+    def test_interleaved_never_above_sequential(self, s, f):
+        sc = max(1, int(s / f))
+        assert MODEL.interleaved_energy_j(s, sc) <= MODEL.sequential_energy_j(
+            s, sc
+        ) + 1e-9
+
+    @given(sizes, factors)
+    def test_energy_decreasing_in_factor(self, s, f):
+        """More compression never costs more energy under interleaving
+        (for a fixed raw size, sc strictly shrinks)."""
+        sc1 = max(1, int(s / f))
+        sc2 = max(1, int(s / (f + 1.0)))
+        assume(sc2 < sc1)
+        e1 = MODEL.interleaved_energy_j(s, sc1)
+        e2 = MODEL.interleaved_energy_j(s, sc2)
+        assert e2 <= e1 + 1e-9
+
+    @given(sizes, factors)
+    def test_idle_times_nonnegative_and_bounded(self, s, f):
+        sc = max(1, int(s / f))
+        ti_prime, ti_dprime = MODEL.idle_times(s, sc)
+        assert ti_prime >= 0
+        assert ti_dprime >= 0
+        total = MODEL.total_idle_time_s(sc)
+        assert ti_prime + ti_dprime == pytest.approx(total, rel=1e-6)
+
+    @given(sizes, factors)
+    def test_eq5_matches_eq3_composition(self, s, f):
+        assert MODEL.closed_form_energy_j(s, f) == pytest.approx(
+            MODEL.interleaved_energy_j(s, s / f), rel=1e-9
+        )
+
+    @given(sizes)
+    def test_decompression_time_monotone_in_both_sizes(self, s):
+        t1 = MODEL.decompression_time_s(s, s // 2)
+        t2 = MODEL.decompression_time_s(s + 4096, s // 2)
+        t3 = MODEL.decompression_time_s(s, s // 2 + 4096)
+        assert t2 >= t1
+        assert t3 >= t1
+
+
+class TestSessionInvariants:
+    @given(sizes, factors)
+    @settings(max_examples=50, deadline=None)
+    def test_timeline_totals_match_result(self, s, f):
+        sc = max(1, int(s / f))
+        result = SESSION.precompressed(s, sc, interleave=True)
+        assert result.timeline.total_energy_j == pytest.approx(result.energy_j)
+        assert result.timeline.total_time_s == pytest.approx(result.time_s)
+
+    @given(sizes, factors)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_breakdown_sums_to_total(self, s, f):
+        sc = max(1, int(s / f))
+        result = SESSION.precompressed(s, sc, interleave=False)
+        assert sum(result.energy_breakdown().values()) == pytest.approx(
+            result.energy_j
+        )
+
+    @given(sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_raw_session_time_is_link_time(self, s):
+        result = SESSION.raw(s)
+        assert result.time_s == pytest.approx(
+            units.bytes_to_mb(s) / MODEL.params.rate_mb_per_s
+        )
+
+
+class TestThresholdInvariants:
+    @given(sizes, factors)
+    def test_worthwhile_implies_net_saving(self, s, f):
+        """If the model-derived Equation 6 says compress, the modelled
+        energies agree — by construction, but the composition must hold."""
+        from repro.core import thresholds
+
+        assume(f > 1.0)
+        sc = s / f
+        if thresholds.compression_worthwhile(s, f, MODEL):
+            assert MODEL.interleaved_energy_j(s, sc) < MODEL.download_energy_j(s)
+
+    @given(st.integers(min_value=1, max_value=3899))
+    def test_below_3900_never_worthwhile_paper(self, s):
+        from repro.core import thresholds
+
+        assert not thresholds.paper_condition(s, 1e9)
+
+
+class TestDesVsAnalyticProperty:
+    @given(
+        st.integers(min_value=50_000, max_value=4 * 2**20),
+        st.floats(min_value=1.05, max_value=25.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_band(self, s, f):
+        """Block-lumping effects shrink with block count, so the band is
+        tight for many-block files and wider for few-block ones — matching
+        the paper's own large-vs-small error split (2.5% vs 9.1%)."""
+        from repro.simulator.des import DesSession
+
+        des = DesSession(MODEL)
+        sc = max(1, int(s / f))
+        a = SESSION.precompressed(s, sc, interleave=True)
+        d = des.precompressed(s, sc, interleave=True)
+        tolerance = 0.05 if s > 2**20 else 0.10
+        assert d.energy_j == pytest.approx(a.energy_j, rel=tolerance)

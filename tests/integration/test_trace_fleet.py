@@ -1,0 +1,136 @@
+"""Zipf traces driving the multi-client fleet simulation."""
+
+import pytest
+
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from repro.workload.traces import ZipfTraceGenerator
+
+
+def requests_from_trace(trace, clients=4):
+    """Round-robin the trace's entries over a set of clients."""
+    requests = []
+    t = 0.0
+    for entry in trace:
+        t += entry.inter_arrival_s
+        requests.append(
+            Request(
+                client=f"c{entry.index % clients}",
+                name=entry.name,
+                raw_bytes=entry.raw_bytes,
+                factor=entry.gzip_factor,
+                arrival_s=t,
+            )
+        )
+    return requests
+
+
+class TestTraceDrivenFleet:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        # Scale gaps down so the trace actually contends for the medium.
+        return ZipfTraceGenerator(zipf_alpha=0.9, mean_gap_s=2.0, seed=21).generate(30)
+
+    def test_all_requests_complete(self, trace, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(requests_from_trace(trace))
+        assert len(report.outcomes) == len(trace)
+        for outcome in report.outcomes:
+            assert outcome.finish_s >= outcome.start_s >= outcome.request.arrival_s
+
+    def test_advised_beats_raw_on_real_mix(self, trace, model):
+        """The advisor always beats forced-raw.  Note it does NOT have to
+        beat forced-compressed under contention: Equation 6 is a
+        single-device criterion, and shrinking marginal-factor transfers
+        also cuts every *other* device's queue-waiting energy — the
+        fleet-level break-even factor sits below 1.13.  (An emergent
+        result of the fleet model; see EXPERIMENTS.md.)"""
+        simulation = MultiClientSimulation(model)
+        reports = simulation.compare_strategies(requests_from_trace(trace))
+        advised = reports["advised"].total_energy_j
+        raw = reports["raw"].total_energy_j
+        compressed = reports["compressed"].total_energy_j
+        assert advised <= raw * 1.0001
+        # The single-device rule gets close to, but is beatable by,
+        # always-compress under heavy contention.
+        assert advised <= compressed * 1.15
+
+    def test_fleet_advised_recovers_the_gap(self, trace, model):
+        """The fleet-advised strategy (contention-aware Equation 6)
+        should close most of the gap between single-device-advised and
+        the best forced strategy on a contended trace."""
+        simulation = MultiClientSimulation(model)
+        base = requests_from_trace(trace)
+
+        def total(strategy):
+            forced = [
+                Request(r.client, r.name, r.raw_bytes, r.factor, r.arrival_s,
+                        strategy=strategy)
+                for r in base
+            ]
+            return simulation.run(forced).total_energy_j
+
+        advised = total("advised")
+        fleet = total("fleet-advised")
+        best_forced = min(total("raw"), total("compressed"))
+        assert fleet <= advised * 1.0001
+        assert fleet <= best_forced * 1.05
+
+    def test_fleet_breakeven_below_single_device(self, model):
+        """Make the contention effect explicit: a factor-1.10 file (below
+        Equation 6's 1.13) is worth compressing once four devices queue
+        behind each other."""
+        simulation = MultiClientSimulation(model)
+        burst = [
+            Request(f"c{i}", f"f{i}", 4 * 2**20, 1.10, 0.0, strategy="raw")
+            for i in range(4)
+        ]
+        forced = [
+            Request(r.client, r.name, r.raw_bytes, r.factor, r.arrival_s,
+                    strategy="compressed")
+            for r in burst
+        ]
+        raw_fleet = simulation.run(burst).total_energy_j
+        comp_fleet = simulation.run(forced).total_energy_j
+        # Single device: compression at F=1.10 loses (Equation 6)...
+        single_raw = simulation.session.raw(4 * 2**20).energy_j
+        single_comp = simulation.session.precompressed(
+            4 * 2**20, int(4 * 2**20 / 1.10), interleave=True
+        ).energy_j
+        assert single_comp > single_raw
+        # ...but the fleet of four wins with it.
+        assert comp_fleet < raw_fleet
+
+    def test_media_requests_resolved_raw(self, trace, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(requests_from_trace(trace))
+        for outcome in report.outcomes:
+            if outcome.request.factor <= 1.05:
+                assert outcome.strategy == "raw"
+
+    def test_fifo_per_link(self, trace, model):
+        """Transfers on the single link never overlap."""
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(requests_from_trace(trace))
+        spans = sorted(
+            (o.start_s, o.finish_s) for o in report.outcomes
+        )
+        for (s1, f1), (s2, _) in zip(spans, spans[1:]):
+            assert s2 >= f1 - 1e-9
+
+    def test_contention_raises_latency_vs_idle_network(self, trace, model):
+        simulation = MultiClientSimulation(model)
+        contended = simulation.run(requests_from_trace(trace))
+        # The same trace with huge gaps never queues.
+        spread = [
+            Request(
+                client=r.client,
+                name=r.name,
+                raw_bytes=r.raw_bytes,
+                factor=r.factor,
+                arrival_s=i * 1000.0,
+            )
+            for i, r in enumerate(requests_from_trace(trace))
+        ]
+        idle = simulation.run(spread)
+        assert contended.mean_wait_s > idle.mean_wait_s
+        assert idle.mean_wait_s == pytest.approx(0.0, abs=1e-9)

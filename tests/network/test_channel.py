@@ -1,0 +1,96 @@
+"""Channel conditions and 802.11b rate adaptation."""
+
+import pytest
+
+from repro import units
+from repro.errors import ModelError
+from repro.network import channel
+
+
+class TestEffectiveRate:
+    def test_anchors_exact(self):
+        assert channel.effective_rate_bps(11.0) == units.EFFECTIVE_RATE_11MBPS_BPS
+        assert channel.effective_rate_bps(2.0) == units.EFFECTIVE_RATE_2MBPS_BPS
+
+    def test_monotone_in_nominal(self):
+        rates = [channel.effective_rate_bps(r) for r in (1.0, 2.0, 5.5, 11.0)]
+        assert rates == sorted(rates)
+
+    def test_interpolated_rungs_sane(self):
+        r55 = channel.effective_rate_bps(5.5)
+        assert channel.effective_rate_bps(2.0) < r55 < channel.effective_rate_bps(11.0)
+
+    def test_idle_fraction_anchors(self):
+        assert channel.idle_fraction(11.0) == pytest.approx(0.40, abs=0.01)
+        assert channel.idle_fraction(2.0) == pytest.approx(0.815, abs=0.02)
+
+    def test_idle_fraction_rises_as_rate_falls(self):
+        fracs = [channel.idle_fraction(r) for r in (11.0, 5.5, 2.0, 1.0)]
+        assert fracs == sorted(fracs)
+
+
+class TestLinkForRate:
+    def test_all_ladder_rungs(self):
+        for rate in channel.RATE_LADDER_MBPS:
+            link = channel.link_for_rate(rate)
+            assert link.nominal_rate_bps == rate * 1e6
+            assert 0 < link.effective_rate_bps * 8 <= link.nominal_rate_bps
+
+    def test_off_ladder_rejected(self):
+        with pytest.raises(ModelError):
+            channel.link_for_rate(54.0)
+
+    def test_power_save_flag(self):
+        link = channel.link_for_rate(11.0, power_save=True)
+        assert link.power_save
+
+
+class TestChannelCondition:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            channel.ChannelCondition(distance_m=0)
+        with pytest.raises(ModelError):
+            channel.ChannelCondition(distance_m=5, obstacles=-1)
+
+    def test_quality_falls_with_distance(self):
+        near = channel.ChannelCondition(5.0)
+        far = channel.ChannelCondition(80.0)
+        assert near.quality_db > far.quality_db
+
+    def test_obstacles_cost_quality(self):
+        open_air = channel.ChannelCondition(20.0)
+        walled = channel.ChannelCondition(20.0, obstacles=2)
+        assert walled.quality_db == pytest.approx(open_air.quality_db - 12.0)
+
+
+class TestRateSelection:
+    def test_close_gets_full_rate(self):
+        assert channel.select_rate(channel.ChannelCondition(5.0)) == 11.0
+
+    def test_rate_degrades_with_distance(self):
+        rates = [
+            channel.select_rate(channel.ChannelCondition(d))
+            for d in (5, 40, 90, 130)
+        ]
+        numeric = [r for r in rates if r]
+        assert numeric == sorted(numeric, reverse=True)
+        assert rates[0] == 11.0
+
+    def test_out_of_range(self):
+        assert channel.select_rate(channel.ChannelCondition(500.0)) is None
+        with pytest.raises(ModelError):
+            channel.link_for_condition(channel.ChannelCondition(500.0))
+
+    def test_walls_drop_the_rate(self):
+        d = 30.0
+        open_rate = channel.select_rate(channel.ChannelCondition(d))
+        walled_rate = channel.select_rate(channel.ChannelCondition(d, obstacles=2))
+        assert walled_rate is None or walled_rate < open_rate
+
+    def test_link_for_condition_integrates(self, model):
+        from repro.core.energy_model import EnergyModel
+
+        near = EnergyModel(link=channel.link_for_condition(channel.ChannelCondition(5)))
+        far = EnergyModel(link=channel.link_for_condition(channel.ChannelCondition(100)))
+        # Farther = slower = more energy per MB.
+        assert far.download_energy_j(2**20) > near.download_energy_j(2**20)

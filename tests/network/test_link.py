@@ -1,0 +1,80 @@
+"""Receive planning and the Equation 4 block split."""
+
+import pytest
+
+from repro import units
+from repro.errors import ModelError
+from repro.network.link import plan_receive
+from repro.network.wlan import LINK_11MBPS
+from tests.conftest import mb
+
+
+class TestPlanReceive:
+    def test_uncompressed_blocks(self):
+        plan = plan_receive(mb(1), mb(1), LINK_11MBPS)
+        assert plan.total_bytes == mb(1)
+        assert sum(b.raw_bytes for b in plan.blocks) == mb(1)
+        assert sum(b.compressed_bytes for b in plan.blocks) == pytest.approx(
+            mb(1), abs=len(plan.blocks)
+        )
+
+    def test_blocks_are_raw_block_sized(self):
+        plan = plan_receive(mb(0.5), mb(2), LINK_11MBPS)
+        for block in plan.blocks[:-1]:
+            assert block.raw_bytes == units.BLOCK_SIZE_BYTES
+
+    def test_total_time_matches_link(self):
+        sc = mb(0.5)
+        plan = plan_receive(sc, mb(2), LINK_11MBPS)
+        assert plan.total_time_s == pytest.approx(
+            LINK_11MBPS.download_time_s(sc), rel=1e-6
+        )
+
+    def test_small_file_single_block(self):
+        plan = plan_receive(3000, 6000, LINK_11MBPS)
+        assert len(plan.blocks) == 1
+        assert plan.tail_idle_s == 0.0
+
+    def test_empty_file(self):
+        plan = plan_receive(0, 0, LINK_11MBPS)
+        assert plan.blocks == []
+        assert plan.total_time_s == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ModelError):
+            plan_receive(-1, 10, LINK_11MBPS)
+
+    def test_bad_block_size_raises(self):
+        with pytest.raises(ModelError):
+            plan_receive(10, 10, LINK_11MBPS, block_bytes=0)
+
+
+class TestEquation4Correspondence:
+    """plan_receive's idle split must equal the paper's ti'/ti''."""
+
+    @pytest.mark.parametrize("s_mb,factor", [(1, 4.0), (8, 14.64), (0.5, 2.0)])
+    def test_large_file_split(self, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        plan = plan_receive(sc, s, LINK_11MBPS)
+        # Equation 4: ti'' = 0.4 * (0.128 * sc/s) / 0.6 with sizes in MB.
+        sc_mb = sc / 2**20
+        expected_dprime = 0.4 * (0.128 * sc_mb / s_mb) / 0.6
+        expected_prime = 0.4 * (sc_mb - 0.128 * sc_mb / s_mb) / 0.6
+        assert plan.first_block_idle_s == pytest.approx(expected_dprime, rel=1e-3)
+        assert plan.tail_idle_s == pytest.approx(expected_prime, rel=1e-3)
+
+    def test_small_file_all_idle_in_first_block(self):
+        s = mb(0.1)
+        sc = mb(0.05)
+        plan = plan_receive(sc, s, LINK_11MBPS)
+        expected = 0.4 * 0.05 / 0.6
+        assert plan.first_block_idle_s == pytest.approx(expected, rel=1e-3)
+        assert plan.tail_idle_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_energy_model_idle_times(self, model):
+        s, sc = mb(3), mb(1)
+        plan = plan_receive(sc, s, LINK_11MBPS)
+        ti_prime, ti_dprime = model.idle_times(s, sc)
+        assert plan.tail_idle_s == pytest.approx(ti_prime, rel=1e-3)
+        assert plan.first_block_idle_s == pytest.approx(ti_dprime, rel=1e-3)

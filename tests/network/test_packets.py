@@ -1,0 +1,54 @@
+"""Packetization."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.network.packets import Packetizer
+from repro.network.wlan import LINK_11MBPS
+from tests.conftest import mb
+
+
+class TestPacketizer:
+    def test_packet_count_exact_multiple(self):
+        assert Packetizer(1000).packet_count(5000) == 5
+
+    def test_packet_count_rounds_up(self):
+        assert Packetizer(1460).packet_count(1461) == 2
+
+    def test_zero_bytes(self):
+        assert Packetizer().packet_count(0) == 0
+        schedule = Packetizer().schedule(0, LINK_11MBPS)
+        assert len(schedule) == 0
+        assert schedule.total_time_s == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ModelError):
+            Packetizer().packet_count(-5)
+
+    def test_invalid_payload(self):
+        with pytest.raises(ModelError):
+            Packetizer(0)
+
+    def test_schedule_preserves_bytes(self):
+        schedule = Packetizer(1460).schedule(100_000, LINK_11MBPS)
+        assert schedule.total_bytes == 100_000
+        assert schedule.packets[-1].payload_bytes == 100_000 % 1460
+
+    def test_schedule_total_time_matches_link(self):
+        n = mb(1)
+        schedule = Packetizer().schedule(n, LINK_11MBPS)
+        assert schedule.total_time_s == pytest.approx(LINK_11MBPS.download_time_s(n))
+
+    def test_schedule_idle_share_matches_link(self):
+        n = mb(2)
+        schedule = Packetizer().schedule(n, LINK_11MBPS)
+        assert schedule.idle_time_s / schedule.total_time_s == pytest.approx(0.40)
+
+    def test_per_packet_gap_after_active(self):
+        schedule = Packetizer(1460).schedule(4380, LINK_11MBPS)
+        for pkt in schedule:
+            assert pkt.gap_s == pytest.approx(pkt.active_s * 0.4 / 0.6)
+
+    def test_iteration_order(self):
+        schedule = Packetizer(100).schedule(350, LINK_11MBPS)
+        assert [p.index for p in schedule] == [0, 1, 2, 3]

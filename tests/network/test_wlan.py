@@ -1,0 +1,92 @@
+"""802.11b link model."""
+
+import pytest
+
+from repro import units
+from repro.errors import ModelError
+from repro.network.wlan import LINK_11MBPS, LINK_2MBPS, LinkConfig
+from tests.conftest import mb
+
+
+class TestOperatingPoints:
+    def test_11mbps_rate(self):
+        assert LINK_11MBPS.delivered_rate_mbps == pytest.approx(0.6)
+        assert LINK_11MBPS.idle_fraction == 0.40
+
+    def test_2mbps_rate(self):
+        assert LINK_2MBPS.delivered_rate_mbps == pytest.approx(180 / 1024)
+        assert LINK_2MBPS.idle_fraction == 0.815
+
+    def test_download_time_1mb_at_11mbps(self):
+        assert LINK_11MBPS.download_time_s(mb(1)) == pytest.approx(1 / 0.6)
+
+    def test_active_plus_idle_equals_total(self):
+        n = mb(3)
+        assert LINK_11MBPS.active_time_s(n) + LINK_11MBPS.idle_time_s(
+            n
+        ) == pytest.approx(LINK_11MBPS.download_time_s(n))
+
+    def test_idle_share_matches_fraction(self):
+        n = mb(2)
+        assert LINK_11MBPS.idle_time_s(n) / LINK_11MBPS.download_time_s(
+            n
+        ) == pytest.approx(0.40)
+
+
+class TestPowerSave:
+    def test_power_save_cuts_rate_25_percent(self):
+        ps = LINK_11MBPS.with_power_save(True)
+        assert ps.delivered_rate_bps == pytest.approx(
+            LINK_11MBPS.effective_rate_bps * 0.75
+        )
+
+    def test_power_save_slows_download(self):
+        ps = LINK_11MBPS.with_power_save(True)
+        assert ps.download_time_s(mb(1)) > LINK_11MBPS.download_time_s(mb(1))
+
+    def test_with_power_save_false_is_identity(self):
+        assert LINK_11MBPS.with_power_save(False).delivered_rate_bps == (
+            LINK_11MBPS.delivered_rate_bps
+        )
+
+
+class TestDegraded:
+    def test_rate_scales(self):
+        weak = LINK_11MBPS.degraded(0.5)
+        assert weak.effective_rate_bps == pytest.approx(
+            LINK_11MBPS.effective_rate_bps * 0.5
+        )
+
+    def test_idle_fraction_rises(self):
+        """Slower delivery with constant per-byte CPU work leaves the CPU
+        idle a larger share of the time."""
+        weak = LINK_11MBPS.degraded(0.25)
+        assert weak.idle_fraction > LINK_11MBPS.idle_fraction
+
+    def test_explicit_idle_fraction(self):
+        weak = LINK_11MBPS.degraded(0.3, idle_fraction=0.8)
+        assert weak.idle_fraction == 0.8
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ModelError):
+            LINK_11MBPS.degraded(0.0)
+        with pytest.raises(ModelError):
+            LINK_11MBPS.degraded(1.5)
+
+
+class TestValidation:
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ModelError):
+            LINK_11MBPS.download_time_s(-1)
+
+    def test_effective_above_nominal_rejected(self):
+        with pytest.raises(ModelError):
+            LinkConfig("bad", 1e6, 1e6, 0.1)
+
+    def test_bad_idle_fraction_rejected(self):
+        with pytest.raises(ModelError):
+            LinkConfig("bad", 1e7, 1e5, 1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ModelError):
+            LinkConfig("bad", 1e7, 0.0, 0.4)

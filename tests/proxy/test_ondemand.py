@@ -1,0 +1,81 @@
+"""On-demand compression pipeline (Section 5)."""
+
+import pytest
+
+from repro import units
+from repro.errors import ModelError
+from repro.network.wlan import LINK_11MBPS
+from repro.proxy.cpu import PROXY_PIII
+from repro.proxy.ondemand import OnDemandPipeline
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return OnDemandPipeline(LINK_11MBPS, PROXY_PIII)
+
+
+class TestSchedule:
+    def test_block_accounting(self, pipeline):
+        timing = pipeline.schedule(mb(1), mb(0.5), "gzip")
+        assert sum(timing.block_raw) == mb(1)
+        assert sum(timing.block_compressed) == pytest.approx(mb(0.5), abs=8)
+        assert len(timing.arrival_s) == len(timing.block_raw)
+
+    def test_arrivals_monotone(self, pipeline):
+        timing = pipeline.schedule(mb(2), mb(1), "gzip")
+        assert timing.arrival_s == sorted(timing.arrival_s)
+        for done, start in zip(timing.compress_done_s, timing.tx_start_s):
+            assert start >= done - 1e-12
+
+    def test_low_factor_masks_compression(self, pipeline):
+        """Transmission is slow (low factor) so gzip keeps ahead: the
+        paper's 'compression almost completely overlaps' observation."""
+        timing = pipeline.schedule(mb(4), mb(3), "gzip")
+        assert timing.compression_masked
+        assert timing.link_stall_s == pytest.approx(
+            timing.tx_start_s[0], abs=1e-9
+        )
+
+    def test_high_factor_with_slow_codec_stalls_link(self, pipeline):
+        """bzip2 at high factor cannot keep the link busy."""
+        timing = pipeline.schedule(mb(4), int(mb(4) / 15), "bzip2")
+        assert not timing.compression_masked
+        assert timing.link_stall_s > 0.5
+
+    def test_makespan_lower_bounds(self, pipeline):
+        raw, comp = mb(4), mb(1)
+        timing = pipeline.schedule(raw, comp, "gzip")
+        tx_total = LINK_11MBPS.download_time_s(comp)
+        comp_total = PROXY_PIII.compress_time_s("gzip", raw, comp)
+        assert timing.makespan_s >= max(tx_total, comp_total) - 1e-9
+
+    def test_sequential_makespan(self, pipeline):
+        raw, comp = mb(2), mb(1)
+        seq = pipeline.sequential_makespan_s(raw, comp, "gzip")
+        overlapped = pipeline.schedule(raw, comp, "gzip").makespan_s
+        assert overlapped < seq
+
+    def test_empty_file(self, pipeline):
+        timing = pipeline.schedule(0, 0, "gzip")
+        assert timing.makespan_s >= 0
+
+    def test_negative_raises(self, pipeline):
+        with pytest.raises(ModelError):
+            pipeline.schedule(-1, 0, "gzip")
+
+    def test_bad_block_size(self):
+        with pytest.raises(ModelError):
+            OnDemandPipeline(LINK_11MBPS, block_bytes=0)
+
+
+class TestBlockGranularity:
+    def test_block_count(self, pipeline):
+        timing = pipeline.schedule(mb(1), mb(0.5), "gzip")
+        expected = (mb(1) + units.BLOCK_SIZE_BYTES - 1) // units.BLOCK_SIZE_BYTES
+        assert len(timing.block_raw) == expected
+
+    def test_custom_block_size(self):
+        pipeline = OnDemandPipeline(LINK_11MBPS, block_bytes=mb(1))
+        timing = pipeline.schedule(mb(3), mb(1), "gzip")
+        assert len(timing.block_raw) == 3

@@ -1,0 +1,135 @@
+"""The proxy serving policy."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition
+from repro.network.wlan import LINK_2MBPS
+from repro.proxy.policy import (
+    DeviceProfile,
+    ServingLedger,
+    ServingPolicy,
+)
+from repro.workload.manifest import FileType
+from tests.conftest import mb
+
+
+@pytest.fixture
+def policy():
+    return ServingPolicy()
+
+
+@pytest.fixture
+def desk_profile():
+    return DeviceProfile(name="desk")
+
+
+class TestDeviceProfile:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DeviceProfile(name="x", battery_fraction=1.5)
+        with pytest.raises(ModelError):
+            DeviceProfile(name="x", quality_floor=0)
+
+    def test_at_position_rate_adapts(self):
+        near = DeviceProfile.at("near", ChannelCondition(5))
+        far = DeviceProfile.at("far", ChannelCondition(100))
+        assert near.link.nominal_rate_bps > far.link.nominal_rate_bps
+
+    def test_quality_floor_relaxes_on_low_battery(self):
+        fresh = DeviceProfile(name="x", battery_fraction=0.9)
+        dying = DeviceProfile(name="x", battery_fraction=0.1)
+        assert dying.effective_quality_floor < fresh.effective_quality_floor
+
+
+class TestDecisions:
+    def test_compressible_text_compresses(self, policy, desk_profile):
+        decision = policy.decide(desk_profile, mb(2), 3.8, FileType.HTML)
+        assert decision.mechanism == "compress"
+        assert decision.saving_fraction > 0.4
+
+    def test_marginal_factor_ships_raw_at_desk(self, policy, desk_profile):
+        decision = policy.decide(desk_profile, mb(2), 1.10, FileType.BINARY)
+        assert decision.mechanism == "raw"
+
+    def test_marginal_factor_compresses_on_weak_link(self, policy):
+        weak = DeviceProfile(name="far", link=LINK_2MBPS)
+        decision = policy.decide(weak, mb(2), 1.10, FileType.BINARY)
+        assert decision.mechanism == "compress"
+
+    def test_marginal_factor_compresses_under_load(self, desk_profile):
+        loaded = ServingPolicy(contenders=4)
+        decision = loaded.decide(desk_profile, mb(2), 1.10, FileType.BINARY)
+        assert decision.mechanism == "compress"
+
+    def test_media_transcodes(self, policy, desk_profile):
+        decision = policy.decide(desk_profile, mb(2), 1.04, FileType.JPEG)
+        assert decision.mechanism == "transcode"
+        assert decision.quality >= desk_profile.effective_quality_floor
+        assert decision.saving_fraction > 0.3
+
+    def test_media_raw_when_lossy_refused(self, policy):
+        strict = DeviceProfile(name="archivist", accepts_lossy=False)
+        decision = policy.decide(strict, mb(2), 1.04, FileType.JPEG)
+        assert decision.mechanism == "raw"
+
+    def test_low_battery_accepts_deeper_transcode(self, policy):
+        fresh = DeviceProfile(name="x", battery_fraction=1.0)
+        dying = DeviceProfile(name="x", battery_fraction=0.1)
+        d_fresh = policy.decide(fresh, mb(2), 1.04, FileType.JPEG)
+        d_dying = policy.decide(dying, mb(2), 1.04, FileType.JPEG)
+        assert d_dying.quality <= d_fresh.quality
+        assert d_dying.estimated_energy_j <= d_fresh.estimated_energy_j
+
+    def test_adaptive_container_considered(self, policy, desk_profile):
+        from repro.core.adaptive import AdaptiveBlockCodec
+        import random
+
+        rng = random.Random(0)
+        block = 128 * 1024
+        data = (b"text " * (block // 5 + 1))[:block] + rng.getrandbits(
+            8 * block
+        ).to_bytes(block, "little")
+        result = AdaptiveBlockCodec().compress(data)
+        whole_factor = len(data) / (
+            len(data) // 2 + result.compressed_payload_bytes
+        )
+        decision = policy.decide(
+            desk_profile,
+            len(data),
+            1.3,  # whole-file factor diluted by the media half
+            FileType.TAR_HTML,
+            adaptive_result=result,
+        )
+        assert decision.mechanism in ("adaptive", "compress")
+        del whole_factor
+
+    def test_text_never_transcoded(self, policy, desk_profile):
+        decision = policy.decide(desk_profile, mb(2), 1.02, FileType.SOURCE)
+        assert decision.mechanism == "raw"  # not lossy-eligible, factor too low
+
+    def test_invalid_size(self, policy, desk_profile):
+        with pytest.raises(ModelError):
+            policy.decide(desk_profile, 0, 2.0)
+
+    def test_decision_is_argmin(self, policy, desk_profile):
+        decision = policy.decide(desk_profile, mb(4), 2.0, FileType.PDF)
+        assert decision.estimated_energy_j <= decision.plain_energy_j
+
+
+class TestLedger:
+    def test_accumulates(self, policy, desk_profile):
+        ledger = ServingLedger()
+        for name, size, factor, ftype in [
+            ("a.html", mb(1), 4.0, FileType.HTML),
+            ("b.jpg", mb(1), 1.04, FileType.JPEG),
+            ("c.bin", mb(1), 1.05, FileType.BINARY),
+        ]:
+            ledger.record(
+                desk_profile, name, policy.decide(desk_profile, size, factor, ftype)
+            )
+        counts = ledger.mechanism_counts()
+        assert counts.get("compress") == 1
+        assert counts.get("transcode") == 1
+        assert counts.get("raw") == 1
+        assert ledger.total_saving_j() > 0

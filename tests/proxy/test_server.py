@@ -1,0 +1,90 @@
+"""Proxy server: store, precompression cache, transfer plans."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.errors import WorkloadError
+from repro.proxy.server import ProxyServer
+
+
+@pytest.fixture
+def server():
+    server = ProxyServer()
+    server.put("page.html", b"<html>" + b"repeated content " * 5000 + b"</html>")
+    server.put("tiny.txt", b"hello")
+    return server
+
+
+class TestStore:
+    def test_put_get(self, server):
+        assert server.get("tiny.txt").data == b"hello"
+
+    def test_contains(self, server):
+        assert "page.html" in server
+        assert "missing" not in server
+
+    def test_names_sorted(self, server):
+        assert server.names() == ["page.html", "tiny.txt"]
+
+    def test_missing_raises(self, server):
+        with pytest.raises(WorkloadError):
+            server.get("nope")
+
+    def test_overwrite(self, server):
+        server.put("tiny.txt", b"new")
+        assert server.get("tiny.txt").data == b"new"
+
+
+class TestPrecompression:
+    def test_precompress_caches(self, server):
+        first = server.precompress("page.html", "zlib")
+        second = server.precompress("page.html", "zlib")
+        assert first is second  # cached object
+
+    def test_cache_per_codec(self, server):
+        a = server.precompress("page.html", "zlib")
+        b = server.precompress("page.html", "bz2")
+        assert a is not b
+        assert a.compressed_size != b.compressed_size
+
+    def test_adaptive_cache(self, server):
+        first = server.precompress_adaptive("page.html")
+        second = server.precompress_adaptive("page.html")
+        assert first is second
+        assert first.decisions
+
+
+class TestPlans:
+    def test_plan_raw(self, server):
+        plan = server.plan_raw("page.html")
+        assert plan.transfer_bytes == plan.raw_bytes
+        assert plan.codec is None
+        assert plan.proxy_compress_s == 0.0
+        assert plan.compression_factor == 1.0
+
+    def test_plan_precompressed(self, server):
+        plan = server.plan_precompressed("page.html", "zlib")
+        assert plan.transfer_bytes < plan.raw_bytes
+        assert plan.precompressed
+        assert plan.proxy_compress_s == 0.0
+        assert plan.compression_factor > 2
+
+    def test_plan_ondemand_charges_proxy_time(self, server):
+        plan = server.plan_ondemand("page.html", "zlib")
+        assert not plan.precompressed
+        assert plan.proxy_compress_s > 0
+
+    def test_ondemand_gzip_slower_than_compress(self, server):
+        g = server.plan_ondemand("page.html", "gzip-native")
+        c = server.plan_ondemand("page.html", "compress-native")
+        assert g.proxy_compress_s > c.proxy_compress_s
+
+    def test_plan_adaptive(self, server):
+        plan = server.plan_adaptive("page.html")
+        assert plan.adaptive is not None
+        assert plan.transfer_bytes == plan.adaptive.compressed_size
+
+    def test_plan_adaptive_custom_codec(self, server):
+        adaptive = AdaptiveBlockCodec(block_size=8192)
+        plan = server.plan_adaptive("page.html", adaptive)
+        assert plan.adaptive.decisions

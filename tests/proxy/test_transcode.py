@@ -1,0 +1,104 @@
+"""Lossy transcoding proxy model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.proxy.transcode import (
+    TranscodeProfile,
+    TranscodingProxy,
+)
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def proxy(model):
+    return TranscodingProxy(model=model)
+
+
+class TestProfile:
+    def test_full_quality_is_identity(self):
+        assert TranscodeProfile().size_factor(1.0) == pytest.approx(1.0)
+
+    def test_size_factor_grows_as_quality_drops(self):
+        profile = TranscodeProfile()
+        factors = [profile.size_factor(q) for q in (1.0, 0.7, 0.5, 0.3)]
+        assert factors == sorted(factors)
+
+    def test_exponent(self):
+        profile = TranscodeProfile(quality_exponent=2.0)
+        assert profile.size_factor(0.5) == pytest.approx(4.0)
+
+    def test_invalid_quality(self):
+        with pytest.raises(ModelError):
+            TranscodeProfile().size_factor(0.0)
+        with pytest.raises(ModelError):
+            TranscodeProfile().size_factor(1.5)
+
+    def test_transcoded_bytes(self):
+        profile = TranscodeProfile(quality_exponent=1.0)
+        assert profile.transcoded_bytes(1000, 0.5) == 500
+
+
+class TestEvaluate:
+    def test_original_always_included(self, proxy):
+        options = proxy.evaluate(mb(2))
+        originals = [o for o in options if o.is_original]
+        assert len(originals) == 1
+        assert originals[0].transfer_bytes == mb(2)
+        assert originals[0].proxy_time_s == 0.0
+
+    def test_below_floor_qualities_excluded(self, proxy):
+        options = proxy.evaluate(mb(1), qualities=(1.0, 0.1))
+        assert [o.quality for o in options] == [1.0]
+
+    def test_energy_monotone_in_quality(self, proxy):
+        options = proxy.evaluate(mb(2))
+        by_quality = sorted(options, key=lambda o: o.quality)
+        energies = [o.device_energy_j for o in by_quality]
+        assert energies == sorted(energies)
+
+    def test_proxy_time_charged_for_transcodes(self, proxy):
+        options = proxy.evaluate(mb(4))
+        for o in options:
+            if not o.is_original:
+                assert o.proxy_time_s == pytest.approx(0.25 * 4, rel=1e-6)
+
+    def test_invalid_size(self, proxy):
+        with pytest.raises(ModelError):
+            proxy.evaluate(0)
+
+
+class TestDecide:
+    def test_floor_respected(self, proxy):
+        decision = proxy.decide(mb(2), quality_floor=0.7)
+        assert decision.chosen.quality >= 0.7
+
+    def test_lower_floor_saves_more(self, proxy):
+        strict = proxy.decide(mb(2), quality_floor=0.85)
+        loose = proxy.decide(mb(2), quality_floor=0.35)
+        assert loose.saving_fraction >= strict.saving_fraction
+
+    def test_saving_fraction_meaningful(self, proxy):
+        decision = proxy.decide(mb(2), quality_floor=0.5)
+        # quality 0.5 at exponent 1.5 -> size factor ~2.8 -> big saving.
+        assert 0.5 < decision.saving_fraction < 0.8
+
+    def test_rescues_incompressible_media(self, proxy, model):
+        """The motivating case: lossless gets ~0% on a JPEG; a modest
+        transcode recovers most of the transfer energy."""
+        raw = mb(1.75)  # image01.jpg-scale
+        lossless_saving = model.net_saving_j(raw, int(raw / 1.04))
+        decision = proxy.decide(raw, quality_floor=0.5)
+        transcode_saving = (
+            model.download_energy_j(raw) - decision.chosen.device_energy_j
+        )
+        assert lossless_saving < 0  # compression loses on media
+        assert transcode_saving > model.download_energy_j(raw) * 0.4
+
+    def test_invalid_floor(self, proxy):
+        with pytest.raises(ModelError):
+            proxy.decide(mb(1), quality_floor=0)
+
+    def test_impossible_floor(self, proxy):
+        with pytest.raises(ModelError):
+            proxy.decide(mb(1), quality_floor=0.99, qualities=(0.5,))

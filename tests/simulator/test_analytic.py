@@ -1,0 +1,164 @@
+"""Analytic session evaluator vs the model equations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.session import Scenario
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def session(model):
+    return AnalyticSession(model)
+
+
+class TestRaw:
+    def test_matches_equation1(self, session, model):
+        for s in (mb(0.1), mb(1), mb(8)):
+            result = session.raw(s)
+            assert result.energy_j == pytest.approx(model.download_energy_j(s))
+            assert result.time_s == pytest.approx(model.download_time_s(s))
+            assert result.scenario is Scenario.RAW
+
+    def test_breakdown_tags(self, session):
+        result = session.raw(mb(1))
+        breakdown = result.energy_breakdown()
+        assert set(breakdown) == {"startup", "recv", "idle"}
+        assert breakdown["startup"] == pytest.approx(0.012)
+
+
+class TestPrecompressed:
+    def test_sequential_matches_equation2(self, session, model):
+        s, sc = mb(4), mb(1)
+        result = session.precompressed(s, sc, interleave=False)
+        assert result.energy_j == pytest.approx(model.sequential_energy_j(s, sc))
+        assert result.scenario is Scenario.SEQUENTIAL
+
+    def test_sleep_matches_equation2_saved(self, session, model):
+        s, sc = mb(4), mb(1)
+        result = session.precompressed(
+            s, sc, interleave=False, radio_power_save=True
+        )
+        assert result.energy_j == pytest.approx(
+            model.sequential_energy_j(s, sc, radio_power_save=True)
+        )
+        assert result.scenario is Scenario.SEQUENTIAL_SLEEP
+
+    def test_interleaved_matches_equation3(self, session, model):
+        for s_mb, f in [(4, 2), (4, 10), (8, 1.2), (0.1, 3)]:
+            s = mb(s_mb)
+            sc = int(s / f)
+            result = session.precompressed(s, sc, interleave=True)
+            assert result.energy_j == pytest.approx(
+                model.interleaved_energy_j(s, sc), rel=1e-6
+            )
+            assert result.time_s == pytest.approx(
+                model.interleaved_time_s(s, sc), rel=1e-6
+            )
+
+    def test_interleave_with_power_save_rejected(self, session):
+        with pytest.raises(ModelError):
+            session.precompressed(mb(1), mb(0.5), interleave=True, radio_power_save=True)
+
+    def test_codec_changes_energy(self, session):
+        s, sc = mb(4), mb(1)
+        gzip_e = session.precompressed(s, sc, codec="gzip").energy_j
+        bzip_e = session.precompressed(s, sc, codec="bzip2").energy_j
+        assert bzip_e > gzip_e
+
+
+class TestAdaptive:
+    def test_adaptive_session(self, session):
+        from repro.core.adaptive import AdaptiveBlockCodec
+        import random
+
+        rng = random.Random(0)
+        block = 128 * 1024
+        data = (b"text " * (block // 5 + 1))[:block] + rng.getrandbits(
+            8 * block
+        ).to_bytes(block, "little")
+        result_c = AdaptiveBlockCodec().compress(data)
+        result = session.adaptive(result_c, codec="zlib")
+        assert result.scenario is Scenario.ADAPTIVE
+        assert result.raw_bytes == len(data)
+        # Energy sits between all-compressed and raw.
+        raw_e = session.raw(len(data)).energy_j
+        assert result.energy_j < raw_e
+
+
+class TestOnDemand:
+    def test_sequential_has_wait_component(self, session):
+        result = session.ondemand(mb(4), mb(1), overlap=False)
+        assert result.scenario is Scenario.ONDEMAND_SEQUENTIAL
+        assert result.energy_breakdown()["wait-compress"] > 0
+
+    def test_sequential_more_expensive_than_precompressed(self, session):
+        s, sc = mb(4), mb(1)
+        od = session.ondemand(s, sc, overlap=False)
+        pre = session.precompressed(s, sc, interleave=False)
+        assert od.energy_j > pre.energy_j
+        assert od.time_s > pre.time_s
+
+    def test_overlap_masks_compression_when_fast(self, session, model):
+        """gzip on the proxy keeps ahead of the link at moderate factors:
+        the session costs no more than the precompressed interleaved one
+        (within the pipeline's first-block latency)."""
+        s, sc = mb(4), mb(2)
+        od = session.ondemand(s, sc, codec="gzip", overlap=True)
+        pre = session.precompressed(s, sc, interleave=True)
+        assert od.energy_j <= pre.energy_j * 1.1
+        assert od.time_s <= pre.time_s * 1.1
+
+    def test_overlap_beats_sequential(self, session):
+        s, sc = mb(4), mb(1)
+        assert session.ondemand(s, sc, overlap=True).energy_j < session.ondemand(
+            s, sc, overlap=False
+        ).energy_j
+
+
+class TestSessionResult:
+    def test_ratios(self, session):
+        raw = session.raw(mb(4))
+        comp = session.precompressed(mb(4), mb(1))
+        assert comp.energy_ratio(raw) < 1.0
+        assert comp.time_ratio(raw) < 1.0
+
+    def test_ratio_zero_baseline(self, session):
+        from repro.device.timeline import PowerTimeline
+        from repro.simulator.session import Scenario, SessionResult
+
+        empty = SessionResult.from_timeline(
+            Scenario.RAW, 0, 0, None, PowerTimeline()
+        )
+        other = session.raw(mb(1))
+        assert other.energy_ratio(empty) == float("inf")
+        assert empty.energy_ratio(empty) == 1.0
+
+    def test_report_property(self, session):
+        result = session.raw(mb(1))
+        assert result.report.total_energy_j == pytest.approx(result.energy_j)
+
+
+class TestDownloadSessionFacade:
+    def test_analytic_default(self, model):
+        from repro.simulator.session import DownloadSession
+
+        session = DownloadSession(model)
+        assert session.raw(mb(1)).energy_j == pytest.approx(
+            model.download_energy_j(mb(1))
+        )
+
+    def test_des_engine_selectable(self, model):
+        from repro.simulator.session import DownloadSession
+
+        session = DownloadSession(model, engine="des")
+        assert session.raw(mb(1)).energy_j == pytest.approx(
+            model.download_energy_j(mb(1)), rel=1e-3
+        )
+
+    def test_unknown_engine(self, model):
+        from repro.simulator.session import DownloadSession
+
+        with pytest.raises(ValueError):
+            DownloadSession(model, engine="quantum")

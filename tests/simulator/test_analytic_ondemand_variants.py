@@ -1,0 +1,65 @@
+"""On-demand variants and facade passthroughs not covered elsewhere."""
+
+import pytest
+
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.session import DownloadSession, Scenario
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def session(model):
+    return AnalyticSession(model)
+
+
+class TestOverlapWithoutInterleave:
+    def test_costs_more_than_full_pipeline(self, session):
+        """Overlapping proxy compression but decompressing sequentially
+        gives up the gap energy — strictly between the two extremes."""
+        s, sc = mb(4), mb(1)
+        full = session.ondemand(s, sc, overlap=True)
+        half = session.ondemand(s, sc, overlap=True, interleave_decompression=False)
+        serial = session.ondemand(s, sc, overlap=False)
+        assert full.energy_j <= half.energy_j + 1e-9
+        assert half.energy_j <= serial.energy_j + 1e-9
+
+    def test_decompression_after_receive(self, session):
+        s, sc = mb(2), mb(1)
+        result = session.ondemand(
+            s, sc, overlap=True, interleave_decompression=False
+        )
+        # All decompression work charged, none of it hidden.
+        td = session.model.decompression_time_s(s, sc)
+        assert result.energy_breakdown()["decompress"] == pytest.approx(
+            td * 2.85, rel=1e-6
+        )
+
+
+class TestFacadeUploadPassthrough:
+    def test_upload_methods_reachable(self, model):
+        session = DownloadSession(model)
+        raw = session.upload_raw(mb(1))
+        assert raw.scenario is Scenario.UPLOAD_RAW
+        comp = session.upload_compressed(mb(1), mb(0.5))
+        assert comp.scenario is Scenario.UPLOAD_INTERLEAVED
+
+    def test_des_facade_upload(self, model):
+        session = DownloadSession(model, engine="des")
+        raw = session.upload_raw(mb(1))
+        assert raw.scenario is Scenario.UPLOAD_RAW
+
+
+class TestPureCodecOnCorpus:
+    """The from-scratch gzip scheme tracks native zlib on real corpus
+    bytes (the corpus is calibrated against native zlib)."""
+
+    @pytest.mark.parametrize("name", ["mail2", "yahooindex.html", "umcdig.eps"])
+    def test_factor_within_band(self, name):
+        from repro.compression import get_codec
+        from repro.workload.corpus import Corpus
+
+        gf = Corpus(scale=0.05).generate(name)
+        pure = get_codec("gzip").compress(gf.data)
+        native = get_codec("zlib").compress(gf.data)
+        assert get_codec("gzip").decompress_bytes(pure.payload) == gf.data
+        assert pure.factor == pytest.approx(native.factor, rel=0.25)

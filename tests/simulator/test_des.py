@@ -1,0 +1,128 @@
+"""DES engine vs the analytic evaluator.
+
+Agreement between the packet-level replay and the closed forms is the
+internal-consistency check on Equations 1-4: where they differ, the DES
+is the more literal mechanism (block-lumped work arrival, final-block
+tail), and the difference must stay within the paper's own model-error
+band (~2.5% average for large files, Figure 7).
+"""
+
+import pytest
+
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def analytic(model):
+    return AnalyticSession(model)
+
+
+@pytest.fixture(scope="module")
+def des(model):
+    return DesSession(model)
+
+
+class TestRawAgreement:
+    @pytest.mark.parametrize("s_mb", [0.05, 0.5, 2, 8])
+    def test_energy_and_time(self, analytic, des, s_mb):
+        a = analytic.raw(mb(s_mb))
+        d = des.raw(mb(s_mb))
+        assert d.energy_j == pytest.approx(a.energy_j, rel=1e-3)
+        assert d.time_s == pytest.approx(a.time_s, rel=1e-3)
+
+
+class TestSequentialAgreement:
+    @pytest.mark.parametrize("s_mb,factor", [(2, 4), (8, 14.64), (0.1, 2)])
+    def test_energy(self, analytic, des, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        a = analytic.precompressed(s, sc, interleave=False)
+        d = des.precompressed(s, sc, interleave=False)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=2e-3)
+
+    def test_sleep_mode(self, analytic, des):
+        s, sc = mb(4), mb(1)
+        a = analytic.precompressed(s, sc, interleave=False, radio_power_save=True)
+        d = des.precompressed(s, sc, interleave=False, radio_power_save=True)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=2e-3)
+
+
+class TestInterleavedAgreement:
+    @pytest.mark.parametrize(
+        "s_mb,factor", [(8, 14.64), (4, 3.8), (2, 2.0), (1, 1.09), (0.1, 2.0)]
+    )
+    def test_within_model_error_band(self, analytic, des, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        a = analytic.precompressed(s, sc, interleave=True)
+        d = des.precompressed(s, sc, interleave=True)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.03)
+        assert d.time_s == pytest.approx(a.time_s, rel=0.04)
+
+    def test_des_never_cheaper_than_equation3(self, analytic, des):
+        """Equation 3 assumes perfect gap filling, so the literal replay
+        can only match or exceed it."""
+        for s_mb, f in [(8, 14.64), (2, 1.5), (4, 3.0)]:
+            s = mb(s_mb)
+            sc = int(s / f)
+            a = analytic.precompressed(s, sc, interleave=True)
+            d = des.precompressed(s, sc, interleave=True)
+            assert d.energy_j >= a.energy_j * 0.999
+
+
+class TestAdaptiveAgreement:
+    def test_mixed_container(self, analytic, des):
+        import random
+
+        from repro.core.adaptive import AdaptiveBlockCodec
+
+        rng = random.Random(7)
+        block = 128 * 1024
+        parts = []
+        for i in range(6):
+            if i % 2:
+                parts.append(rng.getrandbits(8 * block).to_bytes(block, "little"))
+            else:
+                parts.append((b"adaptive " * (block // 9 + 1))[:block])
+        data = b"".join(parts)
+        result = AdaptiveBlockCodec().compress(data)
+        a = analytic.adaptive(result, codec="zlib")
+        d = des.adaptive(result, codec="zlib")
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.03)
+
+
+class TestOnDemandAgreement:
+    def test_sequential(self, analytic, des):
+        s, sc = mb(4), mb(1)
+        a = analytic.ondemand(s, sc, overlap=False)
+        d = des.ondemand(s, sc, overlap=False)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=2e-3)
+
+    @pytest.mark.parametrize("s_mb,factor", [(4, 2), (4, 12), (2, 1.3)])
+    def test_overlapped(self, analytic, des, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        a = analytic.ondemand(s, sc, overlap=True)
+        d = des.ondemand(s, sc, overlap=True)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.05)
+
+
+class TestDesDetails:
+    def test_timeline_time_equals_result(self, des):
+        result = des.precompressed(mb(2), mb(1))
+        assert result.timeline.total_time_s == pytest.approx(result.time_s)
+
+    def test_energy_breakdown_has_expected_tags(self, des):
+        result = des.precompressed(mb(2), mb(1), interleave=True)
+        tags = set(result.energy_breakdown())
+        assert {"startup", "recv", "decompress"} <= tags
+
+    def test_decompress_energy_matches_td_pd(self, des, model):
+        s, sc = mb(2), mb(1)
+        result = des.precompressed(s, sc, interleave=True)
+        td = model.decompression_time_s(s, sc)
+        assert result.energy_breakdown()["decompress"] == pytest.approx(
+            td * 2.85, rel=1e-6
+        )

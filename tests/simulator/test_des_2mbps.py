@@ -1,0 +1,76 @@
+"""DES vs analytic agreement at the 2 Mb/s operating point."""
+
+import pytest
+
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def analytic(model_2mbps):
+    return AnalyticSession(model_2mbps)
+
+
+@pytest.fixture(scope="module")
+def des(model_2mbps):
+    return DesSession(model_2mbps)
+
+
+class TestRaw:
+    @pytest.mark.parametrize("s_mb", [0.1, 1, 4])
+    def test_agreement(self, analytic, des, s_mb):
+        a = analytic.raw(mb(s_mb))
+        d = des.raw(mb(s_mb))
+        assert d.energy_j == pytest.approx(a.energy_j, rel=1e-3)
+
+    def test_much_slower_than_11mbps(self, analytic, model):
+        from repro.simulator.analytic import AnalyticSession as AS
+
+        fast = AS(model)
+        assert analytic.raw(mb(1)).time_s > 3 * fast.raw(mb(1)).time_s
+
+
+class TestInterleaved:
+    @pytest.mark.parametrize("s_mb,factor", [(4, 2), (4, 14.64), (1, 5), (8, 27)])
+    def test_agreement_band(self, analytic, des, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        a = analytic.precompressed(s, sc, interleave=True)
+        d = des.precompressed(s, sc, interleave=True)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.04)
+
+    def test_idle_dominates_at_2mbps(self, des, model_2mbps):
+        """81.5% of the download is CPU-idle at this rate; without
+        interleaving almost all of it is chargeable gap time."""
+        result = des.raw(mb(2))
+        times = result.time_breakdown()
+        idle_share = times["idle"] / (times["idle"] + times["recv"])
+        assert idle_share == pytest.approx(0.815, abs=0.01)
+
+    def test_even_factor_20_cannot_fill_idle(self, des, model_2mbps):
+        """Below the factor-27 fill point, interleaving leaves idle time."""
+        s = mb(4)
+        sc = int(s / 20)
+        result = des.precompressed(s, sc, interleave=True)
+        assert result.energy_breakdown().get("idle", 0) > 0
+        # And the wall time is just the receive time (no overflow).
+        assert result.time_s == pytest.approx(
+            model_2mbps.download_time_s(sc), rel=0.02
+        )
+
+
+class TestUpload2Mbps:
+    def test_upload_raw_symmetry(self, analytic, des):
+        a = analytic.upload_raw(mb(1))
+        d = des.upload_raw(mb(1))
+        assert d.energy_j == pytest.approx(a.energy_j, rel=1e-3)
+
+    def test_slow_link_makes_device_compression_attractive(self, model, model_2mbps):
+        """At 2 Mb/s even gzip -9 on the StrongARM pays off."""
+        from repro.core.upload import UploadModel
+
+        fast = UploadModel(model)
+        slow = UploadModel(model_2mbps)
+        assert fast.factor_threshold(mb(4), codec="gzip") == float("inf")
+        assert slow.factor_threshold(mb(4), codec="gzip") < 3.0

@@ -1,0 +1,110 @@
+"""DES upload scenarios vs the analytic upload model."""
+
+import pytest
+
+from repro.core.upload import UploadModel
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.simulator.session import Scenario
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def des(model):
+    return DesSession(model)
+
+
+@pytest.fixture(scope="module")
+def analytic(model):
+    return AnalyticSession(model)
+
+
+@pytest.fixture(scope="module")
+def upload(model):
+    return UploadModel(model)
+
+
+class TestUploadRaw:
+    def test_matches_analytic(self, des, analytic):
+        for s_mb in (0.1, 1, 4):
+            a = analytic.upload_raw(mb(s_mb))
+            d = des.upload_raw(mb(s_mb))
+            assert d.energy_j == pytest.approx(a.energy_j, rel=1e-3)
+            assert d.time_s == pytest.approx(a.time_s, rel=1e-3)
+
+    def test_scenario_and_tags(self, des):
+        result = des.upload_raw(mb(1))
+        assert result.scenario is Scenario.UPLOAD_RAW
+        assert "send" in result.energy_breakdown()
+
+
+class TestUploadSequential:
+    @pytest.mark.parametrize("s_mb,factor", [(1, 2.26), (4, 5.0), (0.1, 2.0)])
+    def test_matches_upload_model(self, des, upload, s_mb, factor):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        d = des.upload_compressed(s, sc, "compress", interleave=False)
+        assert d.energy_j == pytest.approx(
+            upload.sequential_energy_j(s, sc, "compress"), rel=5e-3
+        )
+        assert d.time_s == pytest.approx(
+            upload.sequential_time_s(s, sc, "compress"), rel=5e-3
+        )
+
+
+class TestUploadInterleaved:
+    @pytest.mark.parametrize(
+        "s_mb,factor,codec",
+        [(4, 2.26, "compress"), (4, 5.0, "gzip-fast"), (1, 3.0, "compress"),
+         (0.1, 2.0, "compress")],
+    )
+    def test_within_model_band(self, des, upload, s_mb, factor, codec):
+        s = mb(s_mb)
+        sc = int(s / factor)
+        d = des.upload_compressed(s, sc, codec, interleave=True)
+        a = upload.interleaved_energy_j(s, sc, codec)
+        assert d.energy_j == pytest.approx(a, rel=0.05)
+
+    def test_never_cheaper_than_model(self, des, upload):
+        """The model assumes perfect gap packing; the replay cannot beat it."""
+        s, sc = mb(4), mb(2)
+        d = des.upload_compressed(s, sc, "compress", interleave=True)
+        assert d.energy_j >= upload.interleaved_energy_j(s, sc, "compress") * 0.995
+
+    def test_interleave_beats_sequential(self, des):
+        s, sc = mb(4), mb(2)
+        inter = des.upload_compressed(s, sc, "compress", interleave=True)
+        seq = des.upload_compressed(s, sc, "compress", interleave=False)
+        assert inter.energy_j <= seq.energy_j + 1e-9
+        assert inter.time_s <= seq.time_s + 1e-9
+
+    def test_slow_codec_starves_link(self, des):
+        """gzip -9 on the device cannot keep the link fed: send time
+        stretches far past the pure transmission time."""
+        s, sc = mb(4), mb(1)
+        result = des.upload_compressed(s, sc, "gzip", interleave=True)
+        pure_send = 1.0 / 0.6
+        assert result.time_s > pure_send * 2
+
+    def test_energy_conservation_by_tags(self, des, model):
+        s, sc = mb(2), mb(1)
+        result = des.upload_compressed(s, sc, "compress", interleave=True)
+        breakdown = result.energy_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(result.energy_j)
+        # All compression work is charged at p_d.
+        cost = model.cpu.compress_cost("compress")
+        expected_work = cost.seconds(s, sc)
+        assert breakdown["compress"] == pytest.approx(
+            expected_work * 2.85, rel=1e-3
+        )
+
+    def test_scenarios(self, des):
+        s, sc = mb(1), mb(0.5)
+        assert (
+            des.upload_compressed(s, sc, interleave=False).scenario
+            is Scenario.UPLOAD_SEQUENTIAL
+        )
+        assert (
+            des.upload_compressed(s, sc, interleave=True).scenario
+            is Scenario.UPLOAD_INTERLEAVED
+        )

@@ -1,0 +1,168 @@
+"""DES kernel semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulator
+
+
+class TestProcesses:
+    def test_sleep_advances_time(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 1.5
+            trace.append(sim.now)
+            yield 0.5
+            trace.append(sim.now)
+
+        sim.run_until_complete(sim.spawn(proc()))
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def a():
+            yield 1.0
+            order.append(("a", sim.now))
+            yield 2.0
+            order.append(("a", sim.now))
+
+        def b():
+            yield 1.5
+            order.append(("b", sim.now))
+
+        sim.spawn(a(), "a")
+        sim.spawn(b(), "b")
+        sim.run()
+        assert order == [("a", 1.0), ("b", 1.5), ("a", 3.0)]
+
+    def test_fifo_at_same_timestamp(self):
+        sim = Simulator()
+        order = []
+
+        def make(name):
+            def proc():
+                yield 1.0
+                order.append(name)
+            return proc
+
+        for name in "abc":
+            sim.spawn(make(name)())
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_sleep_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvents:
+    def test_wait_and_fire(self):
+        sim = Simulator()
+        evt = sim.event("go")
+        log = []
+
+        def waiter():
+            value = yield evt
+            log.append((sim.now, value))
+
+        def firer():
+            yield 2.0
+            evt.fire("payload")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert log == [(2.0, "payload")]
+
+    def test_wait_on_already_fired(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.fire(42)
+        got = []
+
+        def waiter():
+            value = yield evt
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_double_fire_raises(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.fire()
+        with pytest.raises(SimulationError):
+            evt.fire()
+
+    def test_wait_on_process_completion(self):
+        sim = Simulator()
+        order = []
+
+        def worker():
+            yield 3.0
+            order.append("worker-done")
+
+        def waiter(proc):
+            yield proc
+            order.append(("waited", sim.now))
+
+        w = sim.spawn(worker())
+        sim.spawn(waiter(w))
+        sim.run()
+        assert order == ["worker-done", ("waited", 3.0)]
+
+
+class TestRunControl:
+    def test_run_until_cap(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield 1.0
+
+        sim.spawn(proc())
+        assert sim.run(until=5.5) == 5.5
+
+    def test_run_until_complete_unfinished_raises(self):
+        sim = Simulator()
+        evt = sim.event()  # never fired
+
+        def proc():
+            yield evt
+
+        p = sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(p)
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield 0.001
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)

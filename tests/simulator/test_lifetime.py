@@ -1,0 +1,101 @@
+"""Battery-lifetime simulation."""
+
+import pytest
+
+from repro.device.batterylife import Battery
+from repro.device.powersave import (
+    AdaptiveTimeoutPolicy,
+    AlwaysOnPolicy,
+    StaticPowerSavePolicy,
+)
+from repro.errors import ModelError, SimulationError
+from repro.simulator.lifetime import LifetimeSimulation
+from repro.workload.traces import RequestTrace, TraceEntry
+from tests.conftest import mb
+
+
+def trace(n=10, size_mb=0.5, factor=4.0, gap_s=10.0):
+    return RequestTrace(
+        entries=[
+            TraceEntry(i, f"f{i}", mb(size_mb), factor, gap_s) for i in range(n)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def sim(model):
+    return LifetimeSimulation(model)
+
+
+class TestBasics:
+    def test_report_consistency(self, sim):
+        report = sim.run(trace(), strategy="raw")
+        assert report.requests_served > 0
+        assert report.hours > 0
+        assert report.total_energy_j <= sim.battery.usable_joules * 1.0001
+
+    def test_battery_fully_used(self, sim):
+        report = sim.run(trace(), strategy="raw")
+        # The run ends because the next step would not fit.
+        assert report.total_energy_j > sim.battery.usable_joules * 0.95
+
+    def test_empty_trace_rejected(self, sim):
+        with pytest.raises(ModelError):
+            sim.run(RequestTrace(entries=[]))
+
+    def test_unknown_strategy(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run(trace(), strategy="turbo")
+
+    def test_max_cycles_guard(self, model):
+        tiny = LifetimeSimulation(model, battery=Battery(capacity_mah=1e9))
+        with pytest.raises(SimulationError):
+            tiny.run(trace(n=1), max_cycles=2)
+
+
+class TestStrategyComparison:
+    def test_advised_serves_more_than_raw(self, sim):
+        raw = sim.run(trace(), strategy="raw")
+        advised = sim.run(trace(), strategy="advised")
+        assert advised.requests_served > raw.requests_served
+        assert advised.hours > raw.hours
+
+    def test_advised_matches_compressed_on_good_content(self, sim):
+        advised = sim.run(trace(factor=4.0), strategy="advised")
+        compressed = sim.run(trace(factor=4.0), strategy="compressed")
+        assert advised.requests_served == compressed.requests_served
+
+    def test_advised_protects_against_media(self, sim):
+        media = trace(factor=1.01)
+        advised = sim.run(media, strategy="advised")
+        forced = sim.run(media, strategy="compressed")
+        assert advised.requests_served >= forced.requests_served
+
+    def test_idle_policy_extends_life_on_sparse_traffic(self, sim):
+        sparse = trace(gap_s=60.0)
+        on = sim.run(sparse, strategy="advised", idle_policy=AlwaysOnPolicy())
+        ps = sim.run(sparse, strategy="advised", idle_policy=StaticPowerSavePolicy())
+        assert ps.hours > on.hours * 1.5
+
+    def test_combined_techniques_compound(self, sim):
+        """The paper's techniques together: selective compression plus
+        the hardware power-saving mode — on sparse traffic the gap energy
+        dominates, so power management is the big lever and compression
+        multiplies the requests served on top of it."""
+        sparse = trace(gap_s=45.0, factor=4.0, size_mb=1.0)
+        worst = sim.run(sparse, strategy="raw", idle_policy=AlwaysOnPolicy())
+        best = sim.run(
+            sparse, strategy="advised", idle_policy=StaticPowerSavePolicy()
+        )
+        adaptive = sim.run(
+            sparse, strategy="advised", idle_policy=AdaptiveTimeoutPolicy()
+        )
+        assert best.hours > worst.hours * 2.0
+        assert best.requests_served > worst.requests_served * 2.0
+        assert adaptive.hours > worst.hours * 1.5
+
+    def test_custom_battery(self, model):
+        small = LifetimeSimulation(model, battery=Battery(capacity_mah=200))
+        large = LifetimeSimulation(model, battery=Battery(capacity_mah=1900))
+        t = trace()
+        assert large.run(t).hours > small.run(t).hours * 5

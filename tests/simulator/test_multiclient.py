@@ -1,0 +1,190 @@
+"""Multi-client proxy simulation and the Resource primitive."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulator
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from tests.conftest import mb
+
+
+class TestResource:
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = sim.resource(1, name="r")
+        order = []
+
+        def holder():
+            yield res.acquire()
+            order.append(("hold", sim.now))
+            yield 2.0
+            res.release()
+
+        def waiter(name):
+            def proc():
+                yield res.acquire()
+                order.append((name, sim.now))
+                yield 1.0
+                res.release()
+            return proc
+
+        sim.spawn(holder())
+        sim.spawn(waiter("a")())
+        sim.spawn(waiter("b")())
+        sim.run()
+        assert order == [("hold", 0.0), ("a", 2.0), ("b", 3.0)]
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = sim.resource(2)
+        running = []
+
+        def proc(name):
+            yield res.acquire()
+            running.append((name, sim.now))
+            yield 1.0
+            res.release()
+
+        for name in "abc":
+            sim.spawn(proc(name))
+        sim.run()
+        times = dict(running)
+        assert times["a"] == 0.0 and times["b"] == 0.0
+        assert times["c"] == 1.0
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.resource(0)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = sim.resource(1)
+        res.acquire()
+        res.acquire()
+        res.acquire()
+        assert res.queue_length == 2
+
+
+def burst(n, raw_mb=2.0, factor=4.0, strategy="advised"):
+    """n simultaneous requests for identical files."""
+    return [
+        Request(
+            client=f"c{i}",
+            name=f"f{i}",
+            raw_bytes=mb(raw_mb),
+            factor=factor,
+            arrival_s=0.0,
+            strategy=strategy,
+        )
+        for i in range(n)
+    ]
+
+
+class TestMultiClient:
+    def test_single_request_matches_session(self, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(burst(1, strategy="raw"))
+        outcome = report.outcomes[0]
+        expected = simulation.session.raw(mb(2.0))
+        assert outcome.device_energy_j == pytest.approx(expected.energy_j)
+        assert outcome.wait_s == 0.0
+        assert outcome.latency_s == pytest.approx(expected.time_s)
+
+    def test_serialized_link_queues_requests(self, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(burst(3, strategy="raw"))
+        waits = sorted(o.wait_s for o in report.outcomes)
+        transfer = simulation.session.raw(mb(2.0)).time_s
+        assert waits[0] == pytest.approx(0.0)
+        assert waits[1] == pytest.approx(transfer, rel=1e-6)
+        assert waits[2] == pytest.approx(2 * transfer, rel=1e-6)
+
+    def test_waiting_energy_charged(self, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(burst(2, strategy="raw"))
+        first, second = sorted(report.outcomes, key=lambda o: o.wait_s)
+        assert second.device_energy_j == pytest.approx(
+            first.device_energy_j + second.wait_s * model.device.idle_power_w
+        )
+
+    def test_compression_shrinks_fleet_energy_and_latency(self, model):
+        """The fleet-level claim: compression frees the medium."""
+        simulation = MultiClientSimulation(model)
+        reports = simulation.compare_strategies(burst(4, factor=4.0))
+        raw = reports["raw"]
+        compressed = reports["compressed"]
+        assert compressed.total_energy_j < raw.total_energy_j
+        assert compressed.mean_latency_s < raw.mean_latency_s
+        assert compressed.makespan_s < raw.makespan_s
+
+    def test_advised_never_worse_than_raw(self, model):
+        simulation = MultiClientSimulation(model)
+        mixed = burst(2, factor=5.0) + [
+            Request("c9", "media", mb(1.5), 1.01, 0.0),
+            Request("c10", "tiny", 2000, 3.0, 0.0),
+        ]
+        reports = simulation.compare_strategies(mixed)
+        assert (
+            reports["advised"].total_energy_j
+            <= reports["raw"].total_energy_j * 1.0001
+        )
+        assert (
+            reports["advised"].total_energy_j
+            <= reports["compressed"].total_energy_j * 1.0001
+        )
+
+    def test_advised_resolves_media_to_raw(self, model):
+        simulation = MultiClientSimulation(model)
+        report = simulation.run(
+            [Request("c", "media", mb(1.5), 1.01, 0.0, strategy="advised")]
+        )
+        assert report.outcomes[0].strategy == "raw"
+
+    def test_ondemand_strategy_queues_proxy(self, model):
+        simulation = MultiClientSimulation(model)
+        requests = [
+            Request(f"c{i}", f"f{i}", mb(2.0), 4.0, 0.0, strategy="ondemand")
+            for i in range(2)
+        ]
+        report = simulation.run(requests)
+        assert all(o.proxy_compress_s > 0 for o in report.outcomes)
+
+    def test_arrival_spacing_avoids_queueing(self, model):
+        simulation = MultiClientSimulation(model)
+        transfer = simulation.session.raw(mb(2.0)).time_s
+        requests = [
+            Request(f"c{i}", f"f{i}", mb(2.0), 4.0, i * (transfer + 1), "raw")
+            for i in range(3)
+        ]
+        report = simulation.run(requests)
+        assert all(o.wait_s == pytest.approx(0.0) for o in report.outcomes)
+
+    def test_by_client_grouping(self, model):
+        simulation = MultiClientSimulation(model)
+        requests = [
+            Request("alice", "a1", mb(1), 3.0, 0.0, "raw"),
+            Request("alice", "a2", mb(1), 3.0, 5.0, "raw"),
+            Request("bob", "b1", mb(1), 3.0, 1.0, "raw"),
+        ]
+        report = simulation.run(requests)
+        grouped = report.by_client()
+        assert len(grouped["alice"]) == 2
+        assert len(grouped["bob"]) == 1
+
+    def test_unknown_strategy_raises(self, model):
+        simulation = MultiClientSimulation(model)
+        with pytest.raises(SimulationError):
+            simulation.run([Request("c", "f", mb(1), 2.0, 0.0, "quantum")])
+
+    def test_wider_link_reduces_waits(self, model):
+        narrow = MultiClientSimulation(model, link_slots=1)
+        wide = MultiClientSimulation(model, link_slots=2)
+        requests = burst(4, strategy="raw")
+        assert wide.run(requests).mean_wait_s < narrow.run(requests).mean_wait_s

@@ -1,0 +1,169 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "sample.txt"
+    path.write_bytes(b"command line interface sample content " * 2000)
+    return path
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, sample_file, tmp_path, capsys):
+        compressed = tmp_path / "sample.rz"
+        restored = tmp_path / "sample.back"
+        assert main(["compress", str(sample_file), "-o", str(compressed)]) == 0
+        assert compressed.stat().st_size < sample_file.stat().st_size
+        assert (
+            main(["decompress", str(compressed), "-o", str(restored)]) == 0
+        )
+        assert restored.read_bytes() == sample_file.read_bytes()
+        out = capsys.readouterr().out
+        assert "factor" in out
+
+    def test_pure_codec_choice(self, sample_file, tmp_path):
+        compressed = tmp_path / "c.rz"
+        restored = tmp_path / "c.out"
+        main(["compress", str(sample_file), "-c", "gzip", "-o", str(compressed)])
+        main(["decompress", str(compressed), "-c", "gzip", "-o", str(restored)])
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    def test_default_output_names(self, sample_file, capsys):
+        main(["compress", str(sample_file)])
+        assert sample_file.with_suffix(".txt.rz").exists()
+
+
+class TestAdvise:
+    def test_compressible_file(self, sample_file, capsys):
+        assert main(["advise", str(sample_file)]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+        assert "compress" in out
+
+    def test_random_file_goes_raw(self, tmp_path, capsys):
+        import random
+
+        path = tmp_path / "noise.bin"
+        path.write_bytes(random.Random(0).getrandbits(8 * 50_000).to_bytes(50_000, "little"))
+        main(["advise", str(path)])
+        out = capsys.readouterr().out
+        assert "raw" in out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "scenario",
+        ["raw", "sequential", "interleaved", "sleep", "ondemand", "upload-raw", "upload"],
+    )
+    def test_all_scenarios(self, scenario, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--size-mb",
+                    "2",
+                    "--factor",
+                    "3",
+                    "--scenario",
+                    scenario,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "energy (J)" in out
+
+    def test_2mbps_link(self, capsys):
+        main(["simulate", "--size-mb", "1", "--link", "2"])
+        out = capsys.readouterr().out
+        assert "energy" in out
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--size-mb", "1", "--scenario", "teleport"])
+
+    def test_unknown_link_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--size-mb", "1", "--link", "54"])
+
+
+class TestThresholds:
+    def test_prints_table(self, capsys):
+        assert main(["thresholds"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+        assert "3906" in out or "3900" in out
+
+
+class TestEntryPoint:
+    def test_python_dash_m_invocation(self, tmp_path):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "thresholds"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "break-even" in result.stdout
+
+    def test_help_lists_commands(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        for command in ("compress", "advise", "simulate", "fleet", "battery"):
+            assert command in result.stdout
+
+
+class TestFleetAndBattery:
+    def test_fleet_prints_strategies(self, capsys):
+        assert main(["fleet", "--clients", "3", "--size-mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "raw" in out and "compressed" in out and "advised" in out
+
+    def test_battery_report(self, capsys):
+        assert main(["battery", "--size-mb", "4", "--factor", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "per charge" in out
+        assert "idle lifetime" in out
+
+    def test_battery_custom_capacity(self, capsys):
+        main(["battery", "--capacity-mah", "1900"])
+        out = capsys.readouterr().out
+        assert "1900 mAh" in out
+
+    def test_lifetime_ladder(self, capsys):
+        assert main(["lifetime", "--mean-gap-s", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "raw + always-on" in out
+        assert "advised + power-save" in out
+        assert "hours / charge" in out
+
+
+class TestCorpusAndTable2:
+    def test_table2_manifest(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "M31C.xml" in out
+        assert "input.random" in out
+
+    def test_corpus_generation(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["corpus", "-o", str(out_dir), "--scale", "0.02"]) == 0
+        files = list(out_dir.iterdir())
+        assert len(files) == 37
+        out = capsys.readouterr().out
+        assert "achieved" in out

@@ -1,0 +1,48 @@
+"""Every example script must run end-to-end and keep its promises."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def _run(path: pathlib.Path, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_discovered():
+    names = [p.stem for p in EXAMPLES]
+    assert "quickstart" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    out = _run(path, capsys)
+    assert len(out) > 200  # produced a real report
+
+
+def test_quickstart_output_shape(capsys):
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    out = _run(path, capsys)
+    for scheme in ("gzip", "compress", "bzip2", "no compression"):
+        assert scheme in out
+
+
+def test_roaming_decision_flips(capsys):
+    path = next(p for p in EXAMPLES if p.stem == "roaming_advisor")
+    out = _run(path, capsys)
+    assert "raw" in out and "compress" in out

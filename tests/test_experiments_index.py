@@ -1,0 +1,93 @@
+"""The programmatic experiment index must match the bench directory."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import all_experiments, bench_command, get_experiment
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+class TestIndexIntegrity:
+    def test_every_indexed_bench_exists(self):
+        for exp in all_experiments():
+            assert (BENCH_DIR / exp.bench).exists(), exp.id
+
+    def test_every_bench_file_is_indexed(self):
+        indexed = {e.bench for e in all_experiments()}
+        on_disk = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+        assert on_disk == indexed
+
+    def test_paper_experiments_cover_all_tables_and_figures(self):
+        paper = {e.id for e in all_experiments(include_extensions=False)}
+        expected = {
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9", "eq6", "fig11", "fig12",
+            "fig13", "sleep",
+        }
+        assert paper == expected
+
+    def test_unique_ids_and_artifacts(self):
+        exps = all_experiments()
+        ids = [e.id for e in exps]
+        assert len(ids) == len(set(ids))
+        artifacts = [e.artifact for e in exps if e.artifact != "-"]
+        assert len(artifacts) == len(set(artifacts))
+
+    def test_get_and_command(self):
+        exp = get_experiment("fig2")
+        assert exp.paper_ref == "Figure 2"
+        assert bench_command("fig2").endswith(
+            "bench_fig2_energy.py --benchmark-only"
+        )
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_cli_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "lifetime" in out
+
+    def test_cli_paper_only(self, capsys):
+        from repro.cli import main
+
+        main(["experiments", "--paper-only"])
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "lifetime" not in out
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_error_hierarchy(self):
+        from repro import errors
+
+        assert issubclass(errors.CorruptStreamError, errors.CodecError)
+        assert issubclass(errors.UnknownCodecError, errors.CodecError)
+        assert issubclass(errors.CodecError, errors.ReproError)
+        for exc in (
+            errors.ModelError,
+            errors.CalibrationError,
+            errors.SimulationError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_subpackage_all_exports(self):
+        import repro.compression as c
+        import repro.core as core
+        import repro.simulator as sim
+
+        for module in (c, core, sim):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

@@ -1,0 +1,100 @@
+"""Units, conversions and paper constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_bytes_to_mb_roundtrip(self):
+        assert units.mb_to_bytes(units.bytes_to_mb(123456)) == 123456
+
+    def test_one_mb_is_mebibyte(self):
+        assert units.bytes_to_mb(2**20) == 1.0
+
+    def test_current_to_power_at_5v(self):
+        assert units.current_ma_to_power_w(310) == pytest.approx(1.55)
+
+    def test_power_to_current_inverse(self):
+        assert units.power_w_to_current_ma(
+            units.current_ma_to_power_w(437.5)
+        ) == pytest.approx(437.5)
+
+    def test_custom_voltage(self):
+        assert units.current_ma_to_power_w(1000, voltage_v=3.3) == pytest.approx(3.3)
+
+    def test_joules(self):
+        assert units.joules(2.0, 3.5) == pytest.approx(7.0)
+
+
+class TestCompressionFactor:
+    def test_factor_basic(self):
+        assert units.compression_factor(100, 25) == pytest.approx(4.0)
+
+    def test_ratio_is_reciprocal(self):
+        assert units.compression_ratio(100, 25) == pytest.approx(0.25)
+
+    def test_empty_input_factor_is_one(self):
+        assert units.compression_factor(0, 0) == 1.0
+
+    def test_zero_compressed_nonempty_raises(self):
+        with pytest.raises(ValueError):
+            units.compression_factor(10, 0)
+
+    def test_negative_sizes_raise(self):
+        with pytest.raises(ValueError):
+            units.compression_factor(-1, 5)
+        with pytest.raises(ValueError):
+            units.compression_factor(5, -1)
+
+    def test_expanding_factor_below_one(self):
+        assert units.compression_factor(100, 120) < 1.0
+
+
+class TestPaperConstants:
+    """Pin the measured constants to the values cited from the paper."""
+
+    def test_threshold_is_3900_bytes(self):
+        assert units.THRESHOLD_FILE_SIZE_BYTES == 3900
+        assert units.THRESHOLD_FILE_SIZE_MB == pytest.approx(0.00372, rel=1e-2)
+
+    def test_block_size_is_0128_mb(self):
+        assert units.BLOCK_SIZE_MB == 0.128
+
+    def test_download_energy_fit(self):
+        assert units.DOWNLOAD_ENERGY_SLOPE_J_PER_MB == 3.519
+        assert units.DOWNLOAD_ENERGY_INTERCEPT_J == 0.012
+
+    def test_receive_energy_and_startup(self):
+        assert units.RECEIVE_ENERGY_J_PER_MB == 2.486
+        assert units.COMM_STARTUP_ENERGY_J == 0.012
+
+    def test_decompression_fit(self):
+        assert units.DECOMP_TIME_PER_RAW_MB_S == 0.161
+        assert units.DECOMP_TIME_PER_COMP_MB_S == 0.161
+        assert units.DECOMP_TIME_CONSTANT_S == 0.004
+
+    def test_idle_fractions(self):
+        assert units.IDLE_FRACTION_11MBPS == 0.40
+        assert units.IDLE_FRACTION_2MBPS == 0.815
+
+    def test_model_rate_is_06_mb_per_s(self):
+        assert units.MODEL_RATE_11MBPS_MBPS == 0.6
+        assert units.EFFECTIVE_RATE_11MBPS_BPS == pytest.approx(0.6 * 2**20)
+
+    def test_power_save_penalty(self):
+        assert units.POWER_SAVE_RATE_PENALTY == 0.25
+
+    def test_sleep_crossover_constant(self):
+        assert units.SLEEP_VS_INTERLEAVE_FACTOR == 4.6
+
+    def test_fill_idle_factor_2mbps(self):
+        assert units.FILL_IDLE_FACTOR_2MBPS == 27.0
+
+    def test_internal_consistency_of_download_fit(self):
+        """m*s + cs + ti*pi must equal the fitted line at pi=1.55 W."""
+        s = 1.0
+        ti = units.IDLE_FRACTION_11MBPS * s / units.MODEL_RATE_11MBPS_MBPS
+        total = units.RECEIVE_ENERGY_J_PER_MB * s + units.COMM_STARTUP_ENERGY_J + ti * 1.55
+        fitted = units.DOWNLOAD_ENERGY_SLOPE_J_PER_MB * s + units.DOWNLOAD_ENERGY_INTERCEPT_J
+        assert total == pytest.approx(fitted, rel=1e-3)

@@ -1,0 +1,117 @@
+"""Synthetic data generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import generators as g
+from repro.workload.manifest import FileType
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("file_type", list(FileType))
+    def test_every_type_has_a_family(self, file_type):
+        data = g.structured(file_type, 5000, seed=1, t=0.5)
+        assert len(data) == 5000
+
+    def test_deterministic(self):
+        a = g.structured(FileType.XML, 4000, seed=7, t=0.3)
+        b = g.structured(FileType.XML, 4000, seed=7, t=0.3)
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = g.structured(FileType.XML, 4000, seed=1, t=0.3)
+        b = g.structured(FileType.XML, 4000, seed=2, t=0.3)
+        assert a != b
+
+    def test_exact_size(self):
+        for size in (1, 100, 4097):
+            assert len(g.structured(FileType.LOG, size, 3, 0.5)) == size
+
+    def test_zero_size(self):
+        assert g.blended(FileType.LOG, 0, 1, 0.5) == b""
+
+
+class TestKnobMonotonicity:
+    @pytest.mark.parametrize(
+        "file_type",
+        [FileType.XML, FileType.LOG, FileType.SOURCE, FileType.BINARY, FileType.WAV],
+    )
+    def test_factor_decreases_with_t(self, file_type):
+        factors = [
+            g.measured_factor(g.blended(file_type, 48 * 1024, 11, t))
+            for t in (0.0, 0.5, 1.0, 1.5, 2.0)
+        ]
+        # Allow small local jitter but require the overall trend.
+        assert factors[0] > factors[2] > factors[4]
+        assert factors[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_media_factor_range(self):
+        low = g.measured_factor(g.blended(FileType.JPEG, 48 * 1024, 5, 0.0))
+        high = g.measured_factor(g.blended(FileType.JPEG, 48 * 1024, 5, 1.0))
+        assert low > 1.3
+        assert high == pytest.approx(1.0, abs=0.05)
+
+
+class TestCalibrateKnob:
+    @pytest.mark.parametrize(
+        "file_type,target",
+        [
+            (FileType.XML, 14.64),
+            (FileType.LOG, 11.11),
+            (FileType.POSTSCRIPT, 3.8),
+            (FileType.BINARY, 2.46),
+            (FileType.WAV, 2.9),
+            (FileType.JPEG, 1.04),
+        ],
+    )
+    def test_hits_target_within_band(self, file_type, target):
+        knob = g.calibrate_knob(file_type, target, seed=3)
+        achieved = g.measured_factor(g.blended(file_type, 64 * 1024, 3, knob))
+        assert achieved == pytest.approx(target, rel=0.15)
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(WorkloadError):
+            g.calibrate_knob(FileType.JPEG, 50.0, seed=1)
+
+    def test_below_floor_raises(self):
+        with pytest.raises(WorkloadError):
+            g.calibrate_knob(FileType.XML, 0.5, seed=1)
+
+
+class TestMixedContainer:
+    def test_hits_target(self):
+        data = g.mixed_container(
+            FileType.PDF, 512 * 1024, seed=5, target_factor=2.79,
+            region_bytes=32 * 1024,
+        )
+        assert g.measured_factor(data) == pytest.approx(2.79, rel=0.15)
+
+    def test_regions_are_bimodal(self):
+        """Whole regions are either text-like or media-like — what the
+        block-adaptive scheme needs."""
+        region = 64 * 1024
+        data = g.mixed_container(
+            FileType.TAR_HTML, 8 * region, seed=5, target_factor=2.0,
+            region_bytes=region,
+        )
+        factors = [
+            g.measured_factor(data[i : i + region])
+            for i in range(0, len(data), region)
+        ]
+        compressible = [f for f in factors if f > 2.5]
+        incompressible = [f for f in factors if f < 1.1]
+        assert len(compressible) + len(incompressible) == len(factors)
+        assert compressible and incompressible
+
+    def test_deterministic(self):
+        a = g.mixed_container(FileType.PDF, 100_000, 9, 2.0, 16 * 1024)
+        b = g.mixed_container(FileType.PDF, 100_000, 9, 2.0, 16 * 1024)
+        assert a == b
+
+
+class TestMeasuredFactor:
+    def test_empty(self):
+        assert g.measured_factor(b"") == 1.0
+
+    def test_compressible(self):
+        assert g.measured_factor(b"aaaa" * 1000) > 10
