@@ -1,14 +1,19 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench examples artifacts clean
+.PHONY: install test ci bench examples artifacts clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# What the GitHub workflow runs (the tier-1 gate).
+ci:
+	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,121 @@
+"""Loss-rate sweep: how a lossy link shifts the compression trade-off.
+
+The paper measures a clean channel; this sweep re-runs the Equation 6
+analysis and a representative interleaved download across packet loss
+rates.  Two effects combine:
+
+- every transferred byte now costs its expected retransmissions, so the
+  *absolute* energy of every strategy rises with the loss rate, and
+- the compressed transfer ships fewer bytes, so it pays less of that
+  tax while its decompression cost stays fixed — the break-even size
+  and factor thresholds *fall* as the loss rate rises.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.network.arq import ArqConfig
+from repro.network.loss import UniformLoss
+from repro.simulator.analytic import AnalyticSession
+from benchmarks.common import SCHEMES, write_artifact
+from tests.conftest import mb
+
+#: Per-packet loss probabilities swept (0 = the paper's clean channel).
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+#: Representative whole-file factors per scheme (Table 2 text-file
+#: ballpark: gzip ~3.8, compress ~2.9, bzip2 ~4.3).
+SCHEME_FACTORS = {"gzip": 3.8, "compress": 2.9, "bzip2": 4.3}
+
+ARQ = ArqConfig()
+
+
+def compute(model):
+    floors = []
+    factor_rows = []
+    energy_rows = []
+    s = mb(1)
+    for rate in LOSS_RATES:
+        floors.append(
+            thresholds.size_threshold_bytes(model, loss_rate=rate, arq=ARQ)
+        )
+        factor_rows.append(
+            tuple(
+                round(
+                    thresholds.factor_threshold(
+                        s, model, codec=scheme, loss_rate=rate, arq=ARQ
+                    ),
+                    4,
+                )
+                for scheme in SCHEMES
+            )
+        )
+        loss = UniformLoss(rate) if rate > 0 else None
+        session = AnalyticSession(model, loss=loss, arq=ARQ)
+        raw_e = session.raw(s).energy_j
+        row = [round(raw_e, 3)]
+        for scheme in SCHEMES:
+            sc = int(s / SCHEME_FACTORS[scheme])
+            result = session.precompressed(s, sc, codec=scheme, interleave=True)
+            row.append(round(result.energy_j, 3))
+        energy_rows.append(tuple(row))
+    return floors, factor_rows, energy_rows
+
+
+def test_loss_sweep(benchmark, model):
+    floors, factor_rows, energy_rows = benchmark.pedantic(
+        compute, args=(model,), rounds=1, iterations=1
+    )
+    labels = [f"{rate:.0%}" for rate in LOSS_RATES]
+    text = ascii_table(
+        ["loss rate", "size floor (bytes)"] ,
+        list(zip(labels, floors)),
+        title="Equation 6 size threshold vs packet loss rate",
+    )
+    text += "\n\n" + ascii_table(
+        ["loss rate"] + [f"factor threshold ({s})" for s in SCHEMES],
+        [(label,) + row for label, row in zip(labels, factor_rows)],
+        title="1 MB break-even compression factor vs loss rate",
+    )
+    text += "\n\n" + ascii_table(
+        ["loss rate", "raw (J)"] + [f"{s} (J)" for s in SCHEMES],
+        [(label,) + row for label, row in zip(labels, energy_rows)],
+        title="1 MB download energy vs loss rate (interleaved)",
+    )
+    write_artifact(
+        "loss_sweep",
+        text,
+        data={
+            "loss_rates": list(LOSS_RATES),
+            "size_floor_bytes": floors,
+            "factor_thresholds": {
+                scheme: [row[i] for row in factor_rows]
+                for i, scheme in enumerate(SCHEMES)
+            },
+            "energy_j": {
+                "raw": [row[0] for row in energy_rows],
+                **{
+                    scheme: [row[i + 1] for row in energy_rows]
+                    for i, scheme in enumerate(SCHEMES)
+                },
+            },
+        },
+    )
+
+    # Clean channel reproduces the paper's floor.
+    assert floors[0] == pytest.approx(3900, rel=0.05)
+    # The break-even size shrinks monotonically as loss rises: the ARQ
+    # tax scales with transferred bytes, decompression does not.
+    assert floors == sorted(floors, reverse=True)
+    assert floors[-1] < floors[0]
+    for i in range(len(SCHEMES)):
+        col = [row[i] for row in factor_rows]
+        assert col == sorted(col, reverse=True)
+    # Absolute energies rise with loss for every strategy.
+    for col in range(len(energy_rows[0])):
+        series = [row[col] for row in energy_rows]
+        assert series == sorted(series)
+    # Compression keeps beating raw at every swept rate (1 MB text file).
+    for row in energy_rows:
+        assert row[1] < row[0]

@@ -24,6 +24,8 @@ from repro.compression import available_codecs, get_codec
 from repro.core import thresholds as thresholds_mod
 from repro.core.advisor import CompressionAdvisor
 from repro.core.energy_model import EnergyModel
+from repro.network.arq import ArqConfig
+from repro.network.loss import UniformLoss
 from repro.network.wlan import LINK_11MBPS, LINK_2MBPS
 from repro.simulator.analytic import AnalyticSession
 
@@ -34,6 +36,27 @@ def _model_for(link: str) -> EnergyModel:
     if link == "2":
         return EnergyModel(link=LINK_2MBPS)
     raise SystemExit(f"unknown link {link!r} (use 11 or 2)")
+
+
+def _loss_arq_for(args: argparse.Namespace):
+    """(loss, arq) from the lossy-link flags; (None, None) when clean."""
+    rate = getattr(args, "loss_rate", 0.0)
+    if rate < 0 or rate >= 1:
+        raise SystemExit(f"--loss-rate must be in [0, 1), got {rate}")
+    if rate == 0:
+        return None, None
+    if args.arq_retries < 0:
+        raise SystemExit("--arq-retries must be non-negative")
+    if args.arq_timeout_ms < 0:
+        raise SystemExit("--arq-timeout-ms must be non-negative")
+    if args.arq_backoff < 1.0:
+        raise SystemExit("--arq-backoff must be >= 1")
+    arq = ArqConfig(
+        max_retries=args.arq_retries,
+        timeout_s=args.arq_timeout_ms / 1000.0,
+        backoff=args.arq_backoff,
+    )
+    return UniformLoss(rate, seed=args.loss_seed), arq
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
@@ -90,7 +113,13 @@ def cmd_advise(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     """``repro simulate``: evaluate one download/upload scenario."""
     model = _model_for(args.link)
-    session = AnalyticSession(model)
+    loss, arq = _loss_arq_for(args)
+    if args.engine == "des":
+        from repro.simulator.des import DesSession
+
+        session = DesSession(model, loss=loss, arq=arq)
+    else:
+        session = AnalyticSession(model, loss=loss, arq=arq)
     raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
     compressed = int(raw_bytes / args.factor)
 
@@ -134,6 +163,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ("vs raw time", f"{result.time_ratio(baseline):.3f}"),
         ("vs raw energy", f"{result.energy_ratio(baseline):.3f}"),
     ]
+    if result.link_stats is not None:
+        st = result.link_stats
+        rows += [
+            ("loss rate", args.loss_rate),
+            ("retries", f"{st.retries:.1f}"),
+            ("retransmitted (bytes)", f"{st.retransmitted_bytes:.0f}"),
+            ("goodput (KB/s)", f"{result.goodput_bps / 1024:.1f}"),
+            ("delivery probability", f"{st.delivery_probability:.6f}"),
+            ("loss overhead (J)", f"{result.loss_overhead_j:.3f}"),
+        ]
     for tag, joules in sorted(result.energy_breakdown().items()):
         rows.append((f"  energy[{tag}]", f"{joules:.3f}"))
     print(ascii_table(["field", "value"], rows, title="simulated session"))
@@ -143,21 +182,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_thresholds(args: argparse.Namespace) -> int:
     """``repro thresholds``: print the Equation 6 break-even factors."""
     model = _model_for(args.link)
+    loss_rate = args.loss_rate
     rows = []
     for s_mb in (0.01, 0.05, 0.128, 0.5, 1, 4, 8):
         raw_bytes = int(s_mb * units.BYTES_PER_MB)
         rows.append(
             (
                 f"{s_mb} MB",
-                round(thresholds_mod.factor_threshold(raw_bytes, model), 3),
+                round(
+                    thresholds_mod.factor_threshold(
+                        raw_bytes, model, loss_rate=loss_rate
+                    ),
+                    3,
+                ),
             )
         )
+    floor = thresholds_mod.size_threshold_bytes(model, loss_rate=loss_rate)
+    title = (
+        f"Equation 6 thresholds at {args.link} Mb/s (size floor: {floor} bytes)"
+    )
+    if loss_rate > 0:
+        title += f" at loss rate {loss_rate}"
     print(
         ascii_table(
-            ["file size", "break-even compression factor"],
-            rows,
-            title=f"Equation 6 thresholds at {args.link} Mb/s "
-            f"(size floor: {thresholds_mod.size_threshold_bytes(model)} bytes)",
+            ["file size", "break-even compression factor"], rows, title=title
         )
     )
     return 0
@@ -366,6 +414,28 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"codec name; one of {', '.join(available_codecs())}",
         )
 
+    def add_loss(p):
+        p.add_argument(
+            "--loss-rate", type=float, default=0.0,
+            help="per-packet loss probability (0 = paper's clean channel)",
+        )
+        p.add_argument(
+            "--loss-seed", type=int, default=1,
+            help="seed for the DES engine's loss draws",
+        )
+        p.add_argument(
+            "--arq-retries", type=int, default=7,
+            help="stop-and-wait retry limit (802.11 long retry default)",
+        )
+        p.add_argument(
+            "--arq-timeout-ms", type=float, default=1.0,
+            help="initial retransmission timeout in milliseconds",
+        )
+        p.add_argument(
+            "--arq-backoff", type=float, default=2.0,
+            help="timeout multiplier per successive retry",
+        )
+
     p = sub.add_parser("compress", help="compress a file")
     p.add_argument("file")
     p.add_argument("-o", "--output")
@@ -393,12 +463,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="raw | sequential | interleaved | sleep | ondemand | "
         "upload-raw | upload",
     )
+    p.add_argument(
+        "--engine", default="analytic", choices=("analytic", "des"),
+        help="analytic (expected values) or des (seeded packet replay)",
+    )
     add_codec(p, default="gzip")
     add_link(p)
+    add_loss(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("thresholds", help="print Equation 6 thresholds")
     add_link(p)
+    p.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="per-packet loss probability shifting the break-even",
+    )
     p.set_defaults(func=cmd_thresholds)
 
     p = sub.add_parser("corpus", help="regenerate the Table 2 corpus")

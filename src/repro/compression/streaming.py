@@ -65,6 +65,22 @@ class StreamCompressor:
             out += self._encode_frame(block)
         return bytes(out)
 
+    def flush_block(self) -> bytes:
+        """Emit the buffered partial block now, without ending the stream.
+
+        A mid-stream flush: the proxy uses it to push out whatever is
+        buffered at a deadline (end of an HTTP chunk, an ARQ stall)
+        instead of waiting for a full block.  Returns ``b""`` when
+        nothing is buffered.  The stream stays writable.
+        """
+        if self._finished:
+            raise CodecError("stream already flushed")
+        if not self._buffer:
+            return b""
+        frame = self._encode_frame(bytes(self._buffer))
+        self._buffer.clear()
+        return frame
+
     def flush(self) -> bytes:
         """Emit the final partial frame and the end marker."""
         if self._finished:

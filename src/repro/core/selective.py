@@ -46,14 +46,27 @@ def decide_file(
     compression_factor: Optional[float] = None,
     codec: Optional[Codec] = None,
     model: Optional[EnergyModel] = None,
-    size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+    size_threshold: Optional[int] = None,
+    loss_rate: float = 0.0,
+    arq=None,
 ) -> SelectiveDecision:
     """Decide whether compressing a file before download saves energy.
 
     Provide either ``data`` (the factor is measured by compressing with
     ``codec``) or ``raw_bytes`` + ``compression_factor`` (metadata-only
     decision).  ``model=None`` uses the paper's literal Equation 6.
+    ``loss_rate`` switches to the loss-aware comparison: the size
+    threshold is re-derived for that loss rate (it shrinks, since
+    retransmissions tax every raw byte while decompression cost stays
+    fixed), unless an explicit ``size_threshold`` pins it.
     """
+    if size_threshold is None:
+        if loss_rate > 0:
+            size_threshold = thresholds.size_threshold_bytes(
+                model, loss_rate=loss_rate, arq=arq
+            )
+        else:
+            size_threshold = units.THRESHOLD_FILE_SIZE_BYTES
     if data is not None:
         raw_bytes = len(data)
     if raw_bytes is None:
@@ -79,7 +92,7 @@ def decide_file(
         compression_factor = result.factor
 
     worthwhile = thresholds.compression_worthwhile(
-        raw_bytes, compression_factor, model
+        raw_bytes, compression_factor, model, loss_rate=loss_rate, arq=arq
     )
     if compressed_size is None:
         compressed_size = int(round(raw_bytes / compression_factor))

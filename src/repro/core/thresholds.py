@@ -10,6 +10,12 @@ and, as F -> infinity, a file-size threshold of 0.00372 MB = 3900 bytes
 below which compression never pays off.  This module provides both the
 paper's literal conditions and the same thresholds re-derived from any
 :class:`~repro.core.energy_model.EnergyModel` parameterization.
+
+The loss-aware extension (``loss_rate > 0``) adds the expected ARQ
+retransmission energy to both sides of the comparison.  Loss multiplies
+the *transfer* cost of either strategy by the same factor while the
+decompression cost is unaffected, so compression starts paying off for
+smaller files as the loss rate rises: the break-even size shrinks.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Optional
 from repro import units
 from repro.core.energy_model import EnergyModel
 from repro.errors import ModelError
+from repro.network.arq import ArqConfig, expected_overhead_energy_j
 
 #: Equation 6 literal constants.
 PAPER_LARGE_FACTOR_NUMERATOR = 1.13
@@ -48,28 +55,49 @@ def compression_worthwhile(
     compression_factor: float,
     model: Optional[EnergyModel] = None,
     codec: str = "gzip",
+    loss_rate: float = 0.0,
+    arq: Optional[ArqConfig] = None,
 ) -> bool:
     """Model-derived Equation 6: does interleaved compression save energy?
 
     With the default model this agrees with :func:`paper_condition`; with
     a different link or codec parameterization it adapts accordingly.
+    ``loss_rate`` is a per-packet loss probability: the expected ARQ
+    retransmission energy (under ``arq``, default stop-and-wait with 7
+    retries) is charged to each strategy's transfer bytes.
     """
-    if model is None:
-        return paper_condition(raw_bytes, compression_factor)
+    if loss_rate < 0 or loss_rate >= 1:
+        raise ModelError(f"loss rate must be in [0, 1), got {loss_rate}")
+    if loss_rate == 0:
+        if model is None:
+            return paper_condition(raw_bytes, compression_factor)
+    elif model is None:
+        # The literal Equation 6 has no loss term; fall back to the
+        # default model the paper's constants were derived from.
+        model = EnergyModel()
     if compression_factor <= 0:
         raise ModelError("compression factor must be positive")
     if raw_bytes <= 0:
         return False
     compressed = raw_bytes / compression_factor
-    return model.interleaved_energy_j(
-        raw_bytes, compressed, codec
-    ) < model.download_energy_j(raw_bytes)
+    plain_e = model.download_energy_j(raw_bytes)
+    comp_e = model.interleaved_energy_j(raw_bytes, compressed, codec)
+    if loss_rate > 0:
+        plain_e += expected_overhead_energy_j(
+            model.params, raw_bytes, loss_rate, arq
+        )
+        comp_e += expected_overhead_energy_j(
+            model.params, compressed, loss_rate, arq
+        )
+    return comp_e < plain_e
 
 
 def factor_threshold(
     raw_bytes: float,
     model: Optional[EnergyModel] = None,
     codec: str = "gzip",
+    loss_rate: float = 0.0,
+    arq: Optional[ArqConfig] = None,
 ) -> float:
     """Minimum compression factor at which compression starts to pay.
 
@@ -80,7 +108,7 @@ def factor_threshold(
         return float("inf")
 
     def worthwhile(f: float) -> bool:
-        return compression_worthwhile(raw_bytes, f, model, codec)
+        return compression_worthwhile(raw_bytes, f, model, codec, loss_rate, arq)
 
     hi = 1e6
     if not worthwhile(hi):
@@ -98,19 +126,28 @@ def factor_threshold(
 
 
 def size_threshold_bytes(
-    model: Optional[EnergyModel] = None, codec: str = "gzip"
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+    loss_rate: float = 0.0,
+    arq: Optional[ArqConfig] = None,
 ) -> int:
     """File-size threshold below which no factor makes compression pay.
 
     The paper's value is 3900 bytes; the model-derived value is the
     smallest size for which an arbitrarily high factor still saves.
+    Under loss the threshold shrinks: retransmissions inflate every raw
+    byte's cost while the fixed decompression cost stays put.
     """
     if model is None:
-        return units.THRESHOLD_FILE_SIZE_BYTES
+        if loss_rate == 0:
+            return units.THRESHOLD_FILE_SIZE_BYTES
+        model = EnergyModel()
     huge_factor = 1e9
 
     def ever_worthwhile(n_bytes: float) -> bool:
-        return compression_worthwhile(n_bytes, huge_factor, model, codec)
+        return compression_worthwhile(
+            n_bytes, huge_factor, model, codec, loss_rate, arq
+        )
 
     lo, hi = 1.0, float(units.BYTES_PER_MB)
     if ever_worthwhile(lo):

@@ -100,6 +100,14 @@ class PowerTimeline:
             out[seg.tag] = out.get(seg.tag, 0.0) + seg.duration_s
         return out
 
+    def time_for(self, *tags: str) -> float:
+        """Seconds spent in the given activity tags."""
+        return sum(seg.duration_s for seg in self.segments if seg.tag in tags)
+
+    def energy_for(self, *tags: str) -> float:
+        """Joules spent in the given activity tags."""
+        return sum(seg.energy for seg in self.segments if seg.tag in tags)
+
     def energy_by_tag(self) -> Dict[str, float]:
         """Joules per activity tag."""
         out: Dict[str, float] = {}

@@ -31,5 +31,9 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class LinkDroppedError(SimulationError):
+    """A packet exhausted the ARQ retry limit (MAC excessive-retry)."""
+
+
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated as requested."""

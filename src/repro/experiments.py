@@ -96,6 +96,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("lifetime", "Battery life per charge",
                "bench_battery_lifetime.py", "battery_lifetime", "extension",
                extension=True),
+    Experiment("loss", "Loss-rate sweep: lossy-link break-even shift",
+               "bench_loss_sweep.py", "loss_sweep", "extension",
+               extension=True),
     Experiment("throughput", "Codec throughput (engineering)",
                "bench_codec_throughput.py", "-", "engineering", extension=True),
     Experiment("engines", "Pure-Python codecs vs CPython engines",

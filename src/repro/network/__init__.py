@@ -1,8 +1,19 @@
-"""Wireless-LAN substrate: 802.11b link model, packetization, timelines."""
+"""Wireless-LAN substrate: 802.11b link model, packetization, loss, ARQ."""
 
 from repro.network.wlan import LinkConfig, LINK_11MBPS, LINK_2MBPS
 from repro.network.packets import Packetizer, PacketSchedule
 from repro.network.link import ReceivePlan, plan_receive
+from repro.network.loss import (
+    EpisodeLoss,
+    GilbertElliottLoss,
+    LossEpisode,
+    LossModel,
+    NoLoss,
+    UniformLoss,
+    loss_model_for_condition,
+    loss_rate_for_condition,
+)
+from repro.network.arq import ArqConfig, LinkStats, StopAndWaitLink
 
 __all__ = [
     "LinkConfig",
@@ -12,4 +23,15 @@ __all__ = [
     "PacketSchedule",
     "ReceivePlan",
     "plan_receive",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "GilbertElliottLoss",
+    "LossEpisode",
+    "EpisodeLoss",
+    "loss_rate_for_condition",
+    "loss_model_for_condition",
+    "ArqConfig",
+    "LinkStats",
+    "StopAndWaitLink",
 ]

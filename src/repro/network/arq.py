@@ -1,0 +1,422 @@
+"""Stop-and-wait ARQ over a lossy link (802.11 MAC retransmission).
+
+The 802.11 MAC acknowledges every unicast frame and retransmits on a
+missing ACK, up to a retry limit, backing off between attempts.  This
+module models that in three interchangeable forms:
+
+- closed-form expectations (:meth:`ArqConfig.expected_transmissions`,
+  :func:`expected_overhead`) for the analytic engine and the loss-aware
+  Equation 6 thresholds — a truncated-geometric attempt count;
+- a deterministic seeded replay (:func:`expand_schedule`) that turns a
+  :class:`~repro.network.packets.PacketSchedule` into per-attempt timing
+  for the discrete-event engine;
+- a data path (:class:`StopAndWaitLink`) that actually carries payload
+  bytes through the lossy channel, for round-trip property tests.
+
+Every retransmitted byte and every timeout is charged to the device: a
+failed attempt still occupies the radio for the packet's airtime, and
+the sender waits ``timeout * backoff**failures`` before trying again.
+Exceeding the retry limit raises
+:class:`~repro.errors.LinkDroppedError` — the MAC gives up, exactly as a
+real card reports a TX excessive-retry failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import units
+from repro.errors import LinkDroppedError, ModelError
+from repro.network.loss import LossModel, NoLoss
+from repro.network.packets import (
+    DEFAULT_PAYLOAD_BYTES,
+    PacketSchedule,
+    PacketTiming,
+)
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Stop-and-wait retransmission parameters.
+
+    Attributes:
+        enabled: with False the link makes exactly one attempt per
+            packet (any loss is terminal), matching the seed behavior.
+        max_retries: retransmissions allowed after the first attempt
+            (the 802.11 long-retry limit defaults to 7 for large frames).
+        timeout_s: wait before the first retransmission.
+        backoff: multiplier applied to the timeout per further failure
+            (the MAC doubles its contention window).
+    """
+
+    enabled: bool = True
+    max_retries: int = 7
+    timeout_s: float = 0.001
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ModelError("max_retries must be non-negative")
+        if self.timeout_s < 0:
+            raise ModelError("timeout must be non-negative")
+        if self.backoff < 1.0:
+            raise ModelError("backoff multiplier must be >= 1")
+
+    @classmethod
+    def disabled(cls) -> "ArqConfig":
+        """No retransmission at all (one attempt per packet)."""
+        return cls(enabled=False, max_retries=0)
+
+    @property
+    def max_attempts(self) -> int:
+        """Transmissions allowed per packet, first attempt included."""
+        return 1 + (self.max_retries if self.enabled else 0)
+
+    def timeout_for_failure(self, failures: int) -> float:
+        """Wait after the ``failures``-th failure (1-indexed)."""
+        if failures < 1:
+            raise ModelError("failures count must be >= 1")
+        return self.timeout_s * self.backoff ** (failures - 1)
+
+    # -- closed-form expectations (per packet, loss probability p) ----------
+
+    def expected_transmissions(self, p: float) -> float:
+        """E[attempts] for per-attempt loss probability ``p``.
+
+        Truncated geometric: (1 - p^A) / (1 - p) with A attempts allowed;
+        monotonically nondecreasing in both ``p`` and the retry limit.
+        """
+        _check_probability(p)
+        if p == 0.0:
+            return 1.0
+        a = self.max_attempts
+        return (1.0 - p**a) / (1.0 - p)
+
+    def delivery_probability(self, p: float) -> float:
+        """Probability a packet survives within the retry limit."""
+        _check_probability(p)
+        return 1.0 - p**self.max_attempts
+
+    def expected_retry_wait_s(self, p: float) -> float:
+        """E[timeout idle] per packet: attempt i fails with probability
+        p^i and, when a retry remains, costs its backed-off timeout."""
+        _check_probability(p)
+        if p == 0.0:
+            return 0.0
+        total = 0.0
+        for failures in range(1, self.max_attempts):
+            total += p**failures * self.timeout_for_failure(failures)
+        return total
+
+
+def _check_probability(p: float) -> None:
+    if not 0 <= p < 1:
+        raise ModelError("loss probability must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Retransmission accounting for one transfer.
+
+    Counts are floats so the analytic engine can report expectations
+    with the same type the DES reports integer tallies in.
+    """
+
+    payload_bytes: int
+    transmitted_bytes: float
+    retries: float
+    retry_wait_s: float
+    delivery_probability: float = 1.0
+
+    @property
+    def retransmitted_bytes(self) -> float:
+        """Bytes sent beyond the first attempt of each packet."""
+        return self.transmitted_bytes - self.payload_bytes
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful share of the bytes that crossed the air."""
+        if self.transmitted_bytes <= 0:
+            return 1.0
+        return self.payload_bytes / self.transmitted_bytes
+
+    def goodput_bps(self, wall_s: float) -> float:
+        """Delivered payload bytes per second of wall time."""
+        if wall_s <= 0:
+            return 0.0
+        return self.payload_bytes / wall_s
+
+
+#: Stats for a lossless transfer (what the seed model implicitly assumes).
+def lossless_stats(payload_bytes: int) -> LinkStats:
+    """The LinkStats of a transfer that saw no loss at all."""
+    return LinkStats(
+        payload_bytes=payload_bytes,
+        transmitted_bytes=float(payload_bytes),
+        retries=0.0,
+        retry_wait_s=0.0,
+        delivery_probability=1.0,
+    )
+
+
+@dataclass(frozen=True)
+class ExpectedOverhead:
+    """Expected loss overhead of one transfer (analytic form)."""
+
+    extra_bytes: float
+    extra_active_s: float
+    extra_gap_s: float
+    retry_wait_s: float
+    expected_retries: float
+    delivery_probability: float
+
+    @property
+    def extra_wall_s(self) -> float:
+        """Total wall-time the loss adds to the transfer."""
+        return self.extra_active_s + self.extra_gap_s + self.retry_wait_s
+
+
+def expected_overhead(
+    params,
+    transfer_bytes: float,
+    loss_rate: float,
+    arq: Optional[ArqConfig] = None,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+) -> ExpectedOverhead:
+    """Closed-form loss overhead for ``transfer_bytes`` on ``params``.
+
+    ``params`` is a :class:`~repro.core.energy_model.ModelParams`.  The
+    expected retransmitted bytes take the link's ordinary active/idle
+    split (a retransmitted packet is received like any other); timeouts
+    are pure idle on top.
+    """
+    arq = arq or ArqConfig()
+    _check_probability(loss_rate)
+    if transfer_bytes < 0:
+        raise ModelError("transfer size must be non-negative")
+    if transfer_bytes == 0 or loss_rate == 0.0:
+        return ExpectedOverhead(0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+    tau = arq.expected_transmissions(loss_rate)
+    extra_bytes = transfer_bytes * (tau - 1.0)
+    wall = units.bytes_to_mb(extra_bytes) / params.rate_mb_per_s
+    active = wall * (1.0 - params.idle_fraction)
+    n_packets = max(1, int(-(-transfer_bytes // payload_bytes)))
+    retry_wait = n_packets * arq.expected_retry_wait_s(loss_rate)
+    return ExpectedOverhead(
+        extra_bytes=extra_bytes,
+        extra_active_s=active,
+        extra_gap_s=wall - active,
+        retry_wait_s=retry_wait,
+        expected_retries=n_packets * (tau - 1.0),
+        delivery_probability=arq.delivery_probability(loss_rate),
+    )
+
+
+def recv_power_w(params) -> float:
+    """Power during active receive: m spread over the active time."""
+    active_s_per_mb = (1.0 - params.idle_fraction) / params.rate_mb_per_s
+    if active_s_per_mb <= 0:
+        raise ModelError("link has no active receive time")
+    return params.m_j_per_mb / active_s_per_mb
+
+
+def expected_overhead_energy_j(
+    params,
+    transfer_bytes: float,
+    loss_rate: float,
+    arq: Optional[ArqConfig] = None,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+) -> float:
+    """Expected joules the loss adds to one transfer.
+
+    Retransmitted active time is charged at the receive power, the
+    stretched inter-packet gaps and the ARQ timeouts at the gap power —
+    the same split the session timelines use, so the threshold analysis
+    and the simulated sessions agree.
+    """
+    ov = expected_overhead(params, transfer_bytes, loss_rate, arq, payload_bytes)
+    if ov.extra_bytes == 0.0 and ov.retry_wait_s == 0.0:
+        return 0.0
+    return (
+        ov.extra_active_s * recv_power_w(params)
+        + (ov.extra_gap_s + ov.retry_wait_s) * params.gap_power_w
+    )
+
+
+# -- deterministic replay (DES timing path) ---------------------------------
+
+
+@dataclass(frozen=True)
+class AttemptTiming:
+    """One transmission attempt of one packet."""
+
+    active_s: float
+    #: Timeout idle after a failed attempt (0 for the delivered one).
+    wait_s: float
+    delivered: bool
+
+
+@dataclass(frozen=True)
+class LossyPacketTiming:
+    """A packet plus the failed attempts that preceded its delivery."""
+
+    packet: PacketTiming
+    attempts: List[AttemptTiming]
+
+    @property
+    def failed_attempts(self) -> List[AttemptTiming]:
+        """The attempts the channel ate."""
+        return [a for a in self.attempts if not a.delivered]
+
+
+@dataclass
+class LossySchedule:
+    """ARQ-expanded packet schedule plus its retransmission tally."""
+
+    packets: List[LossyPacketTiming] = field(default_factory=list)
+    stats: Optional[LinkStats] = None
+
+
+def expand_schedule(
+    schedule: PacketSchedule,
+    loss: LossModel,
+    arq: Optional[ArqConfig] = None,
+) -> LossySchedule:
+    """Replay a packet schedule through seeded loss with stop-and-wait ARQ.
+
+    The loss model is reset first, so the expansion is a pure function
+    of (schedule, model seed, config).  Raises
+    :class:`~repro.errors.LinkDroppedError` when a packet exhausts the
+    retry limit.
+    """
+    arq = arq or ArqConfig()
+    loss.reset()
+    out = LossySchedule()
+    retries = 0
+    retry_wait = 0.0
+    transmitted = 0.0
+    offset = 0
+    for pkt in schedule:
+        attempts: List[AttemptTiming] = []
+        for attempt in range(1, arq.max_attempts + 1):
+            transmitted += pkt.payload_bytes
+            if not loss.attempt_lost(byte_offset=offset):
+                attempts.append(AttemptTiming(pkt.active_s, 0.0, True))
+                break
+            if attempt == arq.max_attempts:
+                raise LinkDroppedError(
+                    f"packet {pkt.index} lost {attempt} times "
+                    f"(retry limit {arq.max_retries})"
+                )
+            wait = arq.timeout_for_failure(attempt)
+            attempts.append(AttemptTiming(pkt.active_s, wait, False))
+            retries += 1
+            retry_wait += wait
+        out.packets.append(LossyPacketTiming(packet=pkt, attempts=attempts))
+        offset += pkt.payload_bytes
+    out.stats = LinkStats(
+        payload_bytes=schedule.total_bytes,
+        transmitted_bytes=transmitted,
+        retries=float(retries),
+        retry_wait_s=retry_wait,
+        delivery_probability=1.0,
+    )
+    return out
+
+
+# -- data path (round-trip property tests) ----------------------------------
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """What happened to one payload on the data path."""
+
+    payload: bytes
+    attempts: int
+
+    @property
+    def retries(self) -> int:
+        """Retransmissions this payload needed."""
+        return self.attempts - 1
+
+
+class StopAndWaitLink:
+    """Carries real payloads across a seeded lossy channel with ARQ.
+
+    The receiver only ever sees payloads that survived the channel, in
+    order, exactly once — the invariant the round-trip property tests
+    assert.  Call :meth:`reset` (or construct fresh) to replay the same
+    loss pattern.
+    """
+
+    def __init__(
+        self,
+        loss: Optional[LossModel] = None,
+        arq: Optional[ArqConfig] = None,
+    ) -> None:
+        self.loss = loss or NoLoss()
+        self.arq = arq or ArqConfig()
+        self._offset = 0
+        self.records: List[DeliveryRecord] = []
+        self.loss.reset()
+
+    def reset(self) -> None:
+        """Rewind the channel to replay the identical loss pattern."""
+        self.loss.reset()
+        self._offset = 0
+        self.records = []
+
+    def send(self, payload: bytes) -> bytes:
+        """Transmit one payload; returns it once delivered.
+
+        Raises :class:`~repro.errors.LinkDroppedError` past the retry
+        limit — the caller never receives a corrupted or reordered copy.
+        """
+        for attempt in range(1, self.arq.max_attempts + 1):
+            if not self.loss.attempt_lost(byte_offset=self._offset):
+                self.records.append(DeliveryRecord(payload, attempt))
+                self._offset += len(payload)
+                return payload
+        raise LinkDroppedError(
+            f"payload at offset {self._offset} lost "
+            f"{self.arq.max_attempts} times"
+        )
+
+    def transfer(self, payloads: List[bytes]) -> Tuple[List[bytes], LinkStats]:
+        """Send a sequence of payloads; returns (delivered, stats)."""
+        delivered = [self.send(p) for p in payloads]
+        payload_bytes = sum(len(p) for p in payloads)
+        retries = sum(r.retries for r in self.records[-len(payloads):])
+        transmitted = payload_bytes + sum(
+            len(r.payload) * r.retries for r in self.records[-len(payloads):]
+        )
+        retry_wait = 0.0
+        for r in self.records[-len(payloads):]:
+            for failures in range(1, r.attempts):
+                retry_wait += self.arq.timeout_for_failure(failures)
+        stats = LinkStats(
+            payload_bytes=payload_bytes,
+            transmitted_bytes=float(transmitted),
+            retries=float(retries),
+            retry_wait_s=retry_wait,
+            delivery_probability=1.0,
+        )
+        return delivered, stats
+
+
+__all__ = [
+    "ArqConfig",
+    "LinkStats",
+    "lossless_stats",
+    "ExpectedOverhead",
+    "expected_overhead",
+    "expected_overhead_energy_j",
+    "recv_power_w",
+    "AttemptTiming",
+    "LossyPacketTiming",
+    "LossySchedule",
+    "expand_schedule",
+    "DeliveryRecord",
+    "StopAndWaitLink",
+]

@@ -1,0 +1,303 @@
+"""Packet-loss models for a degraded 802.11b link.
+
+The paper measures an otherwise clean channel, but its own rate-ladder
+discussion (Section 2) describes the link degrading with distance and
+obstacles.  Under loss the MAC retransmits, so every lost packet costs
+the device a second (third, ...) reception plus timeout idle time —
+which is exactly why compression grows *more* attractive on a lossy
+link: fewer bytes are exposed to retransmission.
+
+Models are seeded and deterministic: :meth:`LossModel.reset` rewinds the
+random stream, so a replay with the same seed reproduces the same loss
+pattern bit for bit.  Loss decisions are made per transmission *attempt*
+(retransmissions roll fresh dice), keyed optionally by the byte offset
+of the packet so episodic (burst) models can localise faults within a
+transfer.
+
+The channel-quality bridge maps the link margin of
+:class:`~repro.network.channel.ChannelCondition` onto a bit-error rate
+and from there onto a per-packet loss probability, so "walk away from
+the access point" translates directly into "packets start dropping".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition, select_rate, _RATE_THRESHOLDS_DB
+from repro.network.packets import DEFAULT_PAYLOAD_BYTES
+
+#: Bit-error rate right at a rung's minimum link margin, calibrated so a
+#: 1460-byte packet is lost with probability ~0.5 at margin 0.
+BER_AT_THRESHOLD = 6e-5
+
+#: Link-margin decibels per decade of bit-error-rate improvement.
+BER_DECADE_DB = 5.0
+
+
+def packet_loss_probability(ber: float, payload_bytes: int) -> float:
+    """Per-packet loss probability for an iid bit-error rate.
+
+    A packet survives only if every one of its bits does:
+    ``p = 1 - (1 - ber)^(8*bytes)``.
+    """
+    if not 0 <= ber < 1:
+        raise ModelError("bit-error rate must be in [0, 1)")
+    if payload_bytes <= 0:
+        raise ModelError("payload size must be positive")
+    return 1.0 - (1.0 - ber) ** (8 * payload_bytes)
+
+
+def loss_rate_for_condition(
+    condition: ChannelCondition, payload_bytes: int = DEFAULT_PAYLOAD_BYTES
+) -> float:
+    """Per-packet loss probability implied by a distance/obstacle setting.
+
+    The margin above the selected rung's threshold sets the BER
+    (:data:`BER_AT_THRESHOLD` at zero margin, one decade better per
+    :data:`BER_DECADE_DB` dB); rate adaptation keeps the margin small
+    near each rung boundary, which is where loss concentrates.
+    """
+    rate = select_rate(condition)
+    if rate is None:
+        raise ModelError(
+            f"no 802.11b rate sustainable at {condition.distance_m:.0f} m "
+            f"with {condition.obstacles} obstacles"
+        )
+    needed = dict(_RATE_THRESHOLDS_DB)[rate]
+    margin_db = condition.quality_db - needed
+    ber = BER_AT_THRESHOLD * 10.0 ** (-margin_db / BER_DECADE_DB)
+    return packet_loss_probability(min(ber, 0.999999), payload_bytes)
+
+
+class LossModel:
+    """Base class: seeded, deterministic per-attempt loss decisions."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the random stream (start of a fresh replay)."""
+        self._rng = random.Random(self.seed)
+
+    def attempt_lost(self, byte_offset: int = 0) -> bool:
+        """Is this transmission attempt lost?  Subclasses decide."""
+        raise NotImplementedError
+
+    def expected_rate(self, total_bytes: Optional[int] = None) -> float:
+        """Mean per-packet loss probability over a transfer.
+
+        ``total_bytes`` lets episodic models weight their episodes by the
+        share of the transfer they cover; stationary models ignore it.
+        """
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """A lossless link (the paper's measurement setup)."""
+
+    def attempt_lost(self, byte_offset: int = 0) -> bool:
+        return False
+
+    def expected_rate(self, total_bytes: Optional[int] = None) -> float:
+        return 0.0
+
+
+class UniformLoss(LossModel):
+    """Independent (iid) per-attempt packet loss."""
+
+    def __init__(self, rate: float, seed: int = 1) -> None:
+        if not 0 <= rate < 1:
+            raise ModelError("loss rate must be in [0, 1)")
+        super().__init__(seed)
+        self.rate = rate
+
+    def attempt_lost(self, byte_offset: int = 0) -> bool:
+        if self.rate == 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+    def expected_rate(self, total_bytes: Optional[int] = None) -> float:
+        return self.rate
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (bursty) loss: a good and a bad channel state.
+
+    Each attempt first advances the state machine, then draws loss at
+    the state's rate.  The stationary loss rate is the state-occupancy
+    weighted mix, which is what the analytic expectation uses.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        good_loss: float = 0.001,
+        bad_loss: float = 0.5,
+        seed: int = 1,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0 < p <= 1:
+                raise ModelError(f"{name} must be in (0, 1]")
+        for name, p in (("good_loss", good_loss), ("bad_loss", bad_loss)):
+            if not 0 <= p < 1:
+                raise ModelError(f"{name} must be in [0, 1)")
+        super().__init__(seed)
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._bad = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._bad = False
+
+    def attempt_lost(self, byte_offset: int = 0) -> bool:
+        if self._bad:
+            if self._rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self._bad = True
+        rate = self.bad_loss if self._bad else self.good_loss
+        return self._rng.random() < rate
+
+    def expected_rate(self, total_bytes: Optional[int] = None) -> float:
+        pi_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return (1.0 - pi_bad) * self.good_loss + pi_bad * self.bad_loss
+
+
+@dataclass(frozen=True)
+class LossEpisode:
+    """A byte-interval of elevated loss (fault injection)."""
+
+    start_byte: int
+    end_byte: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.start_byte < 0 or self.end_byte <= self.start_byte:
+            raise ModelError("episode must cover a positive byte range")
+        if not 0 <= self.rate < 1:
+            raise ModelError("episode loss rate must be in [0, 1)")
+
+    def covers(self, byte_offset: int) -> bool:
+        """Does the episode apply at this transfer offset?"""
+        return self.start_byte <= byte_offset < self.end_byte
+
+    def overlap_bytes(self, total_bytes: int) -> int:
+        """Bytes of a ``total_bytes`` transfer inside the episode."""
+        return max(0, min(self.end_byte, total_bytes) - self.start_byte)
+
+
+class EpisodeLoss(LossModel):
+    """Fault injector: loss episodes over a base model.
+
+    Inside an episode's byte range the episode rate applies; elsewhere
+    the base model decides.  Sessions use this to inject a mid-download
+    fade (e.g. walking behind a wall) and measure the energy overhead.
+    """
+
+    def __init__(
+        self,
+        episodes: Sequence[LossEpisode],
+        base: Optional[LossModel] = None,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(seed)
+        self.episodes: List[LossEpisode] = list(episodes)
+        self.base = base or NoLoss(seed=seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self.base.reset()
+
+    def attempt_lost(self, byte_offset: int = 0) -> bool:
+        for ep in self.episodes:
+            if ep.covers(byte_offset):
+                return self._rng.random() < ep.rate
+        return self.base.attempt_lost(byte_offset)
+
+    def expected_rate(self, total_bytes: Optional[int] = None) -> float:
+        base_rate = self.base.expected_rate(total_bytes)
+        if not total_bytes:
+            # Without a transfer length the episodes' weight is unknown;
+            # report the worst case so expectations stay conservative.
+            rates = [ep.rate for ep in self.episodes]
+            return max([base_rate] + rates)
+        covered = 0
+        weighted = 0.0
+        for ep in self.episodes:
+            n = ep.overlap_bytes(total_bytes)
+            covered += n
+            weighted += n * ep.rate
+        covered = min(covered, total_bytes)
+        weighted += (total_bytes - covered) * base_rate
+        return weighted / total_bytes
+
+
+def loss_model_for_condition(
+    condition: ChannelCondition,
+    seed: int = 1,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    bursty: bool = False,
+) -> LossModel:
+    """A seeded loss model matching a distance/obstacle environment.
+
+    ``bursty=True`` wraps the channel-derived rate into a Gilbert–Elliott
+    process with the same stationary loss rate but clustered errors
+    (fading is bursty in practice); otherwise losses are iid.
+    """
+    rate = loss_rate_for_condition(condition, payload_bytes)
+    if rate <= 0:
+        return NoLoss(seed=seed)
+    if not bursty:
+        return UniformLoss(rate, seed=seed)
+    # Keep the stationary rate: with bad-state loss 0.5 and dwell
+    # parameters fixed, solve the good->bad entry probability.
+    p_bad_to_good = 0.2
+    bad_loss = max(0.5, rate)
+    good_loss = rate * 0.1
+    # pi_bad * bad_loss + (1 - pi_bad) * good_loss = rate
+    target_pi_bad = (rate - good_loss) / (bad_loss - good_loss)
+    target_pi_bad = min(max(target_pi_bad, 1e-9), 1.0 - 1e-9)
+    p_good_to_bad = p_bad_to_good * target_pi_bad / (1.0 - target_pi_bad)
+    return GilbertElliottLoss(
+        p_good_to_bad=min(1.0, p_good_to_bad),
+        p_bad_to_good=p_bad_to_good,
+        good_loss=good_loss,
+        bad_loss=bad_loss,
+        seed=seed,
+    )
+
+
+def _stationary_check(model: GilbertElliottLoss, tol: float = 1e-9) -> float:
+    """Internal: stationary bad-state occupancy (used by tests)."""
+    s = model.p_good_to_bad + model.p_bad_to_good
+    if s <= tol:
+        raise ModelError("degenerate Markov chain")
+    return model.p_good_to_bad / s
+
+
+__all__ = [
+    "BER_AT_THRESHOLD",
+    "BER_DECADE_DB",
+    "packet_loss_probability",
+    "loss_rate_for_condition",
+    "loss_model_for_condition",
+    "LossModel",
+    "NoLoss",
+    "UniformLoss",
+    "GilbertElliottLoss",
+    "LossEpisode",
+    "EpisodeLoss",
+]

@@ -22,9 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core import thresholds
 from repro.core.energy_model import EnergyModel
 from repro.core.fleet_advisor import FleetAdvisor
 from repro.errors import ModelError
+from repro.network.arq import expected_overhead_energy_j
 from repro.network.channel import ChannelCondition, link_for_condition
 from repro.network.wlan import LINK_11MBPS, LinkConfig
 from repro.proxy.transcode import TranscodeProfile, TranscodingProxy
@@ -54,12 +56,17 @@ class DeviceProfile:
     low_battery_quality_floor: float = 0.45
     low_battery_threshold: float = 0.25
     accepts_lossy: bool = True
+    #: Per-packet loss probability the proxy observed for this client
+    #: (0 = the paper's clean-channel assumption).
+    packet_loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.battery_fraction <= 1:
             raise ModelError("battery fraction must be in [0, 1]")
         if not 0 < self.quality_floor <= 1:
             raise ModelError("quality floor must be in (0, 1]")
+        if not 0 <= self.packet_loss_rate < 1:
+            raise ModelError("packet loss rate must be in [0, 1)")
 
     @classmethod
     def at(
@@ -131,7 +138,17 @@ class ServingPolicy:
             raise ModelError("object size must be positive")
         model = self.model_for(profile)
         fleet = FleetAdvisor(model, contenders=self.contenders)
-        plain = fleet.fleet_cost_j(raw_bytes, raw_bytes)
+        loss_p = profile.packet_loss_rate
+
+        def cost_j(transfer_bytes: int) -> float:
+            # Every candidate pays the same per-transfer-byte loss tax,
+            # so a lossy channel tilts the choice toward smaller bodies.
+            e = fleet.fleet_cost_j(raw_bytes, transfer_bytes)
+            if loss_p > 0:
+                e += expected_overhead_energy_j(model.params, transfer_bytes, loss_p)
+            return e
+
+        plain = cost_j(raw_bytes)
 
         options = [
             ServingDecision(
@@ -143,13 +160,20 @@ class ServingPolicy:
             )
         ]
 
-        if fleet.compression_worthwhile(raw_bytes, compression_factor):
+        worthwhile = fleet.compression_worthwhile(raw_bytes, compression_factor)
+        if not worthwhile and loss_p > 0:
+            # Retransmissions shift the Equation 6 break-even downward;
+            # re-test with the loss-aware threshold before giving up.
+            worthwhile = thresholds.compression_worthwhile(
+                raw_bytes, compression_factor, model, loss_rate=loss_p
+            )
+        if worthwhile:
             sc = int(raw_bytes / compression_factor)
             options.append(
                 ServingDecision(
                     mechanism="compress",
                     transfer_bytes=sc,
-                    estimated_energy_j=fleet.fleet_cost_j(raw_bytes, sc),
+                    estimated_energy_j=cost_j(sc),
                     plain_energy_j=plain,
                     detail=f"lossless factor {compression_factor:.2f}",
                 )
@@ -161,7 +185,7 @@ class ServingPolicy:
                 ServingDecision(
                     mechanism="adaptive",
                     transfer_bytes=transfer,
-                    estimated_energy_j=fleet.fleet_cost_j(raw_bytes, transfer),
+                    estimated_energy_j=cost_j(transfer),
                     plain_energy_j=plain,
                     detail=(
                         f"{adaptive_result.blocks_compressed}/"
@@ -183,9 +207,7 @@ class ServingPolicy:
                     ServingDecision(
                         mechanism="transcode",
                         transfer_bytes=chosen.transfer_bytes,
-                        estimated_energy_j=fleet.fleet_cost_j(
-                            raw_bytes, chosen.transfer_bytes
-                        ),
+                        estimated_energy_j=cost_j(chosen.transfer_bytes),
                         plain_energy_j=plain,
                         detail=f"quality {chosen.quality:.2f}",
                         quality=chosen.quality,

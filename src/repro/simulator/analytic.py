@@ -22,17 +22,65 @@ from repro.core.adaptive import AdaptiveResult
 from repro.core.energy_model import EnergyModel
 from repro.device.timeline import PowerTimeline
 from repro.errors import ModelError
+from repro.network.arq import ArqConfig, LinkStats, expected_overhead
+from repro.network.loss import LossModel
+from repro.network.packets import DEFAULT_PAYLOAD_BYTES
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.simulator.session import Scenario, SessionResult
 
 
 class AnalyticSession:
-    """Evaluates download scenarios in closed form over an EnergyModel."""
+    """Evaluates download scenarios in closed form over an EnergyModel.
 
-    def __init__(self, model: Optional[EnergyModel] = None) -> None:
+    ``loss`` switches on the lossy-link extension: every scenario's
+    transfer is charged its *expected* retransmission overhead — extra
+    airtime at receive power, stretched gaps and stop-and-wait timeouts
+    at gap power — using the truncated-geometric attempt count of
+    ``arq``.  With ``loss=None`` (or an expected rate of zero) the
+    timelines are byte- and joule-identical to the paper's lossless
+    model.
+    """
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        loss: Optional[LossModel] = None,
+        arq: Optional[ArqConfig] = None,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    ) -> None:
         self.model = model or EnergyModel()
+        self.loss = loss
+        self.arq = arq or ArqConfig()
+        self.payload_bytes = payload_bytes
 
     # -- shared pieces -------------------------------------------------------
+
+    def _apply_loss(
+        self, timeline: PowerTimeline, transfer_bytes: float
+    ) -> Optional[LinkStats]:
+        """Append the expected retransmission segments for one transfer.
+
+        Retransmitted airtime cannot host decompression work (the block
+        it re-delivers is not complete until it lands), so the overhead
+        is charged after the lossless structure, conservatively, and the
+        zero-loss timeline is untouched.
+        """
+        if self.loss is None:
+            return None
+        rate = self.loss.expected_rate(int(transfer_bytes))
+        ov = expected_overhead(
+            self.model.params, transfer_bytes, rate, self.arq, self.payload_bytes
+        )
+        p = self.model.params
+        timeline.add(ov.extra_active_s, self._recv_power_w, "retransmit")
+        timeline.add(ov.extra_gap_s + ov.retry_wait_s, p.gap_power_w, "retry-idle")
+        return LinkStats(
+            payload_bytes=int(transfer_bytes),
+            transmitted_bytes=transfer_bytes + ov.extra_bytes,
+            retries=ov.expected_retries,
+            retry_wait_s=ov.retry_wait_s,
+            delivery_probability=ov.delivery_probability,
+        )
 
     @property
     def _recv_power_w(self) -> float:
@@ -61,8 +109,9 @@ class AnalyticSession:
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
         self._receive(tl, raw_bytes)
+        stats = self._apply_loss(tl, raw_bytes)
         return SessionResult.from_timeline(
-            Scenario.RAW, raw_bytes, raw_bytes, None, tl
+            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
         )
 
     def precompressed(
@@ -89,6 +138,7 @@ class AnalyticSession:
         tl.add_energy(p.cs_j, "startup")
         if not interleave:
             self._receive(tl, compressed_bytes)
+            stats = self._apply_loss(tl, compressed_bytes)
             pd = (
                 p.decompress_sleep_power_w
                 if radio_power_save
@@ -99,7 +149,7 @@ class AnalyticSession:
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
             return SessionResult.from_timeline(
-                scenario, raw_bytes, compressed_bytes, codec, tl
+                scenario, raw_bytes, compressed_bytes, codec, tl, link_stats=stats
             )
 
         # Interleaved (Equation 3): the idle gaps after the first block
@@ -116,8 +166,10 @@ class AnalyticSession:
             tl.add(ti_prime - td, p.gap_power_w, "idle")
         else:
             tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+        stats = self._apply_loss(tl, compressed_bytes)
         return SessionResult.from_timeline(
-            Scenario.INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+            Scenario.INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
+            link_stats=stats,
         )
 
     def adaptive(
@@ -151,8 +203,9 @@ class AnalyticSession:
             tl.add(ti_prime - td, p.gap_power_w, "idle")
         else:
             tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+        stats = self._apply_loss(tl, transfer)
         return SessionResult.from_timeline(
-            Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl
+            Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl, link_stats=stats
         )
 
     def ondemand(
@@ -188,10 +241,12 @@ class AnalyticSession:
             # Device idles (radio up, card idle) while the proxy works.
             tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
             self._receive(tl, compressed_bytes)
+            stats = self._apply_loss(tl, compressed_bytes)
             td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
             tl.add(td, p.decompress_power_w, "decompress")
             return SessionResult.from_timeline(
-                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
+                tl, link_stats=stats,
             )
 
         # Overlapped pipeline.  Per raw block b: proxy compress time c_b and
@@ -231,8 +286,10 @@ class AnalyticSession:
         tl.add(td_overlapped, p.decompress_power_w, "decompress")
         tl.add(unused_idle, p.gap_power_w, "idle")
         tl.add(td_after, p.decompress_power_w, "decompress")
+        stats = self._apply_loss(tl, compressed_bytes)
         return SessionResult.from_timeline(
-            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl
+            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl,
+            link_stats=stats,
         )
 
     # -- upload direction (Section 7 future work) -------------------------------
@@ -242,8 +299,9 @@ class AnalyticSession:
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
         self._send(tl, raw_bytes)
+        stats = self._apply_loss(tl, raw_bytes)
         return SessionResult.from_timeline(
-            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl
+            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
         )
 
     def upload_compressed(
@@ -269,8 +327,10 @@ class AnalyticSession:
         if not interleave:
             tl.add(tc, p.decompress_power_w, "compress")
             self._send(tl, compressed_bytes)
+            stats = self._apply_loss(tl, compressed_bytes)
             return SessionResult.from_timeline(
-                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
+                tl, link_stats=stats,
             )
 
         ts_prime, ts_dprime = upload.interleave_times(raw_bytes, compressed_bytes)
@@ -290,8 +350,10 @@ class AnalyticSession:
         else:
             tl.add(overlap_work - ts_prime, p.decompress_power_w, "compress")
         tl.add(ts_dprime, p.gap_power_w, "idle")
+        stats = self._apply_loss(tl, compressed_bytes)
         return SessionResult.from_timeline(
-            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
+            link_stats=stats,
         )
 
     def _send(self, timeline: PowerTimeline, transfer_bytes: float) -> None:

@@ -20,6 +20,8 @@ from repro.core.adaptive import AdaptiveResult
 from repro.core.energy_model import EnergyModel
 from repro.device.timeline import PowerTimeline
 from repro.errors import ModelError
+from repro.network.arq import ArqConfig, LinkStats, expand_schedule
+from repro.network.loss import LossModel
 from repro.network.packets import Packetizer
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.proxy.ondemand import OnDemandPipeline
@@ -47,15 +49,29 @@ class _WorkLedger:
 
 
 class DesSession:
-    """Discrete-event counterpart of :class:`AnalyticSession`."""
+    """Discrete-event counterpart of :class:`AnalyticSession`.
+
+    ``loss`` replays the packet schedule through a seeded loss model
+    with stop-and-wait ARQ: every failed attempt occupies the radio for
+    the packet's airtime ("retransmit"), each timeout idles at gap power
+    ("retry-idle"), and a packet that exhausts the retry limit raises
+    :class:`~repro.errors.LinkDroppedError`.  Blocks only become
+    decompressible once their packets are actually *delivered*, so loss
+    also delays the interleaving pipeline.  With ``loss=None`` the
+    replay is bit-identical to the seed engine.
+    """
 
     def __init__(
         self,
         model: Optional[EnergyModel] = None,
         payload_bytes: int = 1460,
+        loss: Optional[LossModel] = None,
+        arq: Optional[ArqConfig] = None,
     ) -> None:
         self.model = model or EnergyModel()
         self.packetizer = Packetizer(payload_bytes)
+        self.loss = loss
+        self.arq = arq or ArqConfig()
         # The DES paces packets off the model's rate/idle parameters so the
         # two engines share one ground truth.
         self._link = dc_replace(
@@ -79,7 +95,7 @@ class DesSession:
         """Packet-level replay of a plain download (Equation 1)."""
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
-        self._simulate(
+        stats = self._simulate(
             tl,
             transfer_bytes=raw_bytes,
             block_thresholds=[],
@@ -88,7 +104,9 @@ class DesSession:
             tail_work_s=0.0,
             decompress_power_w=self.model.params.decompress_power_w,
         )
-        return SessionResult.from_timeline(Scenario.RAW, raw_bytes, raw_bytes, None, tl)
+        return SessionResult.from_timeline(
+            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
+        )
 
     def precompressed(
         self,
@@ -107,7 +125,7 @@ class DesSession:
         tl.add_energy(p.cs_j, "startup")
         pd = p.decompress_sleep_power_w if radio_power_save else p.decompress_power_w
         if interleave:
-            self._simulate(
+            stats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=thresholds,
@@ -118,7 +136,7 @@ class DesSession:
             )
             scenario = Scenario.INTERLEAVED
         else:
-            self._simulate(
+            stats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=[],
@@ -131,7 +149,7 @@ class DesSession:
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
         return SessionResult.from_timeline(
-            scenario, raw_bytes, compressed_bytes, codec, tl
+            scenario, raw_bytes, compressed_bytes, codec, tl, link_stats=stats
         )
 
     def adaptive(self, result: AdaptiveResult, codec: str = "gzip") -> SessionResult:
@@ -156,7 +174,7 @@ class DesSession:
                 works.append(0.0)
         tl = PowerTimeline()
         tl.add_energy(p.cs_j, "startup")
-        self._simulate(
+        stats = self._simulate(
             tl,
             transfer_bytes=result.compressed_size,
             block_thresholds=thresholds,
@@ -166,7 +184,8 @@ class DesSession:
             decompress_power_w=p.decompress_power_w,
         )
         return SessionResult.from_timeline(
-            Scenario.ADAPTIVE, result.raw_size, result.compressed_size, codec, tl
+            Scenario.ADAPTIVE, result.raw_size, result.compressed_size, codec, tl,
+            link_stats=stats,
         )
 
     def ondemand(
@@ -185,7 +204,7 @@ class DesSession:
         if not overlap:
             t_comp = proxy.compress_time_s(codec, raw_bytes, compressed_bytes)
             tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
-            self._simulate(
+            stats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=[],
@@ -197,9 +216,15 @@ class DesSession:
                 decompress_power_w=p.decompress_power_w,
             )
             return SessionResult.from_timeline(
-                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+                Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
+                tl, link_stats=stats,
             )
 
+        if self.loss is not None:
+            raise ModelError(
+                "the overlapped on-demand replay does not model loss; "
+                "use the analytic engine for lossy on-demand sessions"
+            )
         pipeline = OnDemandPipeline(self._link, proxy)
         timing = pipeline.schedule(raw_bytes, compressed_bytes, codec)
         self._simulate_arrivals(tl, timing, codec)
@@ -215,12 +240,27 @@ class DesSession:
         tl.add_energy(self.model.params.cs_j, "startup")
         p = self.model.params
         schedule = self.packetizer.schedule(raw_bytes, self._link)
-        for pkt in schedule:
+        stats = self._replay_send(tl, schedule)
+        return SessionResult.from_timeline(
+            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
+        )
+
+    def _replay_send(self, tl: PowerTimeline, schedule) -> Optional[LinkStats]:
+        """Send a packet schedule, replaying ARQ attempts under loss."""
+        p = self.model.params
+        lossy = (
+            expand_schedule(schedule, self.loss, self.arq)
+            if self.loss is not None
+            else None
+        )
+        for index, pkt in enumerate(schedule):
+            if lossy is not None:
+                for att in lossy.packets[index].failed_attempts:
+                    tl.add(att.active_s, self._recv_power_w, "retransmit")
+                    tl.add(att.wait_s, p.gap_power_w, "retry-idle")
             tl.add(pkt.active_s, self._recv_power_w, "send")
             tl.add(pkt.gap_s, p.gap_power_w, "idle")
-        return SessionResult.from_timeline(
-            Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl
-        )
+        return lossy.stats if lossy is not None else None
 
     def upload_compressed(
         self,
@@ -257,13 +297,17 @@ class DesSession:
         if not interleave:
             tl.add(sum(works), p.decompress_power_w, "compress")
             schedule = self.packetizer.schedule(compressed_bytes, self._link)
-            for pkt in schedule:
-                tl.add(pkt.active_s, self._recv_power_w, "send")
-                tl.add(pkt.gap_s, p.gap_power_w, "idle")
+            stats = self._replay_send(tl, schedule)
             return SessionResult.from_timeline(
-                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec, tl
+                Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
+                tl, link_stats=stats,
             )
 
+        if self.loss is not None:
+            raise ModelError(
+                "the pipelined upload replay does not model loss; "
+                "use the analytic engine for lossy interleaved uploads"
+            )
         # Pipelined: send gaps host compression of later blocks; the link
         # starves (CPU dedicated) whenever the next block is not ready.
         compress_done = 0  # blocks fully compressed
@@ -338,19 +382,36 @@ class DesSession:
         interleave: bool,
         tail_work_s: float,
         decompress_power_w: float,
-    ) -> None:
-        """Replay packet arrivals; fill gaps with ledger work if interleaving."""
+    ) -> Optional[LinkStats]:
+        """Replay packet arrivals; fill gaps with ledger work if interleaving.
+
+        With a loss model configured, each packet's failed attempts are
+        replayed first: the radio receives the doomed copy at full power,
+        then idles through the ARQ timeout.  The block ledger only
+        advances on *delivered* payload bytes.
+        """
         p = self.model.params
         sim = Simulator()
         ledger = _WorkLedger()
         schedule = self.packetizer.schedule(transfer_bytes, self._link)
+        lossy = (
+            expand_schedule(schedule, self.loss, self.arq)
+            if self.loss is not None
+            else None
+        )
         recv_power = self._recv_power_w
         next_block = 0
         received = 0
 
         def receiver():
             nonlocal next_block, received
-            for pkt in schedule:
+            for index, pkt in enumerate(schedule):
+                if lossy is not None:
+                    for att in lossy.packets[index].failed_attempts:
+                        tl.add(att.active_s, recv_power, "retransmit")
+                        yield att.active_s
+                        tl.add(att.wait_s, p.gap_power_w, "retry-idle")
+                        yield att.wait_s
                 tl.add(pkt.active_s, recv_power, "recv")
                 yield pkt.active_s
                 received += pkt.payload_bytes
@@ -381,6 +442,7 @@ class DesSession:
         leftover = ledger.pending_s + tail_work_s
         if leftover > 0:
             tl.add(leftover, decompress_power_w, "decompress")
+        return lossy.stats if lossy is not None else None
 
     def _simulate_arrivals(self, tl: PowerTimeline, timing, codec: str) -> None:
         """Replay an on-demand pipeline: stalls, transmissions, gap work."""

@@ -52,6 +52,12 @@ class RequestOutcome:
     proxy_compress_s: float = 0.0
     device_energy_j: float = 0.0
     wait_s: float = 0.0
+    #: Expected retransmissions over the lossy link (0 when lossless).
+    retries: float = 0.0
+    #: Joules spent on retransmitted airtime and ARQ timeouts.
+    energy_overhead_j: float = 0.0
+    #: Useful payload bytes per second of session time (queueing excluded).
+    goodput_bps: float = 0.0
 
     @property
     def latency_s(self) -> float:
@@ -89,6 +95,23 @@ class FleetReport:
         """When the last request finished."""
         return max((o.finish_s for o in self.outcomes), default=0.0)
 
+    @property
+    def total_retries(self) -> float:
+        """Retransmissions summed over all requests."""
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_energy_overhead_j(self) -> float:
+        """Loss-induced joules (retransmit + retry-idle) fleet-wide."""
+        return sum(o.energy_overhead_j for o in self.outcomes)
+
+    @property
+    def mean_goodput_bps(self) -> float:
+        """Mean per-request goodput (queueing excluded)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.goodput_bps for o in self.outcomes) / len(self.outcomes)
+
     def by_client(self) -> Dict[str, List[RequestOutcome]]:
         """Outcomes grouped by client name."""
         grouped: Dict[str, List[RequestOutcome]] = {}
@@ -105,12 +128,28 @@ class MultiClientSimulation:
         model: Optional[EnergyModel] = None,
         link_slots: int = 1,
         proxy_slots: int = 1,
+        loss=None,
+        arq=None,
     ) -> None:
         self.model = model or EnergyModel()
-        self.session = AnalyticSession(self.model)
+        self.loss = loss
+        self.arq = arq
+        self.session = AnalyticSession(self.model, loss=loss, arq=arq)
         self.advisor = CompressionAdvisor(model=self.model)
         self.link_slots = link_slots
         self.proxy_slots = proxy_slots
+
+    def inject_loss(self, loss, arq=None) -> None:
+        """Fault-injection hook: make subsequent runs serve over ``loss``.
+
+        ``loss`` is any :class:`~repro.network.loss.LossModel` — use
+        :class:`~repro.network.loss.EpisodeLoss` to confine the fault to
+        a byte range of each download (a loss episode mid-transfer).
+        """
+        self.loss = loss
+        if arq is not None:
+            self.arq = arq
+        self.session = AnalyticSession(self.model, loss=loss, arq=self.arq)
 
     # -- strategy resolution -----------------------------------------------------
 
@@ -184,6 +223,10 @@ class MultiClientSimulation:
             outcome.proxy_compress_s = proxy_time
             # Device energy: the session itself plus idling while queued.
             outcome.device_energy_j = result.energy_j + outcome.wait_s * idle_power
+            if result.link_stats is not None:
+                outcome.retries = result.link_stats.retries
+                outcome.energy_overhead_j = result.loss_overhead_j
+                outcome.goodput_bps = result.goodput_bps
             report.outcomes.append(outcome)
 
         for request in sorted(requests, key=lambda r: r.arrival_s):

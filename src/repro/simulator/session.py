@@ -8,6 +8,7 @@ from typing import Dict, Optional
 
 from repro.device.battery import EnergyReport
 from repro.device.timeline import PowerTimeline
+from repro.network.arq import LinkStats
 
 
 class Scenario(enum.Enum):
@@ -48,6 +49,9 @@ class SessionResult:
     #: decompressed output).
     time_s: float
     energy_j: float
+    #: Retransmission accounting when the session ran over a lossy link
+    #: (None on the paper's lossless setup).
+    link_stats: Optional[LinkStats] = None
 
     @classmethod
     def from_timeline(
@@ -57,6 +61,7 @@ class SessionResult:
         transfer_bytes: int,
         codec: Optional[str],
         timeline: PowerTimeline,
+        link_stats: Optional[LinkStats] = None,
     ) -> "SessionResult":
         return cls(
             scenario=scenario,
@@ -66,7 +71,21 @@ class SessionResult:
             timeline=timeline,
             time_s=timeline.total_time_s,
             energy_j=timeline.total_energy_j,
+            link_stats=link_stats,
         )
+
+    @property
+    def loss_overhead_j(self) -> float:
+        """Joules attributable to retransmissions and ARQ timeouts."""
+        by_tag = self.timeline.energy_by_tag()
+        return by_tag.get("retransmit", 0.0) + by_tag.get("retry-idle", 0.0)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Useful payload bytes per second of session wall time."""
+        if self.time_s <= 0:
+            return 0.0
+        return self.transfer_bytes / self.time_s
 
     @property
     def report(self) -> EnergyReport:
@@ -95,20 +114,26 @@ class SessionResult:
 
 
 class DownloadSession:
-    """Facade selecting the engine (analytic by default, DES on request)."""
+    """Facade selecting the engine (analytic by default, DES on request).
 
-    def __init__(self, model=None, engine: str = "analytic") -> None:
+    ``loss``/``arq`` switch on the lossy-link extension in either
+    engine; left at None the sessions match the paper's lossless model.
+    """
+
+    def __init__(
+        self, model=None, engine: str = "analytic", loss=None, arq=None
+    ) -> None:
         from repro.core.energy_model import EnergyModel
 
         self.model = model or EnergyModel()
         if engine == "analytic":
             from repro.simulator.analytic import AnalyticSession
 
-            self._impl = AnalyticSession(self.model)
+            self._impl = AnalyticSession(self.model, loss=loss, arq=arq)
         elif engine == "des":
             from repro.simulator.des import DesSession
 
-            self._impl = DesSession(self.model)
+            self._impl = DesSession(self.model, loss=loss, arq=arq)
         else:
             raise ValueError(f"unknown engine {engine!r}")
 

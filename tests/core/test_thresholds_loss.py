@@ -1,0 +1,96 @@
+"""Loss-aware Equation 6: the break-even shifts toward compression."""
+
+import pytest
+
+from repro.core import selective, thresholds
+from repro.core.energy_model import EnergyModel
+from repro.errors import ModelError
+from repro.network.arq import ArqConfig
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestLossAwareWorthwhile:
+    def test_zero_loss_unchanged(self, model):
+        for s, f in ((mb(1), 2.0), (2000, 10.0), (mb(0.05), 1.2)):
+            assert thresholds.compression_worthwhile(
+                s, f, model, loss_rate=0.0
+            ) == thresholds.compression_worthwhile(s, f, model)
+
+    def test_loss_flips_marginal_cases_toward_compression(self, model):
+        # A factor just below the clean break-even for 1 MB.
+        clean_threshold = thresholds.factor_threshold(mb(1), model)
+        f = clean_threshold * 0.98
+        assert not thresholds.compression_worthwhile(mb(1), f, model)
+        assert thresholds.compression_worthwhile(
+            mb(1), f, model, loss_rate=0.2
+        )
+
+    def test_literal_mode_falls_back_to_model_under_loss(self):
+        # model=None with loss still answers (the literal Equation 6 has
+        # no loss term, so the default model fills in).
+        assert thresholds.compression_worthwhile(
+            mb(1), 2.0, None, loss_rate=0.1
+        )
+
+    def test_invalid_loss_rate(self, model):
+        with pytest.raises(ModelError):
+            thresholds.compression_worthwhile(mb(1), 2.0, model, loss_rate=1.0)
+
+
+class TestThresholdShift:
+    def test_size_floor_decreases_with_loss(self, model):
+        floors = [
+            thresholds.size_threshold_bytes(model, loss_rate=r)
+            for r in (0.0, 0.05, 0.1, 0.2)
+        ]
+        assert floors[0] == pytest.approx(3900, rel=0.05)
+        assert floors == sorted(floors, reverse=True)
+        assert floors[-1] < floors[0]
+
+    def test_factor_threshold_decreases_with_loss(self, model):
+        cols = [
+            thresholds.factor_threshold(mb(1), model, loss_rate=r)
+            for r in (0.0, 0.05, 0.1, 0.2)
+        ]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_retry_budget_deepens_the_shift(self, model):
+        # More retries -> bigger expected tax on raw bytes -> lower floor.
+        shallow = thresholds.size_threshold_bytes(
+            model, loss_rate=0.2, arq=ArqConfig(max_retries=1)
+        )
+        deep = thresholds.size_threshold_bytes(
+            model, loss_rate=0.2, arq=ArqConfig(max_retries=7)
+        )
+        assert deep <= shallow
+
+
+class TestSelectiveDecisionUnderLoss:
+    def test_decision_uses_loss_aware_floor(self, model):
+        floor_clean = thresholds.size_threshold_bytes(model)
+        floor_lossy = thresholds.size_threshold_bytes(model, loss_rate=0.2)
+        size = (floor_clean + floor_lossy) // 2  # between the two floors
+        clean = selective.decide_file(
+            raw_bytes=size, compression_factor=20.0, model=model
+        )
+        lossy = selective.decide_file(
+            raw_bytes=size, compression_factor=20.0, model=model, loss_rate=0.2
+        )
+        assert not clean.compress
+        assert lossy.compress
+
+    def test_explicit_threshold_still_wins(self, model):
+        decision = selective.decide_file(
+            raw_bytes=2000,
+            compression_factor=20.0,
+            model=model,
+            loss_rate=0.2,
+            size_threshold=5000,
+        )
+        assert not decision.compress
+        assert "size threshold" in decision.reason

@@ -1,0 +1,144 @@
+"""Acceptance gate: zero loss + ARQ off must equal the seed baseline.
+
+The lossy-link subsystem must be invisible when switched off (loss=None)
+*and* when switched on but inert (rate-0 loss, retries disabled): the
+engines must produce byte- and joule-identical results — not merely
+approximately equal.  The frozen constants below were produced by the
+seed model before the loss subsystem existed; equality is exact
+(rel=1e-12 only absorbs float formatting of the literals).
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.network.arq import ArqConfig
+from repro.network.loss import NoLoss, UniformLoss
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+#: Seed-baseline energies/times (11 Mb/s model, 4 MB file, factor 3.8).
+SEED_RAW_ENERGY_J = 14.089333333333336
+SEED_RAW_TIME_S = 6.666666666666667
+SEED_INTERLEAVED_ENERGY_J = 4.9934485249201455
+SEED_INTERLEAVED_TIME_S = 1.8925611661275228
+SEED_SEQUENTIAL_ENERGY_J = 6.04636060479482
+SEED_SEQUENTIAL_TIME_S = 2.5718592821757
+
+S = mb(4)
+SC = int(mb(4) / 3.8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def inert_variants(model, engine_cls):
+    """The three configurations that must be indistinguishable."""
+    return [
+        engine_cls(model),
+        engine_cls(model, loss=NoLoss()),
+        engine_cls(model, loss=UniformLoss(0.0), arq=ArqConfig.disabled()),
+    ]
+
+
+def assert_identical(results):
+    """Byte- and joule-identical: equal segment lists, not approx."""
+    ref = results[0]
+    for other in results[1:]:
+        assert other.energy_j == ref.energy_j
+        assert other.time_s == ref.time_s
+        assert other.transfer_bytes == ref.transfer_bytes
+        assert [
+            (s.duration_s, s.power_w, s.tag, s.energy_j)
+            for s in other.timeline
+        ] == [
+            (s.duration_s, s.power_w, s.tag, s.energy_j)
+            for s in ref.timeline
+        ]
+
+
+class TestAnalyticIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, AnalyticSession)]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_RAW_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(SEED_RAW_TIME_S, rel=1e-12)
+
+    def test_interleaved(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=True)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_INTERLEAVED_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_INTERLEAVED_TIME_S, rel=1e-12
+        )
+
+    def test_sequential(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=False)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_SEQUENTIAL_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_SEQUENTIAL_TIME_S, rel=1e-12
+        )
+
+    def test_uploads_and_ondemand(self, model):
+        for call in (
+            lambda s: s.ondemand(S, SC, overlap=True),
+            lambda s: s.ondemand(S, SC, overlap=False),
+            lambda s: s.upload_raw(S),
+            lambda s: s.upload_compressed(S, SC, interleave=True),
+            lambda s: s.upload_compressed(S, SC, interleave=False),
+        ):
+            assert_identical(
+                [call(s) for s in inert_variants(model, AnalyticSession)]
+            )
+
+    def test_no_link_stats_when_clean(self, model):
+        assert AnalyticSession(model).raw(S).link_stats is None
+
+
+class TestDesIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, DesSession)]
+        assert_identical(results)
+
+    def test_interleaved(self, model):
+        assert_identical(
+            [
+                s.precompressed(S, SC, interleave=True)
+                for s in inert_variants(model, DesSession)
+            ]
+        )
+
+    def test_adaptive_and_uploads(self, model):
+        for call in (
+            lambda s: s.ondemand(S, SC, overlap=False),
+            lambda s: s.upload_raw(S),
+            lambda s: s.upload_compressed(S, SC, interleave=False),
+        ):
+            assert_identical(
+                [call(s) for s in inert_variants(model, DesSession)]
+            )
+
+
+class TestEnginesAgreeCleanly:
+    """DES replays the analytic model packet-by-packet: same totals."""
+
+    def test_raw_matches_analytic(self, model):
+        a = AnalyticSession(model).raw(S)
+        d = DesSession(model).raw(S)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=1e-9)
+        assert d.time_s == pytest.approx(a.time_s, rel=1e-9)

@@ -1,0 +1,176 @@
+"""Property-based invariants of the lossy-link subsystem.
+
+Differential properties (DES vs analytic under zero loss), monotonicity
+of energy in loss rate and retry budget, ARQ round-trip delivery, and
+streaming round-trips with mid-stream flushes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.compression.streaming import StreamCompressor, StreamDecompressor
+from repro.core.energy_model import EnergyModel
+from repro.errors import CodecError, LinkDroppedError
+from repro.network.arq import ArqConfig, StopAndWaitLink, expected_overhead_energy_j
+from repro.network.loss import UniformLoss
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+
+MODEL = EnergyModel()
+
+sizes = st.integers(min_value=1, max_value=8 * 2**20)
+factors = st.floats(min_value=1.0, max_value=40.0, allow_nan=False)
+loss_rates = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestZeroLossDifferential:
+    """Under zero loss both engines must agree (the seed suite's band)."""
+
+    @given(sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_raw_engines_agree(self, s):
+        a = AnalyticSession(MODEL, loss=UniformLoss(0.0)).raw(s)
+        d = DesSession(MODEL, loss=UniformLoss(0.0)).raw(s)
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.05)
+        assert d.time_s == pytest.approx(a.time_s, rel=0.05)
+
+    @given(sizes, factors)
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_engines_agree(self, s, f):
+        sc = max(1, int(s / f))
+        a = AnalyticSession(MODEL, loss=UniformLoss(0.0)).precompressed(
+            s, sc, interleave=True
+        )
+        d = DesSession(MODEL, loss=UniformLoss(0.0)).precompressed(
+            s, sc, interleave=True
+        )
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.10)
+
+
+class TestLossMonotonicity:
+    """Energy is nondecreasing in loss rate and in the retry budget."""
+
+    @given(sizes, st.lists(loss_rates, min_size=2, max_size=5, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_energy_monotone_in_loss_rate(self, s, rates):
+        rates = sorted(rates)
+        energies = [
+            AnalyticSession(MODEL, loss=UniformLoss(r)).raw(s).energy_j
+            for r in rates
+        ]
+        for lo, hi in zip(energies, energies[1:]):
+            assert hi >= lo - 1e-9
+
+    @given(
+        st.integers(min_value=64 * 1024, max_value=2 * 2**20),
+        st.floats(min_value=0.01, max_value=0.4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_energy_monotone_in_retry_budget(self, s, rate):
+        energies = [
+            AnalyticSession(
+                MODEL, loss=UniformLoss(rate), arq=ArqConfig(max_retries=r)
+            )
+            .raw(s)
+            .energy_j
+            for r in (0, 1, 3, 7, 15)
+        ]
+        for lo, hi in zip(energies, energies[1:]):
+            assert hi >= lo - 1e-9
+
+    @given(
+        st.integers(min_value=64 * 1024, max_value=2 * 2**20),
+        st.floats(min_value=0.01, max_value=0.4),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overhead_energy_closed_form_monotone(self, s, rate, retries):
+        base = expected_overhead_energy_j(
+            MODEL.params, s, rate, ArqConfig(max_retries=retries)
+        )
+        more_loss = expected_overhead_energy_j(
+            MODEL.params, s, min(0.5, rate * 1.5), ArqConfig(max_retries=retries)
+        )
+        more_retries = expected_overhead_energy_j(
+            MODEL.params, s, rate, ArqConfig(max_retries=retries + 1)
+        )
+        assert more_loss >= base - 1e-12
+        assert more_retries >= base - 1e-12
+
+    @given(st.floats(min_value=0.02, max_value=0.3), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_des_lossy_never_cheaper_than_clean(self, rate, seed):
+        s = 512 * 1024
+        clean = DesSession(MODEL).raw(s)
+        lossy = DesSession(MODEL, loss=UniformLoss(rate, seed=seed)).raw(s)
+        assert lossy.energy_j >= clean.energy_j - 1e-9
+        assert lossy.time_s >= clean.time_s - 1e-9
+
+
+class TestArqRoundTrip:
+    """Delivered payload equals sent payload, in order, exactly once."""
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=512), min_size=1, max_size=40),
+        st.floats(min_value=0.0, max_value=0.5),
+        seeds,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_below_retry_ceiling(self, payloads, rate, seed):
+        # 24 retries at rate <= 0.5: drop probability per packet is at
+        # most 0.5**25 ~ 3e-8 — a LinkDroppedError here is a real bug.
+        link = StopAndWaitLink(
+            UniformLoss(rate, seed=seed), ArqConfig(max_retries=24)
+        )
+        delivered, stats = link.transfer(payloads)
+        assert delivered == payloads
+        assert stats.payload_bytes == sum(len(p) for p in payloads)
+        assert stats.transmitted_bytes >= stats.payload_bytes
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_retry_ceiling_enforced(self, seed):
+        link = StopAndWaitLink(
+            UniformLoss(0.97, seed=seed), ArqConfig(max_retries=1)
+        )
+        with pytest.raises(LinkDroppedError):
+            # 100 packets at 97% loss with 2 attempts: certain death.
+            link.transfer([b"z" * 32] * 100)
+
+
+class TestStreamingMidFlush:
+    """Mid-stream flushes must not corrupt the reassembled stream."""
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=3000), min_size=1, max_size=8),
+        st.integers(min_value=32, max_value=4096),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_with_flush_between_writes(self, chunks, block_size):
+        codec = get_codec("zlib")
+        comp = StreamCompressor(codec, block_size=block_size)
+        wire = bytearray()
+        for chunk in chunks:
+            wire += comp.write(chunk)
+            wire += comp.flush_block()  # deadline flush after every chunk
+        wire += comp.flush()
+        decomp = StreamDecompressor(codec)
+        out = bytearray()
+        for i in range(0, len(wire), 97):  # odd-sized "packets"
+            out += decomp.feed(bytes(wire[i : i + 97]))
+        assert bytes(out) == b"".join(chunks)
+        assert decomp.finished
+
+    def test_flush_block_empty_buffer_is_noop(self):
+        comp = StreamCompressor(get_codec("zlib"), block_size=256)
+        assert comp.flush_block() == b""
+        comp.write(b"x" * 256)  # exact block: emitted, buffer empty
+        assert comp.flush_block() == b""
+
+    def test_flush_block_after_flush_raises(self):
+        comp = StreamCompressor(get_codec("zlib"))
+        comp.flush()
+        with pytest.raises(CodecError):
+            comp.flush_block()

@@ -1,0 +1,145 @@
+"""Unit tests for the stop-and-wait ARQ layer."""
+
+import pytest
+
+from repro.errors import LinkDroppedError, ModelError
+from repro.network.arq import (
+    ArqConfig,
+    StopAndWaitLink,
+    expand_schedule,
+    expected_overhead,
+    expected_overhead_energy_j,
+    lossless_stats,
+    recv_power_w,
+)
+from repro.network.loss import NoLoss, UniformLoss
+from repro.network.packets import Packetizer
+from repro.network.wlan import LINK_11MBPS
+from repro.core.energy_model import EnergyModel
+
+
+class TestArqConfig:
+    def test_max_attempts(self):
+        assert ArqConfig().max_attempts == 8  # 802.11 long-retry default
+        assert ArqConfig(max_retries=3).max_attempts == 4
+        assert ArqConfig.disabled().max_attempts == 1
+
+    def test_backoff_schedule(self):
+        arq = ArqConfig(timeout_s=0.001, backoff=2.0)
+        assert arq.timeout_for_failure(1) == pytest.approx(0.001)
+        assert arq.timeout_for_failure(3) == pytest.approx(0.004)
+
+    def test_expected_transmissions_truncated_geometric(self):
+        arq = ArqConfig(max_retries=2)  # 3 attempts
+        p = 0.5
+        assert arq.expected_transmissions(p) == pytest.approx(
+            (1 - p**3) / (1 - p)
+        )
+        assert arq.expected_transmissions(0.0) == 1.0
+
+    def test_expected_transmissions_monotone_in_p_and_retries(self):
+        arq = ArqConfig()
+        taus = [arq.expected_transmissions(p) for p in (0.0, 0.1, 0.3, 0.6)]
+        assert taus == sorted(taus)
+        by_retries = [
+            ArqConfig(max_retries=r).expected_transmissions(0.3)
+            for r in range(0, 8)
+        ]
+        assert by_retries == sorted(by_retries)
+
+    def test_delivery_probability(self):
+        assert ArqConfig(max_retries=1).delivery_probability(0.5) == 0.75
+        assert ArqConfig.disabled().delivery_probability(0.5) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ArqConfig(max_retries=-1)
+        with pytest.raises(ModelError):
+            ArqConfig(backoff=0.5)
+        with pytest.raises(ModelError):
+            ArqConfig().expected_transmissions(1.0)
+
+
+class TestExpectedOverhead:
+    def test_zero_loss_is_free(self):
+        params = EnergyModel().params
+        ov = expected_overhead(params, 2**20, 0.0)
+        assert ov.extra_bytes == 0.0
+        assert ov.extra_wall_s == 0.0
+        assert expected_overhead_energy_j(params, 2**20, 0.0) == 0.0
+
+    def test_overhead_scales_with_bytes_and_rate(self):
+        params = EnergyModel().params
+        small = expected_overhead_energy_j(params, 2**18, 0.1)
+        large = expected_overhead_energy_j(params, 2**20, 0.1)
+        assert large == pytest.approx(4 * small, rel=0.05)
+        worse = expected_overhead_energy_j(params, 2**20, 0.3)
+        assert worse > large > 0
+
+    def test_recv_power_positive(self):
+        assert recv_power_w(EnergyModel().params) > 0
+
+
+class TestExpandSchedule:
+    def test_zero_loss_expands_to_single_attempts(self):
+        schedule = Packetizer().schedule(50_000, LINK_11MBPS)
+        lossy = expand_schedule(schedule, NoLoss())
+        assert all(len(p.attempts) == 1 for p in lossy.packets)
+        assert lossy.stats.retries == 0
+        assert lossy.stats.transmitted_bytes == schedule.total_bytes
+
+    def test_seeded_replay_identical(self):
+        schedule = Packetizer().schedule(500_000, LINK_11MBPS)
+        a = expand_schedule(schedule, UniformLoss(0.2, seed=4))
+        b = expand_schedule(schedule, UniformLoss(0.2, seed=4))
+        assert a.stats == b.stats
+        assert [len(p.attempts) for p in a.packets] == [
+            len(p.attempts) for p in b.packets
+        ]
+
+    def test_retry_exhaustion_drops_link(self):
+        schedule = Packetizer().schedule(100_000, LINK_11MBPS)
+        with pytest.raises(LinkDroppedError):
+            expand_schedule(
+                schedule, UniformLoss(0.9, seed=1), ArqConfig(max_retries=1)
+            )
+
+    def test_stats_account_every_attempt(self):
+        schedule = Packetizer().schedule(200_000, LINK_11MBPS)
+        lossy = expand_schedule(schedule, UniformLoss(0.3, seed=8))
+        attempts = sum(len(p.attempts) for p in lossy.packets)
+        packets = len(lossy.packets)
+        assert lossy.stats.retries == attempts - packets
+        assert lossy.stats.retransmitted_bytes > 0
+        assert 0 < lossy.stats.goodput_fraction < 1
+
+
+class TestStopAndWaitLink:
+    def test_lossless_passthrough(self):
+        link = StopAndWaitLink()
+        payloads = [b"alpha", b"beta", b"gamma"]
+        delivered, stats = link.transfer(payloads)
+        assert delivered == payloads
+        assert stats == lossless_stats(sum(len(p) for p in payloads))
+
+    def test_lossy_delivery_in_order_exactly_once(self):
+        link = StopAndWaitLink(UniformLoss(0.4, seed=6))
+        payloads = [bytes([i]) * 100 for i in range(40)]
+        delivered, stats = link.transfer(payloads)
+        assert delivered == payloads
+        assert stats.retries > 0
+        assert stats.transmitted_bytes > stats.payload_bytes
+
+    def test_reset_replays_identical_pattern(self):
+        link = StopAndWaitLink(UniformLoss(0.4, seed=6))
+        _, first = link.transfer([b"x" * 64] * 50)
+        link.reset()
+        _, second = link.transfer([b"x" * 64] * 50)
+        assert first == second
+
+    def test_hopeless_channel_raises(self):
+        link = StopAndWaitLink(
+            UniformLoss(0.99, seed=2), ArqConfig(max_retries=2)
+        )
+        with pytest.raises(LinkDroppedError):
+            link.transfer([b"y" * 512] * 20)

@@ -1,0 +1,148 @@
+"""Unit tests for the seeded packet-loss models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition
+from repro.network.loss import (
+    EpisodeLoss,
+    GilbertElliottLoss,
+    LossEpisode,
+    NoLoss,
+    UniformLoss,
+    loss_model_for_condition,
+    loss_rate_for_condition,
+    packet_loss_probability,
+)
+
+
+def draw(model, n=4000, offset_step=1460):
+    """n attempt decisions, advancing the byte offset packet-wise."""
+    return [model.attempt_lost(byte_offset=i * offset_step) for i in range(n)]
+
+
+class TestUniformLoss:
+    def test_zero_rate_never_loses(self):
+        assert not any(draw(UniformLoss(0.0)))
+
+    def test_seeded_replay_is_identical(self):
+        a = UniformLoss(0.3, seed=42)
+        first = draw(a)
+        a.reset()
+        assert draw(a) == first
+        assert draw(UniformLoss(0.3, seed=42)) == first
+
+    def test_different_seeds_differ(self):
+        assert draw(UniformLoss(0.3, seed=1)) != draw(UniformLoss(0.3, seed=2))
+
+    def test_empirical_rate_matches(self):
+        losses = draw(UniformLoss(0.25, seed=7), n=20000)
+        assert sum(losses) / len(losses) == pytest.approx(0.25, abs=0.02)
+
+    def test_expected_rate(self):
+        assert UniformLoss(0.125).expected_rate() == 0.125
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ModelError):
+            UniformLoss(1.0)
+        with pytest.raises(ModelError):
+            UniformLoss(-0.1)
+
+
+class TestNoLoss:
+    def test_never_loses(self):
+        assert not any(draw(NoLoss()))
+        assert NoLoss().expected_rate() == 0.0
+
+
+class TestGilbertElliott:
+    def test_seeded_replay_resets_state(self):
+        m = GilbertElliottLoss(seed=3)
+        first = draw(m)
+        m.reset()
+        assert draw(m) == first
+
+    def test_stationary_rate(self):
+        m = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.2, good_loss=0.0, bad_loss=0.4
+        )
+        # pi_bad = 0.05 / 0.25 = 0.2, so the long-run rate is 0.08.
+        assert m.expected_rate() == pytest.approx(0.08)
+        losses = draw(m, n=60000)
+        assert sum(losses) / len(losses) == pytest.approx(0.08, abs=0.01)
+
+    def test_losses_are_bursty(self):
+        """Bad-state dwell clusters losses beyond the iid expectation."""
+        m = GilbertElliottLoss(
+            p_good_to_bad=0.01,
+            p_bad_to_good=0.1,
+            good_loss=0.0,
+            bad_loss=0.8,
+            seed=11,
+        )
+        losses = draw(m, n=40000)
+        rate = sum(losses) / len(losses)
+        pairs = sum(
+            1 for a, b in zip(losses, losses[1:]) if a and b
+        ) / max(1, sum(losses[:-1]))
+        # P(loss | previous loss) far exceeds the marginal rate.
+        assert pairs > 3 * rate
+
+
+class TestEpisodeLoss:
+    def test_loss_confined_to_episode(self):
+        m = EpisodeLoss([LossEpisode(10_000, 20_000, 0.9)], seed=5)
+        inside = [m.attempt_lost(byte_offset=b) for b in range(10_000, 20_000, 100)]
+        outside = [m.attempt_lost(byte_offset=b) for b in range(0, 10_000, 100)]
+        assert sum(inside) > 0
+        assert not any(outside)
+
+    def test_expected_rate_weights_overlap(self):
+        m = EpisodeLoss([LossEpisode(0, 5_000, 0.4)])
+        assert m.expected_rate(10_000) == pytest.approx(0.2)
+        assert m.expected_rate(5_000) == pytest.approx(0.4)
+        # Without a length: worst case.
+        assert m.expected_rate() == pytest.approx(0.4)
+
+    def test_base_model_applies_outside(self):
+        m = EpisodeLoss(
+            [LossEpisode(0, 1_000, 0.0)], base=UniformLoss(0.5, seed=9), seed=9
+        )
+        outside = [m.attempt_lost(byte_offset=5_000) for _ in range(2000)]
+        assert sum(outside) / len(outside) == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_episode_rejected(self):
+        with pytest.raises(ModelError):
+            LossEpisode(100, 100, 0.5)
+        with pytest.raises(ModelError):
+            LossEpisode(0, 10, 1.5)
+
+
+class TestChannelBridge:
+    def test_ber_to_packet_loss(self):
+        assert packet_loss_probability(0.0, 1460) == 0.0
+        p = packet_loss_probability(6e-5, 1460)
+        # 1460 * 8 = 11680 bits at BER 6e-5: about half the packets die.
+        assert 0.4 < p < 0.6
+
+    def test_loss_grows_with_distance(self):
+        near = loss_rate_for_condition(ChannelCondition(distance_m=5))
+        far = loss_rate_for_condition(ChannelCondition(distance_m=30))
+        assert 0 <= near < far < 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ModelError):
+            loss_rate_for_condition(
+                ChannelCondition(distance_m=500, obstacles=5)
+            )
+
+    def test_model_for_condition_kinds(self):
+        cond = ChannelCondition(distance_m=30)
+        iid = loss_model_for_condition(cond, seed=2)
+        assert isinstance(iid, UniformLoss)
+        bursty = loss_model_for_condition(cond, seed=2, bursty=True)
+        assert isinstance(bursty, GilbertElliottLoss)
+        # The bursty wrapper preserves the stationary rate.
+        assert bursty.expected_rate() == pytest.approx(
+            iid.expected_rate(), rel=1e-6
+        )

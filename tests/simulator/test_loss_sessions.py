@@ -1,0 +1,148 @@
+"""Lossy-link sessions: determinism, fault injection, reporting."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.errors import LinkDroppedError, ModelError
+from repro.network.arq import ArqConfig
+from repro.network.loss import EpisodeLoss, GilbertElliottLoss, LossEpisode, UniformLoss
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from repro.simulator.session import DownloadSession
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestDeterminism:
+    def test_des_same_seed_identical(self, model):
+        runs = [
+            DesSession(model, loss=UniformLoss(0.15, seed=21)).precompressed(
+                mb(2), mb(0.6), interleave=True
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].energy_j == runs[1].energy_j
+        assert runs[0].time_s == runs[1].time_s
+        assert runs[0].link_stats == runs[1].link_stats
+
+    def test_des_reuses_model_across_calls(self, model):
+        # The loss model is reset per session run, so one DesSession
+        # instance gives the same answer every call.
+        session = DesSession(model, loss=UniformLoss(0.15, seed=21))
+        first = session.raw(mb(1))
+        second = session.raw(mb(1))
+        assert first.energy_j == second.energy_j
+        assert first.link_stats == second.link_stats
+
+    def test_des_different_seeds_differ(self, model):
+        a = DesSession(model, loss=UniformLoss(0.15, seed=1)).raw(mb(2))
+        b = DesSession(model, loss=UniformLoss(0.15, seed=2)).raw(mb(2))
+        assert a.link_stats.retries != b.link_stats.retries
+
+    def test_bursty_model_deterministic(self, model):
+        runs = [
+            DesSession(model, loss=GilbertElliottLoss(seed=4)).raw(mb(2))
+            for _ in range(2)
+        ]
+        assert runs[0].energy_j == runs[1].energy_j
+
+
+class TestLossAccounting:
+    def test_lossy_session_reports_stats(self, model):
+        r = DesSession(model, loss=UniformLoss(0.1, seed=3)).raw(mb(1))
+        st = r.link_stats
+        assert st is not None
+        assert st.retries > 0
+        assert st.transmitted_bytes > st.payload_bytes
+        assert 0 < st.goodput_fraction < 1
+        assert r.loss_overhead_j > 0
+        assert r.goodput_bps < model.params.rate_mb_per_s * 2**20
+
+    def test_overhead_tags_present(self, model):
+        r = DesSession(model, loss=UniformLoss(0.2, seed=3)).raw(mb(1))
+        tags = r.energy_breakdown()
+        assert tags.get("retransmit", 0) > 0
+        assert tags.get("retry-idle", 0) > 0
+
+    def test_analytic_matches_expectation_shape(self, model):
+        r = AnalyticSession(model, loss=UniformLoss(0.1)).raw(mb(1))
+        arq = ArqConfig()
+        tau = arq.expected_transmissions(0.1)
+        assert r.link_stats.transmitted_bytes == pytest.approx(
+            mb(1) * tau, rel=1e-9
+        )
+
+    def test_retry_exhaustion_surfaces(self, model):
+        with pytest.raises(LinkDroppedError):
+            DesSession(
+                model,
+                loss=UniformLoss(0.9, seed=1),
+                arq=ArqConfig(max_retries=1),
+            ).raw(mb(0.5))
+
+    def test_unmodelled_des_scenarios_refuse_loss(self, model):
+        lossy = DesSession(model, loss=UniformLoss(0.1, seed=1))
+        with pytest.raises(ModelError):
+            lossy.ondemand(mb(1), mb(0.3), overlap=True)
+        with pytest.raises(ModelError):
+            lossy.upload_compressed(mb(1), mb(0.3), interleave=True)
+
+
+class TestFaultInjection:
+    def test_mid_download_episode_charges_energy(self, model):
+        clean = DesSession(model).raw(mb(2))
+        episode = EpisodeLoss(
+            [LossEpisode(mb(1), mb(1) + 200_000, 0.3)], seed=13
+        )
+        faulted = DesSession(model, loss=episode).raw(mb(2))
+        assert faulted.energy_j > clean.energy_j
+        assert faulted.link_stats.retries > 0
+        # The fault is localized: a longer fade at the same rate costs
+        # strictly more.
+        longer = EpisodeLoss(
+            [LossEpisode(mb(1), mb(1) + 400_000, 0.3)], seed=13
+        )
+        worse = DesSession(model, loss=longer).raw(mb(2))
+        assert worse.loss_overhead_j > faulted.loss_overhead_j
+
+    def test_facade_passes_loss_through(self, model):
+        r = DownloadSession(
+            model, engine="des", loss=UniformLoss(0.1, seed=5)
+        ).raw(mb(1))
+        assert r.link_stats is not None and r.link_stats.retries > 0
+
+
+class TestMulticlientLoss:
+    REQS = [
+        Request("a", "page", mb(1), 3.0, 0.0, "raw"),
+        Request("b", "bundle", mb(2), 2.5, 0.1, "compressed"),
+    ]
+
+    def test_clean_fleet_reports_zero_overhead(self, model):
+        report = MultiClientSimulation(model).run(self.REQS)
+        assert report.total_retries == 0
+        assert report.total_energy_overhead_j == 0
+
+    def test_lossy_fleet_reports_overhead(self, model):
+        sim = MultiClientSimulation(model, loss=UniformLoss(0.1))
+        report = sim.run(self.REQS)
+        assert report.total_retries > 0
+        assert report.total_energy_overhead_j > 0
+        assert report.mean_goodput_bps > 0
+        clean = MultiClientSimulation(model).run(self.REQS)
+        assert report.total_energy_j > clean.total_energy_j
+
+    def test_inject_loss_hook(self, model):
+        sim = MultiClientSimulation(model)
+        baseline = sim.run(self.REQS)
+        sim.inject_loss(
+            EpisodeLoss([LossEpisode(0, 150_000, 0.5)]), arq=ArqConfig()
+        )
+        faulted = sim.run(self.REQS)
+        assert faulted.total_energy_overhead_j > 0
+        assert faulted.total_energy_j > baseline.total_energy_j

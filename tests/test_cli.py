@@ -90,6 +90,28 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--size-mb", "1", "--link", "54"])
 
+    @pytest.mark.parametrize("engine", ["analytic", "des"])
+    def test_lossy_link_reporting(self, engine, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--size-mb", "1", "--loss-rate", "0.1",
+                    "--loss-seed", "7", "--arq-retries", "7",
+                    "--arq-timeout-ms", "1", "--arq-backoff", "2",
+                    "--engine", engine,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "retries" in out
+        assert "goodput" in out
+        assert "retransmit" in out
+
+    def test_invalid_loss_rate_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--size-mb", "1", "--loss-rate", "1.5"])
+
 
 class TestThresholds:
     def test_prints_table(self, capsys):
@@ -97,6 +119,14 @@ class TestThresholds:
         out = capsys.readouterr().out
         assert "break-even" in out
         assert "3906" in out or "3900" in out
+
+    def test_lossy_thresholds_shift_down(self, capsys):
+        assert main(["thresholds", "--loss-rate", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "loss rate 0.1" in out
+        # The size floor printed must be below the clean 3906 bytes.
+        floor = int(out.split("size floor:")[1].split("bytes")[0])
+        assert floor < 3906
 
 
 class TestEntryPoint:
