@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test ci bench examples artifacts clean
+.PHONY: install test ci bench fuzz examples artifacts clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,12 @@ ci:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Long-budget corruption fuzzing of every registered codec.
+fuzz:
+	REPRO_FUZZ_EXAMPLES=500 $(PYTHON) -m pytest \
+		tests/compression/test_mutation_properties.py \
+		tests/compression/test_fuzzing.py -q
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done

@@ -1,0 +1,132 @@
+"""Residual-corruption sweep: when does compression stop paying?
+
+The lossy-link sweep shows loss *helps* compression (fewer bytes, less
+ARQ tax).  Residual corruption — bit errors that slip past link ARQ and
+surface as failed block CRCs — pushes the other way: one flipped bit
+poisons a whole compressed block and forces a re-fetch, while a raw
+download absorbs it as a single wrong byte.  This sweep re-runs the
+Equation 6 analysis and a representative interleaved download across
+residual bit-error rates, then reports the headline number of the
+integrity extension: the break-even BER per scheme and recovery policy,
+above which shipping the file raw is the energy-cheaper strategy.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core import thresholds
+from repro.core.recovery import RecoveryConfig
+from repro.network.corruption import BitFlipCorruption
+from repro.simulator.analytic import AnalyticSession
+from benchmarks.common import SCHEMES, write_artifact
+from tests.conftest import mb
+
+#: Residual bit-error rates swept (0 = the paper's clean channel).
+BER_RATES = (0.0, 1e-8, 1e-7, 3e-7, 1e-6)
+
+#: Representative whole-file factors per scheme (Table 2 text-file
+#: ballpark: gzip ~3.8, compress ~2.9, bzip2 ~4.3).
+SCHEME_FACTORS = {"gzip": 3.8, "compress": 2.9, "bzip2": 4.3}
+
+POLICIES = ("restart", "refetch", "degrade")
+
+
+def compute(model):
+    s = mb(1)
+    energy_rows = []
+    recovery_rows = []
+    raw_baseline = AnalyticSession(model).raw(s).energy_j
+    for ber in BER_RATES:
+        corruption = BitFlipCorruption(ber) if ber > 0 else None
+        session = AnalyticSession(model, corruption=corruption)
+        raw_e = session.raw(s).energy_j
+        assert raw_e == raw_baseline  # raw bytes carry no framing to poison
+        row = [round(raw_e, 3)]
+        rec_row = []
+        for scheme in SCHEMES:
+            sc = int(s / SCHEME_FACTORS[scheme])
+            result = session.precompressed(s, sc, codec=scheme, interleave=True)
+            row.append(round(result.energy_j, 3))
+            rec_row.append(round(result.integrity_overhead_j, 3))
+        energy_rows.append(tuple(row))
+        recovery_rows.append(tuple(rec_row))
+
+    break_even = {
+        scheme: {
+            policy: thresholds.break_even_corrupt_rate(
+                s,
+                SCHEME_FACTORS[scheme],
+                model,
+                codec=scheme,
+                recovery=RecoveryConfig(policy=policy),
+            )
+            for policy in POLICIES
+        }
+        for scheme in SCHEMES
+    }
+    return energy_rows, recovery_rows, break_even
+
+
+def test_corruption_sweep(benchmark, model):
+    energy_rows, recovery_rows, break_even = benchmark.pedantic(
+        compute, args=(model,), rounds=1, iterations=1
+    )
+    labels = [f"{ber:.0e}" if ber else "0" for ber in BER_RATES]
+    text = ascii_table(
+        ["residual BER", "raw (J)"] + [f"{s} (J)" for s in SCHEMES],
+        [(label,) + row for label, row in zip(labels, energy_rows)],
+        title="1 MB download energy vs residual bit-error rate (interleaved)",
+    )
+    text += "\n\n" + ascii_table(
+        ["residual BER"] + [f"{s} recovery (J)" for s in SCHEMES],
+        [(label,) + row for label, row in zip(labels, recovery_rows)],
+        title="Integrity overhead (verify + re-fetch) per scheme",
+    )
+    text += "\n\n" + ascii_table(
+        ["scheme"] + [f"break-even BER ({p})" for p in POLICIES],
+        [
+            (scheme,)
+            + tuple(f"{break_even[scheme][p]:.3e}" for p in POLICIES)
+            for scheme in SCHEMES
+        ],
+        title="Residual BER above which compression stops saving energy (1 MB)",
+    )
+    write_artifact(
+        "corruption_sweep",
+        text,
+        data={
+            "ber_rates": list(BER_RATES),
+            "energy_j": {
+                "raw": [row[0] for row in energy_rows],
+                **{
+                    scheme: [row[i + 1] for row in energy_rows]
+                    for i, scheme in enumerate(SCHEMES)
+                },
+            },
+            "integrity_overhead_j": {
+                scheme: [row[i] for row in recovery_rows]
+                for i, scheme in enumerate(SCHEMES)
+            },
+            "break_even_ber": break_even,
+        },
+    )
+
+    # A clean channel charges nothing: the integrity machinery is free
+    # when every checksum passes.
+    assert recovery_rows[0] == (0.0,) * len(SCHEMES)
+    # Recovery energy rises monotonically with the residual error rate,
+    # for every scheme; raw stays flat (asserted inside compute).
+    for i in range(len(SCHEMES)):
+        series = [row[i] for row in recovery_rows]
+        assert series == sorted(series)
+        assert series[-1] > 0
+    # Compressed-session energy is monotone in BER too.
+    for i in range(1, len(SCHEMES) + 1):
+        series = [row[i] for row in energy_rows]
+        assert series == sorted(series)
+    # Equation 6 inverts: each break-even BER is finite, and refetch
+    # (surgical repair) tolerates more corruption than restart
+    # (whole-file re-download) for every scheme.
+    for scheme in SCHEMES:
+        be = break_even[scheme]
+        assert 0 < be["restart"] < be["refetch"] < float("inf")

@@ -24,10 +24,12 @@ from repro.errors import (
     ReproError,
     CodecError,
     CorruptStreamError,
+    TruncatedStreamError,
     UnknownCodecError,
     ModelError,
     CalibrationError,
     SimulationError,
+    RecoveryExhaustedError,
     WorkloadError,
 )
 from repro.compression import (
@@ -55,10 +57,12 @@ __all__ = [
     "ReproError",
     "CodecError",
     "CorruptStreamError",
+    "TruncatedStreamError",
     "UnknownCodecError",
     "ModelError",
     "CalibrationError",
     "SimulationError",
+    "RecoveryExhaustedError",
     "WorkloadError",
     "Codec",
     "CodecResult",

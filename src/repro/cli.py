@@ -24,7 +24,9 @@ from repro.compression import available_codecs, get_codec
 from repro.core import thresholds as thresholds_mod
 from repro.core.advisor import CompressionAdvisor
 from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig
 from repro.network.arq import ArqConfig
+from repro.network.corruption import BitFlipCorruption
 from repro.network.loss import UniformLoss
 from repro.network.wlan import LINK_11MBPS, LINK_2MBPS
 from repro.simulator.analytic import AnalyticSession
@@ -57,6 +59,25 @@ def _loss_arq_for(args: argparse.Namespace):
         backoff=args.arq_backoff,
     )
     return UniformLoss(rate, seed=args.loss_seed), arq
+
+
+def _corruption_for(args: argparse.Namespace):
+    """(corruption, recovery) from the integrity flags; (None, None) clean."""
+    rate = getattr(args, "corrupt_rate", 0.0)
+    if rate < 0 or rate >= 1:
+        raise SystemExit(f"--corrupt-rate must be in [0, 1), got {rate}")
+    if rate == 0:
+        return None, None
+    if args.recovery_retries < 0:
+        raise SystemExit("--recovery-retries must be non-negative")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("--deadline-s must be positive")
+    recovery = RecoveryConfig(
+        policy=args.recovery,
+        max_retries=args.recovery_retries,
+        deadline_s=args.deadline_s,
+    )
+    return BitFlipCorruption(rate, seed=args.corrupt_seed), recovery
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
@@ -114,12 +135,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """``repro simulate``: evaluate one download/upload scenario."""
     model = _model_for(args.link)
     loss, arq = _loss_arq_for(args)
+    corruption, recovery = _corruption_for(args)
     if args.engine == "des":
         from repro.simulator.des import DesSession
 
-        session = DesSession(model, loss=loss, arq=arq)
+        session = DesSession(
+            model, loss=loss, arq=arq, corruption=corruption, recovery=recovery
+        )
     else:
-        session = AnalyticSession(model, loss=loss, arq=arq)
+        session = AnalyticSession(
+            model, loss=loss, arq=arq, corruption=corruption, recovery=recovery
+        )
     raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
     compressed = int(raw_bytes / args.factor)
 
@@ -173,6 +199,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ("delivery probability", f"{st.delivery_probability:.6f}"),
             ("loss overhead (J)", f"{result.loss_overhead_j:.3f}"),
         ]
+    if result.recovery_stats is not None:
+        rs = result.recovery_stats
+        rows += [
+            ("corrupt rate (BER)", args.corrupt_rate),
+            ("recovery policy", rs.policy.value),
+            ("corrupt blocks", f"{rs.corrupt_blocks:.2f}"),
+            ("re-fetched blocks", f"{rs.refetch_blocks:.2f}"),
+            ("re-fetched (bytes)", f"{rs.refetch_bytes:.0f}"),
+            ("restarts", f"{rs.restarts:.2f}"),
+            ("degradation events", f"{rs.degrade_probability:.3f}"),
+            ("deadline hit", "yes" if rs.deadline_hit else "no"),
+            ("recovery energy (J)", f"{result.recovery_energy_j:.3f}"),
+            ("integrity overhead (J)", f"{result.integrity_overhead_j:.3f}"),
+        ]
     for tag, joules in sorted(result.energy_breakdown().items()):
         rows.append((f"  energy[{tag}]", f"{joules:.3f}"))
     print(ascii_table(["field", "value"], rows, title="simulated session"))
@@ -183,6 +223,9 @@ def cmd_thresholds(args: argparse.Namespace) -> int:
     """``repro thresholds``: print the Equation 6 break-even factors."""
     model = _model_for(args.link)
     loss_rate = args.loss_rate
+    corrupt_rate = args.corrupt_rate
+    if corrupt_rate < 0 or corrupt_rate >= 1:
+        raise SystemExit(f"--corrupt-rate must be in [0, 1), got {corrupt_rate}")
     rows = []
     for s_mb in (0.01, 0.05, 0.128, 0.5, 1, 4, 8):
         raw_bytes = int(s_mb * units.BYTES_PER_MB)
@@ -191,18 +234,23 @@ def cmd_thresholds(args: argparse.Namespace) -> int:
                 f"{s_mb} MB",
                 round(
                     thresholds_mod.factor_threshold(
-                        raw_bytes, model, loss_rate=loss_rate
+                        raw_bytes, model, loss_rate=loss_rate,
+                        corrupt_rate=corrupt_rate,
                     ),
                     3,
                 ),
             )
         )
-    floor = thresholds_mod.size_threshold_bytes(model, loss_rate=loss_rate)
+    floor = thresholds_mod.size_threshold_bytes(
+        model, loss_rate=loss_rate, corrupt_rate=corrupt_rate
+    )
     title = (
         f"Equation 6 thresholds at {args.link} Mb/s (size floor: {floor} bytes)"
     )
     if loss_rate > 0:
         title += f" at loss rate {loss_rate}"
+    if corrupt_rate > 0:
+        title += f" at residual BER {corrupt_rate}"
     print(
         ascii_table(
             ["file size", "break-even compression factor"], rows, title=title
@@ -436,6 +484,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="timeout multiplier per successive retry",
         )
 
+    def add_corruption(p):
+        p.add_argument(
+            "--corrupt-rate", type=float, default=0.0,
+            help="residual bit-error rate past ARQ (0 = clean channel)",
+        )
+        p.add_argument(
+            "--corrupt-seed", type=int, default=1,
+            help="seed for the DES engine's corruption draws",
+        )
+        p.add_argument(
+            "--recovery", default="refetch",
+            choices=("restart", "refetch", "degrade"),
+            help="policy when a block fails its checksum",
+        )
+        p.add_argument(
+            "--recovery-retries", type=int, default=3,
+            help="re-fetch attempts per block (or full restarts)",
+        )
+        p.add_argument(
+            "--deadline-s", type=float, default=None,
+            help="wall-clock budget for recovery work",
+        )
+
     p = sub.add_parser("compress", help="compress a file")
     p.add_argument("file")
     p.add_argument("-o", "--output")
@@ -470,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_codec(p, default="gzip")
     add_link(p)
     add_loss(p)
+    add_corruption(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("thresholds", help="print Equation 6 thresholds")
@@ -477,6 +549,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--loss-rate", type=float, default=0.0,
         help="per-packet loss probability shifting the break-even",
+    )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="residual bit-error rate shifting the break-even the other way",
     )
     p.set_defaults(func=cmd_thresholds)
 

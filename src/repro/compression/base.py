@@ -8,12 +8,47 @@ that experiment harnesses can select codecs by string.
 
 from __future__ import annotations
 
+import functools
+import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro import units
-from repro.errors import UnknownCodecError
+from repro.errors import CodecError, CorruptStreamError, UnknownCodecError
+
+#: Exception types that a malformed stream may provoke inside a decoder
+#: (bad dict/list lookups, struct unpacking, text decoding, arithmetic on
+#: nonsense values).  The decode guard converts these to
+#: :class:`~repro.errors.CorruptStreamError` so callers see one typed
+#: hierarchy regardless of where inside a codec the corruption surfaced.
+_DECODE_FAULTS = (
+    ValueError,
+    KeyError,
+    IndexError,
+    struct.error,
+    OverflowError,
+    UnicodeDecodeError,
+)
+
+
+def _guard_decode(func):
+    """Wrap a ``decompress_bytes`` so stray exceptions become typed."""
+
+    @functools.wraps(func)
+    def wrapper(self, payload: bytes) -> bytes:
+        try:
+            return func(self, payload)
+        except CodecError:
+            raise
+        except _DECODE_FAULTS as exc:
+            raise CorruptStreamError(
+                f"{self.name}: malformed stream "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+
+    wrapper._decode_guarded = True
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -50,6 +85,21 @@ class Codec(ABC):
 
     #: Registry key and display name, e.g. ``"gzip"``.
     name: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Harden every concrete decoder automatically.
+
+        Any subclass that defines its own ``decompress_bytes`` gets it
+        wrapped so that non-:class:`~repro.errors.CodecError` exceptions
+        provoked by malformed input (``ValueError``, ``KeyError``,
+        ``IndexError``, ``struct.error``, ...) re-raise as
+        :class:`~repro.errors.CorruptStreamError` — corrupt bytes must
+        never leak an untyped exception to a recovery policy.
+        """
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("decompress_bytes")
+        if impl is not None and not getattr(impl, "_decode_guarded", False):
+            cls.decompress_bytes = _guard_decode(impl)
 
     @abstractmethod
     def compress_bytes(self, data: bytes) -> bytes:

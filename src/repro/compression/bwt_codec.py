@@ -8,10 +8,13 @@ fall back to stored form, as bzip2's worst case effectively does.
 
 Stream layout::
 
-    magic "RZ3" | varint raw_size | block*
+    magic "RZ3" | varint raw_size | u32le crc32(raw) | block*
     block := varint block_raw_len | u8 type | body
     type 0 (stored): raw bytes
     type 1 (coded):  varint body_len | bit stream (below)
+
+The header CRC32 covers the raw bytes and is verified after decode;
+stored blocks would otherwise pass corruption through silently.
 
 Coded body (MSB-first bits): a 3-bit table count T (1..6), T run-length
 coded length tables (RFC-1951-style, shared with the DEFLATE container),
@@ -25,12 +28,13 @@ tries 1 and k tables and emits whichever body is smaller.
 from __future__ import annotations
 
 from repro.compression import bwt, mtf
+from repro.compression import checksum
 from repro.compression import huffman as huffman_mod
 from repro.compression.base import Codec, register_codec
 from repro.compression.bitio import MSBBitReader, MSBBitWriter
 from repro.compression.huffman import HuffmanTable
 from repro.compression.varint import read_varint, write_varint
-from repro.errors import CorruptStreamError
+from repro.errors import CorruptStreamError, TruncatedStreamError
 
 _MAGIC = b"RZ3"
 _TABLE_MAX_LEN = 14
@@ -59,6 +63,7 @@ class BWTCodec(Codec):
     def compress_bytes(self, data: bytes) -> bytes:
         out = bytearray(_MAGIC)
         out += write_varint(len(data))
+        out += checksum.crc32_bytes(data)
         for start in range(0, len(data), self.block_size):
             block = data[start : start + self.block_size]
             out += self._encode_block(block)
@@ -164,30 +169,44 @@ class BWTCodec(Codec):
             raise CorruptStreamError("bad magic; not a bzip2-scheme stream")
         pos = len(_MAGIC)
         raw_size, pos = read_varint(payload, pos)
+        stored_crc, pos = checksum.read_stored_crc(payload, pos)
         out = bytearray()
+        index = 0
         while len(out) < raw_size:
+            block_start = pos
             block_len, pos = read_varint(payload, pos)
             if pos >= len(payload):
-                raise CorruptStreamError("truncated block header")
+                raise TruncatedStreamError(
+                    f"truncated header for block {index} at byte {block_start}"
+                )
             btype = payload[pos]
             pos += 1
             if btype == 0:
                 block = payload[pos : pos + block_len]
                 if len(block) != block_len:
-                    raise CorruptStreamError("truncated stored block")
+                    raise TruncatedStreamError(
+                        f"truncated stored block {index} at byte {block_start}"
+                    )
                 out += block
                 pos += block_len
             elif btype == 1:
                 body_len, pos = read_varint(payload, pos)
                 body = payload[pos : pos + body_len]
                 if len(body) != body_len:
-                    raise CorruptStreamError("truncated coded block")
+                    raise TruncatedStreamError(
+                        f"truncated coded block {index} at byte {block_start}"
+                    )
                 out += self._decode_body(body, block_len)
                 pos += body_len
             else:
-                raise CorruptStreamError(f"unknown block type {btype}")
+                raise CorruptStreamError(
+                    f"unknown block type {btype} in block {index} "
+                    f"at byte {block_start}"
+                )
+            index += 1
         if len(out) != raw_size:
             raise CorruptStreamError("decoded size mismatch")
+        checksum.verify_crc(self.name, bytes(out), stored_crc)
         return bytes(out)
 
     def _decode_body(self, body: bytes, expect_len: int) -> bytes:
@@ -224,7 +243,10 @@ class BWTCodec(Codec):
             take = min(GROUP_SIZE, count - len(symbols))
             for _ in range(take):
                 symbols.append(table.decode_symbol(r))
-        indices = mtf.rle_decode(symbols)
+        # BWT adds one sentinel, so a valid column is expect_len + 1
+        # symbols; the cap stops corrupt RUNA/RUNB streams (whose run
+        # weights double per symbol) from allocating unbounded memory.
+        indices = mtf.rle_decode(symbols, max_len=expect_len + 1)
         column = mtf.mtf_decode(indices)
         block = bwt.inverse(column)
         if len(block) != expect_len:

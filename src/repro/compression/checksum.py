@@ -1,0 +1,37 @@
+"""Shared CRC32 helpers for the stream containers.
+
+Every container in the package carries a CRC32 so corrupt input is
+*detected* rather than decoded into plausible garbage: the RZ1/RZ2/RZ3
+containers checksum the whole raw stream in their headers (verified
+after decode, like gzip's trailer), while the adaptive "RZA" container
+and the streaming framer checksum each block's wire bytes (verified
+before decode, so a re-fetch policy can name the damaged block).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+from repro.errors import CorruptStreamError, TruncatedStreamError
+
+#: Width of a serialized CRC32, little-endian.
+CRC_LEN = 4
+
+
+def crc32_bytes(data: bytes) -> bytes:
+    """Serialize CRC32(``data``) as 4 little-endian bytes."""
+    return (zlib.crc32(data) & 0xFFFFFFFF).to_bytes(CRC_LEN, "little")
+
+
+def read_stored_crc(payload: bytes, pos: int) -> Tuple[bytes, int]:
+    """Read a stored 4-byte CRC at ``pos``; returns ``(crc, next_pos)``."""
+    if pos + CRC_LEN > len(payload):
+        raise TruncatedStreamError("truncated stream checksum")
+    return payload[pos : pos + CRC_LEN], pos + CRC_LEN
+
+
+def verify_crc(name: str, data: bytes, stored: bytes) -> None:
+    """Raise :class:`CorruptStreamError` unless CRC32(``data``) matches."""
+    if crc32_bytes(data) != stored:
+        raise CorruptStreamError(f"{name}: stream checksum mismatch")

@@ -19,7 +19,7 @@ import zlib as _zlib
 
 from repro.compression.base import Codec, register_codec
 from repro.compression.lzw import LZWCodec
-from repro.errors import CorruptStreamError
+from repro.errors import CorruptStreamError, TruncatedStreamError
 
 
 class ZlibEngine(Codec):
@@ -61,6 +61,11 @@ class Bz2Engine(Codec):
         return _bz2.compress(data, self.level)
 
     def decompress_bytes(self, payload: bytes) -> bytes:
+        if not payload:
+            # bz2.decompress(b"") returns b"" instead of raising, but a
+            # valid stream is never empty (the header alone is 4 bytes),
+            # so an empty payload is always a truncated delivery.
+            raise TruncatedStreamError("empty bzip2 stream")
         try:
             return _bz2.decompress(payload)
         except (OSError, ValueError) as exc:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from repro.compression import checksum
 from repro.compression.base import Codec, get_codec, register_codec
 from repro.errors import CorruptStreamError
 
@@ -99,7 +100,10 @@ class FilterCodec(Codec):
     """Composes a reversible filter with any registered codec.
 
     The stream carries a one-byte filter id so the decoder does not need
-    out-of-band configuration.
+    out-of-band configuration, then a CRC32 of the raw bytes: a damaged
+    filter id can select a *different but valid* filter (stride 2 vs 3)
+    whose inverse silently produces wrong samples, so the id byte needs
+    integrity the inner codec's own checks cannot provide.
     """
 
     _FILTER_IDS = {"delta8": 1}
@@ -129,14 +133,21 @@ class FilterCodec(Codec):
 
     def compress_bytes(self, data: bytes) -> bytes:
         filtered = self.filter.forward(data)
-        return bytes([self._filter_id()]) + self.inner.compress_bytes(filtered)
+        return (
+            bytes([self._filter_id()])
+            + checksum.crc32_bytes(data)
+            + self.inner.compress_bytes(filtered)
+        )
 
     def decompress_bytes(self, payload: bytes) -> bytes:
         if not payload:
             raise CorruptStreamError("empty filtered stream")
         filter_ = self._filter_from_id(payload[0])
-        filtered = self.inner.decompress_bytes(payload[1:])
-        return filter_.inverse(filtered)
+        stored_crc, pos = checksum.read_stored_crc(payload, 1)
+        filtered = self.inner.decompress_bytes(payload[pos:])
+        data = filter_.inverse(filtered)
+        checksum.verify_crc(self.name, data, stored_crc)
+        return data
 
 
 register_codec("audio", lambda: FilterCodec(ByteDeltaFilter(), get_codec("zlib")))

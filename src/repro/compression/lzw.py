@@ -7,12 +7,21 @@ doubles until it reaches a configurable maximum (16 bits for ``-b 16``,
 which the paper uses), after which the dictionary is frozen; if the
 running compression factor then drops below a threshold, the dictionary is
 discarded and rebuilt ("CLEAR" code), exactly like ``ncompress``.
+
+Stream layout::
+
+    magic "RZ2" | u8 max_bits | varint raw_size | u32le crc32(raw) | bits
+
+The header CRC32 covers the raw bytes and is verified after decode: a
+flipped bit in the code stream usually desynchronizes the dictionary
+into a *valid* but wrong decode, which no structural check can catch.
 """
 
 from __future__ import annotations
 
 from repro.compression.base import Codec, register_codec
 from repro.compression.bitio import MSBBitReader, MSBBitWriter
+from repro.compression import checksum
 from repro.compression.varint import read_varint, write_varint
 from repro.errors import CorruptStreamError
 
@@ -83,7 +92,13 @@ class LZWCodec(Codec):
             current = bytes([byte])
         if current:
             w.write_bits(table[current], nbits)
-        return _MAGIC + bytes([self.max_bits]) + write_varint(len(data)) + w.getvalue()
+        return (
+            _MAGIC
+            + bytes([self.max_bits])
+            + write_varint(len(data))
+            + checksum.crc32_bytes(data)
+            + w.getvalue()
+        )
 
     # -- decoding ---------------------------------------------------------
 
@@ -96,6 +111,7 @@ class LZWCodec(Codec):
         if not 9 <= max_bits <= 16:
             raise CorruptStreamError(f"invalid max_bits {max_bits}")
         raw_size, pos = read_varint(payload, len(_MAGIC) + 1)
+        stored_crc, pos = checksum.read_stored_crc(payload, pos)
         r = MSBBitReader(payload[pos:])
         max_code = (1 << max_bits) - 1
 
@@ -129,6 +145,7 @@ class LZWCodec(Codec):
             prev = entry
         if len(out) != raw_size:
             raise CorruptStreamError("decoded size mismatch")
+        checksum.verify_crc(self.name, bytes(out), stored_crc)
         return bytes(out)
 
 

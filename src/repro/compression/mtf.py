@@ -8,7 +8,7 @@ turns a run of n zeros into ~log2(n) symbols.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import CorruptStreamError
 
@@ -79,11 +79,31 @@ def rle_encode(indices: Sequence[int]) -> List[int]:
     return out
 
 
-def rle_decode(symbols: Sequence[int]) -> List[int]:
-    """Invert :func:`rle_encode`."""
+def rle_decode(
+    symbols: Sequence[int], max_len: Optional[int] = None
+) -> List[int]:
+    """Invert :func:`rle_encode`.
+
+    ``max_len`` caps the decoded length: RUNA/RUNB weights double per
+    symbol, so a corrupt stream can claim runs of 2^k zeros from k
+    symbols and a decoder without a cap would allocate unbounded memory
+    before any later validation could reject the block.
+    """
     out: List[int] = []
     run = 0
     weight = 1
+
+    def emit_run() -> None:
+        nonlocal run
+        if run:
+            if max_len is not None and len(out) + run > max_len:
+                raise CorruptStreamError(
+                    f"RLE zero run overflows block ({len(out) + run} "
+                    f"> {max_len} symbols)"
+                )
+            out.extend([0] * run)
+            run = 0
+
     for sym in symbols:
         if sym == RUNA:
             run += weight
@@ -93,13 +113,14 @@ def rle_decode(symbols: Sequence[int]) -> List[int]:
             run += 2 * weight
             weight <<= 1
             continue
-        if run:
-            out.extend([0] * run)
-            run = 0
+        emit_run()
         weight = 1
         if not 0 < sym < MTF_ALPHABET:
             raise CorruptStreamError(f"RLE symbol {sym} out of range")
+        if max_len is not None and len(out) >= max_len:
+            raise CorruptStreamError(
+                f"RLE output overflows block (> {max_len} symbols)"
+            )
         out.append(sym)
-    if run:
-        out.extend([0] * run)
+    emit_run()
     return out

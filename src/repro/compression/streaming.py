@@ -9,25 +9,41 @@ frames any registered codec into a streaming container:
     type 0: payload is raw bytes (adaptive mode ships incompressible
             blocks untouched, Figure 10)
     type 1: payload is an inner-codec stream for raw_len bytes
+    type 2: as type 0, followed by 4-byte little-endian CRC32(payload)
+    type 3: as type 1, followed by 4-byte little-endian CRC32(payload)
     end   := varint 0 (a zero raw_len terminates the stream)
 
 The compressor emits complete frames as soon as a block fills; the
 decompressor accepts arbitrary byte slices (packet payloads) and yields
 whatever frames completed — exactly the producer/consumer pair the
 user-level interleaving process needs.
+
+The checksummed types (the default since the integrity subsystem) let a
+receiver detect a damaged frame *before* handing it to the inner codec:
+the CRC covers the wire payload, so block re-fetch policies can name the
+exact frame to re-request without attempting a decode.  Types 0/1 remain
+decodable for pre-checksum streams.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
 from repro import units
 from repro.compression.base import Codec, get_codec
-from repro.compression.varint import write_varint
-from repro.errors import CodecError, CorruptStreamError
+from repro.compression.varint import read_varint, write_varint
+from repro.errors import CodecError, CorruptStreamError, TruncatedStreamError
 
 _RAW = 0
 _COMPRESSED = 1
+_RAW_CRC = 2
+_COMPRESSED_CRC = 3
+_CRC_LEN = 4
+
+
+def _crc32(payload: bytes) -> bytes:
+    return (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(_CRC_LEN, "little")
 
 
 class StreamCompressor:
@@ -39,6 +55,7 @@ class StreamCompressor:
         block_size: int = units.BLOCK_SIZE_BYTES,
         adaptive: bool = False,
         size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+        checksum: bool = True,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -46,6 +63,7 @@ class StreamCompressor:
         self.block_size = block_size
         self.adaptive = adaptive
         self.size_threshold = size_threshold
+        self.checksum = checksum
         self._buffer = bytearray()
         self._finished = False
         self.raw_bytes_in = 0
@@ -93,6 +111,21 @@ class StreamCompressor:
         out += write_varint(0)
         return bytes(out)
 
+    def _frame(self, raw_len: int, compressed: bool, payload: bytes) -> bytes:
+        if self.checksum:
+            ftype = _COMPRESSED_CRC if compressed else _RAW_CRC
+            trailer = _crc32(payload)
+        else:
+            ftype = _COMPRESSED if compressed else _RAW
+            trailer = b""
+        return (
+            write_varint(raw_len)
+            + bytes([ftype])
+            + write_varint(len(payload))
+            + payload
+            + trailer
+        )
+
     def _encode_frame(self, block: bytes) -> bytes:
         # Imported lazily: repro.core pulls in the compression package, so
         # a module-level import here would cycle through the package inits.
@@ -109,27 +142,12 @@ class StreamCompressor:
                     len(payload) >= len(block)
                 )
             if send_raw:
-                return (
-                    write_varint(len(block))
-                    + bytes([_RAW])
-                    + write_varint(len(block))
-                    + block
-                )
+                return self._frame(len(block), False, block)
             self.compressed_frames += 1
-            return (
-                write_varint(len(block))
-                + bytes([_COMPRESSED])
-                + write_varint(len(payload))
-                + payload
-            )
+            return self._frame(len(block), True, payload)
         payload = self.codec.compress_bytes(block)
         self.compressed_frames += 1
-        return (
-            write_varint(len(block))
-            + bytes([_COMPRESSED])
-            + write_varint(len(payload))
-            + payload
-        )
+        return self._frame(len(block), True, payload)
 
 
 class StreamDecompressor:
@@ -192,16 +210,26 @@ class StreamDecompressor:
         if length_field is None:
             return None
         payload_len, pos = length_field
-        if len(self._buffer) - pos < payload_len:
+        checksummed = ftype in (_RAW_CRC, _COMPRESSED_CRC)
+        total_len = payload_len + (_CRC_LEN if checksummed else 0)
+        if len(self._buffer) - pos < total_len:
             return None  # frame not complete yet
         payload = bytes(self._buffer[pos : pos + payload_len])
-        del self._buffer[: pos + payload_len]
+        if checksummed:
+            stored = bytes(
+                self._buffer[pos + payload_len : pos + total_len]
+            )
+            if stored != _crc32(payload):
+                raise CorruptStreamError(
+                    f"frame {self.frames_in} checksum mismatch"
+                )
+        del self._buffer[: pos + total_len]
         self.frames_in += 1
-        if ftype == _RAW:
+        if ftype in (_RAW, _RAW_CRC):
             if payload_len != raw_len:
                 raise CorruptStreamError("raw frame length mismatch")
             block = payload
-        elif ftype == _COMPRESSED:
+        elif ftype in (_COMPRESSED, _COMPRESSED_CRC):
             block = self.codec.decompress_bytes(payload)
             if len(block) != raw_len:
                 raise CorruptStreamError("frame decoded to wrong length")
@@ -209,6 +237,68 @@ class StreamDecompressor:
             raise CorruptStreamError(f"unknown frame type {ftype}")
         self.raw_bytes_out += len(block)
         return block
+
+
+def encode_frames(
+    data: bytes,
+    codec: Optional[Codec] = None,
+    block_size: int = units.BLOCK_SIZE_BYTES,
+    adaptive: bool = False,
+    checksum: bool = True,
+):
+    """Encode ``data`` into a list of standalone frames (no end marker).
+
+    One frame per ``block_size`` slice.  Recovery policies operate on
+    this form: each frame is independently verifiable (type 2/3 CRC) and
+    independently re-fetchable.
+    """
+    comp = StreamCompressor(
+        codec, block_size=block_size, checksum=checksum, adaptive=adaptive
+    )
+    frames = []
+    for i in range(0, len(data), block_size):
+        frame = comp.write(data[i : i + block_size]) or comp.flush_block()
+        frames.append(frame)
+    return frames
+
+
+def decode_frame(frame: bytes, codec: Optional[Codec] = None) -> bytes:
+    """Decode one standalone frame, verifying its CRC when present.
+
+    Raises :class:`~repro.errors.TruncatedStreamError` if the frame is
+    shorter than its header declares and
+    :class:`~repro.errors.CorruptStreamError` on any other damage.
+    """
+    codec = codec or get_codec("zlib")
+    raw_len, pos = read_varint(frame, 0)
+    if raw_len == 0:
+        raise CorruptStreamError("unexpected end marker for a data frame")
+    if pos >= len(frame):
+        raise TruncatedStreamError("frame truncated in header")
+    ftype = frame[pos]
+    pos += 1
+    payload_len, pos = read_varint(frame, pos)
+    if ftype not in (_RAW, _COMPRESSED, _RAW_CRC, _COMPRESSED_CRC):
+        raise CorruptStreamError(f"unknown frame type {ftype}")
+    checksummed = ftype in (_RAW_CRC, _COMPRESSED_CRC)
+    need = payload_len + (_CRC_LEN if checksummed else 0)
+    if len(frame) - pos < need:
+        raise TruncatedStreamError(
+            f"frame truncated at byte {len(frame)} (expected {pos + need})"
+        )
+    if len(frame) - pos > need:
+        raise CorruptStreamError("trailing bytes after frame")
+    payload = frame[pos : pos + payload_len]
+    if checksummed and frame[pos + payload_len :] != _crc32(payload):
+        raise CorruptStreamError("frame checksum mismatch")
+    if ftype in (_RAW, _RAW_CRC):
+        if payload_len != raw_len:
+            raise CorruptStreamError("raw frame length mismatch")
+        return payload
+    block = codec.decompress_bytes(payload)
+    if len(block) != raw_len:
+        raise CorruptStreamError("frame decoded to wrong length")
+    return block
 
 
 def stream_roundtrip(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.errors import CorruptStreamError
+from repro.errors import CorruptStreamError, TruncatedStreamError
 
 
 def write_varint(value: int) -> bytes:
@@ -25,14 +25,15 @@ def write_varint(value: int) -> bytes:
 def read_varint(data: bytes, pos: int = 0) -> Tuple[int, int]:
     """Decode a varint at ``pos``; returns ``(value, next_pos)``.
 
-    Raises :class:`~repro.errors.CorruptStreamError` on truncation or a
-    value wider than 64 bits (a corruption guard).
+    Raises :class:`~repro.errors.TruncatedStreamError` on truncation and
+    :class:`~repro.errors.CorruptStreamError` on a value wider than 64
+    bits (a corruption guard).
     """
     result = 0
     shift = 0
     while True:
         if pos >= len(data):
-            raise CorruptStreamError("truncated varint")
+            raise TruncatedStreamError("truncated varint")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift

@@ -6,6 +6,7 @@ from repro.core.thresholds import (
     compression_worthwhile,
     factor_threshold,
     size_threshold_bytes,
+    break_even_corrupt_rate,
 )
 from repro.core.interleave import InterleavePlan, plan_interleave
 from repro.core.selective import SelectiveDecision, decide_file
@@ -19,6 +20,14 @@ from repro.core.calibration import (
 )
 from repro.core.upload import UploadModel
 from repro.core.fleet_advisor import FleetAdvisor
+from repro.core.recovery import (
+    RecoveryConfig,
+    RecoveryPolicy,
+    RecoverySession,
+    RecoveryStats,
+    expected_recovery,
+    recovery_overhead_energy_j,
+)
 
 __all__ = [
     "EnergyModel",
@@ -27,6 +36,7 @@ __all__ = [
     "compression_worthwhile",
     "factor_threshold",
     "size_threshold_bytes",
+    "break_even_corrupt_rate",
     "InterleavePlan",
     "plan_interleave",
     "SelectiveDecision",
@@ -41,4 +51,10 @@ __all__ = [
     "DecompressionTimeFit",
     "UploadModel",
     "FleetAdvisor",
+    "RecoveryPolicy",
+    "RecoveryConfig",
+    "RecoveryStats",
+    "RecoverySession",
+    "expected_recovery",
+    "recovery_overhead_energy_j",
 ]

@@ -20,10 +20,18 @@ Container layout::
     block := varint raw_len | u8 type | payload
     type 0: raw_len raw bytes
     type 1: varint payload_len | inner-codec stream
+    type 2: as type 0, then 4-byte little-endian CRC32 of the raw bytes
+    type 3: as type 1, then 4-byte little-endian CRC32 of the inner stream
+
+The checksummed types (the encoder default since the integrity
+subsystem) let the device verify each block *before* decompressing it,
+so a block re-fetch policy can name exactly which block to re-request;
+types 0/1 remain decodable for pre-checksum containers.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -32,9 +40,14 @@ from repro.compression.base import Codec, CodecResult, get_codec
 from repro.compression.varint import read_varint, write_varint
 from repro.core import thresholds
 from repro.core.energy_model import EnergyModel
-from repro.errors import CorruptStreamError
+from repro.errors import CorruptStreamError, TruncatedStreamError
 
 _MAGIC = b"RZA"
+_CRC_LEN = 4
+
+
+def _crc32(body: bytes) -> bytes:
+    return (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(_CRC_LEN, "little")
 
 
 @dataclass(frozen=True)
@@ -91,6 +104,7 @@ class AdaptiveBlockCodec(Codec):
         model: Optional[EnergyModel] = None,
         block_size: int = units.BLOCK_SIZE_BYTES,
         size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
+        checksum: bool = True,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -98,6 +112,7 @@ class AdaptiveBlockCodec(Codec):
         self.model = model  # None => the paper's literal Equation 6
         self.block_size = block_size
         self.size_threshold = size_threshold
+        self.checksum = checksum
 
     # -- encoding ---------------------------------------------------------
 
@@ -124,11 +139,23 @@ class AdaptiveBlockCodec(Codec):
     def compress_bytes(self, data: bytes) -> bytes:
         return self.compress(data).payload
 
-    def _encode_block(self, index: int, block: bytes):
+    def _raw_block(self, block: bytes) -> bytes:
         header = write_varint(len(block))
+        if self.checksum:
+            return bytes(header) + b"\x02" + block + _crc32(block)
+        return bytes(header) + b"\x00" + block
+
+    def _compressed_block(self, block: bytes, compressed: bytes) -> bytes:
+        header = write_varint(len(block))
+        body = write_varint(len(compressed)) + compressed
+        if self.checksum:
+            return bytes(header) + b"\x03" + body + _crc32(compressed)
+        return bytes(header) + b"\x01" + body
+
+    def _encode_block(self, index: int, block: bytes):
         if len(block) < self.size_threshold:
             decision = BlockDecision(index, len(block), len(block), False, 1.0)
-            return decision, bytes(header) + b"\x00" + block
+            return decision, self._raw_block(block)
 
         compressed = self.inner.compress_bytes(block)
         factor = units.compression_factor(len(block), len(compressed))
@@ -137,12 +164,9 @@ class AdaptiveBlockCodec(Codec):
         ) and len(compressed) < len(block)
         if not worthwhile:
             decision = BlockDecision(index, len(block), len(compressed), False, factor)
-            return decision, bytes(header) + b"\x00" + block
+            return decision, self._raw_block(block)
         decision = BlockDecision(index, len(block), len(compressed), True, factor)
-        return (
-            decision,
-            bytes(header) + b"\x01" + write_varint(len(compressed)) + compressed,
-        )
+        return decision, self._compressed_block(block, compressed)
 
     # -- decoding ---------------------------------------------------------
 
@@ -151,40 +175,76 @@ class AdaptiveBlockCodec(Codec):
             raise CorruptStreamError("bad magic; not an adaptive stream")
         pos = len(_MAGIC)
         if pos >= len(payload):
-            raise CorruptStreamError("truncated codec name")
+            raise TruncatedStreamError("truncated codec name")
         name_len = payload[pos]
         pos += 1
         if pos + name_len > len(payload):
-            raise CorruptStreamError("truncated codec name")
-        name = payload[pos : pos + name_len].decode("ascii")
+            raise TruncatedStreamError("truncated codec name")
+        try:
+            name = payload[pos : pos + name_len].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CorruptStreamError(f"corrupt codec name: {exc}") from exc
         pos += name_len
         inner = self.inner if name == self.inner.name else get_codec(name)
         raw_size, pos = read_varint(payload, pos)
         out = bytearray()
+        index = 0
         while len(out) < raw_size:
+            block_start = pos
             block_len, pos = read_varint(payload, pos)
             if pos >= len(payload):
-                raise CorruptStreamError("truncated block header")
+                raise TruncatedStreamError(
+                    f"truncated header for block {index} at byte {block_start}"
+                )
             btype = payload[pos]
             pos += 1
-            if btype == 0:
+            checksummed = btype in (2, 3)
+            if btype in (0, 2):
+                end = pos + block_len + (_CRC_LEN if checksummed else 0)
+                if end > len(payload):
+                    raise TruncatedStreamError(
+                        f"truncated raw block {index} at byte {block_start}"
+                    )
                 block = payload[pos : pos + block_len]
-                if len(block) != block_len:
-                    raise CorruptStreamError("truncated raw block")
+                if checksummed and payload[pos + block_len : end] != _crc32(
+                    block
+                ):
+                    raise CorruptStreamError(
+                        f"checksum mismatch in block {index} "
+                        f"at byte {block_start}"
+                    )
                 out += block
-                pos += block_len
-            elif btype == 1:
+                pos = end
+            elif btype in (1, 3):
                 body_len, pos = read_varint(payload, pos)
-                body = payload[pos : pos + body_len]
-                if len(body) != body_len:
-                    raise CorruptStreamError("truncated compressed block")
-                block = inner.decompress_bytes(bytes(body))
+                end = pos + body_len + (_CRC_LEN if checksummed else 0)
+                if end > len(payload):
+                    raise TruncatedStreamError(
+                        f"truncated compressed block {index} "
+                        f"at byte {block_start}"
+                    )
+                body = bytes(payload[pos : pos + body_len])
+                if checksummed and payload[pos + body_len : end] != _crc32(
+                    body
+                ):
+                    raise CorruptStreamError(
+                        f"checksum mismatch in block {index} "
+                        f"at byte {block_start}"
+                    )
+                block = inner.decompress_bytes(body)
                 if len(block) != block_len:
-                    raise CorruptStreamError("block length mismatch")
+                    raise CorruptStreamError(
+                        f"length mismatch in block {index} "
+                        f"at byte {block_start}"
+                    )
                 out += block
-                pos += body_len
+                pos = end
             else:
-                raise CorruptStreamError(f"unknown block type {btype}")
+                raise CorruptStreamError(
+                    f"unknown block type {btype} in block {index} "
+                    f"at byte {block_start}"
+                )
+            index += 1
         if len(out) != raw_size:
             raise CorruptStreamError("decoded size mismatch")
         return bytes(out)

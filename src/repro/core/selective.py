@@ -49,6 +49,8 @@ def decide_file(
     size_threshold: Optional[int] = None,
     loss_rate: float = 0.0,
     arq=None,
+    corrupt_rate: float = 0.0,
+    recovery=None,
 ) -> SelectiveDecision:
     """Decide whether compressing a file before download saves energy.
 
@@ -59,11 +61,15 @@ def decide_file(
     threshold is re-derived for that loss rate (it shrinks, since
     retransmissions tax every raw byte while decompression cost stays
     fixed), unless an explicit ``size_threshold`` pins it.
+    ``corrupt_rate`` (a residual bit-error rate) does the opposite:
+    recovery energy taxes only the compressed side, so the threshold
+    grows and marginal files ship raw.
     """
     if size_threshold is None:
-        if loss_rate > 0:
+        if loss_rate > 0 or corrupt_rate > 0:
             size_threshold = thresholds.size_threshold_bytes(
-                model, loss_rate=loss_rate, arq=arq
+                model, loss_rate=loss_rate, arq=arq,
+                corrupt_rate=corrupt_rate, recovery=recovery,
             )
         else:
             size_threshold = units.THRESHOLD_FILE_SIZE_BYTES
@@ -92,7 +98,8 @@ def decide_file(
         compression_factor = result.factor
 
     worthwhile = thresholds.compression_worthwhile(
-        raw_bytes, compression_factor, model, loss_rate=loss_rate, arq=arq
+        raw_bytes, compression_factor, model, loss_rate=loss_rate, arq=arq,
+        corrupt_rate=corrupt_rate, recovery=recovery,
     )
     if compressed_size is None:
         compressed_size = int(round(raw_bytes / compression_factor))

@@ -16,6 +16,15 @@ retransmission energy to both sides of the comparison.  Loss multiplies
 the *transfer* cost of either strategy by the same factor while the
 decompression cost is unaffected, so compression starts paying off for
 smaller files as the loss rate rises: the break-even size shrinks.
+
+The corruption-aware extension (``corrupt_rate > 0``) pushes the other
+way.  A residual bit error that slips past link ARQ poisons a whole
+compressed block (the framing and entropy coding amplify one flipped
+bit into a failed CRC and a re-fetch), while a raw download absorbs it
+as one wrong byte.  Recovery energy is therefore charged to the
+*compressed* side only, so as the residual error rate rises compression
+stops paying for ever-larger files — until past some rate it never
+pays at all.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Optional
 
 from repro import units
 from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig, recovery_overhead_energy_j
 from repro.errors import ModelError
 from repro.network.arq import ArqConfig, expected_overhead_energy_j
 
@@ -57,6 +67,8 @@ def compression_worthwhile(
     codec: str = "gzip",
     loss_rate: float = 0.0,
     arq: Optional[ArqConfig] = None,
+    corrupt_rate: float = 0.0,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> bool:
     """Model-derived Equation 6: does interleaved compression save energy?
 
@@ -65,15 +77,22 @@ def compression_worthwhile(
     ``loss_rate`` is a per-packet loss probability: the expected ARQ
     retransmission energy (under ``arq``, default stop-and-wait with 7
     retries) is charged to each strategy's transfer bytes.
+    ``corrupt_rate`` is a residual bit-error rate (past ARQ): the
+    expected verify-and-re-fetch energy (under ``recovery``) is charged
+    to the compressed side only, since raw bytes carry no framing for a
+    flipped bit to poison.
     """
     if loss_rate < 0 or loss_rate >= 1:
         raise ModelError(f"loss rate must be in [0, 1), got {loss_rate}")
-    if loss_rate == 0:
+    if corrupt_rate < 0 or corrupt_rate >= 1:
+        raise ModelError(f"corrupt rate must be in [0, 1), got {corrupt_rate}")
+    if loss_rate == 0 and corrupt_rate == 0:
         if model is None:
             return paper_condition(raw_bytes, compression_factor)
     elif model is None:
-        # The literal Equation 6 has no loss term; fall back to the
-        # default model the paper's constants were derived from.
+        # The literal Equation 6 has no loss or corruption term; fall
+        # back to the default model the paper's constants were derived
+        # from.
         model = EnergyModel()
     if compression_factor <= 0:
         raise ModelError("compression factor must be positive")
@@ -89,6 +108,10 @@ def compression_worthwhile(
         comp_e += expected_overhead_energy_j(
             model.params, compressed, loss_rate, arq
         )
+    if corrupt_rate > 0:
+        comp_e += recovery_overhead_energy_j(
+            model.params, compressed, raw_bytes, corrupt_rate, recovery
+        )
     return comp_e < plain_e
 
 
@@ -98,17 +121,21 @@ def factor_threshold(
     codec: str = "gzip",
     loss_rate: float = 0.0,
     arq: Optional[ArqConfig] = None,
+    corrupt_rate: float = 0.0,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> float:
     """Minimum compression factor at which compression starts to pay.
 
     Returns ``inf`` when no factor can make compression worthwhile (files
-    below the size threshold).
+    below the size threshold, or residual errors too punishing).
     """
     if raw_bytes <= 0:
         return float("inf")
 
     def worthwhile(f: float) -> bool:
-        return compression_worthwhile(raw_bytes, f, model, codec, loss_rate, arq)
+        return compression_worthwhile(
+            raw_bytes, f, model, codec, loss_rate, arq, corrupt_rate, recovery
+        )
 
     hi = 1e6
     if not worthwhile(hi):
@@ -130,23 +157,28 @@ def size_threshold_bytes(
     codec: str = "gzip",
     loss_rate: float = 0.0,
     arq: Optional[ArqConfig] = None,
+    corrupt_rate: float = 0.0,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> int:
     """File-size threshold below which no factor makes compression pay.
 
     The paper's value is 3900 bytes; the model-derived value is the
     smallest size for which an arbitrarily high factor still saves.
     Under loss the threshold shrinks: retransmissions inflate every raw
-    byte's cost while the fixed decompression cost stays put.
+    byte's cost while the fixed decompression cost stays put.  Under
+    residual corruption it grows instead — recovery taxes only the
+    compressed side.
     """
     if model is None:
-        if loss_rate == 0:
+        if loss_rate == 0 and corrupt_rate == 0:
             return units.THRESHOLD_FILE_SIZE_BYTES
         model = EnergyModel()
     huge_factor = 1e9
 
     def ever_worthwhile(n_bytes: float) -> bool:
         return compression_worthwhile(
-            n_bytes, huge_factor, model, codec, loss_rate, arq
+            n_bytes, huge_factor, model, codec, loss_rate, arq,
+            corrupt_rate, recovery,
         )
 
     lo, hi = 1.0, float(units.BYTES_PER_MB)
@@ -161,3 +193,43 @@ def size_threshold_bytes(
         else:
             lo = mid
     return int(round((lo + hi) / 2))
+
+
+def break_even_corrupt_rate(
+    raw_bytes: float,
+    compression_factor: float,
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+    recovery: Optional[RecoveryConfig] = None,
+    max_rate: float = 1e-2,
+) -> float:
+    """Residual bit-error rate at which compression stops paying.
+
+    The headline number of the corruption extension: below the returned
+    BER a compressed download of this file still beats the raw one;
+    above it, the expected re-fetch energy eats the savings.  Returns
+    0.0 when compression never pays even on a clean channel, and
+    ``inf`` when it still pays at ``max_rate`` (recovery saturates —
+    at high BER every block is corrupt on every attempt, so the
+    expected overhead plateaus at the full retry budget).
+    """
+    if not compression_worthwhile(
+        raw_bytes, compression_factor, model, codec, recovery=recovery
+    ):
+        return 0.0
+    if compression_worthwhile(
+        raw_bytes, compression_factor, model, codec,
+        corrupt_rate=max_rate, recovery=recovery,
+    ):
+        return float("inf")
+    lo, hi = 0.0, max_rate
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if compression_worthwhile(
+            raw_bytes, compression_factor, model, codec,
+            corrupt_rate=mid, recovery=recovery,
+        ):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

@@ -15,6 +15,16 @@ class CorruptStreamError(CodecError):
     """A compressed stream failed validation during decode."""
 
 
+class TruncatedStreamError(CorruptStreamError):
+    """A compressed stream ended before its declared contents did.
+
+    A distinguished corruption: block re-fetch policies treat a short
+    read differently from a checksum mismatch (the tail is missing, not
+    damaged), and callers that stream incrementally can wait for more
+    bytes instead of aborting.
+    """
+
+
 class UnknownCodecError(CodecError):
     """A codec name was not found in the registry."""
 
@@ -33,6 +43,15 @@ class SimulationError(ReproError):
 
 class LinkDroppedError(SimulationError):
     """A packet exhausted the ARQ retry limit (MAC excessive-retry)."""
+
+
+class RecoveryExhaustedError(SimulationError):
+    """A recovery policy ran out of budget (retries or deadline).
+
+    Raised when a corrupted transfer could not be repaired: the retry
+    budget was spent on still-corrupt re-fetches, or the wall-clock
+    deadline passed before the stream verified.
+    """
 
 
 class WorkloadError(ReproError):

@@ -99,6 +99,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("loss", "Loss-rate sweep: lossy-link break-even shift",
                "bench_loss_sweep.py", "loss_sweep", "extension",
                extension=True),
+    Experiment("corruption", "Corruption sweep: recovery energy vs residual BER",
+               "bench_corruption_sweep.py", "corruption_sweep", "extension",
+               extension=True),
     Experiment("throughput", "Codec throughput (engineering)",
                "bench_codec_throughput.py", "-", "engineering", extension=True),
     Experiment("engines", "Pure-Python codecs vs CPython engines",

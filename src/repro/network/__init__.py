@@ -1,8 +1,19 @@
-"""Wireless-LAN substrate: 802.11b link model, packetization, loss, ARQ."""
+"""Wireless-LAN substrate: 802.11b link, packets, loss, ARQ, corruption."""
 
 from repro.network.wlan import LinkConfig, LINK_11MBPS, LINK_2MBPS
 from repro.network.packets import Packetizer, PacketSchedule
 from repro.network.link import ReceivePlan, plan_receive
+from repro.network.corruption import (
+    BitFlipCorruption,
+    CompositeCorruption,
+    CorruptionModel,
+    GilbertBurstCorruption,
+    NoCorruption,
+    ProxyStallCorruption,
+    TruncationCorruption,
+    block_corrupt_probability,
+    residual_ber_for_condition,
+)
 from repro.network.loss import (
     EpisodeLoss,
     GilbertElliottLoss,
@@ -34,4 +45,13 @@ __all__ = [
     "ArqConfig",
     "LinkStats",
     "StopAndWaitLink",
+    "CorruptionModel",
+    "NoCorruption",
+    "BitFlipCorruption",
+    "GilbertBurstCorruption",
+    "TruncationCorruption",
+    "ProxyStallCorruption",
+    "CompositeCorruption",
+    "block_corrupt_probability",
+    "residual_ber_for_condition",
 ]

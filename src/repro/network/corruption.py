@@ -1,0 +1,431 @@
+"""Corruption fault injectors for data that *arrives* damaged.
+
+The loss models in :mod:`repro.network.loss` drop whole packets and the
+MAC retransmits them; this module covers the complementary fault class:
+bytes that are delivered but wrong.  Residual bit errors slip past the
+802.11 frame check at a small but non-zero rate, proxies stall or crash
+mid-transfer, and intermediaries truncate streams.  Raw downloads mostly
+shrug these off (a flipped bit damages one pixel or one character), but
+one flipped bit inside a DEFLATE/BWT block poisons the whole block —
+which is why corruption, unlike loss, pushes Equation 6 *against*
+compression.
+
+Models are seeded and deterministic, mirroring the loss models: a
+``reset()`` rewinds the random stream so the DES replay and the byte
+data path reproduce the same fault pattern bit for bit.  Each model
+exposes two faces:
+
+* a **data path** — ``corrupt(data, byte_offset)`` returns the damaged
+  bytes a receiver would see, used by the recovery session and the
+  property tests;
+* **closed-form expectations** — ``block_corrupt_rate(block_bytes)``
+  gives the probability that a delivered block of that size is damaged,
+  which is what the analytic engine and the corruption-aware Equation 6
+  integrate.
+
+Transient models (truncation, proxy stall) damage only the first
+delivery: a re-fetch sees clean data, so their ``retry_corrupt_rate``
+is zero.  Persistent models (residual bit errors) roll fresh dice on
+every re-fetch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import random
+
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition
+from repro.network.loss import BER_AT_THRESHOLD, loss_rate_for_condition
+
+#: Fraction of channel bit errors that slip past the 802.11 CRC-32 frame
+#: check undetected.  A 32-bit CRC misses a damaged frame with
+#: probability ~2^-32 per error pattern; real measured residual rates
+#: are dominated by undetected errors in headers/handshakes and sit far
+#: above the combinatorial floor, so the bridge uses a conservative
+#: escape fraction.
+RESIDUAL_ESCAPE_FRACTION = 1e-4
+
+
+def block_corrupt_probability(ber: float, block_bytes: int) -> float:
+    """Probability a block of ``block_bytes`` contains >= 1 bit error.
+
+    The dual of :func:`repro.network.loss.packet_loss_probability`:
+    ``q = 1 - (1 - ber)^(8*bytes)`` for iid residual bit errors.
+    """
+    if not 0 <= ber < 1:
+        raise ModelError("bit-error rate must be in [0, 1)")
+    if block_bytes <= 0:
+        raise ModelError("block size must be positive")
+    return 1.0 - (1.0 - ber) ** (8 * block_bytes)
+
+
+def residual_ber_for_condition(
+    condition: ChannelCondition,
+    escape_fraction: float = RESIDUAL_ESCAPE_FRACTION,
+) -> float:
+    """Residual (post-CRC) bit-error rate for a distance/obstacle setting.
+
+    The channel bridge in :mod:`repro.network.loss` maps link margin to a
+    raw BER; the MAC's frame check catches almost all of it, and this
+    scales what remains by ``escape_fraction``.
+    """
+    # Reuse the loss bridge's margin->BER mapping via its packet-loss
+    # probability: p = 1-(1-ber)^(8n)  =>  ber = 1-(1-p)^(1/(8n)).
+    n = 1460
+    p = loss_rate_for_condition(condition, payload_bytes=n)
+    ber = 1.0 - (1.0 - p) ** (1.0 / (8 * n))
+    return min(ber * escape_fraction, BER_AT_THRESHOLD)
+
+
+class CorruptionModel:
+    """Base class: seeded, deterministic byte-stream damage."""
+
+    #: Transient faults damage only the first delivery; a re-fetch of
+    #: the same bytes arrives clean.
+    transient: bool = False
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the random stream (start of a fresh replay)."""
+        self._rng = random.Random(self.seed)
+
+    # -- data path --------------------------------------------------------
+
+    def begin_transfer(self, total_bytes: int) -> None:
+        """Arm the model for a fresh transfer of ``total_bytes``.
+
+        Transient models use the hint to place their fault (e.g. a
+        truncation cut at a fraction of the *transfer*, not of each
+        chunk) and to forget which chunks were already damaged once.
+        Stationary models ignore it.
+        """
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        """Return the bytes a receiver sees after channel damage."""
+        raise NotImplementedError
+
+    # -- closed-form expectations ----------------------------------------
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        """Probability a delivered block of this size is damaged."""
+        raise NotImplementedError
+
+    def retry_corrupt_rate(self, block_bytes: int) -> float:
+        """Damage probability for a re-fetch of one block."""
+        if self.transient:
+            return 0.0
+        return self.block_corrupt_rate(block_bytes)
+
+    def stall_s(self) -> float:
+        """Extra idle seconds the fault injects (proxy stall/crash)."""
+        return 0.0
+
+
+class NoCorruption(CorruptionModel):
+    """A clean channel (the paper's measurement setup)."""
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        return data
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        return 0.0
+
+
+class BitFlipCorruption(CorruptionModel):
+    """Independent (iid) residual bit flips at a fixed rate.
+
+    The data path skips between flips with geometric gaps rather than
+    rolling per bit, so multi-megabyte streams at realistic residual
+    rates (1e-9..1e-5) cost O(flips), not O(bits).
+    """
+
+    def __init__(self, ber: float, seed: int = 1) -> None:
+        if not 0 <= ber < 1:
+            raise ModelError("bit-error rate must be in [0, 1)")
+        super().__init__(seed)
+        self.ber = ber
+        self.bits_flipped = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.bits_flipped = 0
+
+    def _gap_bits(self) -> int:
+        """Geometric gap to the next flipped bit (inclusive count)."""
+        u = self._rng.random()
+        if u <= 0.0:
+            return 1
+        return int(math.log(u) / math.log1p(-self.ber)) + 1
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        if self.ber == 0.0 or not data:
+            return data
+        nbits = 8 * len(data)
+        out = None
+        position = self._gap_bits() - 1
+        while position < nbits:
+            if out is None:
+                out = bytearray(data)
+            out[position >> 3] ^= 1 << (position & 7)
+            self.bits_flipped += 1
+            position += self._gap_bits()
+        return bytes(out) if out is not None else data
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        if self.ber == 0.0:
+            return 0.0
+        return block_corrupt_probability(self.ber, block_bytes)
+
+
+class GilbertBurstCorruption(CorruptionModel):
+    """Two-state (bursty) residual bit errors, Gilbert-style.
+
+    The channel dwells in a good and a bad state with geometric dwell
+    times measured in *bytes*; each state flips bits at its own rate.
+    Bursts model fading and interference: the same stationary BER as an
+    iid model, but errors cluster — fewer blocks are hit, each harder.
+
+    The closed-form block rate uses the slow-fading approximation
+    (state dwell >> block length): a block sees one state, weighted by
+    stationary occupancy.
+    """
+
+    def __init__(
+        self,
+        good_ber: float = 0.0,
+        bad_ber: float = 1e-4,
+        mean_good_bytes: float = 512 * 1024,
+        mean_bad_bytes: float = 16 * 1024,
+        seed: int = 1,
+    ) -> None:
+        for name, b in (("good_ber", good_ber), ("bad_ber", bad_ber)):
+            if not 0 <= b < 1:
+                raise ModelError(f"{name} must be in [0, 1)")
+        for name, m in (
+            ("mean_good_bytes", mean_good_bytes),
+            ("mean_bad_bytes", mean_bad_bytes),
+        ):
+            if m <= 0:
+                raise ModelError(f"{name} must be positive")
+        super().__init__(seed)
+        self.good_ber = good_ber
+        self.bad_ber = bad_ber
+        self.mean_good_bytes = mean_good_bytes
+        self.mean_bad_bytes = mean_bad_bytes
+        self._bad = False
+        self._dwell_left = 0
+        self.bits_flipped = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._bad = False
+        self._dwell_left = 0
+        self.bits_flipped = 0
+
+    def _draw_dwell(self) -> int:
+        mean = self.mean_bad_bytes if self._bad else self.mean_good_bytes
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        if not data:
+            return data
+        out = bytearray(data)
+        touched = False
+        pos = 0
+        while pos < len(out):
+            if self._dwell_left <= 0:
+                self._dwell_left = self._draw_dwell()
+            span = min(self._dwell_left, len(out) - pos)
+            ber = self.bad_ber if self._bad else self.good_ber
+            if ber > 0.0:
+                bit = 0
+                nbits = 8 * span
+                while True:
+                    u = self._rng.random()
+                    gap = (
+                        int(math.log(u) / math.log1p(-ber)) + 1
+                        if u > 0.0
+                        else 1
+                    )
+                    bit += gap
+                    if bit > nbits:
+                        break
+                    index = 8 * pos + (bit - 1)
+                    out[index >> 3] ^= 1 << (index & 7)
+                    self.bits_flipped += 1
+                    touched = True
+            pos += span
+            self._dwell_left -= span
+            if self._dwell_left <= 0:
+                self._bad = not self._bad
+        return bytes(out) if touched else data
+
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of bytes delivered in the bad state."""
+        total = self.mean_good_bytes + self.mean_bad_bytes
+        return self.mean_bad_bytes / total
+
+    def stationary_ber(self) -> float:
+        """Occupancy-weighted mean residual bit-error rate."""
+        pi_bad = self.stationary_bad_fraction()
+        return pi_bad * self.bad_ber + (1.0 - pi_bad) * self.good_ber
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        pi_bad = self.stationary_bad_fraction()
+        q_bad = block_corrupt_probability(self.bad_ber, block_bytes)
+        q_good = block_corrupt_probability(self.good_ber, block_bytes)
+        return pi_bad * q_bad + (1.0 - pi_bad) * q_good
+
+
+class TruncationCorruption(CorruptionModel):
+    """The stream stops at a fraction of its length (transient).
+
+    Models an intermediary that closes the connection early: the prefix
+    arrives intact, the tail never arrives.  A re-fetch succeeds, so the
+    fault is transient.
+    """
+
+    transient = True
+
+    def __init__(self, deliver_fraction: float, seed: int = 1) -> None:
+        if not 0 <= deliver_fraction < 1:
+            raise ModelError("deliver_fraction must be in [0, 1)")
+        super().__init__(seed)
+        self.deliver_fraction = deliver_fraction
+        self._cut: Optional[int] = None
+        self._frontier = 0
+        self._last_offset = 0
+        self._spent = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._cut = None
+        self._frontier = 0
+        self._last_offset = 0
+        self._spent = False
+
+    def begin_transfer(self, total_bytes: int) -> None:
+        self._cut = int(total_bytes * self.deliver_fraction)
+        self._frontier = 0
+        self._last_offset = 0
+        self._spent = False
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        # One stall per transfer.  The first sequential pass loses its
+        # tail past the cut; a chunk re-fetch (delivery at or behind the
+        # frontier) arrives clean; a delivery *behind* the previous one
+        # is a whole-transfer restart from the recovered peer, after
+        # which everything is clean.
+        if self._spent:
+            return data
+        if byte_offset < self._last_offset:
+            self._spent = True
+            return data
+        self._last_offset = byte_offset
+        if byte_offset < self._frontier:
+            return data
+        self._frontier = byte_offset + len(data)
+        cut = (
+            self._cut
+            if self._cut is not None
+            else byte_offset + int(len(data) * self.deliver_fraction)
+        )
+        if byte_offset + len(data) <= cut:
+            return data
+        return data[: max(0, cut - byte_offset)]
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        # A block past the cut is missing entirely; over a whole
+        # transfer the damaged fraction is the undelivered tail.
+        return 1.0 - self.deliver_fraction
+
+
+class ProxyStallCorruption(TruncationCorruption):
+    """Proxy stalls (or crashes) mid-transfer, then the tail is lost.
+
+    The device receives a clean prefix, idles ``stall_seconds`` waiting
+    on a silent peer, and must re-fetch the rest.  Like truncation the
+    fault is transient — the restarted proxy serves clean data — but it
+    adds wall-clock idle time that the recovery accounting charges at
+    gap power.
+    """
+
+    def __init__(
+        self,
+        deliver_fraction: float = 0.5,
+        stall_seconds: float = 2.0,
+        seed: int = 1,
+    ) -> None:
+        if stall_seconds < 0:
+            raise ModelError("stall_seconds must be non-negative")
+        super().__init__(deliver_fraction, seed=seed)
+        self.stall_seconds = stall_seconds
+
+    def stall_s(self) -> float:
+        return self.stall_seconds
+
+
+class CompositeCorruption(CorruptionModel):
+    """Several fault injectors applied to the same transfer.
+
+    The data path applies each model in sequence; the closed-form block
+    rate combines them as independent faults, and the retry rate keeps
+    only the persistent members (transient faults clear on re-fetch).
+    """
+
+    def __init__(
+        self, models: Sequence[CorruptionModel], seed: int = 1
+    ) -> None:
+        if not models:
+            raise ModelError("composite needs at least one model")
+        super().__init__(seed)
+        self.models: List[CorruptionModel] = list(models)
+
+    def reset(self) -> None:
+        super().reset()
+        for model in self.models:
+            model.reset()
+
+    def begin_transfer(self, total_bytes: int) -> None:
+        for model in self.models:
+            model.begin_transfer(total_bytes)
+
+    def corrupt(self, data: bytes, byte_offset: int = 0) -> bytes:
+        for model in self.models:
+            data = model.corrupt(data, byte_offset)
+        return data
+
+    def block_corrupt_rate(self, block_bytes: int) -> float:
+        survive = 1.0
+        for model in self.models:
+            survive *= 1.0 - model.block_corrupt_rate(block_bytes)
+        return 1.0 - survive
+
+    def retry_corrupt_rate(self, block_bytes: int) -> float:
+        survive = 1.0
+        for model in self.models:
+            survive *= 1.0 - model.retry_corrupt_rate(block_bytes)
+        return 1.0 - survive
+
+    def stall_s(self) -> float:
+        return sum(model.stall_s() for model in self.models)
+
+
+__all__ = [
+    "RESIDUAL_ESCAPE_FRACTION",
+    "block_corrupt_probability",
+    "residual_ber_for_condition",
+    "CorruptionModel",
+    "NoCorruption",
+    "BitFlipCorruption",
+    "GilbertBurstCorruption",
+    "TruncationCorruption",
+    "ProxyStallCorruption",
+    "CompositeCorruption",
+]

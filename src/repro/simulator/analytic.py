@@ -20,9 +20,11 @@ from typing import Optional
 from repro import units
 from repro.core.adaptive import AdaptiveResult
 from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig, RecoveryStats, expected_recovery
 from repro.device.timeline import PowerTimeline
 from repro.errors import ModelError
 from repro.network.arq import ArqConfig, LinkStats, expected_overhead
+from repro.network.corruption import CorruptionModel
 from repro.network.loss import LossModel
 from repro.network.packets import DEFAULT_PAYLOAD_BYTES
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
@@ -39,6 +41,17 @@ class AnalyticSession:
     ``arq``.  With ``loss=None`` (or an expected rate of zero) the
     timelines are byte- and joule-identical to the paper's lossless
     model.
+
+    ``corruption`` switches on the integrity extension: every
+    *compressed* transfer is charged the expected cost of verifying
+    block checksums ("verify", at decompression power) and of
+    re-fetching damaged blocks per the ``recovery`` policy ("refetch" —
+    airtime at receive power, backoff and stalls at gap power).  Raw
+    downloads are deliberately exempt: uncompressed bytes carry no
+    framing to poison, which is exactly the asymmetry that moves the
+    paper's Equation 6 break-even against compression.  With a clean
+    channel the extension charges nothing and the timelines stay
+    segment-identical to the baseline.
     """
 
     def __init__(
@@ -47,11 +60,26 @@ class AnalyticSession:
         loss: Optional[LossModel] = None,
         arq: Optional[ArqConfig] = None,
         payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        corruption: Optional[CorruptionModel] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
         self.arq = arq or ArqConfig()
         self.payload_bytes = payload_bytes
+        self.corruption = corruption
+        self.recovery = recovery or RecoveryConfig()
+
+    def inject_corruption(
+        self,
+        corruption: Optional[CorruptionModel],
+        recovery: Optional[RecoveryConfig] = None,
+    ) -> "AnalyticSession":
+        """Install (or clear) a corruption model on this session."""
+        self.corruption = corruption
+        if recovery is not None:
+            self.recovery = recovery
+        return self
 
     # -- shared pieces -------------------------------------------------------
 
@@ -81,6 +109,35 @@ class AnalyticSession:
             retry_wait_s=ov.retry_wait_s,
             delivery_probability=ov.delivery_probability,
         )
+
+    def _apply_corruption(
+        self,
+        timeline: PowerTimeline,
+        transfer_bytes: float,
+        raw_bytes: float,
+    ) -> Optional[RecoveryStats]:
+        """Append the expected integrity-and-recovery segments.
+
+        Charged after the lossless (and loss) structure: re-fetched
+        airtime at receive power, backoff waits and proxy stalls at gap
+        power, CRC verification at decompression power.  A clean
+        channel appends nothing (zero-duration segments are dropped),
+        so the baseline timeline is untouched.
+        """
+        if self.corruption is None:
+            return None
+        p = self.model.params
+        ov = expected_recovery(
+            p, transfer_bytes, raw_bytes, self.corruption, self.recovery
+        )
+        timeline.add(ov.refetch_active_s, self._recv_power_w, "refetch")
+        timeline.add(
+            ov.refetch_gap_s + ov.wait_s + ov.stall_s, p.gap_power_w, "refetch"
+        )
+        timeline.add(ov.verify_s, p.decompress_power_w, "verify")
+        if ov.wall_s <= 0:
+            return None
+        return ov.stats
 
     @property
     def _recv_power_w(self) -> float:
@@ -139,6 +196,7 @@ class AnalyticSession:
         if not interleave:
             self._receive(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
+            rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             pd = (
                 p.decompress_sleep_power_w
                 if radio_power_save
@@ -149,7 +207,8 @@ class AnalyticSession:
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
             return SessionResult.from_timeline(
-                scenario, raw_bytes, compressed_bytes, codec, tl, link_stats=stats
+                scenario, raw_bytes, compressed_bytes, codec, tl,
+                link_stats=stats, recovery_stats=rstats,
             )
 
         # Interleaved (Equation 3): the idle gaps after the first block
@@ -167,9 +226,10 @@ class AnalyticSession:
         else:
             tl.add(td - ti_prime, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, compressed_bytes)
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
             Scenario.INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
-            link_stats=stats,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     def adaptive(
@@ -204,8 +264,10 @@ class AnalyticSession:
         else:
             tl.add(td - ti_prime, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, transfer)
+        rstats = self._apply_corruption(tl, transfer, raw_bytes)
         return SessionResult.from_timeline(
-            Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl, link_stats=stats
+            Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     def ondemand(
@@ -242,11 +304,12 @@ class AnalyticSession:
             tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
             self._receive(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
+            rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
             tl.add(td, p.decompress_power_w, "decompress")
             return SessionResult.from_timeline(
                 Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats,
+                tl, link_stats=stats, recovery_stats=rstats,
             )
 
         # Overlapped pipeline.  Per raw block b: proxy compress time c_b and
@@ -287,9 +350,10 @@ class AnalyticSession:
         tl.add(unused_idle, p.gap_power_w, "idle")
         tl.add(td_after, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, compressed_bytes)
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
             Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl,
-            link_stats=stats,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     # -- upload direction (Section 7 future work) -------------------------------
@@ -328,9 +392,10 @@ class AnalyticSession:
             tl.add(tc, p.decompress_power_w, "compress")
             self._send(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
+            rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             return SessionResult.from_timeline(
                 Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats,
+                tl, link_stats=stats, recovery_stats=rstats,
             )
 
         ts_prime, ts_dprime = upload.interleave_times(raw_bytes, compressed_bytes)
@@ -351,9 +416,10 @@ class AnalyticSession:
             tl.add(overlap_work - ts_prime, p.decompress_power_w, "compress")
         tl.add(ts_dprime, p.gap_power_w, "idle")
         stats = self._apply_loss(tl, compressed_bytes)
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
             Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
-            link_stats=stats,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     def _send(self, timeline: PowerTimeline, transfer_bytes: float) -> None:

@@ -12,15 +12,19 @@ Equations 1-4.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, replace as dc_replace
 from typing import List, Optional, Tuple
 
 from repro import units
 from repro.core.adaptive import AdaptiveResult
 from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig, RecoveryPolicy, RecoveryStats
 from repro.device.timeline import PowerTimeline
-from repro.errors import ModelError
+from repro.errors import ModelError, RecoveryExhaustedError
 from repro.network.arq import ArqConfig, LinkStats, expand_schedule
+from repro.network.corruption import CorruptionModel
 from repro.network.loss import LossModel
 from repro.network.packets import Packetizer
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
@@ -59,6 +63,13 @@ class DesSession:
     decompressible once their packets are actually *delivered*, so loss
     also delays the interleaving pipeline.  With ``loss=None`` the
     replay is bit-identical to the seed engine.
+
+    ``corruption``/``recovery`` add the integrity extension: after each
+    compressed transfer, per-block verification outcomes are drawn from
+    the corruption model (seeded) and the realized re-fetch, backoff and
+    CRC-verify costs are charged under the ``refetch``/``verify`` tags.
+    Raw transfers are exempt (no framing to poison); a clean channel
+    charges nothing and the replay stays identical to the baseline.
     """
 
     def __init__(
@@ -67,11 +78,15 @@ class DesSession:
         payload_bytes: int = 1460,
         loss: Optional[LossModel] = None,
         arq: Optional[ArqConfig] = None,
+        corruption: Optional[CorruptionModel] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.model = model or EnergyModel()
         self.packetizer = Packetizer(payload_bytes)
         self.loss = loss
         self.arq = arq or ArqConfig()
+        self.corruption = corruption
+        self.recovery = recovery or RecoveryConfig()
         # The DES paces packets off the model's rate/idle parameters so the
         # two engines share one ground truth.
         self._link = dc_replace(
@@ -81,6 +96,17 @@ class DesSession:
             power_save=False,
         )
 
+    def inject_corruption(
+        self,
+        corruption: Optional[CorruptionModel],
+        recovery: Optional[RecoveryConfig] = None,
+    ) -> "DesSession":
+        """Install (or clear) a corruption model on this session."""
+        self.corruption = corruption
+        if recovery is not None:
+            self.recovery = recovery
+        return self
+
     # -- power helpers ---------------------------------------------------------
 
     @property
@@ -88,6 +114,116 @@ class DesSession:
         p = self.model.params
         active_s_per_mb = (1.0 - p.idle_fraction) / p.rate_mb_per_s
         return p.m_j_per_mb / active_s_per_mb
+
+    # -- integrity and recovery -------------------------------------------------
+
+    def _apply_corruption(
+        self,
+        tl: PowerTimeline,
+        transfer_bytes: float,
+        raw_bytes: float,
+    ) -> Optional[RecoveryStats]:
+        """Replay the recovery policy with seeded per-block draws.
+
+        Where the analytic engine charges expectations, this draws each
+        block's verification outcome from the corruption model's damage
+        probabilities (seeded, so sessions replay identically) and
+        charges the *realized* re-fetch airtime, backoff idle and CRC
+        time.  A ``refetch`` session whose block exhausts its retry
+        budget — or any policy blowing its deadline — raises
+        :class:`~repro.errors.RecoveryExhaustedError`; ``degrade``
+        falls back to re-downloading the raw file instead.
+        """
+        if self.corruption is None:
+            return None
+        p = self.model.params
+        cfg = self.recovery
+        block = max(1, min(cfg.block_bytes, int(transfer_bytes)))
+        n_blocks = max(1, math.ceil(transfer_bytes / cfg.block_bytes))
+        q1 = self.corruption.block_corrupt_rate(block)
+        qr = self.corruption.retry_corrupt_rate(block)
+        stall = self.corruption.stall_s()
+        if q1 <= 0.0 and stall <= 0.0:
+            return None
+
+        rng = random.Random(self.corruption.seed)
+        mean_block = transfer_bytes / n_blocks
+        corrupt_blocks = 0
+        refetch_blocks = 0
+        refetch_bytes = 0.0
+        restarts = 0
+        wait_s = 0.0
+        degraded = False
+
+        def check_deadline() -> None:
+            if cfg.deadline_s is not None and wait_s + stall > cfg.deadline_s:
+                raise RecoveryExhaustedError(
+                    f"recovery deadline of {cfg.deadline_s:.3f}s exceeded"
+                )
+
+        if cfg.policy is RecoveryPolicy.RESTART:
+            for attempt in range(cfg.max_retries + 1):
+                rate = qr if attempt else q1
+                hits = sum(1 for _ in range(n_blocks) if rng.random() < rate)
+                if attempt == 0:
+                    corrupt_blocks = hits
+                if hits == 0:
+                    break
+                if attempt == cfg.max_retries:
+                    raise RecoveryExhaustedError(
+                        f"transfer still corrupt after {cfg.max_retries} restarts"
+                    )
+                restarts += 1
+                wait_s += cfg.wait_before_attempt_s(attempt + 1)
+                check_deadline()
+                refetch_blocks += n_blocks
+                refetch_bytes += transfer_bytes
+        else:
+            for _ in range(n_blocks):
+                if rng.random() >= q1:
+                    continue
+                corrupt_blocks += 1
+                repaired = False
+                for attempt in range(1, cfg.max_retries + 1):
+                    wait_s += cfg.wait_before_attempt_s(attempt)
+                    check_deadline()
+                    refetch_blocks += 1
+                    refetch_bytes += mean_block
+                    if rng.random() >= qr:
+                        repaired = True
+                        break
+                if not repaired:
+                    if cfg.policy is RecoveryPolicy.DEGRADE:
+                        degraded = True
+                        break
+                    raise RecoveryExhaustedError(
+                        f"block still corrupt after {cfg.max_retries} re-fetches"
+                    )
+
+        extra_bytes = refetch_bytes + (raw_bytes if degraded else 0.0)
+        wall = units.bytes_to_mb(extra_bytes) / p.rate_mb_per_s
+        active = wall * (1.0 - p.idle_fraction)
+        verify_s = (
+            units.bytes_to_mb(transfer_bytes + refetch_bytes) / cfg.verify_mb_per_s
+        )
+        tl.add(active, self._recv_power_w, "refetch")
+        tl.add(wall - active + wait_s + stall, p.gap_power_w, "refetch")
+        tl.add(verify_s, p.decompress_power_w, "verify")
+        return RecoveryStats(
+            policy=cfg.policy,
+            blocks=n_blocks,
+            block_corrupt_rate=q1,
+            corrupt_blocks=float(corrupt_blocks),
+            refetch_blocks=float(refetch_blocks),
+            refetch_bytes=extra_bytes,
+            restarts=float(restarts),
+            backoff_wait_s=wait_s,
+            stall_s=stall,
+            verify_s=verify_s,
+            degrade_probability=1.0 if degraded else 0.0,
+            residual_failure_probability=0.0,
+            deadline_hit=False,
+        )
 
     # -- scenarios ----------------------------------------------------------------
 
@@ -148,8 +284,10 @@ class DesSession:
             scenario = (
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
-            scenario, raw_bytes, compressed_bytes, codec, tl, link_stats=stats
+            scenario, raw_bytes, compressed_bytes, codec, tl,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     def adaptive(self, result: AdaptiveResult, codec: str = "gzip") -> SessionResult:
@@ -183,9 +321,10 @@ class DesSession:
             tail_work_s=0.0,
             decompress_power_w=p.decompress_power_w,
         )
+        rstats = self._apply_corruption(tl, result.compressed_size, result.raw_size)
         return SessionResult.from_timeline(
             Scenario.ADAPTIVE, result.raw_size, result.compressed_size, codec, tl,
-            link_stats=stats,
+            link_stats=stats, recovery_stats=rstats,
         )
 
     def ondemand(
@@ -215,9 +354,10 @@ class DesSession:
                 ),
                 decompress_power_w=p.decompress_power_w,
             )
+            rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             return SessionResult.from_timeline(
                 Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats,
+                tl, link_stats=stats, recovery_stats=rstats,
             )
 
         if self.loss is not None:
@@ -228,8 +368,10 @@ class DesSession:
         pipeline = OnDemandPipeline(self._link, proxy)
         timing = pipeline.schedule(raw_bytes, compressed_bytes, codec)
         self._simulate_arrivals(tl, timing, codec)
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
-            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl
+            Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl,
+            recovery_stats=rstats,
         )
 
     # -- upload direction ---------------------------------------------------------
@@ -298,9 +440,10 @@ class DesSession:
             tl.add(sum(works), p.decompress_power_w, "compress")
             schedule = self.packetizer.schedule(compressed_bytes, self._link)
             stats = self._replay_send(tl, schedule)
+            rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             return SessionResult.from_timeline(
                 Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats,
+                tl, link_stats=stats, recovery_stats=rstats,
             )
 
         if self.loss is not None:
@@ -344,8 +487,10 @@ class DesSession:
                     break
             if available > 1e-12:
                 tl.add(available, p.gap_power_w, "idle")
+        rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
         return SessionResult.from_timeline(
-            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl
+            Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
+            recovery_stats=rstats,
         )
 
     # -- the core replay loop ---------------------------------------------------

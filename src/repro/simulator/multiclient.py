@@ -58,6 +58,12 @@ class RequestOutcome:
     energy_overhead_j: float = 0.0
     #: Useful payload bytes per second of session time (queueing excluded).
     goodput_bps: float = 0.0
+    #: Expected block re-fetches forced by corruption (0 when clean).
+    refetch_blocks: float = 0.0
+    #: Joules spent re-fetching corrupt blocks and verifying checksums.
+    recovery_energy_j: float = 0.0
+    #: Probability the session fell back to a raw re-download.
+    degrade_probability: float = 0.0
 
     @property
     def latency_s(self) -> float:
@@ -106,6 +112,21 @@ class FleetReport:
         return sum(o.energy_overhead_j for o in self.outcomes)
 
     @property
+    def total_refetch_blocks(self) -> float:
+        """Corruption-forced block re-fetches fleet-wide."""
+        return sum(o.refetch_blocks for o in self.outcomes)
+
+    @property
+    def total_recovery_energy_j(self) -> float:
+        """Integrity joules (refetch + verify) fleet-wide."""
+        return sum(o.recovery_energy_j for o in self.outcomes)
+
+    @property
+    def degradation_events(self) -> float:
+        """Expected raw-fallback sessions fleet-wide."""
+        return sum(o.degrade_probability for o in self.outcomes)
+
+    @property
     def mean_goodput_bps(self) -> float:
         """Mean per-request goodput (queueing excluded)."""
         if not self.outcomes:
@@ -130,14 +151,27 @@ class MultiClientSimulation:
         proxy_slots: int = 1,
         loss=None,
         arq=None,
+        corruption=None,
+        recovery=None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
         self.arq = arq
-        self.session = AnalyticSession(self.model, loss=loss, arq=arq)
+        self.corruption = corruption
+        self.recovery = recovery
         self.advisor = CompressionAdvisor(model=self.model)
         self.link_slots = link_slots
         self.proxy_slots = proxy_slots
+        self._rebuild_session()
+
+    def _rebuild_session(self) -> None:
+        self.session = AnalyticSession(
+            self.model,
+            loss=self.loss,
+            arq=self.arq,
+            corruption=self.corruption,
+            recovery=self.recovery,
+        )
 
     def inject_loss(self, loss, arq=None) -> None:
         """Fault-injection hook: make subsequent runs serve over ``loss``.
@@ -149,7 +183,21 @@ class MultiClientSimulation:
         self.loss = loss
         if arq is not None:
             self.arq = arq
-        self.session = AnalyticSession(self.model, loss=loss, arq=self.arq)
+        self._rebuild_session()
+
+    def inject_corruption(self, corruption, recovery=None) -> None:
+        """Fault-injection hook: damage subsequent runs' payload bytes.
+
+        ``corruption`` is any
+        :class:`~repro.network.corruption.CorruptionModel`; ``recovery``
+        optionally picks the repair policy.  Loss/ARQ settings already
+        installed are preserved — corruption composes with loss, it does
+        not replace it.
+        """
+        self.corruption = corruption
+        if recovery is not None:
+            self.recovery = recovery
+        self._rebuild_session()
 
     # -- strategy resolution -----------------------------------------------------
 
@@ -227,6 +275,12 @@ class MultiClientSimulation:
                 outcome.retries = result.link_stats.retries
                 outcome.energy_overhead_j = result.loss_overhead_j
                 outcome.goodput_bps = result.goodput_bps
+            if result.recovery_stats is not None:
+                outcome.refetch_blocks = result.recovery_stats.refetch_blocks
+                outcome.recovery_energy_j = result.integrity_overhead_j
+                outcome.degrade_probability = (
+                    result.recovery_stats.degrade_probability
+                )
             report.outcomes.append(outcome)
 
         for request in sorted(requests, key=lambda r: r.arrival_s):

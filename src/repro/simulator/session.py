@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.recovery import RecoveryStats
 from repro.device.battery import EnergyReport
 from repro.device.timeline import PowerTimeline
 from repro.network.arq import LinkStats
@@ -52,6 +53,9 @@ class SessionResult:
     #: Retransmission accounting when the session ran over a lossy link
     #: (None on the paper's lossless setup).
     link_stats: Optional[LinkStats] = None
+    #: Integrity-recovery accounting when the session ran over a
+    #: corrupting channel (None when the channel delivers clean bytes).
+    recovery_stats: Optional[RecoveryStats] = None
 
     @classmethod
     def from_timeline(
@@ -62,6 +66,7 @@ class SessionResult:
         codec: Optional[str],
         timeline: PowerTimeline,
         link_stats: Optional[LinkStats] = None,
+        recovery_stats: Optional[RecoveryStats] = None,
     ) -> "SessionResult":
         return cls(
             scenario=scenario,
@@ -72,6 +77,7 @@ class SessionResult:
             time_s=timeline.total_time_s,
             energy_j=timeline.total_energy_j,
             link_stats=link_stats,
+            recovery_stats=recovery_stats,
         )
 
     @property
@@ -79,6 +85,17 @@ class SessionResult:
         """Joules attributable to retransmissions and ARQ timeouts."""
         by_tag = self.timeline.energy_by_tag()
         return by_tag.get("retransmit", 0.0) + by_tag.get("retry-idle", 0.0)
+
+    @property
+    def recovery_energy_j(self) -> float:
+        """Joules spent re-fetching corrupt blocks (airtime plus waits)."""
+        return self.timeline.energy_by_tag().get("refetch", 0.0)
+
+    @property
+    def integrity_overhead_j(self) -> float:
+        """Joules the integrity machinery adds: re-fetches plus CRC time."""
+        by_tag = self.timeline.energy_by_tag()
+        return by_tag.get("refetch", 0.0) + by_tag.get("verify", 0.0)
 
     @property
     def goodput_bps(self) -> float:
@@ -117,11 +134,18 @@ class DownloadSession:
     """Facade selecting the engine (analytic by default, DES on request).
 
     ``loss``/``arq`` switch on the lossy-link extension in either
-    engine; left at None the sessions match the paper's lossless model.
+    engine; ``corruption``/``recovery`` switch on the integrity
+    extension.  Left at None the sessions match the paper's model.
     """
 
     def __init__(
-        self, model=None, engine: str = "analytic", loss=None, arq=None
+        self,
+        model=None,
+        engine: str = "analytic",
+        loss=None,
+        arq=None,
+        corruption=None,
+        recovery=None,
     ) -> None:
         from repro.core.energy_model import EnergyModel
 
@@ -129,11 +153,17 @@ class DownloadSession:
         if engine == "analytic":
             from repro.simulator.analytic import AnalyticSession
 
-            self._impl = AnalyticSession(self.model, loss=loss, arq=arq)
+            self._impl = AnalyticSession(
+                self.model, loss=loss, arq=arq,
+                corruption=corruption, recovery=recovery,
+            )
         elif engine == "des":
             from repro.simulator.des import DesSession
 
-            self._impl = DesSession(self.model, loss=loss, arq=arq)
+            self._impl = DesSession(
+                self.model, loss=loss, arq=arq,
+                corruption=corruption, recovery=recovery,
+            )
         else:
             raise ValueError(f"unknown engine {engine!r}")
 

@@ -1,0 +1,119 @@
+"""Mutation properties: damage is detected or harmless, never silent.
+
+The integrity contract, stated as hypothesis properties over *every*
+registered codec plus the adaptive and streaming containers:
+
+- flip any single bit of a valid payload, and decoding either raises a
+  typed :class:`~repro.errors.CodecError` or round-trips to the exact
+  original bytes (the flip landed somewhere redundant);
+- truncate a valid payload anywhere, and decoding raises (a short read
+  can never produce output silently).
+
+Decoders must also terminate promptly on damaged input — the
+``timeout`` marker bounds each property run when pytest-timeout is
+installed (CI); without the plugin it is an inert registered marker.
+
+``REPRO_FUZZ_EXAMPLES`` scales the example budget (``make fuzz`` raises
+it; the default keeps the tier-1 suite fast).
+"""
+
+import functools
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import available_codecs, get_codec
+from repro.core.adaptive import AdaptiveBlockCodec
+from repro.compression.streaming import decode_frame, encode_frames
+from repro.errors import CodecError
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "20"))
+
+CORPUS = (
+    b"mutation corpus: the quick brown fox jumps over the lazy dog 0123456789\n"
+    * 60
+) + bytes(range(256)) * 4
+
+
+@functools.lru_cache(maxsize=None)
+def _payload(name: str) -> bytes:
+    return get_codec(name).compress_bytes(CORPUS)
+
+
+def _assert_detected_or_identical(decode, mutated: bytes) -> None:
+    try:
+        out = decode(mutated)
+    except CodecError:
+        return  # loud, typed failure: the contract
+    assert out == CORPUS, "decoder returned wrong bytes without raising"
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("name", sorted(available_codecs()))
+@given(data=st.data())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_single_bit_flip_detected(name, data):
+    payload = _payload(name)
+    pos = data.draw(st.integers(0, len(payload) - 1), label="byte")
+    bit = data.draw(st.integers(0, 7), label="bit")
+    mutated = bytearray(payload)
+    mutated[pos] ^= 1 << bit
+    codec = get_codec(name)
+    _assert_detected_or_identical(codec.decompress_bytes, bytes(mutated))
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("name", sorted(available_codecs()))
+@given(data=st.data())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_truncation_detected(name, data):
+    payload = _payload(name)
+    cut = data.draw(st.integers(0, len(payload) - 1), label="cut")
+    codec = get_codec(name)
+    with pytest.raises(CodecError):
+        codec.decompress_bytes(payload[:cut])
+
+
+@pytest.mark.timeout(120)
+@given(data=st.data())
+@settings(max_examples=MAX_EXAMPLES * 2, deadline=None)
+def test_adaptive_container_mutation(data):
+    codec = AdaptiveBlockCodec(block_size=2048, size_threshold=100)
+    payload = codec.compress_bytes(CORPUS)
+    pos = data.draw(st.integers(0, len(payload) - 1), label="byte")
+    bit = data.draw(st.integers(0, 7), label="bit")
+    mutated = bytearray(payload)
+    mutated[pos] ^= 1 << bit
+    _assert_detected_or_identical(codec.decompress_bytes, bytes(mutated))
+
+
+@pytest.mark.timeout(120)
+@given(data=st.data())
+@settings(max_examples=MAX_EXAMPLES * 2, deadline=None)
+def test_streaming_frame_mutation(data):
+    frames = encode_frames(CORPUS, get_codec("gzip"), block_size=4096)
+    index = data.draw(st.integers(0, len(frames) - 1), label="frame")
+    frame = frames[index]
+    pos = data.draw(st.integers(0, len(frame) - 1), label="byte")
+    bit = data.draw(st.integers(0, 7), label="bit")
+    mutated = bytearray(frame)
+    mutated[pos] ^= 1 << bit
+
+    expected = decode_frame(frame, get_codec("gzip"))
+    try:
+        out = decode_frame(bytes(mutated), get_codec("gzip"))
+    except CodecError:
+        return
+    assert out == expected, "frame decoded to wrong bytes without raising"
+
+
+@pytest.mark.timeout(120)
+@given(cut_fraction=st.floats(0.0, 0.999))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_streaming_frame_truncation(cut_fraction):
+    frames = encode_frames(CORPUS, get_codec("gzip"), block_size=4096)
+    frame = frames[0]
+    cut = int(len(frame) * cut_fraction)
+    with pytest.raises(CodecError):
+        decode_frame(frame[:cut], get_codec("gzip"))

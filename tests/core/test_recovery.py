@@ -1,0 +1,263 @@
+"""Recovery policies: closed-form expectations and the byte data path."""
+
+import random
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import (
+    RecoveryConfig,
+    RecoveryPolicy,
+    RecoverySession,
+    as_corruption_model,
+    expected_recovery,
+    recovery_overhead_energy_j,
+)
+from repro.errors import ModelError, RecoveryExhaustedError
+from repro.network.corruption import (
+    BitFlipCorruption,
+    NoCorruption,
+    ProxyStallCorruption,
+    TruncationCorruption,
+)
+
+MB = 1 << 20
+# Incompressible so the framed wire bytes stay ~block sized; compressible
+# data would shrink to tiny frames that bit flips almost never hit.
+DATA = random.Random(0).randbytes(12 * 1024)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return EnergyModel().params
+
+
+class TestRecoveryConfig:
+    def test_defaults(self):
+        cfg = RecoveryConfig()
+        assert cfg.policy is RecoveryPolicy.REFETCH
+        assert cfg.max_retries == 3
+
+    def test_policy_coerced_from_string(self):
+        assert RecoveryConfig(policy="degrade").policy is RecoveryPolicy.DEGRADE
+
+    def test_backoff_schedule(self):
+        cfg = RecoveryConfig(timeout_s=0.1, backoff=2.0)
+        assert cfg.wait_before_attempt_s(1) == pytest.approx(0.1)
+        assert cfg.wait_before_attempt_s(3) == pytest.approx(0.4)
+        with pytest.raises(ModelError):
+            cfg.wait_before_attempt_s(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"timeout_s": -0.1},
+            {"backoff": 0.5},
+            {"deadline_s": 0.0},
+            {"block_bytes": 0},
+            {"verify_mb_per_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ModelError):
+            RecoveryConfig(**kwargs)
+
+
+class TestExpectedRecovery:
+    def test_clean_channel_is_all_zero(self, params):
+        ov = expected_recovery(params, 1 * MB, 4 * MB, NoCorruption())
+        assert ov.wall_s == 0.0
+        assert ov.stats.refetch_blocks == 0.0
+        assert ov.stats.verify_s == 0.0
+        assert not ov.stats.deadline_hit
+
+    def test_zero_rate_bitflip_is_all_zero(self, params):
+        ov = expected_recovery(params, 1 * MB, 4 * MB, BitFlipCorruption(0.0))
+        assert ov.wall_s == 0.0
+
+    def test_overhead_monotone_in_ber(self, params):
+        walls = [
+            expected_recovery(
+                params, 1 * MB, 4 * MB, BitFlipCorruption(ber)
+            ).wall_s
+            for ber in (1e-8, 1e-7, 1e-6)
+        ]
+        assert 0 < walls[0] < walls[1] < walls[2]
+
+    def test_refetch_cheaper_than_restart(self, params):
+        corr = BitFlipCorruption(1e-7)
+        refetch = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="refetch")
+        )
+        restart = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="restart")
+        )
+        assert refetch.stats.refetch_bytes < restart.stats.refetch_bytes
+        assert restart.stats.restarts > 0
+
+    def test_degrade_converts_residual_to_raw_bytes(self, params):
+        corr = BitFlipCorruption(1e-6)
+        refetch = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="refetch")
+        )
+        degrade = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="degrade")
+        )
+        assert refetch.stats.residual_failure_probability > 0
+        assert degrade.stats.residual_failure_probability == 0.0
+        assert degrade.stats.degrade_probability == pytest.approx(
+            refetch.stats.residual_failure_probability
+        )
+        assert degrade.stats.refetch_bytes > refetch.stats.refetch_bytes
+
+    def test_transient_fault_has_no_retry_failures(self, params):
+        corr = TruncationCorruption(0.5)
+        ov = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="refetch")
+        )
+        # Re-fetches always succeed, so exactly the damaged tail is
+        # fetched once more and nothing is left failing.
+        assert ov.stats.refetch_bytes == pytest.approx(0.5 * MB, rel=0.1)
+        assert ov.stats.residual_failure_probability == 0.0
+
+    def test_proxy_stall_charged_as_idle(self, params):
+        corr = ProxyStallCorruption(deliver_fraction=0.5, stall_seconds=2.0)
+        ov = expected_recovery(params, 1 * MB, 4 * MB, corr)
+        assert ov.stall_s == pytest.approx(2.0)
+
+    def test_deadline_clamps_and_flags(self, params):
+        corr = BitFlipCorruption(1e-6)
+        free = expected_recovery(
+            params, 1 * MB, 4 * MB, corr, RecoveryConfig(policy="refetch")
+        )
+        assert free.wall_s > 0.1
+        capped = expected_recovery(
+            params,
+            1 * MB,
+            4 * MB,
+            corr,
+            RecoveryConfig(policy="refetch", deadline_s=free.wall_s / 2),
+        )
+        assert capped.stats.deadline_hit
+        assert capped.wall_s == pytest.approx(free.wall_s / 2)
+
+    def test_rejects_empty_transfer(self, params):
+        with pytest.raises(ModelError):
+            expected_recovery(params, 0, 4 * MB, NoCorruption())
+
+
+class TestOverheadEnergy:
+    def test_zero_for_clean_channel(self, params):
+        assert recovery_overhead_energy_j(params, 1 * MB, 4 * MB, 0.0) == 0.0
+
+    def test_accepts_float_ber(self, params):
+        e_float = recovery_overhead_energy_j(params, 1 * MB, 4 * MB, 1e-6)
+        e_model = recovery_overhead_energy_j(
+            params, 1 * MB, 4 * MB, BitFlipCorruption(1e-6)
+        )
+        assert e_float == pytest.approx(e_model)
+        assert e_float > 0
+
+    def test_monotone_in_rate(self, params):
+        energies = [
+            recovery_overhead_energy_j(params, 1 * MB, 4 * MB, ber)
+            for ber in (0.0, 1e-7, 1e-6)
+        ]
+        assert energies[0] == 0.0
+        assert 0 < energies[1] < energies[2]
+
+    def test_as_corruption_model_passthrough(self):
+        model = BitFlipCorruption(1e-6)
+        assert as_corruption_model(model) is model
+        coerced = as_corruption_model(1e-6)
+        assert isinstance(coerced, BitFlipCorruption)
+        assert coerced.ber == 1e-6
+
+
+class TestRecoverySession:
+    """The byte-level twin: right bytes or a typed refusal, never junk."""
+
+    @pytest.mark.parametrize("policy", ["restart", "refetch", "degrade"])
+    def test_clean_channel_round_trips(self, policy):
+        session = RecoverySession(
+            DATA, NoCorruption(), RecoveryConfig(policy=policy, block_bytes=2048)
+        )
+        report = session.run()
+        assert report.data == DATA
+        assert report.corrupt_blocks == 0
+        assert report.refetch_blocks == 0
+        assert not report.degraded
+
+    @pytest.mark.parametrize("policy", ["restart", "refetch", "degrade"])
+    def test_moderate_bitflips_recovered(self, policy):
+        session = RecoverySession(
+            DATA,
+            BitFlipCorruption(3e-5, seed=7),
+            RecoveryConfig(policy=policy, block_bytes=2048, max_retries=8),
+        )
+        report = session.run()
+        assert report.data == DATA
+        assert report.corrupt_blocks > 0
+        assert report.refetch_blocks > 0
+
+    def test_truncation_refetch_repairs_tail(self):
+        session = RecoverySession(
+            DATA,
+            TruncationCorruption(0.5, seed=3),
+            RecoveryConfig(policy="refetch", block_bytes=2048),
+        )
+        report = session.run()
+        assert report.data == DATA
+        assert report.corrupt_blocks > 0
+        assert not report.degraded
+
+    def test_refetch_exhaustion_raises(self):
+        session = RecoverySession(
+            DATA,
+            BitFlipCorruption(5e-4, seed=1),
+            RecoveryConfig(policy="refetch", block_bytes=2048, max_retries=1),
+        )
+        with pytest.raises(RecoveryExhaustedError):
+            session.run()
+
+    def test_degrade_falls_back_to_raw(self):
+        session = RecoverySession(
+            DATA,
+            BitFlipCorruption(5e-4, seed=1),
+            RecoveryConfig(policy="degrade", block_bytes=2048, max_retries=1),
+        )
+        report = session.run()
+        assert report.data == DATA
+        assert report.degraded
+        assert report.refetch_bytes >= len(DATA)
+
+    def test_deadline_exceeded_raises(self):
+        session = RecoverySession(
+            DATA,
+            BitFlipCorruption(5e-4, seed=1),
+            RecoveryConfig(
+                policy="refetch",
+                block_bytes=2048,
+                max_retries=50,
+                timeout_s=0.5,
+                deadline_s=1.0,
+            ),
+        )
+        with pytest.raises(RecoveryExhaustedError, match="deadline"):
+            session.run()
+
+    def test_seeded_runs_identical(self):
+        def run():
+            return RecoverySession(
+                DATA,
+                BitFlipCorruption(3e-5, seed=11),
+                RecoveryConfig(policy="refetch", block_bytes=2048),
+            ).run()
+
+        a, b = run(), run()
+        assert (a.refetch_blocks, a.refetch_bytes, a.backoff_wait_s) == (
+            b.refetch_blocks,
+            b.refetch_bytes,
+            b.backoff_wait_s,
+        )

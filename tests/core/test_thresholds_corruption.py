@@ -1,0 +1,162 @@
+"""Corruption-aware Equation 6: the break-even shifts AGAINST compression.
+
+The mirror image of loss: packet loss taxes raw transfers (more bytes,
+more ARQ retries) so it favours compression, but residual corruption
+taxes only the compressed side — a flipped bit poisons a whole framed
+block and triggers recovery — so the size floor rises, the factor
+threshold grows, and past a break-even residual BER compression stops
+paying entirely.
+"""
+
+import math
+
+import pytest
+
+from repro.core import selective, thresholds
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestCorruptionAwareWorthwhile:
+    def test_zero_rate_unchanged(self, model):
+        for s, f in ((mb(1), 2.0), (2000, 10.0), (mb(0.05), 1.2)):
+            assert thresholds.compression_worthwhile(
+                s, f, model, corrupt_rate=0.0
+            ) == thresholds.compression_worthwhile(s, f, model)
+
+    def test_corruption_flips_marginal_cases_against_compression(self, model):
+        # A factor just above the clean break-even for 1 MB.
+        clean_threshold = thresholds.factor_threshold(mb(1), model)
+        f = clean_threshold * 1.02
+        assert thresholds.compression_worthwhile(mb(1), f, model)
+        assert not thresholds.compression_worthwhile(
+            mb(1), f, model, corrupt_rate=1e-5
+        )
+
+    def test_invalid_corrupt_rate(self, model):
+        with pytest.raises(ModelError):
+            thresholds.compression_worthwhile(
+                mb(1), 2.0, model, corrupt_rate=1.0
+            )
+
+    def test_composes_with_loss(self, model):
+        # Loss pulls toward compression, corruption pushes away; both
+        # together must still answer (and corruption's tax still bites).
+        clean_threshold = thresholds.factor_threshold(mb(1), model)
+        f = clean_threshold * 1.02
+        assert not thresholds.compression_worthwhile(
+            mb(1), f, model, loss_rate=0.05, corrupt_rate=1e-5
+        )
+
+
+class TestThresholdShift:
+    def test_size_floor_rises_with_corruption(self, model):
+        floors = [
+            thresholds.size_threshold_bytes(model, corrupt_rate=r)
+            for r in (0.0, 1e-7, 1e-6, 1e-5)
+        ]
+        assert floors[0] == pytest.approx(3900, rel=0.05)
+        assert floors == sorted(floors)
+        assert floors[-1] > floors[0]
+
+    def test_factor_threshold_rises_with_corruption(self, model):
+        cols = [
+            thresholds.factor_threshold(mb(1), model, corrupt_rate=r)
+            for r in (0.0, 1e-7, 1e-6)
+        ]
+        assert cols == sorted(cols)
+        assert cols[-1] > cols[0]
+
+    def test_restart_policy_deepens_the_shift(self, model):
+        # Whole-file restarts cost more than block re-fetches, so the
+        # factor a compressor must hit is higher under restart.
+        refetch = thresholds.factor_threshold(
+            mb(1),
+            model,
+            corrupt_rate=1e-6,
+            recovery=RecoveryConfig(policy="refetch"),
+        )
+        restart = thresholds.factor_threshold(
+            mb(1),
+            model,
+            corrupt_rate=1e-6,
+            recovery=RecoveryConfig(policy="restart"),
+        )
+        assert restart > refetch
+
+
+class TestBreakEvenCorruptRate:
+    def test_exists_and_is_positive(self, model):
+        be = thresholds.break_even_corrupt_rate(mb(1), 3.8, model)
+        assert 0 < be < 1e-2
+
+    def test_compression_flips_across_the_break_even(self, model):
+        be = thresholds.break_even_corrupt_rate(mb(1), 3.8, model)
+        assert thresholds.compression_worthwhile(
+            mb(1), 3.8, model, corrupt_rate=be * 0.5
+        )
+        assert not thresholds.compression_worthwhile(
+            mb(1), 3.8, model, corrupt_rate=be * 2.0
+        )
+
+    def test_zero_when_never_worthwhile_clean(self, model):
+        # Below the clean size floor compression already loses at BER 0.
+        assert thresholds.break_even_corrupt_rate(2000, 1.5, model) == 0.0
+
+    def test_infinite_when_cap_never_reached(self, model):
+        # With a vanishing cap the bisection cannot find a crossing.
+        be = thresholds.break_even_corrupt_rate(
+            mb(1), 3.8, model, max_rate=1e-12
+        )
+        assert math.isinf(be)
+
+    def test_restart_breaks_even_before_refetch(self, model):
+        restart = thresholds.break_even_corrupt_rate(
+            mb(1), 3.8, model, recovery=RecoveryConfig(policy="restart")
+        )
+        refetch = thresholds.break_even_corrupt_rate(
+            mb(1), 3.8, model, recovery=RecoveryConfig(policy="refetch")
+        )
+        assert 0 < restart < refetch
+
+    def test_better_compressors_tolerate_more_corruption(self, model):
+        weak = thresholds.break_even_corrupt_rate(mb(1), 1.5, model)
+        strong = thresholds.break_even_corrupt_rate(mb(1), 6.0, model)
+        assert strong > weak > 0
+
+
+class TestSelectiveDecisionUnderCorruption:
+    def test_decision_uses_corruption_aware_floor(self, model):
+        floor_clean = thresholds.size_threshold_bytes(model)
+        floor_dirty = thresholds.size_threshold_bytes(model, corrupt_rate=1e-2)
+        assert floor_dirty > floor_clean
+        size = (floor_clean + floor_dirty) // 2  # between the two floors
+        clean = selective.decide_file(
+            raw_bytes=size, compression_factor=20.0, model=model
+        )
+        dirty = selective.decide_file(
+            raw_bytes=size,
+            compression_factor=20.0,
+            model=model,
+            corrupt_rate=1e-2,
+        )
+        assert clean.compress
+        assert not dirty.compress
+
+    def test_explicit_threshold_still_wins(self, model):
+        decision = selective.decide_file(
+            raw_bytes=mb(1),
+            compression_factor=20.0,
+            model=model,
+            corrupt_rate=1e-6,
+            size_threshold=mb(2),
+        )
+        assert not decision.compress
+        assert "size threshold" in decision.reason

@@ -1,0 +1,133 @@
+"""Acceptance gate: zero corruption must equal the seed baseline.
+
+The integrity/recovery subsystem must be invisible when switched off
+(``corruption=None``) *and* when switched on but inert (``NoCorruption``
+or a rate-0 bit flipper with a default recovery budget): the engines
+must produce byte- and joule-identical results — not merely
+approximately equal.  The frozen constants are the same seed-baseline
+values the zero-loss gate uses; corruption must not move them either.
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig
+from repro.network.corruption import BitFlipCorruption, NoCorruption
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+from tests.golden.test_zero_loss_identity import (
+    SEED_INTERLEAVED_ENERGY_J,
+    SEED_INTERLEAVED_TIME_S,
+    SEED_RAW_ENERGY_J,
+    SEED_RAW_TIME_S,
+    SEED_SEQUENTIAL_ENERGY_J,
+    SEED_SEQUENTIAL_TIME_S,
+    assert_identical,
+)
+
+S = mb(4)
+SC = int(mb(4) / 3.8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def inert_variants(model, engine_cls):
+    """The three configurations that must be indistinguishable."""
+    return [
+        engine_cls(model),
+        engine_cls(model, corruption=NoCorruption()),
+        engine_cls(
+            model,
+            corruption=BitFlipCorruption(0.0),
+            recovery=RecoveryConfig(),
+        ),
+    ]
+
+
+class TestAnalyticIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, AnalyticSession)]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_RAW_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(SEED_RAW_TIME_S, rel=1e-12)
+
+    def test_interleaved(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=True)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_INTERLEAVED_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_INTERLEAVED_TIME_S, rel=1e-12
+        )
+
+    def test_sequential(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=False)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_SEQUENTIAL_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_SEQUENTIAL_TIME_S, rel=1e-12
+        )
+
+    def test_uploads_and_ondemand(self, model):
+        for call in (
+            lambda s: s.ondemand(S, SC, overlap=True),
+            lambda s: s.ondemand(S, SC, overlap=False),
+            lambda s: s.upload_raw(S),
+            lambda s: s.upload_compressed(S, SC, interleave=True),
+            lambda s: s.upload_compressed(S, SC, interleave=False),
+        ):
+            assert_identical(
+                [call(s) for s in inert_variants(model, AnalyticSession)]
+            )
+
+    def test_no_recovery_stats_when_clean(self, model):
+        for session in inert_variants(model, AnalyticSession):
+            result = session.precompressed(S, SC, interleave=True)
+            assert result.recovery_stats is None
+            assert result.recovery_energy_j == 0.0
+            assert result.integrity_overhead_j == 0.0
+
+
+class TestDesIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, DesSession)]
+        assert_identical(results)
+
+    def test_interleaved(self, model):
+        assert_identical(
+            [
+                s.precompressed(S, SC, interleave=True)
+                for s in inert_variants(model, DesSession)
+            ]
+        )
+
+    def test_ondemand_and_uploads(self, model):
+        for call in (
+            lambda s: s.ondemand(S, SC, overlap=False),
+            lambda s: s.upload_raw(S),
+            lambda s: s.upload_compressed(S, SC, interleave=False),
+        ):
+            assert_identical(
+                [call(s) for s in inert_variants(model, DesSession)]
+            )
+
+    def test_no_recovery_stats_when_clean(self, model):
+        for session in inert_variants(model, DesSession):
+            result = session.precompressed(S, SC, interleave=True)
+            assert result.recovery_stats is None
+            assert result.recovery_energy_j == 0.0

@@ -1,0 +1,215 @@
+"""Seeded corruption injectors: determinism, rates, fault semantics."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.network.channel import ChannelCondition
+from repro.network.corruption import (
+    BitFlipCorruption,
+    CompositeCorruption,
+    GilbertBurstCorruption,
+    NoCorruption,
+    ProxyStallCorruption,
+    TruncationCorruption,
+    block_corrupt_probability,
+    residual_ber_for_condition,
+)
+
+PAYLOAD = bytes(range(256)) * 64  # 16 KiB
+
+
+class TestBlockCorruptProbability:
+    def test_zero_ber_is_zero(self):
+        assert block_corrupt_probability(0.0, 1 << 20) == 0.0
+
+    def test_matches_closed_form(self):
+        ber, nbytes = 1e-6, 4096
+        expect = 1.0 - (1.0 - ber) ** (8 * nbytes)
+        assert block_corrupt_probability(ber, nbytes) == pytest.approx(expect)
+
+    def test_monotone_in_size_and_rate(self):
+        assert block_corrupt_probability(1e-6, 1024) < block_corrupt_probability(
+            1e-6, 4096
+        ) < block_corrupt_probability(1e-5, 4096)
+
+
+class TestNoCorruption:
+    def test_passthrough(self):
+        m = NoCorruption()
+        assert m.corrupt(PAYLOAD) == PAYLOAD
+        assert m.block_corrupt_rate(4096) == 0.0
+        assert m.retry_corrupt_rate(4096) == 0.0
+        assert m.stall_s() == 0.0
+
+
+class TestBitFlip:
+    def test_zero_rate_is_identity(self):
+        m = BitFlipCorruption(0.0)
+        assert m.corrupt(PAYLOAD) == PAYLOAD
+        assert m.bits_flipped == 0
+
+    def test_deterministic_per_seed(self):
+        a = BitFlipCorruption(1e-4, seed=42).corrupt(PAYLOAD)
+        b = BitFlipCorruption(1e-4, seed=42).corrupt(PAYLOAD)
+        c = BitFlipCorruption(1e-4, seed=43).corrupt(PAYLOAD)
+        assert a == b
+        assert a != c
+
+    def test_reset_replays(self):
+        m = BitFlipCorruption(1e-4, seed=5)
+        first = m.corrupt(PAYLOAD)
+        m.reset()
+        assert m.corrupt(PAYLOAD) == first
+
+    def test_flip_count_tracks_rate(self):
+        m = BitFlipCorruption(1e-3, seed=1)
+        m.corrupt(PAYLOAD)
+        expect = 1e-3 * 8 * len(PAYLOAD)
+        assert m.bits_flipped == pytest.approx(expect, rel=0.5)
+
+    def test_damage_is_bit_flips_only(self):
+        m = BitFlipCorruption(1e-4, seed=9)
+        out = m.corrupt(PAYLOAD)
+        assert len(out) == len(PAYLOAD)
+        differing = sum(
+            bin(x ^ y).count("1") for x, y in zip(out, PAYLOAD)
+        )
+        assert differing == m.bits_flipped > 0
+
+    def test_persistent_retry_rate(self):
+        m = BitFlipCorruption(1e-6)
+        assert m.retry_corrupt_rate(4096) == m.block_corrupt_rate(4096) > 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ModelError):
+            BitFlipCorruption(-0.1)
+        with pytest.raises(ModelError):
+            BitFlipCorruption(1.5)
+
+
+class TestGilbertBurst:
+    def test_stationary_fraction(self):
+        m = GilbertBurstCorruption(
+            mean_good_bytes=900, mean_bad_bytes=100, bad_ber=1e-4
+        )
+        assert m.stationary_bad_fraction() == pytest.approx(0.1)
+        assert m.stationary_ber() == pytest.approx(1e-5)
+
+    def test_bursty_damage_clusters(self):
+        m = GilbertBurstCorruption(
+            bad_ber=0.05, mean_good_bytes=8192, mean_bad_bytes=256, seed=3
+        )
+        out = m.corrupt(PAYLOAD * 4)
+        damaged = [i for i, (x, y) in enumerate(zip(out, PAYLOAD * 4)) if x != y]
+        assert damaged, "burst model produced no damage"
+        gaps = [b - a for a, b in zip(damaged, damaged[1:])]
+        # Within a burst the damaged bytes are close together: the median
+        # gap is far below what a uniform model at the same mean BER
+        # would produce.
+        assert sorted(gaps)[len(gaps) // 2] < 100
+
+    def test_block_rate_occupancy_weighted(self):
+        m = GilbertBurstCorruption(bad_ber=1e-4, good_ber=0.0)
+        uniform = block_corrupt_probability(m.stationary_ber(), 4096)
+        # Slow fading concentrates errors: fewer blocks are hit than a
+        # uniform spread of the same average BER would hit.
+        assert 0 < m.block_corrupt_rate(4096) <= uniform * 1.001
+
+
+class TestTruncation:
+    def test_first_pass_truncates(self):
+        m = TruncationCorruption(0.5, seed=1)
+        m.begin_transfer(len(PAYLOAD))
+        out = m.corrupt(PAYLOAD, 0)
+        assert len(out) == len(PAYLOAD) // 2
+
+    def test_transient_fault_spares_retry(self):
+        m = TruncationCorruption(0.5, seed=1)
+        m.begin_transfer(len(PAYLOAD))
+        m.corrupt(PAYLOAD, 0)
+        # Re-fetch of the same offset (at/behind the frontier) is clean.
+        assert m.corrupt(PAYLOAD, 0) == PAYLOAD
+        assert m.retry_corrupt_rate(4096) == 0.0
+        assert m.block_corrupt_rate(4096) == pytest.approx(0.5)
+
+    def test_restart_pass_is_clean(self):
+        m = TruncationCorruption(0.25, seed=1)
+        chunks = [PAYLOAD[i : i + 4096] for i in range(0, len(PAYLOAD), 4096)]
+        m.begin_transfer(len(PAYLOAD))
+        offset = 0
+        first = []
+        for ch in chunks:
+            first.append(m.corrupt(ch, offset))
+            offset += len(ch)
+        assert b"".join(first) != PAYLOAD
+        # A whole-transfer restart (offset jumps back to 0) spends the
+        # fault: the recovered peer delivers everything.
+        offset = 0
+        again = []
+        for ch in chunks:
+            again.append(m.corrupt(ch, offset))
+            offset += len(ch)
+        assert b"".join(again) == PAYLOAD
+
+
+class TestProxyStall:
+    def test_adds_stall_time(self):
+        m = ProxyStallCorruption(deliver_fraction=0.5, stall_seconds=2.5)
+        assert m.stall_s() == 2.5
+        assert m.block_corrupt_rate(4096) == pytest.approx(0.5)
+
+
+class TestComposite:
+    def test_combines_independent_faults(self):
+        a = BitFlipCorruption(1e-6)
+        b = BitFlipCorruption(1e-6)
+        comp = CompositeCorruption([a, b])
+        qa = a.block_corrupt_rate(4096)
+        assert comp.block_corrupt_rate(4096) == pytest.approx(
+            1.0 - (1.0 - qa) ** 2
+        )
+
+    def test_retry_keeps_persistent_members_only(self):
+        flips = BitFlipCorruption(1e-6)
+        trunc = TruncationCorruption(0.5)
+        comp = CompositeCorruption([flips, trunc])
+        assert comp.retry_corrupt_rate(4096) == pytest.approx(
+            flips.block_corrupt_rate(4096)
+        )
+
+    def test_stalls_sum(self):
+        comp = CompositeCorruption(
+            [
+                ProxyStallCorruption(stall_seconds=1.0),
+                ProxyStallCorruption(stall_seconds=2.0),
+            ]
+        )
+        assert comp.stall_s() == pytest.approx(3.0)
+
+    def test_sequential_damage(self):
+        comp = CompositeCorruption(
+            [BitFlipCorruption(1e-4, seed=1), BitFlipCorruption(1e-4, seed=2)]
+        )
+        out = comp.corrupt(PAYLOAD)
+        assert out != PAYLOAD
+        assert len(out) == len(PAYLOAD)
+
+
+class TestConditionBridge:
+    def test_residual_is_tiny_fraction_of_raw(self):
+        cond = ChannelCondition(distance_m=20.0, obstacles=1)
+        assert 0 < residual_ber_for_condition(cond) < 1e-6
+
+    def test_worse_conditions_higher_ber(self):
+        rates = [
+            residual_ber_for_condition(ChannelCondition(d, obstacles=o))
+            for d, o in ((5.0, 0), (20.0, 1), (30.0, 2))
+        ]
+        assert rates == sorted(rates)
+        assert rates[0] > 0
+
+    def test_escape_fraction_scales(self):
+        cond = ChannelCondition(distance_m=20.0, obstacles=1)
+        full = residual_ber_for_condition(cond, escape_fraction=1e-3)
+        tenth = residual_ber_for_condition(cond, escape_fraction=1e-4)
+        assert tenth == pytest.approx(full / 10, rel=1e-6)

@@ -1,0 +1,218 @@
+"""Corrupted sessions: engine agreement, hooks, accounting, exhaustion."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig
+from repro.errors import RecoveryExhaustedError
+from repro.network.corruption import (
+    BitFlipCorruption,
+    ProxyStallCorruption,
+    TruncationCorruption,
+)
+from repro.network.loss import UniformLoss
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from repro.simulator.session import DownloadSession
+from tests.conftest import mb
+
+S = mb(4)
+SC = int(mb(4) / 3.8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestAnalyticAccounting:
+    def test_corruption_charges_tagged_energy(self, model):
+        session = AnalyticSession(model, corruption=BitFlipCorruption(1e-6))
+        result = session.precompressed(S, SC, interleave=True)
+        tags = result.energy_breakdown()
+        assert tags.get("refetch", 0) > 0
+        assert tags.get("verify", 0) > 0
+        assert result.recovery_energy_j == pytest.approx(tags["refetch"])
+        assert result.integrity_overhead_j == pytest.approx(
+            tags["refetch"] + tags["verify"]
+        )
+        assert result.recovery_stats is not None
+        assert result.recovery_stats.refetch_blocks > 0
+
+    def test_overhead_monotone_in_ber(self, model):
+        energies = [
+            AnalyticSession(model, corruption=BitFlipCorruption(ber))
+            .precompressed(S, SC, interleave=True)
+            .integrity_overhead_j
+            for ber in (1e-8, 1e-7, 1e-6)
+        ]
+        assert 0 < energies[0] < energies[1] < energies[2]
+
+    def test_raw_downloads_exempt(self, model):
+        session = AnalyticSession(model, corruption=BitFlipCorruption(1e-6))
+        result = session.raw(S)
+        assert result.recovery_stats is None
+        assert result.recovery_energy_j == 0.0
+        upload = session.upload_raw(S)
+        assert upload.recovery_stats is None
+
+    def test_compressed_scenarios_all_charged(self, model):
+        session = AnalyticSession(model, corruption=BitFlipCorruption(1e-6))
+        for call in (
+            lambda: session.precompressed(S, SC, interleave=False),
+            lambda: session.ondemand(S, SC, overlap=True),
+            lambda: session.ondemand(S, SC, overlap=False),
+            lambda: session.upload_compressed(S, SC, interleave=True),
+            lambda: session.upload_compressed(S, SC, interleave=False),
+        ):
+            result = call()
+            assert result.recovery_stats is not None
+            assert result.integrity_overhead_j > 0
+
+    def test_proxy_stall_adds_idle_energy(self, model):
+        clean = AnalyticSession(model).precompressed(S, SC, interleave=True)
+        stalled = AnalyticSession(
+            model,
+            corruption=ProxyStallCorruption(
+                deliver_fraction=0.5, stall_seconds=3.0
+            ),
+        ).precompressed(S, SC, interleave=True)
+        assert stalled.recovery_stats.stall_s == pytest.approx(3.0)
+        assert stalled.energy_j > clean.energy_j
+        assert stalled.time_s > clean.time_s + 3.0
+
+    def test_deadline_flagged(self, model):
+        free = AnalyticSession(
+            model, corruption=BitFlipCorruption(1e-5)
+        ).precompressed(S, SC, interleave=True)
+        capped = AnalyticSession(
+            model,
+            corruption=BitFlipCorruption(1e-5),
+            recovery=RecoveryConfig(deadline_s=0.5),
+        ).precompressed(S, SC, interleave=True)
+        assert capped.recovery_stats.deadline_hit
+        assert not free.recovery_stats.deadline_hit
+        assert capped.integrity_overhead_j < free.integrity_overhead_j
+
+    def test_inject_hook_returns_self(self, model):
+        session = AnalyticSession(model)
+        assert session.inject_corruption(BitFlipCorruption(1e-6)) is session
+        assert (
+            session.precompressed(S, SC, interleave=True).recovery_stats
+            is not None
+        )
+
+
+class TestDesRealization:
+    def test_seeded_runs_identical(self, model):
+        runs = [
+            DesSession(
+                model, corruption=BitFlipCorruption(1e-7, seed=9)
+            ).precompressed(S, SC, interleave=True)
+            for _ in range(2)
+        ]
+        assert runs[0].energy_j == runs[1].energy_j
+        assert runs[0].time_s == runs[1].time_s
+
+    def test_roughly_agrees_with_analytic(self, model):
+        # The DES draws realized block outcomes; expectation and one
+        # realization agree loosely at moderate rates.
+        a = AnalyticSession(
+            model, corruption=BitFlipCorruption(1e-7)
+        ).precompressed(S, SC, interleave=True)
+        d = DesSession(
+            model, corruption=BitFlipCorruption(1e-7, seed=2)
+        ).precompressed(S, SC, interleave=True)
+        assert d.recovery_stats is not None
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.2)
+
+    def test_refetch_exhaustion_raises(self, model):
+        session = DesSession(
+            model,
+            corruption=BitFlipCorruption(1e-5, seed=1),
+            recovery=RecoveryConfig(policy="refetch", max_retries=1),
+        )
+        with pytest.raises(RecoveryExhaustedError):
+            session.precompressed(S, SC, interleave=True)
+
+    def test_degrade_completes_with_fallback(self, model):
+        session = DesSession(
+            model,
+            corruption=BitFlipCorruption(1e-5, seed=1),
+            recovery=RecoveryConfig(policy="degrade", max_retries=1),
+        )
+        result = session.precompressed(S, SC, interleave=True)
+        assert result.recovery_stats.degraded
+        # The fallback re-downloads the raw file on top of the transfer.
+        assert result.recovery_stats.refetch_bytes >= S
+
+    def test_transient_truncation_recovered_cheaply(self, model):
+        result = DesSession(
+            model, corruption=TruncationCorruption(0.75, seed=1)
+        ).precompressed(S, SC, interleave=True)
+        stats = result.recovery_stats
+        assert stats is not None
+        assert stats.refetch_bytes > 0
+        # Only the lost tail (~25% of the transfer) is re-fetched.
+        assert stats.refetch_bytes < 0.5 * SC
+
+    def test_raw_downloads_exempt(self, model):
+        result = DesSession(
+            model, corruption=BitFlipCorruption(1e-6, seed=1)
+        ).raw(S)
+        assert result.recovery_stats is None
+
+
+class TestFacadeAndComposition:
+    def test_facade_passes_corruption_through(self, model):
+        for engine in ("analytic", "des"):
+            result = DownloadSession(
+                model,
+                engine=engine,
+                corruption=BitFlipCorruption(1e-7, seed=3),
+            ).precompressed(S, SC, interleave=True)
+            assert result.recovery_stats is not None
+            assert result.integrity_overhead_j > 0
+
+    def test_corruption_composes_with_loss(self, model):
+        both = AnalyticSession(
+            model,
+            loss=UniformLoss(0.1),
+            corruption=BitFlipCorruption(1e-6),
+        ).precompressed(S, SC, interleave=True)
+        assert both.link_stats is not None
+        assert both.recovery_stats is not None
+        assert both.loss_overhead_j > 0
+        assert both.integrity_overhead_j > 0
+
+
+class TestMulticlientCorruption:
+    REQS = [
+        Request("a", "page", mb(1), 3.0, 0.0, "raw"),
+        Request("b", "bundle", mb(2), 2.5, 0.1, "compressed"),
+        Request("c", "archive", mb(2), 4.0, 0.2, "compressed"),
+    ]
+
+    def test_clean_fleet_reports_zero_recovery(self, model):
+        report = MultiClientSimulation(model).run(self.REQS)
+        assert report.total_refetch_blocks == 0
+        assert report.total_recovery_energy_j == 0
+        assert report.degradation_events == 0
+
+    def test_corrupt_fleet_charges_compressed_clients_only(self, model):
+        sim = MultiClientSimulation(model, corruption=BitFlipCorruption(1e-6))
+        report = sim.run(self.REQS)
+        assert report.total_refetch_blocks > 0
+        assert report.total_recovery_energy_j > 0
+        by_client = {o.request.client: o for o in report.outcomes}
+        assert by_client["a"].recovery_energy_j == 0.0
+        assert by_client["b"].recovery_energy_j > 0
+        assert by_client["c"].recovery_energy_j > 0
+
+    def test_inject_hook_preserves_loss(self, model):
+        sim = MultiClientSimulation(model, loss=UniformLoss(0.1))
+        sim.inject_corruption(BitFlipCorruption(1e-6))
+        report = sim.run(self.REQS)
+        assert report.total_retries > 0  # loss still active
+        assert report.total_recovery_energy_j > 0  # corruption added
