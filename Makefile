@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test ci bench fuzz examples artifacts clean
+.PHONY: install test ci bench fuzz chaos examples artifacts clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,14 @@ bench:
 # Long-budget corruption fuzzing of every registered codec.
 fuzz:
 	REPRO_FUZZ_EXAMPLES=500 $(PYTHON) -m pytest \
+		tests/compression/test_mutation_properties.py \
+		tests/compression/test_fuzzing.py -q
+
+# Long-budget fault-timeline chaos: random schedules, bombs, mutations.
+chaos:
+	REPRO_FUZZ_EXAMPLES=200 $(PYTHON) -m pytest \
+		tests/integration/test_timeline_properties.py \
+		tests/compression/test_bomb_guards.py \
 		tests/compression/test_mutation_properties.py \
 		tests/compression/test_fuzzing.py -q
 

@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.report import ascii_table
 from repro.core import thresholds
 from repro.core.energy_model import EnergyModel
+from repro.network import wlan
 from repro.network.wlan import LINK_11MBPS, LINK_2MBPS
 from benchmarks.common import write_artifact
 from tests.conftest import mb
@@ -49,3 +50,42 @@ def test_link_rate_ablation(benchmark):
     assert factors == sorted(factors, reverse=True)
     assert factors[0] == pytest.approx(1.13, rel=0.02)
     assert factors[-1] < 1.10
+
+
+def compute_ladder():
+    rows = []
+    for rate in wlan.LADDER_MBPS:
+        model = thresholds.model_at_rate(rate)
+        rows.append(
+            (
+                f"{rate:g} Mb/s",
+                round(thresholds.factor_threshold(mb(4), model), 4),
+                thresholds.size_threshold_bytes(model),
+            )
+        )
+    return rows
+
+
+def test_ladder_thresholds(benchmark):
+    """Cross-reference: the 802.11b ladder the fault timeline steps on.
+
+    Same physics as the ad-hoc link list above, but quantized to the
+    rungs ``RateStep`` events are allowed to visit, so the artifact
+    doubles as the lookup table for mid-session re-evaluation.
+    """
+    rows = benchmark.pedantic(compute_ladder, rounds=1, iterations=1)
+    text = ascii_table(
+        ["ladder rung", "break-even factor (4MB)", "size floor (bytes)"],
+        rows,
+        title="802.11b ladder - Equation 6 re-derived per rung",
+    )
+    write_artifact("ablate_link_rate_ladder", text)
+
+    floors = [floor for _, _, floor in rows]
+    factors = [f for _, f, _ in rows]
+    # Stepping down the ladder, compression pays for smaller files...
+    assert floors == sorted(floors, reverse=True)
+    # ...and at lower factors.
+    assert factors == sorted(factors, reverse=True)
+    # The top rung matches the paper's operating point.
+    assert floors[0] == pytest.approx(3900, rel=0.01)

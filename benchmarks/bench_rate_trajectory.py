@@ -1,0 +1,159 @@
+"""Rate-trajectory sweep: fault timelines x scheme x resume policy.
+
+The fault-timeline extension's headline experiment.  Each trajectory is
+a scripted mid-session schedule on the 802.11b ladder (rate steps,
+disconnects, proxy stalls); every (trajectory, scheme) cell runs through
+BOTH engines — the analytic piecewise closed form and the DES packet
+replay — and the artifact records their agreement.  A second table ranks
+the outage-recovery policies: the range-capable resume receiver against
+the restart-from-zero one, at a disconnect 90% into the transfer.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.core.energy_model import EnergyModel
+from repro.core.resume import ResumeConfig, compare_restart_resume
+from repro.network.timeline import FaultTimeline, Outage, RateStep, Stall
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from benchmarks.common import write_artifact
+from tests.conftest import mb
+
+FACTOR = 3.8
+
+TRAJECTORIES = [
+    ("steady 11", FaultTimeline.scripted()),
+    ("11 -> 2 at 1s", FaultTimeline.scripted(RateStep(1.0, 2.0))),
+    (
+        "fade 11 -> 1 -> 11",
+        FaultTimeline.scripted(RateStep(0.8, 1.0), RateStep(2.2, 11.0)),
+    ),
+    (
+        "outage + stall",
+        FaultTimeline.scripted(Outage(0.9, 1.5, 0.3), Stall(3.0, 0.5)),
+    ),
+    ("seeded walk", FaultTimeline.seeded(
+        7, horizon_s=12.0, rate_walk_interval_s=2.0, outage_interval_s=8.0,
+    )),
+]
+
+
+def _run(session, scheme, raw_bytes, compressed):
+    if scheme == "raw":
+        return session.raw(raw_bytes)
+    return session.precompressed(
+        raw_bytes, compressed, "gzip", interleave=(scheme == "interleaved")
+    )
+
+
+def compute():
+    model = EnergyModel()
+    raw_bytes = mb(4)
+    compressed = int(raw_bytes / FACTOR)
+    resume = ResumeConfig()
+
+    sweep_rows = []
+    data = {"trajectories": [], "policies": []}
+    for label, faults in TRAJECTORIES:
+        for scheme in ("raw", "sequential", "interleaved"):
+            analytic = _run(
+                AnalyticSession(model, faults=faults, resume=resume),
+                scheme, raw_bytes, compressed,
+            )
+            des = _run(
+                DesSession(model, faults=faults, resume=resume),
+                scheme, raw_bytes, compressed,
+            )
+            gap = abs(des.energy_j - analytic.energy_j) / analytic.energy_j
+            sweep_rows.append(
+                (
+                    label,
+                    scheme,
+                    f"{analytic.energy_j:.3f}",
+                    f"{des.energy_j:.3f}",
+                    f"{gap:.2%}",
+                    f"{analytic.fault_overhead_j:.3f}",
+                )
+            )
+            data["trajectories"].append(
+                {
+                    "trajectory": label,
+                    "scheme": scheme,
+                    "analytic_j": analytic.energy_j,
+                    "des_j": des.energy_j,
+                    "gap": gap,
+                    "fault_overhead_j": analytic.fault_overhead_j,
+                }
+            )
+
+    policy_rows = []
+    for fraction in (0.5, 0.9):
+        cmp = compare_restart_resume(
+            raw_bytes, compressed, outage_at_fraction=fraction, resume=resume
+        )
+        policy_rows.append(
+            (
+                f"outage at {fraction:.0%}",
+                f"{cmp.restart_overhead_j:.3f}",
+                f"{cmp.resume_overhead_j:.3f}",
+                f"{cmp.saving_j:.3f}",
+                "resume" if cmp.resume_wins else "restart",
+            )
+        )
+        data["policies"].append(
+            {
+                "fraction": fraction,
+                "restart_j": cmp.restart_overhead_j,
+                "resume_j": cmp.resume_overhead_j,
+                "saving_j": cmp.saving_j,
+            }
+        )
+    return sweep_rows, policy_rows, data
+
+
+def test_rate_trajectory(benchmark):
+    sweep_rows, policy_rows, data = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    text = ascii_table(
+        ["trajectory", "scheme", "analytic J", "DES J", "gap", "fault J"],
+        sweep_rows,
+        title="Rate trajectories - 4MB file, factor 3.8, both engines",
+    )
+    text += "\n\n" + ascii_table(
+        ["disconnect", "restart J", "resume J", "saving J", "winner"],
+        policy_rows,
+        title="Outage recovery policy (interleaved, checkpoint 0.128 MB)",
+    )
+    write_artifact("rate_trajectory", text, data)
+
+    # Twin-engine acceptance: <= 1% on every trajectory x scheme cell.
+    for cell in data["trajectories"]:
+        assert cell["gap"] <= 0.01, cell
+    # The steady trajectory carries no fault overhead at all.
+    steady = [
+        c for c in data["trajectories"] if c["trajectory"] == "steady 11"
+    ]
+    assert all(c["fault_overhead_j"] == 0.0 for c in steady)
+    # Disconnect-at-90%: resume strictly beats restart, and the gap
+    # grows with how late the outage lands.
+    assert data["policies"][-1]["saving_j"] > 0
+    assert (
+        data["policies"][1]["saving_j"] > data["policies"][0]["saving_j"]
+    )
+    # A rate fade makes the same download strictly more expensive.
+    def cell(traj, scheme):
+        return next(
+            c for c in data["trajectories"]
+            if c["trajectory"] == traj and c["scheme"] == scheme
+        )
+
+    assert (
+        cell("fade 11 -> 1 -> 11", "interleaved")["analytic_j"]
+        > cell("steady 11", "interleaved")["analytic_j"]
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

@@ -61,6 +61,65 @@ def _loss_arq_for(args: argparse.Namespace):
     return UniformLoss(rate, seed=args.loss_seed), arq
 
 
+def _faults_for(args: argparse.Namespace):
+    """(faults, resume, watchdog) from the fault-timeline flags."""
+    from repro.core.resume import ResumeConfig
+    from repro.core.watchdog import WatchdogConfig
+    from repro.network.timeline import FaultTimeline
+
+    faults = None
+    if args.rate_schedule or args.outage or args.stall:
+        try:
+            faults = FaultTimeline.parse(
+                rate_schedule=args.rate_schedule,
+                outages=args.outage,
+                stalls=args.stall,
+            )
+        except Exception as exc:
+            raise SystemExit(f"bad fault spec: {exc}")
+    resume = None
+    if args.resume or args.recovery == "resume":
+        if args.checkpoint_kb <= 0:
+            raise SystemExit("--checkpoint-kb must be positive")
+        resume = ResumeConfig(
+            checkpoint_bytes=int(args.checkpoint_kb * 1024),
+            handshake_s=args.resume_handshake_ms / 1000.0,
+        )
+    watchdog = None
+    if args.watchdog_s is not None:
+        if args.watchdog_s <= 0:
+            raise SystemExit("--watchdog-s must be positive")
+        watchdog = WatchdogConfig.uniform(args.watchdog_s)
+    return faults, resume, watchdog
+
+
+def _limits_for(args: argparse.Namespace):
+    """A ResourceLimits from the bomb-guard flags (None = codec default)."""
+    from repro.compression import ResourceLimits
+
+    max_expansion = getattr(args, "max_expansion", None)
+    max_output_mb = getattr(args, "max_output_mb", None)
+    if max_expansion is None and max_output_mb is None:
+        return None
+    if max_expansion is not None and max_expansion <= 0:
+        raise SystemExit("--max-expansion must be positive")
+    if max_output_mb is not None and max_output_mb <= 0:
+        raise SystemExit("--max-output-mb must be positive")
+    defaults = ResourceLimits()
+    return ResourceLimits(
+        max_output_bytes=(
+            int(max_output_mb * units.BYTES_PER_MB)
+            if max_output_mb is not None
+            else defaults.max_output_bytes
+        ),
+        max_expansion_ratio=(
+            max_expansion
+            if max_expansion is not None
+            else defaults.max_expansion_ratio
+        ),
+    )
+
+
 def _corruption_for(args: argparse.Namespace):
     """(corruption, recovery) from the integrity flags; (None, None) clean."""
     rate = getattr(args, "corrupt_rate", 0.0)
@@ -98,6 +157,9 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     """``repro decompress``: invert :func:`cmd_compress`."""
     payload = pathlib.Path(args.file).read_bytes()
     codec = get_codec(args.codec)
+    limits = _limits_for(args)
+    if limits is not None:
+        codec.with_limits(limits)
     data = codec.decompress_bytes(payload)
     out = pathlib.Path(args.output or args.file + ".out")
     out.write_bytes(data)
@@ -136,15 +198,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     model = _model_for(args.link)
     loss, arq = _loss_arq_for(args)
     corruption, recovery = _corruption_for(args)
+    faults, resume, watchdog = _faults_for(args)
     if args.engine == "des":
         from repro.simulator.des import DesSession
 
         session = DesSession(
-            model, loss=loss, arq=arq, corruption=corruption, recovery=recovery
+            model, loss=loss, arq=arq, corruption=corruption,
+            recovery=recovery, faults=faults, resume=resume, watchdog=watchdog,
         )
     else:
         session = AnalyticSession(
-            model, loss=loss, arq=arq, corruption=corruption, recovery=recovery
+            model, loss=loss, arq=arq, corruption=corruption,
+            recovery=recovery, faults=faults, resume=resume, watchdog=watchdog,
         )
     raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
     compressed = int(raw_bytes / args.factor)
@@ -212,6 +277,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ("deadline hit", "yes" if rs.deadline_hit else "no"),
             ("recovery energy (J)", f"{result.recovery_energy_j:.3f}"),
             ("integrity overhead (J)", f"{result.integrity_overhead_j:.3f}"),
+        ]
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        rows += [
+            ("rate steps", fs.rate_steps),
+            ("outages", fs.outages),
+            ("stalls", fs.stalls),
+            ("resume handshakes", fs.resume_handshakes),
+            ("re-fetched (bytes)", f"{fs.refetched_bytes:.0f}"),
+            ("dead time (s)", f"{result.fault_dead_time_s:.3f}"),
+            ("fault overhead (J)", f"{result.fault_overhead_j:.3f}"),
         ]
     for tag, joules in sorted(result.energy_breakdown().items()):
         rows.append((f"  energy[{tag}]", f"{joules:.3f}"))
@@ -495,8 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--recovery", default="refetch",
-            choices=("restart", "refetch", "degrade"),
-            help="policy when a block fails its checksum",
+            choices=("restart", "refetch", "degrade", "resume"),
+            help="policy when a block fails its checksum (resume = "
+            "range-capable re-fetch with checkpoint accounting)",
         )
         p.add_argument(
             "--recovery-retries", type=int, default=3,
@@ -505,6 +582,49 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--deadline-s", type=float, default=None,
             help="wall-clock budget for recovery work",
+        )
+
+    def add_faults(p):
+        p.add_argument(
+            "--rate-schedule", default=None,
+            help="mid-session link-rate steps, 'T:RATE,T:RATE,...' "
+            "(seconds : 11|5.5|2|1 Mb/s)",
+        )
+        p.add_argument(
+            "--outage", action="append", default=[],
+            help="disconnect 'AT:DURATION[:REASSOC]' (seconds); repeatable",
+        )
+        p.add_argument(
+            "--stall", action="append", default=[],
+            help="proxy stall 'AT:DURATION' (seconds); repeatable",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="range-capable receiver: resume from the last checkpoint "
+            "after an outage instead of restarting from byte zero",
+        )
+        p.add_argument(
+            "--checkpoint-kb", type=float, default=128.0,
+            help="resume checkpoint granularity in KB",
+        )
+        p.add_argument(
+            "--resume-handshake-ms", type=float, default=50.0,
+            help="resume-negotiation round trip in milliseconds",
+        )
+        p.add_argument(
+            "--watchdog-s", type=float, default=None,
+            help="per-phase session deadline in simulated seconds "
+            "(receive/decompress/recovery)",
+        )
+
+    def add_limits(p):
+        p.add_argument(
+            "--max-expansion", type=float, default=None,
+            help="decompression-bomb guard: max output/payload ratio",
+        )
+        p.add_argument(
+            "--max-output-mb", type=float, default=None,
+            help="decompression-bomb guard: max decoded output in MB",
         )
 
     p = sub.add_parser("compress", help="compress a file")
@@ -517,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("-o", "--output")
     add_codec(p)
+    add_limits(p)
     p.set_defaults(func=cmd_decompress)
 
     p = sub.add_parser("advise", help="should this file be compressed?")
@@ -542,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_link(p)
     add_loss(p)
     add_corruption(p)
+    add_faults(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("thresholds", help="print Equation 6 thresholds")

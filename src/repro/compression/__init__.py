@@ -14,8 +14,11 @@ wall-clock time without changing any modelled quantity.
 """
 
 from repro.compression.base import (
+    DEFAULT_LIMITS,
+    UNLIMITED,
     Codec,
     CodecResult,
+    ResourceLimits,
     available_codecs,
     get_codec,
     register_codec,
@@ -34,6 +37,9 @@ from repro.compression.streaming import StreamCompressor, StreamDecompressor
 __all__ = [
     "Codec",
     "CodecResult",
+    "ResourceLimits",
+    "DEFAULT_LIMITS",
+    "UNLIMITED",
     "available_codecs",
     "get_codec",
     "register_codec",

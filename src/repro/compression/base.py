@@ -9,13 +9,93 @@ that experiment harnesses can select codecs by string.
 from __future__ import annotations
 
 import functools
+import math
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro import units
-from repro.errors import CodecError, CorruptStreamError, UnknownCodecError
+from repro.errors import (
+    CodecError,
+    CorruptStreamError,
+    ResourceLimitError,
+    UnknownCodecError,
+)
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Decompression-bomb guards: bounds on what a decode may produce.
+
+    A handheld decompressing an untrusted stream must not be talked into
+    materializing gigabytes from a kilobyte of wire bytes.  Two caps,
+    both optional (None disables):
+
+    Attributes:
+        max_output_bytes: absolute ceiling on decoded output.
+        max_expansion_ratio: ceiling on output/payload size.  Tiny
+            payloads legitimately expand a lot (headers dominate), so
+            the ratio cap never bites below ``expansion_floor_bytes``.
+        expansion_floor_bytes: outputs up to this size are always
+            allowed by the ratio cap (the absolute cap still applies).
+
+    The defaults are deliberately generous — two decimal orders of
+    magnitude above the paper's best real compression factors — so no
+    legitimate corpus trips them while a crafted bomb still dies early.
+    """
+
+    max_output_bytes: Optional[int] = 1 << 28  # 256 MiB
+    max_expansion_ratio: Optional[float] = 4096.0
+    expansion_floor_bytes: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if self.max_output_bytes is not None and self.max_output_bytes <= 0:
+            raise CodecError("max_output_bytes must be positive or None")
+        if self.max_expansion_ratio is not None and not (
+            math.isfinite(self.max_expansion_ratio)
+            and self.max_expansion_ratio > 0
+        ):
+            raise CodecError(
+                "max_expansion_ratio must be finite and positive or None"
+            )
+        if self.expansion_floor_bytes < 0:
+            raise CodecError("expansion_floor_bytes must be non-negative")
+
+    def output_cap(self, payload_len: int) -> Optional[int]:
+        """Largest decoded output allowed for a payload of this size."""
+        caps = []
+        if self.max_output_bytes is not None:
+            caps.append(self.max_output_bytes)
+        if self.max_expansion_ratio is not None:
+            caps.append(
+                max(
+                    self.expansion_floor_bytes,
+                    int(payload_len * self.max_expansion_ratio),
+                )
+            )
+        return min(caps) if caps else None
+
+    def check_output(
+        self, produced: int, payload_len: int, context: str
+    ) -> None:
+        """Raise :class:`ResourceLimitError` if ``produced`` is over cap."""
+        cap = self.output_cap(payload_len)
+        if cap is not None and produced > cap:
+            raise ResourceLimitError(
+                f"{context}: decoded output of {produced} bytes exceeds the "
+                f"resource cap of {cap} bytes for a {payload_len}-byte "
+                f"payload (decompression bomb?)"
+            )
+
+
+#: The guard every codec carries unless overridden via ``with_limits``.
+DEFAULT_LIMITS = ResourceLimits()
+
+#: Opt-out sentinel for callers that genuinely need unbounded decodes.
+UNLIMITED = ResourceLimits(
+    max_output_bytes=None, max_expansion_ratio=None
+)
 
 #: Exception types that a malformed stream may provoke inside a decoder
 #: (bad dict/list lookups, struct unpacking, text decoding, arithmetic on
@@ -33,12 +113,18 @@ _DECODE_FAULTS = (
 
 
 def _guard_decode(func):
-    """Wrap a ``decompress_bytes`` so stray exceptions become typed."""
+    """Wrap a ``decompress_bytes`` so stray exceptions become typed.
+
+    Also the backstop for the resource limits: whatever a decoder
+    produced is checked against the codec's :class:`ResourceLimits`
+    before it is handed to the caller.  Engines with incremental caps
+    (zlib, bz2) trip earlier, mid-decode; pure-Python codecs trip here.
+    """
 
     @functools.wraps(func)
     def wrapper(self, payload: bytes) -> bytes:
         try:
-            return func(self, payload)
+            out = func(self, payload)
         except CodecError:
             raise
         except _DECODE_FAULTS as exc:
@@ -46,6 +132,8 @@ def _guard_decode(func):
                 f"{self.name}: malformed stream "
                 f"({type(exc).__name__}: {exc})"
             ) from exc
+        self.limits.check_output(len(out), len(payload), self.name)
+        return out
 
     wrapper._decode_guarded = True
     return wrapper
@@ -85,6 +173,18 @@ class Codec(ABC):
 
     #: Registry key and display name, e.g. ``"gzip"``.
     name: str = "abstract"
+
+    #: Decompression-bomb guard consulted on every decode.
+    limits: ResourceLimits = DEFAULT_LIMITS
+
+    def with_limits(self, limits: ResourceLimits) -> "Codec":
+        """Set this codec's resource limits and return it (chainable)."""
+        if not isinstance(limits, ResourceLimits):
+            raise CodecError(
+                f"limits must be a ResourceLimits, got {type(limits).__name__}"
+            )
+        self.limits = limits
+        return self
 
     def __init_subclass__(cls, **kwargs) -> None:
         """Harden every concrete decoder automatically.

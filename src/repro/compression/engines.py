@@ -19,7 +19,11 @@ import zlib as _zlib
 
 from repro.compression.base import Codec, register_codec
 from repro.compression.lzw import LZWCodec
-from repro.errors import CorruptStreamError, TruncatedStreamError
+from repro.errors import (
+    CorruptStreamError,
+    ResourceLimitError,
+    TruncatedStreamError,
+)
 
 
 class ZlibEngine(Codec):
@@ -28,6 +32,11 @@ class ZlibEngine(Codec):
     The paper uses gzip 1.2.4 / zlib 1.1.3 at level 9; CPython's zlib is
     the same DEFLATE implementation lineage, so compression factors match
     the paper's gzip column closely.
+
+    Decoding runs through ``zlib.decompressobj`` with a bounded
+    ``max_length`` so a decompression bomb trips the codec's
+    :class:`~repro.compression.base.ResourceLimits` *before* the output
+    materializes — never more than one byte past the cap is buffered.
     """
 
     name = "gzip-native"
@@ -41,14 +50,36 @@ class ZlibEngine(Codec):
         return _zlib.compress(data, self.level)
 
     def decompress_bytes(self, payload: bytes) -> bytes:
+        cap = self.limits.output_cap(len(payload))
         try:
-            return _zlib.decompress(payload)
+            if cap is None:
+                return _zlib.decompress(payload)
+            decoder = _zlib.decompressobj()
+            out = bytearray()
+            data = payload
+            while True:
+                out += decoder.decompress(data, cap + 1 - len(out))
+                self.limits.check_output(len(out), len(payload), self.name)
+                data = decoder.unconsumed_tail
+                if not data:
+                    break
+            out += decoder.flush()
         except _zlib.error as exc:
             raise CorruptStreamError(str(exc)) from exc
+        self.limits.check_output(len(out), len(payload), self.name)
+        if not decoder.eof:
+            raise CorruptStreamError("incomplete or truncated zlib stream")
+        return bytes(out)
 
 
 class Bz2Engine(Codec):
-    """bzip2-scheme engine backed by CPython's bz2 (BWT, level 9)."""
+    """bzip2-scheme engine backed by CPython's bz2 (BWT, level 9).
+
+    Like :class:`ZlibEngine`, decoding is incremental with a bounded
+    ``max_length`` so bombs die at the resource cap instead of in the
+    allocator.  The multi-stream semantics of ``bz2.decompress``
+    (concatenated streams decode back-to-back) are preserved.
+    """
 
     name = "bzip2-native"
 
@@ -66,8 +97,30 @@ class Bz2Engine(Codec):
             # valid stream is never empty (the header alone is 4 bytes),
             # so an empty payload is always a truncated delivery.
             raise TruncatedStreamError("empty bzip2 stream")
+        cap = self.limits.output_cap(len(payload))
         try:
-            return _bz2.decompress(payload)
+            if cap is None:
+                return _bz2.decompress(payload)
+            out = bytearray()
+            data = payload
+            while True:
+                decoder = _bz2.BZ2Decompressor()
+                while not decoder.eof:
+                    out += decoder.decompress(data, cap + 1 - len(out))
+                    self.limits.check_output(
+                        len(out), len(payload), self.name
+                    )
+                    data = b""
+                    if not decoder.eof and decoder.needs_input:
+                        raise ValueError(
+                            "Compressed data ended before the "
+                            "end-of-stream marker was reached"
+                        )
+                data = decoder.unused_data
+                if not data:
+                    return bytes(out)
+        except ResourceLimitError:
+            raise
         except (OSError, ValueError) as exc:
             raise CorruptStreamError(str(exc)) from exc
 

@@ -33,7 +33,12 @@ from typing import Optional
 from repro import units
 from repro.compression.base import Codec, get_codec
 from repro.compression.varint import read_varint, write_varint
-from repro.errors import CodecError, CorruptStreamError, TruncatedStreamError
+from repro.errors import (
+    CodecError,
+    CorruptStreamError,
+    ResourceLimitError,
+    TruncatedStreamError,
+)
 
 _RAW = 0
 _COMPRESSED = 1
@@ -44,6 +49,28 @@ _CRC_LEN = 4
 
 def _crc32(payload: bytes) -> bytes:
     return (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(_CRC_LEN, "little")
+
+
+def _precheck_declared(
+    codec: Codec, raw_len: int, payload_len: int, context: str
+) -> None:
+    """Reject a frame whose *declared* decoded size is over the cap.
+
+    The frame header names ``raw_len`` before any decode runs; a header
+    lying about a multi-gigabyte block is refused here, so the inner
+    codec never even starts on the payload.  (The inner decode is
+    independently capped too — this check just fails faster and gives
+    the frame-level context.)
+    """
+    limits = getattr(codec, "limits", None)
+    if limits is None:
+        return
+    cap = limits.output_cap(payload_len)
+    if cap is not None and raw_len > cap:
+        raise ResourceLimitError(
+            f"{context}: frame declares {raw_len} decoded bytes, over the "
+            f"resource cap of {cap} bytes for a {payload_len}-byte payload"
+        )
 
 
 class StreamCompressor:
@@ -60,6 +87,14 @@ class StreamCompressor:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.codec = codec or get_codec("zlib")
+        max_out = getattr(self.codec.limits, "max_output_bytes", None)
+        if max_out is not None and block_size > max_out:
+            # A frame this large could never be decoded under the same
+            # limits; refuse to produce undecodable streams.
+            raise ResourceLimitError(
+                f"block_size {block_size} exceeds the codec's "
+                f"max_output_bytes cap of {max_out}"
+            )
         self.block_size = block_size
         self.adaptive = adaptive
         self.size_threshold = size_threshold
@@ -230,6 +265,9 @@ class StreamDecompressor:
                 raise CorruptStreamError("raw frame length mismatch")
             block = payload
         elif ftype in (_COMPRESSED, _COMPRESSED_CRC):
+            _precheck_declared(
+                self.codec, raw_len, payload_len, f"frame {self.frames_in - 1}"
+            )
             block = self.codec.decompress_bytes(payload)
             if len(block) != raw_len:
                 raise CorruptStreamError("frame decoded to wrong length")
@@ -295,6 +333,7 @@ def decode_frame(frame: bytes, codec: Optional[Codec] = None) -> bytes:
         if payload_len != raw_len:
             raise CorruptStreamError("raw frame length mismatch")
         return payload
+    _precheck_declared(codec, raw_len, payload_len, "frame")
     block = codec.decompress_bytes(payload)
     if len(block) != raw_len:
         raise CorruptStreamError("frame decoded to wrong length")

@@ -59,6 +59,8 @@ class BlockDecision:
     compressed_bytes: int
     sent_compressed: bool
     factor: float
+    #: Link rate Equation 6 was evaluated at (None = static base model).
+    rate_mbps: Optional[float] = None
 
     @property
     def transfer_bytes(self) -> int:
@@ -105,6 +107,9 @@ class AdaptiveBlockCodec(Codec):
         block_size: int = units.BLOCK_SIZE_BYTES,
         size_threshold: int = units.THRESHOLD_FILE_SIZE_BYTES,
         checksum: bool = True,
+        faults=None,
+        base_link=None,
+        resume=None,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -113,6 +118,34 @@ class AdaptiveBlockCodec(Codec):
         self.block_size = block_size
         self.size_threshold = size_threshold
         self.checksum = checksum
+        # Fault-timeline awareness: when a FaultTimeline is supplied the
+        # encoder re-runs Equation 6 per block at the ladder rung that
+        # will be in force when the block ships (exact for the container
+        # prefix already emitted — a block's delivery time depends only
+        # on the transfer bytes before it).
+        self.faults = faults
+        self.base_link = base_link
+        self.resume = resume
+        self._rung_models = {}
+
+    def _model_for_block(self, transfer_pos: int, block_len: int):
+        """(model, rate) Equation 6 should use for the block at this offset."""
+        if self.faults is None or not self.faults.has_events:
+            return self.model, None
+        from repro.network.timeline import link_at
+        from repro.network.wlan import LINK_11MBPS
+
+        base = self.base_link or LINK_11MBPS
+        link = link_at(
+            self.faults, base, transfer_pos,
+            transfer_pos + max(1, block_len), self.resume,
+        )
+        model = self._rung_models.get(link.name)
+        if model is None:
+            model = EnergyModel(link=link)
+            self._rung_models[link.name] = model
+        rate = link.nominal_rate_bps / 1e6
+        return model, rate
 
     # -- encoding ---------------------------------------------------------
 
@@ -125,7 +158,7 @@ class AdaptiveBlockCodec(Codec):
         decisions: List[BlockDecision] = []
         for index, start in enumerate(range(0, len(data), self.block_size)):
             block = data[start : start + self.block_size]
-            decision, encoded = self._encode_block(index, block)
+            decision, encoded = self._encode_block(index, block, len(out))
             decisions.append(decision)
             out += encoded
         payload = bytes(out)
@@ -152,20 +185,27 @@ class AdaptiveBlockCodec(Codec):
             return bytes(header) + b"\x03" + body + _crc32(compressed)
         return bytes(header) + b"\x01" + body
 
-    def _encode_block(self, index: int, block: bytes):
+    def _encode_block(self, index: int, block: bytes, transfer_pos: int = 0):
+        model, rate = self._model_for_block(transfer_pos, len(block))
         if len(block) < self.size_threshold:
-            decision = BlockDecision(index, len(block), len(block), False, 1.0)
+            decision = BlockDecision(
+                index, len(block), len(block), False, 1.0, rate
+            )
             return decision, self._raw_block(block)
 
         compressed = self.inner.compress_bytes(block)
         factor = units.compression_factor(len(block), len(compressed))
         worthwhile = thresholds.compression_worthwhile(
-            len(block), factor, self.model
+            len(block), factor, model
         ) and len(compressed) < len(block)
         if not worthwhile:
-            decision = BlockDecision(index, len(block), len(compressed), False, factor)
+            decision = BlockDecision(
+                index, len(block), len(compressed), False, factor, rate
+            )
             return decision, self._raw_block(block)
-        decision = BlockDecision(index, len(block), len(compressed), True, factor)
+        decision = BlockDecision(
+            index, len(block), len(compressed), True, factor, rate
+        )
         return decision, self._compressed_block(block, compressed)
 
     # -- decoding ---------------------------------------------------------

@@ -48,11 +48,19 @@ DEFAULT_VERIFY_MB_PER_S = 50.0
 
 
 class RecoveryPolicy(str, enum.Enum):
-    """What the device does when a block fails verification."""
+    """What the device does when a block fails verification.
+
+    ``resume`` behaves like ``refetch`` for corrupt *data* (damaged
+    blocks are range-requested individually), and additionally marks
+    the receiver as range-capable for *link* faults: the fault-timeline
+    planner restarts an interrupted transfer from the last checkpoint
+    instead of byte zero (see :mod:`repro.core.resume`).
+    """
 
     RESTART = "restart"
     REFETCH = "refetch"
     DEGRADE = "degrade"
+    RESUME = "resume"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,156 @@
+"""Checkpoint/resume accounting for disconnected transfers.
+
+When an outage voids a transfer in flight, the device faces the
+restart-vs-resume choice: a receiver without range requests re-downloads
+from byte zero, while a range-capable receiver re-requests only the tail
+past its last checkpoint — paying a small resume handshake (one request
+round trip, plus any protocol bytes) instead of the whole prefix's
+airtime.  The asymmetry grows with how late the outage hits: at 90 % of
+a file, restart re-fetches nine times more data than resume.
+
+:class:`ResumeConfig` is the policy object the fault-timeline planner
+(:func:`repro.network.timeline.plan_transfer`) consults at every outage;
+:func:`compare_restart_resume` is the closed-form comparison the
+acceptance experiment and ``bench_rate_trajectory`` build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.errors import ModelError
+from repro.network.timeline import DEFAULT_REASSOC_S, FaultTimeline, Outage
+
+
+@dataclass(frozen=True)
+class ResumeConfig:
+    """Range-style checkpoint/resume policy.
+
+    Attributes:
+        checkpoint_bytes: acknowledgement granularity.  Progress is
+            checkpointed every multiple of this; an outage rolls the
+            transfer back to the last completed checkpoint, never
+            further.  Defaults to the paper's 0.128 MB block, so resume
+            granularity matches the verification/decompression unit.
+        handshake_s: wall time of the resume negotiation (reconnect +
+            HTTP-style range request round trip), spent at gap power.
+        handshake_j: extra energy of the handshake on top of its idle
+            draw (request bytes on the air); zero by default.
+    """
+
+    checkpoint_bytes: int = units.BLOCK_SIZE_BYTES
+    handshake_s: float = 0.05
+    handshake_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (
+            isinstance(self.checkpoint_bytes, int) and self.checkpoint_bytes > 0
+        ):
+            raise ModelError(
+                f"checkpoint_bytes must be a positive int, "
+                f"got {self.checkpoint_bytes!r}"
+            )
+        for name in ("handshake_s", "handshake_j"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0):
+                raise ModelError(
+                    f"{name} must be finite and non-negative, got {value!r}"
+                )
+
+    def restart_point(self, progress_bytes: float) -> float:
+        """The byte offset a resume restarts from: the last checkpoint.
+
+        Never exceeds ``progress_bytes`` — resume must not re-fetch
+        bytes already acknowledged (the property tests pin this).
+        """
+        if progress_bytes < 0:
+            raise ModelError("progress must be non-negative")
+        return self.checkpoint_bytes * math.floor(
+            progress_bytes / self.checkpoint_bytes
+        )
+
+
+@dataclass(frozen=True)
+class RestartResumeComparison:
+    """Side-by-side energy accounting of the two outage responses."""
+
+    resume_result: "SessionResult"  # noqa: F821 - simulator type
+    restart_result: "SessionResult"  # noqa: F821
+
+    @property
+    def resume_overhead_j(self) -> float:
+        """Recovery energy under the checkpoint/resume policy."""
+        return self.resume_result.fault_overhead_j
+
+    @property
+    def restart_overhead_j(self) -> float:
+        """Recovery energy under the restart-from-zero receiver."""
+        return self.restart_result.fault_overhead_j
+
+    @property
+    def saving_j(self) -> float:
+        """Joules resume saves over restart (positive when resume wins)."""
+        return self.restart_overhead_j - self.resume_overhead_j
+
+    @property
+    def saving_s(self) -> float:
+        """Wall time resume saves over restart."""
+        return self.restart_result.time_s - self.resume_result.time_s
+
+    @property
+    def resume_wins(self) -> bool:
+        """True when resume spends fewer recovery joules than restart."""
+        return self.saving_j > 0
+
+
+def compare_restart_resume(
+    raw_bytes: int,
+    compressed_bytes: Optional[int] = None,
+    codec: str = "gzip",
+    model=None,
+    outage_at_fraction: float = 0.9,
+    outage_s: float = 2.0,
+    reassoc_s: float = DEFAULT_REASSOC_S,
+    resume: Optional[ResumeConfig] = None,
+    interleave: bool = True,
+) -> RestartResumeComparison:
+    """One outage at a transfer fraction: resume vs restart, closed form.
+
+    Builds the disconnect-at-``outage_at_fraction`` scenario of the
+    acceptance criteria and runs it twice through the analytic engine —
+    once with the checkpoint/resume policy, once with the no-range
+    restart receiver — returning both results for comparison.
+    """
+    from repro.core.energy_model import EnergyModel
+    from repro.simulator.analytic import AnalyticSession
+
+    if not 0 < outage_at_fraction < 1:
+        raise ModelError("outage fraction must be in (0, 1)")
+    model = model or EnergyModel()
+    resume = resume or ResumeConfig()
+    transfer = compressed_bytes if compressed_bytes is not None else raw_bytes
+    outage_at = outage_at_fraction * model.download_time_s(transfer)
+    faults = FaultTimeline.scripted(Outage(outage_at, outage_s, reassoc_s))
+
+    def run(policy: Optional[ResumeConfig]):
+        session = AnalyticSession(model, faults=faults, resume=policy)
+        if compressed_bytes is None:
+            return session.raw(raw_bytes)
+        return session.precompressed(
+            raw_bytes, compressed_bytes, codec, interleave=interleave
+        )
+
+    return RestartResumeComparison(
+        resume_result=run(resume),
+        restart_result=run(None),
+    )
+
+
+__all__ = [
+    "ResumeConfig",
+    "RestartResumeComparison",
+    "compare_restart_resume",
+]

@@ -25,17 +25,28 @@ as one wrong byte.  Recovery energy is therefore charged to the
 *compressed* side only, so as the residual error rate rises compression
 stops paying for ever-larger files — until past some rate it never
 pays at all.
+
+The rate-adaptation extension re-derives Equation 6 at every rung of
+the 802.11b ladder (11/5.5/2/1 Mb/s): a slower link stretches the
+airtime per byte, so compression pays for ever-smaller files as the
+rate steps down — the size threshold at 1 Mb/s is a fraction of the
+11 Mb/s one.  :func:`timeline_decisions` walks a
+:class:`~repro.network.timeline.FaultTimeline` and reports the
+Equation 6 verdict for each rate segment, which is what the adaptive
+encoder consults when a transfer spans a rate step.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro import units
 from repro.core.energy_model import EnergyModel
 from repro.core.recovery import RecoveryConfig, recovery_overhead_energy_j
 from repro.errors import ModelError
 from repro.network.arq import ArqConfig, expected_overhead_energy_j
+from repro.network.wlan import LADDER_MBPS, ladder_link
 
 #: Equation 6 literal constants.
 PAPER_LARGE_FACTOR_NUMERATOR = 1.13
@@ -233,3 +244,98 @@ def break_even_corrupt_rate(
         else:
             hi = mid
     return (lo + hi) / 2
+
+
+# -- rate-adaptation: Equation 6 re-derived per ladder rung ----------------
+
+_RATE_MODELS: Dict[Tuple[float, int], EnergyModel] = {}
+
+
+def model_at_rate(rate_mbps: float, device=None) -> EnergyModel:
+    """An :class:`EnergyModel` for one 802.11b ladder rung.
+
+    Raises :class:`~repro.errors.LinkRateError` off-ladder.  Models are
+    cached per (rate, device) so repeated per-block re-evaluation is
+    cheap.
+    """
+    key = (float(rate_mbps), id(device))
+    model = _RATE_MODELS.get(key)
+    if model is None:
+        model = EnergyModel(link=ladder_link(rate_mbps), device=device)
+        _RATE_MODELS[key] = model
+    return model
+
+
+def worthwhile_at_rate(
+    raw_bytes: float,
+    compression_factor: float,
+    rate_mbps: float,
+    codec: str = "gzip",
+    device=None,
+) -> bool:
+    """Equation 6 re-evaluated at one ladder rung's link parameters."""
+    return compression_worthwhile(
+        raw_bytes, compression_factor, model_at_rate(rate_mbps, device), codec
+    )
+
+
+def ladder_thresholds(codec: str = "gzip", device=None) -> Dict[float, int]:
+    """Size threshold (bytes) at every rung of the 802.11b ladder.
+
+    The headline of the rate-adaptation extension: the break-even file
+    size shrinks as the link slows, because every raw byte costs more
+    airtime while the decompression cost is rate-independent.
+    """
+    return {
+        rate: size_threshold_bytes(model_at_rate(rate, device), codec)
+        for rate in LADDER_MBPS
+    }
+
+
+@dataclass(frozen=True)
+class RateStepDecision:
+    """Equation 6's verdict for one rate segment of a fault timeline."""
+
+    at_s: float
+    rate_mbps: float
+    worthwhile: bool
+    factor_threshold: float
+
+
+def timeline_decisions(
+    raw_bytes: float,
+    compression_factor: float,
+    faults,
+    base_rate_mbps: float = 11.0,
+    codec: str = "gzip",
+    device=None,
+) -> List[RateStepDecision]:
+    """Re-evaluate Equation 6 at every rate step of a fault timeline.
+
+    Returns one decision per rate segment (the initial rate first, then
+    one per :class:`~repro.network.timeline.RateStep`), each carrying
+    the worthwhileness verdict and the break-even factor at that rung.
+    A mid-session rate drop can flip the verdict for a file that was
+    not worth compressing at 11 Mb/s.
+    """
+    from repro.network.timeline import RateStep
+
+    steps: List[Tuple[float, float]] = [(0.0, float(base_rate_mbps))]
+    if faults is not None:
+        for event in faults.events:
+            if isinstance(event, RateStep):
+                steps.append((event.at_s, event.rate_mbps))
+    decisions = []
+    for at_s, rate in steps:
+        model = model_at_rate(rate, device)
+        decisions.append(
+            RateStepDecision(
+                at_s=at_s,
+                rate_mbps=rate,
+                worthwhile=compression_worthwhile(
+                    raw_bytes, compression_factor, model, codec
+                ),
+                factor_threshold=factor_threshold(raw_bytes, model, codec),
+            )
+        )
+    return decisions

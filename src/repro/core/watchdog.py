@@ -1,0 +1,206 @@
+"""Session watchdogs: per-phase deadlines with graceful degradation.
+
+A handheld cannot let one download occupy it forever: a link that died
+mid-transfer, a decompression bomb chewing CPU, or a fault storm that
+keeps re-fetching all deserve a bounded response.  The watchdog gives
+each session phase its own deadline:
+
+``receive``
+    Wall time the transfer occupies the radio — receive/send airtime,
+    idle gaps, proxy waits, and fault dead time (outages, reassociation,
+    stalls, resume handshakes).  Trips when the link dies under you.
+
+``decompress``
+    CPU time spent in the codec (device-side compression counts too).
+    Trips on pathological streams long before memory guards matter.
+
+``recovery``
+    Repair work: corrupt-block re-fetches, CRC verification, ARQ
+    retransmissions and the fault-timeline overhead.  Trips on a fault
+    storm that the retry budget alone would let run for minutes.
+
+Both engines check the deadlines against the finished power timeline
+(the simulated clock, not the host's), raising the typed
+:class:`~repro.errors.WatchdogTimeout`.  :func:`run_guarded` adds the
+degradation policy on top: after ``max_trips`` tripped attempts the
+device abandons compression and falls back to a raw transfer, which has
+no decompression phase left to trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.device.timeline import PowerTimeline
+from repro.errors import ModelError, WatchdogTimeout
+
+#: Tags whose wall time counts against each phase deadline.  Fault dead
+#: time appears in both ``receive`` and ``recovery`` on purpose: the
+#: receive deadline bounds how long the transfer occupies the device,
+#: the recovery deadline bounds how much of that was spent repairing.
+RECEIVE_TAGS: Tuple[str, ...] = (
+    "recv", "send", "idle", "wait-compress",
+    "outage", "reassoc", "stall", "resume",
+)
+DECOMPRESS_TAGS: Tuple[str, ...] = ("decompress", "compress")
+RECOVERY_TAGS: Tuple[str, ...] = (
+    "refetch", "verify", "retransmit", "retry-idle",
+    "outage", "reassoc", "resume",
+)
+
+_PHASE_TAGS = {
+    "receive": RECEIVE_TAGS,
+    "decompress": DECOMPRESS_TAGS,
+    "recovery": RECOVERY_TAGS,
+}
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Per-phase deadlines (seconds of simulated time; None disables)."""
+
+    receive_s: Optional[float] = None
+    decompress_s: Optional[float] = None
+    recovery_s: Optional[float] = None
+    #: Tripped attempts before :func:`run_guarded` degrades to raw.
+    max_trips: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("receive_s", "decompress_s", "recovery_s"):
+            value = getattr(self, name)
+            if value is not None and not (math.isfinite(value) and value > 0):
+                raise ModelError(
+                    f"{name} must be finite and positive, got {value!r}"
+                )
+        if self.max_trips < 1:
+            raise ModelError("max_trips must be at least 1")
+
+    @classmethod
+    def uniform(cls, deadline_s: float, max_trips: int = 2) -> "WatchdogConfig":
+        """One deadline applied to every phase (the CLI's ``--watchdog-s``)."""
+        return cls(
+            receive_s=deadline_s,
+            decompress_s=deadline_s,
+            recovery_s=deadline_s,
+            max_trips=max_trips,
+        )
+
+    @property
+    def armed(self) -> bool:
+        """Is any phase deadline set?"""
+        return any(
+            (self.receive_s, self.decompress_s, self.recovery_s)
+        )
+
+    def deadline_for(self, phase: str) -> Optional[float]:
+        """The configured deadline for one phase (None when disarmed)."""
+        try:
+            return getattr(self, f"{phase.replace('-', '_')}_s")
+        except AttributeError:
+            raise ModelError(f"unknown watchdog phase {phase!r}") from None
+
+    def check(self, phase: str, elapsed_s: float) -> None:
+        """Raise :class:`WatchdogTimeout` if ``phase`` overran its deadline."""
+        deadline = self.deadline_for(phase)
+        if deadline is not None and elapsed_s > deadline:
+            raise WatchdogTimeout(phase, elapsed_s, deadline)
+
+    def check_timeline(self, timeline: PowerTimeline) -> None:
+        """Check every armed phase against a finished power timeline."""
+        if not self.armed:
+            return
+        for phase, tags in _PHASE_TAGS.items():
+            self.check(phase, timeline.time_for(*tags))
+
+
+class SessionWatchdog:
+    """Trip bookkeeping across the attempts of one guarded session."""
+
+    def __init__(self, config: WatchdogConfig) -> None:
+        self.config = config
+        self.timeouts: List[WatchdogTimeout] = []
+
+    @property
+    def trips(self) -> int:
+        """How many attempts have tripped so far."""
+        return len(self.timeouts)
+
+    @property
+    def exhausted(self) -> bool:
+        """Has the session tripped enough to abandon compression?"""
+        return self.trips >= self.config.max_trips
+
+    def record(self, timeout: WatchdogTimeout) -> None:
+        """Count one tripped attempt."""
+        self.timeouts.append(timeout)
+
+
+@dataclass(frozen=True)
+class GuardedOutcome:
+    """What :func:`run_guarded` delivered, and how hard it had to try."""
+
+    result: "SessionResult"  # noqa: F821 - simulator type
+    degraded_to_raw: bool
+    trips: int
+    timeouts: Tuple[WatchdogTimeout, ...]
+
+
+def run_guarded(
+    session,
+    raw_bytes: int,
+    compressed_bytes: int,
+    codec: str = "gzip",
+    interleave: bool = True,
+    config: Optional[WatchdogConfig] = None,
+) -> GuardedOutcome:
+    """Run a compressed download under watchdog protection.
+
+    ``session`` is either engine (it must expose ``precompressed`` /
+    ``raw`` and a ``watchdog`` attribute).  Each tripped attempt counts
+    toward ``config.max_trips``; once exhausted the device degrades to
+    the raw transfer.  A raw transfer that *still* trips (the receive
+    deadline is simply too tight for the file) propagates — there is
+    nothing simpler left to degrade to.
+    """
+    config = config or getattr(session, "watchdog", None) or WatchdogConfig()
+    previous = getattr(session, "watchdog", None)
+    session.watchdog = config
+    dog = SessionWatchdog(config)
+    try:
+        while not dog.exhausted:
+            try:
+                result = session.precompressed(
+                    raw_bytes, compressed_bytes, codec, interleave=interleave
+                )
+                return GuardedOutcome(
+                    result=result,
+                    degraded_to_raw=False,
+                    trips=dog.trips,
+                    timeouts=tuple(dog.timeouts),
+                )
+            except WatchdogTimeout as exc:
+                dog.record(exc)
+        # Degrade: the raw path has no decompression phase to trip, and
+        # no compressed framing for recovery to repair.
+        result = session.raw(raw_bytes)
+        return GuardedOutcome(
+            result=result,
+            degraded_to_raw=True,
+            trips=dog.trips,
+            timeouts=tuple(dog.timeouts),
+        )
+    finally:
+        session.watchdog = previous
+
+
+__all__ = [
+    "RECEIVE_TAGS",
+    "DECOMPRESS_TAGS",
+    "RECOVERY_TAGS",
+    "WatchdogConfig",
+    "SessionWatchdog",
+    "GuardedOutcome",
+    "run_guarded",
+]

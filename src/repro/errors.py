@@ -29,8 +29,28 @@ class UnknownCodecError(CodecError):
     """A codec name was not found in the registry."""
 
 
+class ResourceLimitError(CodecError):
+    """Decompression would exceed a configured resource budget.
+
+    Raised by the decompression-bomb guards: a payload whose decoded
+    output would blow past the output-byte cap or the maximum expansion
+    ratio is rejected *before* the bytes are materialized, so a
+    malicious stream costs a bounded amount of memory instead of
+    exhausting the device.
+    """
+
+
 class ModelError(ReproError):
     """An energy-model computation received invalid parameters."""
+
+
+class LinkRateError(ModelError):
+    """A link rate was non-positive, non-finite, or off the 802.11b ladder.
+
+    Unchecked rate arithmetic (``degraded`` with a NaN multiplier, a
+    zero effective rate) would otherwise emit NaN/inf download times
+    that poison every downstream energy figure silently.
+    """
 
 
 class CalibrationError(ReproError):
@@ -52,6 +72,24 @@ class RecoveryExhaustedError(SimulationError):
     budget was spent on still-corrupt re-fetches, or the wall-clock
     deadline passed before the stream verified.
     """
+
+
+class WatchdogTimeout(SimulationError):
+    """A session phase overran its watchdog deadline.
+
+    Carries the phase name so callers can distinguish a stuck receive
+    (link died mid-transfer) from a stuck decompression (bomb or a
+    pathological stream) from stuck recovery (fault storm).
+    """
+
+    def __init__(self, phase: str, elapsed_s: float, deadline_s: float) -> None:
+        self.phase = phase
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"watchdog: {phase} phase took {elapsed_s:.3f}s "
+            f"(deadline {deadline_s:.3f}s)"
+        )
 
 
 class WorkloadError(ReproError):

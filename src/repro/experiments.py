@@ -102,6 +102,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("corruption", "Corruption sweep: recovery energy vs residual BER",
                "bench_corruption_sweep.py", "corruption_sweep", "extension",
                extension=True),
+    Experiment("trajectory", "Rate trajectories: fault timelines x scheme x resume",
+               "bench_rate_trajectory.py", "rate_trajectory", "extension",
+               extension=True),
     Experiment("throughput", "Codec throughput (engineering)",
                "bench_codec_throughput.py", "-", "engineering", extension=True),
     Experiment("engines", "Pure-Python codecs vs CPython engines",

@@ -1,4 +1,5 @@
-"""Wireless-LAN substrate: 802.11b link, packets, loss, ARQ, corruption."""
+"""Wireless-LAN substrate: 802.11b link, packets, loss, ARQ, corruption,
+and mid-session fault timelines (rate steps, outages, stalls)."""
 
 from repro.network.wlan import LinkConfig, LINK_11MBPS, LINK_2MBPS
 from repro.network.packets import Packetizer, PacketSchedule
@@ -25,6 +26,16 @@ from repro.network.loss import (
     loss_rate_for_condition,
 )
 from repro.network.arq import ArqConfig, LinkStats, StopAndWaitLink
+from repro.network.timeline import (
+    FaultStats,
+    FaultTimeline,
+    Outage,
+    RateStep,
+    Stall,
+    link_at,
+    plan_transfer,
+)
+from repro.network.wlan import LADDER_MBPS, ladder_link
 
 __all__ = [
     "LinkConfig",
@@ -54,4 +65,13 @@ __all__ = [
     "CompositeCorruption",
     "block_corrupt_probability",
     "residual_ber_for_condition",
+    "FaultTimeline",
+    "FaultStats",
+    "RateStep",
+    "Outage",
+    "Stall",
+    "plan_transfer",
+    "link_at",
+    "LADDER_MBPS",
+    "ladder_link",
 ]

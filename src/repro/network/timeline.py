@@ -1,0 +1,432 @@
+"""Fault timelines: the link that changes under a transfer.
+
+The paper measures a static link, but 802.11b rate adaptation steps the
+card down the 11/5.5/2/1 Mb/s ladder as the channel degrades, an AP
+handoff disconnects the card mid-file, and a proxy brownout stalls the
+byte stream.  Each of those *mid-session* events changes the energy
+accounting: the CPU idles 40 % of receive time at 11 Mb/s but 81.5 % at
+2 Mb/s, so the Equation 6 break-even of a transfer that straddles a rate
+step matches neither static operating point.
+
+This module is the shared vocabulary for those events:
+
+- :class:`RateStep` / :class:`Outage` / :class:`Stall` — typed events,
+  anchored at seconds into the transfer;
+- :class:`FaultTimeline` — a scripted or seeded schedule of events;
+- :func:`plan_transfer` — the segmentation planner both engines consume:
+  it slices a transfer of N bytes into piecewise-constant-rate delivery
+  segments with the dead time (outage, reassociation, stall, resume
+  handshake) and re-fetched bytes interleaved in order.
+
+The analytic engine charges each segment in closed form at that
+segment's rate and idle fraction; the DES engine paces packet schedules
+per segment and injects the dead periods as events.  A timeline with no
+events must be invisible: both engines bypass the planner entirely and
+stay bit-identical to the seed baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ModelError
+from repro.network.wlan import LADDER_MBPS, LinkConfig, ladder_link
+
+#: Default reassociation time after an outage: active scan + auth +
+#: (re)association on an Orinoco-class card takes on the order of
+#: hundreds of milliseconds.
+DEFAULT_REASSOC_S = 0.3
+
+
+def _require_time(value: float, what: str, positive: bool = False) -> None:
+    if not (isinstance(value, (int, float)) and math.isfinite(value)):
+        raise ModelError(f"{what} must be finite, got {value!r}")
+    if positive and value <= 0:
+        raise ModelError(f"{what} must be positive, got {value!r}")
+    if not positive and value < 0:
+        raise ModelError(f"{what} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class RateStep:
+    """The card steps to another 802.11b ladder rung at ``at_s``."""
+
+    at_s: float
+    rate_mbps: float
+
+    def __post_init__(self) -> None:
+        _require_time(self.at_s, "event time")
+        ladder_link(self.rate_mbps)  # raises LinkRateError off-ladder
+
+    @property
+    def link(self) -> LinkConfig:
+        """The operating point this step moves to."""
+        return ladder_link(self.rate_mbps)
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A disconnect at ``at_s``: no delivery for ``duration_s``, then the
+    card pays ``reassoc_s`` of active reassociation before bytes flow."""
+
+    at_s: float
+    duration_s: float
+    reassoc_s: float = DEFAULT_REASSOC_S
+
+    def __post_init__(self) -> None:
+        _require_time(self.at_s, "event time")
+        _require_time(self.duration_s, "outage duration", positive=True)
+        _require_time(self.reassoc_s, "reassociation time")
+
+
+@dataclass(frozen=True)
+class Stall:
+    """A proxy brownout at ``at_s``: the stream pauses for ``duration_s``
+    but the card stays associated (no reassociation, no data loss)."""
+
+    at_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        _require_time(self.at_s, "event time")
+        _require_time(self.duration_s, "stall duration", positive=True)
+
+
+FaultEvent = Union[RateStep, Outage, Stall]
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """An ordered schedule of mid-session link events.
+
+    Events are anchored in seconds since the transfer's first byte.
+    Events that fall after the transfer completes never fire.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if not isinstance(ev, (RateStep, Outage, Stall)):
+                raise ModelError(f"unknown fault event {ev!r}")
+        ordered = tuple(sorted(self.events, key=lambda e: e.at_s))
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def has_events(self) -> bool:
+        """False for the trivial timeline the engines bypass entirely."""
+        return bool(self.events)
+
+    @classmethod
+    def scripted(cls, *events: FaultEvent) -> "FaultTimeline":
+        """A deterministic timeline from explicit events."""
+        return cls(events=tuple(events))
+
+    @classmethod
+    def parse(
+        cls,
+        rate_schedule: Optional[str] = None,
+        outages: Sequence[str] = (),
+        stalls: Sequence[str] = (),
+    ) -> "FaultTimeline":
+        """Build a timeline from CLI-style specs.
+
+        ``rate_schedule`` is ``"T:RATE,T:RATE,..."`` (seconds : ladder
+        Mb/s), each ``outages`` entry is ``"AT:DURATION[:REASSOC]"``
+        and each ``stalls`` entry is ``"AT:DURATION"``.
+        """
+        events: List[FaultEvent] = []
+        if rate_schedule:
+            for part in rate_schedule.split(","):
+                try:
+                    at_text, rate_text = part.split(":")
+                    events.append(RateStep(float(at_text), float(rate_text)))
+                except ValueError as exc:
+                    raise ModelError(
+                        f"bad rate-schedule entry {part!r} "
+                        f"(expected T:RATE): {exc}"
+                    ) from exc
+        for spec in outages:
+            fields = spec.split(":")
+            if len(fields) not in (2, 3):
+                raise ModelError(
+                    f"bad outage spec {spec!r} (expected AT:DUR[:REASSOC])"
+                )
+            try:
+                numbers = [float(f) for f in fields]
+            except ValueError as exc:
+                raise ModelError(f"bad outage spec {spec!r}: {exc}") from exc
+            events.append(Outage(*numbers))
+        for spec in stalls:
+            fields = spec.split(":")
+            if len(fields) != 2:
+                raise ModelError(f"bad stall spec {spec!r} (expected AT:DUR)")
+            try:
+                events.append(Stall(float(fields[0]), float(fields[1])))
+            except ValueError as exc:
+                raise ModelError(f"bad stall spec {spec!r}: {exc}") from exc
+        return cls(events=tuple(events))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        horizon_s: float,
+        rate_walk_interval_s: Optional[float] = None,
+        outage_interval_s: Optional[float] = None,
+        stall_interval_s: Optional[float] = None,
+        outage_s: float = 2.0,
+        reassoc_s: float = DEFAULT_REASSOC_S,
+        stall_s: float = 0.5,
+        start_rung: int = 0,
+    ) -> "FaultTimeline":
+        """A reproducible random timeline over ``horizon_s`` seconds.
+
+        Rate steps are a ±1 random walk on the 802.11b ladder with
+        exponential inter-event gaps of mean ``rate_walk_interval_s``;
+        outages and stalls arrive as Poisson processes with the given
+        mean intervals.  Any interval left ``None`` disables that event
+        family.  The same seed always produces the same timeline.
+        """
+        _require_time(horizon_s, "horizon", positive=True)
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        if rate_walk_interval_s is not None:
+            _require_time(rate_walk_interval_s, "rate-walk interval", True)
+            rung = min(max(start_rung, 0), len(LADDER_MBPS) - 1)
+            t = rng.expovariate(1.0 / rate_walk_interval_s)
+            while t < horizon_s:
+                rung = min(
+                    max(rung + rng.choice((-1, 1)), 0), len(LADDER_MBPS) - 1
+                )
+                events.append(RateStep(t, LADDER_MBPS[rung]))
+                t += rng.expovariate(1.0 / rate_walk_interval_s)
+        if outage_interval_s is not None:
+            _require_time(outage_interval_s, "outage interval", True)
+            t = rng.expovariate(1.0 / outage_interval_s)
+            while t < horizon_s:
+                events.append(Outage(t, outage_s, reassoc_s))
+                t += outage_s + reassoc_s
+                t += rng.expovariate(1.0 / outage_interval_s)
+        if stall_interval_s is not None:
+            _require_time(stall_interval_s, "stall interval", True)
+            t = rng.expovariate(1.0 / stall_interval_s)
+            while t < horizon_s:
+                events.append(Stall(t, stall_s))
+                t += stall_s + rng.expovariate(1.0 / stall_interval_s)
+        return cls(events=tuple(events))
+
+
+# -- the segmentation planner -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeliverySegment:
+    """A run of bytes delivered at one constant operating point."""
+
+    link: LinkConfig
+    n_bytes: float
+    #: True when these bytes re-deliver data lost to an outage (the
+    #: restart/resume tail), charged under the ``refetch`` tag.
+    refetch: bool = False
+
+
+@dataclass(frozen=True)
+class DeadSegment:
+    """A no-delivery interval: outage, reassoc, stall or resume handshake."""
+
+    kind: str  # "outage" | "reassoc" | "stall" | "resume"
+    duration_s: float
+    #: Operating point in force when the interval ends (power attribution).
+    link: Optional[LinkConfig] = None
+
+
+PlanStep = Union[DeliverySegment, DeadSegment]
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """What the timeline did to one transfer."""
+
+    rate_steps: int = 0
+    outages: int = 0
+    stalls: int = 0
+    resume_handshakes: int = 0
+    #: Bytes re-delivered because an outage voided unacknowledged data.
+    refetched_bytes: float = 0.0
+    outage_s: float = 0.0
+    reassoc_s: float = 0.0
+    stall_s: float = 0.0
+    #: Unique payload bytes delivered per link name.
+    bytes_by_link: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def resumed(self) -> bool:
+        """Did a checkpoint/resume handshake run at least once?"""
+        return self.resume_handshakes > 0
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Ordered steps covering one transfer under a fault timeline."""
+
+    steps: Tuple[PlanStep, ...]
+    total_bytes: float
+    stats: FaultStats
+
+    @property
+    def delivered_bytes(self) -> float:
+        """All delivered bytes, re-fetched tails included."""
+        return sum(
+            s.n_bytes for s in self.steps if isinstance(s, DeliverySegment)
+        )
+
+
+def plan_transfer(
+    total_bytes: float,
+    timeline: FaultTimeline,
+    base_link: LinkConfig,
+    resume=None,
+) -> TransferPlan:
+    """Slice ``total_bytes`` into fault-aware delivery and dead segments.
+
+    ``resume`` is the checkpoint policy consulted at each outage (any
+    object with ``restart_point(progress_bytes)`` and ``handshake_s``,
+    i.e. :class:`~repro.core.resume.ResumeConfig`).  With ``resume=None``
+    the receiver cannot issue range requests: every outage restarts the
+    transfer from byte zero, exactly the restart-vs-resume asymmetry the
+    recovery comparison measures.
+
+    The planner conserves bytes: unique delivered bytes always equal
+    ``total_bytes``; outages add re-fetched bytes on top.
+    """
+    if total_bytes < 0:
+        raise ModelError("transfer size must be non-negative")
+    steps: List[PlanStep] = []
+    link = base_link
+    bytes_by_link: Dict[str, float] = {}
+    t = 0.0
+    progress = 0.0  # unique bytes delivered and acknowledged
+    refetch_left = 0.0  # re-delivery owed before progress resumes
+    refetched = 0.0
+    rate_steps = outages = stalls = handshakes = 0
+    outage_s = reassoc_s = stall_s = 0.0
+    events = list(timeline.events)
+    ei = 0
+
+    def deliver(amount: float) -> None:
+        nonlocal progress, refetch_left
+        if amount <= 0:
+            return
+        re_part = min(amount, refetch_left)
+        if re_part > 0:
+            steps.append(DeliverySegment(link, re_part, refetch=True))
+            refetch_left -= re_part
+        new_part = amount - re_part
+        if new_part > 0:
+            steps.append(DeliverySegment(link, new_part, refetch=False))
+            bytes_by_link[link.name] = (
+                bytes_by_link.get(link.name, 0.0) + new_part
+            )
+            progress += new_part
+
+    while progress < total_bytes or refetch_left > 0:
+        rate = link.delivered_rate_bps
+        need = refetch_left + (total_bytes - progress)
+        finish_dt = need / rate
+        if ei < len(events) and events[ei].at_s < t + finish_dt:
+            ev = events[ei]
+            ei += 1
+            deliver(min(need, max(0.0, ev.at_s - t) * rate))
+            t = max(t, ev.at_s)
+            if isinstance(ev, RateStep):
+                new_link = ev.link
+                if new_link.name != link.name:
+                    rate_steps += 1
+                    link = new_link
+            elif isinstance(ev, Stall):
+                steps.append(DeadSegment("stall", ev.duration_s, link))
+                stall_s += ev.duration_s
+                stalls += 1
+                t += ev.duration_s
+            else:  # Outage
+                steps.append(DeadSegment("outage", ev.duration_s, link))
+                outage_s += ev.duration_s
+                outages += 1
+                t += ev.duration_s
+                if ev.reassoc_s > 0:
+                    steps.append(DeadSegment("reassoc", ev.reassoc_s, link))
+                    reassoc_s += ev.reassoc_s
+                    t += ev.reassoc_s
+                if resume is not None:
+                    point = min(progress, max(0.0, resume.restart_point(progress)))
+                    if resume.handshake_s > 0:
+                        steps.append(
+                            DeadSegment("resume", resume.handshake_s, link)
+                        )
+                        t += resume.handshake_s
+                    handshakes += 1
+                else:
+                    point = 0.0  # no range requests: restart from zero
+                refetch_left = progress - point
+                refetched += refetch_left
+        else:
+            deliver(need)
+            t += finish_dt
+    stats = FaultStats(
+        rate_steps=rate_steps,
+        outages=outages,
+        stalls=stalls,
+        resume_handshakes=handshakes,
+        refetched_bytes=refetched,
+        outage_s=outage_s,
+        reassoc_s=reassoc_s,
+        stall_s=stall_s,
+        bytes_by_link=bytes_by_link,
+    )
+    return TransferPlan(
+        steps=tuple(steps), total_bytes=float(total_bytes), stats=stats
+    )
+
+
+def link_at(
+    timeline: FaultTimeline, base_link: LinkConfig, at_bytes: float,
+    total_bytes: float, resume=None,
+) -> LinkConfig:
+    """The operating point delivering byte ``at_bytes`` of a transfer.
+
+    Maps a byte offset (of *unique* payload progress) to the link rung
+    in force when that byte first arrives — what the block-by-block
+    adaptive re-evaluation needs to re-run Equation 6 per block.
+    """
+    plan = plan_transfer(total_bytes, timeline, base_link, resume)
+    seen = 0.0
+    last = base_link
+    for step in plan.steps:
+        if not isinstance(step, DeliverySegment) or step.refetch:
+            continue
+        seen += step.n_bytes
+        last = step.link
+        if seen > at_bytes:
+            return step.link
+    return last
+
+
+__all__ = [
+    "DEFAULT_REASSOC_S",
+    "RateStep",
+    "Outage",
+    "Stall",
+    "FaultEvent",
+    "FaultTimeline",
+    "DeliverySegment",
+    "DeadSegment",
+    "PlanStep",
+    "FaultStats",
+    "TransferPlan",
+    "plan_transfer",
+    "link_at",
+]

@@ -15,11 +15,22 @@ rate multiplier.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro import units
-from repro.errors import ModelError
+from repro.errors import LinkRateError, ModelError
+
+
+def _require_finite_positive(value: float, what: str) -> None:
+    """Reject non-finite and non-positive rates with a typed error.
+
+    ``value <= 0`` is False for NaN, so a plain sign check lets NaN
+    rates through and every downstream time becomes NaN silently.
+    """
+    if not math.isfinite(value) or value <= 0:
+        raise LinkRateError(f"{what} must be finite and positive, got {value!r}")
 
 
 @dataclass(frozen=True)
@@ -35,8 +46,8 @@ class LinkConfig:
     power_save: bool = False
 
     def __post_init__(self) -> None:
-        if self.effective_rate_bps <= 0:
-            raise ModelError("effective rate must be positive")
+        _require_finite_positive(self.nominal_rate_bps, "nominal bit rate")
+        _require_finite_positive(self.effective_rate_bps, "effective rate")
         if not 0 <= self.idle_fraction < 1:
             raise ModelError("idle fraction must be in [0, 1)")
         if self.effective_rate_bps * 8 > self.nominal_rate_bps:
@@ -81,8 +92,22 @@ class LinkConfig:
         the download; callers may supply the measured fraction, else it is
         scaled on the assumption that per-byte active CPU time is constant.
         """
-        if not 0 < rate_multiplier <= 1:
-            raise ModelError("rate multiplier must be in (0, 1]")
+        if not (
+            isinstance(rate_multiplier, (int, float))
+            and math.isfinite(rate_multiplier)
+            and 0 < rate_multiplier <= 1
+        ):
+            raise LinkRateError(
+                f"rate multiplier must be a finite number in (0, 1], "
+                f"got {rate_multiplier!r}"
+            )
+        if idle_fraction is not None and not (
+            math.isfinite(idle_fraction) and 0 <= idle_fraction < 1
+        ):
+            raise LinkRateError(
+                f"idle fraction must be finite and in [0, 1), "
+                f"got {idle_fraction!r}"
+            )
         new_rate = self.effective_rate_bps * rate_multiplier
         if idle_fraction is None:
             # Active time per byte constant => idle fraction rises as the
@@ -113,3 +138,36 @@ LINK_2MBPS = LinkConfig(
     effective_rate_bps=units.EFFECTIVE_RATE_2MBPS_BPS,
     idle_fraction=units.IDLE_FRACTION_2MBPS,
 )
+
+#: The 802.11b rate-adaptation ladder, nominal Mb/s.  An Orinoco card
+#: steps down this ladder as the channel degrades (and back up as it
+#: clears); mid-session rate-step events are confined to these points.
+LADDER_MBPS = (11.0, 5.5, 2.0, 1.0)
+
+#: Measured anchors (11 and 2 Mb/s) plus derived intermediate rungs:
+#: 5.5 Mb/s halves the 11 Mb/s delivered rate, 1 Mb/s halves 2 Mb/s —
+#: per-byte active CPU time held constant, the same assumption
+#: :meth:`LinkConfig.degraded` makes.
+_LADDER_LINKS = {
+    11.0: LINK_11MBPS,
+    5.5: LINK_11MBPS.degraded(0.5),
+    2.0: LINK_2MBPS,
+    1.0: LINK_2MBPS.degraded(0.5),
+}
+
+
+def ladder_link(rate_mbps: float) -> LinkConfig:
+    """The :class:`LinkConfig` for one 802.11b ladder rung.
+
+    Raises :class:`~repro.errors.LinkRateError` for anything off the
+    ladder (including NaN/inf and non-positive rates): a rate-step
+    event must land on a real operating point of the card.
+    """
+    try:
+        if rate_mbps in _LADDER_LINKS:
+            return _LADDER_LINKS[rate_mbps]
+    except TypeError:
+        pass
+    raise LinkRateError(
+        f"rate {rate_mbps!r} is not on the 802.11b ladder {LADDER_MBPS}"
+    )

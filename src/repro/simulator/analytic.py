@@ -15,18 +15,28 @@ corresponding equation exactly:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import units
 from repro.core.adaptive import AdaptiveResult
-from repro.core.energy_model import EnergyModel
+from repro.core.energy_model import EnergyModel, ModelParams
 from repro.core.recovery import RecoveryConfig, RecoveryStats, expected_recovery
+from repro.core.resume import ResumeConfig
+from repro.core.watchdog import WatchdogConfig
 from repro.device.timeline import PowerTimeline
 from repro.errors import ModelError
 from repro.network.arq import ArqConfig, LinkStats, expected_overhead
 from repro.network.corruption import CorruptionModel
 from repro.network.loss import LossModel
 from repro.network.packets import DEFAULT_PAYLOAD_BYTES
+from repro.network.timeline import (
+    DeliverySegment,
+    FaultStats,
+    FaultTimeline,
+    TransferPlan,
+    plan_transfer,
+)
+from repro.network.wlan import LinkConfig
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.simulator.session import Scenario, SessionResult
 
@@ -52,6 +62,17 @@ class AnalyticSession:
     paper's Equation 6 break-even against compression.  With a clean
     channel the extension charges nothing and the timelines stay
     segment-identical to the baseline.
+
+    ``faults`` switches on the fault-timeline extension: the transfer is
+    segmented by :func:`~repro.network.timeline.plan_transfer` and every
+    delivery segment is charged in closed form at *its* segment's
+    rate/idle-fraction (802.11b ladder rungs derive their parameters
+    from the device power table); outages idle at the device floor,
+    reassociation pays active radio time plus a fresh startup cost, and
+    ``resume`` decides whether an interrupted transfer restarts from
+    byte zero or from the last checkpoint.  ``watchdog`` deadlines are
+    checked against the finished timeline.  A trivial timeline bypasses
+    all of it, bit-for-bit.
     """
 
     def __init__(
@@ -62,6 +83,9 @@ class AnalyticSession:
         payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
         corruption: Optional[CorruptionModel] = None,
         recovery: Optional[RecoveryConfig] = None,
+        faults: Optional[FaultTimeline] = None,
+        resume: Optional[ResumeConfig] = None,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
@@ -69,6 +93,10 @@ class AnalyticSession:
         self.payload_bytes = payload_bytes
         self.corruption = corruption
         self.recovery = recovery or RecoveryConfig()
+        self.faults = faults
+        self.resume = resume
+        self.watchdog = watchdog
+        self._link_params: Dict[str, ModelParams] = {}
 
     def inject_corruption(
         self,
@@ -79,6 +107,17 @@ class AnalyticSession:
         self.corruption = corruption
         if recovery is not None:
             self.recovery = recovery
+        return self
+
+    def inject_faults(
+        self,
+        faults: Optional[FaultTimeline],
+        resume: Optional[ResumeConfig] = None,
+    ) -> "AnalyticSession":
+        """Install (or clear) a fault timeline on this session."""
+        self.faults = faults
+        if resume is not None:
+            self.resume = resume
         return self
 
     # -- shared pieces -------------------------------------------------------
@@ -142,22 +181,224 @@ class AnalyticSession:
     @property
     def _recv_power_w(self) -> float:
         """Power during active receive: m spread over the active time."""
-        p = self.model.params
+        return self._recv_power_for(self.model.params)
+
+    @staticmethod
+    def _recv_power_for(p: ModelParams) -> float:
         active_s_per_mb = (1.0 - p.idle_fraction) / p.rate_mb_per_s
         if active_s_per_mb <= 0:
             raise ModelError("link has no active receive time")
         return p.m_j_per_mb / active_s_per_mb
 
+    # -- fault-timeline machinery ---------------------------------------------
+
+    @property
+    def _faults_active(self) -> bool:
+        """Is a non-trivial fault timeline installed?
+
+        The trivial case (None or no events) must bypass the planner
+        entirely so the fault machinery stays bit-invisible: the golden
+        identity tests compare segment lists, not just totals.
+        """
+        return self.faults is not None and self.faults.has_events
+
+    def _params_for(self, link: LinkConfig) -> ModelParams:
+        """Model parameters for one operating point of the plan.
+
+        The base link keeps the session's (possibly overridden) params
+        so a constant-rate plan reduces exactly to the baseline; other
+        ladder rungs derive theirs from the device power table.
+        """
+        if link.name == self.model.link.name:
+            return self.model.params
+        cached = self._link_params.get(link.name)
+        if cached is None:
+            cached = ModelParams.for_link(link, self.model.device)
+            self._link_params[link.name] = cached
+        return cached
+
+    def _plan(self, transfer_bytes: float) -> TransferPlan:
+        return plan_transfer(
+            transfer_bytes, self.faults, self.model.link, self.resume
+        )
+
+    def _charge_dead(self, timeline: PowerTimeline, step) -> None:
+        """Charge one no-delivery interval of the plan.
+
+        Outages draw the device idle floor (radio down, nothing to do);
+        reassociation is active radio work at receive power plus a fresh
+        communication-startup cost; stalls and resume handshakes idle at
+        the gap power of the link then in force.
+        """
+        p = self._params_for(step.link or self.model.link)
+        if step.kind == "outage":
+            timeline.add(
+                step.duration_s, self.model.params.idle_power_w, "outage"
+            )
+        elif step.kind == "reassoc":
+            timeline.add(step.duration_s, self._recv_power_for(p), "reassoc")
+            timeline.add_energy(self.model.params.cs_j, "reassoc")
+        elif step.kind == "stall":
+            timeline.add(step.duration_s, p.gap_power_w, "stall")
+        else:  # resume handshake
+            timeline.add(step.duration_s, p.gap_power_w, "resume")
+            if self.resume is not None and self.resume.handshake_j > 0:
+                timeline.add_energy(self.resume.handshake_j, "resume")
+
+    def _charge_plan(
+        self,
+        timeline: PowerTimeline,
+        plan: TransferPlan,
+        idle_tag: str = "idle",
+    ) -> FaultStats:
+        """Charge a fault plan without interleaving: each delivery segment
+        at its own rate/idle-fraction, dead time per :meth:`_charge_dead`."""
+        for step in plan.steps:
+            if isinstance(step, DeliverySegment):
+                p = self._params_for(step.link)
+                wall = units.bytes_to_mb(step.n_bytes) / p.rate_mb_per_s
+                active = wall * (1.0 - p.idle_fraction)
+                power = self._recv_power_for(p)
+                if step.refetch:
+                    timeline.add(active, power, "refetch")
+                    timeline.add(wall - active, p.gap_power_w, "refetch")
+                else:
+                    timeline.add(active, power, "recv")
+                    timeline.add(wall - active, p.gap_power_w, idle_tag)
+            else:
+                self._charge_dead(timeline, step)
+        return plan.stats
+
+    def _block_plan(
+        self, raw_bytes: int, compressed_bytes: int, codec: str
+    ) -> Tuple[List[float], List[float]]:
+        """Cumulative compressed-byte thresholds and per-block work.
+
+        Same decomposition the DES engine paces its ledger with: block
+        ``i``'s decompression work becomes available once its compressed
+        share has fully arrived.
+        """
+        cost = self.model.cpu.decompress_cost(codec)
+        block_thresholds: List[float] = []
+        works: List[float] = []
+        remaining = raw_bytes
+        cum = 0.0
+        while remaining > 0:
+            raw_chunk = min(units.BLOCK_SIZE_BYTES, remaining)
+            comp_share = compressed_bytes * raw_chunk / raw_bytes
+            cum += comp_share
+            block_thresholds.append(cum)
+            work = cost.marginal_seconds(raw_chunk, comp_share)
+            if not works:
+                work += cost.constant_s
+            works.append(work)
+            remaining -= raw_chunk
+        if block_thresholds:
+            block_thresholds[-1] = float(compressed_bytes)
+        return block_thresholds, works
+
+    def _interleave_faulty(
+        self,
+        timeline: PowerTimeline,
+        transfer_bytes: float,
+        block_thresholds: List[float],
+        block_work: List[float],
+        decompress_power_w: float,
+    ) -> FaultStats:
+        """Equation 3 generalized to a piecewise-constant-rate plan.
+
+        The Equation 4 split becomes a causal block ledger, the fluid
+        limit of the DES replay: block ``i``'s decompression work is
+        banked when its last compressed byte arrives, and only banked
+        work may occupy the idle gaps — a slow rung's long gaps cannot
+        decompress data that has not arrived yet.  Whatever is still
+        banked at the end of the receive phase spills as the tail.
+        Re-fetched segments re-deliver bytes already counted, so they
+        advance no thresholds and host no work; dead time (outages,
+        stalls, handshakes) likewise hosts none — the conservative
+        reading of the paper's interrupt-driven receiver.
+        """
+        plan = self._plan(transfer_bytes)
+        delivered = 0.0  # unique payload bytes so far
+        next_block = 0
+        pending = 0.0  # banked decompression work not yet hosted
+        for step in plan.steps:
+            if not isinstance(step, DeliverySegment):
+                self._charge_dead(timeline, step)
+                continue
+            p = self._params_for(step.link)
+            power = self._recv_power_for(p)
+            if step.refetch:
+                wall = units.bytes_to_mb(step.n_bytes) / p.rate_mb_per_s
+                active = wall * (1.0 - p.idle_fraction)
+                timeline.add(active, power, "refetch")
+                timeline.add(wall - active, p.gap_power_w, "refetch")
+                continue
+            seg_left = float(step.n_bytes)
+            while seg_left > 1e-9:
+                if next_block < len(block_thresholds):
+                    to_threshold = block_thresholds[next_block] - delivered
+                    n = min(seg_left, max(to_threshold, 0.0))
+                    if n <= 0.0:
+                        pending += block_work[next_block]
+                        next_block += 1
+                        continue
+                else:
+                    n = seg_left
+                wall = units.bytes_to_mb(n) / p.rate_mb_per_s
+                active = wall * (1.0 - p.idle_fraction)
+                gap = wall - active
+                timeline.add(active, power, "recv")
+                hosted = min(pending, gap)
+                pending -= hosted
+                timeline.add(hosted, decompress_power_w, "decompress")
+                timeline.add(gap - hosted, p.gap_power_w, "idle")
+                delivered += n
+                seg_left -= n
+                while (
+                    next_block < len(block_thresholds)
+                    and delivered >= block_thresholds[next_block] - 1e-9
+                ):
+                    pending += block_work[next_block]
+                    next_block += 1
+        while next_block < len(block_thresholds):
+            pending += block_work[next_block]
+            next_block += 1
+        if pending > 0:
+            timeline.add(pending, decompress_power_w, "decompress")
+        return plan.stats
+
+    def _require_no_faults(self, scenario: str) -> None:
+        if self._faults_active:
+            raise ModelError(
+                f"fault timelines are not modelled for {scenario} sessions; "
+                "clear the timeline or use a download scenario"
+            )
+
+    def _result(self, *args, **kwargs) -> SessionResult:
+        """Build the result, checking watchdog deadlines on the way out."""
+        return SessionResult.from_timeline(
+            *args, watchdog=self.watchdog, **kwargs
+        )
+
     def _receive(
         self, timeline: PowerTimeline, transfer_bytes: float, idle_tag: str = "idle"
-    ) -> None:
-        """Receive ``transfer_bytes``: active bursts plus idle gaps."""
+    ) -> Optional[FaultStats]:
+        """Receive ``transfer_bytes``: active bursts plus idle gaps.
+
+        With a fault timeline installed, the single closed-form segment
+        pair becomes the piecewise plan; without one, the baseline
+        two-segment shape is emitted unchanged.
+        """
+        if self._faults_active:
+            return self._charge_plan(timeline, self._plan(transfer_bytes), idle_tag)
         p = self.model.params
         mb = units.bytes_to_mb(transfer_bytes)
         wall = mb / p.rate_mb_per_s
         active = wall * (1.0 - p.idle_fraction)
         timeline.add(active, self._recv_power_w, "recv")
         timeline.add(wall - active, p.gap_power_w, idle_tag)
+        return None
 
     # -- scenarios ------------------------------------------------------------
 
@@ -165,10 +406,11 @@ class AnalyticSession:
         """Plain download (Equation 1)."""
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
-        self._receive(tl, raw_bytes)
+        fstats = self._receive(tl, raw_bytes)
         stats = self._apply_loss(tl, raw_bytes)
-        return SessionResult.from_timeline(
-            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
+        return self._result(
+            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats,
+            fault_stats=fstats,
         )
 
     def precompressed(
@@ -194,7 +436,7 @@ class AnalyticSession:
         tl = PowerTimeline()
         tl.add_energy(p.cs_j, "startup")
         if not interleave:
-            self._receive(tl, compressed_bytes)
+            fstats = self._receive(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
             rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             pd = (
@@ -206,30 +448,40 @@ class AnalyticSession:
             scenario = (
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
-            return SessionResult.from_timeline(
+            return self._result(
                 scenario, raw_bytes, compressed_bytes, codec, tl,
-                link_stats=stats, recovery_stats=rstats,
+                link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
             )
 
         # Interleaved (Equation 3): the idle gaps after the first block
         # host decompression work; whatever does not fit spills past the
         # end of the receive phase.
-        mb = units.bytes_to_mb(compressed_bytes)
-        wall = mb / p.rate_mb_per_s
-        active = wall * (1.0 - p.idle_fraction)
-        tl.add(active, self._recv_power_w, "recv")
-        tl.add(ti_dprime, p.gap_power_w, "idle")
-        overlapped = min(td, ti_prime)
-        tl.add(overlapped, p.decompress_power_w, "decompress")
-        if ti_prime > td:
-            tl.add(ti_prime - td, p.gap_power_w, "idle")
+        if self._faults_active:
+            block_thresholds, works = self._block_plan(
+                raw_bytes, compressed_bytes, codec
+            )
+            fstats = self._interleave_faulty(
+                tl, compressed_bytes, block_thresholds, works,
+                p.decompress_power_w,
+            )
         else:
-            tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+            fstats = None
+            mb = units.bytes_to_mb(compressed_bytes)
+            wall = mb / p.rate_mb_per_s
+            active = wall * (1.0 - p.idle_fraction)
+            tl.add(active, self._recv_power_w, "recv")
+            tl.add(ti_dprime, p.gap_power_w, "idle")
+            overlapped = min(td, ti_prime)
+            tl.add(overlapped, p.decompress_power_w, "decompress")
+            if ti_prime > td:
+                tl.add(ti_prime - td, p.gap_power_w, "idle")
+            else:
+                tl.add(td - ti_prime, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, compressed_bytes)
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
-            link_stats=stats, recovery_stats=rstats,
+            link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
         )
 
     def adaptive(
@@ -252,22 +504,44 @@ class AnalyticSession:
         ti_prime, ti_dprime = self.model.idle_times(raw_bytes, transfer)
         tl = PowerTimeline()
         tl.add_energy(p.cs_j, "startup")
-        mb = units.bytes_to_mb(transfer)
-        wall = mb / p.rate_mb_per_s
-        active = wall * (1.0 - p.idle_fraction)
-        tl.add(active, self._recv_power_w, "recv")
-        tl.add(ti_dprime, p.gap_power_w, "idle")
-        overlapped = min(td, ti_prime)
-        tl.add(overlapped, p.decompress_power_w, "decompress")
-        if ti_prime > td:
-            tl.add(ti_prime - td, p.gap_power_w, "idle")
+        if self._faults_active:
+            cost = self.model.cpu.decompress_cost(codec)
+            block_thresholds: List[float] = []
+            works: List[float] = []
+            cum = 0.0
+            first_compressed = True
+            for d in result.decisions:
+                cum += d.transfer_bytes
+                block_thresholds.append(cum)
+                if d.sent_compressed:
+                    work = cost.marginal_seconds(d.raw_bytes, d.compressed_bytes)
+                    if first_compressed:
+                        work += cost.constant_s
+                        first_compressed = False
+                    works.append(work)
+                else:
+                    works.append(0.0)
+            fstats = self._interleave_faulty(
+                tl, transfer, block_thresholds, works, p.decompress_power_w
+            )
         else:
-            tl.add(td - ti_prime, p.decompress_power_w, "decompress")
+            fstats = None
+            mb = units.bytes_to_mb(transfer)
+            wall = mb / p.rate_mb_per_s
+            active = wall * (1.0 - p.idle_fraction)
+            tl.add(active, self._recv_power_w, "recv")
+            tl.add(ti_dprime, p.gap_power_w, "idle")
+            overlapped = min(td, ti_prime)
+            tl.add(overlapped, p.decompress_power_w, "decompress")
+            if ti_prime > td:
+                tl.add(ti_prime - td, p.gap_power_w, "idle")
+            else:
+                tl.add(td - ti_prime, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, transfer)
         rstats = self._apply_corruption(tl, transfer, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.ADAPTIVE, raw_bytes, transfer, codec, tl,
-            link_stats=stats, recovery_stats=rstats,
+            link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
         )
 
     def ondemand(
@@ -302,15 +576,16 @@ class AnalyticSession:
         if not overlap:
             # Device idles (radio up, card idle) while the proxy works.
             tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
-            self._receive(tl, compressed_bytes)
+            fstats = self._receive(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
             rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
             td = self.model.decompression_time_s(raw_bytes, compressed_bytes, codec)
             tl.add(td, p.decompress_power_w, "decompress")
-            return SessionResult.from_timeline(
+            return self._result(
                 Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats, recovery_stats=rstats,
+                tl, link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
             )
+        self._require_no_faults("overlapped on-demand")
 
         # Overlapped pipeline.  Per raw block b: proxy compress time c_b and
         # transmit time x_b; steady-state arrival interval max(c_b, x_b)
@@ -351,7 +626,7 @@ class AnalyticSession:
         tl.add(td_after, p.decompress_power_w, "decompress")
         stats = self._apply_loss(tl, compressed_bytes)
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl,
             link_stats=stats, recovery_stats=rstats,
         )
@@ -360,11 +635,12 @@ class AnalyticSession:
 
     def upload_raw(self, raw_bytes: int) -> SessionResult:
         """Send the original data from the device; mirrors Equation 1."""
+        self._require_no_faults("upload")
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
         self._send(tl, raw_bytes)
         stats = self._apply_loss(tl, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
         )
 
@@ -383,6 +659,7 @@ class AnalyticSession:
         """
         from repro.core.upload import UploadModel
 
+        self._require_no_faults("upload")
         upload = UploadModel(self.model)
         p = self.model.params
         tc = upload.compression_time_s(raw_bytes, compressed_bytes, codec)
@@ -393,7 +670,7 @@ class AnalyticSession:
             self._send(tl, compressed_bytes)
             stats = self._apply_loss(tl, compressed_bytes)
             rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-            return SessionResult.from_timeline(
+            return self._result(
                 Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
                 tl, link_stats=stats, recovery_stats=rstats,
             )
@@ -417,7 +694,7 @@ class AnalyticSession:
         tl.add(ts_dprime, p.gap_power_w, "idle")
         stats = self._apply_loss(tl, compressed_bytes)
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
             link_stats=stats, recovery_stats=rstats,
         )

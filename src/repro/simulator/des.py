@@ -19,14 +19,23 @@ from typing import List, Optional, Tuple
 
 from repro import units
 from repro.core.adaptive import AdaptiveResult
-from repro.core.energy_model import EnergyModel
+from repro.core.energy_model import EnergyModel, ModelParams
 from repro.core.recovery import RecoveryConfig, RecoveryPolicy, RecoveryStats
+from repro.core.resume import ResumeConfig
+from repro.core.watchdog import WatchdogConfig
 from repro.device.timeline import PowerTimeline
 from repro.errors import ModelError, RecoveryExhaustedError
 from repro.network.arq import ArqConfig, LinkStats, expand_schedule
 from repro.network.corruption import CorruptionModel
 from repro.network.loss import LossModel
 from repro.network.packets import Packetizer
+from repro.network.timeline import (
+    DeliverySegment,
+    FaultStats,
+    FaultTimeline,
+    plan_transfer,
+)
+from repro.network.wlan import LinkConfig
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.proxy.ondemand import OnDemandPipeline
 from repro.simulator.engine import Simulator
@@ -80,6 +89,9 @@ class DesSession:
         arq: Optional[ArqConfig] = None,
         corruption: Optional[CorruptionModel] = None,
         recovery: Optional[RecoveryConfig] = None,
+        faults: Optional[FaultTimeline] = None,
+        resume: Optional[ResumeConfig] = None,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> None:
         self.model = model or EnergyModel()
         self.packetizer = Packetizer(payload_bytes)
@@ -87,6 +99,11 @@ class DesSession:
         self.arq = arq or ArqConfig()
         self.corruption = corruption
         self.recovery = recovery or RecoveryConfig()
+        self.faults = faults
+        self.resume = resume
+        self.watchdog = watchdog
+        self._link_params: dict = {}
+        self._sim_links: dict = {}
         # The DES paces packets off the model's rate/idle parameters so the
         # two engines share one ground truth.
         self._link = dc_replace(
@@ -107,13 +124,126 @@ class DesSession:
             self.recovery = recovery
         return self
 
+    def inject_faults(
+        self,
+        faults: Optional[FaultTimeline],
+        resume: Optional[ResumeConfig] = None,
+    ) -> "DesSession":
+        """Install (or clear) a fault timeline on this session."""
+        self.faults = faults
+        if resume is not None:
+            self.resume = resume
+        return self
+
     # -- power helpers ---------------------------------------------------------
 
     @property
     def _recv_power_w(self) -> float:
-        p = self.model.params
+        return self._recv_power_for(self.model.params)
+
+    @staticmethod
+    def _recv_power_for(p: ModelParams) -> float:
         active_s_per_mb = (1.0 - p.idle_fraction) / p.rate_mb_per_s
         return p.m_j_per_mb / active_s_per_mb
+
+    # -- fault-timeline machinery -------------------------------------------------
+
+    @property
+    def _faults_active(self) -> bool:
+        """Is a non-trivial fault timeline installed?  (A trivial one
+        must leave the replay bit-identical to the seed baseline.)"""
+        return self.faults is not None and self.faults.has_events
+
+    def _params_for(self, link: LinkConfig) -> ModelParams:
+        """Per-rung model parameters; the base link keeps the session's."""
+        if link.name == self.model.link.name:
+            return self.model.params
+        cached = self._link_params.get(link.name)
+        if cached is None:
+            cached = ModelParams.for_link(link, self.model.device)
+            self._link_params[link.name] = cached
+        return cached
+
+    def _sim_link_for(self, link: LinkConfig) -> LinkConfig:
+        """Packet-pacing link for one rung, derived like ``self._link``."""
+        if link.name == self.model.link.name:
+            return self._link
+        cached = self._sim_links.get(link.name)
+        if cached is None:
+            p = self._params_for(link)
+            cached = dc_replace(
+                link,
+                effective_rate_bps=p.rate_mb_per_s * units.BYTES_PER_MB,
+                idle_fraction=p.idle_fraction,
+                power_save=False,
+            )
+            self._sim_links[link.name] = cached
+        return cached
+
+    def _require_no_faults(self, scenario: str) -> None:
+        if self._faults_active:
+            raise ModelError(
+                f"fault timelines are not modelled for {scenario} sessions; "
+                "clear the timeline or use a download scenario"
+            )
+
+    def _result(self, *args, **kwargs) -> SessionResult:
+        """Build the result, checking watchdog deadlines on the way out."""
+        return SessionResult.from_timeline(
+            *args, watchdog=self.watchdog, **kwargs
+        )
+
+    def _fault_items(self, transfer_bytes: int):
+        """The plan as integer-byte replay items.
+
+        Delivery segments become ``("deliver", step, n_bytes)`` with the
+        float byte split rounded through separate cumulative counters
+        for new and re-fetched bytes, so unique payload bytes sum to
+        exactly ``transfer_bytes`` no matter how many segments the
+        timeline cut the transfer into.
+        """
+        plan = plan_transfer(
+            transfer_bytes, self.faults, self.model.link, self.resume
+        )
+        items = []
+        cum_new = cum_re = 0.0
+        prev_new = prev_re = 0
+        for step in plan.steps:
+            if isinstance(step, DeliverySegment):
+                if step.refetch:
+                    cum_re += step.n_bytes
+                    nxt = int(round(cum_re))
+                    n, prev_re = nxt - prev_re, nxt
+                else:
+                    cum_new += step.n_bytes
+                    nxt = int(round(cum_new))
+                    n, prev_new = nxt - prev_new, nxt
+                if n > 0:
+                    items.append(("deliver", step, n))
+            else:
+                items.append(("dead", step, 0))
+        return plan, items
+
+    def _charge_dead(self, tl: PowerTimeline, step) -> float:
+        """Charge one no-delivery interval; returns its wall time.
+
+        Mirrors the analytic engine: outages draw the device idle floor,
+        reassociation is active radio work plus a fresh startup cost,
+        stalls and resume handshakes idle at the gap power in force.
+        """
+        p = self._params_for(step.link or self.model.link)
+        if step.kind == "outage":
+            tl.add(step.duration_s, self.model.params.idle_power_w, "outage")
+        elif step.kind == "reassoc":
+            tl.add(step.duration_s, self._recv_power_for(p), "reassoc")
+            tl.add_energy(self.model.params.cs_j, "reassoc")
+        elif step.kind == "stall":
+            tl.add(step.duration_s, p.gap_power_w, "stall")
+        else:  # resume handshake
+            tl.add(step.duration_s, p.gap_power_w, "resume")
+            if self.resume is not None and self.resume.handshake_j > 0:
+                tl.add_energy(self.resume.handshake_j, "resume")
+        return step.duration_s
 
     # -- integrity and recovery -------------------------------------------------
 
@@ -231,7 +361,7 @@ class DesSession:
         """Packet-level replay of a plain download (Equation 1)."""
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
-        stats = self._simulate(
+        stats, fstats = self._simulate(
             tl,
             transfer_bytes=raw_bytes,
             block_thresholds=[],
@@ -240,8 +370,9 @@ class DesSession:
             tail_work_s=0.0,
             decompress_power_w=self.model.params.decompress_power_w,
         )
-        return SessionResult.from_timeline(
-            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
+        return self._result(
+            Scenario.RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats,
+            fault_stats=fstats,
         )
 
     def precompressed(
@@ -261,7 +392,7 @@ class DesSession:
         tl.add_energy(p.cs_j, "startup")
         pd = p.decompress_sleep_power_w if radio_power_save else p.decompress_power_w
         if interleave:
-            stats = self._simulate(
+            stats, fstats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=thresholds,
@@ -272,7 +403,7 @@ class DesSession:
             )
             scenario = Scenario.INTERLEAVED
         else:
-            stats = self._simulate(
+            stats, fstats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=[],
@@ -285,9 +416,9 @@ class DesSession:
                 Scenario.SEQUENTIAL_SLEEP if radio_power_save else Scenario.SEQUENTIAL
             )
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             scenario, raw_bytes, compressed_bytes, codec, tl,
-            link_stats=stats, recovery_stats=rstats,
+            link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
         )
 
     def adaptive(self, result: AdaptiveResult, codec: str = "gzip") -> SessionResult:
@@ -312,7 +443,7 @@ class DesSession:
                 works.append(0.0)
         tl = PowerTimeline()
         tl.add_energy(p.cs_j, "startup")
-        stats = self._simulate(
+        stats, fstats = self._simulate(
             tl,
             transfer_bytes=result.compressed_size,
             block_thresholds=thresholds,
@@ -322,9 +453,9 @@ class DesSession:
             decompress_power_w=p.decompress_power_w,
         )
         rstats = self._apply_corruption(tl, result.compressed_size, result.raw_size)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.ADAPTIVE, result.raw_size, result.compressed_size, codec, tl,
-            link_stats=stats, recovery_stats=rstats,
+            link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
         )
 
     def ondemand(
@@ -343,7 +474,7 @@ class DesSession:
         if not overlap:
             t_comp = proxy.compress_time_s(codec, raw_bytes, compressed_bytes)
             tl.add(t_comp, self.model.device.idle_power_w, "wait-compress")
-            stats = self._simulate(
+            stats, fstats = self._simulate(
                 tl,
                 transfer_bytes=compressed_bytes,
                 block_thresholds=[],
@@ -355,11 +486,12 @@ class DesSession:
                 decompress_power_w=p.decompress_power_w,
             )
             rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-            return SessionResult.from_timeline(
+            return self._result(
                 Scenario.ONDEMAND_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
-                tl, link_stats=stats, recovery_stats=rstats,
+                tl, link_stats=stats, recovery_stats=rstats, fault_stats=fstats,
             )
 
+        self._require_no_faults("overlapped on-demand")
         if self.loss is not None:
             raise ModelError(
                 "the overlapped on-demand replay does not model loss; "
@@ -369,7 +501,7 @@ class DesSession:
         timing = pipeline.schedule(raw_bytes, compressed_bytes, codec)
         self._simulate_arrivals(tl, timing, codec)
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.ONDEMAND_OVERLAPPED, raw_bytes, compressed_bytes, codec, tl,
             recovery_stats=rstats,
         )
@@ -378,12 +510,13 @@ class DesSession:
 
     def upload_raw(self, raw_bytes: int) -> SessionResult:
         """Packet-level replay of a plain upload."""
+        self._require_no_faults("upload")
         tl = PowerTimeline()
         tl.add_energy(self.model.params.cs_j, "startup")
         p = self.model.params
         schedule = self.packetizer.schedule(raw_bytes, self._link)
         stats = self._replay_send(tl, schedule)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.UPLOAD_RAW, raw_bytes, raw_bytes, None, tl, link_stats=stats
         )
 
@@ -417,6 +550,7 @@ class DesSession:
         block is compressed whenever the link is starved, otherwise send
         a ready block and spend its gaps compressing later blocks.
         """
+        self._require_no_faults("upload")
         p = self.model.params
         cost = self.model.cpu.compress_cost(codec)
         tl = PowerTimeline()
@@ -441,7 +575,7 @@ class DesSession:
             schedule = self.packetizer.schedule(compressed_bytes, self._link)
             stats = self._replay_send(tl, schedule)
             rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-            return SessionResult.from_timeline(
+            return self._result(
                 Scenario.UPLOAD_SEQUENTIAL, raw_bytes, compressed_bytes, codec,
                 tl, link_stats=stats, recovery_stats=rstats,
             )
@@ -488,7 +622,7 @@ class DesSession:
             if available > 1e-12:
                 tl.add(available, p.gap_power_w, "idle")
         rstats = self._apply_corruption(tl, compressed_bytes, raw_bytes)
-        return SessionResult.from_timeline(
+        return self._result(
             Scenario.UPLOAD_INTERLEAVED, raw_bytes, compressed_bytes, codec, tl,
             recovery_stats=rstats,
         )
@@ -527,14 +661,27 @@ class DesSession:
         interleave: bool,
         tail_work_s: float,
         decompress_power_w: float,
-    ) -> Optional[LinkStats]:
+    ) -> Tuple[Optional[LinkStats], Optional[FaultStats]]:
         """Replay packet arrivals; fill gaps with ledger work if interleaving.
 
         With a loss model configured, each packet's failed attempts are
         replayed first: the radio receives the doomed copy at full power,
         then idles through the ARQ timeout.  The block ledger only
-        advances on *delivered* payload bytes.
+        advances on *delivered* payload bytes.  With a fault timeline
+        installed, the replay is segmented instead
+        (:meth:`_simulate_faulty`).
         """
+        if self._faults_active:
+            if self.loss is not None:
+                raise ModelError(
+                    "the fault-timeline replay does not model loss; "
+                    "use the analytic engine for lossy faulty sessions"
+                )
+            fstats = self._simulate_faulty(
+                tl, transfer_bytes, block_thresholds, block_work,
+                interleave, tail_work_s, decompress_power_w,
+            )
+            return None, fstats
         p = self.model.params
         sim = Simulator()
         ledger = _WorkLedger()
@@ -587,7 +734,81 @@ class DesSession:
         leftover = ledger.pending_s + tail_work_s
         if leftover > 0:
             tl.add(leftover, decompress_power_w, "decompress")
-        return lossy.stats if lossy is not None else None
+        return (lossy.stats if lossy is not None else None), None
+
+    def _simulate_faulty(
+        self,
+        tl: PowerTimeline,
+        transfer_bytes: int,
+        block_thresholds: List[int],
+        block_work: List[float],
+        interleave: bool,
+        tail_work_s: float,
+        decompress_power_w: float,
+    ) -> FaultStats:
+        """Segmented replay: packets paced per rung, dead time injected.
+
+        Each delivery segment paces its packets off that rung's derived
+        link (rate and idle fraction) and charges them at that rung's
+        receive/gap power.  Re-fetched segments re-deliver bytes the
+        ledger already counted, so they advance no block thresholds and
+        their gaps host no decompression (tagged ``refetch``); dead
+        segments (outage, reassoc, stall, resume) likewise host no work
+        — matching the analytic engine's conservative reading.
+        """
+        sim = Simulator()
+        ledger = _WorkLedger()
+        plan, items = self._fault_items(transfer_bytes)
+        next_block = 0
+        received = 0
+
+        def receiver():
+            nonlocal next_block, received
+            for kind, step, n_bytes in items:
+                if kind == "dead":
+                    yield self._charge_dead(tl, step)
+                    continue
+                p_seg = self._params_for(step.link)
+                recv_power = self._recv_power_for(p_seg)
+                schedule = self.packetizer.schedule(
+                    n_bytes, self._sim_link_for(step.link)
+                )
+                for pkt in schedule:
+                    tag = "refetch" if step.refetch else "recv"
+                    tl.add(pkt.active_s, recv_power, tag)
+                    yield pkt.active_s
+                    if not step.refetch:
+                        received += pkt.payload_bytes
+                        while (
+                            next_block < len(block_thresholds)
+                            and received >= block_thresholds[next_block]
+                        ):
+                            ledger.add(block_work[next_block])
+                            next_block += 1
+                    gap = pkt.gap_s
+                    if step.refetch:
+                        tl.add(gap, p_seg.gap_power_w, "refetch")
+                    elif interleave:
+                        used = ledger.take(gap)
+                        if used > 0:
+                            tl.add(used, decompress_power_w, "decompress")
+                        if gap - used > 0:
+                            tl.add(gap - used, p_seg.gap_power_w, "idle")
+                    else:
+                        tl.add(gap, p_seg.gap_power_w, "idle")
+                    yield gap
+            # Blocks that complete exactly at the end (rounding) still count.
+            while next_block < len(block_thresholds):
+                ledger.add(block_work[next_block])
+                next_block += 1
+
+        proc = sim.spawn(receiver(), name="receiver")
+        sim.run_until_complete(proc)
+
+        leftover = ledger.pending_s + tail_work_s
+        if leftover > 0:
+            tl.add(leftover, decompress_power_w, "decompress")
+        return plan.stats
 
     def _simulate_arrivals(self, tl: PowerTimeline, timing, codec: str) -> None:
         """Replay an on-demand pipeline: stalls, transmissions, gap work."""

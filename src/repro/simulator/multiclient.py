@@ -153,12 +153,18 @@ class MultiClientSimulation:
         arq=None,
         corruption=None,
         recovery=None,
+        faults=None,
+        resume=None,
+        watchdog=None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
         self.arq = arq
         self.corruption = corruption
         self.recovery = recovery
+        self.faults = faults
+        self.resume = resume
+        self.watchdog = watchdog
         self.advisor = CompressionAdvisor(model=self.model)
         self.link_slots = link_slots
         self.proxy_slots = proxy_slots
@@ -171,6 +177,9 @@ class MultiClientSimulation:
             arq=self.arq,
             corruption=self.corruption,
             recovery=self.recovery,
+            faults=self.faults,
+            resume=self.resume,
+            watchdog=self.watchdog,
         )
 
     def inject_loss(self, loss, arq=None) -> None:
@@ -197,6 +206,24 @@ class MultiClientSimulation:
         self.corruption = corruption
         if recovery is not None:
             self.recovery = recovery
+        self._rebuild_session()
+
+    def inject_faults(self, faults, resume=None, watchdog=None) -> None:
+        """Fault-injection hook: run subsequent downloads on a fault timeline.
+
+        ``faults`` is a :class:`~repro.network.timeline.FaultTimeline`
+        (rate steps, outages, stalls); ``resume`` optionally installs a
+        checkpoint/resume policy and ``watchdog`` per-phase deadlines.
+        Every client shares the same timeline — the events model the
+        access point, not a single station.  Loss/corruption settings
+        already installed are preserved where the engine supports the
+        combination.
+        """
+        self.faults = faults
+        if resume is not None:
+            self.resume = resume
+        if watchdog is not None:
+            self.watchdog = watchdog
         self._rebuild_session()
 
     # -- strategy resolution -----------------------------------------------------

@@ -7,9 +7,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.recovery import RecoveryStats
+from repro.core.watchdog import WatchdogConfig
 from repro.device.battery import EnergyReport
 from repro.device.timeline import PowerTimeline
 from repro.network.arq import LinkStats
+from repro.network.timeline import FaultStats
 
 
 class Scenario(enum.Enum):
@@ -56,6 +58,9 @@ class SessionResult:
     #: Integrity-recovery accounting when the session ran over a
     #: corrupting channel (None when the channel delivers clean bytes).
     recovery_stats: Optional[RecoveryStats] = None
+    #: Fault-timeline accounting when the session ran under mid-session
+    #: link events (None on a static, always-up link).
+    fault_stats: Optional[FaultStats] = None
 
     @classmethod
     def from_timeline(
@@ -67,7 +72,13 @@ class SessionResult:
         timeline: PowerTimeline,
         link_stats: Optional[LinkStats] = None,
         recovery_stats: Optional[RecoveryStats] = None,
+        fault_stats: Optional[FaultStats] = None,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> "SessionResult":
+        if watchdog is not None:
+            # Deadlines run against the simulated clock: a session that
+            # overran its phase budget raises instead of returning.
+            watchdog.check_timeline(timeline)
         return cls(
             scenario=scenario,
             raw_bytes=raw_bytes,
@@ -78,6 +89,7 @@ class SessionResult:
             energy_j=timeline.total_energy_j,
             link_stats=link_stats,
             recovery_stats=recovery_stats,
+            fault_stats=fault_stats,
         )
 
     @property
@@ -96,6 +108,23 @@ class SessionResult:
         """Joules the integrity machinery adds: re-fetches plus CRC time."""
         by_tag = self.timeline.energy_by_tag()
         return by_tag.get("refetch", 0.0) + by_tag.get("verify", 0.0)
+
+    @property
+    def fault_overhead_j(self) -> float:
+        """Joules the fault timeline adds: dead time plus re-fetched tails.
+
+        Covers outage idling, reassociation, resume handshakes and every
+        ``refetch`` segment — the recovery-energy metric the
+        restart-vs-resume comparison ranks policies by.
+        """
+        return self.timeline.energy_for(
+            "outage", "reassoc", "resume", "refetch"
+        )
+
+    @property
+    def fault_dead_time_s(self) -> float:
+        """Wall time the fault timeline stole from the transfer."""
+        return self.timeline.time_for("outage", "reassoc", "resume", "stall")
 
     @property
     def goodput_bps(self) -> float:
@@ -135,7 +164,9 @@ class DownloadSession:
 
     ``loss``/``arq`` switch on the lossy-link extension in either
     engine; ``corruption``/``recovery`` switch on the integrity
-    extension.  Left at None the sessions match the paper's model.
+    extension; ``faults``/``resume``/``watchdog`` switch on the
+    fault-timeline extension.  Left at None the sessions match the
+    paper's model.
     """
 
     def __init__(
@@ -146,6 +177,9 @@ class DownloadSession:
         arq=None,
         corruption=None,
         recovery=None,
+        faults=None,
+        resume=None,
+        watchdog=None,
     ) -> None:
         from repro.core.energy_model import EnergyModel
 
@@ -156,6 +190,7 @@ class DownloadSession:
             self._impl = AnalyticSession(
                 self.model, loss=loss, arq=arq,
                 corruption=corruption, recovery=recovery,
+                faults=faults, resume=resume, watchdog=watchdog,
             )
         elif engine == "des":
             from repro.simulator.des import DesSession
@@ -163,6 +198,7 @@ class DownloadSession:
             self._impl = DesSession(
                 self.model, loss=loss, arq=arq,
                 corruption=corruption, recovery=recovery,
+                faults=faults, resume=resume, watchdog=watchdog,
             )
         else:
             raise ValueError(f"unknown engine {engine!r}")

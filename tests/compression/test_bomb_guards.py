@@ -1,0 +1,173 @@
+"""Decompression-bomb guards: resource limits on every decode path."""
+
+import bz2 as _bz2
+import zlib as _zlib
+
+import pytest
+
+from repro.compression import (
+    DEFAULT_LIMITS,
+    UNLIMITED,
+    ResourceLimits,
+    StreamCompressor,
+    StreamDecompressor,
+    get_codec,
+)
+from repro.errors import CodecError, ResourceLimitError
+
+#: 64 MiB of zeros squeezed into a ~65 KB payload — the classic bomb.
+BOMB_RAW_LEN = 64 * 1024 * 1024
+
+
+def zlib_bomb():
+    return _zlib.compress(b"\x00" * BOMB_RAW_LEN, 9)
+
+
+def bz2_bomb():
+    return _bz2.compress(b"\x00" * BOMB_RAW_LEN, 9)
+
+
+class TestResourceLimits:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_LIMITS.max_output_bytes == 1 << 28
+        assert DEFAULT_LIMITS.max_expansion_ratio == 4096.0
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(CodecError):
+            ResourceLimits(max_output_bytes=0)
+        with pytest.raises(CodecError):
+            ResourceLimits(max_expansion_ratio=-1.0)
+        with pytest.raises(CodecError):
+            ResourceLimits(max_expansion_ratio=float("inf"))
+        with pytest.raises(CodecError):
+            ResourceLimits(expansion_floor_bytes=-1)
+
+    def test_output_cap_takes_the_tighter_bound(self):
+        limits = ResourceLimits(
+            max_output_bytes=1000, max_expansion_ratio=10.0,
+            expansion_floor_bytes=0,
+        )
+        # Ratio cap binds for tiny payloads, absolute cap for large ones.
+        assert limits.output_cap(10) == 100
+        assert limits.output_cap(10_000) == 1000
+
+    def test_expansion_floor_protects_small_payloads(self):
+        limits = ResourceLimits(
+            max_output_bytes=None, max_expansion_ratio=2.0,
+            expansion_floor_bytes=4096,
+        )
+        # A 10-byte payload may still decode to 4 KB (headers dominate).
+        assert limits.output_cap(10) == 4096
+
+    def test_unlimited_disables_every_cap(self):
+        assert UNLIMITED.output_cap(1) is None
+
+    def test_check_output_raises_typed_error(self):
+        with pytest.raises(ResourceLimitError) as exc_info:
+            ResourceLimits(max_output_bytes=100).check_output(101, 10, "test")
+        assert "decompression bomb" in str(exc_info.value)
+
+    def test_resource_limit_error_is_codec_error(self):
+        assert issubclass(ResourceLimitError, CodecError)
+
+
+class TestBombDetection:
+    @pytest.mark.parametrize("name,bomb", [
+        ("zlib", zlib_bomb),
+        ("gzip", lambda: None),  # replaced below; gzip wraps zlib
+        ("bz2", bz2_bomb),
+        ("bzip2", lambda: None),
+    ])
+    def test_default_limits_stop_the_bomb(self, name, bomb):
+        payload = {
+            "zlib": zlib_bomb, "gzip": zlib_bomb,
+            "bz2": bz2_bomb, "bzip2": bz2_bomb,
+        }[name]()
+        codec = get_codec(name)
+        if name in ("gzip", "bzip2"):
+            # Pure-python wrappers share the engines' formats only at the
+            # container level; feed them their own bombed container.
+            payload = codec.compress(b"\x00" * (1 << 22))
+            codec = codec.with_limits(
+                ResourceLimits(max_output_bytes=1 << 20)
+            )
+            with pytest.raises(ResourceLimitError):
+                codec.decompress(payload)
+            return
+        with pytest.raises(ResourceLimitError):
+            codec.with_limits(
+                ResourceLimits(max_output_bytes=1 << 20)
+            ).decompress(payload)
+
+    def test_zlib_bomb_dies_without_materializing(self):
+        cap = 1 << 20
+        codec = get_codec("zlib").with_limits(
+            ResourceLimits(max_output_bytes=cap, max_expansion_ratio=None)
+        )
+        with pytest.raises(ResourceLimitError):
+            codec.decompress(zlib_bomb())
+
+    def test_bz2_bomb_dies_without_materializing(self):
+        cap = 1 << 20
+        codec = get_codec("bz2").with_limits(
+            ResourceLimits(max_output_bytes=cap, max_expansion_ratio=None)
+        )
+        with pytest.raises(ResourceLimitError):
+            codec.decompress(bz2_bomb())
+
+    def test_expansion_ratio_catches_modest_caps(self):
+        codec = get_codec("zlib").with_limits(
+            ResourceLimits(
+                max_output_bytes=None, max_expansion_ratio=10.0,
+                expansion_floor_bytes=1024,
+            )
+        )
+        with pytest.raises(ResourceLimitError):
+            codec.decompress(zlib_bomb())
+
+    def test_unlimited_opt_out_decodes_fully(self):
+        payload = _zlib.compress(b"\x00" * (1 << 22), 9)
+        out = get_codec("zlib").with_limits(UNLIMITED).decompress(payload)
+        assert len(out) == 1 << 22
+
+    def test_legitimate_data_unaffected(self):
+        data = bytes(range(256)) * 512
+        for name in ("zlib", "bz2", "gzip", "bzip2", "compress"):
+            codec = get_codec(name)
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_bz2_concatenated_streams_still_decode(self):
+        a = _bz2.compress(b"hello ")
+        b = _bz2.compress(b"world")
+        assert get_codec("bz2").decompress(a + b) == b"hello world"
+
+    def test_with_limits_validates_type(self):
+        with pytest.raises(CodecError):
+            get_codec("zlib").with_limits("not limits")
+
+
+class TestStreamingGuards:
+    def test_lying_frame_header_rejected_before_decode(self):
+        codec = get_codec("gzip")
+        comp = StreamCompressor(codec, block_size=4096)
+        frames = comp.write(b"x" * 4096) + comp.flush()
+        decomp = StreamDecompressor(
+            codec.with_limits(ResourceLimits(max_output_bytes=100))
+        )
+        with pytest.raises(ResourceLimitError):
+            decomp.feed(frames)
+
+    def test_stream_compressor_refuses_undecodable_blocks(self):
+        codec = get_codec("gzip").with_limits(
+            ResourceLimits(max_output_bytes=1024)
+        )
+        with pytest.raises(ResourceLimitError):
+            StreamCompressor(codec, block_size=4096)
+
+    def test_honest_stream_roundtrips(self):
+        codec = get_codec("gzip")
+        comp = StreamCompressor(codec, block_size=4096)
+        data = bytes(range(256)) * 64
+        frames = comp.write(data) + comp.flush()
+        out = StreamDecompressor(codec).feed(frames)
+        assert out == data

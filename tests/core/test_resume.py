@@ -1,0 +1,77 @@
+"""Checkpoint/resume policy and the restart-vs-resume comparison."""
+
+import pytest
+
+from repro import units
+from repro.core.resume import ResumeConfig, compare_restart_resume
+from repro.errors import ModelError
+from tests.conftest import mb
+
+
+class TestResumeConfig:
+    def test_defaults_match_paper_block(self):
+        assert ResumeConfig().checkpoint_bytes == units.BLOCK_SIZE_BYTES
+
+    def test_invalid_checkpoint_rejected(self):
+        for bad in (0, -1, 1.5):
+            with pytest.raises(ModelError):
+                ResumeConfig(checkpoint_bytes=bad)
+
+    def test_invalid_handshake_rejected(self):
+        with pytest.raises(ModelError):
+            ResumeConfig(handshake_s=-0.1)
+        with pytest.raises(ModelError):
+            ResumeConfig(handshake_s=float("nan"))
+        with pytest.raises(ModelError):
+            ResumeConfig(handshake_j=float("inf"))
+
+
+class TestRestartPoint:
+    def test_floors_to_last_checkpoint(self):
+        cfg = ResumeConfig(checkpoint_bytes=1000)
+        assert cfg.restart_point(0) == 0
+        assert cfg.restart_point(999) == 0
+        assert cfg.restart_point(1000) == 1000
+        assert cfg.restart_point(2500) == 2000
+
+    def test_never_exceeds_progress(self):
+        cfg = ResumeConfig(checkpoint_bytes=4096)
+        for progress in (0, 1, 4095, 4096, 10_000, 1_000_000):
+            assert cfg.restart_point(progress) <= progress
+
+    def test_negative_progress_rejected(self):
+        with pytest.raises(ModelError):
+            ResumeConfig().restart_point(-1)
+
+
+class TestCompareRestartResume:
+    def test_resume_wins_at_90_percent(self):
+        cmp = compare_restart_resume(mb(4), outage_at_fraction=0.9)
+        assert cmp.resume_wins
+        assert cmp.saving_j > 0
+        assert cmp.resume_result.fault_overhead_j < (
+            cmp.restart_result.fault_overhead_j
+        )
+
+    def test_saving_grows_with_fraction(self):
+        early = compare_restart_resume(mb(4), outage_at_fraction=0.3)
+        late = compare_restart_resume(mb(4), outage_at_fraction=0.9)
+        assert late.saving_j > early.saving_j
+
+    def test_compressed_transfer_also_benefits(self):
+        cmp = compare_restart_resume(
+            mb(4), compressed_bytes=int(mb(4) / 3.8), outage_at_fraction=0.9
+        )
+        assert cmp.resume_wins
+
+    def test_invalid_fraction_rejected(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ModelError):
+                compare_restart_resume(mb(1), outage_at_fraction=bad)
+
+    def test_both_results_finish_the_transfer(self):
+        cmp = compare_restart_resume(mb(4), outage_at_fraction=0.5)
+        # Same deliverable, different recovery cost: restart is never
+        # faster or cheaper than resume for the same outage.
+        assert cmp.restart_result.time_s >= cmp.resume_result.time_s
+        assert cmp.restart_result.energy_j >= cmp.resume_result.energy_j

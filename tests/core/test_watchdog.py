@@ -1,0 +1,158 @@
+"""Session watchdog: deadlines, trips and degradation to raw."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.watchdog import (
+    SessionWatchdog,
+    WatchdogConfig,
+    run_guarded,
+)
+from repro.device.timeline import PowerTimeline
+from repro.errors import ModelError, SimulationError, WatchdogTimeout
+from repro.network.timeline import FaultTimeline, Outage
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+FACTOR = 3.8
+
+
+class TestConfig:
+    def test_default_is_disarmed(self):
+        assert not WatchdogConfig().armed
+
+    def test_uniform_arms_every_phase(self):
+        cfg = WatchdogConfig.uniform(5.0)
+        assert cfg.armed
+        for phase in ("receive", "decompress", "recovery"):
+            assert cfg.deadline_for(phase) == 5.0
+
+    def test_invalid_deadlines_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ModelError):
+                WatchdogConfig(receive_s=bad)
+
+    def test_invalid_max_trips_rejected(self):
+        with pytest.raises(ModelError):
+            WatchdogConfig(max_trips=0)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ModelError):
+            WatchdogConfig.uniform(1.0).deadline_for("nonsense")
+
+
+class TestCheck:
+    def test_within_deadline_is_silent(self):
+        WatchdogConfig(receive_s=2.0).check("receive", 1.9)
+
+    def test_overrun_raises_typed_error(self):
+        with pytest.raises(WatchdogTimeout) as exc_info:
+            WatchdogConfig(receive_s=2.0).check("receive", 2.5)
+        err = exc_info.value
+        assert err.phase == "receive"
+        assert err.elapsed_s == pytest.approx(2.5)
+        assert err.deadline_s == pytest.approx(2.0)
+        assert isinstance(err, SimulationError)
+
+    def test_disarmed_phase_never_trips(self):
+        WatchdogConfig(receive_s=2.0).check("decompress", 1e9)
+
+    def test_check_timeline_sums_phase_tags(self):
+        tl = PowerTimeline()
+        tl.add(1.5, 1.0, "recv")
+        tl.add(1.0, 0.5, "idle")
+        WatchdogConfig(receive_s=3.0).check_timeline(tl)
+        with pytest.raises(WatchdogTimeout):
+            WatchdogConfig(receive_s=2.0).check_timeline(tl)
+
+    def test_decompress_tags_separate_from_receive(self):
+        tl = PowerTimeline()
+        tl.add(10.0, 1.0, "decompress")
+        # Receive deadline ignores CPU time...
+        WatchdogConfig(receive_s=1.0).check_timeline(tl)
+        # ...but the decompress deadline counts it.
+        with pytest.raises(WatchdogTimeout):
+            WatchdogConfig(decompress_s=5.0).check_timeline(tl)
+
+
+class TestSessionTrips:
+    def test_tight_deadline_trips_a_real_session(self):
+        model = EnergyModel()
+        session = AnalyticSession(model, watchdog=WatchdogConfig.uniform(0.1))
+        with pytest.raises(WatchdogTimeout):
+            session.precompressed(mb(4), int(mb(4) / FACTOR), "gzip")
+
+    def test_loose_deadline_passes_both_engines(self):
+        for engine in (AnalyticSession, DesSession):
+            session = engine(
+                EnergyModel(), watchdog=WatchdogConfig.uniform(60.0)
+            )
+            result = session.precompressed(mb(4), int(mb(4) / FACTOR), "gzip")
+            assert result.energy_j > 0
+
+    def test_recovery_deadline_trips_on_fault_storm(self):
+        faults = FaultTimeline.scripted(
+            Outage(0.3, 2.0), Outage(1.0, 2.0), Outage(1.7, 2.0)
+        )
+        session = AnalyticSession(
+            EnergyModel(),
+            faults=faults,
+            watchdog=WatchdogConfig(recovery_s=1.0),
+        )
+        with pytest.raises(WatchdogTimeout):
+            session.precompressed(mb(4), int(mb(4) / FACTOR), "gzip")
+
+
+class TestRunGuarded:
+    def test_no_trip_returns_compressed_result(self):
+        session = AnalyticSession(EnergyModel())
+        outcome = run_guarded(
+            session, mb(4), int(mb(4) / FACTOR),
+            config=WatchdogConfig.uniform(60.0),
+        )
+        assert not outcome.degraded_to_raw
+        assert outcome.trips == 0
+
+    def test_degrades_to_raw_when_decompress_trips(self):
+        # Decompress deadline the compressed path cannot meet; receive
+        # deadline generous enough for the raw fallback.
+        session = AnalyticSession(EnergyModel())
+        outcome = run_guarded(
+            session, mb(4), int(mb(4) / FACTOR),
+            config=WatchdogConfig(decompress_s=1e-6, max_trips=1),
+        )
+        assert outcome.degraded_to_raw
+        assert outcome.trips == 1
+        assert all(t.phase == "decompress" for t in outcome.timeouts)
+        # The fallback really is the raw transfer.
+        raw = AnalyticSession(EnergyModel()).raw(mb(4))
+        assert outcome.result.energy_j == pytest.approx(raw.energy_j)
+
+    def test_hopeless_deadline_propagates(self):
+        # Even the raw transfer cannot finish in 1 ms: nothing simpler
+        # left to degrade to, so the timeout escapes.
+        session = AnalyticSession(EnergyModel())
+        with pytest.raises(WatchdogTimeout):
+            run_guarded(
+                session, mb(4), int(mb(4) / FACTOR),
+                config=WatchdogConfig.uniform(0.001, max_trips=1),
+            )
+
+    def test_restores_previous_watchdog(self):
+        session = AnalyticSession(EnergyModel())
+        run_guarded(
+            session, mb(1), int(mb(1) / FACTOR),
+            config=WatchdogConfig.uniform(60.0),
+        )
+        assert session.watchdog is None
+
+
+class TestBookkeeping:
+    def test_exhaustion_counts_trips(self):
+        dog = SessionWatchdog(WatchdogConfig(max_trips=2))
+        assert not dog.exhausted
+        dog.record(WatchdogTimeout("receive", 2.0, 1.0))
+        assert dog.trips == 1 and not dog.exhausted
+        dog.record(WatchdogTimeout("receive", 2.0, 1.0))
+        assert dog.exhausted

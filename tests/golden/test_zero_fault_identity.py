@@ -1,0 +1,130 @@
+"""Acceptance gate: a fault-free timeline must equal the seed baseline.
+
+The fault-timeline subsystem must be invisible when switched off
+(faults=None) *and* when armed but inert: an empty scripted timeline, a
+resume policy with no outage to resume from, a watchdog whose deadlines
+never trip.  All variants must produce byte- and joule-identical results
+— equal segment lists, not merely approximately equal totals.  The
+frozen constants are the seed model's outputs from before the subsystem
+existed (shared with ``test_zero_loss_identity``).
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.resume import ResumeConfig
+from repro.core.watchdog import WatchdogConfig
+from repro.network.timeline import FaultTimeline
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+#: Seed-baseline energies/times (11 Mb/s model, 4 MB file, factor 3.8).
+SEED_RAW_ENERGY_J = 14.089333333333336
+SEED_RAW_TIME_S = 6.666666666666667
+SEED_INTERLEAVED_ENERGY_J = 4.9934485249201455
+SEED_INTERLEAVED_TIME_S = 1.8925611661275228
+SEED_SEQUENTIAL_ENERGY_J = 6.04636060479482
+SEED_SEQUENTIAL_TIME_S = 2.5718592821757
+
+S = mb(4)
+SC = int(mb(4) / 3.8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def inert_variants(model, engine_cls):
+    """The configurations that must be indistinguishable from the seed."""
+    return [
+        engine_cls(model),
+        engine_cls(model, faults=FaultTimeline.scripted()),
+        engine_cls(
+            model,
+            faults=FaultTimeline.scripted(),
+            resume=ResumeConfig(),
+            watchdog=WatchdogConfig.uniform(3600.0),
+        ),
+    ]
+
+
+def assert_identical(results):
+    """Byte- and joule-identical: equal segment lists, not approx."""
+    ref = results[0]
+    for other in results[1:]:
+        assert other.energy_j == ref.energy_j
+        assert other.time_s == ref.time_s
+        assert other.transfer_bytes == ref.transfer_bytes
+        assert [
+            (s.duration_s, s.power_w, s.tag, s.energy_j)
+            for s in other.timeline
+        ] == [
+            (s.duration_s, s.power_w, s.tag, s.energy_j)
+            for s in ref.timeline
+        ]
+
+
+class TestAnalyticIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, AnalyticSession)]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_RAW_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(SEED_RAW_TIME_S, rel=1e-12)
+
+    def test_interleaved(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=True)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_INTERLEAVED_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_INTERLEAVED_TIME_S, rel=1e-12
+        )
+
+    def test_sequential(self, model):
+        results = [
+            s.precompressed(S, SC, interleave=False)
+            for s in inert_variants(model, AnalyticSession)
+        ]
+        assert_identical(results)
+        assert results[0].energy_j == pytest.approx(
+            SEED_SEQUENTIAL_ENERGY_J, rel=1e-12
+        )
+        assert results[0].time_s == pytest.approx(
+            SEED_SEQUENTIAL_TIME_S, rel=1e-12
+        )
+
+    def test_no_fault_stats_when_clean(self, model):
+        result = AnalyticSession(model).raw(S)
+        assert result.fault_stats is None
+        assert result.fault_overhead_j == 0.0
+        assert result.fault_dead_time_s == 0.0
+
+
+class TestDesIdentity:
+    def test_raw(self, model):
+        results = [s.raw(S) for s in inert_variants(model, DesSession)]
+        assert_identical(results)
+
+    def test_interleaved(self, model):
+        assert_identical(
+            [
+                s.precompressed(S, SC, interleave=True)
+                for s in inert_variants(model, DesSession)
+            ]
+        )
+
+    def test_sequential(self, model):
+        assert_identical(
+            [
+                s.precompressed(S, SC, interleave=False)
+                for s in inert_variants(model, DesSession)
+            ]
+        )

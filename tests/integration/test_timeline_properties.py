@@ -1,0 +1,116 @@
+"""Fault-timeline properties: conservation, resume bounds, engine sums.
+
+Hypothesis properties over randomly scripted fault timelines:
+
+- the transfer planner conserves bytes — unique (non-refetch) delivery
+  always sums to exactly the requested total, whatever the schedule;
+- resume never re-fetches acknowledged bytes — each outage's refetch is
+  bounded by the checkpoint granularity, and restart's never is;
+- the engines' segment lists are self-consistent — segment energies sum
+  to the reported total, and DES stays within 1 % of the closed form.
+
+``REPRO_FUZZ_EXAMPLES`` scales the example budget (``make chaos`` raises
+it; the default keeps the tier-1 suite fast).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.energy_model import EnergyModel
+from repro.core.resume import ResumeConfig
+from repro.network.timeline import (
+    DeliverySegment,
+    FaultTimeline,
+    Outage,
+    RateStep,
+    Stall,
+    plan_transfer,
+)
+from repro.network.wlan import LADDER_MBPS, LINK_11MBPS
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "20"))
+
+MODEL = EnergyModel()
+
+
+def rate_steps():
+    return st.builds(
+        RateStep,
+        st.floats(0.01, 10.0),
+        st.sampled_from(sorted(LADDER_MBPS)),
+    )
+
+
+def outages():
+    return st.builds(
+        Outage,
+        st.floats(0.01, 10.0),
+        st.floats(0.05, 3.0),
+        st.floats(0.0, 0.5),
+    )
+
+
+def stalls():
+    return st.builds(
+        Stall,
+        st.floats(0.01, 10.0),
+        st.floats(0.05, 1.0),
+    )
+
+
+def timelines():
+    return st.lists(
+        st.one_of(rate_steps(), outages(), stalls()), max_size=6
+    ).map(lambda events: FaultTimeline.scripted(*events))
+
+
+@given(faults=timelines(), total=st.integers(1, mb(4)))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_planner_conserves_bytes(faults, total):
+    plan = plan_transfer(total, faults, LINK_11MBPS, resume=ResumeConfig())
+    unique = sum(
+        s.n_bytes for s in plan.steps
+        if isinstance(s, DeliverySegment) and not s.refetch
+    )
+    assert unique == pytest.approx(total, abs=1e-6)
+
+
+@given(faults=timelines(), total=st.integers(1, mb(4)))
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_resume_never_refetches_acked_bytes(faults, total):
+    resume = ResumeConfig()
+    plan = plan_transfer(total, faults, LINK_11MBPS, resume=resume)
+    # Each outage rolls back at most one checkpoint interval, so the
+    # total refetch is bounded by outages x granularity.
+    assert plan.stats.refetched_bytes <= (
+        plan.stats.outages * resume.checkpoint_bytes
+    )
+
+
+@given(faults=timelines())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_segment_energies_sum_to_total(faults):
+    result = AnalyticSession(
+        MODEL, faults=faults, resume=ResumeConfig()
+    ).precompressed(mb(2), int(mb(2) / 3.8), interleave=True)
+    assert sum(s.energy for s in result.timeline) == pytest.approx(
+        result.energy_j
+    )
+    assert sum(s.duration_s for s in result.timeline) == pytest.approx(
+        result.time_s
+    )
+
+
+@given(faults=timelines())
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+def test_engines_agree_on_random_timelines(faults):
+    resume = ResumeConfig()
+    a = AnalyticSession(MODEL, faults=faults, resume=resume).raw(mb(2))
+    d = DesSession(MODEL, faults=faults, resume=resume).raw(mb(2))
+    assert d.energy_j == pytest.approx(a.energy_j, rel=0.01)
+    assert d.time_s == pytest.approx(a.time_s, rel=0.01)

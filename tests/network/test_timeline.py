@@ -1,0 +1,169 @@
+"""Fault timelines: events, parsing, seeding and the transfer planner."""
+
+import pytest
+
+from repro import units
+from repro.core.resume import ResumeConfig
+from repro.errors import LinkRateError, ModelError
+from repro.network.timeline import (
+    DEFAULT_REASSOC_S,
+    DeadSegment,
+    DeliverySegment,
+    FaultTimeline,
+    Outage,
+    RateStep,
+    Stall,
+    link_at,
+    plan_transfer,
+)
+from repro.network.wlan import LINK_11MBPS, ladder_link
+from tests.conftest import mb
+
+
+class TestEvents:
+    def test_rate_step_resolves_ladder_link(self):
+        step = RateStep(1.0, 2.0)
+        assert step.link.name == ladder_link(2.0).name
+
+    def test_off_ladder_rate_rejected(self):
+        with pytest.raises(LinkRateError):
+            RateStep(1.0, 3.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            RateStep(-0.1, 11.0)
+        with pytest.raises(ModelError):
+            Outage(-1.0, 1.0)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ModelError):
+            Stall(float("nan"), 1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ModelError):
+            Outage(1.0, 0.0)
+        with pytest.raises(ModelError):
+            Stall(1.0, -2.0)
+
+
+class TestTimeline:
+    def test_events_sorted_by_time(self):
+        t = FaultTimeline.scripted(Stall(5.0, 0.1), RateStep(1.0, 2.0))
+        assert [e.at_s for e in t.events] == [1.0, 5.0]
+
+    def test_empty_timeline_has_no_events(self):
+        assert not FaultTimeline.scripted().has_events
+
+    def test_parse_round_trip(self):
+        t = FaultTimeline.parse(
+            rate_schedule="1:2,3:11",
+            outages=["2:1.5:0.4"],
+            stalls=["4:0.2"],
+        )
+        kinds = [type(e).__name__ for e in t.events]
+        assert kinds == ["RateStep", "Outage", "RateStep", "Stall"]
+        outage = t.events[1]
+        assert outage.reassoc_s == 0.4
+
+    def test_parse_default_reassoc(self):
+        t = FaultTimeline.parse(outages=["2:1.5"])
+        assert t.events[0].reassoc_s == DEFAULT_REASSOC_S
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            FaultTimeline.parse(rate_schedule="abc")
+        with pytest.raises(ModelError):
+            FaultTimeline.parse(outages=["1"])
+
+    def test_seeded_is_reproducible(self):
+        a = FaultTimeline.seeded(3, horizon_s=20.0, rate_walk_interval_s=2.0,
+                                 outage_interval_s=6.0)
+        b = FaultTimeline.seeded(3, horizon_s=20.0, rate_walk_interval_s=2.0,
+                                 outage_interval_s=6.0)
+        assert a.events == b.events
+
+    def test_seeded_varies_with_seed(self):
+        a = FaultTimeline.seeded(3, horizon_s=20.0, rate_walk_interval_s=2.0)
+        b = FaultTimeline.seeded(4, horizon_s=20.0, rate_walk_interval_s=2.0)
+        assert a.events != b.events
+
+    def test_seeded_rates_stay_on_ladder(self):
+        t = FaultTimeline.seeded(11, horizon_s=60.0, rate_walk_interval_s=1.0)
+        for e in t.events:
+            if isinstance(e, RateStep):
+                assert e.link is not None  # resolves without LinkRateError
+
+
+class TestPlanTransfer:
+    def _unique(self, plan):
+        return sum(
+            s.n_bytes for s in plan.steps
+            if isinstance(s, DeliverySegment) and not s.refetch
+        )
+
+    def test_trivial_plan_is_one_segment(self):
+        plan = plan_transfer(mb(1), FaultTimeline.scripted(), LINK_11MBPS)
+        assert self._unique(plan) == mb(1)
+        assert plan.stats.outages == 0
+
+    def test_byte_conservation_with_rate_steps(self):
+        t = FaultTimeline.scripted(RateStep(0.5, 2.0), RateStep(2.0, 1.0))
+        plan = plan_transfer(mb(2), t, LINK_11MBPS)
+        assert self._unique(plan) == pytest.approx(mb(2))
+
+    def test_restart_refetches_whole_prefix(self):
+        t = FaultTimeline.scripted(Outage(1.0, 1.0))
+        plan = plan_transfer(mb(4), t, LINK_11MBPS, resume=None)
+        refetched = sum(
+            s.n_bytes for s in plan.steps
+            if isinstance(s, DeliverySegment) and s.refetch
+        )
+        assert refetched == pytest.approx(plan.stats.refetched_bytes)
+        assert refetched > 0
+        # Everything delivered before the outage is re-fetched.
+        assert self._unique(plan) == pytest.approx(mb(4))
+
+    def test_resume_refetches_only_past_checkpoint(self):
+        t = FaultTimeline.scripted(Outage(1.0, 1.0))
+        resume = ResumeConfig()
+        plan = plan_transfer(mb(4), t, LINK_11MBPS, resume=resume)
+        assert plan.stats.refetched_bytes < resume.checkpoint_bytes
+        assert plan.stats.resume_handshakes == 1
+        assert self._unique(plan) == pytest.approx(mb(4))
+
+    def test_resume_beats_restart_on_refetched_bytes(self):
+        t = FaultTimeline.scripted(Outage(2.0, 1.0))
+        restart = plan_transfer(mb(4), t, LINK_11MBPS)
+        resume = plan_transfer(mb(4), t, LINK_11MBPS, resume=ResumeConfig())
+        assert resume.stats.refetched_bytes < restart.stats.refetched_bytes
+
+    def test_dead_segments_account_outage_and_reassoc(self):
+        t = FaultTimeline.scripted(Outage(1.0, 2.0, 0.5))
+        plan = plan_transfer(mb(4), t, LINK_11MBPS)
+        dead = [s for s in plan.steps if isinstance(s, DeadSegment)]
+        kinds = {s.kind for s in dead}
+        assert "outage" in kinds and "reassoc" in kinds
+        assert plan.stats.outage_s == pytest.approx(2.0)
+        assert plan.stats.reassoc_s == pytest.approx(0.5)
+
+    def test_events_after_completion_are_ignored(self):
+        t = FaultTimeline.scripted(Outage(1e6, 1.0))
+        plan = plan_transfer(mb(1), t, LINK_11MBPS)
+        assert plan.stats.outages == 0
+
+
+class TestLinkAt:
+    def test_maps_byte_offsets_to_rungs(self):
+        t = FaultTimeline.scripted(RateStep(1.0, 2.0))
+        total = mb(4)
+        first = link_at(t, LINK_11MBPS, 0, total)
+        late = link_at(t, LINK_11MBPS, total - 1, total)
+        assert first.name == LINK_11MBPS.name
+        assert late.name == ladder_link(2.0).name
+
+    def test_constant_rate_never_changes(self):
+        t = FaultTimeline.scripted()
+        for offset in (0, mb(1), mb(4) - 1):
+            assert link_at(t, LINK_11MBPS, offset, mb(4)).name == (
+                LINK_11MBPS.name
+            )

@@ -3,8 +3,14 @@
 import pytest
 
 from repro import units
-from repro.errors import ModelError
-from repro.network.wlan import LINK_11MBPS, LINK_2MBPS, LinkConfig
+from repro.errors import LinkRateError, ModelError
+from repro.network.wlan import (
+    LADDER_MBPS,
+    LINK_11MBPS,
+    LINK_2MBPS,
+    LinkConfig,
+    ladder_link,
+)
 from tests.conftest import mb
 
 
@@ -90,3 +96,34 @@ class TestValidation:
     def test_zero_rate_rejected(self):
         with pytest.raises(ModelError):
             LinkConfig("bad", 1e7, 0.0, 0.4)
+
+    def test_nan_and_inf_rates_rejected(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(LinkRateError):
+                LinkConfig("bad", bad, 1e5, 0.4)
+            with pytest.raises(LinkRateError):
+                LinkConfig("bad", 1e7, bad, 0.4)
+
+    def test_nan_degradation_rejected(self):
+        with pytest.raises(ModelError):
+            LINK_11MBPS.degraded(float("nan"))
+
+
+class TestLadder:
+    def test_every_rung_resolves(self):
+        for rate in LADDER_MBPS:
+            link = ladder_link(rate)
+            assert link.nominal_rate_bps == pytest.approx(rate * 1e6)
+
+    def test_measured_anchors_are_the_measured_links(self):
+        assert ladder_link(11.0) is LINK_11MBPS
+
+    def test_off_ladder_rates_rejected(self):
+        for bad in (0.0, -1.0, 3.0, 54.0, float("nan"), float("inf")):
+            with pytest.raises(LinkRateError):
+                ladder_link(bad)
+
+    def test_derived_rungs_halve_the_anchor(self):
+        assert ladder_link(5.5).effective_rate_bps == pytest.approx(
+            LINK_11MBPS.effective_rate_bps * 0.5
+        )

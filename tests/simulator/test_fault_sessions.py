@@ -1,0 +1,123 @@
+"""Twin-engine agreement and accounting under fault timelines."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.resume import ResumeConfig, compare_restart_resume
+from repro.errors import ModelError
+from repro.network.loss import UniformLoss
+from repro.network.timeline import FaultTimeline, Outage, RateStep, Stall
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+FACTOR = 3.8
+S = mb(4)
+SC = int(S / FACTOR)
+
+SCHEDULES = {
+    "one step down": FaultTimeline.scripted(RateStep(1.0, 2.0)),
+    "fade and recover": FaultTimeline.scripted(
+        RateStep(0.8, 1.0), RateStep(2.2, 11.0)
+    ),
+    "outage mid-transfer": FaultTimeline.scripted(Outage(0.9, 1.5, 0.3)),
+    "stall storm": FaultTimeline.scripted(
+        Stall(0.5, 0.2), Stall(1.0, 0.2), Stall(1.5, 0.2)
+    ),
+    "seeded walk": FaultTimeline.seeded(
+        7, horizon_s=12.0, rate_walk_interval_s=2.0, outage_interval_s=8.0
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+def runs(scheme):
+    """The session calls a scheme maps to, shared by both engines."""
+    return {
+        "raw": lambda s: s.raw(S),
+        "interleaved": lambda s: s.precompressed(S, SC, interleave=True),
+        "sequential": lambda s: s.precompressed(S, SC, interleave=False),
+    }[scheme]
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("name", sorted(SCHEDULES))
+    @pytest.mark.parametrize("scheme", ["raw", "interleaved", "sequential"])
+    def test_des_within_one_percent(self, model, name, scheme):
+        faults = SCHEDULES[name]
+        resume = ResumeConfig()
+        call = runs(scheme)
+        a = call(AnalyticSession(model, faults=faults, resume=resume))
+        d = call(DesSession(model, faults=faults, resume=resume))
+        assert d.energy_j == pytest.approx(a.energy_j, rel=0.01)
+        assert d.time_s == pytest.approx(a.time_s, rel=0.01)
+
+
+class TestFaultAccounting:
+    def test_fault_stats_populated(self, model):
+        faults = FaultTimeline.scripted(
+            RateStep(0.5, 2.0), Outage(1.5, 1.0), Stall(4.0, 0.3)
+        )
+        result = AnalyticSession(
+            model, faults=faults, resume=ResumeConfig()
+        ).raw(S)
+        stats = result.fault_stats
+        assert stats is not None
+        assert stats.rate_steps == 1
+        assert stats.outages == 1
+        assert stats.stalls == 1
+        assert stats.resume_handshakes == 1
+        assert result.fault_overhead_j > 0
+        assert result.fault_dead_time_s > 0
+
+    def test_rate_step_down_costs_energy(self, model):
+        steady = AnalyticSession(model).raw(S)
+        faded = AnalyticSession(
+            model, faults=FaultTimeline.scripted(RateStep(1.0, 1.0))
+        ).raw(S)
+        assert faded.energy_j > steady.energy_j
+        assert faded.time_s > steady.time_s
+
+    def test_outage_energy_charged_at_gap_power(self, model):
+        faults = FaultTimeline.scripted(Outage(1.0, 2.0, 0.5))
+        result = AnalyticSession(model, faults=faults).raw(S)
+        outage_segments = [s for s in result.timeline if s.tag == "outage"]
+        assert sum(s.duration_s for s in outage_segments) == pytest.approx(2.0)
+
+    def test_disconnect_at_90_percent_resume_beats_restart(self, model):
+        cmp = compare_restart_resume(
+            S, SC, outage_at_fraction=0.9, model=model
+        )
+        assert cmp.resume_wins
+        assert cmp.resume_result.energy_j < cmp.restart_result.energy_j
+
+
+class TestUnsupportedCombinations:
+    def test_uploads_rejected_under_faults(self, model):
+        faults = FaultTimeline.scripted(RateStep(1.0, 2.0))
+        for engine_cls in (AnalyticSession, DesSession):
+            session = engine_cls(model, faults=faults)
+            with pytest.raises(ModelError):
+                session.upload_raw(S)
+            with pytest.raises(ModelError):
+                session.upload_compressed(S, SC)
+
+    def test_overlapped_ondemand_rejected_under_faults(self, model):
+        faults = FaultTimeline.scripted(RateStep(1.0, 2.0))
+        for engine_cls in (AnalyticSession, DesSession):
+            session = engine_cls(model, faults=faults)
+            with pytest.raises(ModelError):
+                session.ondemand(S, SC, overlap=True)
+
+    def test_des_rejects_loss_plus_faults(self, model):
+        session = DesSession(
+            model,
+            faults=FaultTimeline.scripted(RateStep(1.0, 2.0)),
+            loss=UniformLoss(0.01, seed=1),
+        )
+        with pytest.raises(ModelError):
+            session.raw(S)
