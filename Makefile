@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test ci bench fuzz chaos examples artifacts clean
+.PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,13 +24,32 @@ fuzz:
 		tests/compression/test_mutation_properties.py \
 		tests/compression/test_fuzzing.py -q
 
-# Long-budget fault-timeline chaos: random schedules, bombs, mutations.
+# Long-budget fault-timeline chaos: random schedules, bombs, mutations,
+# and the cross-engine ledger differential suite.
 chaos:
 	REPRO_FUZZ_EXAMPLES=200 $(PYTHON) -m pytest \
 		tests/integration/test_timeline_properties.py \
 		tests/compression/test_bomb_guards.py \
 		tests/compression/test_mutation_properties.py \
-		tests/compression/test_fuzzing.py -q
+		tests/compression/test_fuzzing.py \
+		tests/observability/test_engine_trace_diff.py -q
+
+# Line-coverage gate (needs pytest-cov; CI installs it).
+coverage:
+	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-fail-under=80
+
+# End-to-end observability check: trace one session per engine, then
+# let `repro trace summarize` audit span/energy conservation offline.
+trace-check:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for engine in analytic des; do \
+		echo "== $$engine"; \
+		$(PYTHON) -m repro simulate --size-mb 1 --engine $$engine \
+			--scenario interleaved --trace "$$tmp/$$engine.jsonl" \
+			--metrics "$$tmp/$$engine.prom" >/dev/null; \
+		$(PYTHON) -m repro trace summarize "$$tmp/$$engine.jsonl" || exit 1; \
+		grep -q "repro_metrics_schema_version 1" "$$tmp/$$engine.prom" || exit 1; \
+	done
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done

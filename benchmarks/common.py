@@ -7,16 +7,26 @@ paper reports, so the whole evaluation can be reviewed offline.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import pathlib
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.energy_model import EnergyModel
+from repro.observability.profiling import PROFILER, profiled
 from repro.simulator.analytic import AnalyticSession
 from repro.simulator.des import DesSession
 from repro.workload.manifest import FileSpec, large_files, small_files
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# REPRO_PROFILE=1 prints the wall-clock profile (sessions simulated,
+# artifacts written) when the benchmark process exits.
+if os.environ.get("REPRO_PROFILE"):
+    atexit.register(
+        lambda: PROFILER.as_dict() and print(f"\n{PROFILER.report()}")
+    )
 
 #: Scheme display order in every figure: left gzip, middle compress,
 #: right bzip2 (the paper's bar layout).
@@ -31,13 +41,14 @@ def write_artifact(
     The JSON twin carries whatever structured payload the bench passes,
     so downstream tooling does not have to parse the ASCII tables.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    if data is not None:
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
-        )
+    with profiled(f"artifact:{name}"):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+            )
     print(f"\n{text}\n[artifact: {path}]")
     return path
 
@@ -70,14 +81,17 @@ def figure_ratios(
 ) -> Dict[str, List[float]]:
     """Per-scheme time or energy ratios relative to raw download."""
     out: Dict[str, List[float]] = {scheme: [] for scheme in SCHEMES}
-    for spec in specs:
-        raw = session.raw(spec.size_bytes)
-        for scheme in SCHEMES:
-            result = scheme_session(session, spec, scheme, interleave)
-            ratio = (
-                result.time_ratio(raw) if metric == "time" else result.energy_ratio(raw)
-            )
-            out[scheme].append(ratio)
+    with profiled(f"figure-ratios:{metric}"):
+        for spec in specs:
+            raw = session.raw(spec.size_bytes)
+            for scheme in SCHEMES:
+                result = scheme_session(session, spec, scheme, interleave)
+                ratio = (
+                    result.time_ratio(raw)
+                    if metric == "time"
+                    else result.energy_ratio(raw)
+                )
+                out[scheme].append(ratio)
     return out
 
 

@@ -5,7 +5,10 @@ Commands:
 - ``compress`` / ``decompress`` — run any registered codec on a file.
 - ``advise`` — should this file be compressed before download?
 - ``simulate`` — evaluate a download/upload session and print the
-  time/energy breakdown.
+  time/energy breakdown (``--trace``/``--metrics`` export the session
+  as JSONL spans and Prometheus text).
+- ``trace`` — post-process a ``--trace`` file (``trace summarize``
+  prints per-session phase tables and audits energy conservation).
 - ``thresholds`` — print the Equation 6 decision thresholds.
 - ``corpus`` — regenerate the Table 2 synthetic corpus to a directory.
 - ``table2`` — print the Table 2 manifest.
@@ -199,17 +202,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     loss, arq = _loss_arq_for(args)
     corruption, recovery = _corruption_for(args)
     faults, resume, watchdog = _faults_for(args)
+    tracer = None
+    if args.trace:
+        from repro.observability import SessionTracer
+
+        tracer = SessionTracer()
     if args.engine == "des":
         from repro.simulator.des import DesSession
 
         session = DesSession(
             model, loss=loss, arq=arq, corruption=corruption,
             recovery=recovery, faults=faults, resume=resume, watchdog=watchdog,
+            tracer=tracer,
         )
     else:
         session = AnalyticSession(
             model, loss=loss, arq=arq, corruption=corruption,
             recovery=recovery, faults=faults, resume=resume, watchdog=watchdog,
+            tracer=tracer,
         )
     raw_bytes = int(args.size_mb * units.BYTES_PER_MB)
     compressed = int(raw_bytes / args.factor)
@@ -292,7 +302,37 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     for tag, joules in sorted(result.energy_breakdown().items()):
         rows.append((f"  energy[{tag}]", f"{joules:.3f}"))
     print(ascii_table(["field", "value"], rows, title="simulated session"))
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"[trace: {args.trace}]")
+    if args.metrics:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.observe_session(result, engine=args.engine)
+        registry.write(args.metrics)
+        print(f"[metrics: {args.metrics}]")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace summarize``: audit and tabulate a ``--trace`` file.
+
+    Exits 1 when any session's spans fail to sum to its recorded energy
+    total — the offline half of the conservation audit both engines run
+    at session-build time.
+    """
+    from repro.errors import TraceFormatError
+    from repro.observability.summarize import summarize
+
+    try:
+        text, ok = summarize(args.file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file!r}: {exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"bad trace file: {exc}")
+    print(text)
+    return 0 if ok else 1
 
 
 def cmd_thresholds(args: argparse.Namespace) -> int:
@@ -364,7 +404,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.simulator.multiclient import MultiClientSimulation, Request
 
     model = _model_for(args.link)
-    simulation = MultiClientSimulation(model)
+    registry = None
+    if args.metrics:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+    simulation = MultiClientSimulation(model, metrics=registry)
     requests = [
         Request(
             client=f"c{i}",
@@ -395,6 +440,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             title=f"{args.clients} clients x {args.size_mb} MB (factor {args.factor})",
         )
     )
+    if registry is not None:
+        registry.write(args.metrics)
+        print(f"[metrics: {args.metrics}]")
     return 0
 
 
@@ -664,7 +712,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_loss(p)
     add_corruption(p)
     add_faults(p)
+    p.add_argument(
+        "--trace", default=None, metavar="OUT.jsonl",
+        help="write the session's spans/events as JSONL "
+        "(inspect with 'repro trace summarize OUT.jsonl')",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="OUT.prom",
+        help="write session metrics (Prometheus text; '.json' for JSON)",
+    )
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("trace", help="post-process a --trace JSONL file")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize", help="per-session phase tables + conservation audit"
+    )
+    ps.add_argument("file", help="JSONL written by simulate --trace")
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("thresholds", help="print Equation 6 thresholds")
     add_link(p)
@@ -690,6 +755,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--size-mb", type=float, default=2.0)
     p.add_argument("--factor", type=float, default=3.8)
+    p.add_argument(
+        "--metrics", default=None, metavar="OUT.prom",
+        help="write fleet metrics (Prometheus text; '.json' for JSON)",
+    )
     add_link(p)
     p.set_defaults(func=cmd_fleet)
 

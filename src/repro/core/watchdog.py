@@ -46,7 +46,7 @@ RECEIVE_TAGS: Tuple[str, ...] = (
 )
 DECOMPRESS_TAGS: Tuple[str, ...] = ("decompress", "compress")
 RECOVERY_TAGS: Tuple[str, ...] = (
-    "refetch", "verify", "retransmit", "retry-idle",
+    "refetch", "refetch-fault", "verify", "retransmit", "retry-idle",
     "outage", "reassoc", "resume",
 )
 

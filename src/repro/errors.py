@@ -92,5 +92,20 @@ class WatchdogTimeout(SimulationError):
         )
 
 
+class LedgerAuditError(SimulationError):
+    """A session's energy ledger failed its conservation audit.
+
+    The tagged debit entries did not sum to the session total, a debit
+    was negative or non-finite, or a timeline segment carried a tag the
+    ledger taxonomy does not register.  Any of these means the energy
+    decomposition (the paper's Equations 1-5) can no longer be trusted,
+    so the session fails loudly instead of skewing downstream figures.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A session trace file could not be parsed or has the wrong schema."""
+
+
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated as requested."""

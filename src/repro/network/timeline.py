@@ -230,7 +230,8 @@ class DeliverySegment:
     link: LinkConfig
     n_bytes: float
     #: True when these bytes re-deliver data lost to an outage (the
-    #: restart/resume tail), charged under the ``refetch`` tag.
+    #: restart/resume tail), charged under the ``refetch-fault`` tag
+    #: (disjoint from the corruption machinery's ``refetch`` debits).
     refetch: bool = False
 
 

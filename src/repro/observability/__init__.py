@@ -1,0 +1,69 @@
+"""Observability: session traces, the conservation-audited energy
+ledger, and metrics export.
+
+The paper's argument is an accounting identity — download, decompress,
+idle and overhead joules must sum to the session total (Equations 1-5).
+This package makes that identity a first-class, machine-checkable
+artifact:
+
+- :mod:`repro.observability.ledger` — :class:`EnergyLedger`, tagged
+  debit entries over the session's power timeline with an
+  :meth:`~EnergyLedger.audit` that enforces conservation and the tag
+  taxonomy on every session either engine produces.
+- :mod:`repro.observability.trace` — :class:`SessionTracer`, typed
+  spans and events both engines emit into, serializable to JSONL
+  (zero-overhead no-op when disabled).
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry`,
+  counters/gauges/histograms with Prometheus-text and JSON export,
+  populated per session and aggregated across multiclient fleets.
+- :mod:`repro.observability.profiling` — wall-clock section profiling
+  for the benchmark harness.
+- :mod:`repro.observability.summarize` — the ``repro trace summarize``
+  reader: per-phase tables plus a conservation verdict.
+"""
+
+from repro.observability.ledger import (
+    LEDGER_REL_TOL,
+    TAG_TAXONOMY,
+    AuditReport,
+    EnergyLedger,
+    LedgerEntry,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.profiling import PROFILER, WallClockProfiler, profiled
+from repro.observability.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    SessionTracer,
+    TraceEvent,
+    TraceSpan,
+    spans_from_timeline,
+)
+
+__all__ = [
+    "AuditReport",
+    "Counter",
+    "EnergyLedger",
+    "Gauge",
+    "Histogram",
+    "LEDGER_REL_TOL",
+    "LedgerEntry",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROFILER",
+    "SessionTracer",
+    "TAG_TAXONOMY",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceSpan",
+    "WallClockProfiler",
+    "profiled",
+    "spans_from_timeline",
+]

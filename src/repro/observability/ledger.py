@@ -1,0 +1,278 @@
+"""The energy ledger: tagged debits that must sum to the session total.
+
+Every joule a session charges lands on its :class:`PowerTimeline` under
+an activity tag.  The ledger groups those charges into per-tag debit
+entries, assigns each tag to exactly one accounting *phase* (so derived
+metrics like ``fault_overhead_j`` and ``recovery_energy_j`` are
+provably disjoint), and :meth:`~EnergyLedger.audit` enforces the
+conservation identity the paper's Equations 1-5 rest on:
+
+    sum(entries) == total_energy_j        (to 1e-9 relative tolerance)
+
+plus the structural invariants that make the decomposition meaningful —
+every tag is registered in the taxonomy, no debit is negative or
+non-finite, and the per-phase rollup re-sums to the same total.  Both
+engines run the audit on every session they build, so an unregistered
+tag or a double-charged window fails fast instead of silently skewing
+benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import LedgerAuditError
+
+#: Conservation tolerance: |sum(entries) - total| <= tol * max(|total|, 1).
+LEDGER_REL_TOL = 1e-9
+
+#: Every activity tag an engine may emit, mapped to its accounting
+#: phase.  A tag appears in exactly one phase — that disjointness is
+#: what makes the derived overhead metrics (loss vs integrity vs fault)
+#: true debits rather than overlapping windows.
+TAG_TAXONOMY: Mapping[str, str] = {
+    # One-off protocol costs (communication startup, reassoc startup is
+    # charged under its fault tag).
+    "startup": "overhead",
+    # Payload airtime, both directions.
+    "recv": "transfer",
+    "send": "transfer",
+    # Link idle gaps, power-save idling and wake latency.
+    "idle": "idle",
+    "gap-idle": "idle",
+    "wake": "idle",
+    # Waiting for the proxy to compress (on-demand, tool-style).
+    "wait-compress": "wait",
+    # Device CPU work on payload bytes.
+    "decompress": "compute",
+    "compress": "compute",
+    # Integrity machinery: corrupt-block re-fetches and CRC time.
+    "refetch": "integrity",
+    "verify": "integrity",
+    # Lossy-link machinery: retransmitted airtime and ARQ timeouts.
+    "retransmit": "loss",
+    "retry-idle": "loss",
+    # Fault-timeline machinery: dead time and re-delivered tails.
+    "outage": "fault",
+    "reassoc": "fault",
+    "stall": "fault",
+    "resume": "fault",
+    "refetch-fault": "fault",
+}
+
+#: Tag groups behind the legacy ``SessionResult`` overhead properties.
+LOSS_TAGS: Tuple[str, ...] = ("retransmit", "retry-idle")
+INTEGRITY_TAGS: Tuple[str, ...] = ("refetch", "verify")
+FAULT_TAGS: Tuple[str, ...] = ("outage", "reassoc", "resume", "refetch-fault")
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One tagged debit: all the joules (and seconds) charged to a tag."""
+
+    tag: str
+    phase: str
+    energy_j: float
+    time_s: float
+    #: Number of timeline segments folded into this entry.
+    segments: int
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one conservation audit."""
+
+    total_energy_j: float
+    entry_sum_j: float
+    relative_error: float
+    problems: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Did the ledger balance with no problems?"""
+        return not self.problems
+
+
+class EnergyLedger:
+    """Tagged debit entries over one session's power timeline."""
+
+    def __init__(
+        self,
+        entries: Iterable[LedgerEntry],
+        total_energy_j: float,
+        total_time_s: float,
+    ) -> None:
+        self.entries: Tuple[LedgerEntry, ...] = tuple(entries)
+        self.total_energy_j = total_energy_j
+        self.total_time_s = total_time_s
+
+    @classmethod
+    def from_timeline(cls, timeline) -> "EnergyLedger":
+        """Fold a :class:`PowerTimeline` into per-tag debit entries.
+
+        The reported total comes from the timeline's own accessors, so
+        the audit compares two independently-computed sums.
+        """
+        energy: Dict[str, float] = {}
+        time: Dict[str, float] = {}
+        count: Dict[str, int] = {}
+        for seg in timeline:
+            energy[seg.tag] = energy.get(seg.tag, 0.0) + seg.energy
+            time[seg.tag] = time.get(seg.tag, 0.0) + seg.duration_s
+            count[seg.tag] = count.get(seg.tag, 0) + 1
+        entries = [
+            LedgerEntry(
+                tag=tag,
+                phase=TAG_TAXONOMY.get(tag, "unknown"),
+                energy_j=energy[tag],
+                time_s=time[tag],
+                segments=count[tag],
+            )
+            for tag in sorted(energy)
+        ]
+        return cls(entries, timeline.total_energy_j, timeline.total_time_s)
+
+    @classmethod
+    def from_result(cls, result) -> "EnergyLedger":
+        """Ledger of a finished :class:`SessionResult`."""
+        return cls.from_timeline(result.timeline)
+
+    # -- views ----------------------------------------------------------------
+
+    def by_tag(self) -> Dict[str, float]:
+        """Joules per tag."""
+        return {e.tag: e.energy_j for e in self.entries}
+
+    def by_phase(self) -> Dict[str, float]:
+        """Joules per accounting phase."""
+        out: Dict[str, float] = {}
+        for e in self.entries:
+            out[e.phase] = out.get(e.phase, 0.0) + e.energy_j
+        return out
+
+    def time_by_tag(self) -> Dict[str, float]:
+        """Seconds per tag."""
+        return {e.tag: e.time_s for e in self.entries}
+
+    def energy(self, *tags: str) -> float:
+        """Joules debited to the given tags."""
+        return sum(e.energy_j for e in self.entries if e.tag in tags)
+
+    # -- the audit -------------------------------------------------------------
+
+    def audit(
+        self, rel_tol: float = LEDGER_REL_TOL, strict: bool = True
+    ) -> AuditReport:
+        """Check conservation and the structural ledger invariants.
+
+        Raises :class:`~repro.errors.LedgerAuditError` on any violation
+        unless ``strict=False``, in which case the problems come back on
+        the :class:`AuditReport`.
+        """
+        problems: List[str] = []
+        entry_sum = 0.0
+        for e in self.entries:
+            if not math.isfinite(e.energy_j):
+                problems.append(f"tag {e.tag!r}: non-finite energy {e.energy_j!r}")
+                continue
+            if e.energy_j < 0:
+                problems.append(f"tag {e.tag!r}: negative debit {e.energy_j!r} J")
+            if not math.isfinite(e.time_s) or e.time_s < 0:
+                problems.append(f"tag {e.tag!r}: bad wall time {e.time_s!r} s")
+            if e.tag not in TAG_TAXONOMY:
+                problems.append(
+                    f"tag {e.tag!r} is not registered in the ledger taxonomy"
+                )
+            entry_sum += e.energy_j
+        if not math.isfinite(self.total_energy_j):
+            problems.append(f"non-finite session total {self.total_energy_j!r}")
+        else:
+            scale = max(abs(self.total_energy_j), 1.0)
+            if abs(entry_sum - self.total_energy_j) > rel_tol * scale:
+                problems.append(
+                    "conservation violated: entries sum to "
+                    f"{entry_sum!r} J but the session total is "
+                    f"{self.total_energy_j!r} J"
+                )
+            phase_sum = sum(self.by_phase().values())
+            if abs(phase_sum - entry_sum) > rel_tol * scale:
+                problems.append(
+                    f"phase rollup {phase_sum!r} J disagrees with the "
+                    f"entry sum {entry_sum!r} J"
+                )
+        scale = max(abs(self.total_energy_j), 1.0)
+        report = AuditReport(
+            total_energy_j=self.total_energy_j,
+            entry_sum_j=entry_sum,
+            relative_error=abs(entry_sum - self.total_energy_j) / scale,
+            problems=tuple(problems),
+        )
+        if strict and problems:
+            raise LedgerAuditError(
+                "energy ledger audit failed:\n  " + "\n  ".join(problems)
+            )
+        return report
+
+    # -- comparison ------------------------------------------------------------
+
+    def diff(
+        self,
+        other: "EnergyLedger",
+        rel_tol: float = 0.01,
+        abs_tol: float = 1e-3,
+        exclude_tags: Iterable[str] = (),
+    ) -> List[str]:
+        """Readable per-tag mismatches between two ledgers.
+
+        A tag mismatches when the energies differ by more than
+        ``rel_tol`` of the larger side *and* by more than ``abs_tol``
+        joules (the absolute floor keeps near-zero phases from failing
+        on rounding noise).  Returns one line per mismatching tag;
+        an empty list means the ledgers agree.
+        """
+        excluded = set(exclude_tags)
+        mine, theirs = self.by_tag(), other.by_tag()
+        lines: List[str] = []
+        for tag in sorted(set(mine) | set(theirs)):
+            if tag in excluded:
+                continue
+            a, b = mine.get(tag, 0.0), theirs.get(tag, 0.0)
+            scale = max(abs(a), abs(b))
+            delta = abs(a - b)
+            if delta > abs_tol and delta > rel_tol * scale:
+                pct = 100.0 * delta / scale if scale else float("inf")
+                lines.append(
+                    f"tag {tag!r}: {a:.6f} J vs {b:.6f} J "
+                    f"(delta {delta:.6f} J, {pct:.2f}%)"
+                )
+        ta, tb = self.total_energy_j, other.total_energy_j
+        scale = max(abs(ta), abs(tb))
+        delta = abs(ta - tb)
+        if delta > abs_tol and delta > rel_tol * scale and not excluded:
+            lines.append(
+                f"total: {ta:.6f} J vs {tb:.6f} J (delta {delta:.6f} J)"
+            )
+        return lines
+
+    def format(self, title: Optional[str] = None) -> str:
+        """Fixed-width per-tag table (phase, seconds, joules, share)."""
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(
+            f"{'tag':<14} {'phase':<10} {'time (s)':>12} "
+            f"{'energy (J)':>12} {'share':>7}"
+        )
+        total = self.total_energy_j or 1.0
+        for e in sorted(self.entries, key=lambda e: -e.energy_j):
+            lines.append(
+                f"{e.tag:<14} {e.phase:<10} {e.time_s:>12.4f} "
+                f"{e.energy_j:>12.4f} {e.energy_j / total:>6.1%}"
+            )
+        lines.append(
+            f"{'total':<14} {'':<10} {self.total_time_s:>12.4f} "
+            f"{self.total_energy_j:>12.4f} {'100.0%':>7}"
+        )
+        return "\n".join(lines)

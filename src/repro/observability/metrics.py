@@ -1,0 +1,296 @@
+"""Metrics: counters, gauges and histograms with Prometheus/JSON export.
+
+A :class:`MetricsRegistry` is the fleet-facing view of the same numbers
+the ledger audits per session: :meth:`~MetricsRegistry.observe_session`
+folds one :class:`SessionResult` into per-scenario counters and per-tag
+energy totals, :meth:`~MetricsRegistry.observe_fleet` aggregates a
+multiclient :class:`FleetReport`, and the registry renders either the
+Prometheus text exposition format (``to_prometheus``) or a JSON
+document (``to_json``) with a stable ``schema_version`` field.
+
+No third-party client library is used: the exposition format is plain
+text and the subset emitted here (HELP/TYPE comments, labelled samples,
+cumulative histogram buckets) is validated by the CLI smoke tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Bumped whenever an exported metric changes name or meaning.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram buckets for session durations (seconds).
+DEFAULT_TIME_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+#: Default histogram buckets for session energies (joules).
+DEFAULT_ENERGY_BUCKETS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labels(labels: Dict[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically-increasing sample."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be finite and non-negative)."""
+        if amount < 0 or not math.isfinite(amount):
+            raise ValueError(f"counters only go up; got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A sample that can go anywhere."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the sample."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the sample by ``amount`` (either sign)."""
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS) -> None:
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * len(self.bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample into the cumulative buckets."""
+        if not math.isfinite(value):
+            raise ValueError(f"cannot observe {value!r}")
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, +Inf excluded."""
+        return list(zip(self.bounds, self.counts))
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with Prometheus and JSON renderers."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+        self._help: Dict[str, str] = {}
+        self._kind: Dict[str, str] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def _get(self, factory, name: str, help: str, labels: Dict[str, str]):
+        full = f"{self.namespace}_{name}"
+        kind = factory().kind if full not in self._kind else self._kind[full]
+        if full in self._kind and self._kind[full] != factory().kind:
+            raise ValueError(
+                f"metric {full!r} already registered as {self._kind[full]}"
+            )
+        key = (full, _labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+            self._kind[full] = kind
+            if help:
+                self._help[full] = help
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter for ``name`` + label set."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge for ``name`` + label set."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram for ``name`` + label set."""
+        return self._get(lambda: Histogram(buckets), name, help, labels)
+
+    # -- standard observations -------------------------------------------------
+
+    def observe_session(self, result, engine: str) -> None:
+        """Fold one finished session into the standard metric set."""
+        scenario = result.scenario.value
+        self.counter(
+            "sessions_total", "Sessions simulated.",
+            engine=engine, scenario=scenario,
+        ).inc()
+        self.counter(
+            "session_energy_joules_total", "Session energy, summed.",
+            engine=engine, scenario=scenario,
+        ).inc(result.energy_j)
+        self.counter(
+            "session_bytes_total", "Payload bytes transferred, summed.",
+            engine=engine, scenario=scenario,
+        ).inc(result.transfer_bytes)
+        self.histogram(
+            "session_time_seconds", "Session wall time.",
+            buckets=DEFAULT_TIME_BUCKETS, engine=engine,
+        ).observe(result.time_s)
+        self.histogram(
+            "session_energy_joules", "Session energy.",
+            buckets=DEFAULT_ENERGY_BUCKETS, engine=engine,
+        ).observe(result.energy_j)
+        for tag, joules in result.energy_breakdown().items():
+            self.counter(
+                "energy_joules_by_tag_total", "Energy per activity tag.",
+                engine=engine, tag=tag,
+            ).inc(joules)
+        if result.link_stats is not None:
+            self.counter(
+                "arq_retries_total", "ARQ retransmissions.", engine=engine,
+            ).inc(result.link_stats.retries)
+        if result.recovery_stats is not None:
+            self.counter(
+                "refetch_blocks_total", "Corrupt-block re-fetches.",
+                engine=engine,
+            ).inc(result.recovery_stats.refetch_blocks)
+        if result.fault_stats is not None:
+            fs = result.fault_stats
+            self.counter(
+                "fault_events_total", "Fault-timeline events survived.",
+                engine=engine,
+            ).inc(fs.rate_steps + fs.outages + fs.stalls)
+
+    def observe_fleet(self, report, strategy: Optional[str] = None) -> None:
+        """Aggregate one multiclient fleet run."""
+        label = strategy or "mixed"
+        self.counter(
+            "fleet_requests_total", "Requests served fleet-wide.",
+            strategy=label,
+        ).inc(len(report.outcomes))
+        self.counter(
+            "fleet_energy_joules_total", "Device energy fleet-wide.",
+            strategy=label,
+        ).inc(report.total_energy_j)
+        self.gauge(
+            "fleet_makespan_seconds", "When the last request finished.",
+            strategy=label,
+        ).set(report.makespan_s)
+        wait = self.histogram(
+            "fleet_wait_seconds", "Per-request link-queue wait.",
+            buckets=DEFAULT_TIME_BUCKETS, strategy=label,
+        )
+        for outcome in report.outcomes:
+            wait.observe(outcome.wait_s)
+
+    # -- export ----------------------------------------------------------------
+
+    def _grouped(self) -> Dict[str, List[Tuple[LabelSet, object]]]:
+        grouped: Dict[str, List[Tuple[LabelSet, object]]] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            grouped.setdefault(name, []).append((labels, metric))
+        return grouped
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines = [
+            f"# HELP {self.namespace}_metrics_schema_version "
+            "Export schema version.",
+            f"# TYPE {self.namespace}_metrics_schema_version gauge",
+            f"{self.namespace}_metrics_schema_version "
+            f"{METRICS_SCHEMA_VERSION}",
+        ]
+        for name, series in self._grouped().items():
+            help_text = self._help.get(name, name)
+            kind = self._kind[name]
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, metric in series:
+                if isinstance(metric, Histogram):
+                    for bound, count in metric.cumulative():
+                        le = _render_labels(labels + (("le", f"{bound:g}"),))
+                        lines.append(f"{name}_bucket{le} {count}")
+                    le = _render_labels(labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {metric.count}")
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} {metric.sum:.9g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} {metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} "
+                        f"{metric.value:.9g}"  # type: ignore[attr-defined]
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON document with the same samples."""
+        metrics: List[Dict[str, object]] = []
+        for name, series in self._grouped().items():
+            for labels, metric in series:
+                entry: Dict[str, object] = {
+                    "name": name,
+                    "kind": self._kind[name],
+                    "labels": dict(labels),
+                }
+                if isinstance(metric, Histogram):
+                    entry["sum"] = metric.sum
+                    entry["count"] = metric.count
+                    entry["buckets"] = [
+                        {"le": bound, "count": count}
+                        for bound, count in metric.cumulative()
+                    ]
+                else:
+                    entry["value"] = metric.value  # type: ignore[attr-defined]
+                metrics.append(entry)
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "namespace": self.namespace,
+            "metrics": metrics,
+        }
+
+    def write(self, path) -> None:
+        """Write Prometheus text, or JSON when ``path`` ends in ``.json``."""
+        path = str(path)
+        if path.endswith(".json"):
+            with open(path, "w", encoding="utf-8") as fp:
+                json.dump(self.to_json(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
+        else:
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.write(self.to_prometheus())

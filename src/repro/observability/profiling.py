@@ -1,0 +1,64 @@
+"""Wall-clock section profiling for the benchmark harness.
+
+The figure benchmarks regenerate every table in the paper; when one of
+them slows down we want to know *which stage* without reaching for a
+full profiler.  :func:`profiled` wraps a code section and records its
+wall time into a process-global :class:`WallClockProfiler`;
+``benchmarks/common.py`` wraps artifact generation with it and prints
+the report when ``REPRO_PROFILE`` is set.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+
+class WallClockProfiler:
+    """Accumulates (calls, total seconds, max seconds) per section."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, Tuple[int, float, float]] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (wall clock)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            calls, total, peak = self._records.get(name, (0, 0.0, 0.0))
+            self._records[name] = (calls + 1, total + elapsed, max(peak, elapsed))
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold an externally-timed duration into a section."""
+        calls, total, peak = self._records.get(name, (0, 0.0, 0.0))
+        self._records[name] = (calls + 1, total + seconds, max(peak, seconds))
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-section {calls, total_s, max_s}, sorted by name."""
+        return {
+            name: {"calls": calls, "total_s": total, "max_s": peak}
+            for name, (calls, total, peak) in sorted(self._records.items())
+        }
+
+    def report(self) -> str:
+        """Fixed-width table, slowest section first."""
+        lines = [f"{'section':<36} {'calls':>6} {'total (s)':>10} {'max (s)':>9}"]
+        by_total = sorted(self._records.items(), key=lambda kv: -kv[1][1])
+        for name, (calls, total, peak) in by_total:
+            lines.append(f"{name:<36} {calls:>6} {total:>10.4f} {peak:>9.4f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every recorded section."""
+        self._records.clear()
+
+
+#: The process-global profiler the benchmarks share.
+PROFILER = WallClockProfiler()
+
+#: ``with profiled("stage"): ...`` — record into the global profiler.
+profiled = PROFILER.section

@@ -1,0 +1,140 @@
+"""Read a trace JSONL back and render per-session phase summaries.
+
+This is the ``repro trace summarize`` subcommand's engine: it validates
+the schema version, rebuilds each session's per-phase energy totals
+from its spans, and re-checks the conservation identity against the
+session record's own total — an offline replay of the audit both
+engines ran when the trace was written.  A trace that fails the check
+(hand-edited, truncated, or produced by a buggy engine) is reported
+with a nonzero verdict so ``make trace-check`` can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import TraceFormatError
+from repro.observability.ledger import LEDGER_REL_TOL
+from repro.observability.trace import TRACE_SCHEMA_VERSION
+
+
+@dataclass
+class SessionSummary:
+    """One session rebuilt from its trace records."""
+
+    session_id: int
+    engine: str = "?"
+    scenario: str = "?"
+    codec: str = "-"
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    span_energy_by_phase: Dict[str, float] = field(default_factory=dict)
+    span_energy_by_tag: Dict[str, float] = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def span_sum_j(self) -> float:
+        """Joules summed over the session's spans."""
+        return sum(self.span_energy_by_tag.values())
+
+    @property
+    def conserved(self) -> bool:
+        """Do the spans sum to the session total within tolerance?"""
+        scale = max(abs(self.energy_j), 1.0)
+        return abs(self.span_sum_j - self.energy_j) <= LEDGER_REL_TOL * scale
+
+
+def load_trace(path) -> Tuple[dict, List[SessionSummary]]:
+    """Parse a trace JSONL file into (header, session summaries)."""
+    header = None
+    sessions: Dict[int, SessionSummary] = {}
+    with open(path, "r", encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            kind = record.get("type")
+            if kind == "header":
+                version = record.get("schema_version")
+                if version != TRACE_SCHEMA_VERSION:
+                    raise TraceFormatError(
+                        f"{path}: schema version {version!r}, "
+                        f"this reader understands {TRACE_SCHEMA_VERSION}"
+                    )
+                header = record
+            elif kind == "session":
+                sid = record["session_id"]
+                sessions[sid] = SessionSummary(
+                    session_id=sid,
+                    engine=record.get("engine", "?"),
+                    scenario=record.get("scenario", "?"),
+                    codec=record.get("codec") or "-",
+                    time_s=record.get("time_s", 0.0),
+                    energy_j=record.get("energy_j", 0.0),
+                )
+            elif kind == "span":
+                summary = sessions.get(record["session_id"])
+                if summary is None:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: span before its session record"
+                    )
+                phase = record.get("phase", "unknown")
+                tag = record.get("tag", "unknown")
+                energy = record.get("energy_j", 0.0)
+                summary.span_energy_by_phase[phase] = (
+                    summary.span_energy_by_phase.get(phase, 0.0) + energy
+                )
+                summary.span_energy_by_tag[tag] = (
+                    summary.span_energy_by_tag.get(tag, 0.0) + energy
+                )
+            elif kind == "event":
+                sid = record.get("session_id")
+                if sid is not None and sid in sessions:
+                    sessions[sid].events += 1
+            else:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+    if header is None:
+        raise TraceFormatError(f"{path}: no header record found")
+    return header, [sessions[k] for k in sorted(sessions)]
+
+
+def summarize(path) -> Tuple[str, bool]:
+    """(report text, all sessions conserved?) for one trace file."""
+    header, sessions = load_trace(path)
+    lines = [
+        f"trace {path}: schema v{header['schema_version']}, "
+        f"{len(sessions)} session(s), {header.get('failures', 0)} failure(s)"
+    ]
+    all_ok = True
+    for s in sessions:
+        verdict = "OK" if s.conserved else "CONSERVATION VIOLATED"
+        if not s.conserved:
+            all_ok = False
+        lines.append(
+            f"\nsession {s.session_id} [{s.engine}] {s.scenario} "
+            f"codec={s.codec} time={s.time_s:.3f}s "
+            f"energy={s.energy_j:.4f}J events={s.events}"
+        )
+        lines.append(f"  {'phase':<12} {'energy (J)':>12} {'share':>7}")
+        total = s.energy_j or 1.0
+        for phase, joules in sorted(
+            s.span_energy_by_phase.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {phase:<12} {joules:>12.4f} {joules / total:>6.1%}")
+        lines.append(
+            f"  {'sum':<12} {s.span_sum_j:>12.4f}  -> {verdict}"
+        )
+    if not sessions:
+        all_ok = False
+        lines.append("no sessions recorded")
+    return "\n".join(lines), all_ok

@@ -1,0 +1,234 @@
+"""Structured session traces: typed spans and events, JSONL on disk.
+
+Both engines narrate their work in one vocabulary: *spans* are the
+contiguous per-tag intervals of the session's power timeline (receive,
+decompress, idle, recovery, ...) with start/end clocks and energy;
+*events* are point occurrences the engines emit while simulating — ARQ
+retries, fault-timeline dead intervals, recovery summaries, adaptive
+block decisions, watchdog trips.  Because the spans are derived from
+the same timeline the energy figures come from, a trace is a faithful,
+replayable account of where every joule went — which is what lets the
+cross-engine differential tests compare a DES replay against the
+analytic closed forms phase by phase.
+
+Tracing is strictly opt-in: engines default to :data:`NULL_TRACER`,
+whose methods are no-ops and whose ``enabled`` flag lets hot loops skip
+event construction entirely, so an untraced session does no extra work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.observability.ledger import TAG_TAXONOMY, EnergyLedger
+
+#: Bumped whenever a record shape changes; readers refuse mismatches.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One contiguous same-tag interval of the session clock."""
+
+    tag: str
+    phase: str
+    start_s: float
+    end_s: float
+    energy_j: float
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time the span covers."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point occurrence on the session clock."""
+
+    name: str
+    t_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """Everything one session emitted: identity, spans, events, totals."""
+
+    session_id: int
+    engine: str
+    scenario: str
+    codec: Optional[str]
+    raw_bytes: int
+    transfer_bytes: int
+    time_s: float
+    energy_j: float
+    energy_by_tag: Dict[str, float]
+    spans: List[TraceSpan]
+    events: List[TraceEvent]
+
+
+def spans_from_timeline(timeline) -> List[TraceSpan]:
+    """Walk a power timeline with a running clock, coalescing same-tag
+    neighbours into spans (power changes within a tag do not split)."""
+    spans: List[TraceSpan] = []
+    clock = 0.0
+    cur_tag: Optional[str] = None
+    cur_start = 0.0
+    cur_energy = 0.0
+    for seg in timeline:
+        if seg.tag != cur_tag:
+            if cur_tag is not None:
+                spans.append(
+                    TraceSpan(
+                        tag=cur_tag,
+                        phase=TAG_TAXONOMY.get(cur_tag, "unknown"),
+                        start_s=cur_start,
+                        end_s=clock,
+                        energy_j=cur_energy,
+                    )
+                )
+            cur_tag, cur_start, cur_energy = seg.tag, clock, 0.0
+        cur_energy += seg.energy
+        clock += seg.duration_s
+    if cur_tag is not None:
+        spans.append(
+            TraceSpan(
+                tag=cur_tag,
+                phase=TAG_TAXONOMY.get(cur_tag, "unknown"),
+                start_s=cur_start,
+                end_s=clock,
+                energy_j=cur_energy,
+            )
+        )
+    return spans
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    Engines call ``tracer.event(...)`` only behind ``tracer.enabled``
+    checks in hot loops, so a session run without tracing allocates
+    nothing and branches once per call site.
+    """
+
+    enabled = False
+
+    def event(self, name: str, t_s: float, **attrs: Any) -> None:
+        """Discard the event."""
+
+    def record_session(self, result, engine: str) -> None:
+        """Discard the session."""
+
+    def record_failure(self, exc: BaseException, engine: str, t_s: float) -> None:
+        """Discard the failure."""
+
+
+#: The shared disabled tracer; engines default to it.
+NULL_TRACER = NullTracer()
+
+
+class SessionTracer(NullTracer):
+    """Collects spans and events from every session an engine runs."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.sessions: List[SessionTrace] = []
+        self.failures: List[TraceEvent] = []
+        self._pending: List[TraceEvent] = []
+
+    def event(self, name: str, t_s: float, **attrs: Any) -> None:
+        """Record a point event at session clock ``t_s``."""
+        self._pending.append(TraceEvent(name=name, t_s=t_s, attrs=attrs))
+
+    def record_session(self, result, engine: str) -> None:
+        """Close out one finished session: derive its spans, attach the
+        events emitted since the previous session ended."""
+        ledger = EnergyLedger.from_timeline(result.timeline)
+        self.sessions.append(
+            SessionTrace(
+                session_id=len(self.sessions),
+                engine=engine,
+                scenario=result.scenario.value,
+                codec=result.codec,
+                raw_bytes=result.raw_bytes,
+                transfer_bytes=result.transfer_bytes,
+                time_s=result.time_s,
+                energy_j=result.energy_j,
+                energy_by_tag=ledger.by_tag(),
+                spans=spans_from_timeline(result.timeline),
+                events=self._pending,
+            )
+        )
+        self._pending = []
+
+    def record_failure(self, exc: BaseException, engine: str, t_s: float) -> None:
+        """Record a session that died (watchdog trip, exhausted recovery)."""
+        evt = TraceEvent(
+            name="session-failure",
+            t_s=t_s,
+            attrs={"engine": engine, "error": type(exc).__name__,
+                   "detail": str(exc)},
+        )
+        self.failures.append(evt)
+        self._pending = []
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_records(self) -> Iterator[Dict[str, Any]]:
+        """The JSONL record stream: one header, then per session a
+        ``session`` record followed by its ``span`` and ``event`` records."""
+        yield {
+            "type": "header",
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "sessions": len(self.sessions),
+            "failures": len(self.failures),
+        }
+        for s in self.sessions:
+            yield {
+                "type": "session",
+                "session_id": s.session_id,
+                "engine": s.engine,
+                "scenario": s.scenario,
+                "codec": s.codec,
+                "raw_bytes": s.raw_bytes,
+                "transfer_bytes": s.transfer_bytes,
+                "time_s": s.time_s,
+                "energy_j": s.energy_j,
+                "energy_by_tag": s.energy_by_tag,
+            }
+            for span in s.spans:
+                yield {
+                    "type": "span",
+                    "session_id": s.session_id,
+                    "tag": span.tag,
+                    "phase": span.phase,
+                    "start_s": span.start_s,
+                    "end_s": span.end_s,
+                    "energy_j": span.energy_j,
+                }
+            for evt in s.events:
+                yield {
+                    "type": "event",
+                    "session_id": s.session_id,
+                    "name": evt.name,
+                    "t_s": evt.t_s,
+                    "attrs": evt.attrs,
+                }
+        for evt in self.failures:
+            yield {
+                "type": "event",
+                "session_id": None,
+                "name": evt.name,
+                "t_s": evt.t_s,
+                "attrs": evt.attrs,
+            }
+
+    def write_jsonl(self, path) -> None:
+        """Serialize the trace to ``path``, one JSON record per line."""
+        with open(path, "w", encoding="utf-8") as fp:
+            for record in self.to_records():
+                fp.write(json.dumps(record, sort_keys=True) + "\n")

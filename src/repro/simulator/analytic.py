@@ -37,6 +37,7 @@ from repro.network.timeline import (
     plan_transfer,
 )
 from repro.network.wlan import LinkConfig
+from repro.observability.trace import NULL_TRACER
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.simulator.session import Scenario, SessionResult
 
@@ -86,6 +87,7 @@ class AnalyticSession:
         faults: Optional[FaultTimeline] = None,
         resume: Optional[ResumeConfig] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        tracer=None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
@@ -96,6 +98,7 @@ class AnalyticSession:
         self.faults = faults
         self.resume = resume
         self.watchdog = watchdog
+        self.tracer = tracer or NULL_TRACER
         self._link_params: Dict[str, ModelParams] = {}
 
     def inject_corruption(
@@ -139,6 +142,13 @@ class AnalyticSession:
             self.model.params, transfer_bytes, rate, self.arq, self.payload_bytes
         )
         p = self.model.params
+        if self.tracer.enabled:
+            self.tracer.event(
+                "loss-overhead", timeline.total_time_s,
+                expected_retries=ov.expected_retries,
+                extra_bytes=ov.extra_bytes,
+                delivery_probability=ov.delivery_probability,
+            )
         timeline.add(ov.extra_active_s, self._recv_power_w, "retransmit")
         timeline.add(ov.extra_gap_s + ov.retry_wait_s, p.gap_power_w, "retry-idle")
         return LinkStats(
@@ -169,6 +179,15 @@ class AnalyticSession:
         ov = expected_recovery(
             p, transfer_bytes, raw_bytes, self.corruption, self.recovery
         )
+        if self.tracer.enabled and ov.wall_s > 0:
+            self.tracer.event(
+                "recovery", timeline.total_time_s,
+                policy=self.recovery.policy.value,
+                corrupt_blocks=ov.stats.corrupt_blocks,
+                refetch_blocks=ov.stats.refetch_blocks,
+                restarts=ov.stats.restarts,
+                degraded=ov.stats.degraded,
+            )
         timeline.add(ov.refetch_active_s, self._recv_power_w, "refetch")
         timeline.add(
             ov.refetch_gap_s + ov.wait_s + ov.stall_s, p.gap_power_w, "refetch"
@@ -230,6 +249,11 @@ class AnalyticSession:
         communication-startup cost; stalls and resume handshakes idle at
         the gap power of the link then in force.
         """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault", timeline.total_time_s, kind=step.kind,
+                duration_s=step.duration_s,
+            )
         p = self._params_for(step.link or self.model.link)
         if step.kind == "outage":
             timeline.add(
@@ -260,8 +284,8 @@ class AnalyticSession:
                 active = wall * (1.0 - p.idle_fraction)
                 power = self._recv_power_for(p)
                 if step.refetch:
-                    timeline.add(active, power, "refetch")
-                    timeline.add(wall - active, p.gap_power_w, "refetch")
+                    timeline.add(active, power, "refetch-fault")
+                    timeline.add(wall - active, p.gap_power_w, "refetch-fault")
                 else:
                     timeline.add(active, power, "recv")
                     timeline.add(wall - active, p.gap_power_w, idle_tag)
@@ -331,8 +355,8 @@ class AnalyticSession:
             if step.refetch:
                 wall = units.bytes_to_mb(step.n_bytes) / p.rate_mb_per_s
                 active = wall * (1.0 - p.idle_fraction)
-                timeline.add(active, power, "refetch")
-                timeline.add(wall - active, p.gap_power_w, "refetch")
+                timeline.add(active, power, "refetch-fault")
+                timeline.add(wall - active, p.gap_power_w, "refetch-fault")
                 continue
             seg_left = float(step.n_bytes)
             while seg_left > 1e-9:
@@ -378,7 +402,8 @@ class AnalyticSession:
     def _result(self, *args, **kwargs) -> SessionResult:
         """Build the result, checking watchdog deadlines on the way out."""
         return SessionResult.from_timeline(
-            *args, watchdog=self.watchdog, **kwargs
+            *args, watchdog=self.watchdog, tracer=self.tracer,
+            engine="analytic", **kwargs
         )
 
     def _receive(
@@ -495,6 +520,13 @@ class AnalyticSession:
         p = self.model.params
         raw_bytes = result.raw_size
         transfer = result.compressed_size
+        if self.tracer.enabled:
+            for i, d in enumerate(result.decisions):
+                self.tracer.event(
+                    "adaptive-block", 0.0, block=i,
+                    sent_compressed=d.sent_compressed,
+                    raw_bytes=d.raw_bytes, transfer_bytes=d.transfer_bytes,
+                )
         if result.blocks_compressed:
             td = self.model.cpu.decompress_time_s(
                 codec, result.raw_covered_bytes, result.compressed_payload_bytes

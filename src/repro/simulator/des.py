@@ -36,6 +36,7 @@ from repro.network.timeline import (
     plan_transfer,
 )
 from repro.network.wlan import LinkConfig
+from repro.observability.trace import NULL_TRACER
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 from repro.proxy.ondemand import OnDemandPipeline
 from repro.simulator.engine import Simulator
@@ -92,6 +93,7 @@ class DesSession:
         faults: Optional[FaultTimeline] = None,
         resume: Optional[ResumeConfig] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        tracer=None,
     ) -> None:
         self.model = model or EnergyModel()
         self.packetizer = Packetizer(payload_bytes)
@@ -102,6 +104,7 @@ class DesSession:
         self.faults = faults
         self.resume = resume
         self.watchdog = watchdog
+        self.tracer = tracer or NULL_TRACER
         self._link_params: dict = {}
         self._sim_links: dict = {}
         # The DES paces packets off the model's rate/idle parameters so the
@@ -190,7 +193,8 @@ class DesSession:
     def _result(self, *args, **kwargs) -> SessionResult:
         """Build the result, checking watchdog deadlines on the way out."""
         return SessionResult.from_timeline(
-            *args, watchdog=self.watchdog, **kwargs
+            *args, watchdog=self.watchdog, tracer=self.tracer,
+            engine="des", **kwargs
         )
 
     def _fault_items(self, transfer_bytes: int):
@@ -231,6 +235,11 @@ class DesSession:
         reassociation is active radio work plus a fresh startup cost,
         stalls and resume handshakes idle at the gap power in force.
         """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault", tl.total_time_s, kind=step.kind,
+                duration_s=step.duration_s,
+            )
         p = self._params_for(step.link or self.model.link)
         if step.kind == "outage":
             tl.add(step.duration_s, self.model.params.idle_power_w, "outage")
@@ -339,6 +348,12 @@ class DesSession:
         tl.add(active, self._recv_power_w, "refetch")
         tl.add(wall - active + wait_s + stall, p.gap_power_w, "refetch")
         tl.add(verify_s, p.decompress_power_w, "verify")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "recovery", tl.total_time_s, policy=cfg.policy.value,
+                corrupt_blocks=corrupt_blocks, refetch_blocks=refetch_blocks,
+                restarts=restarts, degraded=degraded,
+            )
         return RecoveryStats(
             policy=cfg.policy,
             blocks=n_blocks,
@@ -430,7 +445,13 @@ class DesSession:
         works: List[float] = []
         cum = 0
         first_compressed = True
-        for d in result.decisions:
+        for i, d in enumerate(result.decisions):
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "adaptive-block", 0.0, block=i,
+                    sent_compressed=d.sent_compressed,
+                    raw_bytes=d.raw_bytes, transfer_bytes=d.transfer_bytes,
+                )
             cum += d.transfer_bytes
             thresholds.append(cum)
             if d.sent_compressed:
@@ -530,7 +551,14 @@ class DesSession:
         )
         for index, pkt in enumerate(schedule):
             if lossy is not None:
-                for att in lossy.packets[index].failed_attempts:
+                for attempt, att in enumerate(
+                    lossy.packets[index].failed_attempts, 1
+                ):
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "arq-retry", tl.total_time_s,
+                            packet=index, attempt=attempt,
+                        )
                     tl.add(att.active_s, self._recv_power_w, "retransmit")
                     tl.add(att.wait_s, p.gap_power_w, "retry-idle")
             tl.add(pkt.active_s, self._recv_power_w, "send")
@@ -699,7 +727,14 @@ class DesSession:
             nonlocal next_block, received
             for index, pkt in enumerate(schedule):
                 if lossy is not None:
-                    for att in lossy.packets[index].failed_attempts:
+                    for attempt, att in enumerate(
+                        lossy.packets[index].failed_attempts, 1
+                    ):
+                        if self.tracer.enabled:
+                            self.tracer.event(
+                                "arq-retry", tl.total_time_s,
+                                packet=index, attempt=attempt,
+                            )
                         tl.add(att.active_s, recv_power, "retransmit")
                         yield att.active_s
                         tl.add(att.wait_s, p.gap_power_w, "retry-idle")
@@ -752,9 +787,10 @@ class DesSession:
         link (rate and idle fraction) and charges them at that rung's
         receive/gap power.  Re-fetched segments re-deliver bytes the
         ledger already counted, so they advance no block thresholds and
-        their gaps host no decompression (tagged ``refetch``); dead
-        segments (outage, reassoc, stall, resume) likewise host no work
-        — matching the analytic engine's conservative reading.
+        their gaps host no decompression (tagged ``refetch-fault``,
+        disjoint from the corruption machinery's ``refetch`` debits);
+        dead segments (outage, reassoc, stall, resume) likewise host no
+        work — matching the analytic engine's conservative reading.
         """
         sim = Simulator()
         ledger = _WorkLedger()
@@ -774,7 +810,7 @@ class DesSession:
                     n_bytes, self._sim_link_for(step.link)
                 )
                 for pkt in schedule:
-                    tag = "refetch" if step.refetch else "recv"
+                    tag = "refetch-fault" if step.refetch else "recv"
                     tl.add(pkt.active_s, recv_power, tag)
                     yield pkt.active_s
                     if not step.refetch:
@@ -787,7 +823,7 @@ class DesSession:
                             next_block += 1
                     gap = pkt.gap_s
                     if step.refetch:
-                        tl.add(gap, p_seg.gap_power_w, "refetch")
+                        tl.add(gap, p_seg.gap_power_w, "refetch-fault")
                     elif interleave:
                         used = ledger.take(gap)
                         if used > 0:

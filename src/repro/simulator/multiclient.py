@@ -156,6 +156,8 @@ class MultiClientSimulation:
         faults=None,
         resume=None,
         watchdog=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.model = model or EnergyModel()
         self.loss = loss
@@ -165,6 +167,11 @@ class MultiClientSimulation:
         self.faults = faults
         self.resume = resume
         self.watchdog = watchdog
+        self.tracer = tracer
+        #: Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        #: when set, every run folds its per-session and fleet-level
+        #: aggregates into it (labelled by resolved strategy).
+        self.metrics = metrics
         self.advisor = CompressionAdvisor(model=self.model)
         self.link_slots = link_slots
         self.proxy_slots = proxy_slots
@@ -180,6 +187,7 @@ class MultiClientSimulation:
             faults=self.faults,
             resume=self.resume,
             watchdog=self.watchdog,
+            tracer=self.tracer,
         )
 
     def inject_loss(self, loss, arq=None) -> None:
@@ -308,6 +316,8 @@ class MultiClientSimulation:
                 outcome.degrade_probability = (
                     result.recovery_stats.degrade_probability
                 )
+            if self.metrics is not None:
+                self.metrics.observe_session(result, engine="fleet-analytic")
             report.outcomes.append(outcome)
 
         for request in sorted(requests, key=lambda r: r.arrival_s):
@@ -316,6 +326,8 @@ class MultiClientSimulation:
         if len(report.outcomes) != len(requests):
             raise SimulationError("not all requests completed")
         report.outcomes.sort(key=lambda o: o.request.arrival_s)
+        if self.metrics is not None:
+            self.metrics.observe_fleet(report)
         return report
 
     def compare_strategies(self, requests: List[Request]) -> Dict[str, FleetReport]:

@@ -10,8 +10,15 @@ from repro.core.recovery import RecoveryStats
 from repro.core.watchdog import WatchdogConfig
 from repro.device.battery import EnergyReport
 from repro.device.timeline import PowerTimeline
+from repro.errors import WatchdogTimeout
 from repro.network.arq import LinkStats
 from repro.network.timeline import FaultStats
+from repro.observability.ledger import (
+    FAULT_TAGS,
+    INTEGRITY_TAGS,
+    LOSS_TAGS,
+    EnergyLedger,
+)
 
 
 class Scenario(enum.Enum):
@@ -74,12 +81,26 @@ class SessionResult:
         recovery_stats: Optional[RecoveryStats] = None,
         fault_stats: Optional[FaultStats] = None,
         watchdog: Optional[WatchdogConfig] = None,
+        tracer=None,
+        engine: Optional[str] = None,
     ) -> "SessionResult":
         if watchdog is not None:
             # Deadlines run against the simulated clock: a session that
             # overran its phase budget raises instead of returning.
-            watchdog.check_timeline(timeline)
-        return cls(
+            try:
+                watchdog.check_timeline(timeline)
+            except WatchdogTimeout as exc:
+                if tracer is not None and tracer.enabled:
+                    tracer.event(
+                        "watchdog-trip", timeline.total_time_s,
+                        phase=exc.phase, elapsed_s=exc.elapsed_s,
+                        deadline_s=exc.deadline_s,
+                    )
+                    tracer.record_failure(
+                        exc, engine or "?", timeline.total_time_s
+                    )
+                raise
+        result = cls(
             scenario=scenario,
             raw_bytes=raw_bytes,
             transfer_bytes=transfer_bytes,
@@ -91,35 +112,45 @@ class SessionResult:
             recovery_stats=recovery_stats,
             fault_stats=fault_stats,
         )
+        # Every session leaves the engine with a closed ledger: tagged
+        # debits summing to the measured total, all tags registered.
+        result.ledger().audit()
+        if tracer is not None and tracer.enabled:
+            tracer.record_session(result, engine or "?")
+        return result
+
+    def ledger(self) -> EnergyLedger:
+        """The session's energy ledger: tagged debit entries over the
+        timeline, with :meth:`EnergyLedger.audit` as the conservation
+        check (already run once when the result was built)."""
+        return EnergyLedger.from_timeline(self.timeline)
 
     @property
     def loss_overhead_j(self) -> float:
         """Joules attributable to retransmissions and ARQ timeouts."""
-        by_tag = self.timeline.energy_by_tag()
-        return by_tag.get("retransmit", 0.0) + by_tag.get("retry-idle", 0.0)
+        return self.timeline.energy_for(*LOSS_TAGS)
 
     @property
     def recovery_energy_j(self) -> float:
         """Joules spent re-fetching corrupt blocks (airtime plus waits)."""
-        return self.timeline.energy_by_tag().get("refetch", 0.0)
+        return self.timeline.energy_for("refetch")
 
     @property
     def integrity_overhead_j(self) -> float:
         """Joules the integrity machinery adds: re-fetches plus CRC time."""
-        by_tag = self.timeline.energy_by_tag()
-        return by_tag.get("refetch", 0.0) + by_tag.get("verify", 0.0)
+        return self.timeline.energy_for(*INTEGRITY_TAGS)
 
     @property
     def fault_overhead_j(self) -> float:
         """Joules the fault timeline adds: dead time plus re-fetched tails.
 
         Covers outage idling, reassociation, resume handshakes and every
-        ``refetch`` segment — the recovery-energy metric the
-        restart-vs-resume comparison ranks policies by.
+        ``refetch-fault`` segment — the recovery-energy metric the
+        restart-vs-resume comparison ranks policies by.  Disjoint from
+        :attr:`recovery_energy_j` by construction: fault-timeline
+        re-deliveries and corruption re-fetches debit different tags.
         """
-        return self.timeline.energy_for(
-            "outage", "reassoc", "resume", "refetch"
-        )
+        return self.timeline.energy_for(*FAULT_TAGS)
 
     @property
     def fault_dead_time_s(self) -> float:
@@ -180,6 +211,7 @@ class DownloadSession:
         faults=None,
         resume=None,
         watchdog=None,
+        tracer=None,
     ) -> None:
         from repro.core.energy_model import EnergyModel
 
@@ -191,6 +223,7 @@ class DownloadSession:
                 self.model, loss=loss, arq=arq,
                 corruption=corruption, recovery=recovery,
                 faults=faults, resume=resume, watchdog=watchdog,
+                tracer=tracer,
             )
         elif engine == "des":
             from repro.simulator.des import DesSession
@@ -199,6 +232,7 @@ class DownloadSession:
                 self.model, loss=loss, arq=arq,
                 corruption=corruption, recovery=recovery,
                 faults=faults, resume=resume, watchdog=watchdog,
+                tracer=tracer,
             )
         else:
             raise ValueError(f"unknown engine {engine!r}")

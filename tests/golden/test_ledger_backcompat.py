@@ -1,0 +1,120 @@
+"""Golden back-compat: the ledger refactor must not move a single joule.
+
+``SessionResult`` now settles every energy figure through the
+:class:`~repro.observability.ledger.EnergyLedger` (and the fault
+re-delivery tag was split off the corruption ``refetch`` tag), so this
+gate pins the zero-fault/zero-loss seed totals *and* the per-tag
+breakdowns to the frozen constants the benchmark JSON artifacts are
+built from.  Any drift here would silently re-draw the paper's figures.
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+#: Seed-baseline totals (11 Mb/s model, 4 MB file, factor 3.8) — the
+#: same constants the zero-*-identity gates freeze.
+SEED_RAW_ENERGY_J = 14.089333333333336
+SEED_RAW_TIME_S = 6.666666666666667
+SEED_INTERLEAVED_ENERGY_J = 4.9934485249201455
+SEED_SEQUENTIAL_ENERGY_J = 6.04636060479482
+
+#: Frozen per-tag debits of the seed scenarios (analytic closed forms).
+SEED_RAW_BY_TAG = {
+    "startup": 0.012,
+    "recv": 9.944,
+    "idle": 4.133333333333334,
+}
+SEED_INTERLEAVED_BY_TAG = {
+    "startup": 0.012,
+    "recv": 2.6168416061401367,
+    "decompress": 2.329799907875061,
+    "idle": 0.03480701090494792,
+}
+SEED_SEQUENTIAL_BY_TAG = {
+    "startup": 0.012,
+    "recv": 2.6168416061401367,
+    "decompress": 2.329799907875061,
+    "idle": 1.0877190907796226,
+}
+
+S = mb(4)
+SC = int(S / 3.8)
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return AnalyticSession(EnergyModel())
+
+
+@pytest.fixture(scope="module")
+def des():
+    return DesSession(EnergyModel())
+
+
+def assert_breakdown(result, expected):
+    breakdown = result.ledger().by_tag()
+    assert sorted(breakdown) == sorted(expected)
+    for tag, joules in expected.items():
+        assert breakdown[tag] == pytest.approx(joules, rel=1e-12), tag
+
+
+class TestAnalyticSeedBreakdowns:
+    def test_raw(self, analytic):
+        result = analytic.raw(S)
+        assert result.energy_j == pytest.approx(SEED_RAW_ENERGY_J, rel=1e-12)
+        assert result.time_s == pytest.approx(SEED_RAW_TIME_S, rel=1e-12)
+        assert_breakdown(result, SEED_RAW_BY_TAG)
+
+    def test_interleaved(self, analytic):
+        result = analytic.precompressed(S, SC, interleave=True)
+        assert result.energy_j == pytest.approx(
+            SEED_INTERLEAVED_ENERGY_J, rel=1e-12
+        )
+        assert_breakdown(result, SEED_INTERLEAVED_BY_TAG)
+
+    def test_sequential(self, analytic):
+        result = analytic.precompressed(S, SC, interleave=False)
+        assert result.energy_j == pytest.approx(
+            SEED_SEQUENTIAL_ENERGY_J, rel=1e-12
+        )
+        assert_breakdown(result, SEED_SEQUENTIAL_BY_TAG)
+
+
+class TestDesSeedBreakdowns:
+    """The packet replay reproduces the same tags at replay tolerance."""
+
+    def test_raw(self, des):
+        result = des.raw(S)
+        assert result.energy_j == pytest.approx(SEED_RAW_ENERGY_J, rel=1e-9)
+        breakdown = result.ledger().by_tag()
+        assert sorted(breakdown) == sorted(SEED_RAW_BY_TAG)
+        for tag, joules in SEED_RAW_BY_TAG.items():
+            assert breakdown[tag] == pytest.approx(joules, rel=1e-9), tag
+
+    def test_sequential(self, des):
+        result = des.precompressed(S, SC, interleave=False)
+        assert result.energy_j == pytest.approx(
+            SEED_SEQUENTIAL_ENERGY_J, rel=1e-9
+        )
+        breakdown = result.ledger().by_tag()
+        assert sorted(breakdown) == sorted(SEED_SEQUENTIAL_BY_TAG)
+
+
+class TestNoOverheadTagsOnSeedSessions:
+    """Zero-fault/zero-loss sessions must carry zero overhead debits —
+    the regression the ``refetch``/``refetch-fault`` split pins down."""
+
+    @pytest.mark.parametrize("interleave", [False, True])
+    def test_overhead_fields_are_zero(self, analytic, des, interleave):
+        for session in (analytic, des):
+            result = session.precompressed(S, SC, interleave=interleave)
+            assert result.loss_overhead_j == 0.0
+            assert result.integrity_overhead_j == 0.0
+            assert result.fault_overhead_j == 0.0
+            assert result.recovery_energy_j == 0.0
+            tags = set(result.ledger().by_tag())
+            assert tags <= {"startup", "recv", "idle", "decompress"}

@@ -1,0 +1,213 @@
+"""Energy-ledger unit tests: conservation, taxonomy, audit, diff.
+
+The ledger is the accounting layer both engines settle through — every
+joule a session charges must land on exactly one registered tag, every
+tag belongs to exactly one phase, and the entries must re-sum to the
+timeline total at 1e-9 relative tolerance.  These tests pin that
+contract directly on hand-built timelines and on real sessions across
+every compression scheme and recovery policy.
+"""
+
+import math
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig, RecoveryPolicy
+from repro.device.timeline import PowerTimeline
+from repro.errors import LedgerAuditError
+from repro.network.arq import ArqConfig
+from repro.network.corruption import BitFlipCorruption
+from repro.network.loss import UniformLoss
+from repro.observability.ledger import (
+    FAULT_TAGS,
+    INTEGRITY_TAGS,
+    LEDGER_REL_TOL,
+    LOSS_TAGS,
+    TAG_TAXONOMY,
+    EnergyLedger,
+    LedgerEntry,
+)
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+SCHEMES = ("gzip", "compress", "bzip2", "zlib")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestTaxonomy:
+    def test_overhead_groups_are_disjoint(self):
+        """The derived overhead metrics must never share a tag."""
+        assert not set(LOSS_TAGS) & set(INTEGRITY_TAGS)
+        assert not set(LOSS_TAGS) & set(FAULT_TAGS)
+        assert not set(INTEGRITY_TAGS) & set(FAULT_TAGS)
+
+    def test_fault_refetch_is_not_an_integrity_tag(self):
+        """The double-count fix: fault re-deliveries debit their own tag."""
+        assert "refetch-fault" in FAULT_TAGS
+        assert "refetch-fault" not in INTEGRITY_TAGS
+        assert TAG_TAXONOMY["refetch"] == "integrity"
+        assert TAG_TAXONOMY["refetch-fault"] == "fault"
+
+    def test_every_group_tag_is_registered(self):
+        for tag in (*LOSS_TAGS, *INTEGRITY_TAGS, *FAULT_TAGS):
+            assert tag in TAG_TAXONOMY
+
+
+class TestFromTimeline:
+    def test_folds_segments_per_tag(self, model):
+        tl = PowerTimeline()
+        tl.add(1.0, 2.0, "recv")
+        tl.add(0.5, 2.0, "recv")
+        tl.add(2.0, 1.0, "decompress")
+        ledger = EnergyLedger.from_timeline(tl)
+        by_tag = ledger.by_tag()
+        assert by_tag["recv"] == pytest.approx(3.0)
+        assert by_tag["decompress"] == pytest.approx(2.0)
+        recv = next(e for e in ledger.entries if e.tag == "recv")
+        assert recv.segments == 2
+        assert recv.time_s == pytest.approx(1.5)
+        assert recv.phase == "transfer"
+
+    def test_audit_passes_on_clean_timeline(self, model):
+        tl = PowerTimeline()
+        tl.add(1.0, 1.4, "recv")
+        tl.add(0.3, 0.9, "decompress")
+        report = EnergyLedger.from_timeline(tl).audit()
+        assert report.ok
+        assert report.relative_error <= LEDGER_REL_TOL
+
+    def test_by_phase_rolls_up(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 1.0, "recv")
+        tl.add(1.0, 1.0, "send")
+        tl.add(1.0, 1.0, "idle")
+        phases = EnergyLedger.from_timeline(tl).by_phase()
+        assert phases["transfer"] == pytest.approx(2.0)
+        assert phases["idle"] == pytest.approx(1.0)
+
+
+class TestAuditFailures:
+    def test_unregistered_tag_fails(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 1.0, "mystery-tag")
+        with pytest.raises(LedgerAuditError, match="mystery-tag"):
+            EnergyLedger.from_timeline(tl).audit()
+
+    def test_conservation_violation_fails(self):
+        entries = [LedgerEntry("recv", "transfer", 1.0, 1.0, 1)]
+        ledger = EnergyLedger(entries, total_energy_j=2.0, total_time_s=1.0)
+        with pytest.raises(LedgerAuditError, match="conservation violated"):
+            ledger.audit()
+
+    def test_negative_debit_fails(self):
+        entries = [
+            LedgerEntry("recv", "transfer", -1.0, 1.0, 1),
+            LedgerEntry("idle", "idle", 2.0, 1.0, 1),
+        ]
+        ledger = EnergyLedger(entries, total_energy_j=1.0, total_time_s=2.0)
+        with pytest.raises(LedgerAuditError, match="negative debit"):
+            ledger.audit()
+
+    def test_non_finite_total_fails(self):
+        entries = [LedgerEntry("recv", "transfer", 1.0, 1.0, 1)]
+        ledger = EnergyLedger(
+            entries, total_energy_j=math.nan, total_time_s=1.0
+        )
+        with pytest.raises(LedgerAuditError, match="non-finite"):
+            ledger.audit()
+
+    def test_non_strict_reports_instead_of_raising(self):
+        entries = [LedgerEntry("recv", "transfer", 1.0, 1.0, 1)]
+        ledger = EnergyLedger(entries, total_energy_j=2.0, total_time_s=1.0)
+        report = ledger.audit(strict=False)
+        assert not report.ok
+        assert any("conservation" in p for p in report.problems)
+
+
+class TestDiff:
+    def _ledger(self, **tags):
+        entries = [
+            LedgerEntry(tag, TAG_TAXONOMY.get(tag, "unknown"), j, 1.0, 1)
+            for tag, j in tags.items()
+        ]
+        return EnergyLedger(entries, sum(tags.values()), 1.0)
+
+    def test_identical_ledgers_diff_empty(self):
+        a = self._ledger(recv=2.0, decompress=1.0)
+        b = self._ledger(recv=2.0, decompress=1.0)
+        assert a.diff(b) == []
+
+    def test_mismatch_names_tag_and_both_sides(self):
+        a = self._ledger(recv=2.0)
+        b = self._ledger(recv=3.0)
+        lines = a.diff(b)
+        assert len(lines) >= 1
+        assert "recv" in lines[0]
+        assert "2.0" in lines[0] and "3.0" in lines[0]
+
+    def test_abs_floor_ignores_rounding_noise(self):
+        a = self._ledger(verify=1e-6)
+        b = self._ledger(verify=2e-6)
+        assert a.diff(b) == []
+
+    def test_excluded_tags_are_skipped(self):
+        a = self._ledger(recv=2.0, retransmit=0.5)
+        b = self._ledger(recv=2.0, retransmit=5.0)
+        assert a.diff(b, exclude_tags=LOSS_TAGS) == []
+
+    def test_format_lists_every_tag(self):
+        a = self._ledger(recv=2.0, decompress=1.0)
+        text = a.format(title="session")
+        assert "session" in text
+        assert "recv" in text and "decompress" in text
+        assert "total" in text
+
+
+class TestSchemeConservation:
+    """Satellite: every scheme and recovery policy keeps a closed ledger."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("engine_cls", [AnalyticSession, DesSession])
+    def test_precompressed_schemes_conserve(self, model, engine_cls, scheme):
+        session = engine_cls(model)
+        s = mb(1)
+        result = session.precompressed(s, int(s / 3.0), codec=scheme)
+        report = result.ledger().audit()
+        assert report.ok
+
+    @pytest.mark.parametrize(
+        "policy", [p.value for p in RecoveryPolicy]
+    )
+    @pytest.mark.parametrize("engine_cls", [AnalyticSession, DesSession])
+    def test_recovery_policies_conserve(self, model, engine_cls, policy):
+        session = engine_cls(
+            model,
+            corruption=BitFlipCorruption(1e-7, seed=9),
+            recovery=RecoveryConfig(policy=policy, max_retries=6),
+        )
+        s = mb(1)
+        result = session.precompressed(s, int(s / 3.0), codec="gzip")
+        report = result.ledger().audit()
+        assert report.ok
+        # The integrity rollup reconciles with the legacy field.
+        assert result.integrity_overhead_j == pytest.approx(
+            result.ledger().energy(*INTEGRITY_TAGS)
+        )
+
+    @pytest.mark.parametrize("engine_cls", [AnalyticSession, DesSession])
+    def test_lossy_sessions_conserve(self, model, engine_cls):
+        session = engine_cls(
+            model, loss=UniformLoss(0.03, seed=11), arq=ArqConfig()
+        )
+        s = mb(1)
+        result = session.precompressed(s, int(s / 3.0), codec="gzip")
+        assert result.ledger().audit().ok
+        assert result.loss_overhead_j == pytest.approx(
+            result.ledger().energy(*LOSS_TAGS)
+        )

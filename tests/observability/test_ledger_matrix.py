@@ -1,0 +1,138 @@
+"""Acceptance sweep: every engine x scenario x fault-option combination
+leaves a closed ledger.
+
+The option matrix crosses both engines with every download/upload
+scenario and every extension mix (lossy link, corrupting channel with
+each recovery policy, scripted fault timeline, resume, watchdog).
+Combinations an engine rejects by contract (``ModelError``) are skipped
+— the point is that every combination that *runs* passes
+``EnergyLedger.audit()`` and keeps the derived overhead fields disjoint.
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import RecoveryConfig
+from repro.core.resume import ResumeConfig
+from repro.core.watchdog import WatchdogConfig
+from repro.errors import ModelError
+from repro.network.arq import ArqConfig
+from repro.network.corruption import BitFlipCorruption
+from repro.network.loss import UniformLoss
+from repro.network.timeline import FaultTimeline
+from repro.observability.ledger import (
+    FAULT_TAGS,
+    INTEGRITY_TAGS,
+    LOSS_TAGS,
+)
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+MODEL = EnergyModel()
+S = mb(1)
+SC = S // 3
+
+SCENARIOS = {
+    "raw": lambda s: s.raw(S),
+    "sequential": lambda s: s.precompressed(S, SC, interleave=False),
+    "interleaved": lambda s: s.precompressed(S, SC, interleave=True),
+    "sleep": lambda s: s.precompressed(
+        S, SC, interleave=False, radio_power_save=True
+    ),
+    "ondemand-seq": lambda s: s.ondemand(S, SC, overlap=False),
+    "ondemand-overlap": lambda s: s.ondemand(S, SC, overlap=True),
+    "upload-raw": lambda s: s.upload_raw(S),
+    "upload-interleaved": lambda s: s.upload_compressed(S, SC, interleave=True),
+}
+
+FAULTS = FaultTimeline.parse(
+    rate_schedule="0.2:2,0.6:11", outages=["0.4:0.2:0.05"], stalls=["0.1:0.05"]
+)
+
+OPTION_MIXES = {
+    "clean": {},
+    "loss": {"loss": UniformLoss(0.02, seed=5), "arq": ArqConfig()},
+    "corrupt-restart": {
+        "corruption": BitFlipCorruption(1e-7, seed=9),
+        "recovery": RecoveryConfig(policy="restart", max_retries=6),
+    },
+    "corrupt-refetch": {
+        "corruption": BitFlipCorruption(1e-7, seed=9),
+        "recovery": RecoveryConfig(policy="refetch", max_retries=6),
+    },
+    "corrupt-degrade": {
+        "corruption": BitFlipCorruption(1e-7, seed=9),
+        "recovery": RecoveryConfig(policy="degrade", max_retries=6),
+    },
+    "corrupt-resume": {
+        "corruption": BitFlipCorruption(1e-7, seed=9),
+        "recovery": RecoveryConfig(policy="resume", max_retries=6),
+    },
+    "faults": {"faults": FAULTS},
+    "faults-resume": {
+        "faults": FAULTS,
+        "resume": ResumeConfig(checkpoint_bytes=64 * 1024),
+    },
+    "faults-watchdog": {
+        "faults": FAULTS,
+        "watchdog": WatchdogConfig.uniform(3600.0),
+    },
+    "loss-corrupt": {
+        "loss": UniformLoss(0.02, seed=5),
+        "arq": ArqConfig(),
+        "corruption": BitFlipCorruption(1e-7, seed=9),
+        "recovery": RecoveryConfig(policy="refetch", max_retries=6),
+    },
+}
+
+
+@pytest.mark.parametrize("mix_name", sorted(OPTION_MIXES))
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("engine_cls", [AnalyticSession, DesSession])
+def test_every_running_combination_audits(engine_cls, scenario, mix_name):
+    options = OPTION_MIXES[mix_name]
+    try:
+        session = engine_cls(MODEL, **options)
+        result = SCENARIOS[scenario](session)
+    except ModelError as exc:
+        pytest.skip(f"engine rejects this combination: {exc}")
+
+    # from_timeline already audited strictly; re-audit for the report.
+    report = result.ledger().audit(strict=False)
+    assert report.ok, "\n".join(report.problems)
+
+    ledger = result.ledger()
+    # Legacy overhead fields reconcile with the ledger's tag groups...
+    assert result.loss_overhead_j == pytest.approx(ledger.energy(*LOSS_TAGS))
+    assert result.integrity_overhead_j == pytest.approx(
+        ledger.energy(*INTEGRITY_TAGS)
+    )
+    assert result.fault_overhead_j == pytest.approx(
+        ledger.energy(*FAULT_TAGS)
+    )
+    assert result.recovery_energy_j == pytest.approx(ledger.energy("refetch"))
+    # ...and the disjoint debits never sum past the session total.
+    overheads = (
+        result.loss_overhead_j
+        + result.integrity_overhead_j
+        + result.fault_overhead_j
+    )
+    assert overheads <= result.energy_j * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("engine_cls", [AnalyticSession, DesSession])
+def test_fault_refetch_and_corruption_refetch_are_disjoint(engine_cls):
+    """The double-count regression: a faulty session's re-deliveries land
+    on ``refetch-fault``, never on the integrity tag."""
+    try:
+        session = engine_cls(MODEL, faults=FAULTS)
+        result = session.precompressed(S, SC, interleave=False)
+    except ModelError as exc:
+        pytest.skip(str(exc))
+    tags = set(result.ledger().by_tag())
+    assert "refetch" not in tags
+    assert result.recovery_energy_j == 0.0
+    if result.fault_stats is not None and result.fault_stats.refetched_bytes:
+        assert "refetch-fault" in tags
+        assert result.fault_overhead_j > 0

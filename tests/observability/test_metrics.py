@@ -1,0 +1,170 @@
+"""Metrics-registry tests: instrument semantics and export formats.
+
+The registry hand-rolls the Prometheus text exposition format, so the
+tests pin the grammar directly (HELP/TYPE comments, labelled samples,
+cumulative histogram buckets) along with the JSON twin and the standard
+session/fleet observation sets.
+"""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.observability.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.multiclient import MultiClientSimulation, Request
+from tests.conftest import mb
+
+#: One Prometheus exposition line: comment, or `name{labels} value`.
+PROM_LINE = re.compile(
+    r"^(#\s(HELP|TYPE)\s[a-zA-Z_:][a-zA-Z0-9_:]*\s.+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?\s[0-9.eE+-]+|\S+\s\+Inf)$"
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        with pytest.raises(ValueError):
+            c.inc(math.inf)
+
+    def test_gauge_goes_anywhere(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value == pytest.approx(3.0)
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.7, 3.0, 20.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 2), (5.0, 3), (10.0, 3)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(24.2)
+        with pytest.raises(ValueError):
+            h.observe(math.nan)
+
+    def test_registry_reuses_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", engine="des")
+        b = reg.counter("hits", engine="des")
+        c = reg.counter("hits", engine="analytic")
+        assert a is b
+        assert a is not c
+
+    def test_kind_collision_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("widget")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("widget")
+
+
+class TestPrometheusExport:
+    def test_every_line_matches_the_grammar(self, model):
+        reg = MetricsRegistry()
+        reg.observe_session(AnalyticSession(model).raw(mb(1)), "analytic")
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            assert PROM_LINE.match(line), f"bad exposition line: {line!r}"
+
+    def test_schema_version_sample_leads(self, model):
+        reg = MetricsRegistry()
+        text = reg.to_prometheus()
+        assert f"repro_metrics_schema_version {METRICS_SCHEMA_VERSION}" in text
+
+    def test_histogram_renders_buckets_sum_count(self, model):
+        reg = MetricsRegistry()
+        reg.observe_session(AnalyticSession(model).raw(mb(1)), "analytic")
+        text = reg.to_prometheus()
+        assert 'repro_session_time_seconds_bucket{engine="analytic",le="+Inf"} 1' in text
+        assert "repro_session_time_seconds_sum" in text
+        assert "repro_session_time_seconds_count" in text
+
+    def test_labels_are_rendered(self, model):
+        reg = MetricsRegistry()
+        reg.observe_session(
+            AnalyticSession(model).precompressed(mb(1), mb(1) // 3), "analytic"
+        )
+        text = reg.to_prometheus()
+        assert '{engine="analytic",scenario="interleaved"}' in text
+
+
+class TestJsonExport:
+    def test_document_shape(self, model, tmp_path):
+        reg = MetricsRegistry()
+        reg.observe_session(AnalyticSession(model).raw(mb(1)), "analytic")
+        doc = reg.to_json()
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        assert doc["namespace"] == "repro"
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_sessions_total" in names
+        path = tmp_path / "metrics.json"
+        reg.write(path)
+        assert json.loads(path.read_text())["schema_version"] == (
+            METRICS_SCHEMA_VERSION
+        )
+
+    def test_write_picks_format_by_suffix(self, model, tmp_path):
+        reg = MetricsRegistry()
+        reg.observe_session(AnalyticSession(model).raw(mb(1)), "analytic")
+        prom = tmp_path / "metrics.prom"
+        reg.write(prom)
+        assert prom.read_text().startswith("# HELP")
+
+
+class TestStandardObservations:
+    def test_session_energy_counter_sums(self, model):
+        reg = MetricsRegistry()
+        session = AnalyticSession(model)
+        r1 = session.raw(mb(1))
+        r2 = session.raw(mb(1))
+        reg.observe_session(r1, "analytic")
+        reg.observe_session(r2, "analytic")
+        total = reg.counter(
+            "session_energy_joules_total", engine="analytic", scenario="raw"
+        )
+        assert total.value == pytest.approx(r1.energy_j + r2.energy_j)
+        by_tag = reg.counter(
+            "energy_joules_by_tag_total", engine="analytic", tag="recv"
+        )
+        assert by_tag.value > 0
+
+    def test_fleet_observation_through_multiclient(self, model):
+        reg = MetricsRegistry()
+        sim = MultiClientSimulation(model, metrics=reg)
+        report = sim.run(
+            [
+                Request("c0", "f0", mb(1), 3.0, 0.0, strategy="raw"),
+                Request("c1", "f1", mb(1), 3.0, 0.0, strategy="compressed"),
+            ]
+        )
+        assert reg.counter(
+            "fleet_requests_total", strategy="mixed"
+        ).value == 2
+        assert reg.counter(
+            "fleet_energy_joules_total", strategy="mixed"
+        ).value == pytest.approx(report.total_energy_j)
+        sessions = reg.counter(
+            "sessions_total", engine="fleet-analytic", scenario="raw"
+        )
+        assert sessions.value == 1

@@ -1,0 +1,195 @@
+"""Trace-layer tests: span derivation, tracer lifecycle, JSONL schema.
+
+The trace is the engines' narration: spans are coalesced same-tag
+timeline intervals, events are the point occurrences emitted while
+simulating.  The JSONL stream must round-trip through the summarizer
+and keep the conservation identity the spans inherit from the ledger.
+"""
+
+import json
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.device.timeline import PowerTimeline
+from repro.errors import TraceFormatError, WatchdogTimeout
+from repro.network.arq import ArqConfig
+from repro.network.loss import UniformLoss
+from repro.observability.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    SessionTracer,
+    spans_from_timeline,
+)
+from repro.observability.summarize import load_trace, summarize
+from repro.simulator.analytic import AnalyticSession
+from repro.simulator.des import DesSession
+from tests.conftest import mb
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestSpansFromTimeline:
+    def test_coalesces_same_tag_neighbours(self):
+        tl = PowerTimeline()
+        tl.add(1.0, 2.0, "recv")
+        tl.add(0.5, 1.0, "recv")  # power change, same tag: one span
+        tl.add(2.0, 1.0, "decompress")
+        spans = spans_from_timeline(tl)
+        assert [s.tag for s in spans] == ["recv", "decompress"]
+        assert spans[0].start_s == 0.0
+        assert spans[0].end_s == pytest.approx(1.5)
+        assert spans[0].energy_j == pytest.approx(2.5)
+        assert spans[1].start_s == pytest.approx(1.5)
+        assert spans[1].duration_s == pytest.approx(2.0)
+
+    def test_spans_conserve_timeline_energy(self, model):
+        result = AnalyticSession(model).precompressed(mb(1), mb(1) // 3)
+        spans = spans_from_timeline(result.timeline)
+        assert sum(s.energy_j for s in spans) == pytest.approx(
+            result.energy_j, rel=1e-9
+        )
+        # Spans tile the session clock without gaps.
+        clock = 0.0
+        for s in spans:
+            assert s.start_s == pytest.approx(clock)
+            clock = s.end_s
+        assert clock == pytest.approx(result.time_s)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.event("x", 0.0, a=1)
+        NULL_TRACER.record_session(None, "analytic")
+        NULL_TRACER.record_failure(ValueError("x"), "des", 0.0)
+
+    def test_engines_default_to_null_tracer(self, model):
+        assert AnalyticSession(model).tracer is NULL_TRACER
+        assert DesSession(model).tracer is NULL_TRACER
+
+    def test_traced_session_matches_untraced(self, model):
+        """Tracing must observe, never perturb."""
+        plain = AnalyticSession(model).precompressed(mb(1), mb(1) // 3)
+        traced_session = AnalyticSession(model, tracer=SessionTracer())
+        traced = traced_session.precompressed(mb(1), mb(1) // 3)
+        assert traced.energy_j == plain.energy_j
+        assert traced.time_s == plain.time_s
+
+
+class TestSessionTracer:
+    def test_records_sessions_with_spans(self, model):
+        tracer = SessionTracer()
+        session = AnalyticSession(model, tracer=tracer)
+        session.raw(mb(1))
+        session.precompressed(mb(1), mb(1) // 3, codec="gzip")
+        assert len(tracer.sessions) == 2
+        assert tracer.sessions[0].session_id == 0
+        assert tracer.sessions[0].scenario == "raw"
+        assert tracer.sessions[1].codec == "gzip"
+        assert tracer.sessions[1].spans
+        for trace in tracer.sessions:
+            assert sum(s.energy_j for s in trace.spans) == pytest.approx(
+                trace.energy_j, rel=1e-9
+            )
+
+    def test_events_attach_to_the_next_session(self, model):
+        tracer = SessionTracer()
+        session = AnalyticSession(
+            model, loss=UniformLoss(0.02), arq=ArqConfig(), tracer=tracer
+        )
+        session.precompressed(mb(1), mb(1) // 3)
+        (trace,) = tracer.sessions
+        names = [e.name for e in trace.events]
+        assert "loss-overhead" in names
+
+    def test_des_emits_arq_retry_events(self, model):
+        tracer = SessionTracer()
+        session = DesSession(
+            model, loss=UniformLoss(0.05, seed=3), arq=ArqConfig(),
+            tracer=tracer,
+        )
+        session.raw(mb(1))
+        (trace,) = tracer.sessions
+        assert any(e.name == "arq-retry" for e in trace.events)
+
+    def test_watchdog_trip_records_failure(self, model):
+        from repro.core.watchdog import WatchdogConfig
+
+        tracer = SessionTracer()
+        session = AnalyticSession(
+            model, watchdog=WatchdogConfig(receive_s=0.001), tracer=tracer
+        )
+        with pytest.raises(WatchdogTimeout):
+            session.raw(mb(4))
+        assert not tracer.sessions
+        (failure,) = tracer.failures
+        assert failure.attrs["error"] == "WatchdogTimeout"
+        # Pending events died with the session; the next one starts clean.
+        assert tracer._pending == []
+
+
+class TestJsonl:
+    def test_header_first_and_schema_version(self, model, tmp_path):
+        tracer = SessionTracer()
+        AnalyticSession(model, tracer=tracer).raw(mb(1))
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "header"
+        assert records[0]["schema_version"] == TRACE_SCHEMA_VERSION
+        assert records[0]["sessions"] == 1
+        types = {r["type"] for r in records[1:]}
+        assert types == {"session", "span"}
+
+    def test_round_trips_through_summarizer(self, model, tmp_path):
+        tracer = SessionTracer()
+        session = AnalyticSession(model, tracer=tracer)
+        session.raw(mb(1))
+        session.precompressed(mb(1), mb(1) // 3)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        header, summaries = load_trace(path)
+        assert len(summaries) == 2
+        assert all(s.conserved for s in summaries)
+        text, ok = summarize(path)
+        assert ok
+        assert "OK" in text
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"type": "header", "schema_version": 999}) + "\n"
+        )
+        with pytest.raises(TraceFormatError, match="schema"):
+            load_trace(path)
+
+    def test_garbage_line_is_rejected(self, model, tmp_path):
+        tracer = SessionTracer()
+        AnalyticSession(model, tracer=tracer).raw(mb(1))
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        path.write_text(path.read_text() + "not json\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_summarizer_flags_conservation_violation(self, model, tmp_path):
+        tracer = SessionTracer()
+        AnalyticSession(model, tracer=tracer).raw(mb(1))
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        doctored = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            if record["type"] == "span" and record["tag"] == "recv":
+                record["energy_j"] *= 2  # cook the books
+            doctored.append(json.dumps(record))
+        path.write_text("\n".join(doctored) + "\n")
+        text, ok = summarize(path)
+        assert not ok
+        assert "CONSERVATION VIOLATED" in text

@@ -197,3 +197,135 @@ class TestCorpusAndTable2:
         assert len(files) == 37
         out = capsys.readouterr().out
         assert "achieved" in out
+
+
+class TestTraceAndMetrics:
+    """Satellite: the observability flags emit well-formed artifacts."""
+
+    def _simulate(self, tmp_path, *extra):
+        trace = tmp_path / "out.jsonl"
+        argv = [
+            "simulate", "--size-mb", "0.5", "--scenario", "interleaved",
+            "--trace", str(trace), *extra,
+        ]
+        assert main(argv) == 0
+        return trace
+
+    def test_trace_is_valid_jsonl_with_schema_version(self, tmp_path, capsys):
+        import json
+
+        trace = self._simulate(tmp_path)
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records, "trace file is empty"
+        header = records[0]
+        assert header["type"] == "header"
+        assert header["schema_version"] == 1
+        types = {r["type"] for r in records}
+        assert {"header", "session", "span"} <= types
+        for r in records:
+            assert "type" in r
+
+    def test_trace_spans_conserve_energy(self, tmp_path):
+        import json
+
+        trace = self._simulate(tmp_path)
+        sessions, spans = {}, {}
+        for line in trace.read_text().splitlines():
+            r = json.loads(line)
+            if r["type"] == "session":
+                sessions[r["session_id"]] = r["energy_j"]
+            elif r["type"] == "span":
+                spans[r["session_id"]] = (
+                    spans.get(r["session_id"], 0.0) + r["energy_j"]
+                )
+        assert sessions
+        for sid, total in sessions.items():
+            assert spans[sid] == pytest.approx(total, rel=1e-9)
+
+    def test_trace_summarize_round_trip(self, tmp_path, capsys):
+        trace = self._simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "OK" in out
+        assert "interleaved" in out
+
+    def test_trace_summarize_flags_doctored_file(self, tmp_path, capsys):
+        import json
+
+        trace = self._simulate(tmp_path)
+        doctored = []
+        for line in trace.read_text().splitlines():
+            r = json.loads(line)
+            if r["type"] == "span" and r["tag"] == "recv":
+                r["energy_j"] *= 3
+            doctored.append(json.dumps(r))
+        trace.write_text("\n".join(doctored) + "\n")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 1
+        assert "CONSERVATION VIOLATED" in capsys.readouterr().out
+
+    def test_trace_summarize_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(SystemExit, match="bad trace file"):
+            main(["trace", "summarize", str(bad)])
+
+    def test_trace_summarize_rejects_schema_mismatch(self, tmp_path):
+        import json
+
+        bad = tmp_path / "future.jsonl"
+        bad.write_text(
+            json.dumps({"type": "header", "schema_version": 999}) + "\n"
+        )
+        with pytest.raises(SystemExit, match="schema"):
+            main(["trace", "summarize", str(bad)])
+
+    def test_simulate_metrics_prometheus_format(self, tmp_path, capsys):
+        import re
+
+        metrics = tmp_path / "out.prom"
+        assert main([
+            "simulate", "--size-mb", "0.5", "--metrics", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "repro_metrics_schema_version 1" in text
+        line_re = re.compile(
+            r"^(#\s(HELP|TYPE)\s\S+\s.+"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?\s[0-9.eE+-]+"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*\}\s\+Inf)$"
+        )
+        for line in text.rstrip("\n").splitlines():
+            assert line_re.match(line), f"bad exposition line: {line!r}"
+
+    def test_simulate_metrics_json_twin(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "out.json"
+        assert main([
+            "simulate", "--size-mb", "0.5", "--metrics", str(metrics),
+        ]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["schema_version"] == 1
+        assert any(
+            m["name"] == "repro_sessions_total" for m in doc["metrics"]
+        )
+
+    def test_fleet_metrics_export(self, tmp_path, capsys):
+        metrics = tmp_path / "fleet.prom"
+        assert main([
+            "fleet", "--clients", "2", "--size-mb", "0.5",
+            "--metrics", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "repro_fleet_requests_total" in text
+        assert "repro_fleet_energy_joules_total" in text
+
+    def test_traced_des_simulation(self, tmp_path, capsys):
+        trace = self._simulate(tmp_path, "--engine", "des")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "[des]" in capsys.readouterr().out
