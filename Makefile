@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean
+.PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean \
+	campaign-smoke baseline campaign-perf
 
 install:
 	$(PYTHON) setup.py develop
@@ -50,6 +51,47 @@ trace-check:
 		$(PYTHON) -m repro trace summarize "$$tmp/$$engine.jsonl" || exit 1; \
 		grep -q "repro_metrics_schema_version 1" "$$tmp/$$engine.prom" || exit 1; \
 	done
+
+# CI campaign gate: run the checked-in smoke campaign cold, rerun it
+# warm from the shared cache (must recompute zero cells and reproduce
+# results.jsonl byte for byte), then diff against the pinned baseline
+# (non-zero exit on any out-of-tolerance drift).
+campaign-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(PYTHON) -m repro campaign run --spec benchmarks/campaigns/smoke.json \
+		--out "$$tmp/cold" --cache-dir "$$tmp/cache" -j 2 || exit 1; \
+	$(PYTHON) -m repro campaign run --spec benchmarks/campaigns/smoke.json \
+		--out "$$tmp/warm" --cache-dir "$$tmp/cache" -j 2 \
+		| tee "$$tmp/warm.log" || exit 1; \
+	grep -q "executed 0" "$$tmp/warm.log" || \
+		{ echo "FAIL: warm rerun recomputed cells"; exit 1; }; \
+	cmp "$$tmp/cold/results.jsonl" "$$tmp/warm/results.jsonl" || \
+		{ echo "FAIL: cold and warm results differ"; exit 1; }; \
+	$(PYTHON) -m repro campaign status --out "$$tmp/warm" || exit 1; \
+	$(PYTHON) -m repro campaign diff --out "$$tmp/warm" \
+		--baseline benchmarks/campaigns/smoke_baseline.jsonl
+
+# Refresh the pinned smoke baseline after an intentional model change.
+baseline:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(PYTHON) -m repro campaign run --spec benchmarks/campaigns/smoke.json \
+		--out "$$tmp/run" --no-cache || exit 1; \
+	$(PYTHON) -m repro campaign baseline --out "$$tmp/run" \
+		--baseline benchmarks/campaigns/smoke_baseline.jsonl
+
+# Opt-in parallel speedup demo: the dense Eq. 6 sweep at -j 1 vs -j 4,
+# with byte-identity of the two result files checked at the end.  Only
+# meaningful on a multi-core machine (single-core CI shows ~1x).
+campaign-perf:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	echo "== eq6-dense -j 1"; \
+	$(PYTHON) -m repro campaign run --preset eq6-dense \
+		--out "$$tmp/j1" --no-cache -j 1 || exit 1; \
+	echo "== eq6-dense -j 4"; \
+	$(PYTHON) -m repro campaign run --preset eq6-dense \
+		--out "$$tmp/j4" --no-cache -j 4 || exit 1; \
+	cmp "$$tmp/j1/results.jsonl" "$$tmp/j4/results.jsonl" && \
+		echo "OK: -j 1 and -j 4 results are byte-identical"
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done

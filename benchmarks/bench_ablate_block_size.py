@@ -32,7 +32,16 @@ def test_block_size_ablation(benchmark, model):
         rows,
         title="Ablation - interleaving block size",
     )
-    write_artifact("ablate_block_size", text)
+    write_artifact(
+        "ablate_block_size",
+        text,
+        data={
+            "sweep": [
+                {"block_mb": b, "interleaved_j": e, "ti_dprime_s": t}
+                for b, e, t in rows
+            ],
+        },
+    )
 
     energies = [e for _, e, _ in rows]
     ti_dprimes = [t for _, _, t in rows]

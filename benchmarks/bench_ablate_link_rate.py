@@ -40,7 +40,16 @@ def test_link_rate_ablation(benchmark):
         rows,
         title="Ablation - link rate vs compression break-even factor",
     )
-    write_artifact("ablate_link_rate", text)
+    write_artifact(
+        "ablate_link_rate",
+        text,
+        data={
+            "links": [
+                {"link": label, "raw_j_per_mb": c, "break_even_factor": f}
+                for label, c, f in rows
+            ],
+        },
+    )
 
     factors = [f for _, _, f in rows]
     costs = [c for _, c, _ in rows]
@@ -79,7 +88,20 @@ def test_ladder_thresholds(benchmark):
         rows,
         title="802.11b ladder - Equation 6 re-derived per rung",
     )
-    write_artifact("ablate_link_rate_ladder", text)
+    write_artifact(
+        "ablate_link_rate_ladder",
+        text,
+        data={
+            "rungs": [
+                {
+                    "rung": label,
+                    "break_even_factor": f,
+                    "size_floor_bytes": floor,
+                }
+                for label, f, floor in rows
+            ],
+        },
+    )
 
     floors = [floor for _, _, floor in rows]
     factors = [f for _, f, _ in rows]

@@ -56,7 +56,21 @@ def test_audio_filter_extension(benchmark, model, analytic):
         rows,
         title="Specialized audio filter on 1 MB PCM-like capture",
     )
-    write_artifact("audio_filter", text)
+    write_artifact(
+        "audio_filter",
+        text,
+        data={
+            "codecs": [
+                {
+                    "codec": name,
+                    "factor": float(factor),
+                    "download_j": down_j,
+                    "upload_j": up_j,
+                }
+                for name, factor, down_j, up_j in rows
+            ],
+        },
+    )
 
     by_name = {r[0]: r for r in rows}
     plain_f = float(by_name["zlib"][1])

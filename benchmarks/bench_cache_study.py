@@ -65,7 +65,17 @@ def test_cache_study(benchmark, model, analytic):
         rows,
         title=f"Precompression cache study (120 Zipf requests, hit rate {hit_rate:.0%})",
     )
-    write_artifact("cache_study", text)
+    write_artifact(
+        "cache_study",
+        text,
+        data={
+            "policies": [
+                {"policy": label, "trace_energy_j": joules}
+                for label, joules in rows
+            ],
+            "hit_rate": hit_rate,
+        },
+    )
 
     ondemand_j = rows[0][1]
     cached_j = rows[1][1]

@@ -9,56 +9,46 @@ Equation 6 analysis and a representative interleaved download across
 residual bit-error rates, then reports the headline number of the
 integrity extension: the break-even BER per scheme and recovery policy,
 above which shipping the file raw is the energy-cheaper strategy.
+
+The sweep grid lives in ``repro.campaign.presets.corruption_sweep_spec``;
+this bench runs it through the campaign runner and assembles its tables
+from the result records.  Raw downloads carry no framing to poison, so
+the spec holds a single clean raw cell whose energy every row reuses.
 """
 
 import pytest
 
 from repro.analysis.report import ascii_table
-from repro.core import thresholds
-from repro.core.recovery import RecoveryConfig
-from repro.network.corruption import BitFlipCorruption
-from repro.simulator.analytic import AnalyticSession
-from benchmarks.common import SCHEMES, write_artifact
-from tests.conftest import mb
-
-#: Residual bit-error rates swept (0 = the paper's clean channel).
-BER_RATES = (0.0, 1e-8, 1e-7, 3e-7, 1e-6)
-
-#: Representative whole-file factors per scheme (Table 2 text-file
-#: ballpark: gzip ~3.8, compress ~2.9, bzip2 ~4.3).
-SCHEME_FACTORS = {"gzip": 3.8, "compress": 2.9, "bzip2": 4.3}
+from repro.campaign.presets import BER_RATES, corruption_sweep_spec
+from repro.campaign.runner import run_campaign
+from benchmarks.common import SCHEMES, campaign_jobs, write_artifact
 
 POLICIES = ("restart", "refetch", "degrade")
 
 
 def compute(model):
-    s = mb(1)
+    result = run_campaign(corruption_sweep_spec(), jobs=campaign_jobs())
+    assert result.ok, [r for r in result.records if r["status"] != "ok"]
+    by_id = result.by_id()
     energy_rows = []
     recovery_rows = []
-    raw_baseline = AnalyticSession(model).raw(s).energy_j
+    raw_e = result.metric("energy/raw", "energy_j")
     for ber in BER_RATES:
-        corruption = BitFlipCorruption(ber) if ber > 0 else None
-        session = AnalyticSession(model, corruption=corruption)
-        raw_e = session.raw(s).energy_j
-        assert raw_e == raw_baseline  # raw bytes carry no framing to poison
         row = [round(raw_e, 3)]
         rec_row = []
         for scheme in SCHEMES:
-            sc = int(s / SCHEME_FACTORS[scheme])
-            result = session.precompressed(s, sc, codec=scheme, interleave=True)
-            row.append(round(result.energy_j, 3))
-            rec_row.append(round(result.integrity_overhead_j, 3))
+            metrics = by_id[f"energy/{ber}/{scheme}"]["metrics"]
+            row.append(round(metrics["energy_j"], 3))
+            # A clean channel carries no recovery machinery at all, so
+            # the overhead metric is simply absent there.
+            rec_row.append(round(metrics.get("integrity_overhead_j", 0.0), 3))
         energy_rows.append(tuple(row))
         recovery_rows.append(tuple(rec_row))
 
     break_even = {
         scheme: {
-            policy: thresholds.break_even_corrupt_rate(
-                s,
-                SCHEME_FACTORS[scheme],
-                model,
-                codec=scheme,
-                recovery=RecoveryConfig(policy=policy),
+            policy: float(
+                result.metric(f"break-even/{scheme}/{policy}", "break_even_ber")
             )
             for policy in POLICIES
         }

@@ -45,7 +45,22 @@ def test_distance_sweep(benchmark):
         rows,
         title="Energy vs distance under 802.11b rate adaptation",
     )
-    write_artifact("distance_sweep", text)
+    write_artifact(
+        "distance_sweep",
+        text,
+        data={
+            "sweep": [
+                {
+                    "distance_m": d,
+                    "rate_mbps": float(rate),
+                    "raw_j_per_mb": raw_j,
+                    "break_even_factor": f,
+                    "interleaved_4mb_j": comp_j,
+                }
+                for d, rate, raw_j, f, comp_j in rows
+            ],
+        },
+    )
 
     raw_costs = [r[2] for r in rows]
     break_evens = [r[3] for r in rows]

@@ -2,27 +2,40 @@
 
 Checks the three headline constants — the 3900-byte size threshold, the
 large-file factor threshold 1.13, and the small-file numerator 1.30 —
-re-derived from the model rather than transcribed.
+re-derived from the model rather than transcribed.  The sweep itself
+runs as a campaign (``repro.campaign.presets.eq6_spec``) so the grid
+fans out over the machine's cores; the bench assembles its table from
+the campaign records.
 """
 
 import pytest
 
 from repro.analysis.report import ascii_table
+from repro.campaign.presets import EQ6_SIZES_MB, eq6_spec
+from repro.campaign.runner import run_campaign
 from repro.core import thresholds
-from benchmarks.common import write_artifact
+from benchmarks.common import campaign_jobs, write_artifact
 from tests.conftest import mb
 
 
 def compute(model):
-    size_paper = thresholds.size_threshold_bytes()
-    size_model = thresholds.size_threshold_bytes(model)
+    result = run_campaign(eq6_spec(), jobs=campaign_jobs())
+    assert result.ok, [r for r in result.records if r["status"] != "ok"]
+    size_paper = result.metric("floor/literal", "size_floor_bytes")
+    size_model = result.metric("floor/model", "size_floor_bytes")
     rows = []
-    for s_mb in (0.01, 0.05, 0.128, 0.5, 1, 4, 8):
+    for s_mb in EQ6_SIZES_MB:
         rows.append(
             (
                 f"{s_mb} MB",
-                round(thresholds.factor_threshold(mb(s_mb)), 3),
-                round(thresholds.factor_threshold(mb(s_mb), model), 3),
+                round(
+                    result.metric(f"factor/{s_mb}/literal",
+                                  "factor_threshold"), 3
+                ),
+                round(
+                    result.metric(f"factor/{s_mb}/model",
+                                  "factor_threshold"), 3
+                ),
             )
         )
     return size_paper, size_model, rows

@@ -50,7 +50,11 @@ def test_fig11_block_adaptive(benchmark, corpus, analytic):
         max_value=1.5,
         title="Figure 11 - relative energy with the block-adaptive scheme",
     )
-    write_artifact("fig11_adaptive", text)
+    write_artifact(
+        "fig11_adaptive",
+        text,
+        data={"files": labels, "energy_ratios": series},
+    )
 
     for i, label in enumerate(labels):
         # The headline: adaptive never loses to no-compression.

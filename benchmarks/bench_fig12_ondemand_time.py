@@ -41,7 +41,11 @@ def test_fig12_ondemand_time(benchmark, analytic):
         max_value=2.0,
         title="Figure 12 - relative time, compression on demand",
     )
-    write_artifact("fig12_ondemand_time", text)
+    write_artifact(
+        "fig12_ondemand_time",
+        text,
+        data={"files": labels, "time_ratios": series},
+    )
 
     specs = large_specs()
     # The overlapped pipeline always beats the serialized tools.

@@ -41,7 +41,11 @@ def test_fig13_ondemand_energy(benchmark, analytic):
         max_value=2.0,
         title="Figure 13 - relative energy, compression on demand",
     )
-    write_artifact("fig13_ondemand_energy", text)
+    write_artifact(
+        "fig13_ondemand_energy",
+        text,
+        data={"files": labels, "energy_ratios": series},
+    )
 
     specs = large_specs()
     # gzip fares better than compress in nearly all cases (Section 5).

@@ -33,7 +33,22 @@ def test_fig3_energy_breakdown(benchmark, analytic):
         rows,
         title="Figure 3 - energy breakdown (download then decompress)",
     )
-    write_artifact("fig3_breakdown", text)
+    write_artifact(
+        "fig3_breakdown",
+        text,
+        data={
+            "sessions": {
+                "raw_4mb": {
+                    "energy_j": raw.energy_j,
+                    "breakdown_j": dict(sorted(raw.energy_breakdown().items())),
+                },
+                "gzip_4mb_sequential": {
+                    "energy_j": seq.energy_j,
+                    "breakdown_j": dict(sorted(seq.energy_breakdown().items())),
+                },
+            },
+        },
+    )
 
     # 'about 30% of the total downloading energy is consumed when idling'.
     idle_share = raw.energy_breakdown()["idle"] / raw.energy_j

@@ -65,7 +65,22 @@ def test_fig4_interleaving_regimes(benchmark):
             for b in plan.blocks[:4]
         ]
         text += f"\n\n{label} regime, first blocks:\n" + "\n".join(lines)
-    write_artifact("fig4_interleave_timeline", text)
+    write_artifact(
+        "fig4_interleave_timeline",
+        text,
+        data={
+            "regimes": {
+                label: {
+                    "receive_end_s": plan.receive_end_s,
+                    "finish_s": plan.finish_s,
+                    "residual_idle_s": plan.residual_idle_s,
+                    "overflow_s": plan.overflow_s,
+                    "saturated": plan.saturated,
+                }
+                for label, plan in (("fast", fast), ("slow", slow))
+            },
+        },
+    )
 
     # Regime (a): idle periods remain, finish ~ receive end.
     assert not fast.saturated

@@ -37,7 +37,16 @@ def test_fig5_interleaving_time(benchmark, analytic):
         max_value=1.5,
         title="Figure 5 - relative time: gzip / zlib / zlib interleaved",
     )
-    write_artifact("fig5_interleave_time", text)
+    write_artifact(
+        "fig5_interleave_time",
+        text,
+        data={
+            "files": [
+                {"name": s.name, "gzip_factor": s.gzip_factor} for s in specs
+            ],
+            "time_ratios": series,
+        },
+    )
 
     for i, spec in enumerate(specs):
         # Interleaving never slows a download down.

@@ -35,7 +35,16 @@ def test_fig6_interleaving_energy(benchmark, analytic, model):
         max_value=1.5,
         title="Figure 6 - relative energy: gzip / zlib / zlib interleaved",
     )
-    write_artifact("fig6_interleave_energy", text)
+    write_artifact(
+        "fig6_interleave_energy",
+        text,
+        data={
+            "files": [
+                {"name": s.name, "gzip_factor": s.gzip_factor} for s in specs
+            ],
+            "energy_ratios": series,
+        },
+    )
 
     for i in range(len(specs)):
         assert series["zlib+interleave"][i] <= series["zlib"][i] + 1e-9

@@ -47,7 +47,25 @@ def test_fig8_linear_fits(benchmark, des, model):
         rows,
         title="Figure 8 - linear fits refit from simulated measurements",
     )
-    write_artifact("fig8_fits", text)
+    write_artifact(
+        "fig8_fits",
+        text,
+        data={
+            "energy_fit": {
+                "slope_j_per_mb": e_fit.slope_j_per_mb,
+                "intercept_j": e_fit.intercept_j,
+                "m_j_per_mb": e_fit.m_j_per_mb,
+                "cs_j": e_fit.cs_j,
+                "r_squared": e_fit.r_squared,
+            },
+            "decompression_fit": {
+                "per_raw_mb_s": t_fit.per_raw_mb_s,
+                "per_compressed_mb_s": t_fit.per_compressed_mb_s,
+                "constant_s": t_fit.constant_s,
+                "r_squared": t_fit.r_squared,
+            },
+        },
+    )
 
     assert e_fit.slope_j_per_mb == pytest.approx(3.519, rel=0.02)
     assert e_fit.m_j_per_mb == pytest.approx(2.486, rel=0.02)

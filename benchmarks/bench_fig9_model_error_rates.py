@@ -76,7 +76,29 @@ def test_fig9_closed_form_error(benchmark, model, model_2mbps):
         f"\n2 Mb/s large files: avg |error| {avg2 * 100:.1f}% "
         "(vs our link-parameterized model; TR-literal column shown for reference)"
     )
-    write_artifact("fig9_model_error_rates", text)
+    write_artifact(
+        "fig9_model_error_rates",
+        text,
+        data={
+            "per_file": [
+                {
+                    "file": spec.name,
+                    "err_11mbps": e11,
+                    "err_2mbps": e2,
+                    "des_2mbps_j": m2,
+                    "tr_literal_j": paper2,
+                }
+                for (spec, m11, c11, m2, c2, paper2), e11, e2 in zip(
+                    large, err11, err2
+                )
+            ],
+            "avg_abs_error": {
+                "large_11mbps": avg11,
+                "small_11mbps": avg11_small,
+                "large_2mbps": avg2,
+            },
+        },
+    )
 
     assert avg11 < 0.05
     assert avg11_small < 0.08

@@ -56,7 +56,23 @@ def test_fleet_contention(benchmark, model):
         rows,
         title="Fleet-level effect of compression (2 MB, F=3.8 per client)",
     )
-    write_artifact("fleet_contention", text)
+    write_artifact(
+        "fleet_contention",
+        text,
+        data={
+            "fleet": [
+                {
+                    "clients": n,
+                    "raw_j": raw_j,
+                    "compressed_j": comp_j,
+                    "saving": float(saving.rstrip("%")) / 100,
+                    "raw_latency_s": raw_lat,
+                    "comp_latency_s": comp_lat,
+                }
+                for n, raw_j, comp_j, saving, raw_lat, comp_lat in rows
+            ],
+        },
+    )
 
     savings = [float(r[3].rstrip("%")) for r in rows]
     # Single client: the paper's per-file saving.

@@ -9,56 +9,44 @@ rates.  Two effects combine:
 - the compressed transfer ships fewer bytes, so it pays less of that
   tax while its decompression cost stays fixed — the break-even size
   and factor thresholds *fall* as the loss rate rises.
+
+The sweep grid lives in ``repro.campaign.presets.loss_sweep_spec``; this
+bench runs it through the campaign runner and assembles its tables from
+the result records.
 """
 
 import pytest
 
 from repro.analysis.report import ascii_table
-from repro.core import thresholds
-from repro.network.arq import ArqConfig
-from repro.network.loss import UniformLoss
-from repro.simulator.analytic import AnalyticSession
-from benchmarks.common import SCHEMES, write_artifact
-from tests.conftest import mb
-
-#: Per-packet loss probabilities swept (0 = the paper's clean channel).
-LOSS_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
-
-#: Representative whole-file factors per scheme (Table 2 text-file
-#: ballpark: gzip ~3.8, compress ~2.9, bzip2 ~4.3).
-SCHEME_FACTORS = {"gzip": 3.8, "compress": 2.9, "bzip2": 4.3}
-
-ARQ = ArqConfig()
+from repro.campaign.presets import LOSS_RATES, loss_sweep_spec
+from repro.campaign.runner import run_campaign
+from benchmarks.common import SCHEMES, campaign_jobs, write_artifact
 
 
 def compute(model):
+    result = run_campaign(loss_sweep_spec(), jobs=campaign_jobs())
+    assert result.ok, [r for r in result.records if r["status"] != "ok"]
     floors = []
     factor_rows = []
     energy_rows = []
-    s = mb(1)
     for rate in LOSS_RATES:
-        floors.append(
-            thresholds.size_threshold_bytes(model, loss_rate=rate, arq=ARQ)
-        )
+        floors.append(result.metric(f"floor/{rate}", "size_floor_bytes"))
         factor_rows.append(
             tuple(
                 round(
-                    thresholds.factor_threshold(
-                        s, model, codec=scheme, loss_rate=rate, arq=ARQ
+                    result.metric(
+                        f"factor/{rate}/{scheme}", "factor_threshold"
                     ),
                     4,
                 )
                 for scheme in SCHEMES
             )
         )
-        loss = UniformLoss(rate) if rate > 0 else None
-        session = AnalyticSession(model, loss=loss, arq=ARQ)
-        raw_e = session.raw(s).energy_j
-        row = [round(raw_e, 3)]
+        row = [round(result.metric(f"energy/{rate}/raw", "energy_j"), 3)]
         for scheme in SCHEMES:
-            sc = int(s / SCHEME_FACTORS[scheme])
-            result = session.precompressed(s, sc, codec=scheme, interleave=True)
-            row.append(round(result.energy_j, 3))
+            row.append(
+                round(result.metric(f"energy/{rate}/{scheme}", "energy_j"), 3)
+            )
         energy_rows.append(tuple(row))
     return floors, factor_rows, energy_rows
 

@@ -71,7 +71,11 @@ def test_powersave_policies(benchmark, model):
         rows,
         title="Idle-policy energy (J) per traffic pattern",
     )
-    write_artifact("powersave_policies", text)
+    write_artifact(
+        "powersave_policies",
+        text,
+        data={"energy_j": table},
+    )
 
     # Steady traffic: staying awake wins (the resume penalty dominates).
     steady = table["steady"]

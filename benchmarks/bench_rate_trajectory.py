@@ -7,106 +7,75 @@ BOTH engines — the analytic piecewise closed form and the DES packet
 replay — and the artifact records their agreement.  A second table ranks
 the outage-recovery policies: the range-capable resume receiver against
 the restart-from-zero one, at a disconnect 90% into the transfer.
+
+The (trajectory, scheme, engine) grid lives in
+``repro.campaign.presets.trajectory_spec``; this bench runs it through
+the campaign runner and assembles its tables from the result records.
 """
 
 import pytest
 
 from repro.analysis.report import ascii_table
-from repro.core.energy_model import EnergyModel
-from repro.core.resume import ResumeConfig, compare_restart_resume
-from repro.network.timeline import FaultTimeline, Outage, RateStep, Stall
-from repro.simulator.analytic import AnalyticSession
-from repro.simulator.des import DesSession
-from benchmarks.common import write_artifact
-from tests.conftest import mb
-
-FACTOR = 3.8
-
-TRAJECTORIES = [
-    ("steady 11", FaultTimeline.scripted()),
-    ("11 -> 2 at 1s", FaultTimeline.scripted(RateStep(1.0, 2.0))),
-    (
-        "fade 11 -> 1 -> 11",
-        FaultTimeline.scripted(RateStep(0.8, 1.0), RateStep(2.2, 11.0)),
-    ),
-    (
-        "outage + stall",
-        FaultTimeline.scripted(Outage(0.9, 1.5, 0.3), Stall(3.0, 0.5)),
-    ),
-    ("seeded walk", FaultTimeline.seeded(
-        7, horizon_s=12.0, rate_walk_interval_s=2.0, outage_interval_s=8.0,
-    )),
-]
-
-
-def _run(session, scheme, raw_bytes, compressed):
-    if scheme == "raw":
-        return session.raw(raw_bytes)
-    return session.precompressed(
-        raw_bytes, compressed, "gzip", interleave=(scheme == "interleaved")
-    )
+from repro.campaign.presets import TRAJECTORIES, trajectory_spec
+from repro.campaign.runner import run_campaign
+from benchmarks.common import campaign_jobs, write_artifact
 
 
 def compute():
-    model = EnergyModel()
-    raw_bytes = mb(4)
-    compressed = int(raw_bytes / FACTOR)
-    resume = ResumeConfig()
+    result = run_campaign(trajectory_spec(), jobs=campaign_jobs())
+    assert result.ok, [r for r in result.records if r["status"] != "ok"]
+    by_id = result.by_id()
 
     sweep_rows = []
     data = {"trajectories": [], "policies": []}
-    for label, faults in TRAJECTORIES:
+    for traj in TRAJECTORIES:
+        label = traj["label"]
         for scheme in ("raw", "sequential", "interleaved"):
-            analytic = _run(
-                AnalyticSession(model, faults=faults, resume=resume),
-                scheme, raw_bytes, compressed,
-            )
-            des = _run(
-                DesSession(model, faults=faults, resume=resume),
-                scheme, raw_bytes, compressed,
-            )
-            gap = abs(des.energy_j - analytic.energy_j) / analytic.energy_j
+            analytic = by_id[f"run/{label}/{scheme}/analytic"]["metrics"]
+            des = by_id[f"run/{label}/{scheme}/des"]["metrics"]
+            gap = abs(des["energy_j"] - analytic["energy_j"]) / analytic["energy_j"]
+            # The steady trajectory carries no fault machinery at all,
+            # so its overhead metric is simply absent.
+            fault_j = analytic.get("fault_overhead_j", 0.0)
             sweep_rows.append(
                 (
                     label,
                     scheme,
-                    f"{analytic.energy_j:.3f}",
-                    f"{des.energy_j:.3f}",
+                    f"{analytic['energy_j']:.3f}",
+                    f"{des['energy_j']:.3f}",
                     f"{gap:.2%}",
-                    f"{analytic.fault_overhead_j:.3f}",
+                    f"{fault_j:.3f}",
                 )
             )
             data["trajectories"].append(
                 {
                     "trajectory": label,
                     "scheme": scheme,
-                    "analytic_j": analytic.energy_j,
-                    "des_j": des.energy_j,
+                    "analytic_j": analytic["energy_j"],
+                    "des_j": des["energy_j"],
                     "gap": gap,
-                    "fault_overhead_j": analytic.fault_overhead_j,
+                    "fault_overhead_j": fault_j,
                 }
             )
 
     policy_rows = []
     for fraction in (0.5, 0.9):
-        cmp = compare_restart_resume(
-            raw_bytes, compressed, outage_at_fraction=fraction, resume=resume
-        )
+        metrics = by_id[f"policy/{fraction}"]["metrics"]
         policy_rows.append(
             (
                 f"outage at {fraction:.0%}",
-                f"{cmp.restart_overhead_j:.3f}",
-                f"{cmp.resume_overhead_j:.3f}",
-                f"{cmp.saving_j:.3f}",
-                "resume" if cmp.resume_wins else "restart",
+                f"{metrics['restart_overhead_j']:.3f}",
+                f"{metrics['resume_overhead_j']:.3f}",
+                f"{metrics['saving_j']:.3f}",
+                "resume" if metrics["resume_wins"] else "restart",
             )
         )
         data["policies"].append(
             {
                 "fraction": fraction,
-                "restart_j": cmp.restart_overhead_j,
-                "resume_j": cmp.resume_overhead_j,
-                "saving_j": cmp.saving_j,
+                "restart_j": metrics["restart_overhead_j"],
+                "resume_j": metrics["resume_overhead_j"],
+                "saving_j": metrics["saving_j"],
             }
         )
     return sweep_rows, policy_rows, data

@@ -33,7 +33,22 @@ def test_sleep_vs_interleave_crossover(benchmark, model):
         title="Sleep-mode vs interleaving (4 MB file)",
     )
     text += f"\n\ncrossover factor: {crossover:.2f} (paper: 4.6)"
-    write_artifact("sleep_crossover", text)
+    write_artifact(
+        "sleep_crossover",
+        text,
+        data={
+            "sweep": [
+                {
+                    "factor": f,
+                    "sleep_j": sleep,
+                    "interleave_j": inter,
+                    "winner": winner,
+                }
+                for f, sleep, inter, winner in rows
+            ],
+            "crossover_factor": crossover,
+        },
+    )
 
     assert crossover == pytest.approx(4.6, rel=0.12)
     # Below the crossover interleaving wins, above it sleep wins.

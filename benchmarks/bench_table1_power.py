@@ -48,6 +48,15 @@ def test_table1_reproduction(benchmark):
         rows,
         title="Table 1 - power parameters (screen off, 5 V external supply)",
     )
-    write_artifact("table1_power", text)
+    write_artifact(
+        "table1_power",
+        text,
+        data={
+            "states": [
+                {"state": label, "paper_ma": paper_ma, "measured_ma": measured_ma}
+                for label, paper_ma, measured_ma in rows
+            ],
+        },
+    )
     for label, paper_ma, measured_ma in rows:
         assert measured_ma == pytest.approx(paper_ma, rel=0.01), label

@@ -51,7 +51,24 @@ def test_transcode_media(benchmark, model, analytic):
         rows,
         title="Lossy transcoding vs lossless compression on Table 2 media",
     )
-    write_artifact("transcode_media", text)
+    write_artifact(
+        "transcode_media",
+        text,
+        data={
+            "media": [
+                {
+                    "file": name,
+                    "raw_j": raw_j,
+                    "gzip_j": gzip_j,
+                    "strict_quality": float(strict.split("/")[0]),
+                    "strict_j": float(strict.split("/")[1]),
+                    "loose_quality": float(loose.split("/")[0]),
+                    "loose_j": float(loose.split("/")[1]),
+                }
+                for name, raw_j, gzip_j, strict, loose in rows
+            ],
+        },
+    )
 
     for name, raw_j, gzip_j, strict, loose in rows:
         # Lossless is at best break-even on media.

@@ -70,7 +70,30 @@ def test_upload_tradeoff(benchmark, model):
         captures,
         title="Representative uploads (compress on device, interleaved)",
     )
-    write_artifact("upload_tradeoff", text)
+    write_artifact(
+        "upload_tradeoff",
+        text,
+        data={
+            "break_even_factors": [
+                {
+                    "codec": codec,
+                    "interleaved": inter_t,
+                    "sequential": seq_t,
+                }
+                for codec, inter_t, seq_t in thresholds
+            ],
+            "captures": [
+                {
+                    "capture": name,
+                    "codec": codec,
+                    "raw_j": raw_j,
+                    "compressed_j": comp_j,
+                    "saving": float(saving.rstrip("%")) / 100,
+                }
+                for name, codec, raw_j, comp_j, saving in captures
+            ],
+        },
+    )
 
     by_codec = {row[0]: row for row in thresholds}
     # Device-side compression costs more than decompression, so every

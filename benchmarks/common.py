@@ -33,6 +33,19 @@ if os.environ.get("REPRO_PROFILE"):
 SCHEMES = ("gzip", "compress", "bzip2")
 
 
+def campaign_jobs(cap: int = 4) -> int:
+    """Worker count for campaign-routed sweeps.
+
+    ``REPRO_BENCH_JOBS`` overrides; otherwise the machine's cores,
+    capped — campaign results are byte-identical at any ``-j``, so this
+    only changes wall clock.
+    """
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(cap, os.cpu_count() or 1))
+
+
 def write_artifact(
     name: str, text: str, data: Optional[dict] = None
 ) -> pathlib.Path:

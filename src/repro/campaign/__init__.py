@@ -1,0 +1,58 @@
+"""Campaign orchestration: declarative sweeps, parallel, cached, gated.
+
+The evaluation is a large grid — scheme x file x link rate x
+loss/corruption/fault configuration — and this package is the layer
+that runs such grids as *campaigns*: a serializable
+:class:`~repro.campaign.spec.CampaignSpec` expands into cells, a
+:class:`~repro.campaign.runner.CampaignRunner` executes them on a
+process pool with per-cell failure isolation and deterministic
+collection, a :class:`~repro.campaign.cache.ResultCache` serves
+content-addressed results so only invalidated cells recompute, a
+:class:`~repro.campaign.store.ResultStore` makes runs resumable, and
+:mod:`~repro.campaign.regress` pins baselines and gates later runs
+under per-metric tolerances.  ``repro campaign run|status|diff|baseline``
+is the CLI face; the heaviest benchmark sweeps route their grids
+through :func:`~repro.campaign.runner.run_campaign` for multi-core
+speedup.
+"""
+
+from repro.campaign.cache import ResultCache, cache_key, code_fingerprint
+from repro.campaign.executor import execute_cell, flatten_metrics
+from repro.campaign.regress import (
+    DiffReport,
+    Tolerance,
+    diff_files,
+    diff_records,
+    pin_baseline,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSummary,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignSpec, CampaignSpecError, Cell
+from repro.campaign.store import ResultStore, StoreError, load_records
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CampaignSummary",
+    "Cell",
+    "DiffReport",
+    "ResultCache",
+    "ResultStore",
+    "StoreError",
+    "Tolerance",
+    "cache_key",
+    "code_fingerprint",
+    "diff_files",
+    "diff_records",
+    "execute_cell",
+    "flatten_metrics",
+    "load_records",
+    "pin_baseline",
+    "run_campaign",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed result cache: recompute only what changed.
+
+A cell's result is addressed by ``sha256(cell_hash : seed : code
+fingerprint)``, where the *code fingerprint* hashes every source file
+the result could depend on — the whole ``repro`` package, plus the
+``benchmarks/`` tree when the campaign runs experiment cells.  Editing
+any source file therefore invalidates every cached cell at once (safe,
+coarse), while re-running an unchanged campaign recomputes nothing.
+
+Records are stored one JSON file per key, fanned out over two-hex-digit
+subdirectories, written atomically (temp file + rename) so parallel
+campaigns sharing one cache directory never read torn files.  A cache
+hit returns the *exact* record the cold run produced — byte-identity of
+warm and cold results is a tested invariant, so nothing run-specific
+(timings, attempt counts, cache status) is ever stored in a record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Iterable, Optional
+
+import repro
+
+#: Bumped whenever the record shape changes; part of every cache key.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _iter_source_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def code_fingerprint(extra_roots: Iterable[os.PathLike] = ()) -> str:
+    """Hex digest over the repro package sources (+ any extra trees).
+
+    The digest covers relative path names and file contents, so moving,
+    editing, adding or deleting any module changes it.
+    """
+    digest = hashlib.sha256()
+    package_root = pathlib.Path(repro.__file__).parent
+    roots = [package_root] + [pathlib.Path(r) for r in extra_roots]
+    for root in roots:
+        base = root if root.is_dir() else root.parent
+        for path in _iter_source_files(root):
+            digest.update(str(path.relative_to(base)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key(cell_hash: str, seed: int, fingerprint: str) -> str:
+    """The content address of one cell's result."""
+    return hashlib.sha256(
+        f"{CACHE_SCHEMA_VERSION}:{cell_hash}:{seed}:{fingerprint}".encode()
+    ).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed cell results."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record, or None (counts the hit/miss either way)."""
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically persist one record under its content address."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                json.dump(record, fp, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,386 @@
+"""Per-cell execution: pure functions from cell parameters to metrics.
+
+Each cell kind maps onto one public surface of the toolkit:
+
+- ``threshold`` — the Equation 6 family (factor threshold, size floor,
+  break-even residual BER), literal or model-derived, at any ladder
+  rate, under loss/corruption extensions;
+- ``simulate`` — one session through either engine, with the full
+  lossy-link / integrity / fault-timeline configuration vocabulary of
+  ``repro simulate``;
+- ``resume_policy`` — the restart-vs-resume outage comparison;
+- ``experiment`` — a whole indexed table/figure bench run as a pytest
+  subprocess, its JSON artifact flattened into gateable metrics.
+
+Execution must be *pure*: metrics depend only on ``(params, seed)``, so
+the runner can replay cells at any parallelism, serve them from the
+content-addressed cache, and diff them against pinned baselines.
+Wall-clock, host names, and file paths therefore never appear in a
+metrics dict.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import units
+from repro.errors import ReproError
+
+#: Seconds an experiment-cell pytest subprocess may run before it is
+#: killed and the cell marked failed.
+DEFAULT_EXPERIMENT_TIMEOUT_S = 600.0
+
+
+class CellExecutionError(ReproError):
+    """A cell whose parameters cannot be executed."""
+
+
+def _model_at(link_mbps: float):
+    from repro.core.thresholds import model_at_rate
+
+    return model_at_rate(float(link_mbps))
+
+
+def _loss_arq(params: Dict[str, Any], seed: int):
+    from repro.network.arq import ArqConfig
+    from repro.network.loss import UniformLoss
+
+    rate = float(params.get("loss_rate", 0.0))
+    if rate == 0.0:
+        return None, None
+    arq_params = params.get("arq") or {}
+    arq = ArqConfig(**arq_params) if arq_params else ArqConfig()
+    return UniformLoss(rate, seed=seed), arq
+
+
+def _corruption_recovery(params: Dict[str, Any], seed: int):
+    from repro.core.recovery import RecoveryConfig
+    from repro.network.corruption import BitFlipCorruption
+
+    rate = float(params.get("corrupt_rate", 0.0))
+    if rate == 0.0:
+        return None, None
+    recovery = RecoveryConfig(
+        policy=params.get("recovery_policy", "refetch"),
+        max_retries=int(params.get("recovery_retries", 3)),
+        deadline_s=params.get("deadline_s"),
+    )
+    return BitFlipCorruption(rate, seed=seed), recovery
+
+
+def _faults(params: Dict[str, Any]):
+    from repro.network.timeline import FaultTimeline, Outage, RateStep, Stall
+
+    spec = params.get("faults")
+    if not spec:
+        return None
+    if "seeded" in spec:
+        return FaultTimeline.seeded(**spec["seeded"])
+    events: List[Any] = []
+    for step in spec.get("rate_steps", ()):
+        events.append(RateStep(*step))
+    for outage in spec.get("outages", ()):
+        events.append(Outage(*outage))
+    for stall in spec.get("stalls", ()):
+        events.append(Stall(*stall))
+    return FaultTimeline.scripted(*events)
+
+
+def _resume(params: Dict[str, Any]):
+    from repro.core.resume import ResumeConfig
+
+    spec = params.get("resume")
+    if not spec:
+        return None
+    if spec is True:
+        return ResumeConfig()
+    return ResumeConfig(**spec)
+
+
+def _recovery_for_threshold(params: Dict[str, Any]):
+    from repro.core.recovery import RecoveryConfig
+
+    policy = params.get("recovery_policy")
+    if policy is None:
+        return None
+    return RecoveryConfig(policy=policy)
+
+
+# -- threshold cells -----------------------------------------------------------
+
+
+def _execute_threshold(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    from repro.core import thresholds
+    from repro.network.arq import ArqConfig
+
+    quantity = params.get("quantity", "factor")
+    literal = bool(params.get("literal", False))
+    codec = params.get("codec", "gzip")
+    loss_rate = float(params.get("loss_rate", 0.0))
+    corrupt_rate = float(params.get("corrupt_rate", 0.0))
+    arq = ArqConfig(**(params.get("arq") or {})) if loss_rate > 0 else None
+    recovery = _recovery_for_threshold(params)
+    model = None if literal else _model_at(params.get("link_mbps", 11.0))
+
+    if quantity == "factor":
+        raw_bytes = float(params["size_mb"]) * units.BYTES_PER_MB
+        value = thresholds.factor_threshold(
+            raw_bytes, model, codec=codec, loss_rate=loss_rate, arq=arq,
+            corrupt_rate=corrupt_rate, recovery=recovery,
+        )
+        return {"factor_threshold": value}
+    if quantity == "size_floor":
+        value = thresholds.size_threshold_bytes(
+            model, codec=codec, loss_rate=loss_rate, arq=arq,
+            corrupt_rate=corrupt_rate, recovery=recovery,
+        )
+        return {"size_floor_bytes": value}
+    if quantity == "break_even_ber":
+        raw_bytes = float(params["size_mb"]) * units.BYTES_PER_MB
+        value = thresholds.break_even_corrupt_rate(
+            raw_bytes, float(params["factor"]), model, codec=codec,
+            recovery=recovery,
+        )
+        return {"break_even_ber": value}
+    raise CellExecutionError(f"unknown threshold quantity {quantity!r}")
+
+
+# -- simulate cells ------------------------------------------------------------
+
+
+def _run_scenario(session, scenario: str, raw_bytes: int, compressed: int,
+                  codec: str):
+    if scenario == "raw":
+        return session.raw(raw_bytes)
+    if scenario == "sequential":
+        return session.precompressed(
+            raw_bytes, compressed, codec=codec, interleave=False
+        )
+    if scenario == "interleaved":
+        return session.precompressed(
+            raw_bytes, compressed, codec=codec, interleave=True
+        )
+    if scenario == "sleep":
+        return session.precompressed(
+            raw_bytes, compressed, codec=codec, interleave=False,
+            radio_power_save=True,
+        )
+    if scenario == "ondemand":
+        return session.ondemand(raw_bytes, compressed, codec=codec,
+                                overlap=True)
+    if scenario == "upload-raw":
+        return session.upload_raw(raw_bytes)
+    if scenario == "upload":
+        return session.upload_compressed(
+            raw_bytes, compressed, codec=codec, interleave=True
+        )
+    raise CellExecutionError(f"unknown scenario {scenario!r}")
+
+
+def _execute_simulate(
+    params: Dict[str, Any], seed: int, trace: bool = False
+) -> Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]]]:
+    engine = params.get("engine", "analytic")
+    model = _model_at(params.get("link_mbps", 11.0))
+    loss, arq = _loss_arq(params, seed)
+    corruption, recovery = _corruption_recovery(params, seed)
+    faults = _faults(params)
+    resume = _resume(params)
+    watchdog = None
+    if params.get("watchdog_s"):
+        from repro.core.watchdog import WatchdogConfig
+
+        watchdog = WatchdogConfig.uniform(float(params["watchdog_s"]))
+
+    tracer = None
+    if trace:
+        from repro.observability import SessionTracer
+
+        tracer = SessionTracer()
+    kwargs = dict(
+        loss=loss, arq=arq, corruption=corruption, recovery=recovery,
+        faults=faults, resume=resume, watchdog=watchdog, tracer=tracer,
+    )
+    if engine == "des":
+        from repro.simulator.des import DesSession
+
+        session = DesSession(model, **kwargs)
+    elif engine == "analytic":
+        from repro.simulator.analytic import AnalyticSession
+
+        session = AnalyticSession(model, **kwargs)
+    else:
+        raise CellExecutionError(f"unknown engine {engine!r}")
+
+    raw_bytes = int(float(params["size_mb"]) * units.BYTES_PER_MB)
+    factor = float(params.get("factor", 1.0))
+    compressed = int(raw_bytes / factor) if factor > 0 else raw_bytes
+    scenario = params.get("scenario", "interleaved")
+    result = _run_scenario(
+        session, scenario, raw_bytes, compressed, params.get("codec", "gzip")
+    )
+
+    metrics: Dict[str, Any] = {
+        "time_s": result.time_s,
+        "energy_j": result.energy_j,
+        "transfer_bytes": result.transfer_bytes,
+    }
+    if result.link_stats is not None:
+        metrics["loss_overhead_j"] = result.loss_overhead_j
+        metrics["arq_retries"] = result.link_stats.retries
+    if result.recovery_stats is not None:
+        metrics["integrity_overhead_j"] = result.integrity_overhead_j
+        metrics["recovery_energy_j"] = result.recovery_energy_j
+    if result.fault_stats is not None:
+        metrics["fault_overhead_j"] = result.fault_overhead_j
+        metrics["fault_dead_time_s"] = result.fault_dead_time_s
+    for tag, joules in sorted(result.energy_breakdown().items()):
+        metrics[f"energy_by_tag.{tag}"] = joules
+
+    trace_records = None
+    if tracer is not None:
+        trace_records = list(tracer.to_records())
+    return metrics, trace_records
+
+
+# -- resume-policy cells -------------------------------------------------------
+
+
+def _execute_resume_policy(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    from repro.core.resume import compare_restart_resume
+
+    raw_bytes = int(float(params["size_mb"]) * units.BYTES_PER_MB)
+    factor = float(params.get("factor", 1.0))
+    compressed = int(raw_bytes / factor) if factor > 0 else raw_bytes
+    cmp = compare_restart_resume(
+        raw_bytes,
+        compressed,
+        codec=params.get("codec", "gzip"),
+        outage_at_fraction=float(params.get("outage_at_fraction", 0.9)),
+        outage_s=float(params.get("outage_s", 2.0)),
+        resume=_resume(params),
+    )
+    return {
+        "restart_overhead_j": cmp.restart_overhead_j,
+        "resume_overhead_j": cmp.resume_overhead_j,
+        "saving_j": cmp.saving_j,
+        "resume_wins": bool(cmp.resume_wins),
+    }
+
+
+# -- experiment cells ----------------------------------------------------------
+
+
+def flatten_metrics(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten a JSON artifact into dotted/indexed scalar metric names.
+
+    Numbers, strings, booleans and nulls become gateable leaves;
+    containers recurse.  ``{"energy": {"raw": [1, 2]}}`` flattens to
+    ``{"energy.raw[0]": 1, "energy.raw[1]": 2}``.
+    """
+    out: Dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_metrics(value[key], child))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            out.update(flatten_metrics(item, f"{prefix}[{i}]"))
+    else:
+        out[prefix or "value"] = value
+    return out
+
+
+def _execute_experiment(
+    params: Dict[str, Any], seed: int, repo_root: Optional[str]
+) -> Dict[str, Any]:
+    from repro.experiments import get_experiment
+
+    exp = get_experiment(params["id"])
+    root = pathlib.Path(repo_root or os.getcwd())
+    bench = root / "benchmarks" / exp.bench
+    if not bench.exists():
+        raise CellExecutionError(f"bench not found: {bench}")
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", f"benchmarks/{exp.bench}",
+        "--benchmark-only", "-q", "-p", "no:cacheprovider",
+    ]
+    timeout = float(params.get("timeout_s", DEFAULT_EXPERIMENT_TIMEOUT_S))
+    try:
+        proc = subprocess.run(
+            cmd, cwd=str(root), env=env, timeout=timeout,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+    except subprocess.TimeoutExpired:
+        raise CellExecutionError(
+            f"experiment {exp.id!r} timed out after {timeout:g}s"
+        )
+    if proc.returncode != 0:
+        tail = proc.stdout.decode("utf-8", "replace")[-2000:]
+        raise CellExecutionError(
+            f"experiment {exp.id!r} exited {proc.returncode}:\n{tail}"
+        )
+    metrics: Dict[str, Any] = {"exit_code": proc.returncode}
+    if exp.artifact != "-":
+        artifact = root / "benchmarks" / "results" / f"{exp.artifact}.json"
+        if artifact.exists():
+            payload = json.loads(artifact.read_text())
+            for name, value in flatten_metrics(payload, "artifact").items():
+                metrics[name] = value
+    return metrics
+
+
+# -- dispatch ------------------------------------------------------------------
+
+
+def execute_cell(
+    params: Dict[str, Any],
+    seed: int,
+    repo_root: Optional[str] = None,
+    trace: bool = False,
+) -> Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]]]:
+    """Run one cell; returns ``(metrics, trace_records_or_None)``.
+
+    Raises on bad parameters or failed execution — the runner converts
+    exceptions into failed result records, it never lets them escape a
+    worker.
+    """
+    kind = params.get("kind", "simulate")
+    if kind == "threshold":
+        return _execute_threshold(params, seed), None
+    if kind == "simulate":
+        return _execute_simulate(params, seed, trace=trace)
+    if kind == "resume_policy":
+        return _execute_resume_policy(params, seed), None
+    if kind == "experiment":
+        return _execute_experiment(params, seed, repo_root), None
+    raise CellExecutionError(f"unknown cell kind {kind!r}")
+
+
+def sanitize_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Make a metrics dict JSON-stable: non-finite floats to strings.
+
+    ``inf`` thresholds are meaningful results (compression never pays);
+    canonical JSON must round-trip them identically on every platform,
+    so they are stored as the strings ``"inf"``/``"-inf"``/``"nan"``.
+    """
+    out: Dict[str, Any] = {}
+    for key, value in metrics.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            out[key] = "nan" if math.isnan(value) else (
+                "inf" if value > 0 else "-inf"
+            )
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,254 @@
+"""Regression gates: pin a baseline, diff runs metric-by-metric.
+
+A *baseline* is a finished campaign's ``results.jsonl``, copied under a
+name the repository checks in.  ``diff`` compares a later run against
+it cell-by-cell, metric-by-metric, under per-metric tolerances:
+
+- a numeric metric passes when ``|current - baseline|`` is within
+  ``max(abs_tol, rel_tol * |baseline|)``;
+- strings, booleans and nulls (including the sanitized ``"inf"``
+  spellings of non-finite thresholds) must match exactly;
+- cells or metrics present on one side only are failures — a silently
+  vanished figure series is exactly what the gate exists to catch.
+
+Tolerances resolve by ``fnmatch`` glob over the metric name, first
+match wins in spec order, with ``default`` as the fallback, so a spec
+can say "energies to 0.1% relative, byte counts exactly".  The exit
+code contract (0 clean, 1 drifted) is what ``make campaign-smoke``
+enforces in CI.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import pathlib
+import shutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.report import ascii_table
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import StoreError, load_records
+
+#: Tolerance applied when neither the spec nor the CLI names one: tight
+#: enough to catch any real drift, loose enough to absorb cross-libm
+#: rounding in transcendental-heavy cells.
+DEFAULT_REL_TOL = 1e-9
+DEFAULT_ABS_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric drift allowance."""
+
+    rel: float = DEFAULT_REL_TOL
+    abs: float = DEFAULT_ABS_TOL
+
+    def allows(self, baseline: float, current: float) -> bool:
+        """True when the drift is inside the allowance."""
+        return abs(current - baseline) <= max(
+            self.abs, self.rel * abs(baseline)
+        )
+
+
+def resolve_tolerance(
+    metric: str,
+    tolerances: Dict[str, Dict[str, float]],
+    default: Optional[Tolerance] = None,
+) -> Tolerance:
+    """The tolerance for one metric name: first glob match wins."""
+    fallback = default or Tolerance()
+    for pattern, entry in tolerances.items():
+        if pattern == "default":
+            continue
+        if fnmatch.fnmatchcase(metric, pattern):
+            return Tolerance(
+                rel=float(entry.get("rel", fallback.rel)),
+                abs=float(entry.get("abs", fallback.abs)),
+            )
+    entry = tolerances.get("default")
+    if entry:
+        return Tolerance(
+            rel=float(entry.get("rel", fallback.rel)),
+            abs=float(entry.get("abs", fallback.abs)),
+        )
+    return fallback
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One out-of-tolerance (or missing) comparison."""
+
+    cell_id: str
+    metric: str
+    baseline: Any
+    current: Any
+    reason: str
+
+
+@dataclass
+class DiffReport:
+    """Everything ``campaign diff`` decides and reports."""
+
+    cells_compared: int
+    metrics_compared: int
+    drifts: List[Drift]
+    missing_cells: List[str]
+    extra_cells: List[str]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing drifted and the cell sets match."""
+        return not (self.drifts or self.missing_cells or self.extra_cells)
+
+    @property
+    def exit_code(self) -> int:
+        """The CI contract: 0 clean, 1 anything moved."""
+        return 0 if self.clean else 1
+
+    def render(self) -> str:
+        """The human-readable diff report."""
+        lines = [
+            f"compared {self.cells_compared} cells, "
+            f"{self.metrics_compared} metrics"
+        ]
+        if self.missing_cells:
+            lines.append(
+                f"MISSING from current run: {', '.join(self.missing_cells)}"
+            )
+        if self.extra_cells:
+            lines.append(
+                f"NOT IN baseline: {', '.join(self.extra_cells)}"
+            )
+        if self.drifts:
+            rows = [
+                (
+                    d.cell_id,
+                    d.metric,
+                    _fmt(d.baseline),
+                    _fmt(d.current),
+                    d.reason,
+                )
+                for d in self.drifts
+            ]
+            lines.append(
+                ascii_table(
+                    ["cell", "metric", "baseline", "current", "violation"],
+                    rows,
+                    title=f"{len(self.drifts)} metric(s) out of tolerance",
+                )
+            )
+        if self.clean:
+            lines.append("OK: no drift past tolerance")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_records(
+    baseline: List[Dict[str, Any]],
+    current: List[Dict[str, Any]],
+    tolerances: Optional[Dict[str, Dict[str, float]]] = None,
+    default: Optional[Tolerance] = None,
+) -> DiffReport:
+    """Compare two record sets metric-by-metric under tolerances."""
+    tolerances = tolerances or {}
+    base_by_id = {r["cell_id"]: r for r in baseline}
+    cur_by_id = {r["cell_id"]: r for r in current}
+    missing = sorted(set(base_by_id) - set(cur_by_id))
+    extra = sorted(set(cur_by_id) - set(base_by_id))
+
+    drifts: List[Drift] = []
+    metrics_compared = 0
+    for cell_id in (cid for cid in base_by_id if cid in cur_by_id):
+        b_rec, c_rec = base_by_id[cell_id], cur_by_id[cell_id]
+        if b_rec["status"] != c_rec["status"]:
+            drifts.append(Drift(
+                cell_id, "<status>", b_rec["status"], c_rec["status"],
+                "status changed",
+            ))
+            continue
+        b_m, c_m = b_rec.get("metrics", {}), c_rec.get("metrics", {})
+        for name in sorted(set(b_m) | set(c_m)):
+            metrics_compared += 1
+            if name not in c_m:
+                drifts.append(Drift(
+                    cell_id, name, b_m[name], None, "metric vanished"
+                ))
+                continue
+            if name not in b_m:
+                drifts.append(Drift(
+                    cell_id, name, None, c_m[name], "metric appeared"
+                ))
+                continue
+            b_v, c_v = b_m[name], c_m[name]
+            if _is_number(b_v) and _is_number(c_v):
+                tol = resolve_tolerance(name, tolerances, default)
+                if not tol.allows(float(b_v), float(c_v)):
+                    drift = abs(float(c_v) - float(b_v))
+                    limit = max(tol.abs, tol.rel * abs(float(b_v)))
+                    drifts.append(Drift(
+                        cell_id, name, b_v, c_v,
+                        f"|drift| {drift:.3g} > {limit:.3g}",
+                    ))
+            elif b_v != c_v:
+                drifts.append(Drift(
+                    cell_id, name, b_v, c_v, "value changed"
+                ))
+    return DiffReport(
+        cells_compared=sum(1 for cid in base_by_id if cid in cur_by_id),
+        metrics_compared=metrics_compared,
+        drifts=drifts,
+        missing_cells=missing,
+        extra_cells=extra,
+    )
+
+
+def diff_files(
+    baseline_path,
+    results_path,
+    tolerances: Optional[Dict[str, Dict[str, float]]] = None,
+    default: Optional[Tolerance] = None,
+    require_same_spec: bool = True,
+) -> DiffReport:
+    """Diff two JSONL result files (spec-hash checked by default)."""
+    b_header, b_records = load_records(baseline_path)
+    c_header, c_records = load_records(results_path)
+    if require_same_spec and b_header.get("spec_hash") != c_header.get(
+        "spec_hash"
+    ):
+        raise StoreError(
+            f"baseline {baseline_path} pins spec "
+            f"{str(b_header.get('spec_hash'))[:12]}... but the run is "
+            f"{str(c_header.get('spec_hash'))[:12]}...; re-pin with "
+            "'repro campaign baseline' after intentional spec changes"
+        )
+    return diff_records(b_records, c_records, tolerances, default)
+
+
+def pin_baseline(results_path, baseline_path) -> pathlib.Path:
+    """Copy a finished run's results as the new pinned baseline."""
+    header, records = load_records(results_path)
+    failed = [r["cell_id"] for r in records if r["status"] != "ok"]
+    if failed:
+        raise StoreError(
+            f"refusing to pin a baseline with failed cells: "
+            f"{', '.join(failed[:5])}"
+        )
+    baseline_path = pathlib.Path(baseline_path)
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(results_path, baseline_path)
+    return baseline_path
+
+
+def spec_tolerances(spec: CampaignSpec) -> Dict[str, Dict[str, float]]:
+    """The spec's tolerance table (empty dict when unspecified)."""
+    return spec.tolerances or {}

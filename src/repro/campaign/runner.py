@@ -1,0 +1,318 @@
+"""Parallel campaign execution: process pool, retries, determinism.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into an
+ordered list of result records:
+
+1. expand the spec into cells;
+2. drop cells already completed by a resumed run (``--resume``);
+3. serve cells whose content address is in the result cache;
+4. execute the rest — inline at ``jobs=1``, else on a
+   ``multiprocessing`` pool whose workers isolate every failure: an
+   exception inside a cell becomes a ``failed`` record with the error
+   captured, never a dead campaign.  Failed cells are retried up to
+   ``retries`` extra attempts *inside* the worker, so a flaky cell
+   costs no extra scheduling round trips.
+
+Because cell execution is pure (metrics depend only on params + seed)
+and the store finalizes records in cell order, the same spec produces a
+byte-identical ``results.jsonl`` at any ``-j`` — and a warm-cache rerun
+reproduces it without recomputing a single cell.  Wall-clock facts
+(durations, speedup, hit rate) go to the manifest and the metrics
+registry only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.cache import ResultCache, cache_key, code_fingerprint
+from repro.campaign.executor import execute_cell, sanitize_metrics
+from repro.campaign.spec import CampaignSpec, Cell
+from repro.campaign.store import ResultStore, result_record
+
+
+@dataclass
+class CampaignSummary:
+    """Run statistics: everything nondeterministic about a campaign."""
+
+    name: str
+    spec_hash: str
+    jobs: int
+    total: int = 0
+    ok: int = 0
+    failed: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    cell_durations: List[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Sum of per-cell compute time over wall time (1.0 = serial)."""
+        return self.busy_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over cells that needed a result this run."""
+        lookups = self.cache_hits + self.executed
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_manifest(self) -> Dict[str, Any]:
+        """The manifest document the store persists."""
+        return {
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "jobs": self.jobs,
+            "cells_total": self.total,
+            "cells_ok": self.ok,
+            "cells_failed": self.failed,
+            "cells_executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cells_resumed": self.resumed,
+            "retries": self.retries,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "speedup": self.speedup,
+            "complete": self.ok + self.failed == self.total,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """What a finished run hands back: records in cell order + stats."""
+
+    summary: CampaignSummary
+    records: List[Dict[str, Any]]
+    traces: List[Tuple[str, List[Dict[str, Any]]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed successfully."""
+        return self.summary.failed == 0 and (
+            self.summary.ok == self.summary.total
+        )
+
+    def by_id(self) -> Dict[str, Dict[str, Any]]:
+        """``cell_id -> record`` for result assembly."""
+        return {r["cell_id"]: r for r in self.records}
+
+    def metric(self, cell_id: str, name: str) -> Any:
+        """One metric of one cell (raises KeyError when absent)."""
+        return self.by_id()[cell_id]["metrics"][name]
+
+
+#: (cell fields..., context) — everything a worker needs, all picklable.
+_Task = Tuple[int, str, str, Dict[str, Any], int, Dict[str, Any]]
+
+
+def _attempt_cell(task: _Task):
+    """Run one cell with bounded retries; never raises."""
+    index, cell_id, cell_hash, params, seed, context = task
+    retries = int(context.get("retries", 0))
+    start = time.monotonic()
+    error: Optional[str] = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        try:
+            metrics, trace_records = execute_cell(
+                params,
+                seed,
+                repo_root=context.get("repo_root"),
+                trace=bool(context.get("trace")),
+            )
+        except Exception:
+            error = traceback.format_exc(limit=8)
+            continue
+        return (
+            index, cell_id, "ok", sanitize_metrics(metrics), None,
+            time.monotonic() - start, attempts, trace_records,
+        )
+    return (
+        index, cell_id, "failed", {}, error,
+        time.monotonic() - start, attempts, None,
+    )
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class CampaignRunner:
+    """Executes one spec against an optional store and cache.
+
+    Args:
+        spec: the campaign definition.
+        store: where results land (None = in-memory only).
+        cache: content-addressed result cache (None = always compute).
+        jobs: worker processes; 1 executes inline, no pool.
+        retries: extra attempts per failed cell, inside the worker.
+        repo_root: project root for ``experiment`` cells (defaults to
+            the current directory at execution time).
+        trace: collect per-cell SessionTracer streams (simulate cells).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        cache: Optional[ResultCache] = None,
+        jobs: int = 1,
+        retries: int = 0,
+        repo_root: Optional[str] = None,
+        trace: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.spec = spec
+        self.store = store
+        self.cache = cache
+        self.jobs = jobs
+        self.retries = retries
+        self.repo_root = repo_root
+        self.trace = trace
+
+    # -- internals -------------------------------------------------------------
+
+    def _fingerprint(self, cells: List[Cell]) -> str:
+        import pathlib
+
+        extra = []
+        if any(c.kind == "experiment" for c in cells):
+            root = pathlib.Path(self.repo_root or ".") / "benchmarks"
+            if root.is_dir():
+                extra.append(root)
+        return code_fingerprint(extra)
+
+    def _context(self) -> Dict[str, Any]:
+        return {
+            "repo_root": self.repo_root,
+            "trace": self.trace,
+            "retries": self.retries,
+        }
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self, resume: bool = False) -> CampaignResult:
+        """Execute the campaign; returns records in cell order.
+
+        With ``resume=True`` and a store, cells already completed by a
+        prior run of the *same* spec are kept as-is and not recomputed.
+        """
+        started = time.monotonic()
+        cells = self.spec.expand()
+        summary = CampaignSummary(
+            name=self.spec.name,
+            spec_hash=self.spec.spec_hash(),
+            jobs=self.jobs,
+            total=len(cells),
+        )
+
+        completed: Dict[str, Dict[str, Any]] = {}
+        if resume and self.store is not None:
+            completed = self.store.completed(self.spec)
+        summary.resumed = len(completed)
+
+        fingerprint = self._fingerprint(cells) if self.cache else ""
+        records: Dict[str, Dict[str, Any]] = dict(completed)
+        cache_keys: Dict[str, str] = {}
+        pending: List[Cell] = []
+        for cell in cells:
+            if cell.cell_id in completed:
+                continue
+            if self.cache is not None:
+                key = cache_key(cell.cell_hash, cell.seed, fingerprint)
+                cache_keys[cell.cell_id] = key
+                hit = self.cache.lookup(key)
+                if hit is not None and hit.get("cell_hash") == cell.cell_hash:
+                    records[cell.cell_id] = hit
+                    summary.cache_hits += 1
+                    continue
+            pending.append(cell)
+
+        if self.store is not None:
+            self.store.open(self.spec, len(cells), completed=records)
+
+        context = self._context()
+        tasks: List[_Task] = [
+            (c.index, c.cell_id, c.cell_hash, c.params, c.seed, context)
+            for c in pending
+        ]
+        by_id = {c.cell_id: c for c in cells}
+        traces: List[Tuple[str, List[Dict[str, Any]]]] = []
+
+        def harvest(outcome) -> None:
+            (index, cell_id, status, metrics, error, duration, attempts,
+             trace_records) = outcome
+            cell = by_id[cell_id]
+            record = result_record(cell, status, metrics, error)
+            records[cell_id] = record
+            summary.executed += 1
+            summary.retries += attempts - 1
+            summary.busy_s += duration
+            summary.cell_durations.append(duration)
+            if trace_records:
+                traces.append((cell_id, trace_records))
+            if self.store is not None:
+                self.store.append(record)
+            if (
+                self.cache is not None
+                and status == "ok"
+                and cell_id in cache_keys
+            ):
+                self.cache.store(cache_keys[cell_id], record)
+
+        try:
+            if tasks:
+                if self.jobs == 1:
+                    for task in tasks:
+                        harvest(_attempt_cell(task))
+                else:
+                    ctx = _pool_context()
+                    chunksize = max(1, len(tasks) // (self.jobs * 4))
+                    with ctx.Pool(processes=self.jobs) as pool:
+                        for outcome in pool.imap_unordered(
+                            _attempt_cell, tasks, chunksize=chunksize
+                        ):
+                            harvest(outcome)
+        except BaseException:
+            if self.store is not None:
+                self.store.abort()
+            raise
+
+        ordered = sorted(records.values(), key=lambda r: r["index"])
+        summary.ok = sum(1 for r in ordered if r["status"] == "ok")
+        summary.failed = sum(1 for r in ordered if r["status"] == "failed")
+        summary.wall_s = time.monotonic() - started
+        if self.store is not None:
+            self.store.finalize(self.spec, ordered)
+            self.store.write_manifest(summary.to_manifest())
+        return CampaignResult(
+            summary=summary, records=ordered, traces=traces
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec, jobs: int = 1, **kwargs: Any
+) -> CampaignResult:
+    """One-call convenience: run a spec with no store and no cache.
+
+    This is what the benchmark sweeps use to fan their grids over the
+    machine's cores while keeping pytest in charge of assertions.
+    """
+    return CampaignRunner(spec, jobs=jobs, **kwargs).run()

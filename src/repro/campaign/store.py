@@ -1,0 +1,225 @@
+"""Campaign result store: JSONL results, manifest, resume bookkeeping.
+
+A campaign directory holds three files:
+
+- ``spec.json`` — the spec as resolved, so the directory is
+  self-describing;
+- ``results.jsonl`` — a header line then one record per cell.  During a
+  run records are appended in *completion* order (crash-safe progress);
+  a finishing run rewrites the file in *cell* order, which is what makes
+  the final file byte-identical at any ``-j``;
+- ``manifest.json`` — run statistics (wall clock, cache hits, retries,
+  parallel speedup).  Everything nondeterministic lives here and only
+  here: the results file must never differ between equivalent runs.
+
+``--resume`` loads whatever ``results.jsonl`` survived, checks its
+header's ``spec_hash`` against the current spec (refusing to mix
+campaigns), and replays only the cells without an ``ok`` record.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+from repro.campaign.spec import CampaignSpec, SPEC_SCHEMA_VERSION
+
+RESULTS_NAME = "results.jsonl"
+MANIFEST_NAME = "manifest.json"
+SPEC_NAME = "spec.json"
+
+
+class StoreError(ReproError):
+    """A campaign directory that cannot be read or does not match."""
+
+
+def result_record(
+    cell, status: str, metrics: Dict[str, Any], error: Optional[str] = None
+) -> Dict[str, Any]:
+    """The deterministic on-disk form of one cell's outcome."""
+    return {
+        "type": "result",
+        "index": cell.index,
+        "cell_id": cell.cell_id,
+        "cell_hash": cell.cell_hash,
+        "seed": cell.seed,
+        "params": cell.params,
+        "status": status,
+        "metrics": metrics,
+        "error": error,
+    }
+
+
+def _header(spec: CampaignSpec, cells: int) -> Dict[str, Any]:
+    return {
+        "type": "header",
+        "schema_version": SPEC_SCHEMA_VERSION,
+        "name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "cells": cells,
+    }
+
+
+def _dump(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def load_records(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a results/baseline JSONL file: ``(header, result records)``.
+
+    Duplicate ``cell_id`` records (a crashed run resumed mid-append)
+    keep the last occurrence.  A missing or malformed header raises.
+    """
+    path = pathlib.Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise StoreError(f"cannot read {path}: {exc}") from exc
+    header: Optional[Dict[str, Any]] = None
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A torn final line from a killed run is resumable, not fatal.
+            if lineno == len(lines):
+                continue
+            raise StoreError(f"{path}:{lineno}: malformed JSON")
+        if record.get("type") == "header":
+            header = record
+        elif record.get("type") == "result":
+            by_id[record["cell_id"]] = record
+    if header is None:
+        raise StoreError(f"{path}: no header record")
+    records = sorted(by_id.values(), key=lambda r: r["index"])
+    return header, records
+
+
+class ResultStore:
+    """One campaign directory's files, with append + finalize + resume."""
+
+    def __init__(self, out_dir) -> None:
+        self.out_dir = pathlib.Path(out_dir)
+        self._fp = None
+
+    @property
+    def results_path(self) -> pathlib.Path:
+        """Where the result records live."""
+        return self.out_dir / RESULTS_NAME
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        """Where the run statistics live."""
+        return self.out_dir / MANIFEST_NAME
+
+    @property
+    def spec_path(self) -> pathlib.Path:
+        """Where the resolved spec lives."""
+        return self.out_dir / SPEC_NAME
+
+    # -- resume ----------------------------------------------------------------
+
+    def completed(self, spec: CampaignSpec) -> Dict[str, Dict[str, Any]]:
+        """``cell_id -> record`` for every prior ``ok`` cell of this spec.
+
+        Raises :class:`StoreError` when the directory holds a different
+        campaign (spec-hash mismatch) — resuming across specs would mix
+        incomparable results.
+        """
+        if not self.results_path.exists():
+            return {}
+        header, records = load_records(self.results_path)
+        if header.get("spec_hash") != spec.spec_hash():
+            raise StoreError(
+                f"{self.results_path} belongs to campaign "
+                f"{header.get('name')!r} (spec hash "
+                f"{str(header.get('spec_hash'))[:12]}...); refusing to "
+                f"resume {spec.name!r} over it"
+            )
+        return {r["cell_id"]: r for r in records if r["status"] == "ok"}
+
+    # -- append-as-you-go ------------------------------------------------------
+
+    def open(self, spec: CampaignSpec, cells: int,
+             completed: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
+        """Start (or restart) the campaign's results file.
+
+        Prior completed records are re-written first so a crash at any
+        point leaves a resumable file.
+        """
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        spec.save(self.spec_path)
+        self._fp = open(self.results_path, "w", encoding="utf-8")
+        self._fp.write(_dump(_header(spec, cells)) + "\n")
+        for record in (completed or {}).values():
+            self._fp.write(_dump(record) + "\n")
+        self._fp.flush()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Persist one record immediately (completion order)."""
+        if self._fp is None:
+            raise StoreError("store not opened")
+        self._fp.write(_dump(record) + "\n")
+        self._fp.flush()
+
+    def finalize(self, spec: CampaignSpec,
+                 records: List[Dict[str, Any]]) -> None:
+        """Rewrite the results file in cell order and close it."""
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+        ordered = sorted(records, key=lambda r: r["index"])
+        with open(self.results_path, "w", encoding="utf-8") as fp:
+            fp.write(_dump(_header(spec, len(ordered))) + "\n")
+            for record in ordered:
+                fp.write(_dump(record) + "\n")
+
+    def abort(self) -> None:
+        """Close the append handle without finalizing (records survive)."""
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    # -- manifest --------------------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        """Persist the (nondeterministic) run statistics."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+
+    def read_manifest(self) -> Dict[str, Any]:
+        """The last run's statistics (raises when absent)."""
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"cannot read manifest {self.manifest_path}: {exc}"
+            ) from exc
+
+    # -- traces ----------------------------------------------------------------
+
+    def write_trace(self, path, spec: CampaignSpec,
+                    cell_traces: List[Tuple[str, List[Dict[str, Any]]]]) -> None:
+        """Write the merged campaign trace: per-cell SessionTracer streams.
+
+        Each record gains a ``cell_id`` field; cells that produced no
+        trace (cache hits, non-simulate kinds) are absent.
+        """
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(_dump({
+                "type": "campaign-header",
+                "schema_version": SPEC_SCHEMA_VERSION,
+                "name": spec.name,
+                "spec_hash": spec.spec_hash(),
+                "cells_traced": len(cell_traces),
+            }) + "\n")
+            for cell_id, records in cell_traces:
+                for record in records:
+                    fp.write(_dump({**record, "cell_id": cell_id}) + "\n")

@@ -12,6 +12,12 @@ Commands:
 - ``thresholds`` — print the Equation 6 decision thresholds.
 - ``corpus`` — regenerate the Table 2 synthetic corpus to a directory.
 - ``table2`` — print the Table 2 manifest.
+- ``campaign`` — declarative parameter sweeps: ``run`` executes a spec,
+  preset, or the whole experiment index on a process pool with a
+  content-addressed result cache and ``--resume``; ``status`` inspects
+  a campaign directory; ``baseline`` pins its results; ``diff`` gates a
+  later run against the pin under per-metric tolerances (exit 1 on
+  drift).
 """
 
 from __future__ import annotations
@@ -513,8 +519,16 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     """``repro experiments``: list every table/figure bench."""
-    from repro.experiments import all_experiments, bench_command
+    import json
 
+    from repro.experiments import all_experiments, bench_command, index_document
+
+    if args.json:
+        print(json.dumps(
+            index_document(include_extensions=not args.paper_only),
+            indent=2, sort_keys=True,
+        ))
+        return 0
     rows = [
         (
             e.id,
@@ -541,6 +555,204 @@ def cmd_report(args: argparse.Namespace) -> int:
     checks = run_checks(_model_for(args.link))
     print(render_report(checks))
     return 0 if all_pass(checks) else 1
+
+
+def _campaign_spec_for(args: argparse.Namespace):
+    """Resolve the spec from --spec / --preset / --experiments."""
+    import dataclasses
+
+    from repro.campaign.presets import experiments_spec, get_preset
+    from repro.campaign.spec import CampaignSpec, CampaignSpecError
+
+    sources = [
+        bool(getattr(args, "spec", None)),
+        bool(getattr(args, "preset", None)),
+        bool(getattr(args, "experiments", None)),
+    ]
+    if sum(sources) != 1:
+        raise SystemExit(
+            "choose exactly one of --spec FILE, --preset NAME, "
+            "--experiments all|paper|ID[,ID...]"
+        )
+    if args.spec:
+        try:
+            spec = CampaignSpec.load(args.spec)
+        except CampaignSpecError as exc:
+            raise SystemExit(str(exc))
+    elif args.preset:
+        try:
+            spec = get_preset(args.preset)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+    else:
+        token = args.experiments
+        if token == "all":
+            spec = experiments_spec()
+        elif token == "paper":
+            spec = experiments_spec(paper_only=True)
+        else:
+            try:
+                spec = experiments_spec(ids=token.split(","))
+            except KeyError as exc:
+                raise SystemExit(exc.args[0])
+    if getattr(args, "seed", None) is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    return spec
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """``repro campaign run``: execute a sweep, parallel and cached."""
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.store import ResultStore, StoreError
+
+    spec = _campaign_spec_for(args)
+    out_dir = pathlib.Path(args.out)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(out_dir / "cache")
+        cache = ResultCache(cache_dir)
+    runner = CampaignRunner(
+        spec,
+        store=ResultStore(out_dir),
+        cache=cache,
+        jobs=args.jobs,
+        retries=args.retries,
+        repo_root=str(pathlib.Path.cwd()),
+        trace=bool(args.trace),
+    )
+    try:
+        result = runner.run(resume=args.resume)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    s = result.summary
+    print(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("campaign", s.name),
+                ("spec hash", s.spec_hash[:16]),
+                ("cells", s.total),
+                ("ok", s.ok),
+                ("failed", s.failed),
+                ("executed", s.executed),
+                ("cache hits", s.cache_hits),
+                ("resumed", s.resumed),
+                ("retries", s.retries),
+                ("jobs", s.jobs),
+                ("wall (s)", f"{s.wall_s:.3f}"),
+                ("busy (s)", f"{s.busy_s:.3f}"),
+                ("speedup", f"{s.speedup:.2f}x"),
+            ],
+            title=f"campaign run: executed {s.executed}, "
+            f"cache hits {s.cache_hits}, resumed {s.resumed}",
+        )
+    )
+    for record in result.records:
+        if record["status"] != "ok":
+            error = (record["error"] or "").strip().splitlines()
+            detail = error[-1] if error else "unknown error"
+            print(f"FAILED {record['cell_id']}: {detail}")
+    print(f"[results: {runner.store.results_path}]")
+    if args.trace:
+        runner.store.write_trace(args.trace, spec, result.traces)
+        print(f"[trace: {args.trace}]")
+    if args.metrics:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.observe_campaign(s)
+        registry.write(args.metrics)
+        print(f"[metrics: {args.metrics}]")
+    return 0 if result.ok else 1
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """``repro campaign status``: inspect a campaign directory."""
+    from repro.campaign.store import ResultStore, StoreError, load_records
+
+    store = ResultStore(args.out)
+    try:
+        header, records = load_records(store.results_path)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    ok = sum(1 for r in records if r["status"] == "ok")
+    failed = [r for r in records if r["status"] == "failed"]
+    total = int(header.get("cells", len(records)))
+    rows = [
+        ("campaign", header.get("name")),
+        ("spec hash", str(header.get("spec_hash"))[:16]),
+        ("cells", total),
+        ("ok", ok),
+        ("failed", len(failed)),
+        ("pending", total - len(records)),
+    ]
+    try:
+        manifest = store.read_manifest()
+    except StoreError:
+        manifest = None
+    if manifest:
+        rows += [
+            ("last wall (s)", f"{manifest.get('wall_s', 0.0):.3f}"),
+            ("last speedup", f"{manifest.get('speedup', 0.0):.2f}x"),
+            ("cache hit rate", f"{manifest.get('cache_hit_rate', 0.0):.1%}"),
+        ]
+    print(ascii_table(["quantity", "value"], rows, title="campaign status"))
+    for record in failed:
+        print(f"FAILED {record['cell_id']}")
+    complete = ok == total and not failed
+    return 0 if complete else 1
+
+
+def _cli_tolerance(args: argparse.Namespace):
+    from repro.campaign.regress import Tolerance
+
+    if args.rel is None and args.abs_tol is None:
+        return None
+    default = Tolerance()
+    return Tolerance(
+        rel=args.rel if args.rel is not None else default.rel,
+        abs=args.abs_tol if args.abs_tol is not None else default.abs,
+    )
+
+
+def cmd_campaign_diff(args: argparse.Namespace) -> int:
+    """``repro campaign diff``: gate a run against a pinned baseline."""
+    from repro.campaign.regress import diff_files
+    from repro.campaign.spec import CampaignSpec, CampaignSpecError
+    from repro.campaign.store import ResultStore, StoreError
+
+    store = ResultStore(args.out)
+    tolerances = {}
+    try:
+        tolerances = CampaignSpec.load(store.spec_path).tolerances
+    except CampaignSpecError:
+        pass
+    try:
+        report = diff_files(
+            args.baseline,
+            store.results_path,
+            tolerances=tolerances,
+            default=_cli_tolerance(args),
+        )
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    return report.exit_code
+
+
+def cmd_campaign_baseline(args: argparse.Namespace) -> int:
+    """``repro campaign baseline``: pin a finished run's results."""
+    from repro.campaign.regress import pin_baseline
+    from repro.campaign.store import ResultStore, StoreError
+
+    store = ResultStore(args.out)
+    try:
+        path = pin_baseline(store.results_path, args.baseline)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    print(f"[baseline: {path}]")
+    return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -772,7 +984,96 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="list every table/figure bench")
     p.add_argument("--paper-only", action="store_true")
     p.add_argument("--commands", action="store_true")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable index instead of the table",
+    )
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run parameter sweeps: parallel, cached, regression-gated",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    pr = campaign_sub.add_parser(
+        "run", help="execute a campaign spec, preset, or experiment set"
+    )
+    pr.add_argument("--spec", default=None, help="campaign spec JSON file")
+    pr.add_argument(
+        "--preset", default=None,
+        help="built-in sweep: eq6, eq6-dense, loss, corruption, "
+        "trajectory, smoke",
+    )
+    pr.add_argument(
+        "--experiments", default=None, metavar="all|paper|ID[,ID...]",
+        help="run indexed experiments as campaign cells (pytest benches)",
+    )
+    pr.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (1 = inline, byte-identical at any -j)",
+    )
+    pr.add_argument(
+        "--out", default="campaign-out",
+        help="campaign directory (results.jsonl, manifest.json, spec.json)",
+    )
+    pr.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed by a prior run of this spec",
+    )
+    pr.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache (default: OUT/cache)",
+    )
+    pr.add_argument(
+        "--no-cache", action="store_true",
+        help="always recompute, never consult or fill the cache",
+    )
+    pr.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per failed cell, inside the worker",
+    )
+    pr.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's base seed",
+    )
+    pr.add_argument(
+        "--trace", default=None, metavar="OUT.jsonl",
+        help="write per-cell SessionTracer streams (simulate cells)",
+    )
+    pr.add_argument(
+        "--metrics", default=None, metavar="OUT.prom",
+        help="write campaign metrics (Prometheus text; '.json' for JSON)",
+    )
+    pr.set_defaults(func=cmd_campaign_run)
+
+    ps = campaign_sub.add_parser(
+        "status", help="inspect a campaign directory's progress"
+    )
+    ps.add_argument("--out", default="campaign-out")
+    ps.set_defaults(func=cmd_campaign_status)
+
+    pd = campaign_sub.add_parser(
+        "diff", help="gate a run against a pinned baseline (exit 1 on drift)"
+    )
+    pd.add_argument("--out", default="campaign-out")
+    pd.add_argument("--baseline", required=True, help="pinned results JSONL")
+    pd.add_argument(
+        "--rel", type=float, default=None,
+        help="default relative tolerance (spec tolerances still apply)",
+    )
+    pd.add_argument(
+        "--abs", dest="abs_tol", type=float, default=None,
+        help="default absolute tolerance",
+    )
+    pd.set_defaults(func=cmd_campaign_diff)
+
+    pb = campaign_sub.add_parser(
+        "baseline", help="pin a finished run's results as the baseline"
+    )
+    pb.add_argument("--out", default="campaign-out")
+    pb.add_argument("--baseline", required=True, help="where to pin")
+    pb.set_defaults(func=cmd_campaign_baseline)
 
     p = sub.add_parser(
         "report", help="recompute the paper's headline constants, pass/fail"

@@ -12,6 +12,10 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 
+#: Bumped whenever the machine-readable index shape changes.
+INDEX_SCHEMA_VERSION = 1
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One table/figure (or extension study) and its regeneration target."""
@@ -22,6 +26,17 @@ class Experiment:
     artifact: str
     paper_ref: str
     extension: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable form ``repro experiments --json`` emits."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "bench": self.bench,
+            "artifact": self.artifact,
+            "paper_ref": self.paper_ref,
+            "extension": self.extension,
+        }
 
 
 _EXPERIMENTS: List[Experiment] = [
@@ -135,3 +150,13 @@ def bench_command(exp_id: str) -> str:
     """The shell command that regenerates one experiment."""
     exp = get_experiment(exp_id)
     return f"pytest benchmarks/{exp.bench} --benchmark-only"
+
+
+def index_document(include_extensions: bool = True) -> Dict[str, object]:
+    """The whole index as one JSON-ready document (mirrors the table)."""
+    return {
+        "schema_version": INDEX_SCHEMA_VERSION,
+        "experiments": [
+            e.to_dict() for e in all_experiments(include_extensions)
+        ],
+    }

@@ -194,6 +194,61 @@ class MetricsRegistry:
                 engine=engine,
             ).inc(fs.rate_steps + fs.outages + fs.stalls)
 
+    def observe_campaign(self, summary) -> None:
+        """Fold one finished campaign run into the standard metric set.
+
+        ``summary`` is a :class:`~repro.campaign.runner.CampaignSummary`
+        (duck-typed, like the other observers): per-status cell counts,
+        cache hit rate, retries, and the measured parallel speedup —
+        the orchestration-layer numbers a fleet dashboard watches.
+        """
+        name = summary.name
+        self.counter(
+            "campaign_runs_total", "Campaign runs finished.", campaign=name,
+        ).inc()
+        self.counter(
+            "campaign_cells_total", "Cells by final status.",
+            campaign=name, status="ok",
+        ).inc(summary.ok)
+        self.counter(
+            "campaign_cells_total", "Cells by final status.",
+            campaign=name, status="failed",
+        ).inc(summary.failed)
+        self.counter(
+            "campaign_cells_executed_total", "Cells actually computed.",
+            campaign=name,
+        ).inc(summary.executed)
+        self.counter(
+            "campaign_cache_hits_total", "Cells served from the cache.",
+            campaign=name,
+        ).inc(summary.cache_hits)
+        self.counter(
+            "campaign_cells_resumed_total", "Cells skipped via --resume.",
+            campaign=name,
+        ).inc(summary.resumed)
+        self.counter(
+            "campaign_retries_total", "Extra attempts on failed cells.",
+            campaign=name,
+        ).inc(summary.retries)
+        self.gauge(
+            "campaign_cache_hit_rate", "Hits over cells needing results.",
+            campaign=name,
+        ).set(summary.cache_hit_rate)
+        self.gauge(
+            "campaign_speedup", "Busy time over wall time (1.0 = serial).",
+            campaign=name,
+        ).set(summary.speedup)
+        self.gauge(
+            "campaign_jobs", "Worker processes of the last run.",
+            campaign=name,
+        ).set(summary.jobs)
+        cell_seconds = self.histogram(
+            "campaign_cell_seconds", "Per-cell compute time.",
+            buckets=DEFAULT_TIME_BUCKETS, campaign=name,
+        )
+        for duration in summary.cell_durations:
+            cell_seconds.observe(duration)
+
     def observe_fleet(self, report, strategy: Optional[str] = None) -> None:
         """Aggregate one multiclient fleet run."""
         label = strategy or "mixed"

@@ -1,0 +1,72 @@
+"""The content-addressed result cache and the code fingerprint."""
+
+import json
+
+from repro.campaign.cache import ResultCache, cache_key, code_fingerprint
+
+
+RECORD = {
+    "type": "result", "index": 0, "cell_id": "a", "cell_hash": "h",
+    "seed": 1, "params": {}, "status": "ok", "metrics": {"x": 1.5},
+    "error": None,
+}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("h", 1, "fp")
+        assert cache.lookup(key) is None
+        cache.store(key, RECORD)
+        assert cache.lookup(key) == RECORD
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.lookups == 2
+        assert cache.hit_rate == 0.5
+
+    def test_records_round_trip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("h", 1, "fp")
+        cache.store(key, RECORD)
+        assert json.dumps(cache.lookup(key), sort_keys=True) == json.dumps(
+            RECORD, sort_keys=True
+        )
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("h", 1, "fp")
+        cache.store(key, RECORD)
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("h", 1, "fp")
+        cache.store(key, RECORD)
+        (tmp_path / key[:2] / f"{key}.json").write_text("{torn")
+        assert cache.lookup(key) is None
+
+
+class TestCacheKey:
+    def test_key_depends_on_every_component(self):
+        base = cache_key("h", 1, "fp")
+        assert cache_key("h2", 1, "fp") != base
+        assert cache_key("h", 2, "fp") != base
+        assert cache_key("h", 1, "fp2") != base
+
+    def test_fingerprint_tracks_source_edits(self, tmp_path):
+        tree = tmp_path / "extra"
+        tree.mkdir()
+        (tree / "mod.py").write_text("x = 1\n")
+        before = code_fingerprint([tree])
+        (tree / "mod.py").write_text("x = 2\n")
+        assert code_fingerprint([tree]) != before
+
+    def test_fingerprint_tracks_new_files(self, tmp_path):
+        tree = tmp_path / "extra"
+        tree.mkdir()
+        (tree / "a.py").write_text("pass\n")
+        before = code_fingerprint([tree])
+        (tree / "b.py").write_text("pass\n")
+        assert code_fingerprint([tree]) != before
+
+    def test_fingerprint_stable_without_edits(self, tmp_path):
+        assert code_fingerprint() == code_fingerprint()

@@ -1,0 +1,186 @@
+"""The ``repro campaign`` CLI: run, status, diff, baseline, metrics."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability import MetricsRegistry
+
+from tests.campaign.test_runner import small_spec
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    small_spec().save(path)
+    return path
+
+
+def run_args(spec_file, out, *extra):
+    return [
+        "campaign", "run", "--spec", str(spec_file), "--out", str(out),
+        *extra,
+    ]
+
+
+class TestCampaignRun:
+    def test_cold_run_writes_the_directory(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(run_args(spec_file, out)) == 0
+        stdout = capsys.readouterr().out
+        assert "executed 5, cache hits 0" in stdout
+        assert (out / "results.jsonl").exists()
+        assert (out / "manifest.json").exists()
+        assert (out / "spec.json").exists()
+
+    def test_warm_rerun_recomputes_nothing(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(run_args(spec_file, out))
+        cold = (out / "results.jsonl").read_bytes()
+        capsys.readouterr()
+        assert main(run_args(spec_file, out)) == 0
+        assert "executed 0, cache hits 5" in capsys.readouterr().out
+        assert (out / "results.jsonl").read_bytes() == cold
+
+    def test_no_cache_always_computes(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(run_args(spec_file, out, "--no-cache"))
+        capsys.readouterr()
+        main(run_args(spec_file, out, "--no-cache"))
+        assert "executed 5, cache hits 0" in capsys.readouterr().out
+
+    def test_preset_and_spec_are_exclusive(self, spec_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(run_args(spec_file, tmp_path / "o", "--preset", "smoke"))
+
+    def test_unknown_preset_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "--preset", "nope",
+                "--out", str(tmp_path / "o"),
+            ])
+
+    def test_seed_override_changes_spec_hash(self, spec_file, tmp_path):
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        main(run_args(spec_file, out_a))
+        main(run_args(spec_file, out_b, "--seed", "42"))
+        header_a = json.loads(
+            (out_a / "results.jsonl").read_text().splitlines()[0]
+        )
+        header_b = json.loads(
+            (out_b / "results.jsonl").read_text().splitlines()[0]
+        )
+        assert header_a["spec_hash"] != header_b["spec_hash"]
+
+    def test_metrics_export(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        metrics = tmp_path / "metrics.prom"
+        main(run_args(spec_file, out, "--metrics", str(metrics)))
+        text = metrics.read_text()
+        assert 'campaign_cells_total{campaign="unit",status="ok"} 5' in text
+        assert "campaign_cache_hit_rate" in text
+        assert "campaign_cell_seconds_bucket" in text
+
+    def test_metrics_export_json(self, spec_file, tmp_path):
+        out = tmp_path / "out"
+        metrics = tmp_path / "metrics.json"
+        main(run_args(spec_file, out, "--metrics", str(metrics)))
+        doc = json.loads(metrics.read_text())
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_campaign_runs_total" in names
+        assert "repro_campaign_speedup" in names
+
+
+class TestCampaignStatus:
+    def test_complete_run_exits_zero(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(run_args(spec_file, out))
+        capsys.readouterr()
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "campaign status" in stdout
+
+    def test_partial_run_exits_nonzero(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(run_args(spec_file, out))
+        results = out / "results.jsonl"
+        lines = results.read_text().splitlines()
+        results.write_text("\n".join(lines[:3]) + "\n")
+        capsys.readouterr()
+        assert main(["campaign", "status", "--out", str(out)]) == 1
+
+    def test_missing_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "status", "--out", str(tmp_path / "nope")])
+
+
+class TestCampaignDiffAndBaseline:
+    def test_baseline_then_clean_diff(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        baseline = tmp_path / "baseline.jsonl"
+        main(run_args(spec_file, out))
+        assert main([
+            "campaign", "baseline", "--out", str(out),
+            "--baseline", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "diff", "--out", str(out),
+            "--baseline", str(baseline),
+        ]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_perturbed_run_fails_the_gate(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        baseline = tmp_path / "baseline.jsonl"
+        main(run_args(spec_file, out))
+        main([
+            "campaign", "baseline", "--out", str(out),
+            "--baseline", str(baseline),
+        ])
+        results = out / "results.jsonl"
+        results.write_text(
+            results.read_text().replace(
+                '"size_floor_bytes":3900', '"size_floor_bytes":3907'
+            )
+        )
+        capsys.readouterr()
+        assert main([
+            "campaign", "diff", "--out", str(out),
+            "--baseline", str(baseline),
+        ]) == 1
+        assert "out of tolerance" in capsys.readouterr().out
+
+    def test_cli_tolerance_can_waive_the_drift(self, spec_file, tmp_path):
+        out = tmp_path / "out"
+        baseline = tmp_path / "baseline.jsonl"
+        main(run_args(spec_file, out))
+        main([
+            "campaign", "baseline", "--out", str(out),
+            "--baseline", str(baseline),
+        ])
+        results = out / "results.jsonl"
+        results.write_text(
+            results.read_text().replace(
+                '"size_floor_bytes":3900', '"size_floor_bytes":3907'
+            )
+        )
+        assert main([
+            "campaign", "diff", "--out", str(out),
+            "--baseline", str(baseline), "--rel", "0.01",
+        ]) == 0
+
+
+class TestObserveCampaign:
+    def test_registry_folds_a_summary(self):
+        from repro.campaign.runner import run_campaign
+
+        result = run_campaign(small_spec())
+        registry = MetricsRegistry()
+        registry.observe_campaign(result.summary)
+        text = registry.to_prometheus()
+        assert 'repro_campaign_runs_total{campaign="unit"} 1' in text
+        assert 'repro_campaign_cells_executed_total{campaign="unit"} 5' in text
+        assert 'repro_campaign_jobs{campaign="unit"} 1' in text

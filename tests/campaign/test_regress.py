@@ -1,0 +1,163 @@
+"""The regression gate: tolerances, diffs, baselines, exit codes."""
+
+import pytest
+
+from repro.campaign.regress import (
+    DiffReport,
+    Tolerance,
+    diff_files,
+    diff_records,
+    pin_baseline,
+    resolve_tolerance,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore, StoreError
+
+from tests.campaign.test_runner import failing_spec, small_spec
+
+
+def record(cell_id, metrics, status="ok", index=0):
+    return {
+        "type": "result", "index": index, "cell_id": cell_id,
+        "cell_hash": "h", "seed": 0, "params": {}, "status": status,
+        "metrics": metrics, "error": None,
+    }
+
+
+class TestTolerance:
+    def test_allows_within_max_of_abs_and_rel(self):
+        tol = Tolerance(rel=0.01, abs=0.5)
+        assert tol.allows(100.0, 100.9)   # rel window: 1.0
+        assert not tol.allows(100.0, 101.1)
+        assert tol.allows(0.0, 0.4)       # abs window carries zero baselines
+        assert not tol.allows(0.0, 0.6)
+
+    def test_resolution_first_glob_match_wins(self):
+        table = {
+            "energy_*": {"rel": 0.1},
+            "energy_by_tag.*": {"rel": 0.5},
+            "default": {"rel": 0.001},
+        }
+        assert resolve_tolerance("energy_j", table).rel == 0.1
+        # energy_by_tag.* also matches energy_* which comes first.
+        assert resolve_tolerance("energy_by_tag.idle", table).rel == 0.1
+        assert resolve_tolerance("time_s", table).rel == 0.001
+
+    def test_default_fallback_and_hard_default(self):
+        assert resolve_tolerance("x", {}).rel == Tolerance().rel
+        assert resolve_tolerance(
+            "x", {}, default=Tolerance(rel=1.0)
+        ).rel == 1.0
+
+
+class TestDiffRecords:
+    def test_clean_diff(self):
+        base = [record("a", {"x": 1.0})]
+        report = diff_records(base, [record("a", {"x": 1.0})])
+        assert report.clean and report.exit_code == 0
+        assert report.cells_compared == 1
+        assert "no drift" in report.render()
+
+    def test_drift_past_tolerance_fails(self):
+        base = [record("a", {"x": 1.0})]
+        cur = [record("a", {"x": 1.002})]
+        report = diff_records(base, cur, {"default": {"rel": 1e-3}})
+        assert not report.clean and report.exit_code == 1
+        assert report.drifts[0].metric == "x"
+
+    def test_drift_within_tolerance_passes(self):
+        base = [record("a", {"x": 1.0})]
+        cur = [record("a", {"x": 1.002})]
+        assert diff_records(base, cur, {"default": {"rel": 0.01}}).clean
+
+    def test_vanished_and_appeared_metrics(self):
+        base = [record("a", {"x": 1.0, "gone": 2.0})]
+        cur = [record("a", {"x": 1.0, "new": 3.0})]
+        report = diff_records(base, cur)
+        reasons = {d.reason for d in report.drifts}
+        assert reasons == {"metric vanished", "metric appeared"}
+
+    def test_status_change_is_a_drift(self):
+        base = [record("a", {"x": 1.0})]
+        cur = [record("a", {}, status="failed")]
+        report = diff_records(base, cur)
+        assert report.drifts[0].metric == "<status>"
+
+    def test_missing_and_extra_cells(self):
+        base = [record("a", {"x": 1.0}), record("b", {"x": 1.0}, index=1)]
+        cur = [record("a", {"x": 1.0}), record("c", {"x": 1.0}, index=1)]
+        report = diff_records(base, cur)
+        assert report.missing_cells == ["b"]
+        assert report.extra_cells == ["c"]
+        assert not report.clean
+
+    def test_non_numeric_values_compare_exactly(self):
+        base = [record("a", {"t": "inf", "flag": True})]
+        assert diff_records(base, [record("a", {"t": "inf", "flag": True})]).clean
+        report = diff_records(base, [record("a", {"t": "nan", "flag": True})])
+        assert report.drifts[0].reason == "value changed"
+
+    def test_bool_is_not_coerced_to_number(self):
+        base = [record("a", {"flag": True})]
+        report = diff_records(
+            base, [record("a", {"flag": False})], {"default": {"abs": 10.0}}
+        )
+        assert not report.clean
+
+
+class TestDiffFiles:
+    def run_to(self, tmp_path, name, spec):
+        store = ResultStore(tmp_path / name)
+        CampaignRunner(spec, store=store).run()
+        return store.results_path
+
+    def test_identical_runs_diff_clean(self, tmp_path):
+        a = self.run_to(tmp_path, "a", small_spec())
+        b = self.run_to(tmp_path, "b", small_spec())
+        assert diff_files(a, b).clean
+
+    def test_intentional_perturbation_trips_the_gate(self, tmp_path):
+        a = self.run_to(tmp_path, "a", small_spec())
+        b = self.run_to(tmp_path, "b", small_spec())
+        text = b.read_text()
+        perturbed = text.replace('"size_floor_bytes":3900', '"size_floor_bytes":3901')
+        assert perturbed != text
+        b.write_text(perturbed)
+        report = diff_files(a, b, {"default": {"rel": 1e-9, "abs": 1e-12}})
+        assert report.exit_code == 1
+        assert any(d.metric == "size_floor_bytes" for d in report.drifts)
+
+    def test_spec_mismatch_refused(self, tmp_path):
+        a = self.run_to(tmp_path, "a", small_spec(seed=0))
+        b = self.run_to(tmp_path, "b", small_spec(seed=1))
+        with pytest.raises(StoreError, match="re-pin"):
+            diff_files(a, b)
+        assert diff_files(a, b, require_same_spec=False) is not None
+
+
+class TestPinBaseline:
+    def test_pin_copies_results(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        CampaignRunner(small_spec(), store=store).run()
+        pinned = pin_baseline(store.results_path, tmp_path / "baseline.jsonl")
+        assert pinned.read_bytes() == store.results_path.read_bytes()
+
+    def test_pin_refuses_failed_cells(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        CampaignRunner(failing_spec(), store=store).run()
+        with pytest.raises(StoreError, match="failed cells"):
+            pin_baseline(store.results_path, tmp_path / "baseline.jsonl")
+
+
+class TestReportRendering:
+    def test_render_lists_everything(self):
+        report = DiffReport(
+            cells_compared=2,
+            metrics_compared=4,
+            drifts=[],
+            missing_cells=["gone"],
+            extra_cells=["new"],
+        )
+        text = report.render()
+        assert "MISSING" in text and "gone" in text
+        assert "NOT IN baseline" in text and "new" in text

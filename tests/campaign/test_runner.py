@@ -1,0 +1,258 @@
+"""Runner invariants: determinism, isolation, caching, resume.
+
+The campaign contract under test:
+
+- the finalized ``results.jsonl`` is byte-identical at any ``-j``;
+- a warm-cache rerun reproduces it while recomputing zero cells;
+- a failing cell becomes a ``failed`` record, never a dead campaign;
+- ``--resume`` after a simulated crash replays only the missing cells.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import CampaignRunner, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore, load_records
+
+
+def small_spec(seed=0):
+    """A fast cross-kind campaign: closed forms + analytic sessions."""
+    return CampaignSpec(
+        name="unit",
+        mode="list",
+        seed=seed,
+        base={},
+        cells=[
+            {
+                "label": "floor",
+                "kind": "threshold",
+                "quantity": "size_floor",
+                "literal": True,
+            },
+            {
+                "label": "factor",
+                "kind": "threshold",
+                "quantity": "factor",
+                "size_mb": 1,
+                "literal": True,
+            },
+            {
+                "label": "sim",
+                "kind": "simulate",
+                "scenario": "interleaved",
+                "size_mb": 0.25,
+                "factor": 3.8,
+            },
+            {
+                "label": "sim-loss",
+                "kind": "simulate",
+                "scenario": "raw",
+                "size_mb": 0.25,
+                "loss_rate": 0.1,
+            },
+            {
+                "label": "policy",
+                "kind": "resume_policy",
+                "size_mb": 0.5,
+                "factor": 3.8,
+                "outage_at_fraction": 0.9,
+            },
+        ],
+    )
+
+
+def failing_spec():
+    return CampaignSpec(
+        name="failing",
+        cells=[
+            {
+                "label": "good",
+                "kind": "threshold",
+                "quantity": "size_floor",
+                "literal": True,
+            },
+            {"label": "bad", "kind": "simulate", "scenario": "warp-drive",
+             "size_mb": 1},
+        ],
+    )
+
+
+class TestExecution:
+    def test_all_kinds_run_ok(self):
+        result = run_campaign(small_spec())
+        assert result.ok
+        assert result.summary.executed == result.summary.total == 5
+        assert result.metric("floor", "size_floor_bytes") == 3900
+        assert result.metric("sim", "energy_j") > 0
+        assert result.metric("sim-loss", "arq_retries") >= 0
+        assert isinstance(result.metric("policy", "resume_wins"), bool)
+
+    def test_records_arrive_in_cell_order(self):
+        result = run_campaign(small_spec(), jobs=2)
+        assert [r["index"] for r in result.records] == list(range(5))
+
+    def test_failure_is_captured_not_fatal(self):
+        result = run_campaign(failing_spec())
+        assert not result.ok
+        assert result.summary.ok == 1 and result.summary.failed == 1
+        bad = result.by_id()["bad"]
+        assert bad["status"] == "failed"
+        assert "warp-drive" in bad["error"]
+        assert bad["metrics"] == {}
+
+    def test_retries_are_counted(self):
+        runner = CampaignRunner(failing_spec(), retries=2)
+        result = runner.run()
+        # The deterministic failure burns every attempt; the good cell
+        # needs one.
+        assert result.summary.retries == 2
+        assert result.by_id()["bad"]["status"] == "failed"
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(small_spec(), jobs=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(small_spec(), retries=-1)
+
+
+class TestDeterminism:
+    def results_bytes(self, tmp_path, name, jobs, cache=None):
+        out = tmp_path / name
+        store = ResultStore(out)
+        CampaignRunner(
+            small_spec(), store=store, cache=cache, jobs=jobs
+        ).run()
+        return store.results_path.read_bytes()
+
+    def test_serial_and_parallel_runs_are_byte_identical(self, tmp_path):
+        assert self.results_bytes(tmp_path, "j1", 1) == self.results_bytes(
+            tmp_path, "j4", 4
+        )
+
+    def test_cold_and_warm_cache_runs_are_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = self.results_bytes(tmp_path, "cold", 2, cache)
+        warm_store = ResultStore(tmp_path / "warm")
+        warm = CampaignRunner(
+            small_spec(), store=warm_store, cache=cache, jobs=2
+        ).run()
+        assert warm.summary.executed == 0
+        assert warm.summary.cache_hits == warm.summary.total == 5
+        assert warm.summary.cache_hit_rate == 1.0
+        assert warm_store.results_path.read_bytes() == cold
+
+    def test_different_seed_changes_seeded_cells_only(self):
+        a = run_campaign(small_spec(seed=0))
+        b = run_campaign(small_spec(seed=1))
+        for rec_a, rec_b in zip(a.records, b.records):
+            assert rec_a["seed"] != rec_b["seed"]
+            # Deterministic closed forms agree regardless of seed.
+            if rec_a["cell_id"] == "floor":
+                assert rec_a["metrics"] == rec_b["metrics"]
+
+
+class TestResume:
+    def test_resume_after_simulated_crash(self, tmp_path):
+        out = tmp_path / "crash"
+        store = ResultStore(out)
+        CampaignRunner(small_spec(), store=store).run()
+        finished = store.results_path.read_bytes()
+
+        # Crash simulation: keep the header and the first two records,
+        # tear the third mid-line.
+        lines = store.results_path.read_text().splitlines()
+        store.results_path.write_text(
+            "\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2]
+        )
+
+        resumed = CampaignRunner(small_spec(), store=store).run(resume=True)
+        assert resumed.summary.resumed == 2
+        assert resumed.summary.executed == 3
+        assert resumed.ok
+        assert store.results_path.read_bytes() == finished
+
+    def test_resume_with_nothing_done_runs_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        result = CampaignRunner(small_spec(), store=store).run(resume=True)
+        assert result.summary.resumed == 0
+        assert result.summary.executed == 5
+
+    def test_resume_refuses_a_different_campaign(self, tmp_path):
+        from repro.campaign.store import StoreError
+
+        store = ResultStore(tmp_path / "other")
+        CampaignRunner(small_spec(seed=0), store=store).run()
+        with pytest.raises(StoreError, match="refusing to resume"):
+            CampaignRunner(small_spec(seed=1), store=store).run(resume=True)
+
+    def test_resume_skips_failed_cells_for_retry(self, tmp_path):
+        store = ResultStore(tmp_path / "fail")
+        CampaignRunner(failing_spec(), store=store).run()
+        resumed = CampaignRunner(failing_spec(), store=store).run(resume=True)
+        # The ok cell is kept, the failed one is attempted again.
+        assert resumed.summary.resumed == 1
+        assert resumed.summary.executed == 1
+
+
+def threshold_cells():
+    sizes = st.sampled_from([0.05, 0.5, 1, 4])
+    codecs = st.sampled_from(["gzip", "compress", "bzip2"])
+    return st.builds(
+        lambda size, codec, literal: {
+            "kind": "threshold",
+            "quantity": "factor",
+            "size_mb": size,
+            "codec": codec,
+            "literal": literal,
+        },
+        sizes, codecs, st.booleans(),
+    )
+
+
+@st.composite
+def random_specs(draw):
+    cells = draw(
+        st.lists(threshold_cells(), min_size=1, max_size=4, unique_by=str)
+    )
+    for i, cell in enumerate(cells):
+        cell["label"] = f"cell{i}"
+    return CampaignSpec(
+        name="prop", cells=cells, seed=draw(st.integers(0, 2**16))
+    )
+
+
+class TestPropertyDeterminism:
+    @settings(max_examples=12, deadline=None)
+    @given(spec=random_specs(), jobs=st.sampled_from([2, 3]))
+    def test_parallel_equals_serial_for_random_specs(self, tmp_path_factory,
+                                                     spec, jobs):
+        serial = run_campaign(spec, jobs=1)
+        parallel = run_campaign(spec, jobs=jobs)
+        assert json.dumps(serial.records, sort_keys=True) == json.dumps(
+            parallel.records, sort_keys=True
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(spec=random_specs(), cut=st.integers(0, 3))
+    def test_resume_completes_any_prefix(self, tmp_path_factory, spec, cut):
+        out = tmp_path_factory.mktemp("resume")
+        store = ResultStore(out)
+        CampaignRunner(spec, store=store).run()
+        finished = store.results_path.read_bytes()
+
+        lines = store.results_path.read_text().splitlines()
+        keep = min(1 + cut, len(lines))
+        store.results_path.write_text("\n".join(lines[:keep]) + "\n")
+
+        resumed = CampaignRunner(spec, store=store).run(resume=True)
+        assert resumed.ok
+        assert resumed.summary.resumed == keep - 1
+        assert resumed.summary.executed == len(spec.expand()) - (keep - 1)
+        assert store.results_path.read_bytes() == finished
+        header, records = load_records(store.results_path)
+        assert header["spec_hash"] == spec.spec_hash()
+        assert len(records) == len(spec.expand())

@@ -1,0 +1,171 @@
+"""CampaignSpec: expansion modes, hashing, seeds, serialization."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CampaignSpecError,
+    SPEC_SCHEMA_VERSION,
+    canonical_json,
+    content_hash,
+    derive_seed,
+)
+
+
+def grid_spec(**overrides):
+    fields = dict(
+        name="g",
+        mode="grid",
+        base={"kind": "threshold", "quantity": "factor"},
+        axes={"size_mb": [1, 4], "codec": ["gzip", "bzip2"]},
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestExpansion:
+    def test_grid_is_cartesian_product_in_sorted_axis_order(self):
+        cells = grid_spec().expand()
+        assert len(cells) == 4
+        # Axes iterate in sorted name order (codec before size_mb), so
+        # the expansion is independent of dict insertion order.
+        assert [(c.params["codec"], c.params["size_mb"]) for c in cells] == [
+            ("gzip", 1), ("gzip", 4), ("bzip2", 1), ("bzip2", 4),
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_grid_expansion_independent_of_axis_insertion_order(self):
+        a = grid_spec()
+        b = grid_spec(
+            axes={"codec": ["gzip", "bzip2"], "size_mb": [1, 4]}
+        )
+        assert [c.params for c in a.expand()] == [
+            c.params for c in b.expand()
+        ]
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_zip_walks_axes_in_lockstep(self):
+        spec = grid_spec(mode="zip")
+        cells = spec.expand()
+        assert [(c.params["size_mb"], c.params["codec"]) for c in cells] == [
+            (1, "gzip"), (4, "bzip2"),
+        ]
+
+    def test_zip_rejects_ragged_axes(self):
+        with pytest.raises(CampaignSpecError, match="share one length"):
+            grid_spec(mode="zip", axes={"a": [1, 2], "b": [1]})
+
+    def test_list_merges_base_under_cells(self):
+        spec = CampaignSpec(
+            name="l",
+            mode="list",
+            base={"kind": "threshold", "quantity": "factor", "size_mb": 1},
+            cells=[{"label": "a"}, {"label": "b", "size_mb": 8}],
+        )
+        cells = spec.expand()
+        assert cells[0].params["size_mb"] == 1
+        assert cells[1].params["size_mb"] == 8
+        assert [c.cell_id for c in cells] == ["a", "b"]
+
+    def test_unlabelled_cells_get_index_ids(self):
+        cells = grid_spec().expand()
+        assert cells[0].cell_id == "c0000"
+        assert cells[3].cell_id == "c0003"
+
+    def test_duplicate_labels_rejected(self):
+        spec = CampaignSpec(
+            name="dup",
+            base={"kind": "threshold", "quantity": "size_floor"},
+            cells=[{"label": "x"}, {"label": "x", "codec": "bzip2"}],
+        )
+        with pytest.raises(CampaignSpecError, match="duplicate cell id"):
+            spec.expand()
+
+    def test_unknown_kind_rejected(self):
+        spec = CampaignSpec(name="k", cells=[{"kind": "teleport"}])
+        with pytest.raises(CampaignSpecError, match="unknown kind"):
+            spec.expand()
+
+    def test_empty_expansion_rejected(self):
+        with pytest.raises(CampaignSpecError, match="no cells"):
+            CampaignSpec(name="empty").expand()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown mode"):
+            CampaignSpec(name="m", mode="shuffle")
+
+
+class TestIdentity:
+    def test_canonical_json_is_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+        assert content_hash({"b": 1, "a": 2}) == content_hash({"a": 2, "b": 1})
+
+    def test_spec_hash_ignores_name_and_tolerances(self):
+        a = grid_spec()
+        b = grid_spec(
+            name="renamed", tolerances={"default": {"rel": 1.0}},
+        )
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_spec_hash_tracks_the_computation(self):
+        assert grid_spec().spec_hash() != grid_spec(seed=1).spec_hash()
+        assert (
+            grid_spec().spec_hash()
+            != grid_spec(axes={"size_mb": [1], "codec": ["gzip"]}).spec_hash()
+        )
+
+    def test_seed_derivation_is_content_addressed(self):
+        cells = grid_spec().expand()
+        seeds = {c.cell_id: c.seed for c in cells}
+        # Dropping a sibling must not reseed the cells that remain.
+        smaller = grid_spec(axes={"size_mb": [1], "codec": ["gzip", "bzip2"]})
+        for cell in smaller.expand():
+            twin = next(
+                c for c in cells if c.params == cell.params
+            )
+            assert cell.seed == seeds[twin.cell_id]
+
+    def test_base_seed_changes_every_cell_seed(self):
+        a = {c.cell_hash: c.seed for c in grid_spec().expand()}
+        b = {c.cell_hash: c.seed for c in grid_spec(seed=99).expand()}
+        assert all(a[h] != b[h] for h in a)
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(0, "abc") == derive_seed(0, "abc")
+        assert derive_seed(0, "abc") != derive_seed(1, "abc")
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        spec = grid_spec(
+            seed=7,
+            tolerances={"energy_*": {"rel": 1e-3}},
+            description="round trip",
+        )
+        path = spec.save(tmp_path / "spec.json")
+        loaded = CampaignSpec.load(path)
+        assert loaded == spec
+        assert loaded.spec_hash() == spec.spec_hash()
+        assert [c.cell_hash for c in loaded.expand()] == [
+            c.cell_hash for c in spec.expand()
+        ]
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown spec fields"):
+            CampaignSpec.from_dict({"name": "x", "parallelism": 4})
+
+    def test_schema_version_checked(self):
+        with pytest.raises(CampaignSpecError, match="schema"):
+            CampaignSpec.from_dict(
+                {"name": "x", "schema_version": SPEC_SCHEMA_VERSION + 1}
+            )
+
+    def test_name_required(self):
+        with pytest.raises(CampaignSpecError, match="name"):
+            CampaignSpec.from_dict({"mode": "list"})
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CampaignSpecError, match="cannot load"):
+            CampaignSpec.load(tmp_path / "absent.json")

@@ -1,12 +1,32 @@
 """The programmatic experiment index must match the bench directory."""
 
+import ast
+import json
 import pathlib
 
 import pytest
 
-from repro.experiments import all_experiments, bench_command, get_experiment
+from repro.experiments import (
+    INDEX_SCHEMA_VERSION,
+    all_experiments,
+    bench_command,
+    get_experiment,
+    index_document,
+)
 
 BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def _write_artifact_calls(path: pathlib.Path):
+    """Every ``write_artifact(...)`` call in one bench source, parsed."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "write_artifact"
+        ):
+            yield node
 
 
 class TestIndexIntegrity:
@@ -60,6 +80,71 @@ class TestIndexIntegrity:
         out = capsys.readouterr().out
         assert "fig2" in out
         assert "lifetime" not in out
+
+    def test_cli_json_matches_index(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == index_document()
+        assert doc["schema_version"] == INDEX_SCHEMA_VERSION
+        assert [e["id"] for e in doc["experiments"]] == [
+            e.id for e in all_experiments()
+        ]
+
+    def test_cli_json_paper_only(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--json", "--paper-only"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all(not e["extension"] for e in doc["experiments"])
+
+
+class TestArtifactSync:
+    """Indexed artifact names and bench sources stay in lockstep."""
+
+    def test_indexed_artifacts_written_by_their_bench(self):
+        for exp in all_experiments():
+            names = {
+                call.args[0].value
+                for call in _write_artifact_calls(BENCH_DIR / exp.bench)
+                if call.args and isinstance(call.args[0], ast.Constant)
+            }
+            if exp.artifact == "-":
+                assert not names, exp.id
+            else:
+                assert exp.artifact in names, (
+                    f"{exp.id}: bench {exp.bench} never writes "
+                    f"artifact {exp.artifact!r}"
+                )
+
+    def test_every_artifact_name_is_indexed_or_derived(self):
+        # Benches may write extra companion artifacts (e.g. the ladder
+        # table next to the link-rate ablation), but each must extend an
+        # indexed name so the provenance stays discoverable.
+        indexed = {e.artifact for e in all_experiments() if e.artifact != "-"}
+        for bench in BENCH_DIR.glob("bench_*.py"):
+            for call in _write_artifact_calls(bench):
+                if not (call.args and isinstance(call.args[0], ast.Constant)):
+                    continue
+                name = call.args[0].value
+                assert name in indexed or any(
+                    name.startswith(f"{base}_") for base in indexed
+                ), f"{bench.name} writes unindexed artifact {name!r}"
+
+    def test_every_write_artifact_carries_json_payload(self):
+        # The JSON twins are the machine-readable evaluation surface:
+        # every artifact write must pass a structured payload, either
+        # positionally or as the ``data=`` keyword.
+        for bench in BENCH_DIR.glob("bench_*.py"):
+            for call in _write_artifact_calls(bench):
+                has_data = len(call.args) >= 3 or any(
+                    kw.arg == "data" for kw in call.keywords
+                )
+                assert has_data, (
+                    f"{bench.name}: write_artifact call without a JSON "
+                    "data payload"
+                )
 
 
 class TestPublicApiSurface:
