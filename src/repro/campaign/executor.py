@@ -307,6 +307,12 @@ def _execute_experiment(
     bench = root / "benchmarks" / exp.bench
     if not bench.exists():
         raise CellExecutionError(f"bench not found: {bench}")
+    artifact = None
+    stamp_before = None
+    if exp.artifact != "-":
+        artifact = root / "benchmarks" / "results" / f"{exp.artifact}.json"
+        if artifact.exists():
+            stamp_before = artifact.stat().st_mtime_ns
     env = dict(os.environ)
     src = str(root / "src")
     env["PYTHONPATH"] = (
@@ -332,12 +338,25 @@ def _execute_experiment(
             f"experiment {exp.id!r} exited {proc.returncode}:\n{tail}"
         )
     metrics: Dict[str, Any] = {"exit_code": proc.returncode}
-    if exp.artifact != "-":
-        artifact = root / "benchmarks" / "results" / f"{exp.artifact}.json"
-        if artifact.exists():
-            payload = json.loads(artifact.read_text())
-            for name, value in flatten_metrics(payload, "artifact").items():
-                metrics[name] = value
+    if artifact is not None:
+        # Artifact JSONs are checked into the repo, so a bench that
+        # passes without rewriting its artifact would otherwise gate on
+        # the stale checked-in copy with no warning.
+        if not artifact.exists():
+            raise CellExecutionError(
+                f"experiment {exp.id!r} passed but wrote no artifact "
+                f"{artifact.name}"
+            )
+        if (stamp_before is not None
+                and artifact.stat().st_mtime_ns == stamp_before):
+            raise CellExecutionError(
+                f"experiment {exp.id!r} passed but did not rewrite its "
+                f"artifact {artifact.name}; refusing to report the stale "
+                f"copy's metrics"
+            )
+        payload = json.loads(artifact.read_text())
+        for name, value in flatten_metrics(payload, "artifact").items():
+            metrics[name] = value
     return metrics
 
 

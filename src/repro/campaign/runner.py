@@ -240,7 +240,14 @@ class CampaignRunner:
                 cache_keys[cell.cell_id] = key
                 hit = self.cache.lookup(key)
                 if hit is not None and hit.get("cell_hash") == cell.cell_hash:
-                    records[cell.cell_id] = hit
+                    # Cached records carry the index/cell_id of the run
+                    # that stored them; rebuild identity from the current
+                    # cell so a spec edit that reorders or relabels cells
+                    # serves hits under their new position, not the old.
+                    records[cell.cell_id] = result_record(
+                        cell, hit["status"], hit.get("metrics", {}),
+                        hit.get("error"),
+                    )
                     summary.cache_hits += 1
                     continue
             pending.append(cell)

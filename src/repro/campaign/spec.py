@@ -239,11 +239,14 @@ class CampaignSpec:
         )
 
     def save(self, path) -> pathlib.Path:
-        """Write the spec as indented JSON."""
+        """Write the spec as indented JSON.
+
+        Keys keep their insertion order — tolerance glob precedence is
+        "first match wins in spec order", so alphabetizing here would
+        silently reshuffle overlapping patterns on every resave.
+        """
         path = pathlib.Path(path)
-        path.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
-        )
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
         return path
 
     @classmethod

@@ -20,6 +20,7 @@ campaigns), and replays only the cells without an ``ok`` record.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -149,16 +150,15 @@ class ResultStore:
              completed: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
         """Start (or restart) the campaign's results file.
 
-        Prior completed records are re-written first so a crash at any
-        point leaves a resumable file.
+        The header and prior completed records land in a temp file that
+        is renamed over ``results.jsonl`` only once fully written, so a
+        crash at any point leaves either the old resumable file or the
+        new one — never a truncated, header-less file.
         """
         self.out_dir.mkdir(parents=True, exist_ok=True)
         spec.save(self.spec_path)
-        self._fp = open(self.results_path, "w", encoding="utf-8")
-        self._fp.write(_dump(_header(spec, cells)) + "\n")
-        for record in (completed or {}).values():
-            self._fp.write(_dump(record) + "\n")
-        self._fp.flush()
+        self._replace_results(_header(spec, cells), (completed or {}).values())
+        self._fp = open(self.results_path, "a", encoding="utf-8")
 
     def append(self, record: Dict[str, Any]) -> None:
         """Persist one record immediately (completion order)."""
@@ -167,6 +167,23 @@ class ResultStore:
         self._fp.write(_dump(record) + "\n")
         self._fp.flush()
 
+    def _replace_results(self, header: Dict[str, Any],
+                         records) -> None:
+        """Atomically swap in a results file: temp write + rename."""
+        tmp = self.results_path.with_name(RESULTS_NAME + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fp:
+                fp.write(_dump(header) + "\n")
+                for record in records:
+                    fp.write(_dump(record) + "\n")
+            os.replace(tmp, self.results_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def finalize(self, spec: CampaignSpec,
                  records: List[Dict[str, Any]]) -> None:
         """Rewrite the results file in cell order and close it."""
@@ -174,10 +191,7 @@ class ResultStore:
             self._fp.close()
             self._fp = None
         ordered = sorted(records, key=lambda r: r["index"])
-        with open(self.results_path, "w", encoding="utf-8") as fp:
-            fp.write(_dump(_header(spec, len(ordered))) + "\n")
-            for record in ordered:
-                fp.write(_dump(record) + "\n")
+        self._replace_results(_header(spec, len(ordered)), ordered)
 
     def abort(self) -> None:
         """Close the append handle without finalizing (records survive)."""

@@ -1,0 +1,82 @@
+"""Experiment-cell execution: artifact freshness enforcement.
+
+Artifact JSONs are checked into the repo, so an experiment cell whose
+bench passes without rewriting its artifact must fail rather than gate
+the regression suite on the stale checked-in copy.
+"""
+
+import json
+import textwrap
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign.executor import CellExecutionError, execute_cell
+
+#: Passes under ``--benchmark-only`` (skipped) but writes nothing.
+PASSING_BENCH = """
+    def test_noop():
+        pass
+"""
+
+#: Rewrites the artifact the way real benches do.
+WRITING_BENCH = """
+    import json
+    import pathlib
+
+    def test_write(benchmark):
+        benchmark(lambda: None)
+        out = pathlib.Path(__file__).parent / "results" / "fake.json"
+        out.write_text(json.dumps({"energy": {"raw": [1.0, 2.0]}}))
+"""
+
+
+def fake_repo(tmp_path, bench_body):
+    root = tmp_path / "repo"
+    (root / "benchmarks" / "results").mkdir(parents=True)
+    (root / "src").mkdir()
+    (root / "benchmarks" / "bench_fake.py").write_text(
+        textwrap.dedent(bench_body)
+    )
+    return root
+
+
+@pytest.fixture()
+def fake_experiment(monkeypatch):
+    import repro.experiments as experiments
+
+    exp = SimpleNamespace(id="fake", bench="bench_fake.py", artifact="fake")
+    monkeypatch.setattr(experiments, "get_experiment", lambda exp_id: exp)
+    return exp
+
+
+def run_experiment(root):
+    return execute_cell(
+        {"kind": "experiment", "id": "fake"}, 0, repo_root=str(root)
+    )
+
+
+class TestExperimentArtifactFreshness:
+    def test_stale_checked_in_artifact_fails_the_cell(
+        self, tmp_path, fake_experiment
+    ):
+        root = fake_repo(tmp_path, PASSING_BENCH)
+        stale = root / "benchmarks" / "results" / "fake.json"
+        stale.write_text(json.dumps({"energy": 1.0}))
+        with pytest.raises(CellExecutionError, match="did not rewrite"):
+            run_experiment(root)
+
+    def test_missing_artifact_fails_the_cell(self, tmp_path, fake_experiment):
+        root = fake_repo(tmp_path, PASSING_BENCH)
+        with pytest.raises(CellExecutionError, match="wrote no artifact"):
+            run_experiment(root)
+
+    def test_rewritten_artifact_is_flattened(self, tmp_path, fake_experiment):
+        root = fake_repo(tmp_path, WRITING_BENCH)
+        # A stale copy exists, as checked in; the bench rewrites it.
+        (root / "benchmarks" / "results" / "fake.json").write_text("{}")
+        metrics, trace = run_experiment(root)
+        assert trace is None
+        assert metrics["exit_code"] == 0
+        assert metrics["artifact.energy.raw[0]"] == 1.0
+        assert metrics["artifact.energy.raw[1]"] == 2.0

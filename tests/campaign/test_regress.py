@@ -49,6 +49,25 @@ class TestTolerance:
             "x", {}, default=Tolerance(rel=1.0)
         ).rel == 1.0
 
+    def test_overlapping_globs_keep_precedence_across_resave(self, tmp_path):
+        from repro.campaign.spec import CampaignSpec
+
+        # "energy_by_tag.*" sorts after "energy*", so an alphabetizing
+        # resave would silently flip which glob wins for tag metrics.
+        spec = CampaignSpec(
+            name="tol",
+            tolerances={
+                "energy_by_tag.*": {"rel": 0.5},
+                "energy*": {"rel": 0.1},
+            },
+        )
+        loaded = CampaignSpec.load(spec.save(tmp_path / "spec.json"))
+        assert list(loaded.tolerances) == list(spec.tolerances)
+        assert resolve_tolerance(
+            "energy_by_tag.idle", loaded.tolerances
+        ).rel == 0.5
+        assert resolve_tolerance("energy_j", loaded.tolerances).rel == 0.1
+
 
 class TestDiffRecords:
     def test_clean_diff(self):

@@ -145,6 +145,41 @@ class TestDeterminism:
         assert warm.summary.cache_hit_rate == 1.0
         assert warm_store.results_path.read_bytes() == cold
 
+    def test_cache_hits_survive_spec_edits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = {"kind": "threshold", "quantity": "factor", "literal": True}
+        spec_a = CampaignSpec(
+            name="edit",
+            cells=[{**base, "size_mb": 1}, {**base, "size_mb": 4}],
+        )
+        cold = run_campaign(spec_a, cache=cache)
+
+        # Insert a new cell in front: the surviving cells shift index
+        # and (auto-generated) cell_id, but their content hashes — and
+        # so their cache keys — are unchanged.  Hits must be served
+        # under the cells' new identity, not the one the cold run had.
+        spec_b = CampaignSpec(
+            name="edit",
+            cells=[
+                {**base, "size_mb": 2},
+                {**base, "size_mb": 1},
+                {**base, "size_mb": 4},
+            ],
+        )
+        warm = run_campaign(spec_b, cache=cache)
+        assert warm.summary.cache_hits == 2
+        assert warm.summary.executed == 1
+        assert [r["index"] for r in warm.records] == [0, 1, 2]
+        assert [r["cell_id"] for r in warm.records] == [
+            "c0000", "c0001", "c0002",
+        ]
+        assert warm.metric("c0001", "factor_threshold") == cold.metric(
+            "c0000", "factor_threshold"
+        )
+        assert warm.metric("c0002", "factor_threshold") == cold.metric(
+            "c0001", "factor_threshold"
+        )
+
     def test_different_seed_changes_seeded_cells_only(self):
         a = run_campaign(small_spec(seed=0))
         b = run_campaign(small_spec(seed=1))
@@ -174,6 +209,27 @@ class TestResume:
         assert resumed.summary.executed == 3
         assert resumed.ok
         assert store.results_path.read_bytes() == finished
+
+    def test_crash_while_reopening_preserves_prior_results(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.store as store_mod
+
+        store = ResultStore(tmp_path / "atomic")
+        CampaignRunner(small_spec(), store=store).run()
+        before = store.results_path.read_bytes()
+
+        def boom(record):
+            raise RuntimeError("crash mid-open")
+
+        monkeypatch.setattr(store_mod, "_dump", boom)
+        with pytest.raises(RuntimeError):
+            store.open(small_spec(), 5)
+        # The old resumable file survives intact; no temp file lingers.
+        assert store.results_path.read_bytes() == before
+        assert not store.results_path.with_name(
+            "results.jsonl.tmp"
+        ).exists()
 
     def test_resume_with_nothing_done_runs_everything(self, tmp_path):
         store = ResultStore(tmp_path / "fresh")
