@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean \
-	campaign-smoke baseline campaign-perf
+	campaign-smoke baseline campaign-perf proxy-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -70,6 +70,29 @@ campaign-smoke:
 	$(PYTHON) -m repro campaign status --out "$$tmp/warm" || exit 1; \
 	$(PYTHON) -m repro campaign diff --out "$$tmp/warm" \
 		--baseline benchmarks/campaigns/smoke_baseline.jsonl
+
+# CI proxy gate: a seeded chaos storm over the in-process transport.
+# The load runs twice; the CLI exits non-zero if any partial output
+# leaks, and the two JSON reports must be byte-identical (everything
+# in them is modeled, so a fixed seed fully determines the bytes).
+proxy-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for run in a b; do \
+		$(PYTHON) -m repro proxy load -n 200 --clients 4 --seed 3 \
+			--chaos --corpus-scale 0.02 --json \
+			> "$$tmp/$$run.json" || exit 1; \
+	done; \
+	cmp "$$tmp/a.json" "$$tmp/b.json" || \
+		{ echo "FAIL: chaos load is not byte-stable at a fixed seed"; exit 1; }; \
+	$(PYTHON) -c "import json,sys; doc=json.load(open('$$tmp/a.json')); \
+	outc=doc['outcomes']; total=sum(outc.values()); \
+	assert total == 200, f'unaccounted requests: {total}'; \
+	assert outc['ok'] > 0, 'no request completed'; \
+	assert doc['service']['outstanding_partials'] == 0, 'leaked partials'; \
+	assert sum(doc['chaos_injected'].values()) > 0, 'chaos never fired'; \
+	print('OK: 200/200 accounted,', outc['ok'], 'ok,', \
+	      doc['degraded'], 'degraded,', doc['service']['breaker_trips'], \
+	      'breaker trips, 0 leaked partials')"
 
 # Refresh the pinned smoke baseline after an intentional model change.
 baseline:

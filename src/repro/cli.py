@@ -781,6 +781,131 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _proxy_store(args: argparse.Namespace):
+    """A populated ProxyServer from --root or the scaled Table 2 corpus."""
+    from repro.proxy.server import ProxyServer
+
+    store = ProxyServer()
+    root = getattr(args, "root", None)
+    if root:
+        root_path = pathlib.Path(root)
+        if not root_path.is_dir():
+            raise SystemExit(f"--root {root!r} is not a directory")
+        names = sorted(p for p in root_path.iterdir() if p.is_file())
+        if not names:
+            raise SystemExit(f"--root {root!r} holds no files")
+        for path in names:
+            store.put(path.name, path.read_bytes())
+    else:
+        from repro.workload.corpus import Corpus
+
+        for gf in Corpus(scale=args.corpus_scale).files():
+            store.put(gf.name, gf.data)
+    return store
+
+
+def _proxy_service(args: argparse.Namespace):
+    """A ProxyService configured from the shared proxy flags."""
+    from repro.proxy.chaos import ChaosConfig
+    from repro.proxy.service import ProxyService, ServiceConfig
+
+    chaos = None
+    if getattr(args, "chaos", False):
+        chaos = ChaosConfig.all_on(seed=args.seed, rate=args.chaos_rate)
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        default_codec=args.codec,
+        verify_compressions=not getattr(args, "no_server_verify", False),
+    )
+    registry = None
+    if getattr(args, "metrics", None):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    return ProxyService(
+        store=_proxy_store(args), config=config, chaos=chaos,
+        metrics=registry,
+    )
+
+
+def cmd_proxy_serve(args: argparse.Namespace) -> int:
+    """``repro proxy serve``: the live service on a TCP socket."""
+    import asyncio
+
+    service = _proxy_service(args)
+
+    async def main() -> None:
+        server = await service.serve_tcp(args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        print(f"proxy: serving {len(service.store.names())} objects "
+              f"on {addr[0]}:{addr[1]} (ctrl-c to drain)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.drain()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("proxy: drained")
+    return 0
+
+
+def cmd_proxy_load(args: argparse.Namespace) -> int:
+    """``repro proxy load``: seeded load against the in-process service."""
+    from repro.proxy.loadgen import LoadSpec, run_load_sync
+
+    service = _proxy_service(args)
+    spec = LoadSpec(
+        requests=args.requests,
+        clients=args.clients,
+        seed=args.seed,
+        codec=args.codec,
+        link_mbps=float(args.link),
+        loss_rate=args.loss_rate,
+        verify=not args.no_verify,
+    )
+    report = run_load_sync(service, spec)
+    if args.json:
+        print(report.to_json())
+    else:
+        d = report.to_dict()
+        lat = d["latency_modeled_s"]
+        rows = [
+            ("requests", spec.requests),
+            ("ok / error / shed / disconnected",
+             f'{d["outcomes"]["ok"]} / {d["outcomes"]["error"]} / '
+             f'{d["outcomes"]["shed"]} / {d["outcomes"]["disconnected"]}'),
+            ("served compressed / raw",
+             f'{d["served"]["compressed"]} / {d["served"]["raw"]}'),
+            ("retries / degraded", f'{d["retries"]} / {d["degraded"]}'),
+            ("latency p50 / p99 (modeled s)",
+             f'{lat["p50"]:.4f} / {lat["p99"]:.4f}'),
+            ("sustained req/s (modeled)", f'{d["req_per_s_modeled"]:.2f}'),
+            ("energy total / mean-per-ok (J)",
+             f'{d["energy"]["total_j"]:.3f} / '
+             f'{d["energy"]["mean_per_ok_j"]:.4f}'),
+            ("verify energy (J)", f'{d["energy"]["verify_j"]:.4f}'),
+            ("breaker trips", d["service"]["breaker_trips"]),
+            ("outstanding partials", d["service"]["outstanding_partials"]),
+            ("wall elapsed (s)", f"{report.wall_elapsed_s:.2f}"),
+        ]
+        if d["chaos_injected"]:
+            rows.append(("chaos injected", ", ".join(
+                f"{k}={v}" for k, v in d["chaos_injected"].items()
+            )))
+        print(ascii_table(
+            ["metric", "value"], rows,
+            title=f"proxy load: {spec.requests} requests, "
+                  f"{spec.clients} clients, seed {spec.seed}",
+        ))
+    if report.service_stats.get("outstanding_partials"):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -989,6 +1114,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable index instead of the table",
     )
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "proxy",
+        help="live compression proxy: serve it over TCP, load-test it",
+    )
+    proxy_sub = p.add_subparsers(dest="proxy_command", required=True)
+
+    def add_proxy_common(pp):
+        pp.add_argument(
+            "--root", default=None,
+            help="serve the files in this directory "
+            "(default: the scaled Table 2 corpus)",
+        )
+        pp.add_argument(
+            "--corpus-scale", type=float, default=0.1,
+            help="Table 2 corpus scale when --root is not given",
+        )
+        add_codec(pp, default="gzip")
+        pp.add_argument(
+            "--seed", type=int, default=1,
+            help="seed for every chaos draw (fixes the whole run)",
+        )
+        pp.add_argument(
+            "--max-inflight", type=int, default=64,
+            help="admission capacity before shed frames are returned",
+        )
+        pp.add_argument(
+            "--chaos", action="store_true",
+            help="enable every fault injector (stall, corrupt, "
+            "disconnect, slow reader)",
+        )
+        pp.add_argument(
+            "--chaos-rate", type=float, default=0.15,
+            help="per-request injection probability under --chaos",
+        )
+        pp.add_argument(
+            "--no-server-verify", action="store_true",
+            help="skip the proxy-side roundtrip check of each "
+            "compression (the client checksum still runs)",
+        )
+
+    ps = proxy_sub.add_parser(
+        "serve", help="speak the framed protocol on a TCP socket"
+    )
+    add_proxy_common(ps)
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=8811)
+    ps.set_defaults(func=cmd_proxy_serve)
+
+    pl = proxy_sub.add_parser(
+        "load", help="seeded load run against the in-process service"
+    )
+    add_proxy_common(pl)
+    pl.add_argument("-n", "--requests", type=int, default=200)
+    pl.add_argument("--clients", type=int, default=4)
+    add_link(pl)
+    pl.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="client loss rate fed to the Equation 6 decision",
+    )
+    pl.add_argument(
+        "--no-verify", action="store_true",
+        help="opt out of checksum-on-decompress (and its energy charge)",
+    )
+    pl.add_argument(
+        "--json", action="store_true",
+        help="emit the modeled report as JSON (byte-stable at a seed)",
+    )
+    pl.set_defaults(func=cmd_proxy_load)
 
     p = sub.add_parser(
         "campaign",

@@ -109,3 +109,34 @@ class TraceFormatError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload could not be generated as requested."""
+
+
+class ProxyError(ReproError):
+    """Base class for live proxy-service failures."""
+
+
+class ProtocolError(ProxyError):
+    """A proxy protocol frame was malformed, oversized, or truncated."""
+
+
+class ServiceOverloadError(ProxyError):
+    """The proxy's admission queue was full; the request was shed.
+
+    The wire-level twin is the shed frame (a ``503``-style response):
+    the service refuses work it cannot finish within its deadlines
+    instead of queueing unboundedly and timing everything out.
+    """
+
+
+class CircuitOpenError(ProxyError):
+    """A codec's circuit breaker is open; compression was not attempted.
+
+    Carries the codec name so the degradation ladder can route the
+    request to raw passthrough while other codecs keep compressing.
+    """
+
+    def __init__(self, codec: str, message: str = "") -> None:
+        self.codec = codec
+        super().__init__(
+            message or f"circuit breaker open for codec {codec!r}"
+        )

@@ -120,6 +120,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("trajectory", "Rate trajectories: fault timelines x scheme x resume",
                "bench_rate_trajectory.py", "rate_trajectory", "extension",
                extension=True),
+    Experiment("proxy-load", "Proxy chaos load: resilience under fault injection",
+               "bench_proxy_load.py", "proxy_load", "robustness",
+               extension=True),
     Experiment("throughput", "Codec throughput (engineering)",
                "bench_codec_throughput.py", "-", "engineering", extension=True),
     Experiment("engines", "Pure-Python codecs vs CPython engines",

@@ -1,15 +1,45 @@
-"""Proxy-server substrate: file store, precompression, on-demand pipeline."""
+"""Proxy substrate and live service: store, precompression, resilience."""
 
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
+from repro.proxy.cache import DEFAULT_CACHE_BUDGET_BYTES, LruByteCache
 from repro.proxy.server import ProxyServer, StoredFile, TransferPlan
 from repro.proxy.ondemand import OnDemandPipeline, PipelineTiming
+from repro.proxy.chaos import ChaosConfig
+from repro.proxy.resilience import (
+    AdmissionGate,
+    BreakerConfig,
+    CircuitBreaker,
+    PartialOutputTracker,
+    RetryPolicy,
+    ServiceDeadlines,
+    retry_with_cleanup,
+)
+from repro.proxy.service import ProxyService, ServiceConfig, ServiceStats
+from repro.proxy.loadgen import LoadReport, LoadSpec, run_load, run_load_sync
 
 __all__ = [
     "ProxyCpuModel",
     "PROXY_PIII",
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "LruByteCache",
     "ProxyServer",
     "StoredFile",
     "TransferPlan",
     "OnDemandPipeline",
     "PipelineTiming",
+    "ChaosConfig",
+    "AdmissionGate",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "PartialOutputTracker",
+    "RetryPolicy",
+    "ServiceDeadlines",
+    "retry_with_cleanup",
+    "ProxyService",
+    "ServiceConfig",
+    "ServiceStats",
+    "LoadReport",
+    "LoadSpec",
+    "run_load",
+    "run_load_sync",
 ]

@@ -1,0 +1,135 @@
+"""Byte-budgeted LRU cache for the proxy's precompressed representations.
+
+The seed :class:`~repro.proxy.server.ProxyServer` cached every
+compression forever — fine for a simulator run, unbounded growth for a
+long-running service.  :class:`LruByteCache` bounds the cache by the
+total *compressed* bytes held: a hit refreshes recency, an insert
+evicts least-recently-used entries until the budget fits, and an entry
+larger than the whole budget is simply not cached (serving it is fine;
+pinning it would evict everything else).
+
+Counters (hits/misses/evictions/bytes) are plain integers that a
+:class:`~repro.observability.metrics.MetricsRegistry` can export; pass
+``metrics=`` to have the cache keep the registry's
+``proxy_cache_*_total`` counters and ``proxy_cache_bytes`` gauge live.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from repro.errors import ModelError
+
+#: Default budget: generous for the test corpora, bounded for a service.
+DEFAULT_CACHE_BUDGET_BYTES = 64 * 1024 * 1024
+
+CacheKey = Tuple[Hashable, ...]
+
+
+class LruByteCache:
+    """LRU mapping with a byte budget over ``sizer(value)``.
+
+    ``on_evict(key, value)`` fires for every evicted entry (not for
+    explicit :meth:`discard`), letting the owner keep secondary indexes
+    in sync.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+        sizer: Optional[Callable[[object], int]] = None,
+        on_evict: Optional[Callable[[CacheKey, object], None]] = None,
+        metrics=None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ModelError("cache budget must be positive")
+        self.budget_bytes = budget_bytes
+        self.sizer = sizer or (lambda value: len(value.payload))
+        self.on_evict = on_evict
+        self.metrics = metrics
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._sizes: dict = {}
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        """Keys from least- to most-recently used."""
+        return list(self._entries)
+
+    def get(self, key: CacheKey):
+        """The cached value (refreshing recency), or None on a miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            self._count("proxy_cache_misses_total", "Cache lookups that missed.")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._count("proxy_cache_hits_total", "Cache lookups served.")
+        return value
+
+    def put(self, key: CacheKey, value) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries to fit."""
+        size = int(self.sizer(value))
+        if key in self._entries:
+            self.bytes -= self._sizes[key]
+            del self._entries[key]
+            del self._sizes[key]
+        if size > self.budget_bytes:
+            # Too big to ever fit; serve it uncached.
+            self._gauge()
+            return
+        self._entries[key] = value
+        self._sizes[key] = size
+        self.bytes += size
+        while self.bytes > self.budget_bytes:
+            old_key, old_value = self._entries.popitem(last=False)
+            self.bytes -= self._sizes.pop(old_key)
+            self.evictions += 1
+            self._count(
+                "proxy_cache_evictions_total", "Entries evicted for space.",
+            )
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)
+        self._gauge()
+
+    def discard(self, key: CacheKey) -> None:
+        """Drop ``key`` if present (no eviction callback)."""
+        if key in self._entries:
+            self.bytes -= self._sizes.pop(key)
+            del self._entries[key]
+            self._gauge()
+
+    def discard_prefix(self, head: Hashable) -> None:
+        """Drop every key whose first element equals ``head``.
+
+        The server calls this when a stored file is replaced: all its
+        cached representations are stale at once.
+        """
+        for key in [k for k in self._entries if k and k[0] == head]:
+            self.discard(key)
+
+    def _count(self, name: str, help_text: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help_text).inc()
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "proxy_cache_bytes", "Compressed bytes held by the cache.",
+            ).set(self.bytes)
+            self.metrics.gauge(
+                "proxy_cache_entries", "Entries held by the cache.",
+            ).set(len(self._entries))
+
+
+__all__ = ["DEFAULT_CACHE_BUDGET_BYTES", "LruByteCache"]

@@ -1,0 +1,150 @@
+"""Seeded fault injection for the live proxy service.
+
+Four injectors, all driven by per-request deterministic draws so a
+chaos run replays byte-identically at a fixed seed:
+
+- **stalled compressor** — a compression attempt takes far longer than
+  modeled (a wedged codec process); surfaces as a ``compress``-phase
+  deadline overrun.
+- **corrupt payload** — the compressed output is bit-flipped before the
+  verify step (a bad disk/memory on the proxy); surfaces as a typed
+  :class:`~repro.errors.CorruptStreamError` and exercises
+  retry-with-cleanup.
+- **slow reader** — the client drains its socket slowly; backpressure
+  propagates into the server's bounded write queue and, past the
+  ``write`` deadline, the request is abandoned.
+- **mid-stream disconnect** — the client vanishes after a few response
+  bytes; the server must reclaim the request without leaking partial
+  outputs.
+
+Decisions key on ``(seed, request_id, attempt)`` — never on arrival
+order — so concurrency cannot reshuffle which request hits which fault.
+Injected delays are *modeled* seconds: they advance the request's
+modeled clock (which the deadlines check) without wall-clock sleeping,
+which keeps the chaos suite fast and deterministic, mirroring how the
+simulator's watchdog runs against simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ModelError
+
+
+def _draw(seed: int, request_id: int, attempt: int, salt: str) -> random.Random:
+    return random.Random(f"{seed}:{request_id}:{attempt}:{salt}")
+
+
+@dataclass
+class ChaosConfig:
+    """Which injectors run and how hard (all rates are per request).
+
+    ``stall_s`` is deliberately a large multiple of any sane
+    ``compress`` deadline so an injected stall *always* reads as an
+    overrun — outcomes must not depend on a race.
+    """
+
+    seed: int = 1
+    #: P(compression attempt stalls); the stall adds ``stall_s`` modeled
+    #: seconds to the compress phase.
+    stall_rate: float = 0.0
+    stall_s: float = 60.0
+    #: P(compressed output is corrupted) per attempt.
+    corrupt_rate: float = 0.0
+    #: P(client disconnects mid-response); triggers after
+    #: ``disconnect_after_bytes`` of the response payload.
+    disconnect_rate: float = 0.0
+    disconnect_after_bytes: int = 512
+    #: P(client reads slowly); each response chunk costs an extra
+    #: ``slow_reader_s_per_chunk`` modeled seconds of write time.
+    slow_reader_rate: float = 0.0
+    slow_reader_s_per_chunk: float = 5.0
+
+    #: Injection counters (what the storm actually did).
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("stall_rate", "corrupt_rate", "disconnect_rate",
+                     "slow_reader_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {rate}")
+        if self.stall_s <= 0 or self.slow_reader_s_per_chunk < 0:
+            raise ModelError("chaos delays must be positive")
+        if self.disconnect_after_bytes < 0:
+            raise ModelError("disconnect_after_bytes must be non-negative")
+
+    @classmethod
+    def all_on(cls, seed: int = 1, rate: float = 0.15) -> "ChaosConfig":
+        """Every injector enabled at ``rate`` — the chaos-suite preset."""
+        return cls(
+            seed=seed,
+            stall_rate=rate,
+            corrupt_rate=rate,
+            disconnect_rate=rate,
+            slow_reader_rate=rate,
+        )
+
+    @property
+    def active(self) -> bool:
+        """Is any injector enabled?"""
+        return any((self.stall_rate, self.corrupt_rate,
+                    self.disconnect_rate, self.slow_reader_rate))
+
+    def _record(self, what: str) -> None:
+        self.injected[what] = self.injected.get(what, 0) + 1
+
+    # -- server-side hooks -----------------------------------------------------
+
+    def compress_stall_s(self, request_id: int, attempt: int) -> float:
+        """Modeled stall seconds for this compression attempt (0 = none)."""
+        if self.stall_rate <= 0:
+            return 0.0
+        if _draw(self.seed, request_id, attempt, "stall").random() < self.stall_rate:
+            self._record("stall")
+            return self.stall_s
+        return 0.0
+
+    def corrupt_payload(
+        self, request_id: int, attempt: int, payload: bytes
+    ) -> Optional[bytes]:
+        """A bit-flipped copy of ``payload``, or None to leave it alone."""
+        if self.corrupt_rate <= 0 or not payload:
+            return None
+        rng = _draw(self.seed, request_id, attempt, "corrupt")
+        if rng.random() >= self.corrupt_rate:
+            return None
+        self._record("corrupt")
+        out = bytearray(payload)
+        # A handful of flips scattered through the stream: enough to be
+        # caught by any CRC, not enough to change the length.
+        for _ in range(1 + rng.randrange(3)):
+            pos = rng.randrange(len(out))
+            out[pos] ^= 1 << rng.randrange(8)
+        return bytes(out)
+
+    # -- client-side hooks -----------------------------------------------------
+
+    def disconnect_after(self, request_id: int) -> Optional[int]:
+        """Bytes of response after which the client hangs up (None = never)."""
+        if self.disconnect_rate <= 0:
+            return None
+        if _draw(self.seed, request_id, 0, "disc").random() < self.disconnect_rate:
+            self._record("disconnect")
+            return self.disconnect_after_bytes
+        return None
+
+    def reader_delay_s(self, request_id: int) -> float:
+        """Extra modeled seconds the client takes per response chunk."""
+        if self.slow_reader_rate <= 0:
+            return 0.0
+        if _draw(self.seed, request_id, 0, "slow").random() < self.slow_reader_rate:
+            self._record("slow-reader")
+            return self.slow_reader_s_per_chunk
+        return 0.0
+
+
+__all__ = ["ChaosConfig"]

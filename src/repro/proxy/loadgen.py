@@ -1,0 +1,382 @@
+"""Deterministic asyncio load generator for the live proxy service.
+
+Drives :class:`~repro.proxy.service.ProxyService` over its in-process
+transport with ``clients`` concurrent connections, each issuing its
+share of ``requests`` sequentially (client *i* gets requests *i*,
+*i+M*, ... — assignment by request id, never by arrival order, so a
+chaos storm replays identically at a fixed seed).
+
+Every response is accounted three ways:
+
+- **outcome** — ok / typed error frame / shed frame / disconnected;
+- **modeled latency** — the server's modeled compress seconds plus the
+  client-side session time from the analytic energy model (download +
+  decompress on the declared link) plus checksum-verify time; wall
+  clock never enters the modeled numbers, which is what makes the JSON
+  report byte-stable;
+- **modeled client energy** — a full
+  :class:`~repro.simulator.session.SessionResult` per ok response
+  (raw download or interleaved compressed download per Equations 1-5),
+  with the checksum verify charged under the ledger's ``verify`` tag;
+  every rebuilt session re-runs the ledger conservation audit, so the
+  chaos suite's "zero audit failures" invariant is checked on every
+  single response.
+
+Checksum verification on decompress is the default (the ecomp
+convention); ``verify=False`` opts out and skips both the check and
+its energy charge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compression.base import get_codec
+from repro.core.energy_model import EnergyModel
+from repro.core.recovery import DEFAULT_VERIFY_MB_PER_S
+from repro.errors import CorruptStreamError, ModelError, ProtocolError
+from repro.network.wlan import ladder_link
+from repro.proxy import protocol
+from repro.proxy.service import ProxyService, snap_to_ladder
+from repro.simulator.session import Scenario, SessionResult
+from repro.simulator.analytic import AnalyticSession
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load run: how many requests, by whom, asking for what."""
+
+    requests: int = 200
+    clients: int = 4
+    seed: int = 1
+    codec: str = "gzip"
+    link_mbps: float = 11.0
+    loss_rate: float = 0.0
+    #: Checksum-verify every decompressed response (opt-out flag).
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ModelError("requests must be at least 1")
+        if self.clients < 1:
+            raise ModelError("clients must be at least 1")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ModelError("loss_rate must be in [0, 1)")
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request, in modeled terms."""
+
+    request_id: int
+    client: int
+    name: str
+    outcome: str  # "ok" | "error" | "shed" | "disconnected"
+    mechanism: str = ""
+    error: str = ""
+    retries: int = 0
+    degraded: bool = False
+    latency_modeled_s: float = 0.0
+    energy_j: float = 0.0
+    verify_j: float = 0.0
+    transfer_bytes: int = 0
+    raw_bytes: int = 0
+
+
+@dataclass
+class LoadReport:
+    """Aggregate results of one load run."""
+
+    spec: LoadSpec
+    outcomes: List[RequestOutcome]
+    wall_elapsed_s: float
+    chaos_injected: Dict[str, int] = field(default_factory=dict)
+    service_stats: Dict[str, object] = field(default_factory=dict)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def count(self, outcome: str) -> int:
+        """How many requests ended with ``outcome``."""
+        return sum(1 for o in self.outcomes if o.outcome == outcome)
+
+    @property
+    def ok_latencies_s(self) -> List[float]:
+        """Sorted modeled latencies of the ok responses."""
+        return sorted(
+            o.latency_modeled_s for o in self.outcomes if o.outcome == "ok"
+        )
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over ok responses (0 when none completed)."""
+        lats = self.ok_latencies_s
+        if not lats:
+            return 0.0
+        index = min(len(lats) - 1, max(0, int(round(q * (len(lats) - 1)))))
+        return lats[index]
+
+    @property
+    def makespan_modeled_s(self) -> float:
+        """Modeled wall time: the busiest client's summed latencies."""
+        per_client: Dict[int, float] = {}
+        for o in self.outcomes:
+            per_client[o.client] = (
+                per_client.get(o.client, 0.0) + o.latency_modeled_s
+            )
+        return max(per_client.values(), default=0.0)
+
+    @property
+    def req_per_s_modeled(self) -> float:
+        """Sustained ok responses per modeled second."""
+        makespan = self.makespan_modeled_s
+        if makespan <= 0:
+            return 0.0
+        return self.count("ok") / makespan
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total modeled client energy across all outcomes."""
+        return sum(o.energy_j for o in self.outcomes)
+
+    @property
+    def verify_energy_j(self) -> float:
+        """Energy charged under the ledger's ``verify`` tag."""
+        return sum(o.verify_j for o in self.outcomes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The report as a JSON-ready dict of *modeled* values only.
+
+        Wall-clock time is deliberately excluded: everything here is
+        derived from seeded draws and modeled clocks, so two runs at
+        the same seed serialize byte-identically.
+        """
+        ok = self.count("ok")
+        errors_by_type: Dict[str, int] = {}
+        for o in self.outcomes:
+            if o.outcome == "error" and o.error:
+                errors_by_type[o.error] = errors_by_type.get(o.error, 0) + 1
+        return {
+            "spec": {
+                "requests": self.spec.requests,
+                "clients": self.spec.clients,
+                "seed": self.spec.seed,
+                "codec": self.spec.codec,
+                "link_mbps": self.spec.link_mbps,
+                "loss_rate": self.spec.loss_rate,
+                "verify": self.spec.verify,
+            },
+            "outcomes": {
+                "ok": ok,
+                "error": self.count("error"),
+                "shed": self.count("shed"),
+                "disconnected": self.count("disconnected"),
+            },
+            "errors_by_type": errors_by_type,
+            "served": {
+                "compressed": sum(
+                    1 for o in self.outcomes if o.mechanism == "compress"
+                ),
+                "raw": sum(1 for o in self.outcomes if o.mechanism == "raw"),
+            },
+            "retries": sum(o.retries for o in self.outcomes),
+            "degraded": sum(1 for o in self.outcomes if o.degraded),
+            "latency_modeled_s": {
+                "p50": round(self.percentile(0.50), 9),
+                "p99": round(self.percentile(0.99), 9),
+                "max": round(self.percentile(1.0), 9),
+            },
+            "makespan_modeled_s": round(self.makespan_modeled_s, 9),
+            "req_per_s_modeled": round(self.req_per_s_modeled, 9),
+            "energy": {
+                "total_j": round(self.total_energy_j, 9),
+                "mean_per_ok_j": round(
+                    self.total_energy_j / ok if ok else 0.0, 9
+                ),
+                "verify_j": round(self.verify_energy_j, 9),
+            },
+            "transfer_bytes": sum(o.transfer_bytes for o in self.outcomes),
+            "raw_bytes": sum(
+                o.raw_bytes for o in self.outcomes if o.outcome == "ok"
+            ),
+            "chaos_injected": dict(sorted(self.chaos_injected.items())),
+            "service": self.service_stats,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`to_dict` (sorted keys, indented)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+class _Client:
+    """One load-generator client: sequential requests, own connection."""
+
+    def __init__(self, index: int, service: ProxyService, spec: LoadSpec):
+        self.index = index
+        self.service = service
+        self.spec = spec
+        self.conn = None
+        model = EnergyModel(link=ladder_link(snap_to_ladder(spec.link_mbps)))
+        self.model = model
+        self.session = AnalyticSession(model)
+        self.verify_power_w = model.params.decompress_power_w
+
+    def _connect(self):
+        self.conn = self.service.connect()
+
+    async def run_one(self, request_id: int, name: str) -> RequestOutcome:
+        chaos = self.service.chaos
+        if self.conn is None:
+            self._connect()
+        conn = self.conn
+        conn.reader_delay_s = chaos.reader_delay_s(request_id)
+        conn.abort_after_bytes = chaos.disconnect_after(request_id)
+        out = RequestOutcome(
+            request_id=request_id, client=self.index, name=name, outcome=""
+        )
+        try:
+            await conn.send_frame(protocol.request_frame(
+                name,
+                codec=self.spec.codec,
+                link_mbps=self.spec.link_mbps,
+                loss_rate=self.spec.loss_rate,
+                verify=self.spec.verify,
+                request_id=request_id,
+            ))
+            frame = await conn.read_frame()
+        except (ConnectionError, ProtocolError):
+            out.outcome = "disconnected"
+            self.conn = None
+            return out
+        if frame is None:
+            out.outcome = "disconnected"
+            self.conn = None
+            return out
+        if frame.kind == protocol.SHED:
+            out.outcome = "shed"
+            return out
+        if frame.kind == protocol.ERROR:
+            out.outcome = "error"
+            out.error = str(frame.header.get("error", ""))
+            return out
+        self._account_ok(out, frame)
+        return out
+
+    def _account_ok(self, out: RequestOutcome, frame: protocol.Frame) -> None:
+        header = frame.header
+        mechanism = str(header.get("mechanism", "raw"))
+        raw_bytes = int(header.get("raw_bytes", len(frame.payload)))
+        transfer_bytes = int(header.get("transfer_bytes", len(frame.payload)))
+        out.mechanism = mechanism
+        out.retries = int(header.get("retries", 0))
+        out.degraded = bool(header.get("degraded", False))
+        out.raw_bytes = raw_bytes
+        out.transfer_bytes = transfer_bytes
+        server_s = float(header.get("modeled_s", 0.0))
+        codec_name = header.get("codec")
+        if mechanism == "compress" and codec_name:
+            result = self.session.precompressed(
+                raw_bytes, transfer_bytes, codec=str(codec_name),
+                interleave=True,
+            )
+        else:
+            result = self.session.raw(raw_bytes)
+        verify_s = 0.0
+        if self.spec.verify and mechanism == "compress" and codec_name:
+            decoded = get_codec(str(codec_name)).decompress_bytes(
+                frame.payload
+            )
+            digest = hashlib.sha256(decoded).hexdigest()
+            expected = header.get("sha256")
+            if expected is not None and digest != expected:
+                out.outcome = "error"
+                out.error = CorruptStreamError.__name__
+                return
+            # Charge the checksum pass under the ledger's verify tag and
+            # re-audit: the rebuilt session must still conserve energy.
+            verify_s = raw_bytes / (DEFAULT_VERIFY_MB_PER_S * 1e6)
+            timeline = result.timeline
+            timeline.add(verify_s, self.verify_power_w, "verify")
+            result = SessionResult.from_timeline(
+                result.scenario, raw_bytes, transfer_bytes,
+                result.codec, timeline,
+                link_stats=result.link_stats,
+            )
+        out.outcome = "ok"
+        reader_stall_s = self.conn.reader_delay_s if self.conn else 0.0
+        out.latency_modeled_s = server_s + result.time_s + reader_stall_s
+        out.energy_j = result.energy_j
+        out.verify_j = verify_s * self.verify_power_w
+
+    async def run(self, request_ids: List[int],
+                  names: List[str]) -> List[RequestOutcome]:
+        results = []
+        for rid in request_ids:
+            results.append(await self.run_one(rid, names[rid % len(names)]))
+        if self.conn is not None:
+            self.conn.close()
+        return results
+
+
+async def run_load(service: ProxyService, spec: LoadSpec) -> LoadReport:
+    """Drive ``service`` with ``spec`` and return the aggregate report."""
+    names = service.store.names()
+    if not names:
+        raise ModelError("the proxy store is empty; put files before loading")
+    started = time.monotonic()
+    clients = [_Client(i, service, spec) for i in range(spec.clients)]
+    assignments = [
+        [rid for rid in range(spec.requests) if rid % spec.clients == i]
+        for i in range(spec.clients)
+    ]
+    batches = await asyncio.gather(*(
+        client.run(assignment, names)
+        for client, assignment in zip(clients, assignments)
+    ))
+    outcomes = sorted(
+        (o for batch in batches for o in batch),
+        key=lambda o: o.request_id,
+    )
+    await service.drain()
+    stats = service.stats
+    return LoadReport(
+        spec=spec,
+        outcomes=outcomes,
+        wall_elapsed_s=time.monotonic() - started,
+        chaos_injected=dict(service.chaos.injected),
+        service_stats={
+            "requests": stats.requests,
+            "ok": stats.ok,
+            "errors": stats.errors,
+            "shed": stats.shed,
+            "disconnects": stats.disconnects,
+            "retries": stats.retries,
+            "degraded": stats.degraded,
+            "compressed": stats.compressed,
+            "passthrough": stats.passthrough,
+            "timeouts": dict(sorted(stats.timeouts.items())),
+            "errors_by_type": dict(sorted(stats.errors_by_type.items())),
+            "breaker_trips": service.breaker.trips,
+            "outstanding_partials": service.partials.outstanding(),
+            "cache_hits": service.store.cache.hits,
+            "cache_misses": service.store.cache.misses,
+            "cache_evictions": service.store.cache.evictions,
+        },
+    )
+
+
+def run_load_sync(service: ProxyService, spec: LoadSpec) -> LoadReport:
+    """Run :func:`run_load` on a private event loop (CLI entry point)."""
+    return asyncio.run(run_load(service, spec))
+
+
+__all__ = [
+    "LoadSpec",
+    "RequestOutcome",
+    "LoadReport",
+    "run_load",
+    "run_load_sync",
+]

@@ -83,17 +83,26 @@ class OnDemandPipeline:
         """
         if raw_bytes < 0 or compressed_bytes < 0:
             raise ModelError("sizes must be non-negative")
+        if raw_bytes == 0:
+            # A zero-byte transfer is an empty pipeline: nothing to
+            # compress, nothing on the link, makespan zero.  (No block is
+            # synthesized, so the pro-rata division below never sees a
+            # zero denominator.)
+            return PipelineTiming(
+                compress_done_s=[],
+                tx_start_s=[],
+                arrival_s=[],
+                block_compressed=[],
+                block_raw=[],
+            )
         block_raw: List[int] = []
         remaining = raw_bytes
         while remaining > 0:
             chunk = min(self.block_bytes, remaining)
             block_raw.append(chunk)
             remaining -= chunk
-        if not block_raw:
-            block_raw = [0]
-        n = len(block_raw)
         block_comp = [
-            int(round(compressed_bytes * b / raw_bytes)) if raw_bytes else 0
+            int(round(compressed_bytes * b / raw_bytes))
             for b in block_raw
         ]
 

@@ -19,6 +19,7 @@ that loop:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -134,8 +135,18 @@ class ServingPolicy:
         (from the proxy's cache metadata); ``adaptive_result`` may carry a
         prepared block-adaptive container for mixed-content objects.
         """
-        if raw_bytes <= 0:
-            raise ModelError("object size must be positive")
+        if raw_bytes < 0:
+            raise ModelError("object size must be non-negative")
+        if raw_bytes == 0:
+            # A zero-byte object has nothing to compress and no ratio to
+            # divide by: it deterministically ships raw.
+            return ServingDecision(
+                mechanism="raw",
+                transfer_bytes=0,
+                estimated_energy_j=0.0,
+                plain_energy_j=0.0,
+                detail="zero-byte object ships raw",
+            )
         model = self.model_for(profile)
         fleet = FleetAdvisor(model, contenders=self.contenders)
         loss_p = profile.packet_loss_rate
@@ -160,15 +171,24 @@ class ServingPolicy:
             )
         ]
 
-        worthwhile = fleet.compression_worthwhile(raw_bytes, compression_factor)
-        if not worthwhile and loss_p > 0:
+        # An incompressible object (factor at or below 1, or a degenerate
+        # non-finite/non-positive factor from a bad sniff) never grows a
+        # "compress" candidate: Equation 6 cannot hold, and the division
+        # below must not see a zero.
+        compressible = (
+            math.isfinite(compression_factor) and compression_factor > 1.0
+        )
+        worthwhile = compressible and fleet.compression_worthwhile(
+            raw_bytes, compression_factor
+        )
+        if compressible and not worthwhile and loss_p > 0:
             # Retransmissions shift the Equation 6 break-even downward;
             # re-test with the loss-aware threshold before giving up.
             worthwhile = thresholds.compression_worthwhile(
                 raw_bytes, compression_factor, model, loss_rate=loss_p
             )
         if worthwhile:
-            sc = int(raw_bytes / compression_factor)
+            sc = max(1, int(raw_bytes / compression_factor))
             options.append(
                 ServingDecision(
                     mechanism="compress",

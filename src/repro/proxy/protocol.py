@@ -1,0 +1,189 @@
+"""Length-prefixed request/response framing for the live proxy.
+
+One frame is::
+
+    u32 header_len | header JSON (UTF-8) | u32 payload_len | payload
+
+The header is a flat JSON object carrying at least ``"kind"``; payloads
+ride uninterpreted (compressed or raw object bytes).  Four kinds:
+
+``request``
+    Client asks for one object: ``name``, plus its declared link state
+    (``link_mbps``, ``loss_rate``) so the proxy can make the Equation 6
+    decision for *that* client, the preferred ``codec``, and ``verify``
+    (checksum-on-decompress; default true, the ecomp convention).
+
+``ok``
+    The object follows; the header says how it was served
+    (``mechanism`` raw/compress/cached, ``codec``, sizes, modeled
+    timing, retry/degrade provenance).
+
+``error``
+    A typed failure: ``error`` is the exception class name from the
+    corruption/resilience taxonomy, ``message`` the rendering.  The
+    request is over; the connection survives.
+
+``shed``
+    The admission queue was full (the ``503`` of this protocol); the
+    client may back off and retry.
+
+Frames are size-capped in both directions: a malformed or hostile
+length prefix raises :class:`~repro.errors.ProtocolError` before any
+allocation happens.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+
+#: Frame kinds.
+REQUEST = "request"
+OK = "ok"
+ERROR = "error"
+SHED = "shed"
+
+_KINDS = (REQUEST, OK, ERROR, SHED)
+
+#: Ceiling on one header's serialized size.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Ceiling on one payload (requests carry none; responses carry a file).
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    kind: str
+    header: Dict[str, object] = field(default_factory=dict)
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {self.kind!r}")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame (header JSON is canonical: sorted keys)."""
+    header = dict(frame.header)
+    header["kind"] = frame.kind
+    blob = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(blob) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(blob)} bytes exceeds the cap")
+    if len(frame.payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload of {len(frame.payload)} bytes exceeds the cap"
+        )
+    return (
+        _LEN.pack(len(blob)) + blob
+        + _LEN.pack(len(frame.payload)) + frame.payload
+    )
+
+
+def decode_header(blob: bytes) -> Frame:
+    """Parse a header blob into a payload-less :class:`Frame`."""
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError("frame header must be an object with a 'kind'")
+    kind = header.pop("kind")
+    if kind not in _KINDS:
+        raise ProtocolError(f"unknown frame kind {kind!r}")
+    return Frame(kind=kind, header=header)
+
+
+async def read_frame(reader) -> Optional[Frame]:
+    """Read one frame from an asyncio-style stream reader.
+
+    Returns None on a clean EOF *between* frames; raises
+    :class:`ProtocolError` on a truncated or oversized frame.  The
+    reader must expose ``readexactly`` (both :class:`asyncio.StreamReader`
+    and the in-process transport do).
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame") from exc
+    (header_len,) = _LEN.unpack(prefix)
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"declared header of {header_len} bytes exceeds the cap"
+        )
+    try:
+        blob = await reader.readexactly(header_len)
+        (payload_len,) = _LEN.unpack(await reader.readexactly(_LEN.size))
+        if payload_len > MAX_PAYLOAD_BYTES:
+            raise ProtocolError(
+                f"declared payload of {payload_len} bytes exceeds the cap"
+            )
+        payload = await reader.readexactly(payload_len) if payload_len else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame") from exc
+    frame = decode_header(blob)
+    return Frame(kind=frame.kind, header=frame.header, payload=payload)
+
+
+def request_frame(
+    name: str,
+    codec: str = "zlib",
+    link_mbps: float = 11.0,
+    loss_rate: float = 0.0,
+    verify: bool = True,
+    request_id: int = 0,
+) -> Frame:
+    """Build a well-formed request frame."""
+    return Frame(
+        kind=REQUEST,
+        header={
+            "name": name,
+            "codec": codec,
+            "link_mbps": link_mbps,
+            "loss_rate": loss_rate,
+            "verify": bool(verify),
+            "request_id": int(request_id),
+        },
+    )
+
+
+def error_frame(exc: BaseException, request_id: int) -> Frame:
+    """Build a typed error frame from any taxonomy exception."""
+    return Frame(
+        kind=ERROR,
+        header={
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "request_id": int(request_id),
+        },
+    )
+
+
+def shed_frame(request_id: int, reason: str = "queue-full") -> Frame:
+    """Build the 503-style shed frame."""
+    return Frame(
+        kind=SHED,
+        header={"reason": reason, "request_id": int(request_id)},
+    )
+
+
+__all__ = [
+    "REQUEST", "OK", "ERROR", "SHED",
+    "MAX_HEADER_BYTES", "MAX_PAYLOAD_BYTES",
+    "Frame", "encode_frame", "decode_header", "read_frame",
+    "request_frame", "error_frame", "shed_frame",
+]

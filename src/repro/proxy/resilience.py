@@ -1,0 +1,392 @@
+"""Resilience primitives for the live proxy service.
+
+The disciplines here come from the related-work conventions the roadmap
+names: ProcessingFW's retry-with-cleanup for failed compressions (a
+failed attempt must reclaim its partial output before the next attempt
+or the fallback runs), and the general degradation ladder a proxy under
+Equation 6 already implies — when compression stops paying (or stops
+*working*), serve raw.
+
+Four pieces, each independently testable:
+
+:class:`ServiceDeadlines`
+    Per-phase deadlines with :mod:`repro.core.watchdog` semantics: the
+    phases are ``admit`` (queue wait), ``compress`` (codec work on the
+    proxy CPU) and ``write`` (draining the response to the client), the
+    clock is whichever the caller supplies (the chaos harness feeds the
+    *modeled* clock so tests are deterministic; the TCP path uses wall
+    time), and an overrun raises the same typed
+    :class:`~repro.errors.WatchdogTimeout` the simulator's watchdog
+    raises.
+
+:class:`RetryPolicy` / :func:`retry_with_cleanup`
+    Bounded retries with exponential backoff.  Every failed attempt
+    runs the cleanup callback before the next attempt starts, so
+    partial outputs are reclaimed no matter how the attempt died.
+
+:class:`CircuitBreaker`
+    Per-key (per-codec) closed/open/half-open breaker.  Consecutive
+    failures or deadline overruns trip it; while open, callers route to
+    passthrough instead of queueing doomed work; after a cooldown one
+    probe is admitted and a success closes it again.
+
+:class:`AdmissionGate`
+    Bounded in-flight admission with shed-on-full: the queue never
+    grows beyond its capacity, it refuses (so the caller can emit a
+    shed frame) rather than blocking.
+
+:class:`PartialOutputTracker`
+    The audit hook for the chaos suite: every compression attempt
+    registers its scratch output and must reclaim it on failure; the
+    end-to-end chaos test asserts ``outstanding() == 0`` after the
+    storm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CircuitOpenError, ModelError, WatchdogTimeout
+
+#: The proxy request phases, in lifecycle order.
+PROXY_PHASES: Tuple[str, ...] = ("admit", "compress", "write")
+
+
+@dataclass(frozen=True)
+class ServiceDeadlines:
+    """Per-phase deadlines for one proxy request (seconds; None disables).
+
+    Mirrors :class:`~repro.core.watchdog.WatchdogConfig`: deadlines are
+    checked against elapsed phase time (modeled or wall, the caller's
+    choice of clock) and an overrun raises the typed
+    :class:`~repro.errors.WatchdogTimeout` carrying the phase name.
+    """
+
+    admit_s: Optional[float] = 5.0
+    compress_s: Optional[float] = 10.0
+    write_s: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("admit_s", "compress_s", "write_s"):
+            value = getattr(self, name)
+            if value is not None and not (math.isfinite(value) and value > 0):
+                raise ModelError(
+                    f"{name} must be finite and positive, got {value!r}"
+                )
+
+    @classmethod
+    def uniform(cls, deadline_s: float) -> "ServiceDeadlines":
+        """One deadline applied to every phase."""
+        return cls(admit_s=deadline_s, compress_s=deadline_s,
+                   write_s=deadline_s)
+
+    def deadline_for(self, phase: str) -> Optional[float]:
+        """The configured deadline for one phase (None when disarmed)."""
+        if phase not in PROXY_PHASES:
+            raise ModelError(f"unknown proxy phase {phase!r}")
+        return getattr(self, f"{phase}_s")
+
+    def check(self, phase: str, elapsed_s: float) -> None:
+        """Raise :class:`WatchdogTimeout` if ``phase`` overran its deadline."""
+        deadline = self.deadline_for(phase)
+        if deadline is not None and elapsed_s > deadline:
+            raise WatchdogTimeout(phase, elapsed_s, deadline)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and backoff schedule for failed compressions.
+
+    ``max_attempts`` counts *total* tries (1 = no retries).  The delay
+    before retry *k* (1-based) is ``base_delay_s * backoff**(k-1)``,
+    capped at ``max_delay_s``.  The delays are deterministic — the
+    proxy's retries must replay byte-identically under a fixed seed, so
+    there is no jitter term.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    backoff: float = 2.0
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ModelError("max_attempts must be at least 1")
+        if self.base_delay_s < 0:
+            raise ModelError("base_delay_s must be non-negative")
+        if self.backoff < 1.0:
+            raise ModelError("backoff must be >= 1")
+        if self.max_delay_s < 0:
+            raise ModelError("max_delay_s must be non-negative")
+
+    def delay_before_retry_s(self, retry: int) -> float:
+        """Backoff delay before retry ``retry`` (1-based)."""
+        if retry < 1:
+            raise ModelError("retry is 1-based")
+        return min(self.max_delay_s,
+                   self.base_delay_s * self.backoff ** (retry - 1))
+
+    def schedule(self) -> List[float]:
+        """Every backoff delay the policy may sleep, in order."""
+        return [
+            self.delay_before_retry_s(k)
+            for k in range(1, self.max_attempts)
+        ]
+
+
+async def retry_with_cleanup(
+    attempt: Callable[[int], Awaitable],
+    policy: RetryPolicy,
+    cleanup: Callable[[int, BaseException], None],
+    retry_on: Tuple[type, ...] = (Exception,),
+    sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+):
+    """Run ``attempt`` under the retry policy, cleaning up every failure.
+
+    ``attempt(k)`` receives the 0-based attempt index.  On an exception
+    in ``retry_on``, ``cleanup(k, exc)`` runs *before* any backoff or
+    re-raise — a failed compression must reclaim its partial output
+    even when the budget is exhausted, so the degradation path never
+    inherits garbage.  Other exceptions clean up and propagate
+    immediately (they are not retryable).  Returns ``(result, retries)``.
+    """
+    last: Optional[BaseException] = None
+    for k in range(policy.max_attempts):
+        try:
+            return await attempt(k), k
+        except retry_on as exc:
+            cleanup(k, exc)
+            last = exc
+        except BaseException as exc:
+            cleanup(k, exc)
+            raise
+        if k + 1 < policy.max_attempts and sleep is not None:
+            delay = policy.delay_before_retry_s(k + 1)
+            if delay > 0:
+                await sleep(delay)
+    assert last is not None
+    raise last
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """When the per-codec circuit breaker trips and how it recovers.
+
+    Attributes:
+        failure_threshold: consecutive failures (including deadline
+            overruns) that trip the breaker open.
+        cooldown_s: how long the breaker stays open before admitting a
+            half-open probe.
+        half_open_probes: concurrent probes allowed while half-open; a
+            probe success closes the breaker, a probe failure re-opens
+            it for another cooldown.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 1.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ModelError("failure_threshold must be at least 1")
+        if self.cooldown_s < 0:
+            raise ModelError("cooldown_s must be non-negative")
+        if self.half_open_probes < 1:
+            raise ModelError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """Per-key closed/open/half-open breaker with an injectable clock.
+
+    ``clock`` returns the current time in seconds; the chaos/load tests
+    feed a modeled clock so state transitions replay deterministically,
+    the TCP service feeds the event loop's wall clock.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock or (lambda: 0.0)
+        self._state: Dict[str, str] = {}
+        self._consecutive: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+        self._probes: Dict[str, int] = {}
+        #: (time, key, from_state, to_state) transition log for tests
+        #: and telemetry.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+        self.trips = 0
+
+    def state(self, key: str) -> str:
+        """The breaker state for ``key`` (advancing open -> half-open)."""
+        state = self._state.get(key, self.CLOSED)
+        if state == self.OPEN:
+            elapsed = self.clock() - self._opened_at[key]
+            if elapsed >= self.config.cooldown_s:
+                self._transition(key, self.HALF_OPEN)
+                self._probes[key] = 0
+                return self.HALF_OPEN
+        return state
+
+    def allow(self, key: str) -> bool:
+        """May a compression attempt for ``key`` proceed right now?
+
+        Half-open admits up to ``half_open_probes`` concurrent probes;
+        callers that are refused should degrade to passthrough rather
+        than wait.
+        """
+        state = self.state(key)
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN:
+            if self._probes.get(key, 0) < self.config.half_open_probes:
+                self._probes[key] = self._probes.get(key, 0) + 1
+                return True
+            return False
+        return False
+
+    def check(self, key: str) -> None:
+        """Like :meth:`allow` but raises :class:`CircuitOpenError`."""
+        if not self.allow(key):
+            raise CircuitOpenError(key)
+
+    def record_success(self, key: str) -> None:
+        """A compression for ``key`` finished cleanly."""
+        state = self.state(key)
+        self._consecutive[key] = 0
+        if state == self.HALF_OPEN:
+            self._transition(key, self.CLOSED)
+            self._probes.pop(key, None)
+
+    def record_failure(self, key: str) -> None:
+        """A compression for ``key`` failed or overran its deadline."""
+        state = self.state(key)
+        if state == self.HALF_OPEN:
+            # A failed probe re-opens immediately: the codec is still sick.
+            self._trip(key)
+            return
+        count = self._consecutive.get(key, 0) + 1
+        self._consecutive[key] = count
+        if state == self.CLOSED and count >= self.config.failure_threshold:
+            self._trip(key)
+
+    def _trip(self, key: str) -> None:
+        self._transition(key, self.OPEN)
+        self._opened_at[key] = self.clock()
+        self._consecutive[key] = 0
+        self._probes.pop(key, None)
+        self.trips += 1
+
+    def _transition(self, key: str, to_state: str) -> None:
+        from_state = self._state.get(key, self.CLOSED)
+        if from_state != to_state:
+            self.transitions.append((self.clock(), key, from_state, to_state))
+        self._state[key] = to_state
+
+
+class AdmissionGate:
+    """Bounded in-flight admission: try-acquire or shed, never block.
+
+    The service holds a slot for each request from admission to the
+    last response byte.  ``try_acquire`` refuses when full so the
+    caller can answer with a shed frame immediately — bounded queues
+    with visible refusal beat unbounded queues with invisible latency.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ModelError("admission capacity must be at least 1")
+        self.capacity = capacity
+        self.in_flight = 0
+        self.shed = 0
+        self.admitted = 0
+        self.high_water = 0
+
+    def try_acquire(self) -> bool:
+        """Take a slot, or count a shed and refuse."""
+        if self.in_flight >= self.capacity:
+            self.shed += 1
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        self.high_water = max(self.high_water, self.in_flight)
+        return True
+
+    def release(self) -> None:
+        """Return a slot (exactly once per successful ``try_acquire``)."""
+        if self.in_flight <= 0:
+            raise ModelError("release without a matching acquire")
+        self.in_flight -= 1
+
+
+@dataclass
+class PartialOutputTracker:
+    """Audit ledger for scratch compression outputs.
+
+    Every attempt registers the partial output it is about to build and
+    reclaims it when the attempt fails (or commits it on success).  The
+    chaos suite's headline invariant is ``outstanding() == 0`` after a
+    fault storm: no failed attempt may leak its partial bytes.
+    """
+
+    allocated: int = 0
+    reclaimed: int = 0
+    committed: int = 0
+    allocated_bytes: int = 0
+    reclaimed_bytes: int = 0
+    _live: Dict[int, int] = field(default_factory=dict)
+    _next_handle: int = 0
+
+    def allocate(self, size_hint: int = 0) -> int:
+        """Register one scratch output; returns its handle."""
+        handle = self._next_handle
+        self._next_handle += 1
+        self.allocated += 1
+        self.allocated_bytes += size_hint
+        self._live[handle] = size_hint
+        return handle
+
+    def grow(self, handle: int, extra_bytes: int) -> None:
+        """Account bytes appended to a live scratch output."""
+        if handle not in self._live:
+            raise ModelError(f"unknown partial-output handle {handle}")
+        self._live[handle] += extra_bytes
+        self.allocated_bytes += extra_bytes
+
+    def reclaim(self, handle: int) -> None:
+        """A failed attempt's scratch output was released."""
+        size = self._live.pop(handle, None)
+        if size is None:
+            raise ModelError(f"unknown partial-output handle {handle}")
+        self.reclaimed += 1
+        self.reclaimed_bytes += size
+
+    def commit(self, handle: int) -> None:
+        """A successful attempt's output became the response payload."""
+        if self._live.pop(handle, None) is None:
+            raise ModelError(f"unknown partial-output handle {handle}")
+        self.committed += 1
+
+    def outstanding(self) -> int:
+        """Scratch outputs neither reclaimed nor committed (must be 0)."""
+        return len(self._live)
+
+
+__all__ = [
+    "PROXY_PHASES",
+    "ServiceDeadlines",
+    "RetryPolicy",
+    "retry_with_cleanup",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "AdmissionGate",
+    "PartialOutputTracker",
+]

@@ -6,6 +6,12 @@ potential advantage of reducing the battery consumed by the wireless
 network interface" (Section 1).  :class:`ProxyServer` stores original
 files, caches precompressed representations per codec, and produces
 :class:`TransferPlan` descriptors the simulator consumes.
+
+The compression cache is bounded: a byte-budgeted LRU
+(:class:`~repro.proxy.cache.LruByteCache`) holds the compressed
+representations, so a long-running service cannot grow memory without
+limit.  ``StoredFile.cache`` remains the per-file view of whatever the
+LRU currently holds for that file.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, Optional
 from repro.compression.base import CodecResult, get_codec
 from repro.core.adaptive import AdaptiveBlockCodec, AdaptiveResult
 from repro.errors import WorkloadError
+from repro.proxy.cache import DEFAULT_CACHE_BUDGET_BYTES, LruByteCache
 from repro.proxy.cpu import ProxyCpuModel, PROXY_PIII
 
 
@@ -58,15 +65,47 @@ class TransferPlan:
 class ProxyServer:
     """Stores files; serves them raw, precompressed, or compressed on demand."""
 
-    def __init__(self, cpu: Optional[ProxyCpuModel] = None) -> None:
+    def __init__(
+        self,
+        cpu: Optional[ProxyCpuModel] = None,
+        cache_budget_bytes: int = DEFAULT_CACHE_BUDGET_BYTES,
+        metrics=None,
+    ) -> None:
         self.cpu = cpu or PROXY_PIII
         self._files: Dict[str, StoredFile] = {}
+        self.cache = LruByteCache(
+            budget_bytes=cache_budget_bytes,
+            on_evict=self._drop_from_file,
+            metrics=metrics,
+        )
+
+    def _drop_from_file(self, key, value) -> None:
+        """LRU eviction callback: keep the per-file view consistent."""
+        name, codec_key = key
+        stored = self._files.get(name)
+        if stored is not None:
+            stored.cache.pop(codec_key, None)
+
+    def _cached(self, name: str, codec_key: str, build) -> CodecResult:
+        """Serve ``(name, codec_key)`` from the LRU or build and insert."""
+        stored = self.get(name)
+        result = self.cache.get((name, codec_key))
+        if result is None:
+            result = build(stored)
+            self.cache.put((name, codec_key), result)
+            if (name, codec_key) in self.cache:
+                stored.cache[codec_key] = result
+            else:
+                # Over-budget result: serve it, but do not pin it.
+                stored.cache.pop(codec_key, None)
+        return result
 
     # -- store management -----------------------------------------------------
 
     def put(self, name: str, data: bytes) -> StoredFile:
-        """Store (or replace) a file."""
+        """Store (or replace) a file; stale cached representations drop."""
         stored = StoredFile(name=name, data=data)
+        self.cache.discard_prefix(name)
         self._files[name] = stored
         return stored
 
@@ -88,22 +127,20 @@ class ProxyServer:
 
     def precompress(self, name: str, codec_name: str) -> CodecResult:
         """Compress ``name`` with ``codec_name`` and cache the result."""
-        stored = self.get(name)
-        if codec_name not in stored.cache:
-            codec = get_codec(codec_name)
-            stored.cache[codec_name] = codec.compress(stored.data)
-        return stored.cache[codec_name]
+        return self._cached(
+            name, codec_name,
+            lambda stored: get_codec(codec_name).compress(stored.data),
+        )
 
     def precompress_adaptive(
         self, name: str, adaptive: Optional[AdaptiveBlockCodec] = None
     ) -> AdaptiveResult:
         """Build and cache the block-adaptive container for ``name``."""
-        stored = self.get(name)
         adaptive = adaptive or AdaptiveBlockCodec()
         key = f"adaptive:{adaptive.inner.name}"
-        if key not in stored.cache:
-            stored.cache[key] = adaptive.compress(stored.data)
-        result = stored.cache[key]
+        result = self._cached(
+            name, key, lambda stored: adaptive.compress(stored.data)
+        )
         assert isinstance(result, AdaptiveResult)
         return result
 

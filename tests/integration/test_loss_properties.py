@@ -104,7 +104,14 @@ class TestLossMonotonicity:
     def test_des_lossy_never_cheaper_than_clean(self, rate, seed):
         s = 512 * 1024
         clean = DesSession(MODEL).raw(s)
-        lossy = DesSession(MODEL, loss=UniformLoss(rate, seed=seed)).raw(s)
+        try:
+            lossy = DesSession(MODEL, loss=UniformLoss(rate, seed=seed)).raw(s)
+        except LinkDroppedError:
+            # At the top of the rate range a packet can legitimately
+            # exhaust the 7-retry ARQ ceiling (p ~ rate**8 per packet
+            # over ~350 packets): the link died, which is certainly not
+            # cheaper than the clean transfer.
+            return
         assert lossy.energy_j >= clean.energy_j - 1e-9
         assert lossy.time_s >= clean.time_s - 1e-9
 

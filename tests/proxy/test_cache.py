@@ -1,0 +1,103 @@
+"""The byte-budgeted LRU cache behind the proxy's precompression store."""
+
+import pytest
+
+from repro.compression.base import CodecResult
+from repro.errors import ModelError
+from repro.observability.metrics import MetricsRegistry
+from repro.proxy.cache import LruByteCache
+from repro.proxy.server import ProxyServer
+
+
+def entry(n: int) -> CodecResult:
+    return CodecResult(payload=b"x" * n, raw_size=n * 2, compressed_size=n)
+
+
+class TestLruByteCache:
+    def test_hit_miss_counters(self):
+        c = LruByteCache(budget_bytes=100)
+        assert c.get(("a", "gzip")) is None
+        c.put(("a", "gzip"), entry(10))
+        assert c.get(("a", "gzip")) is not None
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_evicts_least_recently_used_first(self):
+        c = LruByteCache(budget_bytes=30)
+        c.put(("a", "g"), entry(10))
+        c.put(("b", "g"), entry(10))
+        c.put(("c", "g"), entry(10))
+        c.get(("a", "g"))               # refresh a; b is now LRU
+        c.put(("d", "g"), entry(10))
+        assert ("b", "g") not in c
+        assert ("a", "g") in c
+        assert c.evictions == 1
+        assert c.bytes == 30
+
+    def test_oversized_entry_is_not_cached(self):
+        c = LruByteCache(budget_bytes=10)
+        c.put(("a", "g"), entry(11))
+        assert ("a", "g") not in c
+        assert c.bytes == 0
+
+    def test_on_evict_callback_fires(self):
+        evicted = []
+        c = LruByteCache(budget_bytes=10, on_evict=lambda k, v: evicted.append(k))
+        c.put(("a", "g"), entry(10))
+        c.put(("b", "g"), entry(10))
+        assert evicted == [("a", "g")]
+
+    def test_discard_prefix_drops_all_representations(self):
+        c = LruByteCache(budget_bytes=100)
+        c.put(("a", "gzip"), entry(5))
+        c.put(("a", "bzip2"), entry(5))
+        c.put(("b", "gzip"), entry(5))
+        c.discard_prefix("a")
+        assert c.keys() == [("b", "gzip")]
+
+    def test_replace_updates_bytes(self):
+        c = LruByteCache(budget_bytes=100)
+        c.put(("a", "g"), entry(10))
+        c.put(("a", "g"), entry(20))
+        assert c.bytes == 20
+        assert len(c) == 1
+
+    def test_budget_validation(self):
+        with pytest.raises(ModelError):
+            LruByteCache(budget_bytes=0)
+
+    def test_metrics_registry_integration(self):
+        reg = MetricsRegistry()
+        c = LruByteCache(budget_bytes=10, metrics=reg)
+        c.put(("a", "g"), entry(6))
+        c.get(("a", "g"))
+        c.get(("zzz", "g"))
+        c.put(("b", "g"), entry(6))  # evicts a
+        text = reg.to_prometheus()
+        assert "repro_proxy_cache_hits_total 1" in text
+        assert "repro_proxy_cache_misses_total 1" in text
+        assert "repro_proxy_cache_evictions_total 1" in text
+        assert "repro_proxy_cache_bytes 6" in text
+
+
+class TestServerCacheIntegration:
+    def test_eviction_keeps_per_file_view_in_sync(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 200
+        server = ProxyServer(cache_budget_bytes=300)
+        server.put("a.txt", data)
+        server.put("b.txt", data[::-1])
+        first = server.precompress("a.txt", "zlib")
+        assert server.get("a.txt").cache["zlib"] is first
+        # Filling the budget evicts a.txt's entry; the StoredFile view
+        # must drop it too, not dangle.
+        server.precompress("b.txt", "zlib")
+        if ("a.txt", "zlib") not in server.cache:
+            assert "zlib" not in server.get("a.txt").cache
+
+    def test_put_invalidates_stale_representations(self):
+        server = ProxyServer()
+        server.put("a.txt", b"version one " * 500)
+        stale = server.precompress("a.txt", "zlib")
+        server.put("a.txt", b"version two! " * 500)
+        fresh = server.precompress("a.txt", "zlib")
+        assert fresh.payload != stale.payload
+        assert ("a.txt", "zlib") in server.cache

@@ -1,0 +1,78 @@
+"""Seeded fault injectors: determinism and effect shapes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.proxy.chaos import ChaosConfig
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = ChaosConfig.all_on(seed=42)
+        b = ChaosConfig.all_on(seed=42)
+        for rid in range(50):
+            assert a.compress_stall_s(rid, 0) == b.compress_stall_s(rid, 0)
+            assert a.disconnect_after(rid) == b.disconnect_after(rid)
+            assert a.reader_delay_s(rid) == b.reader_delay_s(rid)
+
+    def test_different_seeds_differ(self):
+        a = ChaosConfig.all_on(seed=1, rate=0.5)
+        b = ChaosConfig.all_on(seed=2, rate=0.5)
+        decisions_a = [a.compress_stall_s(rid, 0) > 0 for rid in range(100)]
+        decisions_b = [b.compress_stall_s(rid, 0) > 0 for rid in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_attempts_draw_independently(self):
+        c = ChaosConfig(seed=1, corrupt_rate=0.5)
+        payload = bytes(256)
+        draws = [
+            c.corrupt_payload(7, attempt, payload) is not None
+            for attempt in range(20)
+        ]
+        assert True in draws and False in draws
+
+    def test_decisions_do_not_depend_on_call_order(self):
+        a = ChaosConfig.all_on(seed=9)
+        b = ChaosConfig.all_on(seed=9)
+        forward = [a.compress_stall_s(rid, 0) for rid in range(20)]
+        backward = [b.compress_stall_s(rid, 0) for rid in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+
+class TestEffects:
+    def test_corruption_changes_bytes_but_not_length(self):
+        c = ChaosConfig(seed=1, corrupt_rate=1.0)
+        payload = bytes(range(256))
+        out = c.corrupt_payload(0, 0, payload)
+        assert out is not None
+        assert len(out) == len(payload)
+        assert out != payload
+        assert c.injected["corrupt"] == 1
+
+    def test_empty_payload_never_corrupted(self):
+        c = ChaosConfig(seed=1, corrupt_rate=1.0)
+        assert c.corrupt_payload(0, 0, b"") is None
+
+    def test_disabled_injectors_never_fire(self):
+        c = ChaosConfig(seed=1)
+        assert not c.active
+        for rid in range(50):
+            assert c.compress_stall_s(rid, 0) == 0.0
+            assert c.corrupt_payload(rid, 0, b"data") is None
+            assert c.disconnect_after(rid) is None
+            assert c.reader_delay_s(rid) == 0.0
+        assert c.injected == {}
+
+    def test_all_on_enables_everything(self):
+        c = ChaosConfig.all_on(rate=1.0)
+        assert c.active
+        assert c.compress_stall_s(0, 0) == c.stall_s
+        assert c.disconnect_after(0) == c.disconnect_after_bytes
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ChaosConfig(stall_rate=1.5)
+        with pytest.raises(ModelError):
+            ChaosConfig(stall_s=0.0)
+        with pytest.raises(ModelError):
+            ChaosConfig(disconnect_after_bytes=-1)

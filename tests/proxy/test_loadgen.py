@@ -1,0 +1,132 @@
+"""The load generator: determinism, chaos end-to-end, accounting."""
+
+import random as _random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.proxy.chaos import ChaosConfig
+from repro.proxy.loadgen import LoadSpec, run_load_sync
+from repro.proxy.resilience import BreakerConfig, RetryPolicy
+from repro.proxy.server import ProxyServer
+from repro.proxy.service import ProxyService, ServiceConfig
+
+COMPRESSIBLE = b"<p>" + b"energy follows the bytes on the air " * 1500 + b"</p>"
+INCOMPRESSIBLE = _random.Random(7).randbytes(12000)
+
+
+def make_store() -> ProxyServer:
+    store = ProxyServer()
+    store.put("page.html", COMPRESSIBLE)
+    store.put("tiny.txt", b"hi")
+    store.put("blob.bin", INCOMPRESSIBLE)
+    return store
+
+
+def chaos_service() -> ProxyService:
+    return ProxyService(
+        store=make_store(),
+        config=ServiceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            breaker=BreakerConfig(failure_threshold=3, cooldown_s=2.0),
+        ),
+        chaos=ChaosConfig.all_on(seed=3, rate=0.25),
+    )
+
+
+class TestLoadSpec:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LoadSpec(requests=0)
+        with pytest.raises(ModelError):
+            LoadSpec(clients=0)
+        with pytest.raises(ModelError):
+            LoadSpec(loss_rate=1.0)
+
+
+class TestCleanLoad:
+    def test_all_requests_complete_ok(self):
+        report = run_load_sync(
+            ProxyService(store=make_store()),
+            LoadSpec(requests=24, clients=3, seed=1),
+        )
+        assert len(report.outcomes) == 24
+        assert report.count("ok") == 24
+        assert report.count("error") == 0
+        served = report.to_dict()["served"]
+        assert served["compressed"] > 0     # page.html compresses
+        assert served["raw"] > 0            # tiny.txt / blob.bin pass through
+        assert report.total_energy_j > 0
+        assert report.verify_energy_j > 0   # verify charged under its tag
+        assert report.req_per_s_modeled > 0
+        assert report.service_stats["outstanding_partials"] == 0
+
+    def test_verify_opt_out_charges_nothing_for_verify(self):
+        report = run_load_sync(
+            ProxyService(store=make_store()),
+            LoadSpec(requests=12, clients=2, verify=False),
+        )
+        assert report.count("ok") == 12
+        assert report.verify_energy_j == 0.0
+
+    def test_request_ids_cover_the_range_once(self):
+        report = run_load_sync(
+            ProxyService(store=make_store()),
+            LoadSpec(requests=17, clients=4),
+        )
+        assert [o.request_id for o in report.outcomes] == list(range(17))
+
+
+class TestByteStableJson:
+    def test_same_seed_serializes_identically(self):
+        # Two independent services, same store content and chaos seed:
+        # the modeled-only report must be byte-for-byte identical.
+        spec = LoadSpec(requests=40, clients=4, seed=3)
+        first = run_load_sync(chaos_service(), spec).to_json()
+        second = run_load_sync(chaos_service(), spec).to_json()
+        assert first == second
+
+    def test_wall_clock_never_enters_the_report(self):
+        report = run_load_sync(
+            ProxyService(store=make_store()), LoadSpec(requests=4)
+        )
+        assert report.wall_elapsed_s > 0          # measured...
+        assert "wall" not in report.to_json()     # ...but never serialized
+
+
+class TestChaosEndToEnd:
+    def test_every_request_ends_in_an_outcome(self):
+        # All injectors on: stalls, disconnects, corruption, slow
+        # readers.  Nothing may hang, leak, or fail its energy audit
+        # (every ok response rebuilds a SessionResult, which re-runs
+        # the ledger conservation audit internally).
+        service = chaos_service()
+        report = run_load_sync(
+            service, LoadSpec(requests=60, clients=3, seed=3)
+        )
+        assert len(report.outcomes) == 60
+        counted = sum(
+            report.count(k) for k in ("ok", "error", "shed", "disconnected")
+        )
+        assert counted == 60
+        assert report.count("ok") > 0
+        # Zero unreclaimed partial outputs after the storm.
+        assert service.partials.outstanding() == 0
+        assert report.service_stats["outstanding_partials"] == 0
+        assert service.gate.in_flight == 0
+        # The chaos harness actually fired.
+        assert sum(report.chaos_injected.values()) > 0
+        # Resilience counters surface in the report.
+        stats = report.service_stats
+        for key in ("retries", "degraded", "breaker_trips", "timeouts"):
+            assert key in stats
+
+    def test_disconnects_are_visible_and_recovered_from(self):
+        service = ProxyService(
+            store=make_store(),
+            chaos=ChaosConfig(seed=5, disconnect_rate=0.4),
+        )
+        report = run_load_sync(service, LoadSpec(requests=30, clients=2))
+        assert report.count("disconnected") > 0
+        assert report.count("ok") > 0          # clients reconnect and go on
+        assert service.partials.outstanding() == 0

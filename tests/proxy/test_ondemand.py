@@ -60,6 +60,17 @@ class TestSchedule:
         timing = pipeline.schedule(0, 0, "gzip")
         assert timing.makespan_s >= 0
 
+    def test_zero_byte_schedule_has_no_blocks(self, pipeline):
+        # Regression: a zero-byte object used to get a synthetic [0]
+        # block; it must produce a genuinely empty schedule instead.
+        timing = pipeline.schedule(0, 0, "gzip")
+        assert timing.block_raw == []
+        assert timing.block_compressed == []
+        assert timing.arrival_s == []
+        assert timing.makespan_s == 0.0
+        assert timing.link_stall_s == 0.0
+        assert timing.compression_masked
+
     def test_negative_raises(self, pipeline):
         with pytest.raises(ModelError):
             pipeline.schedule(-1, 0, "gzip")

@@ -110,7 +110,24 @@ class TestDecisions:
 
     def test_invalid_size(self, policy, desk_profile):
         with pytest.raises(ModelError):
-            policy.decide(desk_profile, 0, 2.0)
+            policy.decide(desk_profile, -1, 2.0)
+
+    def test_zero_byte_object_ships_raw(self, policy, desk_profile):
+        # A zero-byte object deterministically passes through; no ratio
+        # arithmetic (and no divide-by-zero) happens on the way.
+        decision = policy.decide(desk_profile, 0, 2.0)
+        assert decision.mechanism == "raw"
+        assert decision.transfer_bytes == 0
+        assert decision.estimated_energy_j == 0.0
+
+    def test_degenerate_factor_ships_raw(self, policy, desk_profile):
+        # Factors at/below 1 (or non-finite garbage from a bad sniff)
+        # never grow a compress candidate, whatever Equation 6 says.
+        for factor in (1.0, 0.0, -3.0, float("inf"), float("nan")):
+            decision = policy.decide(
+                desk_profile, mb(2), factor, FileType.BINARY
+            )
+            assert decision.mechanism == "raw"
 
     def test_decision_is_argmin(self, policy, desk_profile):
         decision = policy.decide(desk_profile, mb(4), 2.0, FileType.PDF)

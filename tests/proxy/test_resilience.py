@@ -1,0 +1,252 @@
+"""Resilience primitives: deadlines, retry-with-cleanup, breaker, gate."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import CircuitOpenError, CorruptStreamError, ModelError, WatchdogTimeout
+from repro.proxy.resilience import (
+    AdmissionGate,
+    BreakerConfig,
+    CircuitBreaker,
+    PartialOutputTracker,
+    RetryPolicy,
+    ServiceDeadlines,
+    retry_with_cleanup,
+)
+
+
+class TestServiceDeadlines:
+    def test_check_within_deadline_passes(self):
+        ServiceDeadlines().check("compress", 1.0)
+
+    def test_overrun_raises_typed_timeout(self):
+        with pytest.raises(WatchdogTimeout) as err:
+            ServiceDeadlines(compress_s=2.0).check("compress", 2.5)
+        assert err.value.phase == "compress"
+        assert err.value.deadline_s == 2.0
+
+    def test_none_disarms(self):
+        ServiceDeadlines(write_s=None).check("write", 1e9)
+
+    def test_uniform_and_unknown_phase(self):
+        d = ServiceDeadlines.uniform(3.0)
+        assert d.deadline_for("admit") == d.deadline_for("write") == 3.0
+        with pytest.raises(ModelError):
+            d.check("transmogrify", 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ServiceDeadlines(compress_s=-1.0)
+
+
+class TestRetryPolicy:
+    def test_schedule_is_capped_exponential(self):
+        p = RetryPolicy(max_attempts=4, base_delay_s=0.1, backoff=10.0,
+                        max_delay_s=2.0)
+        assert p.schedule() == [0.1, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ModelError):
+            RetryPolicy(backoff=0.5)
+
+
+class TestRetryWithCleanup:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_success_first_try_no_cleanup(self):
+        cleanups = []
+
+        async def attempt(k):
+            return f"ok-{k}"
+
+        result, retries = self._run(retry_with_cleanup(
+            attempt, RetryPolicy(), cleanups.append and (lambda k, e: cleanups.append(k)),
+        ))
+        assert result == "ok-0"
+        assert retries == 0
+        assert cleanups == []
+
+    def test_cleanup_runs_on_every_failure_then_succeeds(self):
+        cleaned = []
+        slept = []
+
+        async def attempt(k):
+            if k < 2:
+                raise CorruptStreamError(f"attempt {k} died")
+            return "recovered"
+
+        async def sleep(delay):
+            slept.append(delay)
+
+        result, retries = self._run(retry_with_cleanup(
+            attempt, RetryPolicy(max_attempts=3, base_delay_s=0.5,
+                                 backoff=2.0, max_delay_s=10.0),
+            lambda k, exc: cleaned.append((k, type(exc).__name__)),
+            retry_on=(CorruptStreamError,), sleep=sleep,
+        ))
+        assert result == "recovered"
+        assert retries == 2
+        assert cleaned == [(0, "CorruptStreamError"), (1, "CorruptStreamError")]
+        assert slept == [0.5, 1.0]
+
+    def test_exhaustion_reraises_last_and_cleans_every_attempt(self):
+        cleaned = []
+
+        async def attempt(k):
+            raise CorruptStreamError(f"attempt {k}")
+
+        with pytest.raises(CorruptStreamError, match="attempt 2"):
+            self._run(retry_with_cleanup(
+                attempt, RetryPolicy(max_attempts=3),
+                lambda k, exc: cleaned.append(k),
+                retry_on=(CorruptStreamError,),
+            ))
+        assert cleaned == [0, 1, 2]
+
+    def test_non_retryable_cleans_up_and_propagates_immediately(self):
+        cleaned = []
+
+        async def attempt(k):
+            raise WatchdogTimeout("compress", 11.0, 10.0)
+
+        with pytest.raises(WatchdogTimeout):
+            self._run(retry_with_cleanup(
+                attempt, RetryPolicy(max_attempts=5),
+                lambda k, exc: cleaned.append(k),
+                retry_on=(CorruptStreamError,),
+            ))
+        assert cleaned == [0]  # one attempt, one cleanup, no retries
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        clock = FakeClock()
+        cfg = BreakerConfig(**{**dict(failure_threshold=3, cooldown_s=5.0), **kw})
+        return CircuitBreaker(cfg, clock=clock), clock
+
+    def test_trips_after_consecutive_failures(self):
+        br, _ = self.make()
+        for _ in range(2):
+            br.record_failure("gzip")
+        assert br.state("gzip") == CircuitBreaker.CLOSED
+        br.record_failure("gzip")
+        assert br.state("gzip") == CircuitBreaker.OPEN
+        assert not br.allow("gzip")
+        assert br.trips == 1
+
+    def test_success_resets_the_streak(self):
+        br, _ = self.make()
+        br.record_failure("gzip")
+        br.record_failure("gzip")
+        br.record_success("gzip")
+        br.record_failure("gzip")
+        br.record_failure("gzip")
+        assert br.state("gzip") == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        br, clock = self.make()
+        for _ in range(3):
+            br.record_failure("gzip")
+        clock.now = 5.0
+        assert br.state("gzip") == CircuitBreaker.HALF_OPEN
+        assert br.allow("gzip")        # the probe
+        assert not br.allow("gzip")    # only one concurrent probe
+        br.record_success("gzip")
+        assert br.state("gzip") == CircuitBreaker.CLOSED
+        assert br.allow("gzip")
+
+    def test_half_open_probe_failure_reopens(self):
+        br, clock = self.make()
+        for _ in range(3):
+            br.record_failure("gzip")
+        clock.now = 5.0
+        assert br.allow("gzip")
+        br.record_failure("gzip")
+        assert br.state("gzip") == CircuitBreaker.OPEN
+        assert br.trips == 2
+        # A second cooldown admits another probe.
+        clock.now = 10.0
+        assert br.allow("gzip")
+
+    def test_keys_are_independent(self):
+        br, _ = self.make()
+        for _ in range(3):
+            br.record_failure("gzip")
+        assert not br.allow("gzip")
+        assert br.allow("bzip2")
+
+    def test_check_raises_typed_error(self):
+        br, _ = self.make(failure_threshold=1)
+        br.record_failure("gzip")
+        with pytest.raises(CircuitOpenError) as err:
+            br.check("gzip")
+        assert err.value.codec == "gzip"
+
+    def test_transition_log(self):
+        br, clock = self.make(failure_threshold=1)
+        br.record_failure("gzip")
+        clock.now = 5.0
+        br.state("gzip")
+        br.record_success("gzip")
+        states = [(frm, to) for _, _, frm, to in br.transitions]
+        assert states == [
+            ("closed", "open"), ("open", "half-open"), ("half-open", "closed"),
+        ]
+
+
+class TestAdmissionGate:
+    def test_sheds_at_capacity(self):
+        gate = AdmissionGate(2)
+        assert gate.try_acquire() and gate.try_acquire()
+        assert not gate.try_acquire()
+        assert gate.shed == 1
+        gate.release()
+        assert gate.try_acquire()
+        assert gate.high_water == 2
+
+    def test_release_without_acquire_is_an_error(self):
+        gate = AdmissionGate(1)
+        with pytest.raises(ModelError):
+            gate.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ModelError):
+            AdmissionGate(0)
+
+
+class TestPartialOutputTracker:
+    def test_commit_and_reclaim_balance(self):
+        t = PartialOutputTracker()
+        a = t.allocate(100)
+        b = t.allocate(200)
+        t.grow(b, 50)
+        t.commit(a)
+        t.reclaim(b)
+        assert t.outstanding() == 0
+        assert t.committed == 1
+        assert t.reclaimed == 1
+        assert t.reclaimed_bytes == 250
+
+    def test_leak_is_visible(self):
+        t = PartialOutputTracker()
+        t.allocate(10)
+        assert t.outstanding() == 1
+
+    def test_double_reclaim_is_an_error(self):
+        t = PartialOutputTracker()
+        h = t.allocate(10)
+        t.reclaim(h)
+        with pytest.raises(ModelError):
+            t.reclaim(h)

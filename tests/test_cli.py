@@ -199,6 +199,60 @@ class TestCorpusAndTable2:
         assert "achieved" in out
 
 
+class TestProxyCli:
+    """Satellite: `repro proxy load` smoke over the in-process transport."""
+
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "page.html").write_bytes(
+            b"<html>" + b"proxy cli smoke body " * 2000 + b"</html>"
+        )
+        (root / "tiny.txt").write_bytes(b"hi")
+        return root
+
+    def test_load_table_output(self, store_dir, capsys):
+        assert main([
+            "proxy", "load", "--root", str(store_dir),
+            "-n", "12", "--clients", "2", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "req/s (modeled)" in out
+        assert "p99" in out
+        assert "outstanding partials" in out
+
+    def test_load_json_is_byte_stable(self, store_dir, capsys):
+        import json
+
+        argv = [
+            "proxy", "load", "--root", str(store_dir),
+            "-n", "16", "--clients", "2", "--seed", "3",
+            "--chaos", "--chaos-rate", "0.3", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["service"]["outstanding_partials"] == 0
+        assert doc["outcomes"]["ok"] > 0
+        assert sum(doc["chaos_injected"].values()) > 0
+
+    def test_load_help_lists_chaos_flags(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "proxy", "load", "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0
+        for flag in ("--chaos", "--clients", "--link", "--json"):
+            assert flag in result.stdout
+
+
 class TestTraceAndMetrics:
     """Satellite: the observability flags emit well-formed artifacts."""
 
