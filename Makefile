@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean \
-	campaign-smoke baseline campaign-perf proxy-smoke
+	campaign-smoke baseline campaign-perf proxy-smoke crash-chaos fsck-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -68,8 +68,28 @@ campaign-smoke:
 	cmp "$$tmp/cold/results.jsonl" "$$tmp/warm/results.jsonl" || \
 		{ echo "FAIL: cold and warm results differ"; exit 1; }; \
 	$(PYTHON) -m repro campaign status --out "$$tmp/warm" || exit 1; \
+	$(PYTHON) -m repro campaign fsck --out "$$tmp/warm" \
+		--cache-dir "$$tmp/cache" || exit 1; \
 	$(PYTHON) -m repro campaign diff --out "$$tmp/warm" \
 		--baseline benchmarks/campaigns/smoke_baseline.jsonl
+
+# CI fsck gate over the checked-in artifacts: the pinned baseline must
+# always verify (report-only pass piggybacked on a fresh smoke run).
+fsck-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(PYTHON) -m repro campaign run --spec benchmarks/campaigns/smoke.json \
+		--out "$$tmp/run" --no-cache >/dev/null || exit 1; \
+	$(PYTHON) -m repro campaign fsck --out "$$tmp/run" \
+		--baseline benchmarks/campaigns/smoke_baseline.jsonl
+
+# CI crash-chaos gate: SIGKILL a live campaign at every seeded crash
+# point (append tears, both results renames, the manifest journal),
+# resume each wreck, and require byte-identical results + clean fsck.
+crash-chaos:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(PYTHON) -m repro campaign crash-chaos \
+		--spec benchmarks/campaigns/smoke.json --out "$$tmp/chaos" \
+		-j 2 --min-fired 10
 
 # CI proxy gate: a seeded chaos storm over the in-process transport.
 # The load runs twice; the CLI exits non-zero if any partial output

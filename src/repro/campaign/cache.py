@@ -8,11 +8,16 @@ any source file therefore invalidates every cached cell at once (safe,
 coarse), while re-running an unchanged campaign recomputes nothing.
 
 Records are stored one JSON file per key, fanned out over two-hex-digit
-subdirectories, written atomically (temp file + rename) so parallel
-campaigns sharing one cache directory never read torn files.  A cache
-hit returns the *exact* record the cold run produced — byte-identity of
-warm and cold results is a tested invariant, so nothing run-specific
-(timings, attempt counts, cache status) is ever stored in a record.
+subdirectories, written atomically through
+:mod:`repro.campaign.faultio` (temp file + fsync + rename) so parallel
+campaigns sharing one cache directory never read torn files.  Every
+entry is CRC-framed like a results record; an entry that fails to parse
+*or* fails its CRC degrades to a miss (counted separately, so silent
+rot is visible) and ``repro campaign fsck`` can find and quarantine it.
+A cache hit returns the *exact* record the cold run produced —
+byte-identity of warm and cold results is a tested invariant, so
+nothing run-specific (timings, attempt counts, cache status) is ever
+stored in a record.
 """
 
 from __future__ import annotations
@@ -21,10 +26,11 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 from typing import Any, Dict, Iterable, Optional
 
 import repro
+from repro.campaign.faultio import FaultInjector, write_text_atomic
+from repro.campaign.store import check_frame, frame_record
 
 #: Bumped whenever the record shape changes; part of every cache key.
 CACHE_SCHEMA_VERSION = 1
@@ -66,44 +72,61 @@ def cache_key(cell_hash: str, seed: int, fingerprint: str) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed cell results."""
+    """A directory of content-addressed cell results.
 
-    def __init__(self, root) -> None:
+    ``injector`` threads deterministic fault injection through every
+    store; a failed store surfaces the injected ``OSError`` (the runner
+    treats the cache as best-effort), never a torn entry under the
+    final name.
+    """
+
+    def __init__(self, root, injector: Optional[FaultInjector] = None) -> None:
         self.root = pathlib.Path(root)
+        self.injector = injector
         self.hits = 0
         self.misses = 0
+        #: Misses caused by an entry that existed but failed parse/CRC.
+        self.corrupt = 0
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached record, or None (counts the hit/miss either way)."""
+        """The cached record, or None (counts the hit/miss either way).
+
+        An unreadable, unparsable, or CRC-mismatched entry degrades to
+        a miss — and bumps ``corrupt`` so rot never passes silently.
+        """
         path = self._path(key)
         try:
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
             return None
+        try:
+            framed = json.loads(text)
+            if not isinstance(framed, dict):
+                raise ValueError("cache entry is not an object")
+        except ValueError:
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        if check_frame(framed) is False:
+            self.misses += 1
+            self.corrupt += 1
+            return None
+        record = {k: v for k, v in framed.items() if k != "crc"}
         self.hits += 1
         return record
 
     def store(self, key: str, record: Dict[str, Any]) -> None:
-        """Atomically persist one record under its content address."""
+        """Atomically persist one CRC-framed record under its address."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        write_text_atomic(
+            path,
+            json.dumps(frame_record(record), sort_keys=True),
+            injector=self.injector,
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fp:
-                json.dump(record, fp, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     @property
     def lookups(self) -> int:

@@ -1,0 +1,266 @@
+"""Crash-chaos harness: SIGKILL a live campaign, resume, compare bytes.
+
+The crash-only contract says a campaign may die at *any* instant and a
+``--resume`` run afterwards must converge on exactly the bytes an
+uninterrupted run produces, with a clean ``fsck``.  This module proves
+it with real process death, not simulated exceptions:
+
+1. run a reference campaign to completion in a child process;
+2. for each seeded crash point, run a fresh child with
+   :data:`~repro.campaign.faultio.CRASH_ENV` set so the child's
+   :class:`~repro.campaign.faultio.CrashPointInjector` SIGKILLs it at a
+   deterministic I/O operation (the N-th write/fsync/rename on a named
+   artifact — never a wall-clock timer);
+3. resume the wreckage with a second child, repair-fsck the directory,
+   and assert ``results.jsonl`` is byte-identical to the reference and
+   a final fsck reports clean.
+
+Crash points are keyed on per-path operation counters, so the schedule
+replays identically at any parallelism.  All runs use ``--no-cache``:
+a warm cache would mask the append path the harness exists to torture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import repro
+from repro.campaign.faultio import CRASH_ENV
+from repro.campaign.fsck import EXIT_CLEAN, EXIT_REPAIRED, fsck_campaign
+
+#: Seconds a chaos child may run before the harness gives up on it.
+DEFAULT_CHILD_TIMEOUT_S = 300.0
+
+
+@dataclass
+class ChaosOutcome:
+    """What happened at one crash point."""
+
+    #: The ``<name-glob>:<op>:<nth>:<mode>`` spec planted in the child.
+    point: str
+    #: True when the child actually died at the point (SIGKILL observed).
+    fired: bool = False
+    #: True when resume + fsck converged on the reference bytes.
+    survived: bool = False
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """The harness verdict over every crash point."""
+
+    spec_path: str
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+    #: Points the harness required to actually fire.
+    min_fired: int = 10
+    fatal: Optional[str] = None
+
+    @property
+    def fired(self) -> List[ChaosOutcome]:
+        """Outcomes whose crash point actually killed the child."""
+        return [o for o in self.outcomes if o.fired]
+
+    @property
+    def ok(self) -> bool:
+        """Every fired point survived, and enough points fired."""
+        if self.fatal is not None:
+            return False
+        fired = self.fired
+        return (
+            len(fired) >= self.min_fired
+            and all(o.survived for o in fired)
+        )
+
+    def render(self) -> str:
+        """Human-readable verdict, one line per point."""
+        lines = [f"crash-chaos over {self.spec_path}"]
+        if self.fatal is not None:
+            lines.append(f"  FATAL: {self.fatal}")
+            return "\n".join(lines)
+        for o in self.outcomes:
+            status = (
+                "survived" if o.fired and o.survived
+                else "FAILED" if o.fired
+                else "did not fire"
+            )
+            detail = f" — {o.detail}" if o.detail else ""
+            lines.append(f"  [{status}] {o.point}{detail}")
+        fired = self.fired
+        lines.append(
+            f"  {len(fired)}/{len(self.outcomes)} points fired "
+            f"(need >= {self.min_fired}), "
+            f"{sum(1 for o in fired if o.survived)} survived"
+        )
+        lines.append("  PASS" if self.ok else "  FAIL")
+        return "\n".join(lines)
+
+
+def default_crash_points(cells: int) -> List[str]:
+    """The seeded SIGKILL schedule for a campaign of ``cells`` cells.
+
+    Covers the append path (each record write, torn/before/after), both
+    atomic rewrites of ``results.jsonl`` (open and finalize renames),
+    and the journaled manifest.  Write op 1 on ``results.jsonl`` is the
+    open rewrite; appends are ops 2..cells+1; finalize is the last.
+    """
+    points: List[str] = []
+    modes = ("torn", "before", "after")
+    for nth in range(1, min(cells, 4) + 2):
+        points.append(f"results.jsonl:write:{nth}:{modes[nth % 3]}")
+    points.extend([
+        "results.jsonl:write:1:torn",
+        "results.jsonl:write:2:before",
+        f"results.jsonl:write:{cells + 1}:after",
+        "results.jsonl:rename:1:before",
+        "results.jsonl:rename:1:after",
+        "results.jsonl:rename:2:before",
+        "results.jsonl:rename:2:after",
+        "results.jsonl:fsync:2:before",
+        "manifest.json:write:1:before",
+        "manifest.json:rename:1:after",
+        "quarantine.jsonl:write:1:before",
+    ])
+    seen: Dict[str, None] = {}
+    for p in points:
+        seen.setdefault(p)
+    return list(seen)
+
+
+def _child_env(crash_point: Optional[str] = None) -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(pathlib.Path(repro.__file__).parent.parent)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    env.pop(CRASH_ENV, None)
+    if crash_point is not None:
+        env[CRASH_ENV] = crash_point
+    return env
+
+
+def _run_child(
+    spec_path: pathlib.Path,
+    out_dir: pathlib.Path,
+    jobs: int,
+    resume: bool,
+    crash_point: Optional[str],
+    timeout_s: float,
+) -> subprocess.CompletedProcess:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "campaign", "run",
+        "--spec", str(spec_path), "--out", str(out_dir),
+        "--no-cache", "-j", str(jobs),
+    ]
+    if resume:
+        cmd.append("--resume")
+    return subprocess.run(
+        cmd,
+        env=_child_env(crash_point),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        timeout=timeout_s,
+    )
+
+
+def run_chaos(
+    spec,
+    work_dir,
+    jobs: int = 2,
+    points: Optional[List[str]] = None,
+    min_fired: int = 10,
+    timeout_s: float = DEFAULT_CHILD_TIMEOUT_S,
+) -> ChaosReport:
+    """Run the whole harness; returns the per-point verdict.
+
+    ``spec`` is a :class:`~repro.campaign.spec.CampaignSpec`;
+    ``work_dir`` holds the reference run and one subdirectory per crash
+    point (wiped per point so every run starts from the crash state
+    alone).
+    """
+    work_dir = pathlib.Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    spec_path = spec.save(work_dir / "chaos-spec.json")
+    cells = len(spec.expand())
+    if points is None:
+        points = default_crash_points(cells)
+    report = ChaosReport(spec_path=str(spec_path), min_fired=min_fired)
+
+    ref_dir = work_dir / "reference"
+    shutil.rmtree(ref_dir, ignore_errors=True)
+    ref = _run_child(spec_path, ref_dir, jobs, False, None, timeout_s)
+    if ref.returncode != 0:
+        report.fatal = (
+            f"reference run exited {ref.returncode}:\n"
+            f"{ref.stdout.decode('utf-8', 'replace')[-2000:]}"
+        )
+        return report
+    expected = (ref_dir / "results.jsonl").read_bytes()
+
+    for i, point in enumerate(points):
+        outcome = ChaosOutcome(point=point)
+        report.outcomes.append(outcome)
+        crash_dir = work_dir / f"point-{i:02d}"
+        shutil.rmtree(crash_dir, ignore_errors=True)
+        try:
+            crashed = _run_child(
+                spec_path, crash_dir, jobs, False, point, timeout_s
+            )
+        except subprocess.TimeoutExpired:
+            outcome.fired = True
+            outcome.detail = "child hung at the crash point"
+            continue
+        if crashed.returncode == -signal.SIGKILL:
+            outcome.fired = True
+        elif crashed.returncode == 0:
+            outcome.detail = "campaign completed before the point matched"
+            continue
+        else:
+            outcome.fired = True
+            outcome.detail = (
+                f"child exited {crashed.returncode} instead of dying"
+            )
+            continue
+        try:
+            resumed = _run_child(
+                spec_path, crash_dir, jobs, True, None, timeout_s
+            )
+        except subprocess.TimeoutExpired:
+            outcome.detail = "resume run hung"
+            continue
+        if resumed.returncode != 0:
+            outcome.detail = (
+                f"resume exited {resumed.returncode}:\n"
+                f"{resumed.stdout.decode('utf-8', 'replace')[-500:]}"
+            )
+            continue
+        got = (crash_dir / "results.jsonl").read_bytes()
+        if got != expected:
+            outcome.detail = "results.jsonl differs from reference"
+            continue
+        repair = fsck_campaign(crash_dir, repair=True)
+        if repair.exit_code not in (EXIT_CLEAN, EXIT_REPAIRED):
+            outcome.detail = f"repair fsck exited {repair.exit_code}"
+            continue
+        verify = fsck_campaign(crash_dir)
+        if verify.exit_code != EXIT_CLEAN:
+            outcome.detail = f"post-repair fsck exited {verify.exit_code}"
+            continue
+        outcome.survived = True
+    return report
+
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "DEFAULT_CHILD_TIMEOUT_S",
+    "default_crash_points",
+    "run_chaos",
+]

@@ -1,0 +1,451 @@
+"""Seeded fault-injecting I/O: the campaign stack's durability shim.
+
+Every artifact the campaign layer persists — ``results.jsonl``, the
+content-addressed result cache, ``manifest.json``, pinned baselines,
+proxy cache snapshots, session traces — is written through this module,
+which provides exactly two write disciplines:
+
+- :func:`write_bytes_atomic` / :func:`write_text_atomic` — full-file
+  replacement via temp file + ``fsync`` + ``os.replace``, so a reader
+  (or a crash) sees either the old complete file or the new complete
+  file, never a torn hybrid;
+- :class:`AppendLog` — durable line appends (``write`` + ``flush`` +
+  ``fsync``) for JSONL progress logs, where a crash may tear at most
+  the final line.
+
+Both disciplines accept a *fault injector* that deterministically turns
+individual I/O operations into the failures a long campaign will
+eventually meet for real: ``ENOSPC``, ``EIO``, short/torn writes, and
+process death immediately before or after a rename.  Decisions are
+keyed on ``(seed, path name, per-path op counter)`` — never wall clock
+and never cross-path arrival order — so a fault schedule replays
+identically at any parallelism, which is what lets the property suite
+and the crash-chaos harness assert byte-identical recovery.
+
+Two injector flavours cover the two test styles:
+
+- :class:`SeededFaultInjector` fires pseudo-randomly at a configured
+  rate (hypothesis-style sweeps: *every* injected fault must surface a
+  typed error or leave a readable store);
+- :class:`CrashPointInjector` fires exactly once, at the N-th matching
+  operation, and either raises :class:`InjectedCrash` (in-process
+  tests) or SIGKILLs the process (the subprocess crash-chaos driver);
+  :func:`injector_from_env` builds one from ``REPRO_FAULTIO_CRASH`` so
+  a driver can plant a crash point inside a child ``repro campaign
+  run`` without touching its command line.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import hashlib
+import os
+import pathlib
+import signal
+import tempfile
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Environment variable holding a crash-point spec for child processes:
+#: ``<name-glob>:<op>:<nth>:<mode>`` with mode ``before``/``torn``/``after``.
+CRASH_ENV = "REPRO_FAULTIO_CRASH"
+
+#: Operation names the injectors key on.
+OPS = ("write", "fsync", "rename")
+
+#: Fault kinds a seeded injector can draw.
+FAULT_KINDS = (
+    "enospc",
+    "eio",
+    "torn",
+    "crash_before_rename",
+    "crash_after_rename",
+)
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at an I/O crash point.
+
+    Deliberately *not* an :class:`Exception`: production ``except
+    Exception`` clauses must never swallow a simulated crash, exactly as
+    they cannot swallow a real SIGKILL.  Only the test harness catches
+    it, at its outermost frame.
+    """
+
+    def __init__(self, op: str, path: str, mode: str) -> None:
+        self.op = op
+        self.path = path
+        self.mode = mode
+        super().__init__(f"injected crash {mode} {op} of {path}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection decision: what fails, and how."""
+
+    #: One of :data:`FAULT_KINDS` or the crash modes ``before``/``after``.
+    kind: str
+    #: ``raise`` surfaces Python exceptions; ``kill`` SIGKILLs the process.
+    action: str = "raise"
+
+
+class FaultInjector:
+    """Base injector: no faults.  Subclasses override :meth:`decide`.
+
+    The shim calls :meth:`on_op` once per I/O operation; the per-path
+    operation counter that keys every decision lives here so all
+    subclasses count identically.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, str], int] = {}
+
+    def on_op(self, op: str, path) -> Optional[Fault]:
+        """Advance ``path``'s counter for ``op`` and return a decision."""
+        name = pathlib.Path(path).name
+        n = self._counters.get((name, op), 0) + 1
+        self._counters[(name, op)] = n
+        return self.decide(op, name, n)
+
+    def decide(self, op: str, name: str, n: int) -> Optional[Fault]:
+        """The injection decision for the ``n``-th ``op`` on ``name``."""
+        return None
+
+
+class SeededFaultInjector(FaultInjector):
+    """Pseudo-random faults at a fixed rate, keyed on (seed, path, op).
+
+    The decision for the ``n``-th operation on a path is a pure function
+    of ``(seed, path name, n, op)``: two runs with the same seed inject
+    the same faults at the same operations regardless of scheduling,
+    wall clock, or how other paths interleave.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+        action: str = "raise",
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.kinds = tuple(kinds)
+        self.action = action
+
+    def decide(self, op: str, name: str, n: int) -> Optional[Fault]:
+        """Deterministic draw: fires when the keyed hash is under rate."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{name}:{n}:{op}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(2 ** 64)
+        if draw >= self.rate:
+            return None
+        kind = self.kinds[digest[8] % len(self.kinds)]
+        # Rename-phase kinds only make sense at a rename; write-phase
+        # kinds only at a write.  A mismatched draw stays silent so the
+        # op mix does not skew which kinds ever fire.
+        if op == "rename" and kind not in (
+            "crash_before_rename", "crash_after_rename"
+        ):
+            return None
+        if op != "rename" and kind in (
+            "crash_before_rename", "crash_after_rename"
+        ):
+            return None
+        return Fault(kind=kind, action=self.action)
+
+
+class CrashPointInjector(FaultInjector):
+    """Fire exactly once: at the ``nth`` matching op on a matching path.
+
+    ``mode`` is ``before`` (die before the operation), ``torn`` (write
+    half the payload, then die — writes only), or ``after`` (die after
+    the operation completed).  ``action='kill'`` delivers a real
+    SIGKILL, which is what the crash-chaos subprocess driver uses.
+    """
+
+    def __init__(
+        self, name_glob: str, op: str, nth: int, mode: str = "before",
+        action: str = "raise",
+    ) -> None:
+        super().__init__()
+        if op not in OPS:
+            raise ValueError(f"unknown op {op!r} (one of {', '.join(OPS)})")
+        if mode not in ("before", "torn", "after"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        self.name_glob = name_glob
+        self.op = op
+        self.nth = nth
+        self.mode = mode
+        self.action = action
+        self.fired = False
+
+    def decide(self, op: str, name: str, n: int) -> Optional[Fault]:
+        """Fire at the configured (glob, op, nth) triple, once."""
+        if self.fired or op != self.op:
+            return None
+        if not fnmatch.fnmatchcase(name, self.name_glob):
+            return None
+        # Counters are per (name, op); the glob may match several names,
+        # each counting independently — first to reach nth fires.
+        if n != self.nth:
+            return None
+        self.fired = True
+        if self.mode == "torn" and op == "write":
+            return Fault(kind="torn", action=self.action)
+        return Fault(kind=self.mode, action=self.action)
+
+    def spec(self) -> str:
+        """The env-var form :func:`injector_from_env` parses."""
+        return f"{self.name_glob}:{self.op}:{self.nth}:{self.mode}"
+
+
+def injector_from_env(
+    environ=None,
+) -> Optional[CrashPointInjector]:
+    """Build the crash-point injector :data:`CRASH_ENV` describes.
+
+    Returns None when the variable is unset; raises ``ValueError`` on a
+    malformed spec (a silently ignored crash point would make the chaos
+    harness vacuously pass).
+    """
+    spec = (environ if environ is not None else os.environ).get(CRASH_ENV)
+    if not spec:
+        return None
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise ValueError(
+            f"{CRASH_ENV}={spec!r}: want <name-glob>:<op>:<nth>:<mode>"
+        )
+    glob, op, nth, mode = parts
+    return CrashPointInjector(
+        glob, op, int(nth), mode=mode, action="kill"
+    )
+
+
+def _die(fault: Fault, op: str, path) -> None:
+    """Deliver a crash decision: SIGKILL for real, or raise the marker."""
+    if fault.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedCrash(op, str(path), fault.kind)
+
+
+def _checked_write(fp, data: bytes, fault: Optional[Fault], path) -> None:
+    """One guarded write: apply the injected failure semantics."""
+    if fault is None:
+        fp.write(data)
+        return
+    if fault.kind == "enospc":
+        raise OSError(
+            errno.ENOSPC, "injected: no space left on device", str(path)
+        )
+    if fault.kind == "eio":
+        raise OSError(errno.EIO, "injected I/O error", str(path))
+    if fault.kind == "torn":
+        # Half the payload reaches the disk, then the write dies: the
+        # on-disk state is genuinely torn, which is the point.
+        fp.write(data[: max(1, len(data) // 2)])
+        fp.flush()
+        try:
+            os.fsync(fp.fileno())
+        except OSError:
+            pass
+        if fault.action == "kill":
+            _die(fault, "write", path)
+        raise OSError(errno.EIO, "injected torn write", str(path))
+    if fault.kind == "before":
+        _die(fault, "write", path)
+    # 'after': complete the write, then die.
+    fp.write(data)
+    fp.flush()
+    try:
+        os.fsync(fp.fileno())
+    except OSError:
+        pass
+    _die(fault, "write", path)
+
+
+def _checked_fsync(fp, fault: Optional[Fault], path) -> None:
+    """One guarded fsync."""
+    if fault is not None:
+        if fault.kind in ("before",):
+            _die(fault, "fsync", path)
+        if fault.kind in ("enospc", "eio"):
+            code = errno.ENOSPC if fault.kind == "enospc" else errno.EIO
+            raise OSError(code, f"injected {fault.kind} at fsync", str(path))
+    os.fsync(fp.fileno())
+    if fault is not None and fault.kind == "after":
+        _die(fault, "fsync", path)
+
+
+def _checked_replace(tmp, path, fault: Optional[Fault]) -> None:
+    """One guarded rename, with crash-before/after-rename semantics."""
+    if fault is not None and fault.kind in ("before", "crash_before_rename"):
+        _die(fault, "rename", path)
+    os.replace(tmp, path)
+    if fault is not None and fault.kind in ("after", "crash_after_rename"):
+        _die(fault, "rename", path)
+
+
+def fsync_dir(path) -> None:
+    """Best-effort directory fsync so a rename survives power loss."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_bytes_atomic(
+    path, data: bytes, injector: Optional[FaultInjector] = None,
+    tmp_prefix: str = ".tmp-",
+) -> None:
+    """Replace ``path`` with ``data`` atomically (temp + fsync + rename).
+
+    An injected write fault leaves at worst an orphaned temp file (which
+    ``fsck`` detects); the destination is only ever touched by the final
+    rename, so readers never see a partial file.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=tmp_prefix, suffix=path.suffix + ".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fault = injector.on_op("write", path) if injector else None
+            _checked_write(fp, data, fault, path)
+            fault = injector.on_op("fsync", path) if injector else None
+            _checked_fsync(fp, fault, path)
+        fault = injector.on_op("rename", path) if injector else None
+        _checked_replace(tmp, path, fault)
+    except InjectedCrash:
+        # A simulated crash leaves the filesystem exactly as-is — that
+        # torn state is what the recovery paths are tested against.
+        raise
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+
+
+def write_text_atomic(
+    path, text: str, injector: Optional[FaultInjector] = None,
+) -> None:
+    """:func:`write_bytes_atomic` for text (UTF-8)."""
+    write_bytes_atomic(path, text.encode("utf-8"), injector=injector)
+
+
+class AppendLog:
+    """A durable line-append handle with fault injection.
+
+    Each :meth:`append_line` writes ``line + '\\n'``, flushes, and
+    fsyncs, so a completed append survives a crash an instant later.
+    Injected faults either prevent the append entirely (``ENOSPC``,
+    ``EIO``, crash-before) or tear the final line (short write, torn
+    crash) — both states the JSONL readers are required to recover
+    from.
+    """
+
+    def __init__(self, path, injector: Optional[FaultInjector] = None) -> None:
+        self.path = pathlib.Path(path)
+        self.injector = injector
+        self._fp = open(self.path, "a", encoding="utf-8", newline="")
+        self._torn = False
+
+    def append_line(self, line: str) -> None:
+        """Durably append one line (no embedded newlines allowed)."""
+        if "\n" in line:
+            raise ValueError("append_line takes a single line")
+        if self._torn:
+            # A previous append tore mid-line and the caller carried on:
+            # terminate the fragment first, or this line would fuse with
+            # it into one unreadable hybrid.  The lone fragment line is
+            # quarantined by the readers; this line survives intact.
+            self._fp.write("\n")
+            self._fp.flush()
+            self._torn = False
+        data = line + "\n"
+        fault = self.injector.on_op("write", self.path) if self.injector \
+            else None
+        if fault is not None and fault.kind == "torn":
+            cut = max(1, len(data) // 2)
+            self._fp.write(data[:cut])
+            self._fp.flush()
+            try:
+                os.fsync(self._fp.fileno())
+            except OSError:
+                pass
+            if fault.action == "kill":
+                _die(fault, "write", self.path)
+            self._torn = True
+            raise OSError(errno.EIO, "injected torn append", str(self.path))
+        if fault is not None:
+            if fault.kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected: no space left on device",
+                    str(self.path),
+                )
+            if fault.kind == "eio":
+                raise OSError(errno.EIO, "injected I/O error", str(self.path))
+            if fault.kind == "before":
+                _die(fault, "write", self.path)
+        self._fp.write(data)
+        self._fp.flush()
+        if fault is not None and fault.kind == "after":
+            try:
+                os.fsync(self._fp.fileno())
+            except OSError:
+                pass
+            _die(fault, "write", self.path)
+        fault = self.injector.on_op("fsync", self.path) if self.injector \
+            else None
+        _checked_fsync(self._fp, fault, self.path)
+
+    def close(self) -> None:
+        """Close the handle (appends already on disk stay there)."""
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+
+def crc32_hex(data: bytes) -> str:
+    """The 8-hex-digit CRC-32 used to frame JSONL records."""
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+__all__ = [
+    "AppendLog",
+    "CRASH_ENV",
+    "CrashPointInjector",
+    "Fault",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "InjectedCrash",
+    "OPS",
+    "SeededFaultInjector",
+    "crc32_hex",
+    "fsync_dir",
+    "injector_from_env",
+    "write_bytes_atomic",
+    "write_text_atomic",
+]

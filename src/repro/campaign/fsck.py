@@ -1,0 +1,398 @@
+"""``repro campaign fsck``: integrity scan and repair for artifacts.
+
+A campaign directory accumulates crash debris by design — the runner is
+crash-only, so a SIGKILL can leave a torn final line in
+``results.jsonl``, an orphaned ``.tmp-*`` file from an interrupted
+atomic rename, or a cache entry that rotted on disk.  ``fsck`` makes
+that debris *visible* and, with ``--repair``, moves it out of the way
+using the same quarantine discipline the stores apply at load time:
+corrupt lines go to the ``quarantine.jsonl`` sidecar, corrupt cache
+entries are deleted (they degrade to misses), orphaned temp files are
+removed, and an unparsable manifest is set aside.  Nothing is ever
+silently dropped.
+
+Severities and exit codes:
+
+- ``info`` findings (legacy unframed records, an interrupted run's
+  non-final manifest, superseded duplicate records) are facts worth
+  reporting that do not make the directory dirty;
+- ``dirty`` findings (torn lines, CRC mismatches, orphans, unparsable
+  JSON) exit :data:`EXIT_DIRTY` — or :data:`EXIT_REPAIRED` when
+  ``--repair`` fixed every one of them;
+- a directory that is not a campaign directory at all (missing or
+  header-less ``results.jsonl``) exits :data:`EXIT_FATAL`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.campaign.faultio import AppendLog, write_text_atomic
+from repro.campaign.store import (
+    MANIFEST_NAME,
+    QUARANTINE_NAME,
+    RESULTS_NAME,
+    SPEC_NAME,
+    StoreError,
+    check_frame,
+    frame_record,
+    load_report,
+)
+
+EXIT_CLEAN = 0
+EXIT_DIRTY = 1
+EXIT_REPAIRED = 2
+EXIT_FATAL = 3
+
+#: A well-formed cache entry file name: 64 hex digits + ``.json``.
+_CACHE_ENTRY_RE = re.compile(r"^[0-9a-f]{64}\.json$")
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One problem (or notable fact) the scan established."""
+
+    #: Which artifact, relative to the scanned directory when possible.
+    path: str
+    #: Machine-readable kind: ``torn-line``, ``crc-mismatch``,
+    #: ``malformed-json``, ``orphan-tmp``, ``cache-corrupt``,
+    #: ``cache-orphan``, ``manifest-corrupt``, ``spec-corrupt``,
+    #: ``unframed``, ``superseded``, ``interrupted``, ``incomplete``.
+    kind: str
+    detail: str
+    #: ``info`` findings never dirty the directory.
+    severity: str = "dirty"
+    lineno: Optional[int] = None
+    repaired: bool = False
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass found and did."""
+
+    out_dir: pathlib.Path
+    findings: List[FsckFinding] = field(default_factory=list)
+    fatal: Optional[str] = None
+
+    @property
+    def dirty(self) -> List[FsckFinding]:
+        """Findings that make (or made) the directory dirty."""
+        return [f for f in self.findings if f.severity == "dirty"]
+
+    @property
+    def repaired(self) -> List[FsckFinding]:
+        """Dirty findings the repair pass fixed."""
+        return [f for f in self.dirty if f.repaired]
+
+    @property
+    def exit_code(self) -> int:
+        """The distinct-exit-code contract (see module docstring)."""
+        if self.fatal is not None:
+            return EXIT_FATAL
+        unfixed = [f for f in self.dirty if not f.repaired]
+        if unfixed:
+            return EXIT_DIRTY
+        if self.repaired:
+            return EXIT_REPAIRED
+        return EXIT_CLEAN
+
+    def render(self) -> str:
+        """Human-readable summary, one line per finding."""
+        lines = [f"fsck {self.out_dir}"]
+        if self.fatal is not None:
+            lines.append(f"  FATAL: {self.fatal}")
+            return "\n".join(lines)
+        for f in self.findings:
+            where = f"{f.path}:{f.lineno}" if f.lineno else f.path
+            mark = "repaired" if f.repaired else f.severity
+            lines.append(f"  [{mark}] {where}: {f.kind} — {f.detail}")
+        if not self.findings:
+            lines.append("  clean")
+        else:
+            unfixed = [f for f in self.dirty if not f.repaired]
+            lines.append(
+                f"  {len(self.dirty)} dirty finding(s), "
+                f"{len(self.repaired)} repaired, {len(unfixed)} remaining"
+            )
+        return "\n".join(lines)
+
+
+def _scan_results(report: FsckReport, out_dir: pathlib.Path,
+                  repair: bool) -> None:
+    results = out_dir / RESULTS_NAME
+    if not results.exists():
+        report.fatal = f"{results}: no results file (not a campaign dir?)"
+        return
+    try:
+        store_report = load_report(results)
+    except StoreError as exc:
+        report.fatal = str(exc)
+        return
+    if store_report.header is None:
+        report.fatal = f"{results}: no header record"
+        return
+    for bad in store_report.quarantined:
+        kind = (
+            "torn-line" if bad.reason == "torn line"
+            else "crc-mismatch" if bad.reason == "CRC mismatch"
+            else "malformed-json"
+        )
+        report.findings.append(FsckFinding(
+            path=RESULTS_NAME, kind=kind, detail=bad.reason,
+            lineno=bad.lineno, repaired=repair,
+        ))
+    if store_report.unframed:
+        report.findings.append(FsckFinding(
+            path=RESULTS_NAME, kind="unframed", severity="info",
+            detail=f"{store_report.unframed} legacy record(s) carry no "
+            f"CRC frame; integrity cannot be vouched for",
+        ))
+    if store_report.superseded:
+        report.findings.append(FsckFinding(
+            path=RESULTS_NAME, kind="superseded", severity="info",
+            detail=f"{store_report.superseded} duplicate record(s) "
+            f"superseded by a later occurrence",
+        ))
+    expected = int(store_report.header.get("cells", 0))
+    if len(store_report.records) < expected:
+        report.findings.append(FsckFinding(
+            path=RESULTS_NAME, kind="incomplete", severity="info",
+            detail=f"{len(store_report.records)}/{expected} cells present "
+            f"(interrupted run; --resume completes it)",
+        ))
+    if repair and store_report.quarantined:
+        log = AppendLog(out_dir / QUARANTINE_NAME)
+        try:
+            for bad in store_report.quarantined:
+                body = {
+                    "type": "quarantine",
+                    "source": RESULTS_NAME,
+                    "lineno": bad.lineno,
+                    "reason": bad.reason,
+                    "raw": bad.raw,
+                }
+                log.append_line(json.dumps(
+                    frame_record(body), sort_keys=True,
+                    separators=(",", ":"),
+                ))
+        finally:
+            log.close()
+        # Rewrite the results file from the surviving raw lines,
+        # byte-exact — fsck must never re-serialize valid records.
+        quarantined = {bad.lineno for bad in store_report.quarantined}
+        survivors = [
+            line
+            for lineno, line in enumerate(
+                results.read_text().splitlines(), 1
+            )
+            if lineno not in quarantined and line.strip()
+        ]
+        write_text_atomic(
+            results, "".join(line + "\n" for line in survivors)
+        )
+
+
+def _scan_manifest(report: FsckReport, out_dir: pathlib.Path,
+                   repair: bool) -> None:
+    manifest = out_dir / MANIFEST_NAME
+    if not manifest.exists():
+        return
+    try:
+        doc = json.loads(manifest.read_text())
+        if not isinstance(doc, dict):
+            raise ValueError("manifest is not an object")
+    except (OSError, ValueError) as exc:
+        repaired = False
+        if repair:
+            manifest.replace(manifest.with_suffix(".json.corrupt"))
+            repaired = True
+        report.findings.append(FsckFinding(
+            path=MANIFEST_NAME, kind="manifest-corrupt",
+            detail=f"unreadable manifest set aside: {exc}"
+            if repaired else f"unreadable manifest: {exc}",
+            repaired=repaired,
+        ))
+        return
+    phase = doc.get("phase", "final")
+    if phase != "final":
+        report.findings.append(FsckFinding(
+            path=MANIFEST_NAME, kind="interrupted", severity="info",
+            detail=f"last manifest phase is {phase!r} "
+            f"(campaign did not finalize)",
+        ))
+
+
+def _scan_spec(report: FsckReport, out_dir: pathlib.Path,
+               repair: bool) -> None:
+    spec = out_dir / SPEC_NAME
+    if not spec.exists():
+        return
+    try:
+        json.loads(spec.read_text())
+    except (OSError, ValueError) as exc:
+        repaired = False
+        if repair:
+            spec.replace(spec.with_suffix(".json.corrupt"))
+            repaired = True
+        report.findings.append(FsckFinding(
+            path=SPEC_NAME, kind="spec-corrupt",
+            detail=f"unreadable spec: {exc}", repaired=repaired,
+        ))
+
+
+def _scan_tmp_orphans(report: FsckReport, root: pathlib.Path,
+                      label: str, repair: bool) -> None:
+    if not root.is_dir():
+        return
+    for tmp in sorted(root.rglob(".tmp-*")):
+        if not tmp.is_file():
+            continue
+        repaired = False
+        if repair:
+            try:
+                tmp.unlink()
+                repaired = True
+            except OSError:
+                pass
+        report.findings.append(FsckFinding(
+            path=f"{label}/{tmp.relative_to(root)}" if label
+            else str(tmp.relative_to(root)),
+            kind="orphan-tmp",
+            detail="temp file orphaned by an interrupted atomic write",
+            repaired=repaired,
+        ))
+
+
+def _scan_cache(report: FsckReport, cache_root: pathlib.Path,
+                repair: bool) -> None:
+    if not cache_root.is_dir():
+        return
+    for entry in sorted(cache_root.rglob("*.json")):
+        rel = entry.relative_to(cache_root)
+        if (
+            not _CACHE_ENTRY_RE.match(entry.name)
+            or len(rel.parts) != 2
+            or entry.name[:2] != rel.parts[0]
+        ):
+            repaired = False
+            if repair:
+                try:
+                    entry.unlink()
+                    repaired = True
+                except OSError:
+                    pass
+            report.findings.append(FsckFinding(
+                path=f"cache/{rel}", kind="cache-orphan",
+                detail="file does not belong to the content-addressed "
+                "layout", repaired=repaired,
+            ))
+            continue
+        bad = None
+        try:
+            framed = json.loads(entry.read_text())
+            if not isinstance(framed, dict):
+                bad = "entry is not a JSON object"
+            elif check_frame(framed) is False:
+                bad = "CRC mismatch"
+            elif check_frame(framed) is None:
+                report.findings.append(FsckFinding(
+                    path=f"cache/{rel}", kind="unframed", severity="info",
+                    detail="legacy cache entry carries no CRC frame",
+                ))
+        except (OSError, ValueError) as exc:
+            bad = f"unreadable: {exc}"
+        if bad is not None:
+            repaired = False
+            if repair:
+                try:
+                    entry.unlink()
+                    repaired = True
+                except OSError:
+                    pass
+            report.findings.append(FsckFinding(
+                path=f"cache/{rel}", kind="cache-corrupt",
+                detail=f"{bad} (a lookup degrades to a miss)",
+                repaired=repaired,
+            ))
+
+
+def _scan_baseline(report: FsckReport, baseline: pathlib.Path) -> None:
+    """Report-only: baselines are pinned by humans, never auto-edited."""
+    if not baseline.exists():
+        report.findings.append(FsckFinding(
+            path=str(baseline), kind="malformed-json",
+            detail="baseline file does not exist",
+        ))
+        return
+    try:
+        base_report = load_report(baseline)
+    except StoreError as exc:
+        report.findings.append(FsckFinding(
+            path=str(baseline), kind="malformed-json", detail=str(exc),
+        ))
+        return
+    for bad in base_report.quarantined:
+        kind = (
+            "torn-line" if bad.reason == "torn line"
+            else "crc-mismatch" if bad.reason == "CRC mismatch"
+            else "malformed-json"
+        )
+        report.findings.append(FsckFinding(
+            path=str(baseline), kind=kind, lineno=bad.lineno,
+            detail=f"{bad.reason} (baselines are never auto-repaired; "
+            f"re-pin with `repro campaign baseline`)",
+        ))
+    if base_report.unframed:
+        report.findings.append(FsckFinding(
+            path=str(baseline), kind="unframed", severity="info",
+            detail=f"{base_report.unframed} legacy record(s) carry no "
+            f"CRC frame",
+        ))
+
+
+def fsck_campaign(
+    out_dir,
+    cache_dir=None,
+    baseline=None,
+    repair: bool = False,
+) -> FsckReport:
+    """Scan (and optionally repair) one campaign directory.
+
+    ``cache_dir`` defaults to ``out_dir/cache``; pass an explicit path
+    for campaigns run with ``--cache-dir``.  ``baseline`` adds a
+    report-only integrity pass over a pinned baseline file.
+    """
+    out_dir = pathlib.Path(out_dir)
+    report = FsckReport(out_dir=out_dir)
+    if not out_dir.is_dir():
+        report.fatal = f"{out_dir}: not a directory"
+        return report
+    _scan_results(report, out_dir, repair)
+    if report.fatal is not None:
+        return report
+    _scan_manifest(report, out_dir, repair)
+    _scan_spec(report, out_dir, repair)
+    cache_root = pathlib.Path(cache_dir) if cache_dir else out_dir / "cache"
+    _scan_tmp_orphans(report, out_dir, "", repair)
+    if not cache_root.resolve().is_relative_to(out_dir.resolve()):
+        # An external --cache-dir is not covered by the out_dir walk.
+        _scan_tmp_orphans(report, cache_root, "cache", repair)
+    _scan_cache(report, cache_root, repair)
+    if baseline is not None:
+        _scan_baseline(report, pathlib.Path(baseline))
+    return report
+
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_DIRTY",
+    "EXIT_FATAL",
+    "EXIT_REPAIRED",
+    "FsckFinding",
+    "FsckReport",
+    "fsck_campaign",
+]

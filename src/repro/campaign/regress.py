@@ -21,14 +21,15 @@ enforces in CI.
 from __future__ import annotations
 
 import fnmatch
+import json
 import pathlib
-import shutil
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.report import ascii_table
+from repro.campaign.faultio import FaultInjector, write_text_atomic
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import StoreError, load_records
+from repro.campaign.store import StoreError, frame_record, load_records
 
 #: Tolerance applied when neither the spec nor the CLI names one: tight
 #: enough to catch any real drift, loose enough to absorb cross-libm
@@ -234,8 +235,17 @@ def diff_files(
     return diff_records(b_records, c_records, tolerances, default)
 
 
-def pin_baseline(results_path, baseline_path) -> pathlib.Path:
-    """Copy a finished run's results as the new pinned baseline."""
+def pin_baseline(
+    results_path, baseline_path,
+    injector: Optional[FaultInjector] = None,
+) -> pathlib.Path:
+    """Pin a finished run's results as the new baseline, atomically.
+
+    The baseline is rewritten from the *loaded* records (CRC-framed,
+    canonical order) rather than byte-copied, so quarantined junk in
+    the source file never gets immortalized in a pinned baseline, and
+    a crash mid-pin leaves the previous baseline intact.
+    """
     header, records = load_records(results_path)
     failed = [r["cell_id"] for r in records if r["status"] != "ok"]
     if failed:
@@ -244,8 +254,17 @@ def pin_baseline(results_path, baseline_path) -> pathlib.Path:
             f"{', '.join(failed[:5])}"
         )
     baseline_path = pathlib.Path(baseline_path)
-    baseline_path.parent.mkdir(parents=True, exist_ok=True)
-    shutil.copyfile(results_path, baseline_path)
+
+    def dump(record: Dict[str, Any]) -> str:
+        return json.dumps(
+            frame_record(record), sort_keys=True, separators=(",", ":")
+        )
+
+    lines = [dump(header)] + [dump(r) for r in records]
+    write_text_atomic(
+        baseline_path, "".join(line + "\n" for line in lines),
+        injector=injector,
+    )
     return baseline_path
 
 

@@ -1,4 +1,4 @@
-"""Parallel campaign execution: process pool, retries, determinism.
+"""Parallel campaign execution: supervised workers, retries, determinism.
 
 The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into an
 ordered list of result records:
@@ -6,24 +6,47 @@ ordered list of result records:
 1. expand the spec into cells;
 2. drop cells already completed by a resumed run (``--resume``);
 3. serve cells whose content address is in the result cache;
-4. execute the rest — inline at ``jobs=1``, else on a
-   ``multiprocessing`` pool whose workers isolate every failure: an
-   exception inside a cell becomes a ``failed`` record with the error
-   captured, never a dead campaign.  Failed cells are retried up to
-   ``retries`` extra attempts *inside* the worker, so a flaky cell
-   costs no extra scheduling round trips.
+4. execute the rest — inline at ``jobs=1``, else on a *supervised*
+   pool of worker processes.
+
+Supervision is what makes hours-long campaigns crash-only.  Workers
+are plain ``multiprocessing`` processes driven through a task queue;
+the parent watches them and recovers from every way a worker can die:
+
+- an exception inside a cell becomes a ``failed`` record with the
+  error captured (retried up to ``retries`` extra attempts *inside*
+  the worker, so a flaky cell costs no extra scheduling round trips);
+- a worker that dies between picking a cell up and reporting it —
+  SIGKILL, OOM kill, segfault — is detected, the cell is requeued
+  (``retries`` covers these deaths too), and a replacement worker is
+  spawned;
+- a worker stuck past the per-cell wall-clock watchdog
+  (``watchdog_s``) is killed and treated exactly like a death;
+- a cell that keeps killing its workers is *quarantined* after its
+  attempts are exhausted: it becomes a deterministic ``failed`` record
+  instead of sinking the campaign;
+- workers orphaned by a SIGKILLed parent notice (their PPID changes)
+  and exit instead of lingering forever on a dead queue.
+
+While running, the parent heartbeats progress into ``manifest.json``
+(journaled, so the previous manifest is never torn) — a resumable
+record of how far the campaign got, refreshed every ``heartbeat_s``.
 
 Because cell execution is pure (metrics depend only on params + seed)
 and the store finalizes records in cell order, the same spec produces a
 byte-identical ``results.jsonl`` at any ``-j`` — and a warm-cache rerun
 reproduces it without recomputing a single cell.  Wall-clock facts
-(durations, speedup, hit rate) go to the manifest and the metrics
-registry only.
+(durations, speedup, hit rate, deaths) go to the manifest and the
+metrics registry only.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pathlib
+import queue as queue_mod
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -31,8 +54,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.cache import ResultCache, cache_key, code_fingerprint
 from repro.campaign.executor import execute_cell, sanitize_metrics
+from repro.campaign.faultio import InjectedCrash
 from repro.campaign.spec import CampaignSpec, Cell
 from repro.campaign.store import ResultStore, result_record
+
+#: Seconds a worker waits on the task queue before re-checking that its
+#: parent is still alive (orphan self-termination cadence).
+WORKER_POLL_S = 0.25
+
+#: Default seconds between journaled progress-manifest heartbeats.
+DEFAULT_HEARTBEAT_S = 2.0
+
+#: Seconds of total silence (no pickups, no results, nothing active,
+#: task queue drained) before the supervisor assumes a task was lost
+#: inside a dying worker and requeues the unaccounted cells.
+STALL_RECHECK_S = 5.0
 
 
 @dataclass
@@ -49,6 +85,14 @@ class CampaignSummary:
     cache_hits: int = 0
     resumed: int = 0
     retries: int = 0
+    #: Worker processes that died (or were watchdog-killed) mid-cell.
+    worker_deaths: int = 0
+    #: Workers killed by the per-cell wall-clock watchdog.
+    watchdog_kills: int = 0
+    #: Cells recorded as failed because they exhausted their workers.
+    quarantined_cells: int = 0
+    #: Corrupt results.jsonl lines quarantined during the resume load.
+    quarantined_lines: int = 0
     wall_s: float = 0.0
     busy_s: float = 0.0
     cell_durations: List[float] = field(default_factory=list)
@@ -64,9 +108,15 @@ class CampaignSummary:
         lookups = self.cache_hits + self.executed
         return self.cache_hits / lookups if lookups else 0.0
 
-    def to_manifest(self) -> Dict[str, Any]:
-        """The manifest document the store persists."""
+    def to_manifest(self, phase: str = "final") -> Dict[str, Any]:
+        """The manifest document the store persists.
+
+        ``phase`` distinguishes the heartbeat snapshots written while
+        the campaign runs (``running``) from the one written after
+        finalize (``final``).
+        """
         return {
+            "phase": phase,
             "name": self.name,
             "spec_hash": self.spec_hash,
             "jobs": self.jobs,
@@ -78,6 +128,10 @@ class CampaignSummary:
             "cache_hit_rate": self.cache_hit_rate,
             "cells_resumed": self.resumed,
             "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "watchdog_kills": self.watchdog_kills,
+            "quarantined_cells": self.quarantined_cells,
+            "quarantined_lines": self.quarantined_lines,
             "wall_s": self.wall_s,
             "busy_s": self.busy_s,
             "speedup": self.speedup,
@@ -115,13 +169,34 @@ class CampaignResult:
 _Task = Tuple[int, str, str, Dict[str, Any], int, Dict[str, Any]]
 
 
+def _apply_test_hooks(params: Dict[str, Any]) -> None:
+    """Deterministic chaos hooks the supervision tests plant in cells.
+
+    ``_test_hang_s`` busy-waits (for watchdog tests); a cell whose
+    ``_test_die_once`` marker file does not exist yet creates it and
+    SIGKILLs its own worker — the requeued attempt finds the marker and
+    proceeds, exercising the death-recovery path end to end.
+    """
+    die_marker = params.get("_test_die_once")
+    if die_marker:
+        marker = pathlib.Path(die_marker)
+        if not marker.exists():
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+    hang = params.get("_test_hang_s")
+    if hang:
+        time.sleep(float(hang))
+
+
 def _attempt_cell(task: _Task):
-    """Run one cell with bounded retries; never raises."""
+    """Run one cell with bounded in-worker retries; never raises."""
     index, cell_id, cell_hash, params, seed, context = task
     retries = int(context.get("retries", 0))
     start = time.monotonic()
     error: Optional[str] = None
     attempts = 0
+    _apply_test_hooks(params)
     for attempt in range(retries + 1):
         attempts = attempt + 1
         try:
@@ -144,6 +219,34 @@ def _attempt_cell(task: _Task):
     )
 
 
+def _worker_main(worker_id: int, task_queue, result_queue,
+                 parent_pid: int) -> None:
+    """Worker loop: pull tasks, announce pickups, report outcomes.
+
+    The pickup announcement is what lets the parent attribute a later
+    death to a specific cell.  The PPID check is the crash-only half of
+    the contract: a worker whose parent was SIGKILLed exits on its own
+    instead of blocking forever on an orphaned queue.
+    """
+    while True:
+        if os.getppid() != parent_pid:
+            return
+        try:
+            task = task_queue.get(timeout=WORKER_POLL_S)
+        except queue_mod.Empty:
+            continue
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        try:
+            result_queue.put(("pickup", worker_id, task[1]))
+            outcome = _attempt_cell(task)
+            result_queue.put(("done", worker_id, outcome))
+        except (EOFError, OSError):
+            return
+
+
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -159,10 +262,17 @@ class CampaignRunner:
         store: where results land (None = in-memory only).
         cache: content-addressed result cache (None = always compute).
         jobs: worker processes; 1 executes inline, no pool.
-        retries: extra attempts per failed cell, inside the worker.
+        retries: extra attempts per failed cell.  Covers both in-worker
+            exceptions (retried inside the worker) and worker-process
+            deaths (the cell is requeued onto a fresh worker).
         repo_root: project root for ``experiment`` cells (defaults to
             the current directory at execution time).
         trace: collect per-cell SessionTracer streams (simulate cells).
+        watchdog_s: per-cell wall-clock budget; a worker busy on one
+            cell for longer is killed and the cell requeued (None
+            disables; ignored at ``jobs=1`` where there is no worker
+            to kill).
+        heartbeat_s: seconds between journaled progress manifests.
     """
 
     def __init__(
@@ -174,11 +284,15 @@ class CampaignRunner:
         retries: int = 0,
         repo_root: Optional[str] = None,
         trace: bool = False,
+        watchdog_s: Optional[float] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ValueError(f"watchdog_s must be > 0, got {watchdog_s}")
         self.spec = spec
         self.store = store
         self.cache = cache
@@ -186,12 +300,12 @@ class CampaignRunner:
         self.retries = retries
         self.repo_root = repo_root
         self.trace = trace
+        self.watchdog_s = watchdog_s
+        self.heartbeat_s = heartbeat_s
 
     # -- internals -------------------------------------------------------------
 
     def _fingerprint(self, cells: List[Cell]) -> str:
-        import pathlib
-
         extra = []
         if any(c.kind == "experiment" for c in cells):
             root = pathlib.Path(self.repo_root or ".") / "benchmarks"
@@ -206,15 +320,225 @@ class CampaignRunner:
             "retries": self.retries,
         }
 
+    def _run_supervised(self, tasks: List[_Task], by_id: Dict[str, Cell],
+                        summary: CampaignSummary, harvest) -> None:
+        """Drive ``tasks`` through supervised workers until accounted.
+
+        Every task ends in exactly one ``harvest`` call: its worker's
+        ``done`` outcome, or a synthesized ``failed`` record when the
+        cell exhausted its workers (quarantine).  The loop survives
+        worker deaths, watchdog kills, and lost-in-a-dying-worker
+        tasks; it raises only if supervision itself stops making
+        progress for an implausibly long time.
+        """
+        ctx = _pool_context()
+        task_queue = ctx.Queue()
+        # Results ride a SimpleQueue on purpose: its put() writes the
+        # pipe synchronously (no feeder thread), so a worker that dies
+        # right after announcing a pickup cannot lose the announcement
+        # in an unflushed buffer — death attribution depends on it.
+        result_queue = ctx.SimpleQueue()
+        state: Dict[str, str] = {}        # cell_id -> queued|active|done
+        deaths: Dict[str, int] = {}
+        task_by_id: Dict[str, _Task] = {}
+        active: Dict[int, Tuple[str, float]] = {}   # wid -> (cell_id, t0)
+        procs: Dict[int, Any] = {}
+        next_wid = 0
+
+        for task in tasks:
+            task_by_id[task[1]] = task
+            state[task[1]] = "queued"
+            task_queue.put(task)
+
+        def spawn() -> None:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(wid, task_queue, result_queue, os.getpid()),
+                daemon=True,
+            )
+            proc.start()
+            procs[wid] = proc
+
+        def fail_cell(cell_id: str, reason: str, duration: float) -> None:
+            cell = by_id[cell_id]
+            summary.quarantined_cells += 1
+            state[cell_id] = "done"
+            harvest((
+                cell.index, cell_id, "failed", {}, reason, duration,
+                deaths.get(cell_id, 1), None,
+            ))
+
+        def cell_died(cell_id: str, watchdog: bool,
+                      duration: float) -> None:
+            """One worker death, attributed: requeue or quarantine."""
+            if state.get(cell_id) == "done":
+                return
+            summary.worker_deaths += 1
+            deaths[cell_id] = deaths.get(cell_id, 0) + 1
+            cause = (
+                f"watchdog: cell exceeded {self.watchdog_s:g}s wall clock; "
+                f"worker killed" if watchdog else "worker process died"
+            )
+            if deaths[cell_id] > self.retries:
+                fail_cell(
+                    cell_id,
+                    f"{cause} (death {deaths[cell_id]} of "
+                    f"{self.retries + 1} allowed attempts); cell "
+                    f"quarantined as poison",
+                    duration,
+                )
+            else:
+                state[cell_id] = "queued"
+                task_queue.put(task_by_id[cell_id])
+
+        #: Death candidates gathered this iteration: a reaped worker's
+        #: active cell, or a pickup announced by an already-reaped
+        #: worker.  A ``done`` for the cell cancels the candidate — the
+        #: worker finished the cell and died idle (or its backlog
+        #: simply drained late).
+        pending_deaths: Dict[str, Tuple[bool, float]] = {}
+
+        def drain() -> bool:
+            """Process every queued worker message; True if any."""
+            progressed = False
+            try:
+                while not result_queue.empty():
+                    kind, wid, payload = result_queue.get()
+                    progressed = True
+                    if kind == "pickup":
+                        if wid in procs:
+                            state[payload] = "active"
+                            active[wid] = (payload, time.monotonic())
+                        else:
+                            # Announced by a worker already reaped: a
+                            # death candidate unless its done follows.
+                            pending_deaths.setdefault(
+                                payload, (False, 0.0)
+                            )
+                    elif kind == "done":
+                        cell_id = payload[1]
+                        pending_deaths.pop(cell_id, None)
+                        if state.get(cell_id) != "done":
+                            state[cell_id] = "done"
+                            harvest(payload)
+                        active.pop(wid, None)
+            except (EOFError, OSError):
+                # A worker died mid-put and corrupted the pipe; the
+                # liveness checks recover the cell.
+                pass
+            return progressed
+
+        for _ in range(min(self.jobs, max(1, len(tasks)))):
+            spawn()
+
+        last_beat = 0.0
+        last_progress = time.monotonic()
+        stall_rounds = 0
+        try:
+            while any(s != "done" for s in state.values()):
+                now = time.monotonic()
+                # 1. Drain every pending worker message.
+                if drain():
+                    last_progress = time.monotonic()
+                else:
+                    time.sleep(0.05)
+                # 2. Watchdog: kill workers stuck past the cell budget.
+                if self.watchdog_s is not None:
+                    for wid, (cell_id, t0) in list(active.items()):
+                        if now - t0 > self.watchdog_s:
+                            proc = procs.get(wid)
+                            if proc is not None and proc.is_alive():
+                                proc.kill()
+                                proc.join(timeout=5.0)
+                            summary.watchdog_kills += 1
+                # 3. Liveness: reap dead workers.  Their active cells
+                # become death candidates, not deaths: a dead worker's
+                # whole message backlog already sits in the pipe, so
+                # one more drain deterministically settles whether a
+                # candidate actually completed before the crash.
+                reaped = False
+                for wid, proc in list(procs.items()):
+                    if not proc.is_alive():
+                        reaped = True
+                        entry = active.pop(wid, None)
+                        procs.pop(wid, None)
+                        if entry is not None:
+                            cell_id, t0 = entry
+                            watchdogged = (
+                                self.watchdog_s is not None
+                                and now - t0 > self.watchdog_s
+                            )
+                            pending_deaths.setdefault(
+                                cell_id, (watchdogged, now - t0)
+                            )
+                        last_progress = time.monotonic()
+                if reaped:
+                    drain()
+                for cell_id, (watchdogged, duration) in (
+                    pending_deaths.items()
+                ):
+                    cell_died(cell_id, watchdogged, duration)
+                pending_deaths.clear()
+                still_needed = sum(
+                    1 for s in state.values() if s != "done"
+                )
+                while len(procs) < min(self.jobs, max(1, still_needed)):
+                    spawn()
+                # 4. Lost-task reconciliation: a worker that died after
+                # task_queue.get() but before announcing its pickup
+                # leaves a cell queued-but-nowhere.  After a silent
+                # stall with idle workers, requeue the unaccounted —
+                # cells are pure, so a duplicate execution is harmless
+                # (first 'done' wins).
+                if (
+                    not active
+                    and time.monotonic() - last_progress > STALL_RECHECK_S
+                ):
+                    stall_rounds += 1
+                    if stall_rounds > 50:
+                        raise RuntimeError(
+                            "campaign supervision stalled: workers alive "
+                            "but no task progress"
+                        )
+                    for cell_id, s in state.items():
+                        if s == "queued":
+                            task_queue.put(task_by_id[cell_id])
+                    last_progress = time.monotonic()
+                # 5. Heartbeat the journaled progress manifest.
+                if (
+                    self.store is not None
+                    and time.monotonic() - last_beat > self.heartbeat_s
+                ):
+                    summary.wall_s = time.monotonic() - self._started
+                    self.store.write_manifest(
+                        summary.to_manifest(phase="running")
+                    )
+                    last_beat = time.monotonic()
+        finally:
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.kill()
+            for proc in procs.values():
+                proc.join(timeout=5.0)
+            task_queue.cancel_join_thread()
+            task_queue.close()
+            result_queue.close()
+
     # -- the run ---------------------------------------------------------------
 
     def run(self, resume: bool = False) -> CampaignResult:
         """Execute the campaign; returns records in cell order.
 
         With ``resume=True`` and a store, cells already completed by a
-        prior run of the *same* spec are kept as-is and not recomputed.
+        prior run of the *same* spec are kept as-is and not recomputed;
+        corrupt lines found in the surviving results file are
+        quarantined (moved to the sidecar, counted in the manifest) and
+        their cells re-run.
         """
-        started = time.monotonic()
+        self._started = time.monotonic()
         cells = self.spec.expand()
         summary = CampaignSummary(
             name=self.spec.name,
@@ -226,6 +550,7 @@ class CampaignRunner:
         completed: Dict[str, Dict[str, Any]] = {}
         if resume and self.store is not None:
             completed = self.store.completed(self.spec)
+            summary.quarantined_lines = len(self.store.last_quarantined)
         summary.resumed = len(completed)
 
         fingerprint = self._fingerprint(cells) if self.cache else ""
@@ -290,25 +615,29 @@ class CampaignRunner:
                     for task in tasks:
                         harvest(_attempt_cell(task))
                 else:
-                    ctx = _pool_context()
-                    chunksize = max(1, len(tasks) // (self.jobs * 4))
-                    with ctx.Pool(processes=self.jobs) as pool:
-                        for outcome in pool.imap_unordered(
-                            _attempt_cell, tasks, chunksize=chunksize
-                        ):
-                            harvest(outcome)
-        except BaseException:
+                    self._run_supervised(tasks, by_id, summary, harvest)
+        except BaseException as exc:
             if self.store is not None:
+                summary.wall_s = time.monotonic() - self._started
                 self.store.abort()
+                if not isinstance(exc, InjectedCrash):
+                    # A simulated process death must leave the directory
+                    # exactly as the crash found it — no parting writes.
+                    try:
+                        self.store.write_manifest(
+                            summary.to_manifest(phase="aborted")
+                        )
+                    except OSError:
+                        pass
             raise
 
         ordered = sorted(records.values(), key=lambda r: r["index"])
         summary.ok = sum(1 for r in ordered if r["status"] == "ok")
         summary.failed = sum(1 for r in ordered if r["status"] == "failed")
-        summary.wall_s = time.monotonic() - started
+        summary.wall_s = time.monotonic() - self._started
         if self.store is not None:
             self.store.finalize(self.spec, ordered)
-            self.store.write_manifest(summary.to_manifest())
+            self.store.write_manifest(summary.to_manifest(phase="final"))
         return CampaignResult(
             summary=summary, records=ordered, traces=traces
         )

@@ -1,6 +1,6 @@
 """Campaign result store: JSONL results, manifest, resume bookkeeping.
 
-A campaign directory holds three files:
+A campaign directory holds these files:
 
 - ``spec.json`` — the spec as resolved, so the directory is
   self-describing;
@@ -8,29 +8,54 @@ A campaign directory holds three files:
   run records are appended in *completion* order (crash-safe progress);
   a finishing run rewrites the file in *cell* order, which is what makes
   the final file byte-identical at any ``-j``;
-- ``manifest.json`` — run statistics (wall clock, cache hits, retries,
-  parallel speedup).  Everything nondeterministic lives here and only
-  here: the results file must never differ between equivalent runs.
+- ``manifest.json`` — run statistics plus the live heartbeat (wall
+  clock, cache hits, retries, worker deaths, progress).  Everything
+  nondeterministic lives here and only here: the results file must
+  never differ between equivalent runs;
+- ``quarantine.jsonl`` — raw lines evicted from ``results.jsonl``
+  because they failed to parse or failed their CRC.  Nothing is ever
+  silently dropped: a corrupt record is moved here and counted.
+
+Every JSONL record is *CRC-framed*: it carries a ``crc`` field holding
+the CRC-32 of its canonical JSON with the ``crc`` key removed.  Framing
+is a pure function of the record's content, so it preserves the
+byte-identity guarantees while letting readers distinguish "torn by a
+crash" from "rotted on disk" anywhere in the file — not just at the
+final line.  Legacy unframed records still load (their integrity simply
+cannot be vouched for; ``fsck`` reports them as unframed).
+
+All writes flow through :mod:`repro.campaign.faultio`: appends are
+flushed and fsynced per record, whole-file rewrites are temp + rename,
+and the manifest is journaled the same way — which is also where the
+deterministic fault injectors plug in.
 
 ``--resume`` loads whatever ``results.jsonl`` survived, checks its
 header's ``spec_hash`` against the current spec (refusing to mix
-campaigns), and replays only the cells without an ``ok`` record.
+campaigns), quarantines any corrupt lines, and replays only the cells
+without an ``ok`` record.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import pathlib
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 
+from repro.campaign.faultio import (
+    AppendLog,
+    FaultInjector,
+    crc32_hex,
+    write_text_atomic,
+)
 from repro.campaign.spec import CampaignSpec, SPEC_SCHEMA_VERSION
 
 RESULTS_NAME = "results.jsonl"
 MANIFEST_NAME = "manifest.json"
 SPEC_NAME = "spec.json"
+QUARANTINE_NAME = "quarantine.jsonl"
 
 
 class StoreError(ReproError):
@@ -68,18 +93,70 @@ def _dump(record: Dict[str, Any]) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
-def load_records(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-    """Read a results/baseline JSONL file: ``(header, result records)``.
+def frame_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach the CRC-32 frame: ``crc`` over the record minus ``crc``.
 
-    Duplicate ``cell_id`` records (a crashed run resumed mid-append)
-    keep the last occurrence.  A missing or malformed header raises.
+    A pure function of the record content, so framed files keep the
+    byte-identity-at-any-``-j`` guarantee.
+    """
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return {**body, "crc": crc32_hex(_dump(body).encode("utf-8"))}
+
+
+def check_frame(record: Dict[str, Any]) -> Optional[bool]:
+    """Frame verdict: True (valid), False (mismatch), None (unframed)."""
+    crc = record.get("crc")
+    if crc is None:
+        return None
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return crc == crc32_hex(_dump(body).encode("utf-8"))
+
+
+def _dump_framed(record: Dict[str, Any]) -> str:
+    return _dump(frame_record(record))
+
+
+@dataclass(frozen=True)
+class QuarantinedLine:
+    """One line evicted from a results file, with why and what."""
+
+    lineno: int
+    reason: str
+    raw: str
+
+
+@dataclass
+class StoreReport:
+    """Everything one pass over a results JSONL file establishes."""
+
+    path: pathlib.Path
+    header: Optional[Dict[str, Any]]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    quarantined: List[QuarantinedLine] = field(default_factory=list)
+    #: Lines that parsed but carried no CRC frame (legacy files).
+    unframed: int = 0
+    #: Duplicate cell_id records superseded by a later occurrence.
+    superseded: int = 0
+    #: True when the final line was torn (counted in ``quarantined``).
+    torn_tail: bool = False
+
+
+def load_report(path) -> StoreReport:
+    """Read a results/baseline JSONL file, quarantining what's corrupt.
+
+    A record anywhere in the file that fails to parse or fails its CRC
+    is quarantined (collected, counted, never silently dropped) instead
+    of aborting the load — a multi-hour campaign must survive a single
+    rotten block.  Duplicate ``cell_id`` records (a crashed run resumed
+    mid-append) keep the last valid occurrence.  Only an unreadable
+    file raises.
     """
     path = pathlib.Path(path)
     try:
         lines = path.read_text().splitlines()
     except OSError as exc:
         raise StoreError(f"cannot read {path}: {exc}") from exc
-    header: Optional[Dict[str, Any]] = None
+    report = StoreReport(path=path, header=None)
     by_id: Dict[str, Dict[str, Any]] = {}
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
@@ -87,26 +164,64 @@ def load_records(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         try:
             record = json.loads(line)
         except ValueError:
-            # A torn final line from a killed run is resumable, not fatal.
-            if lineno == len(lines):
-                continue
-            raise StoreError(f"{path}:{lineno}: malformed JSON")
+            reason = "torn line" if lineno == len(lines) else "malformed JSON"
+            report.quarantined.append(QuarantinedLine(lineno, reason, line))
+            report.torn_tail = report.torn_tail or lineno == len(lines)
+            continue
+        if not isinstance(record, dict):
+            report.quarantined.append(
+                QuarantinedLine(lineno, "not a JSON object", line)
+            )
+            continue
+        verdict = check_frame(record)
+        if verdict is False:
+            report.quarantined.append(
+                QuarantinedLine(lineno, "CRC mismatch", line)
+            )
+            continue
+        if verdict is None:
+            report.unframed += 1
         if record.get("type") == "header":
-            header = record
+            report.header = record
         elif record.get("type") == "result":
+            if record.get("cell_id") in by_id:
+                report.superseded += 1
             by_id[record["cell_id"]] = record
-    if header is None:
+    report.records = sorted(by_id.values(), key=lambda r: r["index"])
+    return report
+
+
+def load_records(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a results/baseline JSONL file: ``(header, result records)``.
+
+    Corrupt lines anywhere are quarantined (see :func:`load_report`);
+    a missing or unreadable header still raises, because without it the
+    file's campaign identity is unknown.
+    """
+    report = load_report(path)
+    if report.header is None:
         raise StoreError(f"{path}: no header record")
-    records = sorted(by_id.values(), key=lambda r: r["index"])
-    return header, records
+    return report.header, report.records
 
 
 class ResultStore:
-    """One campaign directory's files, with append + finalize + resume."""
+    """One campaign directory's files, with append + finalize + resume.
 
-    def __init__(self, out_dir) -> None:
+    ``injector`` (a :class:`~repro.campaign.faultio.FaultInjector`)
+    threads deterministic fault injection through every write this
+    store performs; production runs pass None and pay one ``if`` per
+    operation.
+    """
+
+    def __init__(
+        self, out_dir, injector: Optional[FaultInjector] = None
+    ) -> None:
         self.out_dir = pathlib.Path(out_dir)
-        self._fp = None
+        self.injector = injector
+        self._log: Optional[AppendLog] = None
+        #: Quarantine findings from the last ``completed()`` load; the
+        #: runner copies the count into the manifest.
+        self.last_quarantined: List[QuarantinedLine] = []
 
     @property
     def results_path(self) -> pathlib.Path:
@@ -123,26 +238,39 @@ class ResultStore:
         """Where the resolved spec lives."""
         return self.out_dir / SPEC_NAME
 
+    @property
+    def quarantine_path(self) -> pathlib.Path:
+        """Where corrupt lines evicted from the results file land."""
+        return self.out_dir / QUARANTINE_NAME
+
     # -- resume ----------------------------------------------------------------
 
     def completed(self, spec: CampaignSpec) -> Dict[str, Dict[str, Any]]:
         """``cell_id -> record`` for every prior ``ok`` cell of this spec.
 
-        Raises :class:`StoreError` when the directory holds a different
-        campaign (spec-hash mismatch) — resuming across specs would mix
-        incomparable results.
+        Corrupt lines found on the way are remembered in
+        ``last_quarantined`` (and moved to the quarantine sidecar at
+        :meth:`open` time).  Raises :class:`StoreError` when the
+        directory holds a different campaign (spec-hash mismatch) —
+        resuming across specs would mix incomparable results.
         """
+        self.last_quarantined = []
         if not self.results_path.exists():
             return {}
-        header, records = load_records(self.results_path)
-        if header.get("spec_hash") != spec.spec_hash():
+        report = load_report(self.results_path)
+        if report.header is None:
+            raise StoreError(f"{self.results_path}: no header record")
+        if report.header.get("spec_hash") != spec.spec_hash():
             raise StoreError(
                 f"{self.results_path} belongs to campaign "
-                f"{header.get('name')!r} (spec hash "
-                f"{str(header.get('spec_hash'))[:12]}...); refusing to "
+                f"{report.header.get('name')!r} (spec hash "
+                f"{str(report.header.get('spec_hash'))[:12]}...); refusing to "
                 f"resume {spec.name!r} over it"
             )
-        return {r["cell_id"]: r for r in records if r["status"] == "ok"}
+        self.last_quarantined = report.quarantined
+        return {
+            r["cell_id"]: r for r in report.records if r["status"] == "ok"
+        }
 
     # -- append-as-you-go ------------------------------------------------------
 
@@ -153,59 +281,77 @@ class ResultStore:
         The header and prior completed records land in a temp file that
         is renamed over ``results.jsonl`` only once fully written, so a
         crash at any point leaves either the old resumable file or the
-        new one — never a truncated, header-less file.
+        new one — never a truncated, header-less file.  Corrupt lines
+        the resume load quarantined are appended to the quarantine
+        sidecar before the rewrite drops them from the results file.
         """
         self.out_dir.mkdir(parents=True, exist_ok=True)
         spec.save(self.spec_path)
+        if self.last_quarantined:
+            self._quarantine_lines(self.last_quarantined)
+            self.last_quarantined = []
         self._replace_results(_header(spec, cells), (completed or {}).values())
-        self._fp = open(self.results_path, "a", encoding="utf-8")
+        self._log = AppendLog(self.results_path, injector=self.injector)
 
     def append(self, record: Dict[str, Any]) -> None:
-        """Persist one record immediately (completion order)."""
-        if self._fp is None:
+        """Durably persist one framed record (completion order)."""
+        if self._log is None:
             raise StoreError("store not opened")
-        self._fp.write(_dump(record) + "\n")
-        self._fp.flush()
+        self._log.append_line(_dump_framed(record))
 
-    def _replace_results(self, header: Dict[str, Any],
-                         records) -> None:
-        """Atomically swap in a results file: temp write + rename."""
-        tmp = self.results_path.with_name(RESULTS_NAME + ".tmp")
+    def _quarantine_lines(self, lines: List[QuarantinedLine]) -> None:
+        """Append evicted raw lines to the quarantine sidecar."""
+        log = AppendLog(self.quarantine_path, injector=self.injector)
         try:
-            with open(tmp, "w", encoding="utf-8") as fp:
-                fp.write(_dump(header) + "\n")
-                for record in records:
-                    fp.write(_dump(record) + "\n")
-            os.replace(tmp, self.results_path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            for bad in lines:
+                log.append_line(_dump_framed({
+                    "type": "quarantine",
+                    "source": RESULTS_NAME,
+                    "lineno": bad.lineno,
+                    "reason": bad.reason,
+                    "raw": bad.raw,
+                }))
+        finally:
+            log.close()
+
+    def _replace_results(self, header: Dict[str, Any], records) -> None:
+        """Atomically swap in a results file: temp write + rename."""
+        lines = [_dump_framed(header)]
+        lines.extend(_dump_framed(record) for record in records)
+        write_text_atomic(
+            self.results_path, "".join(line + "\n" for line in lines),
+            injector=self.injector,
+        )
 
     def finalize(self, spec: CampaignSpec,
                  records: List[Dict[str, Any]]) -> None:
         """Rewrite the results file in cell order and close it."""
-        if self._fp is not None:
-            self._fp.close()
-            self._fp = None
+        if self._log is not None:
+            self._log.close()
+            self._log = None
         ordered = sorted(records, key=lambda r: r["index"])
         self._replace_results(_header(spec, len(ordered)), ordered)
 
     def abort(self) -> None:
         """Close the append handle without finalizing (records survive)."""
-        if self._fp is not None:
-            self._fp.close()
-            self._fp = None
+        if self._log is not None:
+            self._log.close()
+            self._log = None
 
     # -- manifest --------------------------------------------------------------
 
     def write_manifest(self, manifest: Dict[str, Any]) -> None:
-        """Persist the (nondeterministic) run statistics."""
+        """Journal the (nondeterministic) run statistics: temp + rename.
+
+        Called both at completion and as the heartbeat during a run, so
+        a reader never sees a half-written manifest — the previous one
+        survives intact until the rename lands.
+        """
         self.out_dir.mkdir(parents=True, exist_ok=True)
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        write_text_atomic(
+            self.manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            injector=self.injector,
         )
 
     def read_manifest(self) -> Dict[str, Any]:
@@ -224,16 +370,20 @@ class ResultStore:
         """Write the merged campaign trace: per-cell SessionTracer streams.
 
         Each record gains a ``cell_id`` field; cells that produced no
-        trace (cache hits, non-simulate kinds) are absent.
+        trace (cache hits, non-simulate kinds) are absent.  The file is
+        written atomically like every other campaign artifact.
         """
-        with open(path, "w", encoding="utf-8") as fp:
-            fp.write(_dump({
-                "type": "campaign-header",
-                "schema_version": SPEC_SCHEMA_VERSION,
-                "name": spec.name,
-                "spec_hash": spec.spec_hash(),
-                "cells_traced": len(cell_traces),
-            }) + "\n")
-            for cell_id, records in cell_traces:
-                for record in records:
-                    fp.write(_dump({**record, "cell_id": cell_id}) + "\n")
+        lines = [_dump({
+            "type": "campaign-header",
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "cells_traced": len(cell_traces),
+        })]
+        for cell_id, records in cell_traces:
+            for record in records:
+                lines.append(_dump({**record, "cell_id": cell_id}))
+        write_text_atomic(
+            path, "".join(line + "\n" for line in lines),
+            injector=self.injector,
+        )

@@ -603,23 +603,32 @@ def _campaign_spec_for(args: argparse.Namespace):
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """``repro campaign run``: execute a sweep, parallel and cached."""
     from repro.campaign.cache import ResultCache
-    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.faultio import injector_from_env
+    from repro.campaign.runner import DEFAULT_HEARTBEAT_S, CampaignRunner
     from repro.campaign.store import ResultStore, StoreError
 
     spec = _campaign_spec_for(args)
     out_dir = pathlib.Path(args.out)
+    # One injector shared by the store and the cache so the crash-chaos
+    # harness sees a single per-artifact operation counter.
+    injector = injector_from_env()
     cache = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(out_dir / "cache")
-        cache = ResultCache(cache_dir)
+        cache = ResultCache(cache_dir, injector=injector)
     runner = CampaignRunner(
         spec,
-        store=ResultStore(out_dir),
+        store=ResultStore(out_dir, injector=injector),
         cache=cache,
         jobs=args.jobs,
         retries=args.retries,
         repo_root=str(pathlib.Path.cwd()),
         trace=bool(args.trace),
+        watchdog_s=args.watchdog,
+        heartbeat_s=(
+            args.heartbeat if args.heartbeat is not None
+            else DEFAULT_HEARTBEAT_S
+        ),
     )
     try:
         result = runner.run(resume=args.resume)
@@ -753,6 +762,44 @@ def cmd_campaign_baseline(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     print(f"[baseline: {path}]")
     return 0
+
+
+def cmd_campaign_fsck(args: argparse.Namespace) -> int:
+    """``repro campaign fsck``: audit (and optionally repair) artifacts.
+
+    Exit codes: 0 clean, 1 dirty (unrepaired findings remain),
+    2 repaired (was dirty, now clean), 3 fatal (artifacts unreadable).
+    """
+    from repro.campaign.fsck import fsck_campaign
+
+    report = fsck_campaign(
+        args.out,
+        cache_dir=args.cache_dir,
+        baseline=args.baseline,
+        repair=args.repair,
+    )
+    print(report.render())
+    return report.exit_code
+
+
+def cmd_campaign_crash_chaos(args: argparse.Namespace) -> int:
+    """``repro campaign crash-chaos``: SIGKILL/resume/compare harness."""
+    from repro.campaign.crashchaos import default_crash_points, run_chaos
+
+    spec = _campaign_spec_for(args)
+    points = None
+    if args.points:
+        points = default_crash_points(len(spec.expand()))[: args.points]
+    report = run_chaos(
+        spec,
+        args.out,
+        jobs=args.jobs,
+        points=points,
+        min_fired=args.min_fired,
+        timeout_s=args.timeout,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -1239,6 +1286,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="OUT.prom",
         help="write campaign metrics (Prometheus text; '.json' for JSON)",
     )
+    pr.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="kill and requeue any cell past this wall-clock budget",
+    )
+    pr.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="progress-manifest interval while running (default 2s)",
+    )
     pr.set_defaults(func=cmd_campaign_run)
 
     ps = campaign_sub.add_parser(
@@ -1268,6 +1323,57 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--out", default="campaign-out")
     pb.add_argument("--baseline", required=True, help="where to pin")
     pb.set_defaults(func=cmd_campaign_baseline)
+
+    pf = campaign_sub.add_parser(
+        "fsck",
+        help="audit campaign artifacts; exit 0 clean / 1 dirty / "
+        "2 repaired / 3 fatal",
+    )
+    pf.add_argument("--out", default="campaign-out")
+    pf.add_argument(
+        "--cache-dir", default=None,
+        help="also scan an external result cache",
+    )
+    pf.add_argument(
+        "--baseline", default=None,
+        help="also verify a pinned baseline (report-only)",
+    )
+    pf.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt records and remove orphaned temp files",
+    )
+    pf.set_defaults(func=cmd_campaign_fsck)
+
+    pc = campaign_sub.add_parser(
+        "crash-chaos",
+        help="SIGKILL a live campaign at seeded I/O points, resume, "
+        "and require byte-identical results",
+    )
+    pc.add_argument("--spec", default=None, help="campaign spec JSON file")
+    pc.add_argument(
+        "--preset", default=None,
+        help="named spec preset (see `repro campaign run --help`)",
+    )
+    pc.add_argument(
+        "--experiments", default=None, metavar="all|paper|ID[,ID...]",
+        help="run indexed experiments as campaign cells",
+    )
+    pc.add_argument("--seed", type=int, default=None)
+    pc.add_argument("--out", default="chaos-out", help="harness work dir")
+    pc.add_argument("-j", "--jobs", type=int, default=2)
+    pc.add_argument(
+        "--points", type=int, default=None,
+        help="cap the crash-point schedule at its first N entries",
+    )
+    pc.add_argument(
+        "--min-fired", type=int, default=10,
+        help="fail unless at least this many points actually killed a run",
+    )
+    pc.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-child wall-clock limit in seconds",
+    )
+    pc.set_defaults(func=cmd_campaign_crash_chaos)
 
     p = sub.add_parser(
         "report", help="recompute the paper's headline constants, pass/fail"

@@ -227,8 +227,19 @@ class SessionTracer(NullTracer):
                 "attrs": evt.attrs,
             }
 
-    def write_jsonl(self, path) -> None:
-        """Serialize the trace to ``path``, one JSON record per line."""
-        with open(path, "w", encoding="utf-8") as fp:
-            for record in self.to_records():
-                fp.write(json.dumps(record, sort_keys=True) + "\n")
+    def write_jsonl(self, path, injector=None) -> None:
+        """Serialize the trace to ``path``, one JSON record per line.
+
+        Written atomically through the campaign durability shim
+        (:func:`repro.campaign.faultio.write_text_atomic`): a crash or
+        an injected I/O fault mid-write leaves the previous trace file
+        (or none), never a torn half-trace that a later ``repro trace
+        summarize`` would misread as a conservation failure.
+        """
+        from repro.campaign.faultio import write_text_atomic
+
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.to_records()
+        )
+        write_text_atomic(path, text, injector=injector)

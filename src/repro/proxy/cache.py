@@ -12,14 +12,26 @@ Counters (hits/misses/evictions/bytes) are plain integers that a
 :class:`~repro.observability.metrics.MetricsRegistry` can export; pass
 ``metrics=`` to have the cache keep the registry's
 ``proxy_cache_*_total`` counters and ``proxy_cache_bytes`` gauge live.
+
+A long-running proxy can :meth:`~LruByteCache.snapshot` its contents to
+disk and :meth:`~LruByteCache.restore` them on the next start, warm
+instead of cold.  Snapshots go through the campaign durability shim
+(:mod:`repro.campaign.faultio`): the file is CRC-framed JSONL written
+atomically, and a restore quarantines (skips and counts) any entry that
+fails parse or CRC instead of poisoning the cache — the same crash-only
+contract the campaign stores keep.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple
 
 from repro.errors import ModelError
+
+#: Bumped when the snapshot record shape changes; readers refuse others.
+SNAPSHOT_SCHEMA_VERSION = 1
 
 #: Default budget: generous for the test corpora, bounded for a service.
 DEFAULT_CACHE_BUDGET_BYTES = 64 * 1024 * 1024
@@ -118,6 +130,101 @@ class LruByteCache:
         for key in [k for k in self._entries if k and k[0] == head]:
             self.discard(key)
 
+    # -- persistence -----------------------------------------------------------
+
+    def snapshot(
+        self,
+        path,
+        encode: Callable[[object], object],
+        injector=None,
+    ) -> int:
+        """Persist every entry to ``path`` as CRC-framed JSONL.
+
+        Entries are written least- to most-recently used so a restore
+        replays them in recency order.  ``encode(value)`` must return a
+        JSON-serializable form.  The write is atomic: a crash or an
+        injected fault leaves the previous snapshot (or none), never a
+        torn one.  Returns the number of entries written.
+        """
+        from repro.campaign.faultio import write_text_atomic
+        from repro.campaign.store import frame_record
+
+        def dump(record) -> str:
+            return json.dumps(
+                frame_record(record), sort_keys=True, separators=(",", ":")
+            )
+
+        lines = [dump({
+            "type": "header",
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "entries": len(self._entries),
+            "budget_bytes": self.budget_bytes,
+        })]
+        for key, value in self._entries.items():
+            lines.append(dump({
+                "type": "entry",
+                "key": list(key),
+                "value": encode(value),
+            }))
+        write_text_atomic(
+            path, "".join(line + "\n" for line in lines), injector=injector,
+        )
+        return len(self._entries)
+
+    def restore(
+        self,
+        path,
+        decode: Callable[[object], object],
+        injector=None,
+    ) -> Tuple[int, int]:
+        """Load a snapshot into the cache: ``(loaded, quarantined)``.
+
+        Corrupt lines — unparsable JSON, CRC mismatches, wrong schema —
+        are skipped and counted, never silently absorbed; the rest are
+        :meth:`put` in snapshot order, so recency survives and entries
+        that no longer fit the budget evict exactly as live inserts
+        would.  A missing file restores nothing (cold start).
+        """
+        from repro.campaign.store import check_frame
+
+        try:
+            lines = open(path, "r", encoding="utf-8").read().splitlines()
+        except OSError:
+            return 0, 0
+        loaded = 0
+        quarantined = 0
+        header_ok = False
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("snapshot line is not an object")
+            except ValueError:
+                quarantined += 1
+                continue
+            if check_frame(record) is False:
+                quarantined += 1
+                continue
+            if record.get("type") == "header":
+                header_ok = (
+                    record.get("schema_version") == SNAPSHOT_SCHEMA_VERSION
+                )
+                continue
+            if not header_ok or record.get("type") != "entry":
+                quarantined += 1
+                continue
+            try:
+                value = decode(record["value"])
+                key = tuple(record["key"])
+            except Exception:
+                quarantined += 1
+                continue
+            self.put(key, value)
+            loaded += 1
+        return loaded, quarantined
+
     def _count(self, name: str, help_text: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(name, help_text).inc()
@@ -132,4 +239,8 @@ class LruByteCache:
             ).set(len(self._entries))
 
 
-__all__ = ["DEFAULT_CACHE_BUDGET_BYTES", "LruByteCache"]
+__all__ = [
+    "DEFAULT_CACHE_BUDGET_BYTES",
+    "LruByteCache",
+    "SNAPSHOT_SCHEMA_VERSION",
+]

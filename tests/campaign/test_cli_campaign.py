@@ -7,7 +7,7 @@ import pytest
 from repro.cli import main
 from repro.observability import MetricsRegistry
 
-from tests.campaign.test_runner import small_spec
+from tests.campaign.test_runner import reframe_results, small_spec
 
 
 @pytest.fixture()
@@ -146,6 +146,7 @@ class TestCampaignDiffAndBaseline:
                 '"size_floor_bytes":3900', '"size_floor_bytes":3907'
             )
         )
+        reframe_results(results)
         capsys.readouterr()
         assert main([
             "campaign", "diff", "--out", str(out),
@@ -167,6 +168,7 @@ class TestCampaignDiffAndBaseline:
                 '"size_floor_bytes":3900', '"size_floor_bytes":3907'
             )
         )
+        reframe_results(results)
         assert main([
             "campaign", "diff", "--out", str(out),
             "--baseline", str(baseline), "--rel", "0.01",

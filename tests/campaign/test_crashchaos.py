@@ -1,0 +1,132 @@
+"""The crash-chaos harness: real SIGKILLs, byte-identical recovery.
+
+The full schedule runs in CI (``make crash-chaos``); these tests keep a
+bounded slice — the schedule generator, the verdict logic, and a live
+three-point kill/resume/compare cycle through real subprocesses.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.crashchaos import (
+    ChaosOutcome,
+    ChaosReport,
+    default_crash_points,
+    run_chaos,
+)
+from repro.cli import main
+
+from tests.campaign.test_runner import small_spec
+
+
+class TestSchedule:
+    def test_at_least_ten_unique_points(self):
+        points = default_crash_points(7)
+        assert len(points) == len(set(points)) >= 10
+
+    def test_points_are_parsable_crash_specs(self):
+        from repro.campaign.faultio import CRASH_ENV, injector_from_env
+
+        for point in default_crash_points(5):
+            injector = injector_from_env({CRASH_ENV: point})
+            assert injector is not None and injector.action == "kill"
+
+    def test_schedule_covers_appends_and_both_renames(self):
+        points = default_crash_points(4)
+        ops = {tuple(p.split(":")[:3]) for p in points}
+        assert ("results.jsonl", "rename", "1") in ops
+        assert ("results.jsonl", "rename", "2") in ops
+        assert ("manifest.json", "write", "1") in ops
+        # The append path: op 1 is the open rewrite, 2.. are appends.
+        assert {("results.jsonl", "write", str(n)) for n in (1, 2, 3)} \
+            <= ops
+
+
+class TestVerdict:
+    def outcome(self, fired, survived):
+        return ChaosOutcome(point="p", fired=fired, survived=survived)
+
+    def test_pass_needs_enough_fired_and_all_survived(self):
+        report = ChaosReport(spec_path="s", min_fired=2)
+        report.outcomes = [self.outcome(True, True)] * 2 + [
+            self.outcome(False, False)
+        ]
+        assert report.ok
+        report.min_fired = 3
+        assert not report.ok
+
+    def test_one_failed_point_fails_the_harness(self):
+        report = ChaosReport(spec_path="s", min_fired=1)
+        report.outcomes = [
+            self.outcome(True, True), self.outcome(True, False),
+        ]
+        assert not report.ok
+        assert "FAIL" in report.render()
+
+    def test_fatal_reference_fails(self):
+        report = ChaosReport(spec_path="s", fatal="reference run exploded")
+        assert not report.ok
+        assert "FATAL" in report.render()
+
+
+class TestLiveChaos:
+    def test_kill_resume_compare_over_three_points(self, tmp_path):
+        report = run_chaos(
+            small_spec(),
+            tmp_path / "chaos",
+            jobs=2,
+            points=[
+                "results.jsonl:write:1:before",   # open rewrite dies
+                "results.jsonl:write:3:torn",     # an append tears
+                "results.jsonl:rename:2:before",  # finalize dies
+            ],
+            min_fired=3,
+        )
+        assert report.ok, report.render()
+        assert all(o.fired and o.survived for o in report.outcomes)
+        # The harness leaves auditable evidence: reference + per-point
+        # directories whose results are byte-identical.
+        reference = (
+            tmp_path / "chaos" / "reference" / "results.jsonl"
+        ).read_bytes()
+        for i in range(3):
+            point_dir = tmp_path / "chaos" / f"point-{i:02d}"
+            assert (point_dir / "results.jsonl").read_bytes() == reference
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        small_spec().save(spec_path)
+        code = main([
+            "campaign", "crash-chaos", "--spec", str(spec_path),
+            "--out", str(tmp_path / "chaos"),
+            "--points", "2", "--min-fired", "2", "-j", "2",
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0, stdout
+        assert "PASS" in stdout
+
+
+class TestFsckCli:
+    def test_fsck_exit_codes_through_main(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        small_spec().save(spec_path)
+        out = tmp_path / "out"
+        main([
+            "campaign", "run", "--spec", str(spec_path), "--out", str(out),
+        ])
+        capsys.readouterr()
+        assert main(["campaign", "fsck", "--out", str(out)]) == 0
+
+        results = out / "results.jsonl"
+        lines = results.read_text().splitlines(keepends=True)
+        lines[2] = lines[2].replace('"ok"', '"OK"')
+        results.write_text("".join(lines))
+        assert main(["campaign", "fsck", "--out", str(out)]) == 1
+        assert main(
+            ["campaign", "fsck", "--out", str(out), "--repair"]
+        ) == 2
+        assert main(["campaign", "fsck", "--out", str(out)]) == 0
+        assert main(
+            ["campaign", "fsck", "--out", str(tmp_path / "missing")]
+        ) == 3

@@ -1,0 +1,255 @@
+"""The fault-injecting I/O shim: determinism, crash semantics, atomicity.
+
+The contract under test:
+
+- injection decisions are pure functions of (seed, path name, per-path
+  op counter) — never wall clock, never cross-path interleaving;
+- an atomic write leaves either the old file or the new file, plus at
+  worst an orphaned temp file;
+- an append either lands durably, fails with a typed ``OSError``, or
+  tears exactly the final line.
+"""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.campaign.faultio import (
+    AppendLog,
+    CRASH_ENV,
+    CrashPointInjector,
+    FAULT_KINDS,
+    InjectedCrash,
+    SeededFaultInjector,
+    crc32_hex,
+    injector_from_env,
+    write_bytes_atomic,
+)
+
+
+class TestSeededInjector:
+    def schedule(self, injector, ops):
+        return [injector.on_op(op, path) for op, path in ops]
+
+    def test_same_seed_same_schedule(self):
+        ops = [("write", f"results-{i % 3}.jsonl") for i in range(200)]
+        a = self.schedule(SeededFaultInjector(seed=7, rate=0.3), ops)
+        b = self.schedule(SeededFaultInjector(seed=7, rate=0.3), ops)
+        assert a == b
+        assert any(f is not None for f in a)
+
+    def test_interleaving_other_paths_does_not_shift_decisions(self):
+        # Path X's n-th write must get the same verdict no matter how
+        # many operations on other paths happen in between.
+        alone = SeededFaultInjector(seed=3, rate=0.25)
+        mixed = SeededFaultInjector(seed=3, rate=0.25)
+        solo = [alone.on_op("write", "x.jsonl") for _ in range(50)]
+        interleaved = []
+        for i in range(50):
+            for _ in range(i % 4):
+                mixed.on_op("write", f"noise-{i}.json")
+                mixed.on_op("rename", "noise.json")
+            interleaved.append(mixed.on_op("write", "x.jsonl"))
+        assert solo == interleaved
+
+    def test_directory_prefix_is_ignored(self):
+        # Decisions key on the file *name*: the same artifact relocated
+        # to another campaign directory replays the same schedule.
+        a = SeededFaultInjector(seed=11, rate=0.5)
+        b = SeededFaultInjector(seed=11, rate=0.5)
+        assert [a.on_op("write", "/tmp/one/r.jsonl") for _ in range(30)] == \
+            [b.on_op("write", "/data/two/r.jsonl") for _ in range(30)]
+
+    def test_rate_zero_never_fires_rate_one_always_decides(self):
+        quiet = SeededFaultInjector(seed=0, rate=0.0)
+        assert all(
+            quiet.on_op("write", "f") is None for _ in range(100)
+        )
+        loud = SeededFaultInjector(seed=0, rate=1.0, kinds=("eio",))
+        # Write-phase kind at write ops: every draw fires.
+        assert all(
+            loud.on_op("write", "f") is not None for _ in range(100)
+        )
+
+    def test_kind_phase_separation(self):
+        # Rename ops only ever draw rename-phase kinds and vice versa.
+        inj = SeededFaultInjector(seed=5, rate=1.0)
+        for _ in range(100):
+            fault = inj.on_op("rename", "f")
+            if fault is not None:
+                assert fault.kind in (
+                    "crash_before_rename", "crash_after_rename"
+                )
+            fault = inj.on_op("write", "f")
+            if fault is not None:
+                assert fault.kind in ("enospc", "eio", "torn")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            SeededFaultInjector(seed=0, rate=1.5)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            SeededFaultInjector(seed=0, rate=0.1, kinds=("sunspots",))
+        assert set(FAULT_KINDS) >= {"enospc", "eio", "torn"}
+
+
+class TestCrashPointInjector:
+    def test_fires_exactly_once_at_nth(self):
+        inj = CrashPointInjector("results.jsonl", "write", 3)
+        hits = [
+            inj.on_op("write", "/any/dir/results.jsonl") for _ in range(6)
+        ]
+        assert [f is not None for f in hits] == [
+            False, False, True, False, False, False
+        ]
+
+    def test_glob_matches_but_counters_stay_per_name(self):
+        inj = CrashPointInjector("*.jsonl", "write", 2)
+        assert inj.on_op("write", "a.jsonl") is None
+        assert inj.on_op("write", "b.jsonl") is None
+        # a.jsonl reaches its 2nd write first and fires.
+        assert inj.on_op("write", "a.jsonl") is not None
+        assert inj.on_op("write", "b.jsonl") is None
+
+    def test_spec_round_trips_through_env(self):
+        inj = CrashPointInjector("results.jsonl", "rename", 2, mode="after")
+        rebuilt = injector_from_env({CRASH_ENV: inj.spec()})
+        assert (rebuilt.name_glob, rebuilt.op, rebuilt.nth, rebuilt.mode) \
+            == ("results.jsonl", "rename", 2, "after")
+        assert rebuilt.action == "kill"
+
+    def test_env_unset_is_none_malformed_raises(self):
+        assert injector_from_env({}) is None
+        with pytest.raises(ValueError, match="want"):
+            injector_from_env({CRASH_ENV: "results.jsonl:write:1"})
+        with pytest.raises(ValueError, match="unknown op"):
+            injector_from_env({CRASH_ENV: "f:scribble:1:before"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            CrashPointInjector("f", "write", 1, mode="sideways")
+        with pytest.raises(ValueError, match="nth"):
+            CrashPointInjector("f", "write", 0)
+
+
+class TestAtomicWrite:
+    def test_crash_before_rename_keeps_old_content(self, tmp_path):
+        target = tmp_path / "data.json"
+        write_bytes_atomic(target, b'{"v":1}')
+        inj = CrashPointInjector("data.json", "rename", 1, mode="before")
+        with pytest.raises(InjectedCrash):
+            write_bytes_atomic(target, b'{"v":2}', injector=inj)
+        assert target.read_bytes() == b'{"v":1}'
+        # The interrupted write leaves its temp file for fsck to find.
+        assert list(tmp_path.glob(".tmp-*"))
+
+    def test_crash_after_rename_keeps_new_content(self, tmp_path):
+        target = tmp_path / "data.json"
+        write_bytes_atomic(target, b'{"v":1}')
+        inj = CrashPointInjector("data.json", "rename", 1, mode="after")
+        with pytest.raises(InjectedCrash):
+            write_bytes_atomic(target, b'{"v":2}', injector=inj)
+        assert target.read_bytes() == b'{"v":2}'
+
+    def test_enospc_is_typed_and_cleans_its_temp(self, tmp_path):
+        target = tmp_path / "data.json"
+        write_bytes_atomic(target, b'{"v":1}')
+        inj = SeededFaultInjector(seed=0, rate=1.0, kinds=("enospc",))
+        with pytest.raises(OSError) as err:
+            write_bytes_atomic(target, b'{"v":2}', injector=inj)
+        assert err.value.errno == errno.ENOSPC
+        assert target.read_bytes() == b'{"v":1}'
+        # Non-crash failures tidy up: no orphaned temp files.
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_torn_write_never_exposes_partial_destination(self, tmp_path):
+        target = tmp_path / "data.json"
+        inj = CrashPointInjector("data.json", "write", 1, mode="torn")
+        with pytest.raises(OSError) as err:
+            write_bytes_atomic(target, b'{"v":2}', injector=inj)
+        assert err.value.errno == errno.EIO
+        # The torn bytes only ever reached the temp file — which the
+        # typed-failure path tidied away — never the destination.
+        assert not target.exists()
+        assert not list(tmp_path.glob(".tmp-*"))
+
+
+class TestAppendLog:
+    def append_all(self, path, lines, injector=None):
+        log = AppendLog(path, injector=injector)
+        outcomes = []
+        try:
+            for line in lines:
+                try:
+                    log.append_line(line)
+                    outcomes.append("ok")
+                except OSError as exc:
+                    outcomes.append(exc.errno)
+                except InjectedCrash:
+                    outcomes.append("crash")
+                    break
+        finally:
+            log.close()
+        return outcomes
+
+    def test_plain_appends_are_durable_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert self.append_all(path, ["a", "b"]) == ["ok", "ok"]
+        assert path.read_text() == "a\nb\n"
+
+    def test_torn_append_tears_only_the_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        inj = CrashPointInjector("log.jsonl", "write", 2, mode="torn")
+        outcomes = self.append_all(
+            path, ["first-line", "second-line", "third-line"], inj
+        )
+        assert outcomes[0] == "ok" and outcomes[1] == errno.EIO
+        text = path.read_text()
+        assert text.startswith("first-line\n")
+        # The torn half is present but incomplete; nothing after it.
+        assert "second-line" not in text
+        assert "third-line\n" in text  # later appends still work
+
+    def test_enospc_appends_nothing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        inj = SeededFaultInjector(seed=1, rate=1.0, kinds=("enospc",))
+        outcomes = self.append_all(path, ["line"], inj)
+        assert outcomes == [errno.ENOSPC]
+        assert path.read_text() == ""
+
+    def test_crash_after_append_keeps_the_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        inj = CrashPointInjector("log.jsonl", "write", 1, mode="after")
+        inj_raise = inj  # action defaults to raise
+        outcomes = self.append_all(path, ["line", "never"], inj_raise)
+        assert outcomes == ["crash"]
+        assert path.read_text() == "line\n"
+
+    def test_embedded_newline_rejected(self, tmp_path):
+        log = AppendLog(tmp_path / "log.jsonl")
+        try:
+            with pytest.raises(ValueError, match="single line"):
+                log.append_line("two\nlines")
+        finally:
+            log.close()
+
+
+class TestCrc:
+    def test_stable_and_hexadecimal(self):
+        assert crc32_hex(b"") == "00000000"
+        assert crc32_hex(b"campaign") == crc32_hex(b"campaign")
+        assert len(crc32_hex(json.dumps({"a": 1}).encode())) == 8
+
+    def test_injected_crash_escapes_except_exception(self):
+        # The whole point of subclassing BaseException: production
+        # error handling must not be able to swallow a simulated death.
+        with pytest.raises(InjectedCrash):
+            try:
+                raise InjectedCrash("write", "results.jsonl", "before")
+            except Exception:  # noqa: BLE001 - the clause under test
+                pytest.fail("InjectedCrash must not be an Exception")
+
+    def test_crash_env_matches_os_environ_contract(self):
+        assert CRASH_ENV == "REPRO_FAULTIO_CRASH"
+        assert os.environ.get(CRASH_ENV) is None

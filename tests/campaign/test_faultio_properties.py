@@ -1,0 +1,150 @@
+"""Property suite: no injected fault may ever corrupt a store silently.
+
+Each property drives a real persistence path (append log, atomic
+rewrite, result cache, full store lifecycle) under a
+:class:`~repro.campaign.faultio.SeededFaultInjector` and asserts the
+crash-only contract: every injected fault surfaces as a typed error
+(``OSError`` or :class:`~repro.campaign.faultio.InjectedCrash`) or
+leaves the artifact readable — and anything that *does* read back is
+byte-for-byte something we actually wrote.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.faultio import (
+    AppendLog,
+    InjectedCrash,
+    SeededFaultInjector,
+    write_text_atomic,
+)
+from repro.campaign.store import ResultStore, check_frame, load_report
+
+from tests.campaign.test_runner import small_spec
+
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+rates = st.floats(min_value=0.05, max_value=0.6)
+
+#: Typed outcomes a faulted operation is allowed to produce.
+TYPED = (OSError, InjectedCrash)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, rate=rates, n=st.integers(min_value=1, max_value=10))
+def test_append_log_tears_at_most_the_final_line(tmp_path_factory, seed,
+                                                 rate, n):
+    path = tmp_path_factory.mktemp("prop") / "log.jsonl"
+    wanted = [json.dumps({"i": i, "seed": seed}) for i in range(n)]
+    injector = SeededFaultInjector(seed=seed, rate=rate)
+    log = AppendLog(path, injector=injector)
+    landed = []
+    try:
+        for line in wanted:
+            try:
+                log.append_line(line)
+                landed.append(line)
+            except TYPED:
+                continue
+    finally:
+        log.close()
+    raw = path.read_text()
+    complete = raw.splitlines()
+    if raw and not raw.endswith("\n"):
+        # At most the final line may be torn — and a torn line is a
+        # strict prefix of a line we attempted, never invented bytes.
+        torn = complete.pop()
+        assert any(line.startswith(torn) for line in wanted)
+    # Every complete line is either a line we wrote or a terminated
+    # torn fragment (a strict prefix of a line we attempted, left for
+    # the reader to quarantine) — never fused hybrids, never invented
+    # bytes.
+    for line in complete:
+        assert line in wanted or any(
+            w.startswith(line) and w != line for w in wanted
+        )
+    # Every append that reported success is present, in write order.
+    survivors = [line for line in complete if line in landed]
+    assert survivors == landed
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, rate=rates)
+def test_atomic_write_is_all_or_nothing(tmp_path_factory, seed, rate):
+    path = tmp_path_factory.mktemp("prop") / "state.json"
+    versions = [json.dumps({"v": v, "pad": "x" * 64}) for v in range(6)]
+    write_text_atomic(path, versions[0])
+    injector = SeededFaultInjector(seed=seed, rate=rate)
+    for text in versions[1:]:
+        try:
+            write_text_atomic(path, text, injector=injector)
+        except TYPED:
+            pass
+        # Invariant after every attempt, failed or not: the file holds
+        # exactly one full version — never a blend, never a tear.
+        assert path.read_text() in versions
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, rate=rates)
+def test_cache_round_trip_never_returns_garbage(tmp_path_factory, seed,
+                                                rate):
+    root = tmp_path_factory.mktemp("prop") / "cache"
+    injector = SeededFaultInjector(seed=seed, rate=rate)
+    cache = ResultCache(root, injector=injector)
+    known = {}
+    for i in range(8):
+        key = f"{i:02d}" + "ab" * 31  # 64 hex chars
+        record = {"type": "result", "index": i, "cell_id": f"c{i}",
+                  "status": "ok", "metrics": {"x": float(i)}}
+        try:
+            cache.store(key, record)
+            known[key] = record
+        except TYPED:
+            continue
+    clean = ResultCache(root)  # read back without injection
+    for key, record in known.items():
+        got = clean.lookup(key)
+        # A store() that returned success must read back exactly, or —
+        # if a *later* fault rotted the entry — degrade to a miss.
+        assert got is None or got == record
+    assert clean.lookup("ff" + "cd" * 31) is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, rate=st.floats(min_value=0.02, max_value=0.25))
+def test_store_lifecycle_survives_any_fault_schedule(tmp_path_factory,
+                                                     seed, rate):
+    out = tmp_path_factory.mktemp("prop") / "campaign"
+    spec = small_spec()
+    cells = spec.expand()
+    records = [
+        {"type": "result", "index": c.index, "cell_id": c.cell_id,
+         "cell_hash": c.cell_hash, "seed": c.seed, "params": c.params,
+         "status": "ok", "metrics": {"m": float(c.index)}, "error": None}
+        for c in cells
+    ]
+    injector = SeededFaultInjector(seed=seed, rate=rate)
+    store = ResultStore(out, injector=injector)
+    try:
+        store.open(spec, len(cells))
+        for record in records:
+            store.append(record)
+        store.finalize(spec, records)
+    except TYPED:
+        store.abort()
+    if not store.results_path.exists():
+        return  # the very first write failed; nothing to corrupt
+    # Whatever survived must load without error, and every surviving
+    # record must be framed-valid and byte-equal to one we produced.
+    report = load_report(store.results_path)
+    wanted = {r["cell_id"]: r for r in records}
+    for record in report.records:
+        assert check_frame(record) is True
+        body = {k: v for k, v in record.items() if k != "crc"}
+        assert body == wanted[record["cell_id"]]
+    # Quarantined lines are the fault injector's torn appends — each a
+    # prefix of a line we attempted, never fabricated content.
+    for bad in report.quarantined:
+        assert bad.reason in ("torn line", "malformed JSON")

@@ -1,0 +1,227 @@
+"""``repro campaign fsck``: findings, exit codes, repair discipline.
+
+The contract: fsck makes crash debris visible with distinct exit codes
+(0 clean / 1 dirty / 2 repaired / 3 fatal), repair moves corruption to
+the quarantine sidecar without ever re-serializing a valid record, and
+``info`` findings (legacy unframed files, interrupted runs) never dirty
+the directory.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.fsck import (
+    EXIT_CLEAN,
+    EXIT_DIRTY,
+    EXIT_FATAL,
+    EXIT_REPAIRED,
+    fsck_campaign,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore
+
+from tests.campaign.test_runner import small_spec
+from tests.campaign.test_store import corrupt_line
+
+
+def run_small(tmp_path, cache=None):
+    store = ResultStore(tmp_path / "run")
+    CampaignRunner(small_spec(), store=store, cache=cache).run()
+    return store
+
+
+def kinds(report):
+    return [f.kind for f in report.findings]
+
+
+class TestCleanAndFatal:
+    def test_pristine_campaign_is_clean(self, tmp_path):
+        store = run_small(tmp_path)
+        report = fsck_campaign(store.out_dir)
+        assert report.exit_code == EXIT_CLEAN
+        assert "clean" in report.render()
+
+    def test_missing_directory_is_fatal(self, tmp_path):
+        report = fsck_campaign(tmp_path / "nope")
+        assert report.exit_code == EXIT_FATAL
+
+    def test_directory_without_results_is_fatal(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        report = fsck_campaign(tmp_path / "empty")
+        assert report.exit_code == EXIT_FATAL
+        assert "FATAL" in report.render()
+
+    def test_headerless_results_is_fatal(self, tmp_path):
+        store = run_small(tmp_path)
+        corrupt_line(store.results_path, 1, lambda s: "{rotten\n")
+        assert fsck_campaign(store.out_dir).exit_code == EXIT_FATAL
+
+
+class TestDirtyFindings:
+    def test_mid_file_corruption_is_dirty(self, tmp_path):
+        store = run_small(tmp_path)
+        corrupt_line(
+            store.results_path, 3, lambda s: s.replace('"ok"', '"OK"')
+        )
+        report = fsck_campaign(store.out_dir)
+        assert report.exit_code == EXIT_DIRTY
+        finding = report.dirty[0]
+        assert (finding.kind, finding.lineno) == ("crc-mismatch", 3)
+
+    def test_orphan_tmp_is_dirty(self, tmp_path):
+        store = run_small(tmp_path)
+        (store.out_dir / ".tmp-abc123.json.tmp").write_text("debris")
+        report = fsck_campaign(store.out_dir)
+        assert kinds(report) == ["orphan-tmp"]
+        assert report.exit_code == EXIT_DIRTY
+
+    def test_corrupt_cache_entry_and_orphan(self, tmp_path):
+        from repro.campaign.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "run" / "cache")
+        store = run_small(tmp_path, cache=cache)
+        entry = next((store.out_dir / "cache").rglob("*.json"))
+        entry.write_text(entry.read_text()[:-4])
+        stray = store.out_dir / "cache" / "aa" / "not-a-key.json"
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text("{}")
+        report = fsck_campaign(store.out_dir)
+        assert sorted(kinds(report)) == ["cache-corrupt", "cache-orphan"]
+        assert report.exit_code == EXIT_DIRTY
+
+    def test_corrupt_manifest_is_dirty(self, tmp_path):
+        store = run_small(tmp_path)
+        store.manifest_path.write_text("{not json")
+        report = fsck_campaign(store.out_dir)
+        assert kinds(report) == ["manifest-corrupt"]
+
+
+class TestInfoFindings:
+    def test_interrupted_manifest_is_info_only(self, tmp_path):
+        store = run_small(tmp_path)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["phase"] = "running"
+        store.manifest_path.write_text(json.dumps(manifest))
+        report = fsck_campaign(store.out_dir)
+        assert kinds(report) == ["interrupted"]
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_unframed_legacy_records_are_info_only(self, tmp_path):
+        store = run_small(tmp_path)
+        lines = [
+            json.dumps(
+                {k: v for k, v in json.loads(line).items() if k != "crc"},
+                sort_keys=True, separators=(",", ":"),
+            )
+            for line in store.results_path.read_text().splitlines()
+        ]
+        store.results_path.write_text(
+            "".join(line + "\n" for line in lines)
+        )
+        report = fsck_campaign(store.out_dir)
+        assert "unframed" in kinds(report)
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_incomplete_run_is_info_only(self, tmp_path):
+        store = run_small(tmp_path)
+        lines = store.results_path.read_text().splitlines(keepends=True)
+        store.results_path.write_text("".join(lines[:-1]))
+        store.manifest_path.unlink()
+        report = fsck_campaign(store.out_dir)
+        assert kinds(report) == ["incomplete"]
+        assert report.exit_code == EXIT_CLEAN
+
+
+class TestRepair:
+    def test_repair_quarantines_without_reserializing(self, tmp_path):
+        store = run_small(tmp_path)
+        lines = store.results_path.read_text().splitlines(keepends=True)
+        corrupt_line(
+            store.results_path, 3, lambda s: s.replace('"ok"', '"OK"')
+        )
+        rotten = store.results_path.read_text().splitlines()[2]
+
+        report = fsck_campaign(store.out_dir, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        # Surviving lines are byte-identical to the originals — repair
+        # filters raw lines, it never re-serializes records.
+        survivors = store.results_path.read_text().splitlines(keepends=True)
+        assert survivors == lines[:2] + lines[3:]
+        # The evicted line is preserved verbatim in the sidecar.
+        sidecar = json.loads(
+            store.quarantine_path.read_text().splitlines()[-1]
+        )
+        assert sidecar["raw"] == rotten
+        assert sidecar["lineno"] == 3
+        assert fsck_campaign(store.out_dir).exit_code == EXIT_CLEAN
+
+    def test_repair_removes_orphans_and_corrupt_cache(self, tmp_path):
+        from repro.campaign.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "run" / "cache")
+        store = run_small(tmp_path, cache=cache)
+        orphan = store.out_dir / ".tmp-xyz.json.tmp"
+        orphan.write_text("debris")
+        entry = next((store.out_dir / "cache").rglob("*.json"))
+        entry.write_text("{torn")
+
+        report = fsck_campaign(store.out_dir, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        assert not orphan.exists() and not entry.exists()
+        assert fsck_campaign(store.out_dir).exit_code == EXIT_CLEAN
+
+    def test_repair_sets_corrupt_manifest_aside(self, tmp_path):
+        store = run_small(tmp_path)
+        store.manifest_path.write_text("{not json")
+        report = fsck_campaign(store.out_dir, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        assert not store.manifest_path.exists()
+        assert store.manifest_path.with_suffix(".json.corrupt").exists()
+
+    def test_repaired_campaign_still_resumes_cleanly(self, tmp_path):
+        store = run_small(tmp_path)
+        reference = store.results_path.read_bytes()
+        corrupt_line(
+            store.results_path, 4, lambda s: s.replace('"ok"', '"OK"')
+        )
+        fsck_campaign(store.out_dir, repair=True)
+        result = CampaignRunner(
+            small_spec(), store=ResultStore(store.out_dir)
+        ).run(resume=True)
+        assert result.ok and result.summary.executed == 1
+        assert store.results_path.read_bytes() == reference
+
+
+class TestExternalArtifacts:
+    def test_external_cache_dir_is_scanned(self, tmp_path):
+        from repro.campaign.cache import ResultCache
+
+        cache_root = tmp_path / "shared-cache"
+        cache = ResultCache(cache_root)
+        store = run_small(tmp_path, cache=cache)
+        entry = next(cache_root.rglob("*.json"))
+        entry.write_text("{torn")
+        (cache_root / ".tmp-leftover.json.tmp").write_text("x")
+        report = fsck_campaign(store.out_dir, cache_dir=cache_root)
+        assert sorted(kinds(report)) == ["cache-corrupt", "orphan-tmp"]
+
+    def test_baseline_scan_is_report_only(self, tmp_path):
+        store = run_small(tmp_path)
+        baseline = tmp_path / "baseline.jsonl"
+        baseline.write_bytes(store.results_path.read_bytes())
+        corrupt_line(baseline, 2, lambda s: s.replace('"ok"', '"OK"'))
+        before = baseline.read_bytes()
+        report = fsck_campaign(store.out_dir, baseline=baseline,
+                               repair=True)
+        assert any(f.kind == "crc-mismatch" for f in report.findings)
+        assert any("re-pin" in f.detail for f in report.findings)
+        # Repair never touches a pinned baseline.
+        assert baseline.read_bytes() == before
+
+    def test_missing_baseline_is_dirty(self, tmp_path):
+        store = run_small(tmp_path)
+        report = fsck_campaign(
+            store.out_dir, baseline=tmp_path / "gone.jsonl"
+        )
+        assert report.exit_code == EXIT_DIRTY

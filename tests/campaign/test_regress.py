@@ -13,7 +13,7 @@ from repro.campaign.regress import (
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore, StoreError
 
-from tests.campaign.test_runner import failing_spec, small_spec
+from tests.campaign.test_runner import failing_spec, reframe_results, small_spec
 
 
 def record(cell_id, metrics, status="ok", index=0):
@@ -142,6 +142,7 @@ class TestDiffFiles:
         perturbed = text.replace('"size_floor_bytes":3900', '"size_floor_bytes":3901')
         assert perturbed != text
         b.write_text(perturbed)
+        reframe_results(b)
         report = diff_files(a, b, {"default": {"rel": 1e-9, "abs": 1e-12}})
         assert report.exit_code == 1
         assert any(d.metric == "size_floor_bytes" for d in report.drifts)

@@ -19,6 +19,25 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore, load_records
 
 
+def reframe_results(path):
+    """Recompute every line's CRC frame after a deliberate byte edit.
+
+    Tests that simulate *drifted values* (as opposed to on-disk rot)
+    must re-frame, or the store would — correctly — quarantine the
+    edited record as corrupt.
+    """
+    from repro.campaign.store import frame_record
+
+    lines = [
+        json.dumps(
+            frame_record(json.loads(line)), sort_keys=True,
+            separators=(",", ":"),
+        )
+        for line in path.read_text().splitlines() if line.strip()
+    ]
+    path.write_text("".join(line + "\n" for line in lines))
+
+
 def small_spec(seed=0):
     """A fast cross-kind campaign: closed forms + analytic sessions."""
     return CampaignSpec(
@@ -252,6 +271,111 @@ class TestResume:
         # The ok cell is kept, the failed one is attempted again.
         assert resumed.summary.resumed == 1
         assert resumed.summary.executed == 1
+
+
+def hooked_spec(extra_params, seed=0):
+    """small_spec plus one threshold cell carrying chaos-hook params."""
+    spec = small_spec(seed=seed)
+    spec.cells.append({
+        "label": "hooked",
+        "kind": "threshold",
+        "quantity": "size_floor",
+        "literal": True,
+        **extra_params,
+    })
+    return spec
+
+
+class RecordingStore(ResultStore):
+    """A store that remembers every manifest phase it was asked to write."""
+
+    def __init__(self, out_dir):
+        super().__init__(out_dir)
+        self.phases = []
+
+    def write_manifest(self, manifest):
+        self.phases.append(manifest.get("phase"))
+        super().write_manifest(manifest)
+
+
+class TestSupervision:
+    """Worker deaths, watchdog kills, quarantine, heartbeats."""
+
+    def test_worker_death_mid_cell_is_retried(self, tmp_path):
+        marker = tmp_path / "die-once"
+        spec = hooked_spec({"_test_die_once": str(marker)})
+        result = CampaignRunner(spec, jobs=2, retries=1).run()
+        assert marker.exists()
+        assert result.ok
+        assert result.summary.worker_deaths == 1
+        assert result.summary.quarantined_cells == 0
+        assert result.by_id()["hooked"]["status"] == "ok"
+
+    def test_death_without_retries_quarantines_the_cell(self, tmp_path):
+        marker = tmp_path / "die-once"
+        spec = hooked_spec({"_test_die_once": str(marker)})
+        result = CampaignRunner(spec, jobs=2, retries=0).run()
+        # The campaign still completes: every other cell is fine, the
+        # poison cell is a deterministic failed record, not a hang.
+        assert result.summary.ok == 5
+        assert result.summary.failed == 1
+        assert result.summary.quarantined_cells == 1
+        bad = result.by_id()["hooked"]
+        assert bad["status"] == "failed"
+        assert "quarantined as poison" in bad["error"]
+
+    def test_watchdog_kills_hung_worker(self, tmp_path):
+        spec = hooked_spec({"_test_hang_s": 60})
+        result = CampaignRunner(
+            spec, jobs=2, retries=0, watchdog_s=0.5
+        ).run()
+        assert result.summary.watchdog_kills >= 1
+        assert result.summary.worker_deaths >= 1
+        assert result.summary.quarantined_cells == 1
+        bad = result.by_id()["hooked"]
+        assert bad["status"] == "failed"
+        assert "watchdog" in bad["error"]
+        assert result.summary.ok == 5
+
+    def test_worker_death_preserves_byte_identity(self, tmp_path):
+        marker = tmp_path / "die-once"
+        spec = hooked_spec({"_test_die_once": str(marker)})
+
+        chaos_store = ResultStore(tmp_path / "chaos")
+        CampaignRunner(spec, store=chaos_store, jobs=2, retries=1).run()
+
+        # Second run: the marker exists, so no worker dies.  Same spec,
+        # same bytes — a death-and-requeue must not leak into results.
+        clean_store = ResultStore(tmp_path / "clean")
+        clean = CampaignRunner(
+            spec, store=clean_store, jobs=2, retries=1
+        ).run()
+        assert clean.summary.worker_deaths == 0
+        assert (
+            chaos_store.results_path.read_bytes()
+            == clean_store.results_path.read_bytes()
+        )
+
+    def test_heartbeat_manifests_while_running(self, tmp_path):
+        store = RecordingStore(tmp_path / "beat")
+        spec = hooked_spec({"_test_hang_s": 0.8})
+        CampaignRunner(
+            spec, store=store, jobs=2, heartbeat_s=0.05
+        ).run()
+        assert "running" in store.phases
+        assert store.phases[-1] == "final"
+        manifest = json.loads(
+            (store.out_dir / "manifest.json").read_text()
+        )
+        assert manifest["phase"] == "final"
+        assert manifest["complete"] is True
+        for key in ("worker_deaths", "watchdog_kills",
+                    "quarantined_cells", "quarantined_lines"):
+            assert manifest[key] == 0
+
+    def test_watchdog_requires_positive_budget(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(small_spec(), watchdog_s=0)
 
 
 def threshold_cells():

@@ -1,0 +1,143 @@
+"""Store durability: CRC framing, quarantine-anywhere, resume accounting.
+
+The regression under test: a corrupt record *anywhere* in
+``results.jsonl`` — not just a torn final line — is quarantined and
+counted, never silently dropped and never fatal to the load.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import (
+    QUARANTINE_NAME,
+    ResultStore,
+    StoreError,
+    check_frame,
+    frame_record,
+    load_records,
+    load_report,
+)
+
+from tests.campaign.test_runner import small_spec
+
+
+def run_small(tmp_path, name="run"):
+    store = ResultStore(tmp_path / name)
+    result = CampaignRunner(small_spec(), store=store).run()
+    return store, result
+
+
+def corrupt_line(path, lineno, mutate):
+    """Apply ``mutate`` to one 1-indexed line of a JSONL file."""
+    lines = path.read_text().splitlines(keepends=True)
+    lines[lineno - 1] = mutate(lines[lineno - 1])
+    path.write_text("".join(lines))
+
+
+class TestFraming:
+    def test_every_written_line_is_framed_and_valid(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        for line in store.results_path.read_text().splitlines():
+            assert check_frame(json.loads(line)) is True
+
+    def test_frame_is_pure_function_of_content(self):
+        record = {"type": "result", "cell_id": "a", "index": 0}
+        once = frame_record(record)
+        again = frame_record(dict(reversed(list(record.items()))))
+        assert once == again
+        # Re-framing an already framed record is a fixed point.
+        assert frame_record(once) == once
+
+    def test_single_flipped_byte_fails_the_frame(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        line = store.results_path.read_text().splitlines()[1]
+        assert check_frame(json.loads(line.replace('"ok"', '"OK"'))) is False
+
+
+class TestQuarantineAnywhere:
+    def test_mid_file_crc_mismatch_is_quarantined_not_fatal(self, tmp_path):
+        store, result = run_small(tmp_path)
+        corrupt_line(
+            store.results_path, 3, lambda s: s.replace('"ok"', '"OK"')
+        )
+        report = load_report(store.results_path)
+        assert [q.reason for q in report.quarantined] == ["CRC mismatch"]
+        assert report.quarantined[0].lineno == 3
+        # The other records load untouched.
+        assert len(report.records) == len(result.records) - 1
+
+    def test_mid_file_malformed_json_is_quarantined(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        corrupt_line(store.results_path, 2, lambda s: s[: len(s) // 2] + "\n")
+        report = load_report(store.results_path)
+        assert [q.reason for q in report.quarantined] == ["malformed JSON"]
+
+    def test_torn_final_line_is_distinguished(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        text = store.results_path.read_text()
+        store.results_path.write_text(text[: -len(text.splitlines()[-1]) // 2 - 1])
+        report = load_report(store.results_path)
+        assert report.torn_tail
+        assert report.quarantined[-1].reason == "torn line"
+
+    def test_duplicate_cell_keeps_last_and_counts_superseded(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        lines = store.results_path.read_text().splitlines()
+        dup = json.loads(lines[1])
+        dup["metrics"] = {**dup["metrics"], "rewritten": 1.0}
+        framed = json.dumps(
+            frame_record(dup), sort_keys=True, separators=(",", ":")
+        )
+        store.results_path.write_text(
+            "".join(line + "\n" for line in lines + [framed])
+        )
+        report = load_report(store.results_path)
+        assert report.superseded == 1
+        by_id = {r["cell_id"]: r for r in report.records}
+        assert by_id[dup["cell_id"]]["metrics"].get("rewritten") == 1.0
+
+    def test_header_loss_is_still_fatal(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        corrupt_line(store.results_path, 1, lambda s: "{rotten\n")
+        with pytest.raises(StoreError, match="no header"):
+            load_records(store.results_path)
+
+
+class TestResumeAccounting:
+    def test_resume_quarantines_and_counts_in_manifest(self, tmp_path):
+        store, _ = run_small(tmp_path)
+        corrupt_line(
+            store.results_path, 3, lambda s: s.replace('"ok"', '"OK"')
+        )
+        rotten = store.results_path.read_text().splitlines()[2]
+
+        resumed = CampaignRunner(
+            small_spec(), store=ResultStore(store.out_dir)
+        ).run(resume=True)
+        assert resumed.ok
+        # Only the quarantined cell was recomputed.
+        assert resumed.summary.executed == 1
+        assert resumed.summary.quarantined_lines == 1
+        manifest = json.loads((store.out_dir / "manifest.json").read_text())
+        assert manifest["quarantined_lines"] == 1
+
+        # The evicted raw line is preserved verbatim in the sidecar.
+        sidecar = (store.out_dir / QUARANTINE_NAME).read_text().splitlines()
+        entries = [json.loads(line) for line in sidecar]
+        assert [e["lineno"] for e in entries] == [3]
+        assert entries[0]["raw"] == rotten
+        assert entries[0]["reason"] == "CRC mismatch"
+        assert check_frame(entries[0]) is True
+
+    def test_resume_after_quarantine_restores_byte_identity(self, tmp_path):
+        store, _ = run_small(tmp_path, "a")
+        reference = store.results_path.read_bytes()
+        corrupt_line(
+            store.results_path, 4, lambda s: s.replace('"ok"', '"OK"')
+        )
+        CampaignRunner(
+            small_spec(), store=ResultStore(store.out_dir)
+        ).run(resume=True)
+        assert store.results_path.read_bytes() == reference
