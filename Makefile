@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean \
-	campaign-smoke baseline campaign-perf proxy-smoke crash-chaos fsck-smoke
+	campaign-smoke baseline campaign-perf campaign-mega proxy-smoke crash-chaos fsck-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,9 +12,11 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# What the GitHub workflow runs (the tier-1 gate).
+# What the GitHub workflow runs (the tier-1 gate), plus the 10k-cell
+# batch-engine smoke: speedup floor + byte-equality spot check.
 ci:
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) benchmarks/bench_batch_engine.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -122,19 +124,41 @@ baseline:
 	$(PYTHON) -m repro campaign baseline --out "$$tmp/run" \
 		--baseline benchmarks/campaigns/smoke_baseline.jsonl
 
-# Opt-in parallel speedup demo: the dense Eq. 6 sweep at -j 1 vs -j 4,
-# with byte-identity of the two result files checked at the end.  Only
-# meaningful on a multi-core machine (single-core CI shows ~1x).
+# Opt-in perf gates.  First the vectorized batch engine on a 100k-cell
+# Eq. 6 grid (asserts the >=50x speedup floor and byte-equality against
+# the scalar executor), then the dense Eq. 6 sweep at -j 1 vs -j 4 and
+# with/without the batch fast path — all three result files must be
+# byte-identical.  -j speedup is only meaningful on a multi-core box.
 campaign-perf:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	echo "== batch engine 100k-cell speedup gate"; \
+	REPRO_BATCH_BENCH_CELLS=100000 \
+		$(PYTHON) benchmarks/bench_batch_engine.py || exit 1; \
 	echo "== eq6-dense -j 1"; \
 	$(PYTHON) -m repro campaign run --preset eq6-dense \
 		--out "$$tmp/j1" --no-cache -j 1 || exit 1; \
 	echo "== eq6-dense -j 4"; \
 	$(PYTHON) -m repro campaign run --preset eq6-dense \
 		--out "$$tmp/j4" --no-cache -j 4 || exit 1; \
-	cmp "$$tmp/j1/results.jsonl" "$$tmp/j4/results.jsonl" && \
-		echo "OK: -j 1 and -j 4 results are byte-identical"
+	echo "== eq6-dense -j 4 --no-batch"; \
+	$(PYTHON) -m repro campaign run --preset eq6-dense \
+		--out "$$tmp/scalar" --no-cache -j 4 --no-batch || exit 1; \
+	cmp "$$tmp/j1/results.jsonl" "$$tmp/j4/results.jsonl" || \
+		{ echo "FAIL: -j 1 and -j 4 results differ"; exit 1; }; \
+	cmp "$$tmp/j1/results.jsonl" "$$tmp/scalar/results.jsonl" && \
+		echo "OK: batch/scalar and -j 1/-j 4 results are byte-identical"
+
+# The scale demonstration: the ~1M-cell eq6-mega preset through the
+# batch engine into a 16-way sharded store, then a full fsck over the
+# sharded layout.  Minutes end to end; the scalar path would take
+# roughly half a day.
+campaign-mega:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(PYTHON) -m repro campaign run --preset eq6-mega \
+		--out "$$tmp/mega" --no-cache --shards 16 || exit 1; \
+	$(PYTHON) -m repro campaign status --out "$$tmp/mega" || exit 1; \
+	$(PYTHON) -m repro campaign fsck --out "$$tmp/mega" && \
+		echo "OK: 1M-cell sharded campaign verifies clean"
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; echo; done

@@ -102,27 +102,42 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def default_crash_points(cells: int) -> List[str]:
+def default_crash_points(cells: int, shards: int = 1) -> List[str]:
     """The seeded SIGKILL schedule for a campaign of ``cells`` cells.
 
     Covers the append path (each record write, torn/before/after), both
     atomic rewrites of ``results.jsonl`` (open and finalize renames),
     and the journaled manifest.  Write op 1 on ``results.jsonl`` is the
     open rewrite; appends are ops 2..cells+1; finalize is the last.
+
+    With ``shards > 1`` the schedule targets the shard files instead
+    (``results-*.jsonl`` — per-path counters, so the first shard to
+    reach the nth op fires) plus the ``layout.json`` renames that
+    bracket a reshard.
     """
     points: List[str] = []
     modes = ("torn", "before", "after")
+    target = "results.jsonl" if shards == 1 else "results-*.jsonl"
     for nth in range(1, min(cells, 4) + 2):
-        points.append(f"results.jsonl:write:{nth}:{modes[nth % 3]}")
+        points.append(f"{target}:write:{nth}:{modes[nth % 3]}")
     points.extend([
-        "results.jsonl:write:1:torn",
-        "results.jsonl:write:2:before",
-        f"results.jsonl:write:{cells + 1}:after",
-        "results.jsonl:rename:1:before",
-        "results.jsonl:rename:1:after",
-        "results.jsonl:rename:2:before",
-        "results.jsonl:rename:2:after",
-        "results.jsonl:fsync:2:before",
+        f"{target}:write:1:torn",
+        f"{target}:write:2:before",
+        f"{target}:rename:1:before",
+        f"{target}:rename:1:after",
+        f"{target}:rename:2:before",
+        f"{target}:rename:2:after",
+        f"{target}:fsync:2:before",
+    ])
+    if shards == 1:
+        points.insert(7, f"results.jsonl:write:{cells + 1}:after")
+    else:
+        points.extend([
+            "layout.json:rename:1:before",
+            "layout.json:rename:1:after",
+            "layout.json:rename:2:before",
+        ])
+    points.extend([
         "manifest.json:write:1:before",
         "manifest.json:rename:1:after",
         "quarantine.jsonl:write:1:before",
@@ -131,6 +146,18 @@ def default_crash_points(cells: int) -> List[str]:
     for p in points:
         seen.setdefault(p)
     return list(seen)
+
+
+def _results_bytes(out_dir: pathlib.Path) -> bytes:
+    """The concatenated bytes of every result file, in layout order.
+
+    Works for both layouts: the single ``results.jsonl`` or the sorted
+    shard files.  A finished run holds only its live layout (``open``
+    drops stale files), so equal concatenations mean equal files.
+    """
+    from repro.campaign.store import result_files
+
+    return b"".join(p.read_bytes() for p in result_files(out_dir))
 
 
 def _child_env(crash_point: Optional[str] = None) -> Dict[str, str]:
@@ -153,12 +180,15 @@ def _run_child(
     resume: bool,
     crash_point: Optional[str],
     timeout_s: float,
+    shards: int = 1,
 ) -> subprocess.CompletedProcess:
     cmd = [
         sys.executable, "-m", "repro.cli", "campaign", "run",
         "--spec", str(spec_path), "--out", str(out_dir),
         "--no-cache", "-j", str(jobs),
     ]
+    if shards > 1:
+        cmd.extend(["--shards", str(shards)])
     if resume:
         cmd.append("--resume")
     return subprocess.run(
@@ -177,6 +207,7 @@ def run_chaos(
     points: Optional[List[str]] = None,
     min_fired: int = 10,
     timeout_s: float = DEFAULT_CHILD_TIMEOUT_S,
+    shards: int = 1,
 ) -> ChaosReport:
     """Run the whole harness; returns the per-point verdict.
 
@@ -190,19 +221,21 @@ def run_chaos(
     spec_path = spec.save(work_dir / "chaos-spec.json")
     cells = len(spec.expand())
     if points is None:
-        points = default_crash_points(cells)
+        points = default_crash_points(cells, shards=shards)
     report = ChaosReport(spec_path=str(spec_path), min_fired=min_fired)
 
     ref_dir = work_dir / "reference"
     shutil.rmtree(ref_dir, ignore_errors=True)
-    ref = _run_child(spec_path, ref_dir, jobs, False, None, timeout_s)
+    ref = _run_child(
+        spec_path, ref_dir, jobs, False, None, timeout_s, shards=shards
+    )
     if ref.returncode != 0:
         report.fatal = (
             f"reference run exited {ref.returncode}:\n"
             f"{ref.stdout.decode('utf-8', 'replace')[-2000:]}"
         )
         return report
-    expected = (ref_dir / "results.jsonl").read_bytes()
+    expected = _results_bytes(ref_dir)
 
     for i, point in enumerate(points):
         outcome = ChaosOutcome(point=point)
@@ -211,7 +244,8 @@ def run_chaos(
         shutil.rmtree(crash_dir, ignore_errors=True)
         try:
             crashed = _run_child(
-                spec_path, crash_dir, jobs, False, point, timeout_s
+                spec_path, crash_dir, jobs, False, point, timeout_s,
+                shards=shards,
             )
         except subprocess.TimeoutExpired:
             outcome.fired = True
@@ -230,7 +264,8 @@ def run_chaos(
             continue
         try:
             resumed = _run_child(
-                spec_path, crash_dir, jobs, True, None, timeout_s
+                spec_path, crash_dir, jobs, True, None, timeout_s,
+                shards=shards,
             )
         except subprocess.TimeoutExpired:
             outcome.detail = "resume run hung"
@@ -241,9 +276,9 @@ def run_chaos(
                 f"{resumed.stdout.decode('utf-8', 'replace')[-500:]}"
             )
             continue
-        got = (crash_dir / "results.jsonl").read_bytes()
+        got = _results_bytes(crash_dir)
         if got != expected:
-            outcome.detail = "results.jsonl differs from reference"
+            outcome.detail = "result files differ from reference"
             continue
         repair = fsck_campaign(crash_dir, repair=True)
         if repair.exit_code not in (EXIT_CLEAN, EXIT_REPAIRED):

@@ -148,6 +148,14 @@ def _execute_threshold(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
             recovery=recovery,
         )
         return {"break_even_ber": value}
+    if quantity == "worthwhile":
+        raw_bytes = float(params["size_mb"]) * units.BYTES_PER_MB
+        value = thresholds.compression_worthwhile(
+            raw_bytes, float(params["factor"]), model, codec=codec,
+            loss_rate=loss_rate, arq=arq,
+            corrupt_rate=corrupt_rate, recovery=recovery,
+        )
+        return {"worthwhile": bool(value)}
     raise CellExecutionError(f"unknown threshold quantity {quantity!r}")
 
 

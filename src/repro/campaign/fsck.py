@@ -33,14 +33,20 @@ from typing import List, Optional
 
 from repro.campaign.faultio import AppendLog, write_text_atomic
 from repro.campaign.store import (
+    LAYOUT_NAME,
     MANIFEST_NAME,
     QUARANTINE_NAME,
     RESULTS_NAME,
+    SHARD_RE,
     SPEC_NAME,
     StoreError,
     check_frame,
     frame_record,
     load_report,
+    read_layout,
+    result_files,
+    shard_name,
+    shard_of,
 )
 
 EXIT_CLEAN = 0
@@ -61,7 +67,9 @@ class FsckFinding:
     #: Machine-readable kind: ``torn-line``, ``crc-mismatch``,
     #: ``malformed-json``, ``orphan-tmp``, ``cache-corrupt``,
     #: ``cache-orphan``, ``manifest-corrupt``, ``spec-corrupt``,
-    #: ``unframed``, ``superseded``, ``interrupted``, ``incomplete``.
+    #: ``unframed``, ``superseded``, ``interrupted``, ``incomplete``,
+    #: ``layout-corrupt``, ``stale-layout``, ``shard-missing``,
+    #: ``spec-mismatch``.
     kind: str
     detail: str
     #: ``info`` findings never dirty the directory.
@@ -121,20 +129,68 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def _scan_results(report: FsckReport, out_dir: pathlib.Path,
-                  repair: bool) -> None:
-    results = out_dir / RESULTS_NAME
-    if not results.exists():
-        report.fatal = f"{results}: no results file (not a campaign dir?)"
-        return
+def _quarantine_raw(out_dir: pathlib.Path, source: str, lineno: int,
+                    reason: str, raw: str) -> None:
+    log = AppendLog(out_dir / QUARANTINE_NAME)
     try:
-        store_report = load_report(results)
+        body = {
+            "type": "quarantine",
+            "source": source,
+            "lineno": lineno,
+            "reason": reason,
+            "raw": raw,
+        }
+        log.append_line(json.dumps(
+            frame_record(body), sort_keys=True, separators=(",", ":"),
+        ))
+    finally:
+        log.close()
+
+
+def _live_layout(report: FsckReport, out_dir: pathlib.Path,
+                 files, repair: bool) -> int:
+    """The live shard count, reporting a corrupt/missing layout file.
+
+    ``layout.json`` names the live layout; when it is unreadable (set
+    aside under ``--repair``) or absent, fall back to the legacy single
+    file if present, else to the widest shard set on disk — resume can
+    still converge from either.
+    """
+    layout_path = out_dir / LAYOUT_NAME
+    layout = None
+    if layout_path.exists():
+        try:
+            layout = read_layout(out_dir)
+        except StoreError as exc:
+            repaired = False
+            if repair:
+                layout_path.replace(
+                    layout_path.with_suffix(".json.corrupt")
+                )
+                repaired = True
+            report.findings.append(FsckFinding(
+                path=LAYOUT_NAME, kind="layout-corrupt",
+                detail=f"unreadable layout set aside: {exc}"
+                if repaired else f"unreadable layout: {exc}",
+                repaired=repaired,
+            ))
+    if layout is not None:
+        return int(layout["shards"])
+    if (out_dir / RESULTS_NAME).exists():
+        return 1
+    return max(
+        int(SHARD_RE.match(p.name).group(2)) for p in files
+    )
+
+
+def _scan_one_results(report: FsckReport, out_dir: pathlib.Path,
+                      path: pathlib.Path, repair: bool):
+    """Scan one live result file; returns its StoreReport (or None)."""
+    try:
+        store_report = load_report(path)
     except StoreError as exc:
         report.fatal = str(exc)
-        return
-    if store_report.header is None:
-        report.fatal = f"{results}: no header record"
-        return
+        return None
     for bad in store_report.quarantined:
         kind = (
             "torn-line" if bad.reason == "torn line"
@@ -142,58 +198,173 @@ def _scan_results(report: FsckReport, out_dir: pathlib.Path,
             else "malformed-json"
         )
         report.findings.append(FsckFinding(
-            path=RESULTS_NAME, kind=kind, detail=bad.reason,
+            path=path.name, kind=kind, detail=bad.reason,
             lineno=bad.lineno, repaired=repair,
         ))
     if store_report.unframed:
         report.findings.append(FsckFinding(
-            path=RESULTS_NAME, kind="unframed", severity="info",
+            path=path.name, kind="unframed", severity="info",
             detail=f"{store_report.unframed} legacy record(s) carry no "
             f"CRC frame; integrity cannot be vouched for",
         ))
     if store_report.superseded:
         report.findings.append(FsckFinding(
-            path=RESULTS_NAME, kind="superseded", severity="info",
+            path=path.name, kind="superseded", severity="info",
             detail=f"{store_report.superseded} duplicate record(s) "
             f"superseded by a later occurrence",
         ))
-    expected = int(store_report.header.get("cells", 0))
-    if len(store_report.records) < expected:
-        report.findings.append(FsckFinding(
-            path=RESULTS_NAME, kind="incomplete", severity="info",
-            detail=f"{len(store_report.records)}/{expected} cells present "
-            f"(interrupted run; --resume completes it)",
-        ))
+    if store_report.header is not None:
+        expected = int(store_report.header.get("cells", 0))
+        if len(store_report.records) < expected:
+            report.findings.append(FsckFinding(
+                path=path.name, kind="incomplete", severity="info",
+                detail=f"{len(store_report.records)}/{expected} cells "
+                f"present (interrupted run; --resume completes it)",
+            ))
     if repair and store_report.quarantined:
-        log = AppendLog(out_dir / QUARANTINE_NAME)
-        try:
-            for bad in store_report.quarantined:
-                body = {
-                    "type": "quarantine",
-                    "source": RESULTS_NAME,
-                    "lineno": bad.lineno,
-                    "reason": bad.reason,
-                    "raw": bad.raw,
-                }
-                log.append_line(json.dumps(
-                    frame_record(body), sort_keys=True,
-                    separators=(",", ":"),
-                ))
-        finally:
-            log.close()
-        # Rewrite the results file from the surviving raw lines,
+        for bad in store_report.quarantined:
+            _quarantine_raw(
+                out_dir, path.name, bad.lineno, bad.reason, bad.raw
+            )
+        # Rewrite the result file from the surviving raw lines,
         # byte-exact — fsck must never re-serialize valid records.
         quarantined = {bad.lineno for bad in store_report.quarantined}
         survivors = [
             line
             for lineno, line in enumerate(
-                results.read_text().splitlines(), 1
+                path.read_text().splitlines(), 1
             )
             if lineno not in quarantined and line.strip()
         ]
         write_text_atomic(
-            results, "".join(line + "\n" for line in survivors)
+            path, "".join(line + "\n" for line in survivors)
         )
+    return store_report
+
+
+def _repair_stale(out_dir: pathlib.Path, stale: pathlib.Path,
+                  live_ids, shards: int) -> None:
+    """Fold a stale file's unique records into the live layout, drop it.
+
+    Valid result lines whose ``cell_id`` the live layout lacks are
+    appended *verbatim* (raw bytes, original CRC frame) to the live
+    file owning their ``cell_hash``; corrupt lines are quarantined.
+    Only then is the stale file unlinked — nothing is silently dropped.
+    """
+    lines = stale.read_text().splitlines()
+    logs = {}
+    try:
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                _quarantine_raw(
+                    out_dir, stale.name, lineno, "malformed JSON", line
+                )
+                continue
+            if not isinstance(record, dict) \
+                    or record.get("type") != "result":
+                continue
+            if check_frame(record) is False:
+                _quarantine_raw(
+                    out_dir, stale.name, lineno, "CRC mismatch", line
+                )
+                continue
+            if record.get("cell_id") in live_ids:
+                continue
+            live_ids.add(record["cell_id"])
+            target = (
+                RESULTS_NAME if shards == 1
+                else shard_name(shard_of(record["cell_hash"], shards),
+                                shards)
+            )
+            log = logs.get(target)
+            if log is None:
+                log = AppendLog(out_dir / target)
+                logs[target] = log
+            log.append_line(line)
+    finally:
+        for log in logs.values():
+            log.close()
+    stale.unlink()
+
+
+def _scan_results(report: FsckReport, out_dir: pathlib.Path,
+                  repair: bool) -> None:
+    files = result_files(out_dir)
+    if not files:
+        report.fatal = (
+            f"{out_dir / RESULTS_NAME}: no results file "
+            f"(not a campaign dir?)"
+        )
+        return
+    shards = _live_layout(report, out_dir, files, repair)
+    live_names = (
+        {RESULTS_NAME} if shards == 1
+        else {shard_name(i, shards) for i in range(shards)}
+    )
+    live = [p for p in files if p.name in live_names]
+    stale = [p for p in files if p.name not in live_names]
+    for i in sorted(live_names - {p.name for p in live}):
+        report.findings.append(FsckFinding(
+            path=i, kind="shard-missing", severity="info",
+            detail="live shard file absent (interrupted run; "
+            "--resume restores it)",
+        ))
+    spec_hashes = {}
+    live_ids = set()
+    header_seen = False
+    for path in live:
+        store_report = _scan_one_results(report, out_dir, path, repair)
+        if store_report is None:
+            return
+        if store_report.header is not None:
+            header_seen = True
+            spec_hashes.setdefault(
+                str(store_report.header.get("spec_hash")), path.name
+            )
+        live_ids.update(r["cell_id"] for r in store_report.records)
+    if live and not header_seen:
+        report.fatal = f"{live[0]}: no header record"
+        return
+    if len(spec_hashes) > 1:
+        report.findings.append(FsckFinding(
+            path=", ".join(sorted(spec_hashes.values())),
+            kind="spec-mismatch",
+            detail="live result files pin different spec hashes; "
+            "refusing to repair across campaigns",
+        ))
+    for path in stale:
+        bad_spec = False
+        if spec_hashes:
+            try:
+                stale_header = load_report(path).header
+            except StoreError:
+                stale_header = None
+            if stale_header is not None and str(
+                stale_header.get("spec_hash")
+            ) not in spec_hashes:
+                bad_spec = True
+        if bad_spec:
+            report.findings.append(FsckFinding(
+                path=path.name, kind="spec-mismatch",
+                detail="stale result file belongs to a different "
+                "campaign; not merged, not removed",
+            ))
+            continue
+        repaired = False
+        if repair and len(spec_hashes) <= 1:
+            _repair_stale(out_dir, path, live_ids, shards)
+            repaired = True
+        report.findings.append(FsckFinding(
+            path=path.name, kind="stale-layout",
+            detail="result file from a superseded shard layout"
+            + (" (unique records folded into the live layout)"
+               if repaired else "; --repair folds it in"),
+            repaired=repaired,
+        ))
 
 
 def _scan_manifest(report: FsckReport, out_dir: pathlib.Path,

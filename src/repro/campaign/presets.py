@@ -122,6 +122,36 @@ def eq6_dense_spec() -> CampaignSpec:
     )
 
 
+def eq6_mega_spec() -> CampaignSpec:
+    """A ~1M-cell Eq-6 plane: the batch engine's scale demonstration.
+
+    Every cell is batch-eligible (threshold/factor over loss x BER), so
+    the vectorized engine evaluates the whole campaign in broadcasted
+    numpy sweeps; with ``--shards`` the result stream fans out across
+    shard files keyed by cell hash.  At scalar-path speeds this grid
+    would take half a day — batched it completes in minutes (see
+    EXPERIMENTS.md).
+    """
+    sizes = [round(0.01 * 1.06 ** i, 6) for i in range(120)]
+    losses = [round(0.5 * i / 55, 6) for i in range(56)]
+    bers = [0.0] + [
+        round(10.0 ** (-9.0 + 7.0 * i / 48.0), 16) for i in range(49)
+    ]
+    return CampaignSpec(
+        name="eq6-mega",
+        description="Million-cell Equation 6 plane for the batch engine",
+        mode="grid",
+        base={"kind": "threshold", "quantity": "factor"},
+        axes={
+            "size_mb": sizes,
+            "codec": list(SCHEMES),
+            "loss_rate": losses,
+            "corrupt_rate": bers,
+        },
+        tolerances=dict(DEFAULT_TOLERANCES),
+    )
+
+
 def loss_sweep_spec() -> CampaignSpec:
     """The lossy-link sweep: thresholds + 1 MB energies per loss rate."""
     cells: List[Dict[str, Any]] = []
@@ -335,6 +365,7 @@ def experiments_spec(
 PRESETS = {
     "eq6": eq6_spec,
     "eq6-dense": eq6_dense_spec,
+    "eq6-mega": eq6_mega_spec,
     "loss": loss_sweep_spec,
     "corruption": corruption_sweep_spec,
     "trajectory": trajectory_spec,

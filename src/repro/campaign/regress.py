@@ -29,7 +29,25 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.report import ascii_table
 from repro.campaign.faultio import FaultInjector, write_text_atomic
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import StoreError, frame_record, load_records
+from repro.campaign.store import (
+    StoreError,
+    frame_record,
+    load_merged,
+    load_records,
+)
+
+
+def _load_any(path):
+    """``(header, records)`` from a results file or a campaign dir.
+
+    Directories go through the shard-aware merged loader, so diff and
+    baseline pinning work identically over single-file and sharded
+    layouts.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        return load_merged(path)
+    return load_records(path)
 
 #: Tolerance applied when neither the spec nor the CLI names one: tight
 #: enough to catch any real drift, loose enough to absorb cross-libm
@@ -220,9 +238,13 @@ def diff_files(
     default: Optional[Tolerance] = None,
     require_same_spec: bool = True,
 ) -> DiffReport:
-    """Diff two JSONL result files (spec-hash checked by default)."""
-    b_header, b_records = load_records(baseline_path)
-    c_header, c_records = load_records(results_path)
+    """Diff two JSONL result files (spec-hash checked by default).
+
+    Either side may also be a campaign directory, in which case its
+    result files (single or sharded) are loaded merged.
+    """
+    b_header, b_records = _load_any(baseline_path)
+    c_header, c_records = _load_any(results_path)
     if require_same_spec and b_header.get("spec_hash") != c_header.get(
         "spec_hash"
     ):
@@ -246,7 +268,7 @@ def pin_baseline(
     the source file never gets immortalized in a pinned baseline, and
     a crash mid-pin leaves the previous baseline intact.
     """
-    header, records = load_records(results_path)
+    header, records = _load_any(results_path)
     failed = [r["cell_id"] for r in records if r["status"] != "ok"]
     if failed:
         raise StoreError(

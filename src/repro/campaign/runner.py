@@ -70,6 +70,11 @@ DEFAULT_HEARTBEAT_S = 2.0
 #: inside a dying worker and requeues the unaccounted cells.
 STALL_RECHECK_S = 5.0
 
+#: Cells per batch-engine evaluation chunk: large enough to amortize
+#: the vector setup, small enough that manifest heartbeats keep flowing
+#: through a million-cell grid.
+BATCH_CHUNK_CELLS = 16384
+
 
 @dataclass
 class CampaignSummary:
@@ -85,6 +90,9 @@ class CampaignSummary:
     cache_hits: int = 0
     resumed: int = 0
     retries: int = 0
+    #: Cells evaluated by the vectorized batch engine (subset of
+    #: ``executed``; their records are byte-identical to scalar ones).
+    batch_cells: int = 0
     #: Worker processes that died (or were watchdog-killed) mid-cell.
     worker_deaths: int = 0
     #: Workers killed by the per-cell wall-clock watchdog.
@@ -124,6 +132,7 @@ class CampaignSummary:
             "cells_ok": self.ok,
             "cells_failed": self.failed,
             "cells_executed": self.executed,
+            "batch_cells": self.batch_cells,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "cells_resumed": self.resumed,
@@ -273,6 +282,12 @@ class CampaignRunner:
             disables; ignored at ``jobs=1`` where there is no worker
             to kill).
         heartbeat_s: seconds between journaled progress manifests.
+        batch: route batch-eligible analytic threshold cells through
+            the vectorized engine (:mod:`repro.simulator.batch`) in the
+            parent process; everything else keeps the supervised pool.
+            Records are byte-identical either way — the flag exists for
+            A/B timing and as an escape hatch.  A missing numpy
+            disables the fast path automatically.
     """
 
     def __init__(
@@ -286,6 +301,7 @@ class CampaignRunner:
         trace: bool = False,
         watchdog_s: Optional[float] = None,
         heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        batch: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -302,6 +318,7 @@ class CampaignRunner:
         self.trace = trace
         self.watchdog_s = watchdog_s
         self.heartbeat_s = heartbeat_s
+        self.batch = batch
 
     # -- internals -------------------------------------------------------------
 
@@ -527,6 +544,45 @@ class CampaignRunner:
             task_queue.close()
             result_queue.close()
 
+    def _run_batch(self, batch_cells: List[Cell],
+                   summary: CampaignSummary, harvest) -> List[Cell]:
+        """Evaluate analytic cells through the vectorized batch engine.
+
+        Cells are fed through ``harvest`` exactly like scalar outcomes
+        (same record bytes; the chunk's wall time is spread evenly over
+        its cells for the busy-time stats).  Returns the cells the
+        engine declined at runtime — they rejoin the scalar pool, which
+        stays authoritative.
+        """
+        from repro.simulator import batch as batch_engine
+
+        fallback: List[Cell] = []
+        last_beat = time.monotonic()
+        for start in range(0, len(batch_cells), BATCH_CHUNK_CELLS):
+            chunk = batch_cells[start:start + BATCH_CHUNK_CELLS]
+            t0 = time.monotonic()
+            results, declined = batch_engine.evaluate_cells(chunk)
+            fallback.extend(declined)
+            per_cell = (
+                (time.monotonic() - t0) / len(results) if results else 0.0
+            )
+            for cell, metrics in results:
+                harvest((
+                    cell.index, cell.cell_id, "ok",
+                    sanitize_metrics(metrics), None, per_cell, 1, None,
+                ))
+            summary.batch_cells += len(results)
+            if (
+                self.store is not None
+                and time.monotonic() - last_beat > self.heartbeat_s
+            ):
+                summary.wall_s = time.monotonic() - self._started
+                self.store.write_manifest(
+                    summary.to_manifest(phase="running")
+                )
+                last_beat = time.monotonic()
+        return fallback
+
     # -- the run ---------------------------------------------------------------
 
     def run(self, resume: bool = False) -> CampaignResult:
@@ -578,13 +634,18 @@ class CampaignRunner:
             pending.append(cell)
 
         if self.store is not None:
-            self.store.open(self.spec, len(cells), completed=records)
+            self.store.open(
+                self.spec, len(cells), completed=records,
+                cell_hashes=[c.cell_hash for c in cells],
+            )
+
+        batch_pending: List[Cell] = []
+        if self.batch:
+            from repro.simulator import batch as batch_engine
+
+            batch_pending, pending = batch_engine.partition_cells(pending)
 
         context = self._context()
-        tasks: List[_Task] = [
-            (c.index, c.cell_id, c.cell_hash, c.params, c.seed, context)
-            for c in pending
-        ]
         by_id = {c.cell_id: c for c in cells}
         traces: List[Tuple[str, List[Dict[str, Any]]]] = []
 
@@ -610,6 +671,15 @@ class CampaignRunner:
                 self.cache.store(cache_keys[cell_id], record)
 
         try:
+            if batch_pending:
+                declined = self._run_batch(batch_pending, summary, harvest)
+                pending = sorted(
+                    pending + declined, key=lambda c: c.index
+                )
+            tasks: List[_Task] = [
+                (c.index, c.cell_id, c.cell_hash, c.params, c.seed, context)
+                for c in pending
+            ]
             if tasks:
                 if self.jobs == 1:
                     for task in tasks:

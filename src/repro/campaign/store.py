@@ -16,6 +16,22 @@ A campaign directory holds these files:
   because they failed to parse or failed their CRC.  Nothing is ever
   silently dropped: a corrupt record is moved here and counted.
 
+Large campaigns can shard the results across ``N`` files
+(``--shards N``): each record lands in
+``results-{i:04d}-of-{N:04d}.jsonl`` where ``i`` is a pure function of
+the record's ``cell_hash`` (:func:`shard_of`), so the layout is
+deterministic at any ``-j`` and any completion order.  A ``layout.json``
+sidecar (written first, atomically) names the live shard count; each
+shard carries the campaign header plus its ``shard``/``shards`` fields
+and its own expected cell count.  ``shards=1`` keeps the classic
+single ``results.jsonl`` byte-for-byte — no layout file, no renamed
+shards — so existing tooling and pinned baselines keep working.
+Readers (:func:`result_files`, :func:`load_merged`, ``completed``)
+merge every result file present regardless of the live layout, which
+is what makes ``--resume`` converge when the shard count changes
+between runs: the next ``open`` rewrites the survivors into the new
+layout and drops the stale files.
+
 Every JSONL record is *CRC-framed*: it carries a ``crc`` field holding
 the CRC-32 of its canonical JSON with the ``crc`` key removed.  Framing
 is a pure function of the record's content, so it preserves the
@@ -39,6 +55,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -56,10 +73,75 @@ RESULTS_NAME = "results.jsonl"
 MANIFEST_NAME = "manifest.json"
 SPEC_NAME = "spec.json"
 QUARANTINE_NAME = "quarantine.jsonl"
+LAYOUT_NAME = "layout.json"
+
+#: A shard file name: ``results-0003-of-0016.jsonl``.
+SHARD_RE = re.compile(r"^results-(\d{4})-of-(\d{4})\.jsonl$")
 
 
 class StoreError(ReproError):
     """A campaign directory that cannot be read or does not match."""
+
+
+def shard_of(cell_hash: str, shards: int) -> int:
+    """The shard index owning a cell: a pure function of its hash.
+
+    The first 32 bits of the (hex) cell hash modulo the shard count —
+    no run state, no completion order, so the same cell always lands
+    in the same file at any parallelism.
+    """
+    if shards <= 1:
+        return 0
+    return int(cell_hash[:8], 16) % shards
+
+
+def shard_name(index: int, shards: int) -> str:
+    """The on-disk name of one shard in an ``shards``-way layout."""
+    return f"results-{index:04d}-of-{shards:04d}.jsonl"
+
+
+def result_files(out_dir) -> List[pathlib.Path]:
+    """Every result file present: the legacy single file, then shards.
+
+    Deliberately layout-agnostic — stale files from a previous shard
+    count are included, which is what lets resume and repair migrate
+    records instead of losing them.
+    """
+    out_dir = pathlib.Path(out_dir)
+    files: List[pathlib.Path] = []
+    legacy = out_dir / RESULTS_NAME
+    if legacy.exists():
+        files.append(legacy)
+    if out_dir.is_dir():
+        files.extend(sorted(
+            p for p in out_dir.iterdir()
+            if p.is_file() and SHARD_RE.match(p.name)
+        ))
+    return files
+
+
+def read_layout(out_dir) -> Optional[Dict[str, Any]]:
+    """The ``layout.json`` sidecar, or None when absent (single file).
+
+    Raises :class:`StoreError` when the file exists but is not a valid
+    layout object — a corrupt layout must be surfaced, not treated as
+    "no layout".
+    """
+    path = pathlib.Path(out_dir) / LAYOUT_NAME
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"cannot read layout {path}: {exc}") from exc
+    if (
+        not isinstance(doc, dict)
+        or doc.get("type") != "layout"
+        or not isinstance(doc.get("shards"), int)
+        or doc["shards"] < 1
+    ):
+        raise StoreError(f"{path}: not a layout object")
+    return doc
 
 
 def result_record(
@@ -123,6 +205,9 @@ class QuarantinedLine:
     lineno: int
     reason: str
     raw: str
+    #: Which result file the line came from (shard-aware layouts have
+    #: several; the quarantine sidecar records the origin).
+    source: str = RESULTS_NAME
 
 
 @dataclass
@@ -165,18 +250,22 @@ def load_report(path) -> StoreReport:
             record = json.loads(line)
         except ValueError:
             reason = "torn line" if lineno == len(lines) else "malformed JSON"
-            report.quarantined.append(QuarantinedLine(lineno, reason, line))
+            report.quarantined.append(
+                QuarantinedLine(lineno, reason, line, source=path.name)
+            )
             report.torn_tail = report.torn_tail or lineno == len(lines)
             continue
         if not isinstance(record, dict):
             report.quarantined.append(
-                QuarantinedLine(lineno, "not a JSON object", line)
+                QuarantinedLine(lineno, "not a JSON object", line,
+                                source=path.name)
             )
             continue
         verdict = check_frame(record)
         if verdict is False:
             report.quarantined.append(
-                QuarantinedLine(lineno, "CRC mismatch", line)
+                QuarantinedLine(lineno, "CRC mismatch", line,
+                                source=path.name)
             )
             continue
         if verdict is None:
@@ -204,6 +293,53 @@ def load_records(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
     return report.header, report.records
 
 
+def load_merged(out_dir) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """``(header, records)`` merged across every result file present.
+
+    The single-file layout degenerates to :func:`load_records`; sharded
+    layouts merge all shard files, deduplicating by ``cell_id``
+    (keep-last, like the single-file loader).  The returned header is
+    the campaign header with any per-shard fields stripped and
+    ``cells`` restored to the whole-campaign count (from
+    ``layout.json`` when readable, else summed over the live shard
+    headers).
+    """
+    out_dir = pathlib.Path(out_dir)
+    files = result_files(out_dir)
+    if not files:
+        raise StoreError(f"{out_dir}: no result files")
+    header: Optional[Dict[str, Any]] = None
+    legacy_header = False
+    shard_cells = 0
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for path in files:
+        report = load_report(path)
+        h = report.header
+        if h is not None:
+            if header is None:
+                header = {
+                    k: v for k, v in h.items()
+                    if k not in ("shard", "shards", "crc")
+                }
+                legacy_header = "shard" not in h
+            if "shard" in h:
+                shard_cells += int(h.get("cells", 0))
+        for record in report.records:
+            by_id[record["cell_id"]] = record
+    if header is None:
+        raise StoreError(f"{out_dir}: no header record in any result file")
+    try:
+        layout = read_layout(out_dir)
+    except StoreError:
+        layout = None
+    if layout is not None and "cells" in layout:
+        header["cells"] = int(layout["cells"])
+    elif not legacy_header:
+        header["cells"] = shard_cells
+    records = sorted(by_id.values(), key=lambda r: r["index"])
+    return header, records
+
+
 class ResultStore:
     """One campaign directory's files, with append + finalize + resume.
 
@@ -214,11 +350,15 @@ class ResultStore:
     """
 
     def __init__(
-        self, out_dir, injector: Optional[FaultInjector] = None
+        self, out_dir, injector: Optional[FaultInjector] = None,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise StoreError("shards must be >= 1")
         self.out_dir = pathlib.Path(out_dir)
         self.injector = injector
-        self._log: Optional[AppendLog] = None
+        self.shards = shards
+        self._logs: Optional[Dict[int, AppendLog]] = None
         #: Quarantine findings from the last ``completed()`` load; the
         #: runner copies the count into the manifest.
         self.last_quarantined: List[QuarantinedLine] = []
@@ -243,6 +383,17 @@ class ResultStore:
         """Where corrupt lines evicted from the results file land."""
         return self.out_dir / QUARANTINE_NAME
 
+    @property
+    def layout_path(self) -> pathlib.Path:
+        """Where the shard layout sidecar lives (sharded stores only)."""
+        return self.out_dir / LAYOUT_NAME
+
+    def result_path(self, shard: int = 0) -> pathlib.Path:
+        """The live file owning ``shard`` under this store's layout."""
+        if self.shards == 1:
+            return self.results_path
+        return self.out_dir / shard_name(shard, self.shards)
+
     # -- resume ----------------------------------------------------------------
 
     def completed(self, spec: CampaignSpec) -> Dict[str, Dict[str, Any]]:
@@ -255,49 +406,130 @@ class ResultStore:
         resuming across specs would mix incomparable results.
         """
         self.last_quarantined = []
-        if not self.results_path.exists():
+        files = result_files(self.out_dir)
+        if not files:
             return {}
-        report = load_report(self.results_path)
-        if report.header is None:
-            raise StoreError(f"{self.results_path}: no header record")
-        if report.header.get("spec_hash") != spec.spec_hash():
-            raise StoreError(
-                f"{self.results_path} belongs to campaign "
-                f"{report.header.get('name')!r} (spec hash "
-                f"{str(report.header.get('spec_hash'))[:12]}...); refusing to "
-                f"resume {spec.name!r} over it"
-            )
-        self.last_quarantined = report.quarantined
+        quarantined: List[QuarantinedLine] = []
+        by_id: Dict[str, Dict[str, Any]] = {}
+        saw_header = False
+        for path in files:
+            report = load_report(path)
+            if report.header is not None:
+                saw_header = True
+                if report.header.get("spec_hash") != spec.spec_hash():
+                    raise StoreError(
+                        f"{path} belongs to campaign "
+                        f"{report.header.get('name')!r} (spec hash "
+                        f"{str(report.header.get('spec_hash'))[:12]}...); "
+                        f"refusing to resume {spec.name!r} over it"
+                    )
+            quarantined.extend(report.quarantined)
+            for r in report.records:
+                by_id[r["cell_id"]] = r
+        if not saw_header:
+            raise StoreError(f"{files[0]}: no header record")
+        self.last_quarantined = quarantined
         return {
-            r["cell_id"]: r for r in report.records if r["status"] == "ok"
+            cid: r for cid, r in by_id.items() if r["status"] == "ok"
         }
 
     # -- append-as-you-go ------------------------------------------------------
 
     def open(self, spec: CampaignSpec, cells: int,
-             completed: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
-        """Start (or restart) the campaign's results file.
+             completed: Optional[Dict[str, Dict[str, Any]]] = None,
+             cell_hashes: Optional[List[str]] = None) -> None:
+        """Start (or restart) the campaign's result file(s).
 
         The header and prior completed records land in a temp file that
-        is renamed over ``results.jsonl`` only once fully written, so a
-        crash at any point leaves either the old resumable file or the
-        new one — never a truncated, header-less file.  Corrupt lines
+        is renamed over each result file only once fully written, so a
+        crash at any point leaves either the old resumable files or the
+        new ones — never a truncated, header-less file.  Corrupt lines
         the resume load quarantined are appended to the quarantine
-        sidecar before the rewrite drops them from the results file.
+        sidecar before the rewrite drops them from the results.
+
+        Sharded stores write ``layout.json`` first, then every shard
+        file (seeded with the completed records it owns), then drop
+        files belonging to any other layout — prior completed records
+        were already merged in, so nothing is lost.  ``cell_hashes``
+        (all cells of the campaign, in any order) sizes each shard's
+        expected-cell header; without it the expected counts fall back
+        to the completed records on hand.
         """
         self.out_dir.mkdir(parents=True, exist_ok=True)
         spec.save(self.spec_path)
         if self.last_quarantined:
             self._quarantine_lines(self.last_quarantined)
             self.last_quarantined = []
-        self._replace_results(_header(spec, cells), (completed or {}).values())
-        self._log = AppendLog(self.results_path, injector=self.injector)
+        done = list((completed or {}).values())
+        if self.shards == 1:
+            self._replace_results(
+                self.results_path, _header(spec, cells), done
+            )
+            self._drop_stale({RESULTS_NAME})
+            self._logs = {
+                0: AppendLog(self.results_path, injector=self.injector)
+            }
+            return
+        self._write_layout(spec, cells)
+        parts: List[List[Dict[str, Any]]] = [[] for _ in range(self.shards)]
+        for record in done:
+            parts[shard_of(record["cell_hash"], self.shards)].append(record)
+        if cell_hashes is not None:
+            counts = [0] * self.shards
+            for cell_hash in cell_hashes:
+                counts[shard_of(cell_hash, self.shards)] += 1
+        else:
+            counts = [len(part) for part in parts]
+        keep = {LAYOUT_NAME}
+        for i in range(self.shards):
+            name = shard_name(i, self.shards)
+            self._replace_results(
+                self.out_dir / name, self._shard_header(spec, counts[i], i),
+                parts[i],
+            )
+            keep.add(name)
+        self._drop_stale(keep)
+        self._logs = {}
+
+    def _shard_header(self, spec: CampaignSpec, cells: int,
+                      shard: int) -> Dict[str, Any]:
+        return {
+            **_header(spec, cells), "shard": shard, "shards": self.shards,
+        }
+
+    def _write_layout(self, spec: CampaignSpec, cells: int) -> None:
+        """Atomically journal the live shard count (sharded stores)."""
+        doc = {
+            "type": "layout",
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "shards": self.shards,
+            "cells": cells,
+        }
+        write_text_atomic(
+            self.layout_path, _dump(frame_record(doc)) + "\n",
+            injector=self.injector,
+        )
+
+    def _drop_stale(self, keep) -> None:
+        """Unlink result files (and layout) outside the live layout."""
+        for path in result_files(self.out_dir):
+            if path.name not in keep:
+                path.unlink()
+        if LAYOUT_NAME not in keep and self.layout_path.exists():
+            self.layout_path.unlink()
 
     def append(self, record: Dict[str, Any]) -> None:
         """Durably persist one framed record (completion order)."""
-        if self._log is None:
+        if self._logs is None:
             raise StoreError("store not opened")
-        self._log.append_line(_dump_framed(record))
+        shard = shard_of(record["cell_hash"], self.shards)
+        log = self._logs.get(shard)
+        if log is None:
+            log = AppendLog(self.result_path(shard), injector=self.injector)
+            self._logs[shard] = log
+        log.append_line(_dump_framed(record))
 
     def _quarantine_lines(self, lines: List[QuarantinedLine]) -> None:
         """Append evicted raw lines to the quarantine sidecar."""
@@ -306,7 +538,7 @@ class ResultStore:
             for bad in lines:
                 log.append_line(_dump_framed({
                     "type": "quarantine",
-                    "source": RESULTS_NAME,
+                    "source": bad.source,
                     "lineno": bad.lineno,
                     "reason": bad.reason,
                     "raw": bad.raw,
@@ -314,29 +546,45 @@ class ResultStore:
         finally:
             log.close()
 
-    def _replace_results(self, header: Dict[str, Any], records) -> None:
-        """Atomically swap in a results file: temp write + rename."""
+    def _replace_results(self, path: pathlib.Path, header: Dict[str, Any],
+                         records) -> None:
+        """Atomically swap in one result file: temp write + rename."""
         lines = [_dump_framed(header)]
         lines.extend(_dump_framed(record) for record in records)
         write_text_atomic(
-            self.results_path, "".join(line + "\n" for line in lines),
+            path, "".join(line + "\n" for line in lines),
             injector=self.injector,
         )
 
     def finalize(self, spec: CampaignSpec,
                  records: List[Dict[str, Any]]) -> None:
-        """Rewrite the results file in cell order and close it."""
-        if self._log is not None:
-            self._log.close()
-            self._log = None
+        """Rewrite the result file(s) in cell order and close them."""
+        self._close_logs()
         ordered = sorted(records, key=lambda r: r["index"])
-        self._replace_results(_header(spec, len(ordered)), ordered)
+        if self.shards == 1:
+            self._replace_results(
+                self.results_path, _header(spec, len(ordered)), ordered
+            )
+            return
+        self._write_layout(spec, len(ordered))
+        parts: List[List[Dict[str, Any]]] = [[] for _ in range(self.shards)]
+        for record in ordered:
+            parts[shard_of(record["cell_hash"], self.shards)].append(record)
+        for i, part in enumerate(parts):
+            self._replace_results(
+                self.out_dir / shard_name(i, self.shards),
+                self._shard_header(spec, len(part), i), part,
+            )
+
+    def _close_logs(self) -> None:
+        if self._logs is not None:
+            for log in self._logs.values():
+                log.close()
+            self._logs = None
 
     def abort(self) -> None:
-        """Close the append handle without finalizing (records survive)."""
-        if self._log is not None:
-            self._log.close()
-            self._log = None
+        """Close the append handles without finalizing (records survive)."""
+        self._close_logs()
 
     # -- manifest --------------------------------------------------------------
 

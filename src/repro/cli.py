@@ -616,9 +616,11 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or str(out_dir / "cache")
         cache = ResultCache(cache_dir, injector=injector)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     runner = CampaignRunner(
         spec,
-        store=ResultStore(out_dir, injector=injector),
+        store=ResultStore(out_dir, injector=injector, shards=args.shards),
         cache=cache,
         jobs=args.jobs,
         retries=args.retries,
@@ -629,6 +631,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             args.heartbeat if args.heartbeat is not None
             else DEFAULT_HEARTBEAT_S
         ),
+        batch=not args.no_batch,
     )
     try:
         result = runner.run(resume=args.resume)
@@ -662,7 +665,10 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             error = (record["error"] or "").strip().splitlines()
             detail = error[-1] if error else "unknown error"
             print(f"FAILED {record['cell_id']}: {detail}")
-    print(f"[results: {runner.store.results_path}]")
+    if args.shards > 1:
+        print(f"[results: {out_dir} ({args.shards} shards)]")
+    else:
+        print(f"[results: {runner.store.results_path}]")
     if args.trace:
         runner.store.write_trace(args.trace, spec, result.traces)
         print(f"[trace: {args.trace}]")
@@ -678,11 +684,11 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     """``repro campaign status``: inspect a campaign directory."""
-    from repro.campaign.store import ResultStore, StoreError, load_records
+    from repro.campaign.store import ResultStore, StoreError, load_merged
 
     store = ResultStore(args.out)
     try:
-        header, records = load_records(store.results_path)
+        header, records = load_merged(store.out_dir)
     except StoreError as exc:
         raise SystemExit(str(exc))
     ok = sum(1 for r in records if r["status"] == "ok")
@@ -740,7 +746,7 @@ def cmd_campaign_diff(args: argparse.Namespace) -> int:
     try:
         report = diff_files(
             args.baseline,
-            store.results_path,
+            store.out_dir,
             tolerances=tolerances,
             default=_cli_tolerance(args),
         )
@@ -757,7 +763,7 @@ def cmd_campaign_baseline(args: argparse.Namespace) -> int:
 
     store = ResultStore(args.out)
     try:
-        path = pin_baseline(store.results_path, args.baseline)
+        path = pin_baseline(store.out_dir, args.baseline)
     except StoreError as exc:
         raise SystemExit(str(exc))
     print(f"[baseline: {path}]")
@@ -787,9 +793,13 @@ def cmd_campaign_crash_chaos(args: argparse.Namespace) -> int:
     from repro.campaign.crashchaos import default_crash_points, run_chaos
 
     spec = _campaign_spec_for(args)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     points = None
     if args.points:
-        points = default_crash_points(len(spec.expand()))[: args.points]
+        points = default_crash_points(
+            len(spec.expand()), shards=args.shards
+        )[: args.points]
     report = run_chaos(
         spec,
         args.out,
@@ -797,6 +807,7 @@ def cmd_campaign_crash_chaos(args: argparse.Namespace) -> int:
         points=points,
         min_fired=args.min_fired,
         timeout_s=args.timeout,
+        shards=args.shards,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -1294,6 +1305,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=float, default=None, metavar="SECONDS",
         help="progress-manifest interval while running (default 2s)",
     )
+    pr.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the vectorized analytic fast path; evaluate every "
+        "cell through the scalar executor",
+    )
+    pr.add_argument(
+        "--shards", type=int, default=1,
+        help="split results across N shard files keyed by cell hash "
+        "(1 = classic single results.jsonl)",
+    )
     pr.set_defaults(func=cmd_campaign_run)
 
     ps = campaign_sub.add_parser(
@@ -1372,6 +1393,11 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument(
         "--timeout", type=float, default=300.0,
         help="per-child wall-clock limit in seconds",
+    )
+    pc.add_argument(
+        "--shards", type=int, default=1,
+        help="run the children with a sharded result store and add "
+        "shard-file crash points",
     )
     pc.set_defaults(func=cmd_campaign_crash_chaos)
 

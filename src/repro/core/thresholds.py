@@ -54,6 +54,42 @@ PAPER_LARGE_SIZE_TERM = 0.00157
 PAPER_SMALL_FACTOR_NUMERATOR = 1.30
 PAPER_SMALL_SIZE_TERM = 0.00372
 
+# -- numerical contract ----------------------------------------------------
+#
+# Every number this module emits is pinned byte-for-byte by campaign
+# baselines and reproduced bit-exactly by the vectorized batch engine
+# (:mod:`repro.simulator.batch`).  That makes the *operation order* of
+# the arithmetic below part of the public contract, not an
+# implementation detail:
+#
+# - sums accumulate naively left-to-right (never ``math.fsum``): the
+#   ARQ retry-wait loop in :mod:`repro.network.arq` and the recovery
+#   wait loop in :mod:`repro.core.recovery` add terms in ascending
+#   attempt order, carrying the per-attempt probability as an iterated
+#   product (``p *= again``), and the batch engine mirrors that exact
+#   sequence of IEEE-754 operations;
+# - the bisections below run a fixed :data:`BISECT_ITERATIONS` passes
+#   with ``mid = (lo + hi) / 2`` and return ``(lo + hi) / 2`` — no
+#   early exit on convergence, so the iteration trajectory (and hence
+#   the final rounding) is identical for the scalar and array paths;
+# - ``size_threshold_bytes`` rounds with built-in :func:`round`
+#   (banker's rounding, matched by ``np.rint`` in the batch engine).
+#
+# Changing any of these — reordering a sum, switching to fsum, exiting
+# a bisection early — is a baseline-breaking change: it must regenerate
+# ``smoke_baseline.jsonl`` and the batch engine in the same commit, and
+# the differential-oracle suite (tests/simulator/test_batch_oracle.py)
+# will fail until both paths agree again.
+
+#: Fixed bisection pass count shared by the scalar and batch engines.
+BISECT_ITERATIONS = 200
+#: Upper bracket for the compression-factor bisection.
+FACTOR_BISECT_HI = 1e6
+#: "Arbitrarily high" factor probing whether compression *ever* pays.
+SIZE_BISECT_HUGE_FACTOR = 1e9
+#: Default upper bracket for the break-even corruption-rate bisection.
+BREAK_EVEN_MAX_RATE = 1e-2
+
 
 def paper_condition(raw_bytes: float, compression_factor: float) -> bool:
     """The paper's literal Equation 6 test (True = compression saves)."""
@@ -148,13 +184,13 @@ def factor_threshold(
             raw_bytes, f, model, codec, loss_rate, arq, corrupt_rate, recovery
         )
 
-    hi = 1e6
+    hi = FACTOR_BISECT_HI
     if not worthwhile(hi):
         return float("inf")
     lo = 1.0
     if worthwhile(lo):
         return lo
-    for _ in range(200):
+    for _ in range(BISECT_ITERATIONS):
         mid = (lo + hi) / 2
         if worthwhile(mid):
             hi = mid
@@ -184,7 +220,7 @@ def size_threshold_bytes(
         if loss_rate == 0 and corrupt_rate == 0:
             return units.THRESHOLD_FILE_SIZE_BYTES
         model = EnergyModel()
-    huge_factor = 1e9
+    huge_factor = SIZE_BISECT_HUGE_FACTOR
 
     def ever_worthwhile(n_bytes: float) -> bool:
         return compression_worthwhile(
@@ -197,7 +233,7 @@ def size_threshold_bytes(
         return 1
     if not ever_worthwhile(hi):
         raise ModelError("compression never worthwhile under this model")
-    for _ in range(200):
+    for _ in range(BISECT_ITERATIONS):
         mid = (lo + hi) / 2
         if ever_worthwhile(mid):
             hi = mid
@@ -212,7 +248,7 @@ def break_even_corrupt_rate(
     model: Optional[EnergyModel] = None,
     codec: str = "gzip",
     recovery: Optional[RecoveryConfig] = None,
-    max_rate: float = 1e-2,
+    max_rate: float = BREAK_EVEN_MAX_RATE,
 ) -> float:
     """Residual bit-error rate at which compression stops paying.
 
@@ -234,7 +270,7 @@ def break_even_corrupt_rate(
     ):
         return float("inf")
     lo, hi = 0.0, max_rate
-    for _ in range(200):
+    for _ in range(BISECT_ITERATIONS):
         mid = (lo + hi) / 2
         if compression_worthwhile(
             raw_bytes, compression_factor, model, codec,

@@ -123,6 +123,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("proxy-load", "Proxy chaos load: resilience under fault injection",
                "bench_proxy_load.py", "proxy_load", "robustness",
                extension=True),
+    Experiment("batch-engine", "Vectorized Eq 1-6 batch engine speedup gate",
+               "bench_batch_engine.py", "batch_engine", "engineering",
+               extension=True),
     Experiment("throughput", "Codec throughput (engineering)",
                "bench_codec_throughput.py", "-", "engineering", extension=True),
     Experiment("engines", "Pure-Python codecs vs CPython engines",

@@ -1,0 +1,330 @@
+"""Differential oracle: the batch engine vs the scalar thresholds.
+
+The contract under test is stronger than the usual "within 1e-9
+relative": every quantity the vector engine produces must be
+*bit-identical* to the scalar closed forms, because campaign records
+serialize these values and the store's byte-identity guarantee rides
+on them.  The assertions here use exact equality (via ``repr`` for
+floats, so ``inf`` and negative zero are covered too); the 1e-9
+tolerance of the issue is subsumed.
+
+Edge cells get their own tests: loss at the ARQ saturation knee,
+corruption at the break-even floor (0.0 and ``inf`` overrides),
+raw sizes straddling the 3900-byte paper floor, and the non-finite /
+wrong-typed parameter guards of the campaign planner.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import thresholds
+from repro.core.recovery import RecoveryConfig, RecoveryPolicy
+from repro.errors import ModelError
+from repro.network.arq import ArqConfig
+from repro.simulator import batch
+
+np = pytest.importorskip("numpy")
+
+SIZES = [1.0, 100.0, 3899.0, 3900.0, 3901.0, 1e4, 131072.0, 1e6, 5e7]
+FACTORS = [1.0, 1.01, 1.72, 2.0, 6.0, 83.3]
+LOSSES = [0.0, 1e-4, 0.02, 0.1, 0.3]
+BERS = [0.0, 1e-8, 1e-6, 1e-4]
+
+sizes = st.sampled_from(SIZES) | st.floats(min_value=1.0, max_value=1e8)
+factors = st.sampled_from(FACTORS) | st.floats(min_value=1.0, max_value=100.0)
+losses = st.sampled_from(LOSSES) | st.floats(min_value=0.0, max_value=0.5)
+bers = st.sampled_from(BERS) | st.floats(min_value=0.0, max_value=1e-4)
+
+
+def bitwise_equal(a, b):
+    """Exact float equality including inf/nan/-0.0 distinctions."""
+    return repr(float(a)) == repr(float(b))
+
+
+def assert_matches(got, want, label):
+    __tracebackhide__ = True
+    if isinstance(want, bool):
+        assert bool(got) is want, f"{label}: {got!r} != {want!r}"
+    elif isinstance(want, float):
+        assert bitwise_equal(got, want), f"{label}: {got!r} != {want!r}"
+    else:
+        assert int(got) == want, f"{label}: {got!r} != {want!r}"
+
+
+class TestWorthwhileOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(raw=sizes, factor=factors, loss=losses, ber=bers)
+    def test_literal_matches_scalar(self, raw, factor, loss, ber):
+        got = batch.batch_compression_worthwhile(
+            raw, factor, loss_rate=loss, corrupt_rate=ber
+        )
+        want = thresholds.compression_worthwhile(
+            raw, factor, loss_rate=loss, corrupt_rate=ber
+        )
+        assert_matches(got, want, f"worthwhile({raw},{factor},{loss},{ber})")
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=sizes, factor=factors, loss=losses, ber=bers,
+           rate=st.sampled_from([11.0, 5.5, 2.0, 1.0]))
+    def test_model_matches_scalar(self, raw, factor, loss, ber, rate):
+        model = thresholds.model_at_rate(rate)
+        got = batch.batch_compression_worthwhile(
+            raw, factor, model, loss_rate=loss, corrupt_rate=ber
+        )
+        want = thresholds.compression_worthwhile(
+            raw, factor, model, loss_rate=loss, corrupt_rate=ber
+        )
+        assert_matches(got, want, f"worthwhile@{rate}")
+
+    def test_grid_is_elementwise_scalar(self):
+        raw = np.array(SIZES)[:, None]
+        factor = np.array(FACTORS)[None, :]
+        got = batch.batch_compression_worthwhile(raw, factor)
+        assert got.shape == (len(SIZES), len(FACTORS))
+        for i, s in enumerate(SIZES):
+            for j, f in enumerate(FACTORS):
+                assert_matches(
+                    got[i, j],
+                    thresholds.compression_worthwhile(s, f),
+                    f"grid[{s},{f}]",
+                )
+
+    def test_paper_floor_edge_cells(self):
+        # 3900 bytes is the paper's size floor: the verdict must flip
+        # exactly where the scalar engine flips, one byte either side.
+        for raw in (3899.0, 3900.0, 3901.0):
+            for factor in (5.77, 5.78, 83.3):
+                assert_matches(
+                    batch.batch_paper_condition(raw, factor),
+                    thresholds.paper_condition(raw, factor),
+                    f"paper({raw},{factor})",
+                )
+
+
+class TestFactorThresholdOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=sizes, loss=losses, ber=bers)
+    def test_literal_matches_scalar(self, raw, loss, ber):
+        got = batch.batch_factor_threshold(
+            raw, loss_rate=loss, corrupt_rate=ber
+        )
+        want = thresholds.factor_threshold(
+            raw, loss_rate=loss, corrupt_rate=ber
+        )
+        assert_matches(float(got), want, f"factor({raw},{loss},{ber})")
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=sizes, loss=losses,
+           rate=st.sampled_from([11.0, 5.5, 2.0, 1.0]))
+    def test_model_matches_scalar(self, raw, loss, rate):
+        model = thresholds.model_at_rate(rate)
+        got = batch.batch_factor_threshold(raw, model, loss_rate=loss)
+        want = thresholds.factor_threshold(raw, model, loss_rate=loss)
+        assert_matches(float(got), want, f"factor@{rate}")
+
+    def test_inf_and_unity_overrides(self):
+        # Tiny files: no factor pays -> inf, exactly like the scalar.
+        assert math.isinf(float(batch.batch_factor_threshold(10.0)))
+        assert math.isinf(thresholds.factor_threshold(10.0))
+        # Huge files: a finite threshold, bit-identical to scalar.
+        assert bitwise_equal(
+            float(batch.batch_factor_threshold(5e7)),
+            thresholds.factor_threshold(5e7),
+        )
+
+
+class TestSizeFloorOracle:
+    def test_literal_clean_is_paper_constant(self):
+        from repro import units
+
+        assert int(batch.batch_size_threshold_bytes()) == \
+            thresholds.size_threshold_bytes() == \
+            units.THRESHOLD_FILE_SIZE_BYTES
+
+    @settings(max_examples=25, deadline=None)
+    @given(loss=losses, ber=bers,
+           rate=st.sampled_from([11.0, 5.5, 2.0, 1.0]))
+    def test_model_matches_scalar(self, loss, ber, rate):
+        model = thresholds.model_at_rate(rate)
+        got = int(batch.batch_size_threshold_bytes(
+            model, loss_rate=loss, corrupt_rate=ber
+        ))
+        want = thresholds.size_threshold_bytes(
+            model, loss_rate=loss, corrupt_rate=ber
+        )
+        assert got == want, f"size_floor@{rate},{loss},{ber}"
+
+    def test_literal_noisy_matches_scalar(self):
+        for loss in (0.02, 0.1):
+            got = int(batch.batch_size_threshold_bytes(loss_rate=loss))
+            assert got == thresholds.size_threshold_bytes(loss_rate=loss)
+
+    def test_ladder_matches_scalar(self):
+        assert batch.batch_ladder_thresholds() == \
+            thresholds.ladder_thresholds()
+
+
+class TestBreakEvenOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=sizes, factor=factors)
+    def test_literal_matches_scalar(self, raw, factor):
+        got = batch.batch_break_even_corrupt_rate(raw, factor)
+        want = thresholds.break_even_corrupt_rate(raw, factor)
+        assert_matches(float(got), want, f"break_even({raw},{factor})")
+
+    @settings(max_examples=25, deadline=None)
+    @given(raw=sizes, factor=factors,
+           policy=st.sampled_from(list(RecoveryPolicy)))
+    def test_recovery_policies_match_scalar(self, raw, factor, policy):
+        recovery = RecoveryConfig(policy=policy)
+        got = batch.batch_break_even_corrupt_rate(
+            raw, factor, recovery=recovery
+        )
+        want = thresholds.break_even_corrupt_rate(
+            raw, factor, recovery=recovery
+        )
+        assert_matches(float(got), want, f"break_even/{policy.value}")
+
+    def test_floor_overrides(self):
+        # Never worthwhile even clean -> 0.0; tiny corruption load
+        # never bites -> inf.  Both overrides must match exactly.
+        assert float(batch.batch_break_even_corrupt_rate(10.0, 2.0)) == \
+            thresholds.break_even_corrupt_rate(10.0, 2.0) == 0.0
+        big = float(batch.batch_break_even_corrupt_rate(5e7, 80.0))
+        assert bitwise_equal(
+            big, thresholds.break_even_corrupt_rate(5e7, 80.0)
+        )
+
+
+class TestArqAndRecoveryVariants:
+    @settings(max_examples=20, deadline=None)
+    @given(raw=sizes, factor=factors, loss=st.floats(0.01, 0.4),
+           retries=st.integers(0, 9))
+    def test_custom_arq_matches_scalar(self, raw, factor, loss, retries):
+        arq = ArqConfig(max_retries=retries, timeout_s=0.25)
+        got = batch.batch_compression_worthwhile(
+            raw, factor, loss_rate=loss, arq=arq
+        )
+        want = thresholds.compression_worthwhile(
+            raw, factor, loss_rate=loss, arq=arq
+        )
+        assert_matches(got, want, f"arq retries={retries}")
+
+    def test_saturating_loss_knee(self):
+        # Near-certain loss: ARQ saturates at the full retry budget.
+        for loss in (0.9, 0.99, 0.999):
+            arq = ArqConfig(max_retries=7)
+            got = batch.batch_compression_worthwhile(
+                1e6, 2.0, loss_rate=loss, arq=arq
+            )
+            want = thresholds.compression_worthwhile(
+                1e6, 2.0, loss_rate=loss, arq=arq
+            )
+            assert_matches(got, want, f"loss knee {loss}")
+
+
+class TestPlannerGuards:
+    def _cells(self, params_list):
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="guard", mode="list", seed=0, base={},
+            cells=[{"label": f"c{i}", "kind": "threshold", **p}
+                   for i, p in enumerate(params_list)],
+        )
+        return spec.expand()
+
+    def test_non_finite_factor_declined(self):
+        for factor in (float("nan"), float("inf"), -1.0, 0.0, "2.0", True):
+            cells = self._cells([{
+                "quantity": "worthwhile", "size_mb": 1, "literal": True,
+                "factor": factor,
+            }])
+            eligible, scalar = batch.partition_cells(cells)
+            assert not eligible, f"factor={factor!r} must fall back"
+            assert len(scalar) == 1
+
+    def test_non_finite_rates_declined(self):
+        for key, val in (
+            ("loss_rate", float("nan")), ("loss_rate", 1.0),
+            ("loss_rate", -0.1), ("corrupt_rate", float("inf")),
+            ("corrupt_rate", "0.1"), ("corrupt_rate", True),
+        ):
+            cells = self._cells([{
+                "quantity": "factor", "size_mb": 1, "literal": True,
+                key: val,
+            }])
+            eligible, scalar = batch.partition_cells(cells)
+            assert not eligible, f"{key}={val!r} must fall back"
+
+    def test_unknown_codec_declined(self):
+        cells = self._cells([{
+            "quantity": "factor", "size_mb": 1, "literal": False,
+            "link_mbps": 11.0, "codec": "no-such-codec",
+        }])
+        eligible, scalar = batch.partition_cells(cells)
+        assert not eligible and len(scalar) == 1
+
+    def test_eligible_cells_match_executor(self):
+        from repro.campaign.executor import execute_cell
+
+        cells = self._cells([
+            {"quantity": "factor", "size_mb": 1, "literal": True},
+            {"quantity": "size_floor", "literal": True},
+            {"quantity": "worthwhile", "size_mb": 4, "factor": 2.0,
+             "literal": True, "loss_rate": 0.05},
+            {"quantity": "break_even_ber", "size_mb": 1, "factor": 3.0,
+             "literal": False, "link_mbps": 5.5},
+        ])
+        eligible, scalar = batch.partition_cells(cells)
+        assert len(eligible) == len(cells) and not scalar
+        results, fallback = batch.evaluate_cells(eligible)
+        assert not fallback
+        for cell, metrics in results:
+            want, _ = execute_cell(cell.params, cell.seed)
+            assert metrics == want, cell.cell_id
+
+    def test_evaluate_rejects_ineligible(self):
+        cells = self._cells([{
+            "quantity": "factor", "size_mb": 1, "literal": True,
+            "loss_rate": float("nan"),
+        }])
+        with pytest.raises(ModelError):
+            batch.evaluate_cells(cells)
+
+
+class TestSerializationIdentity:
+    def test_metric_types_are_plain_python(self):
+        cells = TestPlannerGuards()._cells([
+            {"quantity": "factor", "size_mb": 1, "literal": True},
+            {"quantity": "size_floor", "literal": True},
+            {"quantity": "worthwhile", "size_mb": 4, "factor": 2.0,
+             "literal": True},
+        ])
+        results, _ = batch.evaluate_cells(cells)
+        by_q = {c.params["quantity"]: m for c, m in results}
+        assert type(by_q["factor"]["factor_threshold"]) is float
+        assert type(by_q["size_floor"]["size_floor_bytes"]) is int
+        assert type(by_q["worthwhile"]["worthwhile"]) is bool
+
+    def test_records_serialize_identically(self):
+        import json
+
+        from repro.campaign.executor import execute_cell
+        from repro.campaign.store import frame_record, result_record
+
+        cells = TestPlannerGuards()._cells([
+            {"quantity": "factor", "size_mb": s, "literal": True,
+             "loss_rate": l}
+            for s in (0.001, 0.0037, 1, 64) for l in (0.0, 0.05)
+        ])
+        results, _ = batch.evaluate_cells(cells)
+        for cell, metrics in results:
+            want, _trace = execute_cell(cell.params, cell.seed)
+            a = json.dumps(frame_record(
+                result_record(cell, "ok", metrics)), sort_keys=True)
+            b = json.dumps(frame_record(
+                result_record(cell, "ok", want)), sort_keys=True)
+            assert a == b, cell.cell_id
