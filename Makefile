@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: install test ci bench fuzz chaos coverage trace-check examples artifacts clean \
-	campaign-smoke baseline campaign-perf campaign-mega proxy-smoke crash-chaos fsck-smoke
+	campaign-smoke baseline campaign-perf campaign-mega proxy-smoke crash-chaos fsck-smoke \
+	fleet-smoke
 
 install:
 	$(PYTHON) setup.py develop
@@ -115,6 +116,25 @@ proxy-smoke:
 	print('OK: 200/200 accounted,', outc['ok'], 'ok,', \
 	      doc['degraded'], 'degraded,', doc['service']['breaker_trips'], \
 	      'breaker trips, 0 leaked partials')"
+
+# CI fleet gate: the population layer's end-to-end contract at CI
+# scale.  The CLI runs twice and the canonical JSON must be
+# byte-identical (synthesis is a pure function of seed + spec), then
+# the population bench runs at 50k devices — which still exercises the
+# DES-agreement gate, the wall-clock budget, and the determinism
+# assertion the 1M-device run pins.
+fleet-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for run in a b; do \
+		$(PYTHON) -m repro fleet --population 20000 --mix balanced \
+			--policy fleet-advised --seed 7 --json \
+			> "$$tmp/$$run.json" || exit 1; \
+	done; \
+	cmp "$$tmp/a.json" "$$tmp/b.json" || \
+		{ echo "FAIL: fleet summary is not byte-stable at a fixed seed"; exit 1; }; \
+	echo "OK: 20k-device summary byte-identical across runs"; \
+	REPRO_FLEET_BENCH_DEVICES=50000 \
+		$(PYTHON) benchmarks/bench_fleet_population.py
 
 # Refresh the pinned smoke baseline after an intentional model change.
 baseline:

@@ -8,6 +8,9 @@ Each cell kind maps onto one public surface of the toolkit:
 - ``simulate`` — one session through either engine, with the full
   lossy-link / integrity / fault-timeline configuration vocabulary of
   ``repro simulate``;
+- ``fleet`` — a population-scale fleet evaluation: seeded synthesis
+  plus closed-form cohort aggregation, reduced to flat summary
+  metrics (battery-lifetime/energy percentiles, Eq-6 flip fraction);
 - ``resume_policy`` — the restart-vs-resume outage comparison;
 - ``experiment`` — a whole indexed table/figure bench run as a pytest
   subprocess, its JSON artifact flattened into gateable metrics.
@@ -257,6 +260,23 @@ def _execute_simulate(
     return metrics, trace_records
 
 
+# -- fleet cells ---------------------------------------------------------------
+
+
+def _execute_fleet(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    from repro.fleet.aggregate import evaluate_population
+    from repro.fleet.population import PopulationSpec, synthesize
+
+    spec = PopulationSpec.from_params(params)
+    population = synthesize(spec, int(params.get("population_seed", seed)))
+    summary = evaluate_population(
+        population,
+        policy=params.get("policy", "fleet-advised"),
+        collision_overhead=float(params.get("collision_overhead", 0.0)),
+    )
+    return summary.metrics()
+
+
 # -- resume-policy cells -------------------------------------------------------
 
 
@@ -388,6 +408,8 @@ def execute_cell(
         return _execute_threshold(params, seed), None
     if kind == "simulate":
         return _execute_simulate(params, seed, trace=trace)
+    if kind == "fleet":
+        return _execute_fleet(params, seed), None
     if kind == "resume_policy":
         return _execute_resume_policy(params, seed), None
     if kind == "experiment":

@@ -335,6 +335,28 @@ def smoke_spec() -> CampaignSpec:
     )
 
 
+def fleet_pop_spec() -> CampaignSpec:
+    """The population sweep: fleet composition x AP density x policy.
+
+    Every cell synthesizes a seeded 20k-device fleet and reduces it
+    through the closed-form cohort aggregator (``kind=fleet``), so the
+    36-cell grid spans mixes, contention levels and compression
+    policies in seconds.
+    """
+    return CampaignSpec(
+        name="fleet-pop",
+        description="Population-scale fleet: mix x AP density x policy",
+        mode="grid",
+        base={"kind": "fleet", "devices": 20000},
+        axes={
+            "mix": ["balanced", "pda-heavy", "media-heavy"],
+            "devices_per_ap": [8, 25, 60],
+            "policy": ["raw", "compressed", "advised", "fleet-advised"],
+        },
+        tolerances=dict(DEFAULT_TOLERANCES),
+    )
+
+
 def experiments_spec(
     ids: Optional[Iterable[str]] = None, paper_only: bool = False
 ) -> CampaignSpec:
@@ -369,6 +391,7 @@ PRESETS = {
     "loss": loss_sweep_spec,
     "corruption": corruption_sweep_spec,
     "trajectory": trajectory_spec,
+    "fleet-pop": fleet_pop_spec,
     "smoke": smoke_spec,
 }
 

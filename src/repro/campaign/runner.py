@@ -640,7 +640,10 @@ class CampaignRunner:
             )
 
         batch_pending: List[Cell] = []
-        if self.batch:
+        # Traced runs stay scalar: the batch engine reproduces metrics
+        # bit for bit but emits no per-segment trace records, and a
+        # silently trace-less cell would corrupt the trace artifact.
+        if self.batch and not self.trace:
             from repro.simulator import batch as batch_engine
 
             batch_pending, pending = batch_engine.partition_cells(pending)

@@ -36,7 +36,7 @@ from repro.errors import ReproError
 SPEC_SCHEMA_VERSION = 1
 
 #: Cell kinds the executor understands.
-CELL_KINDS = ("threshold", "simulate", "resume_policy", "experiment")
+CELL_KINDS = ("threshold", "simulate", "resume_policy", "experiment", "fleet")
 
 
 class CampaignSpecError(ReproError):

@@ -340,6 +340,69 @@ def load_merged(out_dir) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
     return header, records
 
 
+def live_result_files(out_dir) -> List[pathlib.Path]:
+    """The result files of the *current* layout only.
+
+    Unlike :func:`result_files` (deliberately stale-inclusive, so
+    resume/repair can migrate records), this returns exactly the files
+    a reduce-style query should fold: the ``layout.json`` shard set
+    when a layout sidecar exists, else the legacy single file.  Shard
+    files the layout names but that are missing on disk are simply
+    absent from the list (an un-started shard has no records to fold).
+    """
+    out_dir = pathlib.Path(out_dir)
+    layout = read_layout(out_dir)
+    if layout is not None:
+        shards = int(layout["shards"])
+        return [
+            path
+            for i in range(shards)
+            if (path := out_dir / shard_name(i, shards)).exists()
+        ]
+    legacy = out_dir / RESULTS_NAME
+    return [legacy] if legacy.exists() else []
+
+
+def shard_partials(out_dir, fold, zero) -> List[Any]:
+    """Fold each live result file into one partial, without merging.
+
+    ``fold(acc, record) -> acc`` consumes one result record at a time;
+    ``zero()`` builds a fresh accumulator per file.  Records within a
+    file are the deduplicated keep-last set in index order (the same
+    view :func:`load_report` serves), but no cross-file merge or sort
+    happens — memory stays bounded by one shard, which is the point of
+    reduce-style queries over sharded campaign stores.
+    """
+    partials: List[Any] = []
+    for path in live_result_files(out_dir):
+        acc = zero()
+        for record in load_report(path).records:
+            acc = fold(acc, record)
+        partials.append(acc)
+    return partials
+
+
+def reduce_shards(out_dir, fold, zero, combine) -> Any:
+    """Reduce a campaign's results shard by shard.
+
+    Folds each live shard independently (:func:`shard_partials`), then
+    combines the partials left to right with
+    ``combine(acc, partial) -> acc``.  ``combine`` must be associative
+    — shard membership is a hash artifact, not a meaningful grouping —
+    which is exactly the contract mergeable aggregation sketches
+    (e.g. :class:`repro.fleet.aggregate.FleetSummary`) are built to
+    satisfy.  Raises :class:`StoreError` when the directory has no live
+    result files at all.
+    """
+    partials = shard_partials(out_dir, fold, zero)
+    if not partials:
+        raise StoreError(f"{out_dir}: no result files")
+    acc = zero()
+    for partial in partials:
+        acc = combine(acc, partial)
+    return acc
+
+
 class ResultStore:
     """One campaign directory's files, with append + finalize + resume.
 

@@ -405,8 +405,64 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_population(args: argparse.Namespace) -> int:
+    """Population branch of ``repro fleet``: analytic, millions of devices."""
+    from repro.fleet import (
+        PopulationSpec,
+        evaluate_population,
+        summary_json,
+        synthesize,
+    )
+
+    spec = PopulationSpec.from_mix(
+        args.population,
+        mix=args.mix,
+        aps=args.aps or None,
+        devices_per_ap=args.devices_per_ap,
+    )
+    population = synthesize(spec, seed=args.seed)
+    summary = evaluate_population(population, policy=args.policy)
+    if args.metrics:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.observe_fleet(summary, strategy=args.policy)
+        registry.write(args.metrics)
+    if args.json:
+        print(summary_json(summary))
+    else:
+        stats = summary.metrics()
+        rows = [
+            ("devices", f"{stats['devices']}"),
+            ("access points", f"{stats['aps']}"),
+            ("cohorts", f"{stats['cohorts']}"),
+            ("fleet energy", f"{stats['fleet_energy_j']:.1f} J"),
+            ("mean device energy", f"{stats['mean_device_energy_j']:.4f} J"),
+            ("compress fraction", f"{stats['compress_fraction']:.3f}"),
+            ("flip fraction", f"{stats['flip_fraction']:.3f}"),
+            ("lifetime p50", f"{stats['lifetime_h_p50']:.2f} h"),
+            ("energy/MB p50", f"{stats['energy_per_mb_p50']:.3f} J"),
+            ("wait p50", f"{stats['wait_s_p50']:.4f} s"),
+        ]
+        print(
+            ascii_table(
+                ["statistic", "value"],
+                rows,
+                title=(
+                    f"{args.population} devices, mix {args.mix}, "
+                    f"policy {args.policy} (seed {args.seed})"
+                ),
+            )
+        )
+    if args.metrics:
+        print(f"[metrics: {args.metrics}]")
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """``repro fleet``: clients sharing one AP, per-strategy totals."""
+    if args.population:
+        return _cmd_fleet_population(args)
     from repro.simulator.multiclient import MultiClientSimulation, Request
 
     model = _model_for(args.link)
@@ -1153,6 +1209,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics", default=None, metavar="OUT.prom",
         help="write fleet metrics (Prometheus text; '.json' for JSON)",
+    )
+    p.add_argument(
+        "--population", type=int, default=0, metavar="N",
+        help="analytic population mode: synthesize and evaluate N devices "
+        "behind contended APs instead of running the per-client DES",
+    )
+    p.add_argument(
+        "--mix", default="balanced",
+        help="device/workload mix for --population "
+        "(balanced, media-heavy, pda-heavy)",
+    )
+    p.add_argument(
+        "--aps", type=int, default=0,
+        help="access-point count for --population (0 = derive from density)",
+    )
+    p.add_argument(
+        "--devices-per-ap", type=float, default=25.0,
+        help="mean AP density when --aps is derived",
+    )
+    p.add_argument(
+        "--policy", default="fleet-advised",
+        choices=["raw", "compressed", "advised", "fleet-advised"],
+        help="compression policy applied across the population",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="population synthesis seed (same seed -> byte-identical output)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical population summary JSON (byte-stable)",
     )
     add_link(p)
     p.set_defaults(func=cmd_fleet)

@@ -28,17 +28,32 @@ from repro.errors import ModelError
 
 
 class FleetAdvisor:
-    """Compression decisions that price in shared-medium queueing."""
+    """Compression decisions that price in shared-medium queueing.
+
+    The waiting-energy arithmetic itself lives in
+    :class:`repro.fleet.contention.ContentionModel` (the population
+    layer's closed forms); this class keeps the decision API — the
+    worthwhile test and the factor/size thresholds — and delegates the
+    cost form.  ``collision_overhead`` passes through to the contention
+    model's MAC efficiency knob; the default ``0.0`` preserves the
+    original fluid-limit answers bit for bit.
+    """
 
     def __init__(
         self,
         model: Optional[EnergyModel] = None,
         contenders: int = 0,
+        collision_overhead: float = 0.0,
     ) -> None:
         if contenders < 0:
             raise ModelError("contenders must be non-negative")
+        from repro.fleet.contention import ContentionModel
+
         self.model = model or EnergyModel()
         self.contenders = contenders
+        self.contention = ContentionModel(
+            self.model, collision_overhead=collision_overhead
+        )
 
     def _waiting_power_w(self) -> float:
         return self.model.device.idle_power_w
@@ -48,15 +63,12 @@ class FleetAdvisor:
 
         The contenders wait for the transfer's link occupancy (its wall
         time on the medium); interleaved decompression overflow happens
-        off-air and does not hold the link.
+        off-air and does not hold the link.  Delegates to
+        :meth:`~repro.fleet.contention.ContentionModel.fleet_cost_j`.
         """
-        if transfer_bytes == raw_bytes:
-            device = self.model.download_energy_j(raw_bytes)
-        else:
-            device = self.model.interleaved_energy_j(raw_bytes, transfer_bytes)
-        link_time = units.bytes_to_mb(transfer_bytes) / self.model.params.rate_mb_per_s
-        waiting = self.contenders * link_time * self._waiting_power_w()
-        return device + waiting
+        return self.contention.fleet_cost_j(
+            raw_bytes, transfer_bytes, self.contenders
+        )
 
     def compression_worthwhile(
         self, raw_bytes: int, compression_factor: float

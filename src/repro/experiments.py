@@ -94,6 +94,9 @@ _EXPERIMENTS: List[Experiment] = [
     Experiment("fleet-breakeven", "Contention-adjusted thresholds",
                "bench_fleet_breakeven.py", "fleet_breakeven", "extension",
                extension=True),
+    Experiment("fleet-pop", "Population-scale fleet distributions",
+               "bench_fleet_population.py", "fleet_population", "extension",
+               extension=True),
     Experiment("powersave", "Radio idle policies per traffic pattern",
                "bench_powersave_policies.py", "powersave_policies",
                "Section 2 (ref [11])", extension=True),

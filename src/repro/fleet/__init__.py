@@ -1,0 +1,61 @@
+"""Population-scale fleet simulation: millions of handhelds, statistically.
+
+The paper measures one handheld on an idle WLAN; this package scales
+the compression-energy question to populations of millions without a
+million DES runs.  Three layers:
+
+- :mod:`repro.fleet.contention` — closed-form WLAN contention after
+  Agrawal et al. (per-STA throughput, airtime/idle fractions, per-STA
+  energy as functions of the station count), validated against
+  :class:`~repro.simulator.multiclient.MultiClientSimulation` DES
+  spot-checks under a pinned tolerance gate;
+- :mod:`repro.fleet.population` — seeded heterogeneous fleet synthesis
+  (device classes, battery capacities, workload mixes, AP association),
+  a pure function of ``(seed, spec)``;
+- :mod:`repro.fleet.aggregate` — streaming statistical aggregation over
+  closed-form per-cohort evaluations: battery-lifetime percentiles,
+  energy-per-MB distributions, break-even-size distributions, and the
+  fleet-wide Equation 6 flip fraction, with mergeable sketch state so
+  shard partials combine associatively.
+
+The campaign integration (``kind=fleet`` cells, the ``fleet-pop``
+preset) and the ``repro fleet --population`` CLI ride on these layers.
+"""
+
+from repro.fleet.contention import (
+    ContentionModel,
+    DES_SPOT_TOLERANCE,
+    assert_des_agreement,
+    spot_check_against_des,
+)
+from repro.fleet.population import (
+    DeviceClass,
+    HAVE_NUMPY,
+    Population,
+    PopulationSpec,
+    Workload,
+    synthesize,
+)
+from repro.fleet.aggregate import (
+    FleetSummary,
+    LogHistogram,
+    evaluate_population,
+    summary_json,
+)
+
+__all__ = [
+    "ContentionModel",
+    "DES_SPOT_TOLERANCE",
+    "DeviceClass",
+    "FleetSummary",
+    "HAVE_NUMPY",
+    "LogHistogram",
+    "Population",
+    "PopulationSpec",
+    "Workload",
+    "assert_des_agreement",
+    "evaluate_population",
+    "spot_check_against_des",
+    "summary_json",
+    "synthesize",
+]

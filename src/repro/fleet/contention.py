@@ -1,0 +1,304 @@
+"""Analytic WLAN contention: N stations behind one AP, in closed form.
+
+The DES multiclient simulation (:mod:`repro.simulator.multiclient`)
+resolves contention by replaying every request through a FIFO link
+resource — exact, but linear in the fleet size.  Following Agrawal et
+al. ("Analytical Models for Energy Consumption in Infrastructure WLAN
+STAs Carrying TCP Traffic", PAPERS.md), the saturated single-AP case
+has closed forms: with ``n`` stations each pulling the same download,
+every station owns ``1/n`` of the medium, so its long-run throughput is
+the link rate over ``n`` (scaled by a MAC efficiency term), its queue
+wait grows linearly in ``n``, and the energy it burns *waiting* — at
+idle power, for other stations' airtime — dominates fleet energy long
+before its own radio does.
+
+The model here is the fluid limit of the DES's FIFO service discipline:
+``n`` synchronized stations, one link slot, service time ``T`` per
+session.  Station ``k`` waits ``k*T``, so the mean wait is
+``(n-1)/2 * T``, the makespan is ``n*T``, and the fleet-wide waiting
+energy is ``p_idle * T * n*(n-1)/2``.  At the default settings these
+forms agree with the DES *exactly* (same arithmetic, different
+association), which is what the pinned spot-check gate verifies;
+``collision_overhead`` optionally adds an Agrawal-style per-contender
+MAC efficiency loss the DES does not model (``0`` keeps the fluid
+limit).
+
+Every method accepts scalars or numpy arrays for ``n`` and the session
+quantities — the arithmetic is plain ``+ - * /`` so it broadcasts, and
+the cohort aggregator (:mod:`repro.fleet.aggregate`) evaluates whole
+populations through these forms in a handful of array ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.core.energy_model import EnergyModel
+from repro.errors import ModelError
+
+#: Relative disagreement allowed between the analytic layer and the DES
+#: on every spot-checked small-N configuration (the CI gate's pin).
+DES_SPOT_TOLERANCE = 0.05
+
+#: Station counts the DES spot check samples (small N: the DES is
+#: linear in N, so the gate stays cheap).
+SPOT_CHECK_NS = (1, 2, 4, 8)
+
+#: (size_mb, factor) download shapes the spot check samples: a small
+#: barely-compressible file, the canonical 1 MB text page, and a large
+#: well-compressed bulk transfer.
+SPOT_CHECK_SHAPES = ((0.128, 1.1), (1.0, 3.8), (4.0, 4.3))
+
+#: Strategies the spot check forces fleet-wide.
+SPOT_CHECK_STRATEGIES = ("raw", "compressed")
+
+
+class ContentionModel:
+    """Closed-form contention for ``n`` stations sharing one AP.
+
+    ``collision_overhead`` is the per-contender MAC efficiency loss:
+    ``efficiency(n) = 1 / (1 + collision_overhead*(n-1))``.  The
+    default ``0.0`` is the fluid limit of the DES's FIFO link (perfect
+    scheduling, no collision tax), which is what the spot-check gate
+    validates; Agrawal-style backoff/collision overhead is a knob on
+    top, not a change of model shape.
+    """
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        collision_overhead: float = 0.0,
+    ) -> None:
+        if collision_overhead < 0:
+            raise ModelError("collision overhead must be non-negative")
+        self.model = model or EnergyModel()
+        self.collision_overhead = collision_overhead
+
+    # -- medium shares -------------------------------------------------------
+
+    def efficiency(self, n):
+        """MAC efficiency at ``n`` stations (1.0 at n=1 or no overhead)."""
+        return 1.0 / (1.0 + self.collision_overhead * (n - 1.0))
+
+    def airtime_fraction(self, n):
+        """Share of the busy medium one station's own transfer owns."""
+        return 1.0 / n
+
+    def idle_fraction(self, n):
+        """Share of a station's mean session latency spent waiting.
+
+        Mean wait over mean latency: ``(n-1)/2 * T`` over
+        ``(n+1)/2 * T`` is ``(n-1)/(n+1)`` — 0 at ``n=1``, strictly
+        increasing, bounded below 1.  Independent of the session time,
+        so it is a pure function of the station count.
+        """
+        return (n - 1.0) / (n + 1.0)
+
+    # -- per-station service -------------------------------------------------
+
+    def service_time_s(self, session_time_s, n):
+        """Link occupancy of one session at ``n`` stations.
+
+        The single-device session wall time stretched by the MAC
+        efficiency loss; at the default overhead this is the session
+        time unchanged (dividing by 1.0 is a bitwise no-op, which is
+        what keeps :class:`~repro.core.fleet_advisor.FleetAdvisor`'s
+        delegated answers bit-identical).
+        """
+        return session_time_s / self.efficiency(n)
+
+    def per_sta_throughput_mb_s(self, transfer_bytes, n, session_time_s=None):
+        """Long-run per-station goodput: payload over ``n`` service times.
+
+        With ``session_time_s`` omitted the transfer is assumed to
+        occupy the link at the model's effective rate, so the result
+        degenerates to ``rate * efficiency(n) / n`` — non-increasing in
+        ``n``, equal to the single-device rate at ``n=1``.
+        """
+        if session_time_s is None:
+            session_time_s = (
+                units.bytes_to_mb(transfer_bytes)
+                / self.model.params.rate_mb_per_s
+            )
+        busy = n * self.service_time_s(session_time_s, n)
+        return units.bytes_to_mb(transfer_bytes) / busy
+
+    def mean_wait_s(self, session_time_s, n):
+        """Mean queue wait per station: ``(n-1)/2`` service times."""
+        return (n - 1.0) / 2.0 * self.service_time_s(session_time_s, n)
+
+    def makespan_s(self, session_time_s, n):
+        """When the last of ``n`` synchronized stations finishes."""
+        return n * self.service_time_s(session_time_s, n)
+
+    # -- energy --------------------------------------------------------------
+
+    def per_sta_energy_j(self, session_energy_j, session_time_s, n):
+        """Mean per-station energy: own session plus queue wait at idle.
+
+        The DES charges each waiting station the device idle power for
+        its time in the FIFO queue; the mean over stations is the mean
+        wait times that power.
+        """
+        idle = self.model.device.idle_power_w
+        return session_energy_j + self.mean_wait_s(session_time_s, n) * idle
+
+    def fleet_energy_j(self, session_energy_j, session_time_s, n):
+        """Total energy of ``n`` stations: sessions plus waiting.
+
+        Station ``k`` (0-based) waits ``k`` service times, so the
+        waiting term sums to ``p_idle * T * n*(n-1)/2`` — the same sum
+        the DES accumulates request by request.
+        """
+        idle = self.model.device.idle_power_w
+        t = self.service_time_s(session_time_s, n)
+        return n * session_energy_j + idle * t * (n * (n - 1.0) / 2.0)
+
+    # -- the FleetAdvisor decision form --------------------------------------
+
+    def fleet_cost_j(self, raw_bytes, transfer_bytes, contenders):
+        """Device session energy plus contender waiting energy.
+
+        The decision form :class:`~repro.core.fleet_advisor.FleetAdvisor`
+        delegates to: the device's own closed-form session energy
+        (Equation 1 for a raw transfer, Equation 3 interleaved
+        otherwise) plus ``contenders`` stations idling for the
+        transfer's link occupancy.  Decompression overflow happens
+        off-air and does not hold the link.  At the default overhead
+        the arithmetic is the advisor's original expression unchanged.
+        """
+        if transfer_bytes == raw_bytes:
+            device = self.model.download_energy_j(raw_bytes)
+        else:
+            device = self.model.interleaved_energy_j(raw_bytes, transfer_bytes)
+        link_time = (
+            units.bytes_to_mb(transfer_bytes) / self.model.params.rate_mb_per_s
+        )
+        if self.collision_overhead:
+            link_time = link_time / self.efficiency(contenders + 1.0)
+        return device + contenders * link_time * self.model.device.idle_power_w
+
+
+# -- DES validation ----------------------------------------------------------
+
+
+def _analytic_session(model: EnergyModel, size_mb: float, factor: float,
+                      strategy: str):
+    """(energy_j, time_s) of one single-device session, closed form."""
+    from repro.simulator.analytic import AnalyticSession
+
+    session = AnalyticSession(model)
+    raw = int(size_mb * units.BYTES_PER_MB)
+    if strategy == "raw":
+        result = session.raw(raw)
+    elif strategy == "compressed":
+        result = session.precompressed(raw, int(raw / factor), interleave=True)
+    else:
+        raise ModelError(f"unknown spot-check strategy {strategy!r}")
+    return result.energy_j, result.time_s
+
+
+def _rel_err(analytic: float, des: float) -> float:
+    """Relative disagreement, absolute when the DES value is ~0."""
+    if abs(des) < 1e-12:
+        return abs(analytic - des)
+    return abs(analytic - des) / abs(des)
+
+
+def spot_check_against_des(
+    contention: Optional[ContentionModel] = None,
+    ns: Sequence[int] = SPOT_CHECK_NS,
+    shapes: Sequence[Tuple[float, float]] = SPOT_CHECK_SHAPES,
+    strategies: Sequence[str] = SPOT_CHECK_STRATEGIES,
+) -> List[Dict[str, float]]:
+    """Compare the closed forms against DES runs on small-N configs.
+
+    For every sampled ``(n, size, factor, strategy)`` the multiclient
+    DES replays ``n`` synchronized requests through the FIFO link and
+    the analytic layer predicts the same three aggregates from one
+    single-device session.  Returns one row per configuration with the
+    analytic/DES values and their relative errors (``err_energy``,
+    ``err_wait``, ``err_makespan``) — :func:`assert_des_agreement`
+    turns the worst row into a pass/fail gate.
+    """
+    from repro.simulator.multiclient import MultiClientSimulation, Request
+
+    contention = contention or ContentionModel()
+    model = contention.model
+    rows: List[Dict[str, float]] = []
+    for size_mb, factor in shapes:
+        raw = int(size_mb * units.BYTES_PER_MB)
+        for strategy in strategies:
+            energy, time_s = _analytic_session(model, size_mb, factor, strategy)
+            for n in ns:
+                sim = MultiClientSimulation(model)
+                report = sim.run([
+                    Request(
+                        client=f"c{i}", name=f"f{i}", raw_bytes=raw,
+                        factor=factor, arrival_s=0.0, strategy=strategy,
+                    )
+                    for i in range(n)
+                ])
+                a_energy = contention.fleet_energy_j(energy, time_s, float(n))
+                a_wait = contention.mean_wait_s(time_s, float(n))
+                a_makespan = contention.makespan_s(time_s, float(n))
+                rows.append({
+                    "n": float(n),
+                    "size_mb": size_mb,
+                    "factor": factor,
+                    "strategy": strategy,
+                    "analytic_energy_j": a_energy,
+                    "des_energy_j": report.total_energy_j,
+                    "err_energy": _rel_err(a_energy, report.total_energy_j),
+                    "analytic_wait_s": a_wait,
+                    "des_wait_s": report.mean_wait_s,
+                    "err_wait": _rel_err(a_wait, report.mean_wait_s),
+                    "analytic_makespan_s": a_makespan,
+                    "des_makespan_s": report.makespan_s,
+                    "err_makespan": _rel_err(a_makespan, report.makespan_s),
+                })
+    return rows
+
+
+def worst_spot_error(rows: Sequence[Dict[str, float]]) -> float:
+    """The largest relative error across every row and metric."""
+    worst = 0.0
+    for row in rows:
+        for key in ("err_energy", "err_wait", "err_makespan"):
+            worst = max(worst, row[key])
+    return worst
+
+
+def assert_des_agreement(
+    contention: Optional[ContentionModel] = None,
+    tolerance: float = DES_SPOT_TOLERANCE,
+    **kwargs,
+) -> List[Dict[str, float]]:
+    """The pinned DES gate: raise if any spot check exceeds ``tolerance``.
+
+    Returns the spot-check rows on success so callers can report them.
+    """
+    rows = spot_check_against_des(contention, **kwargs)
+    for row in rows:
+        for key in ("err_energy", "err_wait", "err_makespan"):
+            if row[key] > tolerance:
+                raise ModelError(
+                    f"analytic contention disagrees with DES beyond "
+                    f"{tolerance:.0%}: {key}={row[key]:.3%} at "
+                    f"n={row['n']:.0f} size={row['size_mb']} "
+                    f"factor={row['factor']} strategy={row['strategy']}"
+                )
+    return rows
+
+
+__all__ = [
+    "ContentionModel",
+    "DES_SPOT_TOLERANCE",
+    "SPOT_CHECK_NS",
+    "SPOT_CHECK_SHAPES",
+    "SPOT_CHECK_STRATEGIES",
+    "assert_des_agreement",
+    "spot_check_against_des",
+    "worst_spot_error",
+]

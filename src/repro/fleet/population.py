@@ -1,0 +1,414 @@
+"""Seeded heterogeneous fleet synthesis: a pure function of (seed, spec).
+
+A population is millions of handhelds described statistically: device
+classes (link rung, battery capacity, idle policy — drawn from the
+:mod:`repro.device` power tables), workload mixes (file size,
+compression factor, codec, request rate), and an AP association drawn
+from a seeded placement model with Zipf-like AP popularity (real
+deployments concentrate stations on few APs; ``ap_skew=0`` is uniform).
+
+Determinism is the contract: :func:`synthesize` draws every assignment
+from one ``numpy.random.Generator(PCG64(seed))``, so the same
+``(seed, spec)`` always produces byte-identical arrays — the property
+tests pin this via :meth:`Population.digest`, and the campaign/CLI
+layers inherit byte-stable reruns from it.
+
+Scale comes from *cohort reduction*: devices are exchangeable within a
+(device class, workload, stations-on-my-AP) triple, so a million-device
+population collapses to a few hundred cohorts with counts, and the
+aggregator (:mod:`repro.fleet.aggregate`) evaluates closed forms once
+per cohort instead of once per device.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every import site
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is in the base image
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+from repro.errors import ModelError
+from repro.network.wlan import LADDER_MBPS
+
+#: Default stations per AP when a spec gives a device count but no AP
+#: count (a loaded-but-sane office/venue density).
+DEFAULT_DEVICES_PER_AP = 25.0
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One device archetype: link rung, battery, and idle policy.
+
+    ``link_mbps`` must sit on the 802.11b ladder so the class maps onto
+    a calibrated :class:`~repro.core.energy_model.EnergyModel`;
+    ``power_save_idle`` selects the radio state the device idles in
+    *between* requests (110 mA power-save vs the 310 mA active idle).
+    """
+
+    name: str
+    weight: float
+    link_mbps: float = 11.0
+    capacity_mah: float = 950.0
+    power_save_idle: bool = False
+
+    def validate(self) -> None:
+        """Reject weights/capacities/rates a synthesis cannot use."""
+        if self.weight < 0:
+            raise ModelError(f"device class {self.name!r}: negative weight")
+        if self.capacity_mah <= 0:
+            raise ModelError(f"device class {self.name!r}: bad capacity")
+        if float(self.link_mbps) not in LADDER_MBPS:
+            raise ModelError(
+                f"device class {self.name!r}: rate {self.link_mbps!r} is "
+                f"not on the 802.11b ladder {LADDER_MBPS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (campaign specs embed these)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "link_mbps": self.link_mbps,
+            "capacity_mah": self.capacity_mah,
+            "power_save_idle": self.power_save_idle,
+        }
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One traffic archetype: what a device downloads and how often."""
+
+    name: str
+    weight: float
+    size_mb: float
+    factor: float
+    codec: str = "gzip"
+    requests_per_hour: float = 4.0
+
+    def validate(self) -> None:
+        """Reject shapes the session closed forms cannot evaluate."""
+        if self.weight < 0:
+            raise ModelError(f"workload {self.name!r}: negative weight")
+        if self.size_mb <= 0:
+            raise ModelError(f"workload {self.name!r}: size must be positive")
+        if self.factor <= 0:
+            raise ModelError(f"workload {self.name!r}: factor must be positive")
+        if self.requests_per_hour < 0:
+            raise ModelError(f"workload {self.name!r}: negative request rate")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (campaign specs embed these)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "size_mb": self.size_mb,
+            "factor": self.factor,
+            "codec": self.codec,
+            "requests_per_hour": self.requests_per_hour,
+        }
+
+
+#: Named device-class mixes the CLI/preset layers select by name.
+DEVICE_MIXES: Dict[str, Tuple[DeviceClass, ...]] = {
+    "balanced": (
+        DeviceClass("pda", 0.5, link_mbps=11.0, capacity_mah=950.0),
+        DeviceClass("phone", 0.3, link_mbps=5.5, capacity_mah=700.0,
+                    power_save_idle=True),
+        DeviceClass("tablet", 0.15, link_mbps=11.0, capacity_mah=1600.0),
+        DeviceClass("edge", 0.05, link_mbps=2.0, capacity_mah=950.0),
+    ),
+    "pda-heavy": (
+        DeviceClass("pda", 0.8, link_mbps=11.0, capacity_mah=950.0),
+        DeviceClass("edge", 0.2, link_mbps=2.0, capacity_mah=950.0),
+    ),
+    "media-heavy": (
+        DeviceClass("tablet", 0.6, link_mbps=11.0, capacity_mah=1600.0),
+        DeviceClass("phone", 0.4, link_mbps=5.5, capacity_mah=700.0,
+                    power_save_idle=True),
+    ),
+}
+
+#: Named workload mixes, paired with the device mixes above.
+WORKLOAD_MIXES: Dict[str, Tuple[Workload, ...]] = {
+    "balanced": (
+        Workload("web", 0.45, size_mb=0.128, factor=2.9,
+                 requests_per_hour=30.0),
+        Workload("text", 0.3, size_mb=1.0, factor=3.8,
+                 requests_per_hour=12.0),
+        Workload("media", 0.2, size_mb=4.0, factor=1.05,
+                 requests_per_hour=2.0),
+        Workload("bulk", 0.05, size_mb=8.0, factor=4.3, codec="bzip2",
+                 requests_per_hour=0.5),
+    ),
+    "pda-heavy": (
+        Workload("web", 0.6, size_mb=0.128, factor=2.9,
+                 requests_per_hour=30.0),
+        Workload("text", 0.4, size_mb=1.0, factor=3.8,
+                 requests_per_hour=12.0),
+    ),
+    "media-heavy": (
+        Workload("media", 0.6, size_mb=4.0, factor=1.05,
+                 requests_per_hour=4.0),
+        Workload("text", 0.25, size_mb=1.0, factor=3.8,
+                 requests_per_hour=12.0),
+        Workload("bulk", 0.15, size_mb=8.0, factor=4.3, codec="bzip2",
+                 requests_per_hour=1.0),
+    ),
+}
+
+#: Mix names the spec layer accepts.
+MIX_NAMES = tuple(sorted(DEVICE_MIXES))
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Everything a synthesis needs besides the seed."""
+
+    devices: int
+    aps: int
+    device_classes: Tuple[DeviceClass, ...]
+    workloads: Tuple[Workload, ...]
+    #: Zipf-like exponent for AP popularity: station placement weight
+    #: of AP ranked ``r`` is ``r**-ap_skew`` (0 = uniform).
+    ap_skew: float = 1.0
+    #: The mix name this spec came from, if any (display only).
+    mix: str = ""
+
+    def validate(self) -> None:
+        """Reject specs a synthesis cannot realize."""
+        if self.devices <= 0:
+            raise ModelError("population needs at least one device")
+        if self.aps <= 0:
+            raise ModelError("population needs at least one AP")
+        if not self.device_classes:
+            raise ModelError("population needs at least one device class")
+        if not self.workloads:
+            raise ModelError("population needs at least one workload")
+        for cls in self.device_classes:
+            cls.validate()
+        for wl in self.workloads:
+            wl.validate()
+        if sum(c.weight for c in self.device_classes) <= 0:
+            raise ModelError("device class weights must sum to > 0")
+        if sum(w.weight for w in self.workloads) <= 0:
+            raise ModelError("workload weights must sum to > 0")
+        if self.ap_skew < 0:
+            raise ModelError("ap_skew must be non-negative")
+
+    @classmethod
+    def from_mix(
+        cls,
+        devices: int,
+        mix: str = "balanced",
+        aps: Optional[int] = None,
+        devices_per_ap: float = DEFAULT_DEVICES_PER_AP,
+        ap_skew: float = 1.0,
+    ) -> "PopulationSpec":
+        """Build a spec from a named mix and an AP density.
+
+        ``aps`` wins when given; otherwise the AP count is
+        ``ceil(devices / devices_per_ap)``.
+        """
+        if mix not in DEVICE_MIXES:
+            raise ModelError(
+                f"unknown mix {mix!r}; known: {', '.join(MIX_NAMES)}"
+            )
+        if aps is None:
+            if devices_per_ap <= 0:
+                raise ModelError("devices_per_ap must be positive")
+            aps = max(1, -(-int(devices) // max(1, int(devices_per_ap))))
+        spec = cls(
+            devices=int(devices),
+            aps=int(aps),
+            device_classes=DEVICE_MIXES[mix],
+            workloads=WORKLOAD_MIXES[mix],
+            ap_skew=float(ap_skew),
+            mix=mix,
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_params(cls, params: Dict[str, Any]) -> "PopulationSpec":
+        """Build a spec from a JSONable campaign-cell parameter dict.
+
+        Recognized keys: ``devices`` (required), ``mix`` (named mix,
+        default ``balanced``), ``aps`` or ``devices_per_ap``, and
+        ``ap_skew``.  Explicit ``device_classes``/``workloads`` lists
+        of dicts override the named mix.
+        """
+        if "devices" not in params:
+            raise ModelError("fleet cell needs a 'devices' parameter")
+        devices = int(params["devices"])
+        mix = params.get("mix", "balanced")
+        aps = params.get("aps")
+        spec = cls.from_mix(
+            devices,
+            mix=mix,
+            aps=int(aps) if aps is not None else None,
+            devices_per_ap=float(
+                params.get("devices_per_ap", DEFAULT_DEVICES_PER_AP)
+            ),
+            ap_skew=float(params.get("ap_skew", 1.0)),
+        )
+        classes = params.get("device_classes")
+        workloads = params.get("workloads")
+        if classes or workloads:
+            spec = cls(
+                devices=spec.devices,
+                aps=spec.aps,
+                device_classes=tuple(
+                    DeviceClass(**c) for c in classes
+                ) if classes else spec.device_classes,
+                workloads=tuple(
+                    Workload(**w) for w in workloads
+                ) if workloads else spec.workloads,
+                ap_skew=spec.ap_skew,
+                mix=spec.mix if not (classes or workloads) else "custom",
+            )
+            spec.validate()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the CLI echoes it into reports)."""
+        return {
+            "devices": self.devices,
+            "aps": self.aps,
+            "mix": self.mix,
+            "ap_skew": self.ap_skew,
+            "device_classes": [c.to_dict() for c in self.device_classes],
+            "workloads": [w.to_dict() for w in self.workloads],
+        }
+
+
+@dataclass(frozen=True)
+class Cohorts:
+    """The reduced population: one row per exchangeable device group.
+
+    Parallel arrays: ``class_idx``/``workload_idx`` index into the
+    spec's tuples, ``stations`` is the station count on the cohort's AP
+    (contenders + 1), ``count`` is how many devices share the row.
+    """
+
+    class_idx: Any
+    workload_idx: Any
+    stations: Any
+    count: Any
+
+    def __len__(self) -> int:
+        return int(len(self.count))
+
+
+@dataclass
+class Population:
+    """One synthesized fleet: per-device assignments plus AP loads."""
+
+    spec: PopulationSpec
+    seed: int
+    #: Per-device device-class index (int64).
+    class_idx: Any = field(repr=False, default=None)
+    #: Per-device workload index (int64).
+    workload_idx: Any = field(repr=False, default=None)
+    #: Per-device AP index (int64).
+    ap_idx: Any = field(repr=False, default=None)
+    #: Per-AP station counts (int64, length ``spec.aps``).
+    stations_per_ap: Any = field(repr=False, default=None)
+
+    def cohorts(self) -> Cohorts:
+        """Collapse the fleet to (class, workload, AP-load) cohorts.
+
+        Devices sharing all three coordinates are exchangeable under
+        the closed forms, so a million devices reduce to a few hundred
+        rows — the whole reason fleet evaluation is O(cohorts), not
+        O(devices).
+        """
+        stations = self.stations_per_ap[self.ap_idx]
+        n_w = len(self.spec.workloads)
+        smax = int(stations.max()) if len(stations) else 0
+        key = (self.class_idx * n_w + self.workload_idx) * (smax + 1) + stations
+        uniq, counts = np.unique(key, return_counts=True)
+        st = uniq % (smax + 1)
+        cw = uniq // (smax + 1)
+        return Cohorts(
+            class_idx=cw // n_w,
+            workload_idx=cw % n_w,
+            stations=st,
+            count=counts,
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the synthesis arrays: the determinism pin.
+
+        Two populations with equal digests are byte-identical device
+        for device (dtypes normalized to little-endian int64).
+        """
+        h = hashlib.sha256()
+        for arr in (self.class_idx, self.workload_idx, self.ap_idx,
+                    self.stations_per_ap):
+            h.update(np.ascontiguousarray(arr, dtype="<i8").tobytes())
+        return h.hexdigest()
+
+
+def _probabilities(weights: List[float]) -> Any:
+    """Normalized float64 probability vector for ``Generator.choice``."""
+    w = np.asarray(weights, dtype=np.float64)
+    return w / w.sum()
+
+
+def synthesize(spec: PopulationSpec, seed: int = 0) -> Population:
+    """Draw one fleet from the spec: pure in ``(seed, spec)``.
+
+    All randomness flows from a single ``PCG64`` stream in a fixed draw
+    order (classes, then workloads, then AP association), so the result
+    is reproducible bit for bit at a given seed — the foundation every
+    byte-identity gate above this layer stands on.
+    """
+    if not HAVE_NUMPY:
+        raise ModelError("population synthesis requires numpy")
+    spec.validate()
+    rng = np.random.Generator(np.random.PCG64(int(seed)))
+    n = spec.devices
+    class_idx = rng.choice(
+        len(spec.device_classes), size=n,
+        p=_probabilities([c.weight for c in spec.device_classes]),
+    ).astype(np.int64)
+    workload_idx = rng.choice(
+        len(spec.workloads), size=n,
+        p=_probabilities([w.weight for w in spec.workloads]),
+    ).astype(np.int64)
+    ranks = np.arange(1, spec.aps + 1, dtype=np.float64)
+    ap_weights = ranks ** -float(spec.ap_skew)
+    ap_idx = rng.choice(
+        spec.aps, size=n, p=ap_weights / ap_weights.sum()
+    ).astype(np.int64)
+    stations = np.bincount(ap_idx, minlength=spec.aps).astype(np.int64)
+    return Population(
+        spec=spec,
+        seed=int(seed),
+        class_idx=class_idx,
+        workload_idx=workload_idx,
+        ap_idx=ap_idx,
+        stations_per_ap=stations,
+    )
+
+
+__all__ = [
+    "Cohorts",
+    "DEFAULT_DEVICES_PER_AP",
+    "DEVICE_MIXES",
+    "DeviceClass",
+    "HAVE_NUMPY",
+    "MIX_NAMES",
+    "Population",
+    "PopulationSpec",
+    "WORKLOAD_MIXES",
+    "Workload",
+    "synthesize",
+]

@@ -250,7 +250,16 @@ class MetricsRegistry:
             cell_seconds.observe(duration)
 
     def observe_fleet(self, report, strategy: Optional[str] = None) -> None:
-        """Aggregate one multiclient fleet run."""
+        """Aggregate one multiclient fleet run.
+
+        Accepts either a DES :class:`~repro.simulator.multiclient.FleetReport`
+        (has ``outcomes``) or a population-scale
+        :class:`~repro.fleet.aggregate.FleetSummary`, which is routed to
+        :meth:`observe_fleet_population`.
+        """
+        if not hasattr(report, "outcomes"):
+            self.observe_fleet_population(report, policy=strategy)
+            return
         label = strategy or "mixed"
         self.counter(
             "fleet_requests_total", "Requests served fleet-wide.",
@@ -270,6 +279,48 @@ class MetricsRegistry:
         )
         for outcome in report.outcomes:
             wait.observe(outcome.wait_s)
+
+    def observe_fleet_population(
+        self, summary, policy: Optional[str] = None
+    ) -> None:
+        """Aggregate one population-scale fleet evaluation.
+
+        ``summary`` is a :class:`~repro.fleet.aggregate.FleetSummary`
+        (duck-typed): population size and energy as counters, plus the
+        distribution headlines a capacity dashboard watches — cohort
+        count, decision flip rate, and the median lifetime / transfer
+        cost from the streaming sketches.
+        """
+        label = policy or getattr(summary, "policy", "fleet-advised")
+        stats = summary.metrics()
+        self.counter(
+            "fleet_population_devices_total", "Devices evaluated.",
+            policy=label,
+        ).inc(stats["devices"])
+        self.counter(
+            "fleet_population_energy_joules_total",
+            "Session energy across the population.",
+            policy=label,
+        ).inc(stats["fleet_energy_j"])
+        self.gauge(
+            "fleet_population_cohorts", "Distinct (class, workload, n) cells.",
+            policy=label,
+        ).set(stats["cohorts"])
+        self.gauge(
+            "fleet_population_flip_fraction",
+            "Devices whose Eq-6 verdict flips under contention.",
+            policy=label,
+        ).set(stats["flip_fraction"])
+        self.gauge(
+            "fleet_population_lifetime_hours_p50",
+            "Median battery lifetime.",
+            policy=label,
+        ).set(stats["lifetime_h_p50"])
+        self.gauge(
+            "fleet_population_energy_per_mb_p50",
+            "Median delivered-MB energy cost.",
+            policy=label,
+        ).set(stats["energy_per_mb_p50"])
 
     # -- export ----------------------------------------------------------------
 

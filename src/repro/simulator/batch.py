@@ -42,8 +42,9 @@ Campaign integration
 --------------------
 
 :func:`partition_cells` decides which expanded campaign cells the
-batch engine can evaluate (pure-analytic ``threshold`` cells with
-serializable parameters); :func:`evaluate_cells` turns them into the
+batch engine can evaluate (pure-analytic ``threshold`` cells and
+clean analytic ``simulate`` sessions with serializable parameters);
+:func:`evaluate_cells` turns them into the
 exact metrics dicts the scalar executor would emit.  Anything
 surprising — a cell the planner mis-judged, a bisection that can only
 be reported as a scalar exception — falls back to the supervised
@@ -72,6 +73,10 @@ from repro.network.wlan import LADDER_MBPS
 
 #: Threshold quantities the batch engine understands.
 BATCH_QUANTITIES = ("factor", "size_floor", "break_even_ber", "worthwhile")
+
+#: Simulate scenarios the batch engine understands (the clean analytic
+#: closed forms; lossy/corrupt/faulty sessions stay scalar).
+BATCH_SCENARIOS = ("raw", "sequential", "interleaved", "sleep")
 
 #: Above this many residual (base, exponent) pairs, :func:`_pow`
 #: deduplicates via ``np.unique`` before calling CPython ``pow``.
@@ -260,6 +265,7 @@ class _Ctx:
         self.cs = p.cs_j
         self.gap = p.gap_power_w
         self.pd = p.decompress_power_w
+        self.pd_sleep = p.decompress_sleep_power_w
         self.rate = p.rate_mb_per_s
         self.idlef = p.idle_fraction
         self.block_mb = p.block_mb
@@ -683,6 +689,150 @@ def batch_ladder_thresholds(codec: str = "gzip", device=None) -> Dict[float, int
     }
 
 
+# -- clean analytic sessions ------------------------------------------------
+
+
+def _session_arrays(ctx: _Ctx, scenario: str, raw, compressed) -> Dict[str, Any]:
+    """One clean analytic session per cell, as arrays.
+
+    Transcribes :class:`~repro.simulator.analytic.AnalyticSession`'s
+    fault-free ``raw``/``precompressed`` timelines term by term in the
+    scalar engine's association order, so ``time``/``energy`` and the
+    per-tag energies carry the exact bits the :class:`PowerTimeline`
+    sums would.  ``*_on`` masks mirror the timeline's zero-duration
+    segment drop: a tag's key exists in ``energy_by_tag`` only when at
+    least one of its segments has nonzero duration, even though adding
+    the dropped segment's ``0.0`` joules would not change the value.
+    """
+    s = raw / units.BYTES_PER_MB
+    sc = compressed / units.BYTES_PER_MB
+    if scenario == "raw":
+        wall = s / ctx.rate
+    else:
+        wall = sc / ctx.rate
+    active = wall * (1.0 - ctx.idlef)
+    recv_e = ctx.recv_power * active
+    if scenario == "raw":
+        idle_d = wall - active
+        time = active + idle_d
+        energy = ctx.cs + recv_e + ctx.gap * idle_d
+        return {
+            "time": time,
+            "energy": energy,
+            "recv_e": recv_e,
+            "recv_on": active != 0.0,
+            "idle_e": ctx.gap * idle_d,
+            "idle_on": idle_d != 0.0,
+            "dec_e": np.zeros(s.shape),
+            "dec_on": np.zeros(s.shape, dtype=bool),
+        }
+    td = ctx.dc_comp * sc + ctx.dc_raw * s + ctx.dc_const
+    if scenario in ("sequential", "sleep"):
+        pd = ctx.pd_sleep if scenario == "sleep" else ctx.pd
+        idle_d = wall - active
+        time = active + idle_d + td
+        energy = ctx.cs + recv_e + ctx.gap * idle_d + pd * td
+        return {
+            "time": time,
+            "energy": energy,
+            "recv_e": recv_e,
+            "recv_on": active != 0.0,
+            "idle_e": ctx.gap * idle_d,
+            "idle_on": idle_d != 0.0,
+            "dec_e": pd * td,
+            "dec_on": td != 0.0,
+        }
+    if scenario != "interleaved":
+        raise ModelError(f"unknown batch scenario {scenario!r}")
+    # Equation 4's idle split, then Equation 3's timeline: the idle
+    # gaps after the first block host decompression, the remainder
+    # spills past the end of the receive phase.
+    big = s >= ctx.block_mb
+    fb = ctx.block_mb * sc / s
+    ti_d = np.where(big, ctx.idlef * fb / ctx.rate, ctx.idlef * sc / ctx.rate)
+    ti_p = np.where(big, ctx.idlef * (sc - fb) / ctx.rate, 0.0)
+    zero_s = s <= 0.0
+    ti_d = np.where(zero_s, 0.0, ti_d)
+    ti_p = np.where(zero_s, 0.0, ti_p)
+    overlapped = np.minimum(td, ti_p)
+    spill = ti_p > td
+    head = ti_p - td
+    tail = td - ti_p
+    time = active + ti_d + overlapped + np.where(spill, head, tail)
+    energy = (
+        ctx.cs + recv_e + ctx.gap * ti_d + ctx.pd * overlapped
+        + np.where(spill, ctx.gap * head, ctx.pd * tail)
+    )
+    return {
+        "time": time,
+        "energy": energy,
+        "recv_e": recv_e,
+        "recv_on": active != 0.0,
+        "idle_e": ctx.gap * ti_d + np.where(spill, ctx.gap * head, 0.0),
+        "idle_on": (ti_d != 0.0) | spill,
+        "dec_e": ctx.pd * overlapped + np.where(spill, 0.0, ctx.pd * tail),
+        "dec_on": (overlapped != 0.0) | (~spill & (tail != 0.0)),
+    }
+
+
+def batch_download_energy_j(raw_bytes, model: Optional[EnergyModel] = None):
+    """Array :meth:`~repro.core.energy_model.EnergyModel.download_energy_j`.
+
+    Equation 1 on a clean link, elementwise — the plain-download side
+    of the fleet advisor's decision form.
+    """
+    (raw,), shape = _as_grid(raw_bytes)
+    ctx = _Ctx(model or _default_model(), "gzip", None, None)
+    kernel = _Kernel(ctx, False, np.zeros(raw.shape))
+    with np.errstate(all="ignore"):
+        return kernel.plain_energy(raw).reshape(shape)
+
+
+def batch_interleaved_energy_j(
+    raw_bytes,
+    compressed_bytes,
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+):
+    """Array :meth:`~repro.core.energy_model.EnergyModel.interleaved_energy_j`.
+
+    Equation 3 on a clean link, elementwise — the compressed side of
+    the fleet advisor's decision form.
+    """
+    (raw, comp), shape = _as_grid(raw_bytes, compressed_bytes)
+    ctx = _Ctx(model or _default_model(), codec, None, None)
+    kernel = _Kernel(ctx, False, np.zeros(raw.shape))
+    with np.errstate(all="ignore"):
+        return kernel.comp_energy_base(raw, comp).reshape(shape)
+
+
+def batch_session_energy_time(
+    scenario: str,
+    raw_bytes,
+    compressed_bytes,
+    model: Optional[EnergyModel] = None,
+    codec: str = "gzip",
+):
+    """Array ``(energy_j, time_s)`` of one clean analytic session.
+
+    The vector twin of running
+    :meth:`~repro.simulator.analytic.AnalyticSession.raw` or
+    :meth:`~repro.simulator.analytic.AnalyticSession.precompressed` on
+    the paper's lossless setup — bit-identical totals, elementwise over
+    broadcast byte arrays.  ``scenario`` is one of
+    :data:`BATCH_SCENARIOS`; ``compressed_bytes`` is ignored for
+    ``raw``.  The fleet aggregator evaluates whole cohort populations
+    through this path.
+    """
+    if scenario not in BATCH_SCENARIOS:
+        raise ModelError(f"unknown batch scenario {scenario!r}")
+    (raw, comp), shape = _as_grid(raw_bytes, compressed_bytes)
+    ctx = _Ctx(model or _default_model(), codec, None, None)
+    with np.errstate(all="ignore"):
+        out = _session_arrays(ctx, scenario, raw, comp)
+    return out["energy"].reshape(shape), out["time"].reshape(shape)
+
+
 # -- campaign cell planner --------------------------------------------------
 
 
@@ -700,17 +850,73 @@ def _finite_float(value) -> Optional[float]:
 
 
 def _plan(params: Dict[str, Any]) -> Optional[Tuple]:
-    """The batch group key for an eligible threshold cell, else None.
+    """The batch group key for an eligible cell, else None.
 
     Conservative by design: any parameter shape the vector kernels do
     not model bit-exactly (including ones the scalar executor would
     *reject* — its exception text is part of the record) stays on the
-    scalar path.
+    scalar path.  Keys are kind-prefixed tuples: ``("threshold", ...)``
+    or ``("simulate", scenario, codec, link)``.
     """
-    if params.get("kind", "simulate") != "threshold":
-        return None
     if any(isinstance(k, str) and k.startswith("_test_") for k in params):
         return None
+    kind = params.get("kind", "simulate")
+    if kind == "threshold":
+        return _plan_threshold(params)
+    if kind == "simulate":
+        return _plan_simulate(params)
+    return None
+
+
+def _plan_simulate(params: Dict[str, Any]) -> Optional[Tuple]:
+    """The batch group key for an eligible simulate cell, else None.
+
+    Eligible cells are the paper's clean closed forms: analytic engine,
+    one of :data:`BATCH_SCENARIOS`, zero loss/corruption, no fault
+    timeline, resume config or watchdog.  Everything else (seeded
+    randomness, piecewise fault plans, tracebacks the scalar engine
+    owns) stays on the per-cell path.
+    """
+    if params.get("engine", "analytic") != "analytic":
+        return None
+    scenario = params.get("scenario", "interleaved")
+    if scenario not in BATCH_SCENARIOS:
+        return None
+    if params.get("faults") or params.get("resume") or params.get("watchdog_s"):
+        return None
+    loss = _finite_float(params.get("loss_rate", 0.0))
+    corrupt = _finite_float(params.get("corrupt_rate", 0.0))
+    if loss != 0.0 or corrupt != 0.0:
+        return None
+    size = _finite_float(params.get("size_mb"))
+    if size is None or size < 0.0:
+        return None
+    if _finite_float(params.get("factor", 1.0)) is None:
+        return None
+    codec = params.get("codec", "gzip")
+    if not isinstance(codec, str):
+        return None
+    if scenario == "raw":
+        # The raw scenario never touches the codec; normalizing the key
+        # groups raw cells together regardless of the (unused) name.
+        codec = "gzip"
+    else:
+        try:
+            _default_model().cpu.decompress_cost(codec)
+        except ModelError:
+            return None
+    link = _finite_float(params.get("link_mbps", 11.0))
+    if link is None:
+        return None
+    try:
+        thresholds.model_at_rate(link)
+    except (ReproError, TypeError, ValueError):
+        return None
+    return ("simulate", scenario, codec, link)
+
+
+def _plan_threshold(params: Dict[str, Any]) -> Optional[Tuple]:
+    """The batch group key for an eligible threshold cell, else None."""
     quantity = params.get("quantity", "factor")
     if quantity not in BATCH_QUANTITIES:
         return None
@@ -776,7 +982,7 @@ def _plan(params: Dict[str, Any]) -> Optional[Tuple]:
         factor = _finite_float(params.get("factor"))
         if factor is None or factor <= 0.0:
             return None
-    return (quantity, literal, codec, link, arq_key, rec_key)
+    return ("threshold", quantity, literal, codec, link, arq_key, rec_key)
 
 
 def partition_cells(cells: Sequence) -> Tuple[List, List]:
@@ -803,9 +1009,54 @@ def _group_arrays(group_cells) -> Tuple:
     return loss, corrupt
 
 
+def _evaluate_simulate_group(key: Tuple, group_cells) -> Tuple[List, List[int]]:
+    """Evaluate one simulate group; returns (metrics, fallback indices).
+
+    Emits exactly the dict ``_execute_simulate`` would for a clean
+    analytic session: ``time_s``/``energy_j``/``transfer_bytes`` plus
+    ``energy_by_tag.*`` keys gated on the scalar timeline's presence
+    rule (zero-duration segments are dropped, the startup energy event
+    always survives).
+    """
+    _, scenario, codec, link = key
+    model = thresholds.model_at_rate(link)
+    ctx = _Ctx(model, codec, None, None)
+    raws: List[int] = []
+    comps: List[int] = []
+    for cell in group_cells:
+        raw_b = int(float(cell.params["size_mb"]) * units.BYTES_PER_MB)
+        factor = float(cell.params.get("factor", 1.0))
+        comp_b = int(raw_b / factor) if factor > 0 else raw_b
+        raws.append(raw_b)
+        comps.append(comp_b)
+    raw = np.array([float(v) for v in raws], dtype=np.float64)
+    comp = np.array([float(v) for v in comps], dtype=np.float64)
+    with np.errstate(all="ignore"):
+        out = _session_arrays(ctx, scenario, raw, comp)
+    transfers = raws if scenario == "raw" else comps
+    metrics: List[Dict] = []
+    for i in range(len(group_cells)):
+        m: Dict[str, Any] = {
+            "time_s": float(out["time"][i]),
+            "energy_j": float(out["energy"][i]),
+            "transfer_bytes": int(transfers[i]),
+        }
+        if bool(out["dec_on"][i]):
+            m["energy_by_tag.decompress"] = float(out["dec_e"][i])
+        if bool(out["idle_on"][i]):
+            m["energy_by_tag.idle"] = float(out["idle_e"][i])
+        if bool(out["recv_on"][i]):
+            m["energy_by_tag.recv"] = float(out["recv_e"][i])
+        m["energy_by_tag.startup"] = ctx.cs
+        metrics.append(m)
+    return metrics, []
+
+
 def _evaluate_group(key: Tuple, group_cells) -> Tuple[List, List[int]]:
     """Evaluate one group; returns (metrics per cell, fallback indices)."""
-    quantity, literal, codec, link, arq_key, rec_key = key
+    if key[0] == "simulate":
+        return _evaluate_simulate_group(key, group_cells)
+    _, quantity, literal, codec, link, arq_key, rec_key = key
     loss, corrupt = _group_arrays(group_cells)
     model = None if literal else thresholds.model_at_rate(link)
     arq = (
@@ -892,12 +1143,16 @@ def evaluate_cells(cells: Sequence) -> Tuple[List[Tuple[Any, Dict]], List]:
 
 __all__ = [
     "BATCH_QUANTITIES",
+    "BATCH_SCENARIOS",
     "HAVE_NUMPY",
     "batch_break_even_corrupt_rate",
     "batch_compression_worthwhile",
+    "batch_download_energy_j",
     "batch_factor_threshold",
+    "batch_interleaved_energy_j",
     "batch_ladder_thresholds",
     "batch_paper_condition",
+    "batch_session_energy_time",
     "batch_size_threshold_bytes",
     "evaluate_cells",
     "partition_cells",

@@ -1,0 +1,109 @@
+"""Reduce-style queries over sharded campaign stores (ISSUE 10).
+
+``live_result_files`` / ``shard_partials`` / ``reduce_shards`` let
+aggregation walk a campaign directory one shard at a time without
+loading the merged report, with ``combine`` required to be associative
+— the same contract the fleet layer's mergeable sketches satisfy.  The
+tests pin: the live file set tracks the layout (and falls back to the
+legacy single file), partials match a whole-report fold, the reduced
+answer is independent of the shard count, and the fleet-level
+``reduce_campaign_metrics`` round-trips real campaign output.
+"""
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import (
+    ResultStore,
+    StoreError,
+    live_result_files,
+    load_merged,
+    reduce_shards,
+    shard_partials,
+)
+from repro.fleet.aggregate import reduce_campaign_metrics
+
+from tests.campaign.test_runner import small_spec
+
+np = pytest.importorskip("numpy")
+
+
+def run_spec(tmp_path, name, shards=1):
+    store = ResultStore(tmp_path / name, shards=shards)
+    CampaignRunner(small_spec(), store=store, jobs=1, batch=True).run()
+    return store.out_dir
+
+
+def count_fold(acc, record):
+    return acc + 1
+
+
+def sum_energy_fold(acc, record):
+    value = record.get("metrics", {}).get("energy_j")
+    return acc + value if isinstance(value, (int, float)) else acc
+
+
+class TestLiveResultFiles:
+    def test_legacy_single_file(self, tmp_path):
+        out = run_spec(tmp_path, "legacy", shards=1)
+        files = live_result_files(out)
+        assert [p.name for p in files] == ["results.jsonl"]
+
+    def test_sharded_layout(self, tmp_path):
+        out = run_spec(tmp_path, "sharded", shards=4)
+        files = live_result_files(out)
+        assert len(files) <= 4
+        assert all(p.name.startswith("results-") for p in files)
+
+    def test_empty_dir(self, tmp_path):
+        assert live_result_files(tmp_path / "nothing") == []
+
+
+class TestReduceShards:
+    def test_partials_cover_all_records(self, tmp_path):
+        out = run_spec(tmp_path, "cover", shards=3)
+        _, records = load_merged(out)
+        partials = shard_partials(out, count_fold, lambda: 0)
+        assert sum(partials) == len(records)
+
+    def test_reduced_answer_shard_invariant(self, tmp_path):
+        outs = [
+            run_spec(tmp_path, f"inv-{shards}", shards=shards)
+            for shards in (1, 2, 5)
+        ]
+        answers = [
+            reduce_shards(
+                out, sum_energy_fold, lambda: 0.0, lambda a, b: a + b
+            )
+            for out in outs
+        ]
+        assert answers[0] == pytest.approx(answers[1])
+        assert answers[0] == pytest.approx(answers[2])
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            reduce_shards(
+                tmp_path / "void", count_fold, lambda: 0, lambda a, b: a + b
+            )
+
+
+class TestFleetCampaignReduce:
+    def test_reduce_campaign_metrics(self, tmp_path):
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="fleet-mini",
+            mode="grid",
+            base={"kind": "fleet", "devices": 400, "devices_per_ap": 10},
+            axes={"policy": ["raw", "fleet-advised"], "mix": ["balanced"]},
+        )
+        store = ResultStore(tmp_path / "fleet-mini", shards=2)
+        CampaignRunner(spec, store=store, jobs=1, batch=True).run()
+        stats = reduce_campaign_metrics(store.out_dir)
+        assert stats["devices"]["count"] == 2
+        assert stats["devices"]["sum"] == 800
+        assert stats["fleet_energy_j"]["min"] > 0
+        assert (
+            stats["fleet_energy_j"]["mean"]
+            == pytest.approx(stats["fleet_energy_j"]["sum"] / 2)
+        )

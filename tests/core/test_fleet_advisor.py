@@ -81,3 +81,38 @@ class TestAgainstSimulation:
         rule = FleetAdvisor(model, contenders=3)  # 3 others per transfer
         assert des_says_compress
         assert rule.compression_worthwhile(mb(4), 1.10) == des_says_compress
+
+
+class TestDelegationRegression:
+    """Pinned pre-delegation answers (ISSUE 10 satellite).
+
+    The advisor's waiting-energy arithmetic moved into
+    :class:`repro.fleet.contention.ContentionModel`; these literals
+    were captured from the original in-class implementation at the
+    default model, so any drift in the delegated forms — cost, factor
+    threshold, or size floor, across the small-N range — fails here
+    bit for bit.
+    """
+
+    PINNED = {
+        # contenders: (fleet_cost_j(1 MB, 1 MB/3.8), factor_threshold(1 MB),
+        #              size_threshold_bytes())
+        0: (1.2920173894087474, 1.12823624856627, 3906),
+        1: (1.9718418211460116, 1.0719739759735751, 2119),
+        4: (4.011315116357803, 1.0310745407453878, 893),
+        16: (12.169208297204971, 1.0094934606701549, 270),
+    }
+
+    @pytest.mark.parametrize("contenders", sorted(PINNED))
+    def test_small_n_answers_unchanged(self, contenders):
+        cost, factor, floor = self.PINNED[contenders]
+        advisor = FleetAdvisor(contenders=contenders)
+        assert repr(advisor.fleet_cost_j(1048576, 275941)) == repr(cost)
+        assert repr(advisor.factor_threshold(1048576)) == repr(factor)
+        assert advisor.size_threshold_bytes() == floor
+
+    def test_collision_overhead_pinned(self):
+        advisor = FleetAdvisor(contenders=4, collision_overhead=0.1)
+        assert repr(advisor.fleet_cost_j(1048576, 275941)) == repr(
+            5.099034207137426
+        )

@@ -1,0 +1,153 @@
+"""Streaming fleet aggregation: sketches, policies, campaign wiring."""
+
+import copy
+import json
+
+import pytest
+
+from repro.campaign.executor import execute_cell
+from repro.campaign.presets import PRESETS
+from repro.errors import ModelError
+from repro.fleet import (
+    FleetSummary,
+    LogHistogram,
+    PopulationSpec,
+    evaluate_population,
+    summary_json,
+    synthesize,
+)
+from repro.fleet.aggregate import FLEET_POLICIES
+
+np = pytest.importorskip("numpy")
+
+
+def small_summary(policy="fleet-advised", seed=4, devices=2000):
+    spec = PopulationSpec.from_mix(devices, mix="balanced", devices_per_ap=10)
+    return evaluate_population(synthesize(spec, seed=seed), policy=policy)
+
+
+class TestLogHistogram:
+    def test_observe_and_quantile_bounds(self):
+        h = LogHistogram(0.1, 100.0)
+        h.observe_array(np.array([0.5, 1.0, 2.0, 50.0]))
+        assert h.total == 4
+        assert 0.1 <= h.quantile(0.5) <= 100.0
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+
+    def test_out_of_range_and_nonfinite(self):
+        h = LogHistogram(1.0, 10.0)
+        h.observe_array(np.array([0.01, 5.0, 1e9, float("nan"), float("inf")]))
+        assert h.total == 5
+        assert h.counts[0] >= 1  # underflow slot (nan lands here too)
+        assert h.counts[-1] >= 1  # overflow slot (inf lands here)
+
+    def test_merge_matches_single_pass(self):
+        values = np.linspace(0.2, 80.0, 257)
+        whole = LogHistogram(0.1, 100.0)
+        whole.observe_array(values)
+        a = LogHistogram(0.1, 100.0)
+        b = LogHistogram(0.1, 100.0)
+        a.observe_array(values[:100])
+        b.observe_array(values[100:])
+        a.merge(b)
+        assert np.array_equal(a.counts, whole.counts)
+        assert a.total == whole.total
+        assert a.quantile(0.5) == whole.quantile(0.5)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ModelError):
+            LogHistogram(0.1, 100.0).merge(LogHistogram(0.1, 50.0))
+
+    def test_empty_quantile_is_zero(self):
+        assert LogHistogram(1.0, 10.0).quantile(0.5) == 0.0
+
+
+class TestEvaluate:
+    def test_all_policies_run(self):
+        for policy in FLEET_POLICIES:
+            summary = small_summary(policy=policy)
+            assert summary.policy == policy
+            assert summary.devices == 2000
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError):
+            small_summary(policy="yolo")
+
+    def test_forced_policy_compress_fractions(self):
+        raw = small_summary(policy="raw")
+        comp = small_summary(policy="compressed")
+        assert raw.compress_devices == 0
+        assert comp.compress_devices == comp.devices
+        assert raw.fleet_energy_j > 0
+        assert comp.fleet_energy_j > 0
+
+    def test_summary_json_deterministic(self):
+        a = summary_json(small_summary())
+        b = summary_json(small_summary())
+        assert a == b
+        json.loads(a)  # must be valid JSON
+
+    def test_metrics_shape(self):
+        stats = small_summary().metrics()
+        for key in (
+            "devices", "aps", "cohorts", "fleet_energy_j",
+            "mean_device_energy_j", "compress_fraction", "flip_fraction",
+            "lifetime_h_p50", "energy_per_mb_p50", "wait_s_p50",
+            "break_even_kb_p50",
+        ):
+            assert key in stats, key
+        assert stats["devices"] == 2000
+        assert 0.0 <= stats["compress_fraction"] <= 1.0
+        assert 0.0 <= stats["flip_fraction"] <= 1.0
+
+    def test_merge_matches_combined_population(self):
+        """Shard summaries merge to the union's aggregate statistics."""
+        a = small_summary(seed=1)
+        b = small_summary(seed=2)
+        merged = copy.deepcopy(a)
+        merged.merge(b)
+        assert merged.devices == a.devices + b.devices
+        assert merged.fleet_energy_j == pytest.approx(
+            a.fleet_energy_j + b.fleet_energy_j
+        )
+        sk = merged.sketches["lifetime_h"]
+        assert sk.total == (
+            a.sketches["lifetime_h"].total + b.sketches["lifetime_h"].total
+        )
+
+    def test_merge_rejects_policy_mismatch(self):
+        with pytest.raises(ModelError):
+            small_summary(policy="raw").merge(small_summary(policy="advised"))
+
+
+class TestCampaignWiring:
+    def test_fleet_cell_executes(self):
+        metrics, trace = execute_cell(
+            {
+                "kind": "fleet",
+                "devices": 1500,
+                "mix": "pda-heavy",
+                "devices_per_ap": 8,
+                "policy": "advised",
+            },
+            seed=3,
+        )
+        assert trace is None
+        assert metrics["devices"] == 1500
+        assert metrics["fleet_energy_j"] > 0
+
+    def test_fleet_cell_deterministic(self):
+        params = {"kind": "fleet", "devices": 1000, "policy": "fleet-advised"}
+        a, _ = execute_cell(dict(params), seed=9)
+        b, _ = execute_cell(dict(params), seed=9)
+        assert a == b
+
+    def test_fleet_pop_preset_expands(self):
+        spec = PRESETS["fleet-pop"]()
+        cells = spec.expand()
+        assert len(cells) == 36
+        kinds = {c.params["kind"] for c in cells}
+        assert kinds == {"fleet"}
+        policies = {c.params["policy"] for c in cells}
+        assert policies == set(FLEET_POLICIES)

@@ -1,0 +1,87 @@
+"""Analytic WLAN contention vs the discrete-event oracle.
+
+The closed forms carry the whole population layer, so this module pins
+them three ways: the DES spot-check gate (every sampled small-N config
+within the pinned tolerance), the exact structural identities the fluid
+limit implies (N=1 degeneracy, conservation of airtime), and byte-level
+agreement with :class:`repro.core.fleet_advisor.FleetAdvisor`, which
+now delegates its cost form here.
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.fleet_advisor import FleetAdvisor
+from repro.fleet.contention import (
+    ContentionModel,
+    DES_SPOT_TOLERANCE,
+    SPOT_CHECK_NS,
+    assert_des_agreement,
+    spot_check_against_des,
+    worst_spot_error,
+)
+
+
+class TestDesGate:
+    def test_all_spot_configs_within_tolerance(self):
+        assert_des_agreement()
+
+    def test_worst_error_reported(self):
+        rows = spot_check_against_des(ns=(1, 2, 4))
+        worst = worst_spot_error(rows)
+        assert 0.0 <= worst < DES_SPOT_TOLERANCE
+
+    def test_rows_cover_requested_grid(self):
+        rows = spot_check_against_des()
+        assert {int(r["n"]) for r in rows} == set(SPOT_CHECK_NS)
+        for row in rows:
+            for key in ("err_energy", "err_wait", "err_makespan"):
+                assert row[key] < DES_SPOT_TOLERANCE
+
+
+class TestClosedForms:
+    def setup_method(self):
+        self.cm = ContentionModel(EnergyModel())
+
+    def test_single_station_degeneracy(self):
+        assert self.cm.efficiency(1) == 1.0
+        assert self.cm.idle_fraction(1) == 0.0
+        assert self.cm.airtime_fraction(1) == 1.0
+        assert self.cm.mean_wait_s(2.0, 1) == 0.0
+        assert self.cm.makespan_s(2.0, 1) == 2.0
+        assert self.cm.service_time_s(2.0, 1) == 2.0
+
+    def test_airtime_conserved(self):
+        for n in (1, 2, 4, 8, 32):
+            assert n * self.cm.airtime_fraction(n) == pytest.approx(1.0)
+
+    def test_makespan_is_n_services(self):
+        for n in (1, 2, 5, 10):
+            assert self.cm.makespan_s(3.0, n) == pytest.approx(
+                n * self.cm.service_time_s(3.0, n)
+            )
+
+    def test_collision_overhead_slows_service(self):
+        lossy = ContentionModel(EnergyModel(), collision_overhead=0.1)
+        assert lossy.service_time_s(1.0, 4) > self.cm.service_time_s(1.0, 4)
+        assert lossy.service_time_s(1.0, 1) == self.cm.service_time_s(1.0, 1)
+
+
+class TestAdvisorDelegation:
+    """FleetAdvisor answers are the contention model's, bit for bit."""
+
+    @pytest.mark.parametrize("contenders", [0, 1, 4, 16])
+    def test_fleet_cost_identity(self, contenders):
+        advisor = FleetAdvisor(contenders=contenders)
+        raw = 1048576
+        comp = 275941
+        assert advisor.fleet_cost_j(raw, comp) == (
+            advisor.contention.fleet_cost_j(raw, comp, contenders)
+        )
+
+    def test_collision_overhead_passthrough(self):
+        plain = FleetAdvisor(contenders=4)
+        lossy = FleetAdvisor(contenders=4, collision_overhead=0.1)
+        assert lossy.fleet_cost_j(1048576, 275941) > plain.fleet_cost_j(
+            1048576, 275941
+        )

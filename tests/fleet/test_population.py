@@ -1,0 +1,104 @@
+"""Seeded population synthesis: a pure function of (seed, spec)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fleet.population import (
+    DEVICE_MIXES,
+    MIX_NAMES,
+    WORKLOAD_MIXES,
+    DeviceClass,
+    PopulationSpec,
+    Workload,
+    synthesize,
+)
+
+np = pytest.importorskip("numpy")
+
+
+class TestSpec:
+    def test_named_mixes_validate(self):
+        for mix in MIX_NAMES:
+            spec = PopulationSpec.from_mix(1000, mix=mix)
+            spec.validate()
+            assert spec.mix == mix
+            assert spec.aps >= 1
+
+    def test_ap_derivation_ceils(self):
+        spec = PopulationSpec.from_mix(101, devices_per_ap=25)
+        assert spec.aps == 5
+        assert PopulationSpec.from_mix(1, devices_per_ap=25).aps == 1
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ModelError):
+            PopulationSpec.from_mix(100, mix="nope")
+
+    def test_bad_link_rejected(self):
+        cls = DeviceClass(name="x", weight=1.0, link_mbps=7.0)
+        with pytest.raises(ModelError):
+            cls.validate()
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(ModelError):
+            Workload(name="w", weight=1.0, size_mb=-1.0, factor=2.0).validate()
+
+    def test_from_params_round_trip(self):
+        spec = PopulationSpec.from_params(
+            {"devices": 500, "mix": "pda-heavy", "devices_per_ap": 10}
+        )
+        assert spec.devices == 500
+        assert spec.mix == "pda-heavy"
+        assert spec.aps == 50
+        d = spec.to_dict()
+        assert d["devices"] == 500
+        assert len(d["device_classes"]) == len(DEVICE_MIXES["pda-heavy"])
+        assert len(d["workloads"]) == len(WORKLOAD_MIXES["pda-heavy"])
+
+    def test_from_params_requires_devices(self):
+        with pytest.raises(ModelError):
+            PopulationSpec.from_params({"mix": "balanced"})
+
+
+class TestSynthesize:
+    def test_deterministic_at_seed(self):
+        spec = PopulationSpec.from_mix(5000, mix="balanced")
+        a = synthesize(spec, seed=11)
+        b = synthesize(spec, seed=11)
+        assert a.digest() == b.digest()
+        assert np.array_equal(a.class_idx, b.class_idx)
+        assert np.array_equal(a.ap_idx, b.ap_idx)
+
+    def test_seed_changes_assignment(self):
+        spec = PopulationSpec.from_mix(5000, mix="balanced")
+        assert synthesize(spec, seed=1).digest() != synthesize(
+            spec, seed=2
+        ).digest()
+
+    def test_shapes_and_ranges(self):
+        spec = PopulationSpec.from_mix(2000, mix="media-heavy")
+        pop = synthesize(spec, seed=3)
+        assert len(pop.class_idx) == 2000
+        assert int(pop.class_idx.max()) < len(spec.device_classes)
+        assert int(pop.workload_idx.max()) < len(spec.workloads)
+        assert int(pop.ap_idx.max()) < spec.aps
+        assert int(pop.stations_per_ap.sum()) == 2000
+
+    def test_cohorts_conserve_devices(self):
+        spec = PopulationSpec.from_mix(3000, mix="balanced")
+        pop = synthesize(spec, seed=5)
+        cohorts = pop.cohorts()
+        assert int(cohorts.count.sum()) == 3000
+        assert len(cohorts) == len(cohorts.count)
+        # Cohort keys reference real classes/workloads/station counts.
+        assert int(cohorts.class_idx.max()) < len(spec.device_classes)
+        assert int(cohorts.workload_idx.max()) < len(spec.workloads)
+        assert int(cohorts.stations.min()) >= 1
+
+    def test_ap_skew_concentrates_load(self):
+        flat = PopulationSpec.from_mix(20000, ap_skew=0.0)
+        skewed = PopulationSpec.from_mix(20000, ap_skew=2.0)
+        pop_flat = synthesize(flat, seed=9)
+        pop_skew = synthesize(skewed, seed=9)
+        assert int(pop_skew.stations_per_ap.max()) > int(
+            pop_flat.stations_per_ap.max()
+        )

@@ -1,0 +1,110 @@
+"""Property tests for the fleet layer (ISSUE 10 satellite).
+
+Three families: contention closed forms keep their physical invariants
+over the whole parameter space (per-STA throughput non-increasing in N,
+fractions inside [0, 1], exact N=1 degeneracy), population synthesis is
+a pure function of ``(seed, spec)``, and sketch merging is order- and
+split-insensitive.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.energy_model import EnergyModel
+from repro.fleet.aggregate import LogHistogram
+from repro.fleet.contention import ContentionModel
+from repro.fleet.population import PopulationSpec, synthesize
+
+np = pytest.importorskip("numpy")
+
+station_counts = st.integers(min_value=1, max_value=512)
+overheads = st.floats(min_value=0.0, max_value=1.0)
+session_times = st.floats(min_value=1e-6, max_value=1e4)
+
+
+class TestContentionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(n=station_counts, overhead=overheads)
+    def test_fractions_bounded(self, n, overhead):
+        cm = ContentionModel(EnergyModel(), collision_overhead=overhead)
+        assert 0.0 < cm.efficiency(n) <= 1.0
+        assert 0.0 <= cm.idle_fraction(n) < 1.0
+        assert 0.0 < cm.airtime_fraction(n) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=station_counts, overhead=overheads, t=session_times)
+    def test_per_sta_throughput_non_increasing(self, n, overhead, t):
+        cm = ContentionModel(EnergyModel(), collision_overhead=overhead)
+        tput_n = cm.per_sta_throughput_mb_s(1048576, n, session_time_s=t)
+        tput_next = cm.per_sta_throughput_mb_s(
+            1048576, n + 1, session_time_s=t
+        )
+        assert tput_next <= tput_n + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(overhead=overheads, t=session_times)
+    def test_single_station_degeneracy(self, overhead, t):
+        cm = ContentionModel(EnergyModel(), collision_overhead=overhead)
+        assert cm.efficiency(1) == 1.0
+        assert cm.idle_fraction(1) == 0.0
+        assert cm.mean_wait_s(t, 1) == 0.0
+        assert cm.makespan_s(t, 1) == t
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=station_counts, t=session_times)
+    def test_wait_grows_with_n(self, n, t):
+        cm = ContentionModel(EnergyModel())
+        assert cm.mean_wait_s(t, n + 1) >= cm.mean_wait_s(t, n)
+
+
+class TestPopulationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        devices=st.integers(min_value=1, max_value=4000),
+        mix=st.sampled_from(["balanced", "pda-heavy", "media-heavy"]),
+    )
+    def test_synthesis_is_pure(self, seed, devices, mix):
+        spec = PopulationSpec.from_mix(devices, mix=mix)
+        a = synthesize(spec, seed=seed)
+        b = synthesize(spec, seed=seed)
+        assert a.digest() == b.digest()
+        assert int(a.stations_per_ap.sum()) == devices
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        devices=st.integers(min_value=50, max_value=4000),
+    )
+    def test_cohorts_partition_population(self, seed, devices):
+        pop = synthesize(PopulationSpec.from_mix(devices), seed=seed)
+        cohorts = pop.cohorts()
+        assert int(cohorts.count.sum()) == devices
+        assert (cohorts.count > 0).all()
+
+
+class TestSketchProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1000.0),
+            min_size=1,
+            max_size=64,
+        ),
+        split=st.integers(min_value=0, max_value=64),
+    )
+    def test_merge_split_insensitive(self, values, split):
+        arr = np.array(values)
+        cut = min(split, len(arr))
+        whole = LogHistogram(0.005, 2000.0)
+        whole.observe_array(arr)
+        left = LogHistogram(0.005, 2000.0)
+        right = LogHistogram(0.005, 2000.0)
+        left.observe_array(arr[:cut])
+        right.observe_array(arr[cut:])
+        left.merge(right)
+        assert np.array_equal(left.counts, whole.counts)
+        assert left.total == whole.total
+        assert left.sum == pytest.approx(whole.sum)
+        for q in (0.05, 0.5, 0.95):
+            assert left.quantile(q) == whole.quantile(q)

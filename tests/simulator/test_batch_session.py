@@ -1,0 +1,151 @@
+"""Differential oracle: batch simulate sessions vs the scalar executor.
+
+ISSUE 10 extends the vector engine from threshold cells to the clean
+``kind=simulate`` scenarios (raw / sequential / interleaved / sleep).
+Same contract as the threshold oracle: every metric the batch path
+produces — totals *and* the ``energy_by_tag`` breakdown, including
+which keys are present — must serialize byte-identically to the scalar
+session, because campaign records ride on byte equality.  Ineligible
+shapes (loss, corruption, DES engine, fault timelines, exotic
+scenarios) must be declined by the planner, not approximated.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.executor import execute_cell, sanitize_metrics
+from repro.campaign.spec import CampaignSpec
+from repro.simulator import batch
+
+np = pytest.importorskip("numpy")
+
+SCENARIOS = list(batch.BATCH_SCENARIOS)
+SIZES = [0.0, 0.001, 0.00372, 0.00373, 0.128, 2.0, 8.0]
+FACTORS = [0.5, 1.0, 1.05, 2.9, 3.8, 4.3, 1e9]
+LINKS = [11.0, 5.5, 2.0, 1.0]
+CODECS = ["gzip", "compress", "bzip2"]
+
+
+def canon(metrics):
+    return json.dumps(
+        sanitize_metrics(metrics), sort_keys=True, separators=(",", ":")
+    )
+
+
+def simulate_cells(**axes):
+    base = {"kind": "simulate"}
+    spec = CampaignSpec(
+        name="batch-session-oracle", mode="grid", base=base, axes=axes
+    )
+    return spec.expand()
+
+
+class TestSimulateOracle:
+    def test_dense_grid_byte_identical(self):
+        cells = simulate_cells(
+            scenario=SCENARIOS,
+            size_mb=SIZES,
+            factor=[1.0, 3.8, 1e9],
+            link_mbps=LINKS,
+        )
+        batchable, rest = batch.partition_cells(cells)
+        assert not rest, f"{len(rest)} clean cells declined"
+        results, fallback = batch.evaluate_cells(batchable)
+        assert not fallback
+        assert len(results) == len(cells)
+        for cell, got in results:
+            want, trace = execute_cell(cell.params, cell.seed)
+            assert trace is None
+            assert canon(got) == canon(want), cell.params
+
+    def test_codecs_byte_identical(self):
+        cells = simulate_cells(
+            scenario=["sequential", "interleaved", "sleep"],
+            size_mb=[0.5, 4.0],
+            factor=[2.9],
+            codec=CODECS,
+        )
+        batchable, rest = batch.partition_cells(cells)
+        assert not rest
+        results, fallback = batch.evaluate_cells(batchable)
+        assert not fallback
+        for cell, got in results:
+            want, _ = execute_cell(cell.params, cell.seed)
+            assert canon(got) == canon(want), cell.params
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scenario=st.sampled_from(SCENARIOS),
+        size=st.floats(min_value=0.0, max_value=64.0),
+        factor=st.floats(min_value=0.25, max_value=50.0),
+        link=st.sampled_from(LINKS),
+        codec=st.sampled_from(CODECS),
+    )
+    def test_random_cells_byte_identical(
+        self, scenario, size, factor, link, codec
+    ):
+        params = {
+            "kind": "simulate",
+            "scenario": scenario,
+            "size_mb": size,
+            "factor": factor,
+            "link_mbps": link,
+            "codec": codec,
+        }
+        key = batch._plan(params)
+        assert key is not None and key[0] == "simulate"
+        cells = simulate_cells(
+            scenario=[scenario], size_mb=[size], factor=[factor],
+            link_mbps=[link], codec=[codec],
+        )
+        results, fallback = batch.evaluate_cells(cells)
+        assert not fallback
+        ((cell, got),) = results
+        want, _ = execute_cell(cell.params, cell.seed)
+        assert canon(got) == canon(want)
+
+
+class TestPlannerDeclines:
+    BASE = {
+        "kind": "simulate",
+        "scenario": "interleaved",
+        "size_mb": 2.0,
+        "factor": 3.8,
+    }
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"loss_rate": 0.05},
+            {"corrupt_rate": 1e-6},
+            {"engine": "des"},
+            {"scenario": "ondemand"},
+            {"scenario": "upload"},
+            {"faults": [{"at_s": 1.0, "rate_mbps": 5.5}]},
+            {"resume": {"policy": "restart"}},
+            {"watchdog_s": 5.0},
+            {"size_mb": float("nan")},
+            {"size_mb": -1.0},
+            {"factor": float("inf")},
+            {"codec": 7},
+            {"codec": "lzma"},
+            {"link_mbps": 3.3},
+        ],
+    )
+    def test_dirty_cells_stay_scalar(self, override):
+        params = dict(self.BASE)
+        params.update(override)
+        assert batch._plan(params) is None
+
+    def test_clean_cell_accepted(self):
+        assert batch._plan(dict(self.BASE)) == (
+            "simulate", "interleaved", "gzip", 11.0
+        )
+
+    def test_raw_codec_normalized(self):
+        params = dict(self.BASE)
+        params["scenario"] = "raw"
+        params["codec"] = "not-a-codec"
+        assert batch._plan(params) == ("simulate", "raw", "gzip", 11.0)
